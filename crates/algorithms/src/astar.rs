@@ -1,0 +1,198 @@
+//! A\* search (paper §6.1): point-to-point shortest path where the priority
+//! is the *estimated* total distance through the vertex — the true distance
+//! from the source (`g`) plus an admissible heuristic to the target.
+//!
+//! The paper uses road networks with longitude/latitude per vertex and a
+//! straight-line distance heuristic; [`euclidean_heuristic`] provides the
+//! same over generated road grids (whose metric weights make it admissible
+//! and consistent).
+
+use crate::result::{PointToPoint, UNREACHABLE};
+use crate::AlgoError;
+use priograph_core::engine::{run_ordered_on, StopView};
+use priograph_core::prelude::*;
+use priograph_core::udf::OrderedUdf;
+use priograph_graph::{CsrGraph, VertexId, Weight};
+use priograph_parallel::atomics::{atomic_vec, write_min};
+use priograph_parallel::Pool;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// The A\* relaxation: maintain true distances `g` separately, and use
+/// `g + h` as the scheduling priority.
+struct AStarUdf<'a, H> {
+    g: &'a [AtomicI64],
+    heuristic: &'a H,
+}
+
+impl<H> OrderedUdf for AStarUdf<'_, H>
+where
+    H: Fn(VertexId) -> i64 + Sync,
+{
+    #[inline]
+    fn apply<P: PriorityOps>(&self, src: VertexId, dst: VertexId, weight: Weight, pq: &P) {
+        let new_g = self.g[src as usize].load(Ordering::Relaxed) + i64::from(weight);
+        if write_min(&self.g[dst as usize], new_g) {
+            pq.update_min(dst, new_g + (self.heuristic)(dst));
+        }
+    }
+}
+
+/// Builds the straight-line-distance heuristic to `target` from the graph's
+/// coordinates, scaled by `scale` (use
+/// [`road_metric_scale`] for generated road grids).
+///
+/// # Errors
+///
+/// Fails when the graph carries no coordinates.
+pub fn euclidean_heuristic(
+    graph: &CsrGraph,
+    target: VertexId,
+    scale: f64,
+) -> Result<impl Fn(VertexId) -> i64 + Sync + use<'_>, AlgoError> {
+    let coords = graph.coords().ok_or(AlgoError::MissingCoordinates)?;
+    crate::check_vertex(target, graph.num_vertices())?;
+    let goal = coords[target as usize];
+    Ok(move |v: VertexId| (coords[v as usize].distance(&goal) * scale).floor() as i64)
+}
+
+/// The weight scale of [`priograph_graph::gen::GraphGen::road_grid`] metric
+/// weights: weights are `ceil(euclidean * 100)`, so a `100.0`-scaled
+/// straight-line heuristic is admissible.
+pub fn road_metric_scale() -> f64 {
+    100.0
+}
+
+/// Runs A\* on the global pool with the Euclidean heuristic.
+///
+/// # Panics
+///
+/// Panics on invalid input; use [`astar_on`] for recoverable errors.
+pub fn astar(
+    graph: &CsrGraph,
+    source: VertexId,
+    target: VertexId,
+    schedule: &Schedule,
+) -> PointToPoint {
+    let h = euclidean_heuristic(graph, target, road_metric_scale())
+        .expect("graph must carry coordinates");
+    astar_on(
+        priograph_parallel::global(),
+        graph,
+        source,
+        target,
+        schedule,
+        &h,
+    )
+    .expect("invalid A* configuration")
+}
+
+/// Runs A\* from `source` to `target` on `pool` with a caller-supplied
+/// heuristic. The heuristic must be admissible (never overestimate) and
+/// consistent for exact results.
+///
+/// # Errors
+///
+/// Fails when an endpoint is out of range or the schedule is rejected.
+pub fn astar_on<H>(
+    pool: &Pool,
+    graph: &CsrGraph,
+    source: VertexId,
+    target: VertexId,
+    schedule: &Schedule,
+    heuristic: &H,
+) -> Result<PointToPoint, AlgoError>
+where
+    H: Fn(VertexId) -> i64 + Sync,
+{
+    let n = graph.num_vertices();
+    crate::check_vertex(source, n)?;
+    crate::check_vertex(target, n)?;
+
+    let g = atomic_vec(n, UNREACHABLE);
+    g[source as usize].store(0, Ordering::Relaxed);
+
+    // Priority = f = g + h; the source's f is just h(source).
+    let problem = OrderedProblem::lower_first(graph)
+        .allow_coarsening()
+        .init_constant(NULL_PRIORITY)
+        .seed(source, heuristic(source));
+
+    let udf = AStarUdf {
+        g: &g,
+        heuristic,
+    };
+    // f(target) = g(target) since h(target) = 0; stop once the current
+    // bucket's priority reaches it.
+    let stop = move |current_priority: i64, view: &StopView<'_>| {
+        current_priority >= view.priority_of(target)
+    };
+    let out = run_ordered_on(pool, &problem, schedule, &udf, Some(&stop))?;
+    let dist: Vec<i64> = g.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let d = dist[target as usize];
+    Ok(PointToPoint {
+        distance: (d < UNREACHABLE).then_some(d),
+        dist,
+        stats: out.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::dijkstra;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn astar_matches_dijkstra_on_road_grids() {
+        let pool = Pool::new(4);
+        let g = GraphGen::road_grid(16, 16).seed(1).build();
+        let reference = dijkstra(&g, 0);
+        for target in [10u32, 100, 255] {
+            let h = euclidean_heuristic(&g, target, road_metric_scale()).unwrap();
+            for schedule in [Schedule::eager_with_fusion(256), Schedule::lazy(256)] {
+                let r = astar_on(&pool, &g, 0, target, &schedule, &h).unwrap();
+                assert_eq!(r.distance, Some(reference[target as usize]), "t={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_prunes_relaxations_versus_zero_heuristic() {
+        let pool = Pool::new(2);
+        let g = GraphGen::road_grid(30, 30).seed(7).build();
+        // Source top-left, target adjacent-ish: A* should only explore a
+        // corridor, the zero heuristic (PPSP) explores a ball.
+        let (s, t) = (0u32, 31u32);
+        let schedule = Schedule::eager_with_fusion(128);
+        let h = euclidean_heuristic(&g, t, road_metric_scale()).unwrap();
+        let astar_run = astar_on(&pool, &g, s, t, &schedule, &h).unwrap();
+        let zero = |_: VertexId| 0i64;
+        let ppsp_run = astar_on(&pool, &g, s, t, &schedule, &zero).unwrap();
+        assert_eq!(astar_run.distance, ppsp_run.distance);
+        assert!(
+            astar_run.stats.relaxations <= ppsp_run.stats.relaxations,
+            "heuristic must not explore more: {} vs {}",
+            astar_run.stats.relaxations,
+            ppsp_run.stats.relaxations
+        );
+    }
+
+    #[test]
+    fn missing_coordinates_is_an_error() {
+        let g = GraphGen::rmat(5, 4).seed(1).build();
+        let err = match euclidean_heuristic(&g, 0, 100.0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected MissingCoordinates"),
+        };
+        assert_eq!(err, AlgoError::MissingCoordinates);
+    }
+
+    #[test]
+    fn astar_to_self_is_zero() {
+        let pool = Pool::new(1);
+        let g = GraphGen::road_grid(6, 6).seed(3).build();
+        let h = euclidean_heuristic(&g, 0, road_metric_scale()).unwrap();
+        let r = astar_on(&pool, &g, 0, 0, &Schedule::default(), &h).unwrap();
+        assert_eq!(r.distance, Some(0));
+    }
+}

@@ -1,0 +1,90 @@
+//! The six ordered graph algorithms of the paper's evaluation (§6.1), their
+//! unordered counterparts, serial references, and result validators.
+//!
+//! | Algorithm | Module | Ordered formulation |
+//! |---|---|---|
+//! | SSSP (Δ-stepping) | [`sssp`] | `updatePriorityMin(dst, dist[src] + w)`, coarsened buckets |
+//! | wBFS | [`wbfs`] | Δ-stepping with Δ = 1 |
+//! | PPSP | [`ppsp`] | Δ-stepping + early stop at the destination |
+//! | A\* search | [`astar`] | priority = g + heuristic, early stop |
+//! | k-core | [`kcore`] | peel by degree, `updatePrioritySum(dst, -1, k)` |
+//! | SetCover | [`setcover`] | bucket sets by coverage, highest first |
+//!
+//! Unordered baselines (Bellman-Ford, threshold-scan k-core) live in
+//! [`unordered`]; serial references (Dijkstra, serial peeling) in [`serial`];
+//! validators in [`validate`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod astar;
+pub mod kcore;
+pub mod ppsp;
+pub mod serial;
+pub mod setcover;
+pub mod sssp;
+pub mod unordered;
+pub mod validate;
+pub mod wbfs;
+
+mod result;
+
+pub use result::{Coreness, PointToPoint, ShortestPaths, UNREACHABLE};
+
+use priograph_core::schedule::ScheduleError;
+use std::fmt;
+
+/// Errors raised by algorithm drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgoError {
+    /// The schedule is invalid for this algorithm/problem combination.
+    Schedule(ScheduleError),
+    /// A vertex argument is out of range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: u32,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+    /// A\* needs vertex coordinates but the graph has none.
+    MissingCoordinates,
+    /// k-core requires a symmetrized graph (paper Table 3).
+    RequiresSymmetricGraph,
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::Schedule(e) => write!(f, "schedule error: {e}"),
+            AlgoError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(f, "vertex {vertex} out of range (graph has {num_vertices})"),
+            AlgoError::MissingCoordinates => {
+                write!(f, "graph has no vertex coordinates (required by A*)")
+            }
+            AlgoError::RequiresSymmetricGraph => {
+                write!(f, "k-core requires a symmetrized graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}
+
+impl From<ScheduleError> for AlgoError {
+    fn from(e: ScheduleError) -> Self {
+        AlgoError::Schedule(e)
+    }
+}
+
+pub(crate) fn check_vertex(v: u32, n: usize) -> Result<(), AlgoError> {
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(AlgoError::VertexOutOfRange {
+            vertex: v,
+            num_vertices: n,
+        })
+    }
+}

@@ -1,0 +1,116 @@
+//! Point-to-point shortest path: Δ-stepping with early termination
+//! (paper §6.1: "terminates the program early when it enters iteration i
+//! where iΔ is greater than or equal to the shortest distance between s and
+//! d it has already found").
+
+use crate::result::{PointToPoint, UNREACHABLE};
+use crate::AlgoError;
+use priograph_core::engine::{run_ordered_on, StopView};
+use priograph_core::prelude::*;
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::Pool;
+
+/// Runs a PPSP query on the global pool.
+///
+/// # Panics
+///
+/// Panics on invalid input; use [`ppsp_on`] for recoverable errors.
+pub fn ppsp(
+    graph: &CsrGraph,
+    source: VertexId,
+    target: VertexId,
+    schedule: &Schedule,
+) -> PointToPoint {
+    ppsp_on(priograph_parallel::global(), graph, source, target, schedule)
+        .expect("invalid PPSP configuration")
+}
+
+/// Runs a PPSP query on `pool`.
+///
+/// # Errors
+///
+/// Fails when an endpoint is out of range or the schedule is rejected.
+pub fn ppsp_on(
+    pool: &Pool,
+    graph: &CsrGraph,
+    source: VertexId,
+    target: VertexId,
+    schedule: &Schedule,
+) -> Result<PointToPoint, AlgoError> {
+    let n = graph.num_vertices();
+    crate::check_vertex(source, n)?;
+    crate::check_vertex(target, n)?;
+    let problem = OrderedProblem::lower_first(graph)
+        .allow_coarsening()
+        .init_constant(NULL_PRIORITY)
+        .seed(source, 0);
+    // Early termination: once the bucket being opened starts at or past the
+    // best distance already found for the target, the target is finalized.
+    let stop = move |current_priority: i64, view: &StopView<'_>| {
+        current_priority >= view.priority_of(target)
+    };
+    let out = run_ordered_on(pool, &problem, schedule, &MinPlusWeight, Some(&stop))?;
+    let d = out.priorities[target as usize];
+    Ok(PointToPoint {
+        distance: (d < UNREACHABLE).then_some(d),
+        dist: out.priorities,
+        stats: out.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::dijkstra;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn ppsp_matches_dijkstra_distance() {
+        let pool = Pool::new(4);
+        let g = GraphGen::rmat(8, 8).seed(3).weights_uniform(1, 100).build();
+        let reference = dijkstra(&g, 0);
+        for target in [1u32, 50, 200] {
+            for schedule in [Schedule::eager_with_fusion(16), Schedule::lazy(16)] {
+                let r = ppsp_on(&pool, &g, 0, target, &schedule).unwrap();
+                let expected = (reference[target as usize] < UNREACHABLE)
+                    .then_some(reference[target as usize]);
+                assert_eq!(r.distance, expected, "target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn ppsp_does_less_work_than_full_sssp_on_road_networks() {
+        let pool = Pool::new(2);
+        let g = GraphGen::road_grid(24, 24).seed(5).build();
+        // Target adjacent to the source: the run should stop almost
+        // immediately.
+        let target = g.out_edges(0)[0].dst;
+        let schedule = Schedule::eager_with_fusion(64);
+        let pp = ppsp_on(&pool, &g, 0, target, &schedule).unwrap();
+        let full = crate::sssp::delta_stepping_on(&pool, &g, 0, &schedule).unwrap();
+        assert_eq!(pp.distance, Some(full.dist[target as usize]));
+        assert!(
+            pp.stats.relaxations < full.stats.relaxations / 4,
+            "early stop should skip most relaxations: {} vs {}",
+            pp.stats.relaxations,
+            full.stats.relaxations
+        );
+    }
+
+    #[test]
+    fn unreachable_target_reports_none() {
+        let g = priograph_graph::GraphBuilder::new(3).edge(0, 1, 1).build();
+        let pool = Pool::new(1);
+        let r = ppsp_on(&pool, &g, 0, 2, &Schedule::lazy(1)).unwrap();
+        assert_eq!(r.distance, None);
+    }
+
+    #[test]
+    fn source_equals_target_is_zero() {
+        let g = GraphGen::cycle(5).build();
+        let pool = Pool::new(1);
+        let r = ppsp_on(&pool, &g, 2, 2, &Schedule::default()).unwrap();
+        assert_eq!(r.distance, Some(0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Result types shared by the algorithm drivers.
+
+use priograph_core::stats::ExecStats;
+use priograph_graph::VertexId;
+
+/// Distance value marking unreachable vertices (the null priority ∅).
+pub const UNREACHABLE: i64 = priograph_buckets::NULL_PRIORITY;
+
+/// Single-source shortest path distances.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// `dist[v]` = shortest distance from the source, or [`UNREACHABLE`].
+    pub dist: Vec<i64>,
+    /// Engine counters.
+    pub stats: ExecStats,
+}
+
+impl ShortestPaths {
+    /// True if `v` was reached.
+    pub fn is_reachable(&self, v: VertexId) -> bool {
+        self.dist[v as usize] < UNREACHABLE
+    }
+
+    /// Number of reached vertices.
+    pub fn reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d < UNREACHABLE).count()
+    }
+}
+
+/// Point-to-point query result (PPSP, A\*).
+#[derive(Debug, Clone)]
+pub struct PointToPoint {
+    /// Shortest distance from source to destination, if connected.
+    pub distance: Option<i64>,
+    /// Partial distance vector (only finalized prefixes are meaningful).
+    pub dist: Vec<i64>,
+    /// Engine counters.
+    pub stats: ExecStats,
+}
+
+/// k-core decomposition result.
+#[derive(Debug, Clone)]
+pub struct Coreness {
+    /// `coreness[v]` = largest k such that `v` belongs to the k-core.
+    pub coreness: Vec<i64>,
+    /// Engine counters.
+    pub stats: ExecStats,
+}
+
+impl Coreness {
+    /// The degeneracy (maximum coreness).
+    pub fn degeneracy(&self) -> i64 {
+        self.coreness.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_helpers() {
+        let sp = ShortestPaths {
+            dist: vec![0, 5, UNREACHABLE],
+            stats: ExecStats::default(),
+        };
+        assert!(sp.is_reachable(0));
+        assert!(sp.is_reachable(1));
+        assert!(!sp.is_reachable(2));
+        assert_eq!(sp.reached(), 2);
+    }
+
+    #[test]
+    fn degeneracy_is_max() {
+        let c = Coreness {
+            coreness: vec![1, 3, 2],
+            stats: ExecStats::default(),
+        };
+        assert_eq!(c.degeneracy(), 3);
+        let empty = Coreness {
+            coreness: vec![],
+            stats: ExecStats::default(),
+        };
+        assert_eq!(empty.degeneracy(), 0);
+    }
+}

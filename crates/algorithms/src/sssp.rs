@@ -1,0 +1,101 @@
+//! Single-source shortest paths with Δ-stepping (paper Figure 3 / §6.1).
+
+use crate::result::ShortestPaths;
+use crate::AlgoError;
+use priograph_core::prelude::*;
+use priograph_core::engine::run_ordered_on;
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::Pool;
+
+/// Runs Δ-stepping SSSP from `source` on the global pool.
+///
+/// The schedule carries Δ and the bucketing strategy; the paper's default is
+/// `eager_with_fusion` with graph-dependent Δ (§6.2: small Δ for social
+/// networks, 2^13–2^17 for road networks).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the schedule is invalid — use
+/// [`delta_stepping_on`] for recoverable errors.
+pub fn delta_stepping(graph: &CsrGraph, source: VertexId, schedule: &Schedule) -> ShortestPaths {
+    delta_stepping_on(priograph_parallel::global(), graph, source, schedule)
+        .expect("invalid SSSP configuration")
+}
+
+/// Runs Δ-stepping SSSP from `source` on `pool`.
+///
+/// # Errors
+///
+/// Fails when `source` is out of range or the schedule is rejected.
+pub fn delta_stepping_on(
+    pool: &Pool,
+    graph: &CsrGraph,
+    source: VertexId,
+    schedule: &Schedule,
+) -> Result<ShortestPaths, AlgoError> {
+    crate::check_vertex(source, graph.num_vertices())?;
+    let problem = OrderedProblem::lower_first(graph)
+        .allow_coarsening()
+        .init_constant(NULL_PRIORITY)
+        .seed(source, 0);
+    let out = run_ordered_on(pool, &problem, schedule, &MinPlusWeight, None)?;
+    Ok(ShortestPaths {
+        dist: out.priorities,
+        stats: out.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::dijkstra;
+    use crate::validate::validate_sssp;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn matches_dijkstra_on_social_graphs() {
+        let pool = Pool::new(4);
+        for seed in [1, 7, 42] {
+            let g = GraphGen::rmat(8, 8).seed(seed).weights_uniform(1, 1000).build();
+            let reference = dijkstra(&g, 0);
+            for schedule in [
+                Schedule::eager_with_fusion(32),
+                Schedule::eager(32),
+                Schedule::lazy(32),
+            ] {
+                let sp = delta_stepping_on(&pool, &g, 0, &schedule).unwrap();
+                assert_eq!(sp.dist, reference, "seed={seed} schedule={schedule}");
+                validate_sssp(&g, 0, &sp.dist).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_road_graphs() {
+        let pool = Pool::new(4);
+        let g = GraphGen::road_grid(20, 20).seed(2).build();
+        let reference = dijkstra(&g, 5);
+        let sp = delta_stepping_on(&pool, &g, 5, &Schedule::eager_with_fusion(512)).unwrap();
+        assert_eq!(sp.dist, reference);
+        assert!(sp.reached() == g.num_vertices());
+    }
+
+    #[test]
+    fn out_of_range_source_is_an_error() {
+        let g = GraphGen::path(3).build();
+        let pool = Pool::new(1);
+        let err = delta_stepping_on(&pool, &g, 9, &Schedule::default()).unwrap_err();
+        assert!(matches!(err, AlgoError::VertexOutOfRange { vertex: 9, .. }));
+    }
+
+    #[test]
+    fn delta_sweep_is_result_invariant() {
+        let pool = Pool::new(2);
+        let g = GraphGen::road_grid(10, 10).seed(8).build();
+        let reference = dijkstra(&g, 0);
+        for delta in [1, 2, 16, 256, 4096] {
+            let sp = delta_stepping_on(&pool, &g, 0, &Schedule::eager_with_fusion(delta)).unwrap();
+            assert_eq!(sp.dist, reference, "delta={delta}");
+        }
+    }
+}

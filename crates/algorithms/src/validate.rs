@@ -1,0 +1,184 @@
+//! Result validators (in the spirit of GAPBS's built-in verifiers).
+
+use crate::result::UNREACHABLE;
+use crate::setcover::SetCoverInstance;
+use priograph_graph::{CsrGraph, VertexId};
+
+/// Verifies a shortest-path tree:
+///
+/// * `dist[source] == 0`;
+/// * no edge can relax further (`dist[v] <= dist[u] + w`);
+/// * every reached non-source vertex has a tight incoming edge
+///   (`dist[v] == dist[u] + w` for some `u`).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_sssp(graph: &CsrGraph, source: VertexId, dist: &[i64]) -> Result<(), String> {
+    if dist.len() != graph.num_vertices() {
+        return Err(format!(
+            "distance vector has {} entries for {} vertices",
+            dist.len(),
+            graph.num_vertices()
+        ));
+    }
+    if dist[source as usize] != 0 {
+        return Err(format!(
+            "source distance is {} instead of 0",
+            dist[source as usize]
+        ));
+    }
+    for u in graph.vertices() {
+        if dist[u as usize] >= UNREACHABLE {
+            continue;
+        }
+        for e in graph.out_edges(u) {
+            if dist[e.dst as usize] > dist[u as usize] + i64::from(e.weight) {
+                return Err(format!(
+                    "edge ({u}, {}) can still relax: {} > {} + {}",
+                    e.dst,
+                    dist[e.dst as usize],
+                    dist[u as usize],
+                    e.weight
+                ));
+            }
+        }
+    }
+    for v in graph.vertices() {
+        if v == source || dist[v as usize] >= UNREACHABLE {
+            continue;
+        }
+        let tight = graph.in_edges(v).iter().any(|e| {
+            dist[e.dst as usize] < UNREACHABLE
+                && dist[e.dst as usize] + i64::from(e.weight) == dist[v as usize]
+        });
+        if !tight {
+            return Err(format!(
+                "vertex {v} has distance {} but no tight incoming edge",
+                dist[v as usize]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies the structural k-core invariant: every vertex of coreness `c`
+/// keeps at least `c` neighbors of coreness `>= c` (membership in the
+/// c-core), and no coreness exceeds the degree.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_coreness(graph: &CsrGraph, coreness: &[i64]) -> Result<(), String> {
+    if coreness.len() != graph.num_vertices() {
+        return Err("coreness vector length mismatch".into());
+    }
+    for v in graph.vertices() {
+        let c = coreness[v as usize];
+        if c < 0 {
+            return Err(format!("vertex {v} has negative coreness {c}"));
+        }
+        if c > graph.out_degree(v) as i64 {
+            return Err(format!(
+                "vertex {v} coreness {c} exceeds degree {}",
+                graph.out_degree(v)
+            ));
+        }
+        let strong = graph
+            .out_edges(v)
+            .iter()
+            .filter(|e| coreness[e.dst as usize] >= c)
+            .count() as i64;
+        if strong < c {
+            return Err(format!(
+                "vertex {v} claims coreness {c} but has only {strong} neighbors at >= {c}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies that `chosen` covers every coverable element.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first uncovered element or
+/// invalid set index.
+pub fn validate_cover(instance: &SetCoverInstance, chosen: &[u32]) -> Result<(), String> {
+    let mut covered = vec![false; instance.num_elements];
+    for &s in chosen {
+        let set = instance
+            .sets
+            .get(s as usize)
+            .ok_or_else(|| format!("chosen set {s} does not exist"))?;
+        for &e in set {
+            covered[e as usize] = true;
+        }
+    }
+    for (e, coverable) in instance.coverable().into_iter().enumerate() {
+        if coverable && !covered[e] {
+            return Err(format!("element {e} is coverable but left uncovered"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::{dijkstra, kcore_serial};
+    use priograph_graph::gen::GraphGen;
+    use priograph_graph::GraphBuilder;
+
+    #[test]
+    fn accepts_dijkstra_output() {
+        let g = GraphGen::rmat(7, 6).seed(1).weights_uniform(1, 50).build();
+        let dist = dijkstra(&g, 0);
+        validate_sssp(&g, 0, &dist).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_source_distance() {
+        let g = GraphGen::path(3).build();
+        let err = validate_sssp(&g, 0, &[5, 1, 2]).unwrap_err();
+        assert!(err.contains("source"));
+    }
+
+    #[test]
+    fn rejects_relaxable_edge() {
+        let g = GraphBuilder::new(2).edge(0, 1, 1).build();
+        let err = validate_sssp(&g, 0, &[0, 5]).unwrap_err();
+        assert!(err.contains("can still relax"));
+    }
+
+    #[test]
+    fn rejects_untight_distance() {
+        let g = GraphBuilder::new(2).edge(0, 1, 5).build();
+        // dist 3 < true distance 5: no edge relaxes (3 < 0+5 holds... it does
+        // not exceed), but no tight in-edge exists.
+        let err = validate_sssp(&g, 0, &[0, 3]).unwrap_err();
+        assert!(err.contains("tight"));
+    }
+
+    #[test]
+    fn accepts_serial_coreness() {
+        let g = GraphGen::rmat(7, 6).seed(3).build().symmetrize();
+        validate_coreness(&g, &kcore_serial(&g)).unwrap();
+    }
+
+    #[test]
+    fn rejects_inflated_coreness() {
+        let g = GraphGen::path(3).build().symmetrize();
+        let err = validate_coreness(&g, &[5, 5, 5]).unwrap_err();
+        assert!(err.contains("exceeds degree") || err.contains("neighbors"));
+    }
+
+    #[test]
+    fn cover_validator_flags_gaps() {
+        let inst = SetCoverInstance::new(3, vec![vec![0], vec![1], vec![2]]);
+        assert!(validate_cover(&inst, &[0, 1, 2]).is_ok());
+        let err = validate_cover(&inst, &[0]).unwrap_err();
+        assert!(err.contains("uncovered"));
+        assert!(validate_cover(&inst, &[9]).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! The tunable schedule space.
+
+use priograph_core::schedule::{Direction, Parallelization, PriorityUpdateStrategy, Schedule};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A cartesian space of schedule knobs (paper Table 2), with per-algorithm
+/// presets that exclude illegal combinations up front.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpace {
+    /// Candidate bucket-update strategies.
+    pub strategies: Vec<PriorityUpdateStrategy>,
+    /// Candidate coarsening factors.
+    pub deltas: Vec<i64>,
+    /// Candidate fusion thresholds.
+    pub fusion_thresholds: Vec<usize>,
+    /// Candidate open-bucket counts.
+    pub num_buckets: Vec<usize>,
+    /// Candidate traversal directions.
+    pub directions: Vec<Direction>,
+    /// Candidate dynamic grains.
+    pub grains: Vec<usize>,
+}
+
+impl ScheduleSpace {
+    /// Space for Δ-stepping-family algorithms (SSSP, wBFS, PPSP, A\*):
+    /// Δ ranges over powers of two up to 2^17 (§6.2: road networks want
+    /// 2^13–2^17, social networks 1–100).
+    pub fn sssp_like() -> Self {
+        ScheduleSpace {
+            strategies: vec![
+                PriorityUpdateStrategy::EagerWithFusion,
+                PriorityUpdateStrategy::EagerNoFusion,
+                PriorityUpdateStrategy::Lazy,
+            ],
+            deltas: (0..18).map(|p| 1i64 << p).collect(),
+            fusion_thresholds: vec![100, 500, 1000, 5000, 20000],
+            num_buckets: vec![32, 128, 512],
+            directions: vec![Direction::SparsePush],
+            grains: vec![16, 64, 256, 1024],
+        }
+    }
+
+    /// Space for strict-priority peeling algorithms (k-core): Δ fixed to 1,
+    /// histogram strategy included.
+    pub fn kcore_like() -> Self {
+        ScheduleSpace {
+            strategies: vec![
+                PriorityUpdateStrategy::LazyConstantSum,
+                PriorityUpdateStrategy::Lazy,
+                PriorityUpdateStrategy::EagerNoFusion,
+                PriorityUpdateStrategy::EagerWithFusion,
+            ],
+            deltas: vec![1],
+            fusion_thresholds: vec![100, 1000, 10000],
+            num_buckets: vec![32, 128, 512],
+            directions: vec![Direction::SparsePush],
+            grains: vec![16, 64, 256],
+        }
+    }
+
+    /// Number of points in the space.
+    pub fn size(&self) -> usize {
+        self.strategies.len()
+            * self.deltas.len()
+            * self.fusion_thresholds.len()
+            * self.num_buckets.len()
+            * self.directions.len()
+            * self.grains.len()
+    }
+
+    /// Draws a uniform random schedule.
+    pub fn sample(&self, rng: &mut StdRng) -> Schedule {
+        let pick = |rng: &mut StdRng, n: usize| rng.gen_range(0..n);
+        Schedule {
+            priority_update: self.strategies[pick(rng, self.strategies.len())],
+            delta: self.deltas[pick(rng, self.deltas.len())],
+            fusion_threshold: self.fusion_thresholds[pick(rng, self.fusion_thresholds.len())],
+            num_open_buckets: self.num_buckets[pick(rng, self.num_buckets.len())],
+            direction: self.directions[pick(rng, self.directions.len())],
+            parallelization: Parallelization::DynamicVertex {
+                grain: self.grains[pick(rng, self.grains.len())],
+            },
+        }
+    }
+
+    /// Mutates one knob of `base` (hill-climbing neighborhood).
+    pub fn mutate(&self, base: &Schedule, rng: &mut StdRng) -> Schedule {
+        let mut s = base.clone();
+        match rng.gen_range(0..5) {
+            0 => s.priority_update = self.strategies[rng.gen_range(0..self.strategies.len())],
+            1 => s.delta = self.deltas[rng.gen_range(0..self.deltas.len())],
+            2 => {
+                s.fusion_threshold =
+                    self.fusion_thresholds[rng.gen_range(0..self.fusion_thresholds.len())]
+            }
+            3 => s.num_open_buckets = self.num_buckets[rng.gen_range(0..self.num_buckets.len())],
+            _ => {
+                s.parallelization = Parallelization::DynamicVertex {
+                    grain: self.grains[rng.gen_range(0..self.grains.len())],
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sssp_space_is_large() {
+        let space = ScheduleSpace::sssp_like();
+        assert!(space.size() > 1000, "space of {} too small", space.size());
+    }
+
+    #[test]
+    fn samples_stay_in_space() {
+        let space = ScheduleSpace::sssp_like();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = space.sample(&mut rng);
+            assert!(space.strategies.contains(&s.priority_update));
+            assert!(space.deltas.contains(&s.delta));
+        }
+    }
+
+    #[test]
+    fn mutation_changes_at_most_one_knob() {
+        let space = ScheduleSpace::sssp_like();
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = space.sample(&mut rng);
+        for _ in 0..50 {
+            let m = space.mutate(&base, &mut rng);
+            let mut diffs = 0;
+            diffs += usize::from(m.priority_update != base.priority_update);
+            diffs += usize::from(m.delta != base.delta);
+            diffs += usize::from(m.fusion_threshold != base.fusion_threshold);
+            diffs += usize::from(m.num_open_buckets != base.num_open_buckets);
+            diffs += usize::from(m.parallelization != base.parallelization);
+            assert!(diffs <= 1);
+        }
+    }
+
+    #[test]
+    fn kcore_space_fixes_delta() {
+        let space = ScheduleSpace::kcore_like();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(space.sample(&mut rng).delta, 1);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Galois-style approximate priority ordering (Nguyen et al., SOSP'13).
+//!
+//! Galois's ordered-list / OBIM scheduler keeps priority bins but never
+//! synchronizes globally per priority: threads grab work from the lowest
+//! bin they can find and push updates into bins lock-free, so vertices of
+//! different priorities execute concurrently (paper §7: "approximate
+//! priority ordering ... does not synchronize globally"). The result is a
+//! label-correcting computation — correct for SSSP-family algorithms but
+//! work-inefficient relative to strict ordering, and *unable* to express
+//! k-core/SetCover (which need per-priority synchronization) — exactly the
+//! gaps Table 4 shows for Galois.
+//!
+//! Implementation: an array of lock-free bags ([`crossbeam::queue::SegQueue`])
+//! indexed by coarsened priority, a global in-flight counter for
+//! termination, and per-thread forward-moving cursors with a monotonically
+//! decreasing global hint for restarts. No barriers anywhere.
+
+use crate::BaselineRun;
+use crossbeam::queue::SegQueue;
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::atomics::{atomic_vec, write_min};
+use priograph_parallel::Pool;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+const INF: i64 = priograph_buckets::NULL_PRIORITY;
+/// Bags are allocated lazily in blocks of this many buckets.
+const BLOCK: usize = 256;
+/// Maximum addressable buckets (blocks * BLOCK).
+const MAX_BLOCKS: usize = 1 << 14;
+
+/// Lazily allocated array of lock-free bags indexed by bucket.
+struct BucketBags {
+    blocks: Vec<OnceLock<Box<[SegQueue<VertexId>]>>>,
+}
+
+impl BucketBags {
+    fn new() -> Self {
+        BucketBags {
+            blocks: (0..MAX_BLOCKS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn bag(&self, bucket: usize) -> &SegQueue<VertexId> {
+        let block = bucket / BLOCK;
+        assert!(
+            block < MAX_BLOCKS,
+            "priority bucket {bucket} exceeds the OBIM range"
+        );
+        let queues = self.blocks[block]
+            .get_or_init(|| (0..BLOCK).map(|_| SegQueue::new()).collect());
+        &queues[bucket % BLOCK]
+    }
+
+    /// True if the block holding `bucket` was never touched (fast skip).
+    fn block_untouched(&self, bucket: usize) -> bool {
+        self.blocks[bucket / BLOCK].get().is_none()
+    }
+}
+
+/// Shared scheduler state.
+struct Obim {
+    bags: BucketBags,
+    /// Items pushed but not yet fully processed; 0 = done.
+    pending: AtomicI64,
+    /// Monotonically decreasing lower bound on occupied buckets.
+    hint: AtomicUsize,
+    /// Highest bucket ever pushed (scan upper bound).
+    max_pushed: AtomicUsize,
+}
+
+impl Obim {
+    fn new() -> Self {
+        Obim {
+            bags: BucketBags::new(),
+            pending: AtomicI64::new(0),
+            hint: AtomicUsize::new(usize::MAX),
+            max_pushed: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, bucket: usize, v: VertexId) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.bags.bag(bucket).push(v);
+        self.hint.fetch_min(bucket, Ordering::AcqRel);
+        self.max_pushed.fetch_max(bucket, Ordering::AcqRel);
+    }
+
+    /// Pops one vertex from the lowest non-empty bag at or after `from`.
+    fn pop_from(&self, from: usize) -> Option<(usize, VertexId)> {
+        let hi = self.max_pushed.load(Ordering::Acquire);
+        let mut b = from;
+        while b <= hi {
+            if self.bags.block_untouched(b) {
+                b = (b / BLOCK + 1) * BLOCK;
+                continue;
+            }
+            if let Some(v) = self.bags.bag(b).pop() {
+                return Some((b, v));
+            }
+            b += 1;
+        }
+        None
+    }
+}
+
+/// Runs Galois-style SSSP with approximate priority ordering.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn sssp(pool: &Pool, graph: &CsrGraph, source: VertexId, delta: i64) -> BaselineRun {
+    run(pool, graph, source, delta, None)
+}
+
+/// Point-to-point variant: vertices whose bucket lies at or past the
+/// target's current distance are pruned.
+pub fn ppsp(
+    pool: &Pool,
+    graph: &CsrGraph,
+    source: VertexId,
+    target: VertexId,
+    delta: i64,
+) -> BaselineRun {
+    run(pool, graph, source, delta, Some(target))
+}
+
+fn run(
+    pool: &Pool,
+    graph: &CsrGraph,
+    source: VertexId,
+    delta: i64,
+    target: Option<VertexId>,
+) -> BaselineRun {
+    assert!((source as usize) < graph.num_vertices());
+    assert!(delta >= 1);
+    let started = Instant::now();
+    let n = graph.num_vertices();
+    let dist = atomic_vec(n, INF);
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let obim = Obim::new();
+    obim.push(0, source);
+    let relaxations = AtomicU64::new(0);
+
+    pool.broadcast(|_w| {
+        let mut cursor = 0usize;
+        let mut local_relax = 0u64;
+        let mut idle_spins = 0u32;
+        loop {
+            if obim.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let Some((bucket, v)) = obim.pop_from(cursor) else {
+                // Nothing at or after the cursor; restart from the hint.
+                cursor = obim.hint.load(Ordering::Acquire).min(cursor);
+                idle_spins += 1;
+                if idle_spins > 64 {
+                    std::thread::yield_now();
+                }
+                continue;
+            };
+            idle_spins = 0;
+            cursor = bucket;
+            let dv = dist[v as usize].load(Ordering::Relaxed);
+            // Stale entry: the vertex improved past this bucket already.
+            let stale = (dv / delta) < bucket as i64;
+            // Point-to-point pruning: no path through this bucket can beat
+            // the target's current distance.
+            let pruned = target.is_some_and(|t| {
+                bucket as i64 * delta >= dist[t as usize].load(Ordering::Relaxed)
+            });
+            if !stale && !pruned {
+                for e in graph.out_edges(v) {
+                    let new_dist = dv + i64::from(e.weight);
+                    local_relax += 1;
+                    if write_min(&dist[e.dst as usize], new_dist) {
+                        obim.push((new_dist / delta) as usize, e.dst);
+                    }
+                }
+            }
+            obim.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+        relaxations.fetch_add(local_relax, Ordering::Relaxed);
+    });
+
+    BaselineRun {
+        dist: dist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        rounds: 0, // barrier-free by construction
+        relaxations: relaxations.into_inner(),
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_algorithms::serial::dijkstra;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn galois_sssp_matches_dijkstra() {
+        let pool = Pool::new(4);
+        for seed in [3, 12] {
+            let g = GraphGen::rmat(8, 8).seed(seed).weights_uniform(1, 300).build();
+            let run = sssp(&pool, &g, 0, 16);
+            assert_eq!(run.dist, dijkstra(&g, 0), "seed={seed}");
+            assert_eq!(run.rounds, 0, "no global synchronization");
+        }
+    }
+
+    #[test]
+    fn galois_sssp_on_road_grid() {
+        let pool = Pool::new(4);
+        let g = GraphGen::road_grid(16, 16).seed(9).build();
+        let run = sssp(&pool, &g, 0, 512);
+        assert_eq!(run.dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn galois_ppsp_finds_target_distance() {
+        let pool = Pool::new(2);
+        let g = GraphGen::rmat(7, 8).seed(5).weights_uniform(1, 100).build();
+        let reference = dijkstra(&g, 0);
+        let run = ppsp(&pool, &g, 0, 42, 16);
+        assert_eq!(run.dist[42], reference[42]);
+    }
+
+    #[test]
+    fn single_thread_terminates() {
+        let pool = Pool::new(1);
+        let g = GraphGen::cycle(10).build();
+        let run = sssp(&pool, &g, 0, 1);
+        assert_eq!(run.dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn obim_push_pop_roundtrip() {
+        let obim = Obim::new();
+        obim.push(5, 7);
+        obim.push(2, 3);
+        assert_eq!(obim.pop_from(0), Some((2, 3)));
+        assert_eq!(obim.pop_from(0), Some((5, 7)));
+        assert_eq!(obim.pop_from(0), None);
+        assert_eq!(obim.pending.load(Ordering::Relaxed), 2);
+    }
+}

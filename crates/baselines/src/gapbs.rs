@@ -1,0 +1,156 @@
+//! GAPBS-style hand-optimized Δ-stepping (Beamer et al.), the eager
+//! baseline of paper Table 4 — structurally the code of paper Figure 9(c)
+//! *without* bucket fusion.
+
+use crate::BaselineRun;
+use priograph_buckets::{LocalBins, SharedFrontier};
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::atomics::{atomic_vec, write_min};
+use priograph_parallel::{ChunkCursor, Pool};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Unreachable sentinel (matches the core engines).
+const INF: i64 = priograph_buckets::NULL_PRIORITY;
+const NO_BIN: usize = usize::MAX;
+
+/// Runs GAPBS-style Δ-stepping SSSP.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn sssp(pool: &Pool, graph: &CsrGraph, source: VertexId, delta: i64) -> BaselineRun {
+    assert!((source as usize) < graph.num_vertices(), "source in range");
+    assert!(delta >= 1, "delta must be >= 1");
+    let started = Instant::now();
+    let n = graph.num_vertices();
+    let dist = atomic_vec(n, INF);
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let frontier = SharedFrontier::new(graph.num_edges() + n + 1);
+    let cursor = ChunkCursor::new(0, 64);
+    let next_bin = AtomicUsize::new(NO_BIN);
+    let done = AtomicBool::new(false);
+    let rounds = AtomicU64::new(0);
+    let relaxations = AtomicU64::new(0);
+
+    pool.broadcast(|w| {
+        let mut local_bins = LocalBins::new();
+        let mut local_relax = 0u64;
+        if w.tid() == 0 {
+            local_bins.push(0, source);
+        }
+        let mut curr_bin = 0usize;
+        loop {
+            if let Some(b) = local_bins.min_nonempty_from(curr_bin) {
+                next_bin.fetch_min(b, Ordering::AcqRel);
+            }
+            w.barrier();
+            if w.tid() == 0 {
+                if next_bin.load(Ordering::Acquire) == NO_BIN {
+                    done.store(true, Ordering::Release);
+                } else {
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+                frontier.reset();
+            }
+            w.barrier();
+            if done.load(Ordering::Acquire) {
+                break;
+            }
+            let next = next_bin.load(Ordering::Acquire);
+            let mine = local_bins.take(next);
+            frontier.append(&mine);
+            w.barrier();
+            if w.tid() == 0 {
+                cursor.reset(frontier.len());
+                next_bin.store(NO_BIN, Ordering::Release);
+            }
+            w.barrier();
+            curr_bin = next;
+
+            // The GAPBS relaxation loop (sssp.cc): process u only if its
+            // distance still belongs to the current bin.
+            while let Some(chunk) = cursor.next_chunk() {
+                for i in chunk {
+                    let u = frontier.get(i);
+                    let du = dist[u as usize].load(Ordering::Relaxed);
+                    if du >= delta * curr_bin as i64 {
+                        for e in graph.out_edges(u) {
+                            let new_dist = du + i64::from(e.weight);
+                            local_relax += 1;
+                            if write_min(&dist[e.dst as usize], new_dist) {
+                                let dest_bin = (new_dist / delta) as usize;
+                                local_bins.push(dest_bin, e.dst);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        relaxations.fetch_add(local_relax, Ordering::Relaxed);
+    });
+
+    BaselineRun {
+        dist: dist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        rounds: rounds.into_inner(),
+        relaxations: relaxations.into_inner(),
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_algorithms::serial::dijkstra;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn gapbs_matches_dijkstra() {
+        let pool = Pool::new(4);
+        for seed in [1, 6] {
+            let g = GraphGen::rmat(8, 8).seed(seed).weights_uniform(1, 500).build();
+            let run = sssp(&pool, &g, 0, 32);
+            assert_eq!(run.dist, dijkstra(&g, 0), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn gapbs_matches_on_road_grid_all_deltas() {
+        let pool = Pool::new(2);
+        let g = GraphGen::road_grid(15, 15).seed(3).build();
+        let reference = dijkstra(&g, 7);
+        for delta in [1, 64, 1024] {
+            let run = sssp(&pool, &g, 7, delta);
+            assert_eq!(run.dist, reference, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn gapbs_never_fuses_so_rounds_at_least_buckets() {
+        let pool = Pool::new(2);
+        let g = GraphGen::road_grid(16, 16).seed(2).build();
+        let run = sssp(&pool, &g, 0, 64);
+        let fused = priograph_algorithms::sssp::delta_stepping_on(
+            &pool,
+            &g,
+            0,
+            &priograph_core::schedule::Schedule::eager_with_fusion(64),
+        )
+        .unwrap();
+        assert_eq!(run.dist, fused.dist);
+        assert!(
+            run.rounds > fused.stats.rounds,
+            "fusion must reduce synchronized rounds: gapbs {} vs fused {}",
+            run.rounds,
+            fused.stats.rounds
+        );
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = Pool::new(1);
+        let g = GraphGen::rmat(6, 4).seed(8).weights_uniform(1, 20).build();
+        assert_eq!(sssp(&pool, &g, 0, 8).dist, dijkstra(&g, 0));
+    }
+}

@@ -1,0 +1,42 @@
+//! Reimplementations of the comparison frameworks from the paper's
+//! evaluation (§6), each reproducing the *strategy* that distinguishes it:
+//!
+//! | Module | Stands in for | Distinguishing strategy |
+//! |---|---|---|
+//! | [`gapbs`] | GAPBS | hand-written eager Δ-stepping, thread-local bins, **no fusion** |
+//! | [`julienne`] | Julienne (early 2019) | lazy bucketing with the *original lambda* priority interface + per-round out-degree sums for direction selection |
+//! | [`galois`] | Galois v4 | approximate priority ordering: lock-free bucket bags, no per-priority global synchronization |
+//! | [`ligra`] | Ligra | unordered frontier `edge_map` with sparse/dense direction switching |
+//!
+//! All four share the same substrate (pool, CSR graph) as `priograph-core`,
+//! so measured differences isolate the strategies rather than unrelated
+//! engineering.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod galois;
+pub mod gapbs;
+pub mod julienne;
+pub mod ligra;
+
+/// Distance result shared by the baseline engines.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Final distances (or priorities), `NULL`-sentineled like the core
+    /// engines.
+    pub dist: Vec<i64>,
+    /// Synchronized rounds (0 for the barrier-free Galois engine).
+    pub rounds: u64,
+    /// Edge relaxations performed.
+    pub relaxations: u64,
+    /// Wall-clock time.
+    pub elapsed: std::time::Duration,
+}
+
+impl BaselineRun {
+    /// Milliseconds elapsed.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}

@@ -1,0 +1,127 @@
+//! Ligra-style unordered frontier processing (Shun & Blelloch, PPoPP'13):
+//! Bellman-Ford via `edge_map` with the signature sparse/dense direction
+//! switching (threshold `|outEdges(frontier)| > m / 20`).
+
+use crate::BaselineRun;
+use priograph_buckets::SharedFrontier;
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::atomics::{atomic_vec, write_min};
+use priograph_parallel::Pool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const INF: i64 = priograph_buckets::NULL_PRIORITY;
+
+/// Runs Ligra-style (unordered) Bellman-Ford SSSP.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bellman_ford(pool: &Pool, graph: &CsrGraph, source: VertexId) -> BaselineRun {
+    assert!((source as usize) < graph.num_vertices());
+    let started = Instant::now();
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let dist = atomic_vec(n, INF);
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let out = SharedFrontier::new(n + 1);
+    let stamps: Box<[AtomicU64]> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mut frontier = vec![source];
+    let mut rounds = 0u64;
+    let mut relaxations = 0u64;
+
+    while !frontier.is_empty() {
+        rounds += 1;
+        let degree_sum = graph.out_degree_sum(&frontier) + frontier.len() as u64;
+        out.reset();
+        let dist_ref = &dist;
+        let out_ref = &out;
+        let stamps_ref = &stamps;
+
+        if degree_sum as usize > m / 20 {
+            // Dense direction: scan every vertex's in-edges.
+            relaxations += m as u64;
+            let mut in_frontier = vec![false; n];
+            for &v in &frontier {
+                in_frontier[v as usize] = true;
+            }
+            let in_frontier_ref = &in_frontier;
+            pool.parallel_for(0..n, 256, move |d| {
+                let mut best = dist_ref[d].load(Ordering::Relaxed);
+                let mut changed = false;
+                for e in graph.in_edges(d as VertexId) {
+                    if in_frontier_ref[e.dst as usize] {
+                        let cand =
+                            dist_ref[e.dst as usize].load(Ordering::Relaxed) + i64::from(e.weight);
+                        if cand < best {
+                            best = cand;
+                            changed = true;
+                        }
+                    }
+                }
+                if changed {
+                    dist_ref[d].store(best, Ordering::Relaxed);
+                    out_ref.push(d as VertexId);
+                }
+            });
+        } else {
+            // Sparse direction: push from the frontier.
+            relaxations += graph.out_degree_sum(&frontier);
+            let frontier_ref = &frontier;
+            pool.parallel_for(0..frontier.len(), 64, move |i| {
+                let src = frontier_ref[i];
+                let base = dist_ref[src as usize].load(Ordering::Relaxed);
+                for e in graph.out_edges(src) {
+                    if write_min(&dist_ref[e.dst as usize], base + i64::from(e.weight))
+                        && stamps_ref[e.dst as usize].swap(rounds, Ordering::Relaxed) != rounds
+                    {
+                        out_ref.push(e.dst);
+                    }
+                }
+            });
+        }
+        frontier = out.to_vec();
+    }
+
+    BaselineRun {
+        dist: dist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        rounds,
+        relaxations,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_algorithms::serial::dijkstra;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn ligra_matches_dijkstra_on_social() {
+        let pool = Pool::new(4);
+        // Dense rounds will trigger on this graph (hub frontiers).
+        let g = GraphGen::rmat(8, 8).seed(7).weights_uniform(1, 100).build();
+        let run = bellman_ford(&pool, &g, 0);
+        assert_eq!(run.dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn ligra_matches_dijkstra_on_road() {
+        let pool = Pool::new(2);
+        // Sparse rounds dominate here (tiny frontiers).
+        let g = GraphGen::road_grid(14, 14).seed(1).build();
+        let run = bellman_ford(&pool, &g, 0);
+        assert_eq!(run.dist, dijkstra(&g, 0));
+        assert!(run.rounds >= 14, "rounds follow the hop diameter");
+    }
+
+    #[test]
+    fn unreachable_stay_inf() {
+        let g = priograph_graph::GraphBuilder::new(3).edge(0, 1, 2).build();
+        let pool = Pool::new(1);
+        let run = bellman_ford(&pool, &g, 0);
+        assert_eq!(run.dist, vec![0, 2, INF]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks across the six ordered algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priograph_algorithms::{astar, kcore, ppsp, setcover, sssp, wbfs};
+use priograph_core::schedule::Schedule;
+use priograph_graph::gen::GraphGen;
+use priograph_parallel::Pool;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let pool = Pool::with_available_parallelism();
+    let social = GraphGen::rmat(12, 8).seed(3).weights_uniform(1, 1000).build();
+    let social_sym = social.symmetrize();
+    let road = GraphGen::road_grid(48, 48).seed(3).build();
+    let social_log = GraphGen::rmat(12, 8).seed(3).weights_log_n().build();
+
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+
+    group.bench_function("sssp_social", |b| {
+        b.iter(|| {
+            sssp::delta_stepping_on(&pool, &social, 0, &Schedule::eager_with_fusion(32))
+                .unwrap()
+                .dist
+                .len()
+        })
+    });
+    group.bench_function("wbfs_social", |b| {
+        b.iter(|| {
+            wbfs::wbfs_on(&pool, &social_log, 0, &Schedule::eager_with_fusion(1))
+                .unwrap()
+                .dist
+                .len()
+        })
+    });
+    group.bench_function("ppsp_road", |b| {
+        let target = (road.num_vertices() / 2) as u32;
+        b.iter(|| {
+            ppsp::ppsp_on(&pool, &road, 0, target, &Schedule::eager_with_fusion(1 << 11))
+                .unwrap()
+                .distance
+        })
+    });
+    group.bench_function("astar_road", |b| {
+        let target = (road.num_vertices() - 1) as u32;
+        let h = astar::euclidean_heuristic(&road, target, astar::road_metric_scale()).unwrap();
+        b.iter(|| {
+            astar::astar_on(&pool, &road, 0, target, &Schedule::eager_with_fusion(1 << 11), &h)
+                .unwrap()
+                .distance
+        })
+    });
+    group.bench_function("kcore_social", |b| {
+        b.iter(|| {
+            kcore::kcore_on(&pool, &social_sym, &Schedule::lazy_constant_sum())
+                .unwrap()
+                .coreness
+                .len()
+        })
+    });
+    let instance = {
+        // Small deterministic instance.
+        let sets: Vec<Vec<u32>> = (0..2000)
+            .map(|i| ((i * 3) % 4000..((i * 3) % 4000 + 5).min(4000)).map(|e| e as u32).collect())
+            .collect();
+        setcover::SetCoverInstance::new(4000, sets)
+    };
+    group.bench_function("setcover", |b| {
+        b.iter(|| {
+            setcover::set_cover_on(&pool, &instance, &Schedule::lazy(1))
+                .unwrap()
+                .chosen
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the bucketing substrate: lazy queue
+//! churn, histogram reduction, and shared-frontier appends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priograph_buckets::histogram::Histogram;
+use priograph_buckets::{BucketOrder, LazyBucketQueue, PriorityMap, SharedFrontier};
+use priograph_parallel::Pool;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+fn bench_lazy_queue(c: &mut Criterion) {
+    let pool = Pool::new(1);
+    let n = 50_000usize;
+    let mut group = c.benchmark_group("buckets");
+    group.sample_size(10);
+
+    group.bench_function("lazy_queue_insert_drain", |b| {
+        b.iter(|| {
+            let pri: Arc<[AtomicI64]> = (0..n)
+                .map(|i| AtomicI64::new((i as i64 * 31) % 512))
+                .collect();
+            let map = PriorityMap::new(BucketOrder::Increasing, 4);
+            let mut q = LazyBucketQueue::new(pri, map, 128);
+            q.insert_initial(0..n as u32);
+            let mut drained = 0usize;
+            while let Some((_, items)) = q.next_bucket(&pool) {
+                drained += items.len();
+            }
+            drained
+        })
+    });
+
+    let pool2 = Pool::with_available_parallelism();
+    let items: Vec<u32> = (0..200_000u32).map(|i| i * 7 % 10_000).collect();
+    group.bench_function("histogram_accumulate_clear", |b| {
+        let hist = Histogram::new(10_000);
+        b.iter(|| {
+            let distinct = hist.accumulate(&pool2, &items);
+            hist.clear(&pool2, &distinct);
+            distinct.len()
+        })
+    });
+
+    group.bench_function("shared_frontier_append", |b| {
+        let frontier = SharedFrontier::new(1 << 20);
+        let chunk: Vec<u32> = (0..256).collect();
+        b.iter(|| {
+            frontier.reset();
+            for _ in 0..512 {
+                frontier.append(&chunk);
+            }
+            frontier.len()
+        })
+    });
+
+    // Priority map arithmetic in a tight loop (inlining check).
+    group.bench_function("priority_map_bucket_of", |b| {
+        let map = PriorityMap::new(BucketOrder::Increasing, 16);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for p in 0..100_000i64 {
+                acc += map.bucket_of(p).unwrap_or(0);
+            }
+            acc
+        })
+    });
+
+    // Keep the atomic vec cost visible too.
+    group.bench_function("atomic_write_min_contended", |b| {
+        let cell = AtomicI64::new(i64::MAX);
+        b.iter(|| {
+            cell.store(i64::MAX, Ordering::Relaxed);
+            for v in (0..10_000i64).rev() {
+                priograph_parallel::atomics::write_min(&cell, v);
+            }
+            cell.load(Ordering::Relaxed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy_queue);
+criterion_main!(benches);

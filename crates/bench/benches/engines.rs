@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks: the bucket-update strategies on SSSP
+//! (the machinery behind paper Tables 4/7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priograph_algorithms::sssp;
+use priograph_core::schedule::Schedule;
+use priograph_graph::gen::GraphGen;
+use priograph_parallel::Pool;
+
+fn bench_sssp_engines(c: &mut Criterion) {
+    let pool = Pool::with_available_parallelism();
+    let social = GraphGen::rmat(12, 8).seed(1).weights_uniform(1, 1000).build();
+    let road = GraphGen::road_grid(64, 64).seed(1).build();
+
+    let mut group = c.benchmark_group("sssp_engines");
+    group.sample_size(10);
+    for (gname, graph, delta) in [("social", &social, 32i64), ("road", &road, 1 << 12)] {
+        for (sname, schedule) in [
+            ("eager_fusion", Schedule::eager_with_fusion(delta)),
+            ("eager", Schedule::eager(delta)),
+            ("lazy", Schedule::lazy(delta)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(sname, gname), &schedule, |b, schedule| {
+                b.iter(|| {
+                    sssp::delta_stepping_on(&pool, graph, 0, schedule)
+                        .unwrap()
+                        .dist
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp_engines);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmark for the bucket fusion optimization (paper §3.3,
+//! Table 6): eager with vs without fusion on a high-diameter road grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priograph_algorithms::sssp;
+use priograph_core::schedule::Schedule;
+use priograph_graph::gen::GraphGen;
+use priograph_parallel::Pool;
+
+fn bench_fusion(c: &mut Criterion) {
+    let pool = Pool::with_available_parallelism();
+    let road = GraphGen::road_grid(96, 96).seed(2).build();
+    let delta = 1 << 11;
+
+    let mut group = c.benchmark_group("bucket_fusion_road");
+    group.sample_size(10);
+    group.bench_function("with_fusion", |b| {
+        b.iter(|| {
+            sssp::delta_stepping_on(&pool, &road, 0, &Schedule::eager_with_fusion(delta))
+                .unwrap()
+                .stats
+                .rounds
+        })
+    });
+    group.bench_function("without_fusion", |b| {
+        b.iter(|| {
+            sssp::delta_stepping_on(&pool, &road, 0, &Schedule::eager(delta))
+                .unwrap()
+                .stats
+                .rounds
+        })
+    });
+    // Threshold sensitivity (the scheduling knob of Table 2).
+    for threshold in [10usize, 1000, 100_000] {
+        group.bench_function(format!("fusion_threshold_{threshold}"), |b| {
+            let schedule =
+                Schedule::eager_with_fusion(delta).config_bucket_fusion_threshold(threshold);
+            b.iter(|| {
+                sssp::delta_stepping_on(&pool, &road, 0, &schedule)
+                    .unwrap()
+                    .stats
+                    .fused_rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

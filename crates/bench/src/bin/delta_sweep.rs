@@ -1,0 +1,52 @@
+//! **§6.2 "Delta Selection"**: SSSP time as a function of the coarsening
+//! factor Δ, on a social and a road workload. The paper: best Δ is 1-100
+//! for social networks, 2^13-2^17 for road networks.
+
+use priograph_algorithms::sssp;
+use priograph_bench::cli::BenchArgs;
+use priograph_bench::workloads;
+use priograph_bench::{pick_useful_sources, tables, time_best_of};
+use priograph_core::schedule::Schedule;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    let deltas: Vec<i64> = (0..16).map(|p| 1i64 << p).collect();
+
+    for w in [workloads::tw(args.scale), workloads::rd(args.scale)] {
+        tables::header(
+            &format!("Delta sweep: SSSP on {} (seconds)", w.name),
+            &["delta", "time", "rounds", "relaxations"],
+        );
+        let source = pick_useful_sources(&w.graph, 1)[0];
+        let mut best: Option<(i64, f64)> = None;
+        for &delta in &deltas {
+            let schedule = Schedule::eager_with_fusion(delta);
+            let run = sssp::delta_stepping_on(&pool, &w.graph, source, &schedule).unwrap();
+            let t = time_best_of(args.trials, || {
+                std::hint::black_box(
+                    sssp::delta_stepping_on(&pool, &w.graph, source, &schedule)
+                        .unwrap()
+                        .dist
+                        .len(),
+                );
+            });
+            let secs = t.as_secs_f64();
+            if best.is_none_or(|(_, b)| secs < b) {
+                best = Some((delta, secs));
+            }
+            tables::row_label_first(
+                &delta.to_string(),
+                &[
+                    tables::secs(t),
+                    run.stats.rounds.to_string(),
+                    run.stats.relaxations.to_string(),
+                ],
+            );
+        }
+        let (best_delta, _) = best.unwrap();
+        println!("best delta for {}: {best_delta}", w.name);
+    }
+    println!("\npaper shape: social best-delta small (work efficiency dominates);");
+    println!("road best-delta large (parallelism/rounds dominate).");
+}

@@ -1,0 +1,122 @@
+//! **Table 4**: running time of the six algorithms across frameworks.
+//!
+//! Rows are frameworks, columns are workloads; `-` marks unsupported
+//! combinations (matching the paper's dashes: Galois has no wBFS/k-core/
+//! SetCover, GAPBS no k-core/SetCover, the unordered systems no SetCover).
+
+use priograph_bench::cli::BenchArgs;
+use priograph_bench::runners::*;
+use priograph_bench::workloads::{self, Workload};
+use priograph_bench::tables;
+use priograph_parallel::Pool;
+use std::time::Duration;
+
+const FRAMEWORKS: [Framework; 6] = [
+    Framework::Priograph,
+    Framework::Gapbs,
+    Framework::Galois,
+    Framework::Julienne,
+    Framework::Unordered,
+    Framework::Ligra,
+];
+
+fn cell(t: Option<Duration>) -> String {
+    t.map_or("-".into(), |d| tables::secs(d))
+}
+
+fn print_block<F>(title: &str, workloads: &[&Workload], mut run: F)
+where
+    F: FnMut(&Workload, Framework) -> Option<Duration>,
+{
+    let mut cols = vec!["framework"];
+    cols.extend(workloads.iter().map(|w| w.name));
+    tables::header(title, &cols);
+    for fw in FRAMEWORKS {
+        let cells: Vec<String> = workloads.iter().map(|w| cell(run(w, fw))).collect();
+        tables::row_label_first(fw.name(), &cells);
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool: Pool = args.pool();
+    let suite = [
+        workloads::lj(args.scale),
+        workloads::ok(args.scale),
+        workloads::tw(args.scale),
+        workloads::wb(args.scale),
+        workloads::ge(args.scale),
+        workloads::rd(args.scale),
+    ];
+    let refs: Vec<&Workload> = suite.iter().collect();
+
+    print_block("Table 4 (SSSP, seconds)", &refs, |w, fw| {
+        sssp_time(&pool, w, args.sources, args.trials, fw)
+    });
+
+    print_block("Table 4 (PPSP, seconds)", &refs, |w, fw| {
+        ppsp_time(&pool, w, args.sources, args.trials, fw)
+    });
+
+    // wBFS runs on the social graphs with [1, log n) weights.
+    let social: Vec<&Workload> = refs.iter().copied().filter(|w| !w.is_road).collect();
+    let wbfs_graphs: Vec<(&Workload, priograph_graph::CsrGraph)> = social
+        .iter()
+        .map(|w| (*w, workloads::wbfs_variant(w)))
+        .collect();
+    let mut cols = vec!["framework"];
+    cols.extend(wbfs_graphs.iter().map(|(w, _)| w.name));
+    tables::header("Table 4 (wBFS, seconds, weights [1, log n))", &cols);
+    for fw in FRAMEWORKS {
+        let cells: Vec<String> = wbfs_graphs
+            .iter()
+            .map(|(_, g)| cell(wbfs_time(&pool, g, args.sources, args.trials, fw)))
+            .collect();
+        tables::row_label_first(fw.name(), &cells);
+    }
+
+    // A* runs on the road graphs (coordinates available).
+    let roads: Vec<&Workload> = refs.iter().copied().filter(|w| w.is_road).collect();
+    print_block("Table 4 (A*, seconds)", &roads, |w, fw| {
+        astar_time(&pool, w, args.sources, args.trials, fw)
+    });
+
+    // k-core runs on symmetrized graphs.
+    let sym: Vec<(&Workload, priograph_graph::CsrGraph)> =
+        refs.iter().map(|w| (*w, w.graph.symmetrize())).collect();
+    let mut cols = vec!["framework"];
+    cols.extend(sym.iter().map(|(w, _)| w.name));
+    tables::header("Table 4 (k-core, seconds, symmetrized)", &cols);
+    for fw in FRAMEWORKS {
+        let cells: Vec<String> = sym
+            .iter()
+            .map(|(_, g)| cell(kcore_time(&pool, g, args.trials, fw)))
+            .collect();
+        tables::row_label_first(fw.name(), &cells);
+    }
+
+    // SetCover on synthetic instances sized to the workloads.
+    let instances: Vec<(&str, priograph_algorithms::setcover::SetCoverInstance)> = refs
+        .iter()
+        .map(|w| {
+            let elements = w.graph.num_vertices();
+            (
+                w.name,
+                workloads::setcover_instance(elements, elements / 2, 0x5E7),
+            )
+        })
+        .collect();
+    let mut cols = vec!["framework"];
+    cols.extend(instances.iter().map(|(n, _)| *n));
+    tables::header("Table 4 (SetCover, seconds)", &cols);
+    for fw in FRAMEWORKS {
+        let cells: Vec<String> = instances
+            .iter()
+            .map(|(_, inst)| cell(setcover_time(&pool, inst, args.trials, fw)))
+            .collect();
+        tables::row_label_first(fw.name(), &cells);
+    }
+
+    println!("\nshape checks vs paper: GraphIt(ext) fastest or near-fastest everywhere;");
+    println!("Julienne trails on road SSSP (lazy overhead); unordered rows 2-600x slower.");
+}

@@ -1,0 +1,76 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+/// Common options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Workload scale multiplier (R-MAT scale shift / grid side multiplier).
+    pub scale: u32,
+    /// Worker threads (defaults to available parallelism).
+    pub threads: usize,
+    /// Timing trials per measurement.
+    pub trials: usize,
+    /// Sources (or source/destination pairs) per algorithm.
+    pub sources: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 1,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            trials: 2,
+            sources: 3,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--scale N --threads N --trials N --sources N` from argv.
+    /// Unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            let mut take = |what: &str| -> usize {
+                argv.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{what} expects a positive integer"))
+            };
+            match flag.as_str() {
+                "--scale" => args.scale = take("--scale") as u32,
+                "--threads" => args.threads = take("--threads").max(1),
+                "--trials" => args.trials = take("--trials").max(1),
+                "--sources" => args.sources = take("--sources").max(1),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale N (workload size multiplier)  --threads N  --trials N  --sources N"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Builds the worker pool.
+    pub fn pool(&self) -> priograph_parallel::Pool {
+        priograph_parallel::Pool::new(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let args = BenchArgs::default();
+        assert!(args.threads >= 1);
+        assert_eq!(args.scale, 1);
+        assert!(args.trials >= 1);
+    }
+}

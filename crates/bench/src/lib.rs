@@ -1,0 +1,92 @@
+//! Shared infrastructure for the table/figure reproduction binaries.
+//!
+//! Every binary regenerates one table or figure of the CGO 2020 paper (see
+//! `DESIGN.md` §3 for the index). The workloads are seeded synthetic
+//! stand-ins for the paper's datasets (Table 3), scaled to laptop size; the
+//! `--scale` flag grows them when more fidelity is wanted.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod runners;
+pub mod tables;
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Times `f` once after one warm-up run.
+pub fn time_once<F: FnMut()>(mut f: F) -> Duration {
+    f(); // warm-up
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Minimum elapsed time of `trials` runs (the paper averages over sources;
+/// binaries apply that at a higher level and use min-of-trials per source
+/// to suppress scheduling noise).
+pub fn time_best_of<F: FnMut()>(trials: usize, mut f: F) -> Duration {
+    f(); // warm-up
+    let mut best = Duration::MAX;
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Picks `count` deterministic, distinct source vertices.
+pub fn pick_sources(num_vertices: usize, count: usize) -> Vec<u32> {
+    let count = count.min(num_vertices.max(1));
+    (0..count)
+        .map(|i| ((i as u64 * 2654435761 + 17) % num_vertices.max(1) as u64) as u32)
+        .collect()
+}
+
+/// Picks `count` deterministic source vertices with non-zero out-degree
+/// (GAPBS's source picker applies the same filter), falling back to plain
+/// picks on edgeless graphs.
+pub fn pick_useful_sources(graph: &priograph_graph::CsrGraph, count: usize) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut sources = Vec::with_capacity(count);
+    let mut probe = 17u64;
+    while sources.len() < count.min(n.max(1)) {
+        let v = (probe % n.max(1) as u64) as u32;
+        probe = probe.wrapping_mul(2654435761).wrapping_add(12345);
+        if graph.out_degree(v) > 0 && !sources.contains(&v) {
+            sources.push(v);
+        }
+        if probe == 17 {
+            break; // cycled; give up on the degree filter
+        }
+    }
+    if sources.is_empty() {
+        return pick_sources(n, count);
+    }
+    sources
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_distinct_and_in_range() {
+        let sources = pick_sources(1000, 10);
+        assert_eq!(sources.len(), 10);
+        let mut sorted = sources.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(sources.iter().all(|&s| (s as usize) < 1000));
+    }
+
+    #[test]
+    fn timing_returns_nonzero() {
+        let d = time_best_of(2, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -1,0 +1,66 @@
+//! Paper-style table printing.
+
+use std::time::Duration;
+
+/// Formats a duration like the paper's seconds columns (3 significant
+/// figures, e.g. `0.093`).
+pub fn secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 10.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Formats a slowdown factor like Figure 4's heatmap cells.
+pub fn factor(x: f64) -> String {
+    if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Prints a header row followed by a separator.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    let row: Vec<String> = columns.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat(13 * columns.len()));
+}
+
+/// Prints one row: a left-aligned label and right-aligned cells.
+pub fn row(label: &str, cells: &[String]) {
+    let cells: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{label:>12} {}", cells[1..].join(" "));
+}
+
+/// Prints one row where the first column is the label.
+pub fn row_label_first(label: &str, cells: &[String]) {
+    let formatted: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{label:>12} {}", formatted.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_matches_paper_style() {
+        assert_eq!(secs(Duration::from_millis(93)), "0.093");
+        assert_eq!(secs(Duration::from_millis(3094)), "3.09");
+        assert_eq!(secs(Duration::from_secs(16)), "16.0");
+        assert_eq!(secs(Duration::from_secs(129)), "129");
+    }
+
+    #[test]
+    fn factor_style() {
+        assert_eq!(factor(1.0), "1.00");
+        assert_eq!(factor(16.9), "16.9");
+    }
+}

@@ -1,0 +1,188 @@
+//! Seeded synthetic stand-ins for the paper's datasets (Table 3).
+//!
+//! | Name | Paper dataset | Stand-in |
+//! |---|---|---|
+//! | `LJ` | LiveJournal (5M/69M) | R-MAT, weights `[1, 1000)` |
+//! | `OK` | Orkut (3M/234M) | denser R-MAT |
+//! | `TW` | Twitter (41M/1.5B) | larger R-MAT |
+//! | `WB` | WebGraph (101M/2B) | large sparse R-MAT |
+//! | `MA` | Massachusetts roads (0.45M/1.2M) | small grid, metric weights |
+//! | `GE` | Germany roads (12M/32M) | mid grid |
+//! | `RD` | RoadUSA (24M/58M) | large grid |
+//!
+//! Default sizes keep every binary in seconds on a laptop; `scale` shifts
+//! R-MAT scales and multiplies grid sides.
+
+use priograph_graph::gen::GraphGen;
+use priograph_graph::CsrGraph;
+
+/// A named workload graph.
+pub struct Workload {
+    /// Short dataset code (paper Table 3 abbreviation).
+    pub name: &'static str,
+    /// The generated directed graph.
+    pub graph: CsrGraph,
+    /// Road network? (drives Δ choice and A\* eligibility).
+    pub is_road: bool,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}(|V|={}, |E|={})",
+            self.name,
+            self.graph.num_vertices(),
+            self.graph.num_edges()
+        )
+    }
+}
+
+fn rmat(name: &'static str, scale_base: u32, edge_factor: u32, scale: u32) -> Workload {
+    Workload {
+        name,
+        graph: GraphGen::rmat(scale_base + scale.saturating_sub(1), edge_factor)
+            .seed(0xC60 + scale_base as u64)
+            .weights_uniform(1, 1000)
+            .build(),
+        is_road: false,
+    }
+}
+
+fn road(name: &'static str, side: usize, scale: u32) -> Workload {
+    let side = side * scale.max(1) as usize;
+    Workload {
+        name,
+        graph: GraphGen::road_grid(side, side).seed(0xD0 + side as u64).build(),
+        is_road: true,
+    }
+}
+
+/// LiveJournal stand-in.
+pub fn lj(scale: u32) -> Workload {
+    rmat("LJ", 14, 8, scale)
+}
+
+/// Orkut stand-in (denser).
+pub fn ok(scale: u32) -> Workload {
+    rmat("OK", 14, 16, scale)
+}
+
+/// Twitter stand-in (larger, skewed).
+pub fn tw(scale: u32) -> Workload {
+    rmat("TW", 15, 12, scale)
+}
+
+/// WebGraph stand-in.
+pub fn wb(scale: u32) -> Workload {
+    rmat("WB", 15, 8, scale)
+}
+
+/// Massachusetts road stand-in.
+pub fn ma(scale: u32) -> Workload {
+    road("MA", 120, scale)
+}
+
+/// Germany road stand-in.
+pub fn ge(scale: u32) -> Workload {
+    road("GE", 240, scale)
+}
+
+/// RoadUSA stand-in.
+pub fn rd(scale: u32) -> Workload {
+    road("RD", 360, scale)
+}
+
+/// The wBFS variants: social graphs with weights in `[1, log n)`
+/// (Table 4's † graphs).
+pub fn wbfs_variant(w: &Workload) -> CsrGraph {
+    let scale = (usize::BITS - 1 - w.graph.num_vertices().leading_zeros()) as u32;
+    GraphGen::rmat(scale, (w.graph.num_edges() / w.graph.num_vertices()) as u32)
+        .seed(0xBF5)
+        .weights_log_n()
+        .build()
+}
+
+/// Default Δ for a workload (paper §6.2: social graphs want small Δ, road
+/// networks 2^13–2^17; at our scale roads want ~2^10–2^13).
+pub fn default_delta(w: &Workload) -> i64 {
+    if w.is_road {
+        1 << 12
+    } else {
+        32
+    }
+}
+
+/// The social workloads used across tables.
+pub fn social_suite(scale: u32) -> Vec<Workload> {
+    vec![lj(scale), ok(scale), tw(scale), wb(scale)]
+}
+
+/// The road workloads used across tables.
+pub fn road_suite(scale: u32) -> Vec<Workload> {
+    vec![ma(scale), ge(scale), rd(scale)]
+}
+
+/// A random set cover instance shaped like the paper's symmetrized-graph
+/// instances: `num_sets` sets over `num_elements` ground elements with a
+/// skewed size distribution, every element coverable.
+pub fn setcover_instance(
+    num_elements: usize,
+    num_sets: usize,
+    seed: u64,
+) -> priograph_algorithms::setcover::SetCoverInstance {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sets: Vec<Vec<u32>> = Vec::with_capacity(num_sets);
+    for i in 0..num_sets {
+        // Skewed sizes: a few large sets, many small ones.
+        let max = if i % 17 == 0 { 64 } else { 8 };
+        let size = rng.gen_range(1..=max);
+        let mut set: Vec<u32> = (0..size)
+            .map(|_| rng.gen_range(0..num_elements) as u32)
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        sets.push(set);
+    }
+    // Guarantee every element is coverable.
+    for e in 0..num_elements {
+        let s = rng.gen_range(0..num_sets);
+        if !sets[s].contains(&(e as u32)) {
+            sets[s].push(e as u32);
+        }
+    }
+    priograph_algorithms::setcover::SetCoverInstance::new(num_elements, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_workloads_have_coords_and_symmetry() {
+        let w = ma(1);
+        assert!(w.is_road);
+        assert!(w.graph.coords().is_some());
+        assert!(w.graph.is_symmetric());
+    }
+
+    #[test]
+    fn social_workloads_are_sized_sanely() {
+        let w = lj(1);
+        assert_eq!(w.graph.num_vertices(), 1 << 14);
+        assert_eq!(w.graph.num_edges(), (1 << 14) * 8);
+    }
+
+    #[test]
+    fn deltas_differ_by_family() {
+        assert!(default_delta(&rd(1)) > default_delta(&lj(1)) * 10);
+    }
+
+    #[test]
+    fn setcover_instances_are_fully_coverable() {
+        let inst = setcover_instance(500, 100, 3);
+        assert!(inst.coverable().iter().all(|&c| c));
+    }
+}

@@ -1,0 +1,143 @@
+//! The lazy engine's per-round output-edge buffer.
+//!
+//! Paper Figure 9(a): the generated SparsePush code sizes a buffer by the
+//! frontier's out-degree sum, gives each source vertex a private slot range
+//! (via prefix sums over degrees), writes the destination vertex id into the
+//! slot when its priority changed (or a hole otherwise), and finally
+//! compacts the buffer into the next frontier (`setupFrontier`).
+
+use parking_lot::Mutex;
+use priograph_parallel::shared::DisjointSlice;
+use priograph_parallel::Pool;
+use std::fmt;
+
+type VertexId = u32;
+
+/// Hole marker for slots whose update did not win (`UINT_MAX` in the paper's
+/// generated code).
+pub const HOLE: VertexId = VertexId::MAX;
+
+/// Fixed-size per-round buffer of candidate frontier vertices with holes.
+pub struct EdgeBuffer {
+    slots: DisjointSlice<VertexId>,
+}
+
+impl fmt::Debug for EdgeBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EdgeBuffer")
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl EdgeBuffer {
+    /// Allocates a buffer of `capacity` slots, all holes.
+    pub fn new(capacity: usize) -> Self {
+        EdgeBuffer {
+            slots: DisjointSlice::new(capacity, HOLE),
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Writes `v` into `slot`. Slot ranges are disjoint per source vertex,
+    /// so concurrent writes never alias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    #[inline]
+    pub fn write(&self, slot: usize, v: VertexId) {
+        self.slots.write(slot, v);
+    }
+
+    /// Explicitly writes a hole (kept for symmetry with the generated code;
+    /// slots start as holes).
+    #[inline]
+    pub fn write_hole(&self, slot: usize) {
+        self.slots.write(slot, HOLE);
+    }
+
+    /// Compacts the non-hole entries into a frontier vector
+    /// (the paper's `setupFrontier` prefix-sum compaction).
+    pub fn compact(&self, pool: &Pool) -> Vec<VertexId> {
+        let len = self.slots.len();
+        if len < 4096 || pool.num_threads() == 1 {
+            return (0..len)
+                .map(|i| self.slots.read(i))
+                .filter(|&v| v != HOLE)
+                .collect();
+        }
+        let partials: Mutex<Vec<Vec<VertexId>>> = Mutex::new(Vec::new());
+        pool.broadcast(|w| {
+            let range = w.static_range(len);
+            let mut local = Vec::new();
+            for i in range {
+                let v = self.slots.read(i);
+                if v != HOLE {
+                    local.push(v);
+                }
+            }
+            partials.lock().push(local);
+        });
+        partials.into_inner().into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_keeps_only_written_slots() {
+        let pool = Pool::new(1);
+        let buf = EdgeBuffer::new(10);
+        buf.write(2, 42);
+        buf.write(7, 7);
+        buf.write_hole(3);
+        let mut out = buf.compact(&pool);
+        out.sort_unstable();
+        assert_eq!(out, vec![7, 42]);
+    }
+
+    #[test]
+    fn empty_buffer_compacts_to_nothing() {
+        let pool = Pool::new(2);
+        let buf = EdgeBuffer::new(0);
+        assert!(buf.compact(&pool).is_empty());
+        assert_eq!(buf.capacity(), 0);
+    }
+
+    #[test]
+    fn parallel_compact_matches_serial() {
+        let par = Pool::new(4);
+        let ser = Pool::new(1);
+        let buf = EdgeBuffer::new(50_000);
+        for i in (0..50_000).step_by(3) {
+            buf.write(i, (i / 3) as VertexId);
+        }
+        let mut a = buf.compact(&par);
+        let mut b = buf.compact(&ser);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50_000 / 3 + 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_then_compact() {
+        let pool = Pool::new(4);
+        let buf = EdgeBuffer::new(8192);
+        pool.parallel_for(0..8192, 64, |i| {
+            if i % 2 == 0 {
+                buf.write(i, i as VertexId);
+            }
+        });
+        let out = buf.compact(&pool);
+        assert_eq!(out.len(), 4096);
+        assert!(out.iter().all(|&v| v % 2 == 0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Eager bucketing: thread-local bins and the shared global frontier.
+//!
+//! In the eager strategy (paper Figure 6) each thread owns a `LocalBins`
+//! instance created *inside* the parallel region — bucket insertions are
+//! plain unsynchronized pushes. Per round, threads agree on the minimum
+//! non-empty bucket across all bins and copy their local entries for that
+//! bucket into a [`SharedFrontier`] ("copying local buckets into a global
+//! bucket helps redistribute the work among threads", §3.2).
+
+use crossbeam::utils::CachePadded;
+use priograph_parallel::shared::DisjointSlice;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+type VertexId = u32;
+
+/// Per-thread bucket array indexed by (non-negative) bucket id.
+///
+/// Mirrors GAPBS's `vector<vector<uint>> local_bins`, including on-demand
+/// growth (`local_bins.resize(dest_bin + 1)`, paper Figure 9(c)).
+#[derive(Debug, Default)]
+pub struct LocalBins {
+    bins: Vec<Vec<VertexId>>,
+    /// Total pushes, for eager-vs-lazy insert accounting (paper Table 7).
+    pushes: u64,
+}
+
+impl LocalBins {
+    /// Creates an empty bin set.
+    pub fn new() -> Self {
+        LocalBins::default()
+    }
+
+    /// Appends `v` to the bin for `bucket`.
+    #[inline]
+    pub fn push(&mut self, bucket: usize, v: VertexId) {
+        if bucket >= self.bins.len() {
+            self.bins.resize_with(bucket + 1, Vec::new);
+        }
+        self.bins[bucket].push(v);
+        self.pushes += 1;
+    }
+
+    /// Number of vertices waiting in `bucket`.
+    #[inline]
+    pub fn len_of(&self, bucket: usize) -> usize {
+        self.bins.get(bucket).map_or(0, Vec::len)
+    }
+
+    /// Removes and returns the contents of `bucket`.
+    #[inline]
+    pub fn take(&mut self, bucket: usize) -> Vec<VertexId> {
+        if bucket < self.bins.len() {
+            std::mem::take(&mut self.bins[bucket])
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Smallest non-empty bucket id at or after `from`.
+    pub fn min_nonempty_from(&self, from: usize) -> Option<usize> {
+        (from..self.bins.len()).find(|&b| !self.bins[b].is_empty())
+    }
+
+    /// Total pushes so far.
+    pub fn total_pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// True if no bucket holds any vertex.
+    pub fn is_empty(&self) -> bool {
+        self.bins.iter().all(Vec::is_empty)
+    }
+}
+
+/// A fixed-capacity frontier shared by all threads of a parallel region.
+///
+/// Writes go through [`SharedFrontier::append`], which claims a range with a
+/// single `fetch_add` and then writes without further synchronization (the
+/// copy-out step of paper Figure 6 line 8). Reads must not overlap writes —
+/// the engines separate the two phases with barriers.
+pub struct SharedFrontier {
+    data: DisjointSlice<VertexId>,
+    len: CachePadded<AtomicUsize>,
+}
+
+impl fmt::Debug for SharedFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedFrontier")
+            .field("len", &self.len())
+            .field("capacity", &self.data.len())
+            .finish()
+    }
+}
+
+impl SharedFrontier {
+    /// Allocates a frontier able to hold `capacity` vertices.
+    pub fn new(capacity: usize) -> Self {
+        SharedFrontier {
+            data: DisjointSlice::new(capacity, 0),
+            len: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Current number of vertices.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True if the frontier holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Empties the frontier. Must run while no thread is appending or
+    /// reading (between barriers).
+    pub fn reset(&self) {
+        self.len.store(0, Ordering::Release);
+    }
+
+    /// Appends `items`, claiming a contiguous range atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity would be exceeded.
+    pub fn append(&self, items: &[VertexId]) {
+        if items.is_empty() {
+            return;
+        }
+        let start = self.len.fetch_add(items.len(), Ordering::AcqRel);
+        assert!(
+            start + items.len() <= self.data.len(),
+            "frontier capacity {} exceeded",
+            self.data.len()
+        );
+        for (i, &v) in items.iter().enumerate() {
+            self.data.write(start + i, v);
+        }
+    }
+
+    /// Appends a single vertex.
+    pub fn push(&self, v: VertexId) {
+        self.append(std::slice::from_ref(&v));
+    }
+
+    /// Reads the vertex at `index < len()`. Must not race with appends.
+    #[inline]
+    pub fn get(&self, index: usize) -> VertexId {
+        debug_assert!(index < self.len());
+        self.data.read(index)
+    }
+
+    /// Copies the live contents out (for tests and stats).
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_parallel::Pool;
+
+    #[test]
+    fn local_bins_push_take_roundtrip() {
+        let mut bins = LocalBins::new();
+        bins.push(3, 10);
+        bins.push(3, 11);
+        bins.push(0, 12);
+        assert_eq!(bins.len_of(3), 2);
+        assert_eq!(bins.len_of(7), 0);
+        assert_eq!(bins.take(3), vec![10, 11]);
+        assert_eq!(bins.len_of(3), 0);
+        assert_eq!(bins.total_pushes(), 3);
+        assert!(!bins.is_empty());
+        assert_eq!(bins.take(0), vec![12]);
+        assert!(bins.is_empty());
+    }
+
+    #[test]
+    fn min_nonempty_scans_forward() {
+        let mut bins = LocalBins::new();
+        bins.push(5, 1);
+        bins.push(9, 2);
+        assert_eq!(bins.min_nonempty_from(0), Some(5));
+        assert_eq!(bins.min_nonempty_from(6), Some(9));
+        assert_eq!(bins.min_nonempty_from(10), None);
+        let empty = LocalBins::new();
+        assert_eq!(empty.min_nonempty_from(0), None);
+    }
+
+    #[test]
+    fn take_beyond_allocated_is_empty() {
+        let mut bins = LocalBins::new();
+        assert!(bins.take(42).is_empty());
+    }
+
+    #[test]
+    fn frontier_concurrent_appends_preserve_every_item() {
+        let pool = Pool::new(4);
+        let frontier = SharedFrontier::new(4000);
+        pool.broadcast(|w| {
+            let tid = w.tid() as VertexId;
+            for i in 0..1000 {
+                frontier.push(tid * 1000 + i);
+            }
+        });
+        let mut items = frontier.to_vec();
+        assert_eq!(items.len(), 4000);
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 4000, "appends must not overwrite each other");
+    }
+
+    #[test]
+    fn frontier_reset_cycles() {
+        let frontier = SharedFrontier::new(8);
+        frontier.append(&[1, 2, 3]);
+        assert_eq!(frontier.len(), 3);
+        assert_eq!(frontier.get(1), 2);
+        frontier.reset();
+        assert!(frontier.is_empty());
+        frontier.append(&[9]);
+        assert_eq!(frontier.to_vec(), vec![9]);
+        assert_eq!(frontier.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn frontier_overflow_panics() {
+        let frontier = SharedFrontier::new(2);
+        frontier.append(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_append_is_noop() {
+        let frontier = SharedFrontier::new(0);
+        frontier.append(&[]);
+        assert!(frontier.is_empty());
+    }
+}

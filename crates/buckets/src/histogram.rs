@@ -1,0 +1,177 @@
+//! Histogram-based reduction of constant-sum priority updates.
+//!
+//! For algorithms whose UDF always changes a priority by the same constant
+//! (k-core decrements by 1 per peeled neighbor), the lazy engine can buffer
+//! raw neighbor occurrences and *count* them instead of applying each update
+//! atomically — the "lazy with constant sum reduction" optimization the
+//! compiler selects after proving the update is a constant sum (paper §5.1,
+//! Figure 10). The transformed UDF then receives `(vertex, count)` pairs.
+
+use parking_lot::Mutex;
+use priograph_parallel::Pool;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+type VertexId = u32;
+
+/// A reusable per-vertex occurrence counter.
+///
+/// Allocation happens once; per-round cleanup is proportional to the number
+/// of *touched* vertices, not to `n` (k-core runs thousands of rounds).
+///
+/// # Example
+///
+/// ```
+/// use priograph_parallel::Pool;
+/// use priograph_buckets::histogram::Histogram;
+///
+/// let pool = Pool::new(2);
+/// let hist = Histogram::new(5);
+/// let mut distinct = hist.accumulate(&pool, &[1, 3, 1, 1]);
+/// distinct.sort_unstable();
+/// assert_eq!(hist.count(1), 3);
+/// assert_eq!(hist.count(3), 1);
+/// assert_eq!(distinct, vec![1, 3]);
+/// hist.clear(&pool, &distinct);
+/// assert_eq!(hist.count(1), 0);
+/// ```
+pub struct Histogram {
+    counts: Vec<AtomicU32>,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("len", &self.counts.len())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates a zeroed histogram over `num_vertices` counters.
+    pub fn new(num_vertices: usize) -> Self {
+        Histogram {
+            counts: (0..num_vertices).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the histogram tracks no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Adds one occurrence per item and returns the distinct vertices touched
+    /// (each exactly once, unordered).
+    ///
+    /// The first thread to raise a counter from zero claims the vertex for
+    /// the distinct list — this is the "one bucket update per vertex" half of
+    /// the constant-sum reduction.
+    pub fn accumulate(&self, pool: &Pool, items: &[VertexId]) -> Vec<VertexId> {
+        let distinct: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        let run = |local: &mut Vec<VertexId>, v: VertexId| {
+            if self.counts[v as usize].fetch_add(1, Ordering::Relaxed) == 0 {
+                local.push(v);
+            }
+        };
+        if items.len() < 4096 || pool.num_threads() == 1 {
+            let mut local = Vec::new();
+            for &v in items {
+                run(&mut local, v);
+            }
+            distinct.lock().append(&mut local);
+        } else {
+            pool.broadcast(|w| {
+                let mut local = Vec::new();
+                for i in w.static_range(items.len()) {
+                    run(&mut local, items[i]);
+                }
+                distinct.lock().append(&mut local);
+            });
+        }
+        distinct.into_inner()
+    }
+
+    /// Current count for `v`.
+    #[inline]
+    pub fn count(&self, v: VertexId) -> u32 {
+        self.counts[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counters listed in `touched` (O(touched), not O(n)).
+    pub fn clear(&self, pool: &Pool, touched: &[VertexId]) {
+        if touched.len() < 4096 || pool.num_threads() == 1 {
+            for &v in touched {
+                self.counts[v as usize].store(0, Ordering::Relaxed);
+            }
+        } else {
+            pool.parallel_for(0..touched.len(), 512, |i| {
+                self.counts[touched[i] as usize].store(0, Ordering::Relaxed);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn counts_match_naive_histogram() {
+        let pool = Pool::new(4);
+        let items: Vec<VertexId> = (0..20_000).map(|i| (i * 37 % 97) as VertexId).collect();
+        let hist = Histogram::new(100);
+        let distinct = hist.accumulate(&pool, &items);
+        let mut naive: HashMap<VertexId, u32> = HashMap::new();
+        for &v in &items {
+            *naive.entry(v).or_default() += 1;
+        }
+        for (v, &c) in naive.iter() {
+            assert_eq!(hist.count(*v), c);
+        }
+        assert_eq!(distinct.len(), naive.len());
+        let mut d = distinct.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), distinct.len(), "distinct list has duplicates");
+    }
+
+    #[test]
+    fn clear_resets_only_touched() {
+        let pool = Pool::new(2);
+        let hist = Histogram::new(4);
+        let distinct = hist.accumulate(&pool, &[2, 2, 0]);
+        hist.clear(&pool, &distinct);
+        for v in 0..4 {
+            assert_eq!(hist.count(v), 0);
+        }
+        // Reusable after clear.
+        let d2 = hist.accumulate(&pool, &[1]);
+        assert_eq!(d2, vec![1]);
+        assert_eq!(hist.count(1), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = Pool::new(2);
+        let hist = Histogram::new(4);
+        assert!(hist.accumulate(&pool, &[]).is_empty());
+        assert_eq!(hist.len(), 4);
+        assert!(!hist.is_empty());
+    }
+
+    #[test]
+    fn all_same_vertex() {
+        let pool = Pool::new(2);
+        let items = vec![2u32; 10_000];
+        let hist = Histogram::new(3);
+        let distinct = hist.accumulate(&pool, &items);
+        assert_eq!(hist.count(2), 10_000);
+        assert_eq!(distinct, vec![2]);
+    }
+}

@@ -1,0 +1,509 @@
+//! Julienne-style lazy bucket queue with a materialized bucket window.
+//!
+//! Only [`DEFAULT_OPEN_BUCKETS`](crate::DEFAULT_OPEN_BUCKETS)-many buckets are
+//! materialized; everything farther away waits in a single overflow bucket
+//! that is re-bucketed when the window is exhausted (paper §5.1: "only
+//! materialize a few buckets, and keep vertices outside of the current range
+//! in an overflow bucket").
+//!
+//! This implementation uses the paper's *improved* interface: priorities are
+//! read straight from a shared priority vector (plus the coarsening Δ)
+//! instead of calling a user lambda per vertex — eliminating the per-call
+//! overhead §6.2 measures against original Julienne.
+
+use crate::priority_map::PriorityMap;
+use parking_lot::Mutex;
+use priograph_parallel::Pool;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Vertex identifier (mirrors `priograph_graph::VertexId` without the dep).
+type VertexId = u32;
+
+/// A lazy bucket queue over a shared atomic priority vector.
+///
+/// Entries may go stale (the vertex has since moved to another bucket);
+/// extraction filters them by recomputing the bucket from the *current*
+/// priority, and deduplicates via per-vertex extraction stamps.
+///
+/// Monotonicity contract: once a bucket has been returned, priority updates
+/// must map vertices to that bucket or later (paper §2 — priorities change
+/// monotonically). Violations are clamped to the last returned bucket.
+pub struct LazyBucketQueue {
+    priorities: Arc<[AtomicI64]>,
+    map: PriorityMap,
+    num_open: usize,
+    /// Bucket id corresponding to `open[0]`.
+    window_start: i64,
+    /// Next bucket id to examine; moves backward when an insert lands before
+    /// it (within the monotonicity contract this only happens before the
+    /// first dequeue or at the current bucket).
+    scan_pos: i64,
+    /// The bucket most recently returned by `next_bucket` — the
+    /// finalization floor used for clamping.
+    last_returned: i64,
+    open: Vec<Vec<VertexId>>,
+    overflow: Vec<VertexId>,
+    /// Last extraction round in which each vertex was returned.
+    stamps: Box<[AtomicU64]>,
+    round: u64,
+    inserts: u64,
+}
+
+impl fmt::Debug for LazyBucketQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LazyBucketQueue")
+            .field("scan_pos", &self.scan_pos)
+            .field("window_start", &self.window_start)
+            .field("num_open", &self.num_open)
+            .field("overflow_len", &self.overflow.len())
+            .field("inserts", &self.inserts)
+            .finish()
+    }
+}
+
+impl LazyBucketQueue {
+    /// Creates an empty queue over `priorities`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_open` is 0.
+    pub fn new(priorities: Arc<[AtomicI64]>, map: PriorityMap, num_open: usize) -> Self {
+        assert!(num_open > 0, "need at least one open bucket");
+        let stamps = (0..priorities.len()).map(|_| AtomicU64::new(0)).collect();
+        LazyBucketQueue {
+            priorities,
+            map,
+            num_open,
+            window_start: 0,
+            scan_pos: 0,
+            last_returned: i64::MIN,
+            open: (0..num_open).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            stamps,
+            round: 0,
+            inserts: 0,
+        }
+    }
+
+    /// The priority-to-bucket mapping in use.
+    pub fn map(&self) -> PriorityMap {
+        self.map
+    }
+
+    /// Bucket id most recently returned (`i64::MIN` before the first
+    /// dequeue).
+    pub fn current_bucket(&self) -> i64 {
+        self.last_returned
+    }
+
+    /// Total single-vertex bucket insertions so far (paper Table 7 contrasts
+    /// this count between eager and lazy strategies).
+    pub fn total_inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Inserts every vertex whose current priority is non-null.
+    ///
+    /// Positions the window at the minimum occupied bucket. Used to seed
+    /// k-core (all vertices) and SSSP (just the source).
+    pub fn insert_initial<I>(&mut self, vertices: I)
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let vertices: Vec<VertexId> = vertices.into_iter().collect();
+        let min_bucket = vertices.iter().filter_map(|&v| self.bucket_now(v)).min();
+        if let Some(b) = min_bucket {
+            self.window_start = b;
+            self.scan_pos = b;
+        }
+        for v in vertices {
+            self.insert(v);
+        }
+    }
+
+    /// Current bucket of `v` per the live priority vector.
+    #[inline]
+    fn bucket_now(&self, v: VertexId) -> Option<i64> {
+        self.map
+            .bucket_of(self.priorities[v as usize].load(Ordering::Relaxed))
+    }
+
+    /// Clamps a bucket to the finalization floor.
+    #[inline]
+    fn clamp(&self, bucket: i64) -> i64 {
+        bucket.max(self.last_returned)
+    }
+
+    /// Inserts `v` according to its current priority (no-op on null).
+    pub fn insert(&mut self, v: VertexId) {
+        let Some(bucket) = self.bucket_now(v) else {
+            return;
+        };
+        self.inserts += 1;
+        self.place(v, self.clamp(bucket));
+    }
+
+    /// Stores `v` at `bucket` (already clamped), adjusting the scan position.
+    fn place(&mut self, v: VertexId, bucket: i64) {
+        self.scan_pos = self.scan_pos.min(bucket);
+        let slot = bucket - self.window_start;
+        if (0..self.num_open as i64).contains(&slot) {
+            self.open[slot as usize].push(v);
+        } else {
+            self.overflow.push(v);
+        }
+    }
+
+    /// Bulk re-bucketing of `vertices` after a round of priority updates —
+    /// the `bulkUpdateBuckets` of paper Figure 5 line 13.
+    ///
+    /// Bucket targets are computed in parallel; appends are grouped per
+    /// destination.
+    pub fn bulk_update(&mut self, pool: &Pool, vertices: &[VertexId]) {
+        if vertices.len() < 2048 || pool.num_threads() == 1 {
+            for &v in vertices {
+                self.insert(v);
+            }
+            return;
+        }
+        // Parallel classification into (bucket, vertex) pairs.
+        let partials: Mutex<Vec<Vec<(i64, VertexId)>>> = Mutex::new(Vec::new());
+        let map = self.map;
+        let floor = self.last_returned;
+        let priorities = &self.priorities;
+        pool.broadcast(|w| {
+            let range = w.static_range(vertices.len());
+            let mut local = Vec::with_capacity(range.len());
+            for i in range {
+                let v = vertices[i];
+                if let Some(b) = map.bucket_of(priorities[v as usize].load(Ordering::Relaxed)) {
+                    local.push((b.max(floor), v));
+                }
+            }
+            partials.lock().push(local);
+        });
+        for local in partials.into_inner() {
+            for (bucket, v) in local {
+                self.inserts += 1;
+                self.place(v, bucket);
+            }
+        }
+    }
+
+    /// Extracts the next non-empty bucket: returns its id and the
+    /// deduplicated, still-valid vertices (paper's `dequeueReadySet`).
+    ///
+    /// Returns `None` when no bucket holds a live vertex — the `finished()`
+    /// condition of the algorithm language.
+    pub fn next_bucket(&mut self, pool: &Pool) -> Option<(i64, Vec<VertexId>)> {
+        loop {
+            if self.scan_pos < self.window_start {
+                // An insert landed before the window (only possible before
+                // the first dequeue): rebuild the window around it.
+                if !self.rewindow() {
+                    return None;
+                }
+            }
+            while self.scan_pos - self.window_start < self.num_open as i64 {
+                let slot = (self.scan_pos - self.window_start) as usize;
+                if self.open[slot].is_empty() {
+                    self.scan_pos += 1;
+                    continue;
+                }
+                let raw = std::mem::take(&mut self.open[slot]);
+                self.round += 1;
+                let ready = self.filter_ready(pool, raw);
+                if !ready.is_empty() {
+                    self.last_returned = self.scan_pos;
+                    return Some((self.scan_pos, ready));
+                }
+                // All entries were stale; the slot is now empty, loop advances.
+            }
+            if self.overflow.is_empty() {
+                return None;
+            }
+            if !self.rewindow() {
+                return None;
+            }
+        }
+    }
+
+    /// Rebuilds the window around the minimum live bucket across all stored
+    /// entries. Returns `false` when nothing live remains.
+    fn rewindow(&mut self) -> bool {
+        let mut items: Vec<VertexId> = std::mem::take(&mut self.overflow);
+        for slot in &mut self.open {
+            items.append(slot);
+        }
+        let min_bucket = items
+            .iter()
+            .filter_map(|&v| self.bucket_now(v))
+            .map(|b| self.clamp(b))
+            .min();
+        let Some(min_bucket) = min_bucket else {
+            return false; // everything stored had null priority
+        };
+        self.window_start = min_bucket;
+        self.scan_pos = min_bucket;
+        for v in items {
+            if let Some(b) = self.bucket_now(v) {
+                let bucket = self.clamp(b);
+                let slot = bucket - self.window_start;
+                if (0..self.num_open as i64).contains(&slot) {
+                    self.open[slot as usize].push(v);
+                } else {
+                    self.overflow.push(v);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drops stale entries (vertex no longer maps to the candidate bucket)
+    /// and duplicates (same vertex inserted in several earlier rounds).
+    fn filter_ready(&self, pool: &Pool, raw: Vec<VertexId>) -> Vec<VertexId> {
+        let round = self.round;
+        let candidate = self.scan_pos;
+        let keep = |v: VertexId| -> bool {
+            match self.bucket_now(v) {
+                // With monotone priorities an entry whose recomputed bucket
+                // moved past the candidate was re-inserted there; a mismatch
+                // marks this copy stale.
+                Some(b) if self.clamp(b) == candidate => {
+                    self.stamps[v as usize].swap(round, Ordering::Relaxed) != round
+                }
+                _ => false,
+            }
+        };
+        if raw.len() < 4096 || pool.num_threads() == 1 {
+            return raw.into_iter().filter(|&v| keep(v)).collect();
+        }
+        let partials: Mutex<Vec<Vec<VertexId>>> = Mutex::new(Vec::new());
+        pool.broadcast(|w| {
+            let range = w.static_range(raw.len());
+            let mut local = Vec::with_capacity(range.len());
+            for i in range {
+                let v = raw[i];
+                if keep(v) {
+                    local.push(v);
+                }
+            }
+            partials.lock().push(local);
+        });
+        partials.into_inner().into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority_map::{BucketOrder, NULL_PRIORITY};
+    use priograph_parallel::atomics::atomic_vec;
+
+    fn queue_fixture(pri: &[i64]) -> Arc<[AtomicI64]> {
+        pri.iter().map(|&p| AtomicI64::new(p)).collect()
+    }
+
+    #[test]
+    fn dequeues_in_priority_order() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[5, 1, 3, 1, NULL_PRIORITY]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 8);
+        q.insert_initial(0..5);
+        let (b1, mut v1) = q.next_bucket(&pool).unwrap();
+        v1.sort_unstable();
+        assert_eq!((b1, v1), (1, vec![1, 3]));
+        let (b2, v2) = q.next_bucket(&pool).unwrap();
+        assert_eq!((b2, v2), (3, vec![2]));
+        let (b3, v3) = q.next_bucket(&pool).unwrap();
+        assert_eq!((b3, v3), (5, vec![0]));
+        assert!(q.next_bucket(&pool).is_none());
+    }
+
+    #[test]
+    fn null_priority_vertices_never_appear() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[NULL_PRIORITY; 3]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 4);
+        q.insert_initial(0..3);
+        assert!(q.next_bucket(&pool).is_none());
+        assert_eq!(q.total_inserts(), 0);
+    }
+
+    #[test]
+    fn stale_entries_are_filtered() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[10, 10, 1]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 64);
+        q.insert_initial(0..3);
+        assert_eq!(q.next_bucket(&pool).unwrap(), (1, vec![2]));
+        // Processing bucket 1 improves vertex 1's priority; it is re-inserted
+        // at its new (still >= current) bucket.
+        pri[1].store(3, Ordering::Relaxed);
+        q.insert(1);
+        let (b, v) = q.next_bucket(&pool).unwrap();
+        assert_eq!((b, v), (3, vec![1]));
+        // The stale copy of vertex 1 in bucket 10 is dropped.
+        let (b, v) = q.next_bucket(&pool).unwrap();
+        assert_eq!((b, v), (10, vec![0]));
+        assert!(q.next_bucket(&pool).is_none());
+    }
+
+    #[test]
+    fn duplicate_insertions_dequeue_once() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[2]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 8);
+        q.insert(0);
+        q.insert(0);
+        q.insert(0);
+        let (_, v) = q.next_bucket(&pool).unwrap();
+        assert_eq!(v, vec![0]);
+        assert!(q.next_bucket(&pool).is_none());
+        assert_eq!(q.total_inserts(), 3);
+    }
+
+    #[test]
+    fn overflow_rebuckets_when_window_exhausted() {
+        let pool = Pool::new(1);
+        // Priorities far beyond a 4-bucket window.
+        let pri = queue_fixture(&[0, 1000, 2000]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 4);
+        q.insert_initial(0..3);
+        assert_eq!(q.next_bucket(&pool).unwrap(), (0, vec![0]));
+        assert_eq!(q.next_bucket(&pool).unwrap(), (1000, vec![1]));
+        assert_eq!(q.next_bucket(&pool).unwrap(), (2000, vec![2]));
+        assert!(q.next_bucket(&pool).is_none());
+    }
+
+    #[test]
+    fn coarsening_groups_priorities() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[0, 3, 4, 7, 8]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 4);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 8);
+        q.insert_initial(0..5);
+        let (b, mut v) = q.next_bucket(&pool).unwrap();
+        v.sort_unstable();
+        assert_eq!((b, v), (0, vec![0, 1]));
+        let (b, mut v) = q.next_bucket(&pool).unwrap();
+        v.sort_unstable();
+        assert_eq!((b, v), (1, vec![2, 3]));
+        assert_eq!(q.next_bucket(&pool).unwrap(), (2, vec![4]));
+    }
+
+    #[test]
+    fn decreasing_order_serves_highest_first() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[10, 50, 30]);
+        let map = PriorityMap::new(BucketOrder::Decreasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 128);
+        q.insert_initial(0..3);
+        assert_eq!(q.next_bucket(&pool).unwrap().1, vec![1]);
+        assert_eq!(q.next_bucket(&pool).unwrap().1, vec![2]);
+        assert_eq!(q.next_bucket(&pool).unwrap().1, vec![0]);
+    }
+
+    #[test]
+    fn vertex_reappears_after_new_round_update() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[0, 5]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 16);
+        q.insert_initial(0..2);
+        assert_eq!(q.next_bucket(&pool).unwrap().1, vec![0]);
+        // Round processing vertex 0 lowers vertex 1's priority.
+        pri[1].store(2, Ordering::Relaxed);
+        q.bulk_update(&pool, &[1]);
+        let (b, v) = q.next_bucket(&pool).unwrap();
+        assert_eq!((b, v), (2, vec![1]));
+    }
+
+    #[test]
+    fn insert_after_drain_revives_the_queue() {
+        // The facade use case: the queue is fully drained, then a manual
+        // priority update schedules a new vertex.
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[NULL_PRIORITY, NULL_PRIORITY]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 4);
+        assert!(q.next_bucket(&pool).is_none());
+        pri[1].store(6, Ordering::Relaxed);
+        q.insert(1);
+        assert_eq!(q.next_bucket(&pool).unwrap(), (6, vec![1]));
+        assert!(q.next_bucket(&pool).is_none());
+    }
+
+    #[test]
+    fn insert_before_window_rebuilds_it() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[100, 3]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 4);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 4);
+        // Window positioned at bucket 25 by the seed.
+        q.insert_initial([0]);
+        // Before any dequeue, a smaller-priority vertex arrives.
+        q.insert(1);
+        assert_eq!(q.next_bucket(&pool).unwrap(), (0, vec![1]));
+        assert_eq!(q.next_bucket(&pool).unwrap(), (25, vec![0]));
+    }
+
+    #[test]
+    fn bulk_update_parallel_matches_serial() {
+        let pool = Pool::new(4);
+        let n = 10_000;
+        let values: Vec<i64> = (0..n as i64).map(|i| (i * 17) % 999).collect();
+        let pri_a: Arc<[AtomicI64]> = Arc::from(atomic_vec(n, 0));
+        let pri_b: Arc<[AtomicI64]> = Arc::from(atomic_vec(n, 0));
+        for i in 0..n {
+            pri_a[i].store(values[i], Ordering::Relaxed);
+            pri_b[i].store(values[i], Ordering::Relaxed);
+        }
+        let map = PriorityMap::new(BucketOrder::Increasing, 8);
+        let vertices: Vec<VertexId> = (0..n as VertexId).collect();
+
+        let mut qa = LazyBucketQueue::new(pri_a.clone(), map, 32);
+        qa.bulk_update(&pool, &vertices); // parallel path
+
+        let serial_pool = Pool::new(1);
+        let mut qb = LazyBucketQueue::new(pri_b.clone(), map, 32);
+        qb.bulk_update(&serial_pool, &vertices); // serial path
+
+        loop {
+            let a = qa.next_bucket(&pool).map(|(b, mut v)| {
+                v.sort_unstable();
+                (b, v)
+            });
+            let b = qb.next_bucket(&serial_pool).map(|(b, mut v)| {
+                v.sort_unstable();
+                (b, v)
+            });
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn returned_buckets_are_monotone() {
+        let pool = Pool::new(1);
+        let pri = queue_fixture(&[4, 2, 9, 2, 6]);
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 4);
+        q.insert_initial(0..5);
+        let mut last = i64::MIN;
+        while let Some((b, _)) = q.next_bucket(&pool) {
+            assert!(b >= last);
+            last = b;
+            assert_eq!(q.current_bucket(), b);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Bucketing data structures for ordered graph algorithms.
+//!
+//! The paper contrasts two families of bucket maintenance (§3):
+//!
+//! * **Lazy bucket updates** (Julienne): priority changes are buffered during
+//!   a round; a single bulk pass then re-buckets each vertex once. Efficient
+//!   when vertices change buckets many times per round (k-core), at the cost
+//!   of buffer maintenance and a reduction per round. → [`LazyBucketQueue`],
+//!   [`EdgeBuffer`], [`histogram`].
+//! * **Eager bucket updates** (GAPBS): the moment a priority changes, the
+//!   updating thread appends the vertex to its *thread-local* bucket for the
+//!   new priority — no buffering, no reduction, but possibly several
+//!   insertions per vertex per round. → [`LocalBins`], [`SharedFrontier`].
+//!
+//! Bucket indices are *coarsened* priorities: `bucket = priority / Δ`
+//! ([`PriorityMap`]), the priority-coarsening optimization of §2. A
+//! [`BucketOrder`] maps both lower-priority-first (SSSP) and
+//! higher-priority-first (SetCover) executions onto monotonically increasing
+//! bucket ids.
+//!
+//! # Example
+//!
+//! ```
+//! use priograph_buckets::{BucketOrder, PriorityMap};
+//!
+//! let map = PriorityMap::new(BucketOrder::Increasing, 4);
+//! assert_eq!(map.bucket_of(0), Some(0));
+//! assert_eq!(map.bucket_of(7), Some(1));
+//! assert_eq!(map.bucket_of(priograph_buckets::NULL_PRIORITY), None);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buffer;
+mod eager;
+pub mod histogram;
+mod lazy;
+mod priority_map;
+
+pub use buffer::EdgeBuffer;
+pub use eager::{LocalBins, SharedFrontier};
+pub use lazy::LazyBucketQueue;
+pub use priority_map::{BucketOrder, PriorityMap, NULL_PRIORITY};
+
+/// Number of materialized ("open") buckets the lazy queue keeps, after
+/// Julienne's default. Buckets beyond the window live in one overflow bucket.
+pub const DEFAULT_OPEN_BUCKETS: usize = 128;

@@ -1,0 +1,144 @@
+//! Mapping from dynamic vertex priorities to monotone bucket ids.
+
+/// The null priority ∅ (paper §2): vertices holding it are not scheduled.
+///
+/// Chosen so that `NULL_PRIORITY + max_weight` cannot overflow `i64`, letting
+/// relaxation code add first and compare later, like the paper's generated
+/// C++ adds to `INT_MAX`-guarded values.
+pub const NULL_PRIORITY: i64 = i64::MAX / 4;
+
+/// Whether lower or higher priority values execute first
+/// (`lower_first` / `higher_first` in the priority-queue constructor,
+/// paper Table 1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BucketOrder {
+    /// Lower priority values first (SSSP, wBFS, PPSP, A\*, k-core).
+    Increasing,
+    /// Higher priority values first (SetCover's cost-per-element buckets).
+    Decreasing,
+}
+
+/// Computes bucket ids from priorities: `bucket = priority / Δ`, sign-folded
+/// so that execution always proceeds over *increasing* bucket ids regardless
+/// of [`BucketOrder`].
+///
+/// Δ > 1 is the priority-coarsening optimization (§2): it trades algorithmic
+/// work-efficiency for parallelism and is only legal for algorithms that
+/// tolerate priority inversions within a bucket (SSSP family, not k-core).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PriorityMap {
+    order: BucketOrder,
+    delta: i64,
+}
+
+impl PriorityMap {
+    /// Creates a map with coarsening factor `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta < 1`.
+    pub fn new(order: BucketOrder, delta: i64) -> Self {
+        assert!(delta >= 1, "coarsening factor must be at least 1");
+        PriorityMap { order, delta }
+    }
+
+    /// The coarsening factor Δ.
+    pub fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    /// The configured execution order.
+    pub fn order(&self) -> BucketOrder {
+        self.order
+    }
+
+    /// Maps a priority to its bucket id, or `None` for the null priority.
+    ///
+    /// Bucket ids increase in execution order for both directions.
+    #[inline]
+    pub fn bucket_of(&self, priority: i64) -> Option<i64> {
+        if priority.abs() >= NULL_PRIORITY {
+            return None;
+        }
+        let coarse = priority.div_euclid(self.delta);
+        Some(match self.order {
+            BucketOrder::Increasing => coarse,
+            BucketOrder::Decreasing => -coarse,
+        })
+    }
+
+    /// The smallest priority belonging to `bucket` (its representative),
+    /// inverse of [`PriorityMap::bucket_of`] up to coarsening.
+    #[inline]
+    pub fn priority_of_bucket(&self, bucket: i64) -> i64 {
+        match self.order {
+            BucketOrder::Increasing => bucket * self.delta,
+            BucketOrder::Decreasing => -bucket * self.delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increasing_maps_forward() {
+        let m = PriorityMap::new(BucketOrder::Increasing, 10);
+        assert_eq!(m.bucket_of(0), Some(0));
+        assert_eq!(m.bucket_of(9), Some(0));
+        assert_eq!(m.bucket_of(10), Some(1));
+        assert_eq!(m.bucket_of(25), Some(2));
+    }
+
+    #[test]
+    fn decreasing_negates_so_higher_runs_first() {
+        let m = PriorityMap::new(BucketOrder::Decreasing, 1);
+        let high = m.bucket_of(100).unwrap();
+        let low = m.bucket_of(5).unwrap();
+        assert!(high < low, "higher priority must map to earlier bucket");
+    }
+
+    #[test]
+    fn null_priority_is_unbucketed() {
+        for order in [BucketOrder::Increasing, BucketOrder::Decreasing] {
+            let m = PriorityMap::new(order, 4);
+            assert_eq!(m.bucket_of(NULL_PRIORITY), None);
+            assert_eq!(m.bucket_of(i64::MAX / 2), None);
+            assert_eq!(m.bucket_of(-NULL_PRIORITY), None);
+        }
+    }
+
+    #[test]
+    fn delta_one_is_identity_on_increasing() {
+        let m = PriorityMap::new(BucketOrder::Increasing, 1);
+        for p in [0i64, 1, 7, 1000] {
+            assert_eq!(m.bucket_of(p), Some(p));
+        }
+    }
+
+    #[test]
+    fn representative_priority_round_trips() {
+        let m = PriorityMap::new(BucketOrder::Increasing, 16);
+        for b in [0i64, 1, 5, 117] {
+            assert_eq!(m.bucket_of(m.priority_of_bucket(b)), Some(b));
+        }
+        let d = PriorityMap::new(BucketOrder::Decreasing, 1);
+        for b in [-50i64, 0, 3] {
+            assert_eq!(d.bucket_of(d.priority_of_bucket(b)), Some(b));
+        }
+    }
+
+    #[test]
+    fn accessors_report_config() {
+        let m = PriorityMap::new(BucketOrder::Decreasing, 8);
+        assert_eq!(m.delta(), 8);
+        assert_eq!(m.order(), BucketOrder::Decreasing);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_delta_panics() {
+        let _ = PriorityMap::new(BucketOrder::Increasing, 0);
+    }
+}

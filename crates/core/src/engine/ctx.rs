@@ -1,0 +1,305 @@
+//! Engine-specific [`PriorityOps`] implementations.
+//!
+//! These are "what the compiler inserts" around a UDF's priority updates:
+//! atomic write-mins, deduplicated output recording, and bucket insertion
+//! (paper Figure 9, purple-highlighted lines).
+
+use crate::udf::PriorityOps;
+use priograph_buckets::{LocalBins, PriorityMap, SharedFrontier};
+use priograph_graph::VertexId;
+use priograph_parallel::atomics::{add_clamped, write_max, write_min};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Per-round claim stamps: `claim(v, round)` succeeds once per (v, round) —
+/// the deduplication CAS of Figure 9(a) line 21, reusable across rounds
+/// without clearing.
+#[derive(Debug)]
+pub(crate) struct RoundStamps {
+    stamps: Box<[AtomicU64]>,
+}
+
+impl RoundStamps {
+    pub(crate) fn new(n: usize) -> Self {
+        RoundStamps {
+            stamps: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// True exactly once per vertex per round (rounds must start at 1).
+    #[inline]
+    pub(crate) fn claim(&self, v: VertexId, round: u64) -> bool {
+        self.stamps[v as usize].swap(round, Ordering::Relaxed) != round
+    }
+}
+
+/// Context for lazy SparsePush rounds: atomic updates + deduplicated append
+/// to the round's output frontier.
+pub(crate) struct SparseCtx<'a> {
+    pub priorities: &'a [AtomicI64],
+    pub cur_priority: i64,
+    pub out: &'a SharedFrontier,
+    pub stamps: &'a RoundStamps,
+    pub round: u64,
+}
+
+impl SparseCtx<'_> {
+    #[inline]
+    fn record(&self, v: VertexId) {
+        if self.stamps.claim(v, self.round) {
+            self.out.push(v);
+        }
+    }
+}
+
+impl PriorityOps for SparseCtx<'_> {
+    #[inline]
+    fn current_priority(&self) -> i64 {
+        self.cur_priority
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> i64 {
+        self.priorities[v as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn update_min(&self, v: VertexId, new_val: i64) {
+        if write_min(&self.priorities[v as usize], new_val) {
+            self.record(v);
+        }
+    }
+
+    #[inline]
+    fn update_max(&self, v: VertexId, new_val: i64) {
+        if write_max(&self.priorities[v as usize], new_val) {
+            self.record(v);
+        }
+    }
+
+    #[inline]
+    fn update_sum(&self, v: VertexId, delta: i64, threshold: i64) {
+        if add_clamped(&self.priorities[v as usize], delta, threshold).is_some() {
+            self.record(v);
+        }
+    }
+}
+
+/// Context for lazy DensePull rounds: the owning thread updates its own
+/// destination vertex, so no atomics are required (Figure 9(b): "in the
+/// DensePull traversal direction, no atomics are needed for the destination
+/// nodes").
+pub(crate) struct DenseCtx<'a> {
+    pub priorities: &'a [AtomicI64],
+    pub cur_priority: i64,
+    /// Set when any update changed the destination's priority
+    /// (the `tracking_var` of Figure 9(b) line 16).
+    pub changed: Cell<bool>,
+}
+
+impl PriorityOps for DenseCtx<'_> {
+    #[inline]
+    fn current_priority(&self) -> i64 {
+        self.cur_priority
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> i64 {
+        self.priorities[v as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn update_min(&self, v: VertexId, new_val: i64) {
+        let cell = &self.priorities[v as usize];
+        if new_val < cell.load(Ordering::Relaxed) {
+            cell.store(new_val, Ordering::Relaxed);
+            self.changed.set(true);
+        }
+    }
+
+    #[inline]
+    fn update_max(&self, v: VertexId, new_val: i64) {
+        let cell = &self.priorities[v as usize];
+        if new_val > cell.load(Ordering::Relaxed) {
+            cell.store(new_val, Ordering::Relaxed);
+            self.changed.set(true);
+        }
+    }
+
+    #[inline]
+    fn update_sum(&self, v: VertexId, delta: i64, threshold: i64) {
+        let cell = &self.priorities[v as usize];
+        let current = cell.load(Ordering::Relaxed);
+        if delta < 0 && current <= threshold {
+            return;
+        }
+        let target = if delta < 0 {
+            (current + delta).max(threshold)
+        } else {
+            current + delta
+        };
+        if target != current {
+            cell.store(target, Ordering::Relaxed);
+            self.changed.set(true);
+        }
+    }
+}
+
+/// Context for the eager engine: atomic updates push the vertex straight
+/// into this thread's local bin for its new bucket (Figure 9(c) lines
+/// 19–26).
+pub(crate) struct EagerCtx<'a> {
+    pub priorities: &'a [AtomicI64],
+    pub map: PriorityMap,
+    pub cur_priority: i64,
+    /// This thread's bins; `RefCell` because the UDF only holds `&self`.
+    pub bins: &'a RefCell<LocalBins>,
+}
+
+impl EagerCtx<'_> {
+    #[inline]
+    fn bin_insert(&self, v: VertexId, priority: i64) {
+        if let Some(bucket) = self.map.bucket_of(priority) {
+            debug_assert!(bucket >= 0, "eager bins need non-negative buckets");
+            self.bins.borrow_mut().push(bucket as usize, v);
+        }
+    }
+}
+
+impl PriorityOps for EagerCtx<'_> {
+    #[inline]
+    fn current_priority(&self) -> i64 {
+        self.cur_priority
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> i64 {
+        self.priorities[v as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn update_min(&self, v: VertexId, new_val: i64) {
+        if write_min(&self.priorities[v as usize], new_val) {
+            self.bin_insert(v, new_val);
+        }
+    }
+
+    #[inline]
+    fn update_max(&self, v: VertexId, new_val: i64) {
+        if write_max(&self.priorities[v as usize], new_val) {
+            self.bin_insert(v, new_val);
+        }
+    }
+
+    #[inline]
+    fn update_sum(&self, v: VertexId, delta: i64, threshold: i64) {
+        if add_clamped(&self.priorities[v as usize], delta, threshold).is_some() {
+            // Re-read: another thread may have moved it further; inserting at
+            // the later bucket is safe (the pop-time staleness filter drops
+            // mismatches).
+            let now = self.priorities[v as usize].load(Ordering::Relaxed);
+            self.bin_insert(v, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_buckets::BucketOrder;
+    use priograph_parallel::atomics::atomic_vec;
+
+    #[test]
+    fn round_stamps_claim_once_per_round() {
+        let stamps = RoundStamps::new(4);
+        assert!(stamps.claim(2, 1));
+        assert!(!stamps.claim(2, 1));
+        assert!(stamps.claim(2, 2));
+        assert!(stamps.claim(3, 2));
+    }
+
+    #[test]
+    fn sparse_ctx_records_winners_once() {
+        let pri = atomic_vec(4, 100);
+        let out = SharedFrontier::new(8);
+        let stamps = RoundStamps::new(4);
+        let ctx = SparseCtx {
+            priorities: &pri,
+            cur_priority: 0,
+            out: &out,
+            stamps: &stamps,
+            round: 1,
+        };
+        ctx.update_min(1, 50);
+        ctx.update_min(1, 40); // improves again, but already recorded
+        ctx.update_min(2, 200); // loses
+        assert_eq!(out.to_vec(), vec![1]);
+        assert_eq!(ctx.get(1), 40);
+    }
+
+    #[test]
+    fn dense_ctx_updates_without_atomics_and_tracks_change() {
+        let pri = atomic_vec(2, 10);
+        let ctx = DenseCtx {
+            priorities: &pri,
+            cur_priority: 0,
+            changed: Cell::new(false),
+        };
+        ctx.update_min(0, 20);
+        assert!(!ctx.changed.get());
+        ctx.update_min(0, 5);
+        assert!(ctx.changed.get());
+        assert_eq!(ctx.get(0), 5);
+    }
+
+    #[test]
+    fn dense_ctx_sum_respects_floor_and_finalized() {
+        let pri = atomic_vec(1, 10);
+        let ctx = DenseCtx {
+            priorities: &pri,
+            cur_priority: 0,
+            changed: Cell::new(false),
+        };
+        ctx.update_sum(0, -4, 8);
+        assert_eq!(ctx.get(0), 8);
+        ctx.changed.set(false);
+        ctx.update_sum(0, -4, 8); // at floor: no-op
+        assert!(!ctx.changed.get());
+        pri[0].store(3, Ordering::Relaxed);
+        ctx.update_sum(0, -1, 8); // below floor (finalized): no-op
+        assert_eq!(ctx.get(0), 3);
+    }
+
+    #[test]
+    fn eager_ctx_pushes_into_local_bin() {
+        let pri = atomic_vec(4, 100);
+        let bins = RefCell::new(LocalBins::new());
+        let map = PriorityMap::new(BucketOrder::Increasing, 10);
+        let ctx = EagerCtx {
+            priorities: &pri,
+            map,
+            cur_priority: 0,
+            bins: &bins,
+        };
+        ctx.update_min(3, 25); // bucket 2
+        ctx.update_min(3, 24); // still bucket 2, pushed again (eager!)
+        assert_eq!(bins.borrow().len_of(2), 2);
+        assert_eq!(bins.borrow().total_pushes(), 2);
+    }
+
+    #[test]
+    fn eager_ctx_sum_reinserts_at_new_bucket() {
+        let pri = atomic_vec(1, 5);
+        let bins = RefCell::new(LocalBins::new());
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let ctx = EagerCtx {
+            priorities: &pri,
+            map,
+            cur_priority: 2,
+            bins: &bins,
+        };
+        ctx.update_sum(0, -1, 2);
+        assert_eq!(pri[0].load(Ordering::Relaxed), 4);
+        assert_eq!(bins.borrow().len_of(4), 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! The lazy bucket-update engine (paper §3.1, Figure 5, Figure 9(a)/(b)).
+//!
+//! Bulk-synchronous rounds: dequeue the minimum bucket, traverse its
+//! out-edges applying the UDF (updates are buffered as a deduplicated vertex
+//! list), then re-bucket every updated vertex in one `bulkUpdateBuckets`
+//! pass. Three traversal variants are generated from the schedule:
+//!
+//! * **SparsePush** — parallel over the frontier, atomic updates, output
+//!   recorded with CAS dedup (Figure 9(a));
+//! * **DensePull** — parallel over all vertices, scanning in-edges from
+//!   frontier members, no atomics (Figure 9(b));
+//! * **ConstantSum** — raw neighbor occurrences are buffered and reduced
+//!   with a histogram, then a transformed `(vertex, count)` UDF applies each
+//!   vertex's total once (Figure 10).
+
+use crate::engine::ctx::{DenseCtx, RoundStamps, SparseCtx};
+use crate::engine::StopFn;
+use crate::schedule::{Direction, Parallelization, PriorityUpdateStrategy, Schedule};
+use crate::stats::ExecStats;
+use crate::udf::OrderedUdf;
+use priograph_buckets::histogram::Histogram;
+use priograph_buckets::{LazyBucketQueue, PriorityMap, SharedFrontier};
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::Pool;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs the bulk-synchronous lazy engine to completion.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_lazy<U: OrderedUdf>(
+    pool: &Pool,
+    graph: &CsrGraph,
+    priorities: Arc<[AtomicI64]>,
+    map: PriorityMap,
+    schedule: &Schedule,
+    seeds: Vec<VertexId>,
+    udf: &U,
+    stop: Option<StopFn<'_>>,
+) -> ExecStats {
+    let started = Instant::now();
+    let n = graph.num_vertices();
+    let mut stats = ExecStats::default();
+    let mut queue = LazyBucketQueue::new(Arc::clone(&priorities), map, schedule.num_open_buckets);
+    queue.insert_initial(seeds);
+
+    let stamps = RoundStamps::new(n);
+    let out = SharedFrontier::new(n + 1);
+    let constant_sum = if schedule.priority_update == PriorityUpdateStrategy::LazyConstantSum {
+        udf.constant_sum()
+    } else {
+        None
+    };
+    let (hist, raw) = if constant_sum.is_some() {
+        (
+            Some(Histogram::new(n)),
+            Some(SharedFrontier::new(graph.num_edges() + 1)),
+        )
+    } else {
+        (None, None)
+    };
+
+    let grain = schedule.grain();
+    let mut round: u64 = 0;
+    let mut last_bucket = i64::MIN;
+
+    while let Some((bucket, frontier)) = queue.next_bucket(pool) {
+        let cur_priority = map.priority_of_bucket(bucket);
+        if let Some(stop) = stop {
+            let view = crate::engine::StopView::new(&priorities);
+            if stop(cur_priority, &view) {
+                break;
+            }
+        }
+        round += 1;
+        stats.rounds += 1;
+        if bucket != last_bucket {
+            stats.buckets += 1;
+            last_bucket = bucket;
+        }
+
+        let updated: Vec<VertexId> = if let Some(c) = constant_sum {
+            stats.relaxations += graph.out_degree_sum(&frontier);
+            round_constant_sum(
+                pool,
+                graph,
+                &priorities,
+                cur_priority,
+                c,
+                &frontier,
+                raw.as_ref().expect("raw buffer allocated"),
+                hist.as_ref().expect("histogram allocated"),
+                grain,
+            )
+        } else {
+            match schedule.direction {
+                Direction::SparsePush => {
+                    stats.relaxations += graph.out_degree_sum(&frontier);
+                    round_sparse_push(
+                        pool, graph, &priorities, cur_priority, &frontier, &out, &stamps, round,
+                        schedule, udf,
+                    )
+                }
+                Direction::DensePull => {
+                    stats.relaxations += graph.num_edges() as u64;
+                    round_dense_pull(pool, graph, &priorities, cur_priority, &frontier, &out, grain, udf)
+                }
+            }
+        };
+
+        queue.bulk_update(pool, &updated);
+    }
+
+    stats.bucket_inserts = queue.total_inserts();
+    stats.elapsed = started.elapsed();
+    stats
+}
+
+/// One SparsePush round: Figure 9(a) lines 13–27.
+#[allow(clippy::too_many_arguments)]
+fn round_sparse_push<U: OrderedUdf>(
+    pool: &Pool,
+    graph: &CsrGraph,
+    priorities: &[AtomicI64],
+    cur_priority: i64,
+    frontier: &[VertexId],
+    out: &SharedFrontier,
+    stamps: &RoundStamps,
+    round: u64,
+    schedule: &Schedule,
+    udf: &U,
+) -> Vec<VertexId> {
+    out.reset();
+    let ctx = SparseCtx {
+        priorities,
+        cur_priority,
+        out,
+        stamps,
+        round,
+    };
+    let body = |i: usize| {
+        let src = frontier[i];
+        for e in graph.out_edges(src) {
+            udf.apply(src, e.dst, e.weight, &ctx);
+        }
+    };
+    match schedule.parallelization {
+        Parallelization::DynamicVertex { grain } => {
+            pool.parallel_for(0..frontier.len(), grain, body)
+        }
+        Parallelization::StaticVertex => pool.parallel_for_static(0..frontier.len(), body),
+    }
+    out.to_vec()
+}
+
+/// One DensePull round: Figure 9(b) lines 12–24.
+#[allow(clippy::too_many_arguments)]
+fn round_dense_pull<U: OrderedUdf>(
+    pool: &Pool,
+    graph: &CsrGraph,
+    priorities: &[AtomicI64],
+    cur_priority: i64,
+    frontier: &[VertexId],
+    out: &SharedFrontier,
+    grain: usize,
+    udf: &U,
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut dense = vec![false; n];
+    for &v in frontier {
+        dense[v as usize] = true;
+    }
+    out.reset();
+    pool.parallel_for(0..n, grain, |d| {
+        let ctx = DenseCtx {
+            priorities,
+            cur_priority,
+            changed: Cell::new(false),
+        };
+        for e in graph.in_edges(d as VertexId) {
+            if dense[e.dst as usize] {
+                udf.apply(e.dst, d as VertexId, e.weight, &ctx);
+            }
+        }
+        if ctx.changed.get() {
+            out.push(d as VertexId);
+        }
+    });
+    out.to_vec()
+}
+
+/// One constant-sum round: buffer raw occurrences, histogram-reduce, then
+/// apply the transformed `(vertex, count)` function (Figure 10 bottom).
+#[allow(clippy::too_many_arguments)]
+fn round_constant_sum(
+    pool: &Pool,
+    graph: &CsrGraph,
+    priorities: &[AtomicI64],
+    cur_priority: i64,
+    c: i64,
+    frontier: &[VertexId],
+    raw: &SharedFrontier,
+    hist: &Histogram,
+    grain: usize,
+) -> Vec<VertexId> {
+    raw.reset();
+    // Phase 1: collect raw neighbor occurrences of not-yet-finalized
+    // vertices (no atomics on priorities, no per-update dedup).
+    let cursor = priograph_parallel::ChunkCursor::new(frontier.len(), grain.max(1));
+    pool.broadcast(|_w| {
+        let mut local: Vec<VertexId> = Vec::new();
+        while let Some(chunk) = cursor.next_chunk() {
+            for i in chunk {
+                let src = frontier[i];
+                for e in graph.out_edges(src) {
+                    if priorities[e.dst as usize].load(Ordering::Relaxed) > cur_priority {
+                        local.push(e.dst);
+                    }
+                }
+            }
+        }
+        raw.append(&local);
+    });
+    let raw_items = raw.to_vec();
+
+    // Phase 2: histogram reduction — one bucket update per distinct vertex.
+    let distinct = hist.accumulate(pool, &raw_items);
+
+    // Phase 3: transformed UDF (Figure 10 bottom): one non-atomic write per
+    // vertex, clamped at the current core value.
+    pool.parallel_for(0..distinct.len(), grain, |i| {
+        let v = distinct[i] as usize;
+        let p = priorities[v].load(Ordering::Relaxed);
+        if p > cur_priority {
+            let count = i64::from(hist.count(distinct[i]));
+            let new_priority = (p + c * count).max(cur_priority);
+            priorities[v].store(new_priority, Ordering::Relaxed);
+        }
+    });
+    hist.clear(pool, &distinct);
+    distinct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::OrderedProblem;
+    use crate::udf::{DecrementToFloor, MinPlusWeight};
+    use priograph_buckets::NULL_PRIORITY;
+    use priograph_graph::GraphBuilder;
+
+    fn run(
+        graph: &CsrGraph,
+        schedule: &Schedule,
+        seeds: &[(VertexId, i64)],
+    ) -> crate::problem::OrderedOutput {
+        let pool = Pool::new(2);
+        let mut p = OrderedProblem::lower_first(graph)
+            .allow_coarsening()
+            .init_constant(NULL_PRIORITY);
+        for &(v, pri) in seeds {
+            p = p.seed(v, pri);
+        }
+        crate::engine::run_ordered_on(&pool, &p, schedule, &MinPlusWeight, None).unwrap()
+    }
+
+    fn diamond() -> CsrGraph {
+        GraphBuilder::new(5)
+            .edge(0, 1, 5)
+            .edge(0, 2, 1)
+            .edge(2, 1, 1)
+            .edge(1, 3, 2)
+            .edge(2, 3, 10)
+            .build()
+    }
+
+    #[test]
+    fn sparse_push_finds_shortest_paths() {
+        let g = diamond();
+        let out = run(&g, &Schedule::lazy(1), &[(0, 0)]);
+        assert_eq!(out.priorities[..4], [0, 2, 1, 4]);
+        assert_eq!(out.priorities[4], NULL_PRIORITY);
+    }
+
+    #[test]
+    fn dense_pull_matches_sparse_push() {
+        let g = diamond();
+        let sparse = run(&g, &Schedule::lazy(1), &[(0, 0)]);
+        let dense = run(
+            &g,
+            &Schedule::lazy(1).config_apply_direction(Direction::DensePull),
+            &[(0, 0)],
+        );
+        assert_eq!(sparse.priorities, dense.priorities);
+    }
+
+    #[test]
+    fn coarsening_preserves_distances() {
+        let g = diamond();
+        for delta in [1, 2, 4, 64] {
+            let out = run(&g, &Schedule::lazy(delta), &[(0, 0)]);
+            assert_eq!(out.priorities[..4], [0, 2, 1, 4], "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn stats_track_rounds_and_buckets() {
+        let g = diamond();
+        let out = run(&g, &Schedule::lazy(1), &[(0, 0)]);
+        assert!(out.stats.rounds >= out.stats.buckets);
+        assert!(out.stats.buckets >= 3);
+        assert!(out.stats.relaxations >= g.num_edges() as u64 - 1);
+        assert!(out.stats.bucket_inserts > 0);
+        assert_eq!(out.stats.fused_rounds, 0, "lazy never fuses");
+    }
+
+    #[test]
+    fn stop_condition_halts_early() {
+        // Path 0 -> 1 -> 2 -> 3, stop once the current priority reaches 2.
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 1)
+            .edge(1, 2, 1)
+            .edge(2, 3, 1)
+            .build();
+        let pool = Pool::new(1);
+        let p = OrderedProblem::lower_first(&g)
+            .init_constant(NULL_PRIORITY)
+            .seed(0, 0);
+        let stop = |pri: i64, _: &crate::engine::StopView<'_>| pri >= 2;
+        let out = crate::engine::run_ordered_on(
+            &pool,
+            &p,
+            &Schedule::lazy(1),
+            &MinPlusWeight,
+            Some(&stop),
+        )
+        .unwrap();
+        // Buckets 0 and 1 ran; bucket 2 was cut off by the stop condition,
+        // so vertex 3 was never discovered.
+        assert_eq!(out.priorities[1], 1);
+        assert_eq!(out.priorities[2], 2);
+        assert_eq!(out.priorities[3], NULL_PRIORITY);
+    }
+
+    #[test]
+    fn constant_sum_kcore_on_triangle_with_tail() {
+        // Triangle 0-1-2 plus pendant 3-0: coreness 2,2,2,1.
+        let g = GraphBuilder::new(4)
+            .edges(vec![
+                (0, 1, 1),
+                (1, 0, 1),
+                (1, 2, 1),
+                (2, 1, 1),
+                (0, 2, 1),
+                (2, 0, 1),
+                (0, 3, 1),
+                (3, 0, 1),
+            ])
+            .build();
+        let pool = Pool::new(2);
+        let degrees: Vec<i64> = g.vertices().map(|v| g.out_degree(v) as i64).collect();
+        let p = OrderedProblem::lower_first(&g)
+            .init_per_vertex(degrees)
+            .seed_all_finite();
+        let out = crate::engine::run_ordered_on(
+            &pool,
+            &p,
+            &Schedule::lazy_constant_sum(),
+            &DecrementToFloor,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.priorities, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn constant_sum_matches_general_lazy_on_kcore() {
+        let g = priograph_graph::gen::GraphGen::rmat(7, 6)
+            .seed(5)
+            .build()
+            .symmetrize();
+        let pool = Pool::new(2);
+        let degrees: Vec<i64> = g.vertices().map(|v| g.out_degree(v) as i64).collect();
+        let problem = OrderedProblem::lower_first(&g)
+            .init_per_vertex(degrees)
+            .seed_all_finite();
+        let a = crate::engine::run_ordered_on(
+            &pool,
+            &problem,
+            &Schedule::lazy_constant_sum(),
+            &DecrementToFloor,
+            None,
+        )
+        .unwrap();
+        let b = crate::engine::run_ordered_on(
+            &pool,
+            &problem,
+            &Schedule::lazy(1),
+            &DecrementToFloor,
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.priorities, b.priorities);
+    }
+}

@@ -1,0 +1,220 @@
+//! Execution engines — the code the GraphIt compiler would generate.
+//!
+//! [`run_ordered_on`] validates a [`Schedule`] against an
+//! [`OrderedProblem`] + UDF (the runtime analogue of the paper's §5 program
+//! analyses) and dispatches to:
+//!
+//! * [`lazy`] — bulk-synchronous rounds over a
+//!   [`priograph_buckets::LazyBucketQueue`] (sparse-push, dense-pull, or
+//!   constant-sum-histogram traversal), Figure 9(a)/(b);
+//! * [`eager`] — one long-lived parallel region with thread-local bins,
+//!   optional **bucket fusion**, Figure 9(c) + Figure 7.
+
+pub(crate) mod ctx;
+pub mod eager;
+pub mod lazy;
+
+use crate::problem::{OrderedOutput, OrderedProblem};
+use crate::schedule::{Direction, PriorityUpdateStrategy, Schedule, ScheduleError};
+use crate::udf::OrderedUdf;
+use priograph_buckets::{BucketOrder, PriorityMap};
+use priograph_parallel::atomics::snapshot;
+use priograph_parallel::Pool;
+use std::sync::atomic::AtomicI64;
+use std::sync::Arc;
+
+/// Read-only view of the live priority vector handed to stop conditions.
+#[derive(Clone, Copy)]
+pub struct StopView<'a> {
+    priorities: &'a [AtomicI64],
+}
+
+impl std::fmt::Debug for StopView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StopView(len = {})", self.priorities.len())
+    }
+}
+
+impl<'a> StopView<'a> {
+    /// Wraps a live priority vector.
+    pub(crate) fn new(priorities: &'a [AtomicI64]) -> StopView<'a> {
+        StopView { priorities }
+    }
+
+    /// Reads the current priority of `v` (relaxed).
+    pub fn priority_of(&self, v: priograph_graph::VertexId) -> i64 {
+        self.priorities[v as usize].load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A stop condition evaluated once per round on the priority value of the
+/// bucket about to be processed, with read access to the live priorities;
+/// returning `true` halts the run (paper §2: "the user can define a
+/// customized stop condition, for example to halt once a certain vertex has
+/// been finalized").
+pub type StopFn<'a> = &'a (dyn Fn(i64, &StopView<'_>) -> bool + Sync);
+
+/// Checks that `schedule` is applicable — the checks the paper's compiler
+/// performs before generating code.
+///
+/// # Errors
+///
+/// Returns the first violated constraint (see [`ScheduleError`]).
+pub fn validate<U: OrderedUdf>(
+    problem: &OrderedProblem<'_>,
+    schedule: &Schedule,
+    udf: &U,
+) -> Result<(), ScheduleError> {
+    if schedule.delta < 1 {
+        return Err(ScheduleError::InvalidDelta {
+            delta: schedule.delta,
+        });
+    }
+    if schedule.delta > 1 && !problem.coarsening_allowed {
+        return Err(ScheduleError::CoarseningNotAllowed {
+            delta: schedule.delta,
+        });
+    }
+    if schedule.is_eager() {
+        if problem.order != BucketOrder::Increasing {
+            return Err(ScheduleError::EagerRequiresLowerFirst);
+        }
+        if schedule.direction == Direction::DensePull {
+            return Err(ScheduleError::DensePullRequiresLazy);
+        }
+    }
+    if schedule.priority_update == PriorityUpdateStrategy::EagerWithFusion
+        && schedule.fusion_threshold == 0
+    {
+        return Err(ScheduleError::InvalidFusionThreshold);
+    }
+    if schedule.priority_update == PriorityUpdateStrategy::LazyConstantSum
+        && udf.constant_sum().is_none()
+    {
+        return Err(ScheduleError::ConstantSumRequired);
+    }
+    Ok(())
+}
+
+/// Runs an ordered algorithm on the global thread pool.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] when the schedule is invalid for the problem
+/// (see [`validate`]).
+pub fn run_ordered<U: OrderedUdf>(
+    problem: &OrderedProblem<'_>,
+    schedule: &Schedule,
+    udf: &U,
+) -> Result<OrderedOutput, ScheduleError> {
+    run_ordered_on(priograph_parallel::global(), problem, schedule, udf, None)
+}
+
+/// Runs an ordered algorithm on `pool`, with an optional stop condition.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] when the schedule is invalid for the problem.
+pub fn run_ordered_on<U: OrderedUdf>(
+    pool: &Pool,
+    problem: &OrderedProblem<'_>,
+    schedule: &Schedule,
+    udf: &U,
+    stop: Option<StopFn<'_>>,
+) -> Result<OrderedOutput, ScheduleError> {
+    validate(problem, schedule, udf)?;
+    let init = problem.initial_priorities();
+    let seeds = problem.seed_vertices(&init);
+    let priorities: Arc<[AtomicI64]> = init.into_iter().map(AtomicI64::new).collect();
+    let map = PriorityMap::new(problem.order, schedule.delta);
+
+    let stats = if schedule.is_eager() {
+        eager::run_eager(
+            pool,
+            problem.graph,
+            &priorities,
+            map,
+            schedule,
+            &seeds,
+            udf,
+            stop,
+        )
+    } else {
+        lazy::run_lazy(
+            pool,
+            problem.graph,
+            Arc::clone(&priorities),
+            map,
+            schedule,
+            seeds,
+            udf,
+            stop,
+        )
+    };
+
+    Ok(OrderedOutput {
+        priorities: snapshot(&priorities),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::{DecrementToFloor, MinPlusWeight};
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn validate_rejects_coarsening_when_forbidden() {
+        let g = GraphGen::path(4).build();
+        let p = OrderedProblem::lower_first(&g);
+        let err = validate(&p, &Schedule::eager(8), &MinPlusWeight).unwrap_err();
+        assert_eq!(err, ScheduleError::CoarseningNotAllowed { delta: 8 });
+        let p = p.allow_coarsening();
+        assert!(validate(&p, &Schedule::eager(8), &MinPlusWeight).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_eager_higher_first() {
+        let g = GraphGen::path(4).build();
+        let p = OrderedProblem::higher_first(&g);
+        let err = validate(&p, &Schedule::eager(1), &MinPlusWeight).unwrap_err();
+        assert_eq!(err, ScheduleError::EagerRequiresLowerFirst);
+        assert!(validate(&p, &Schedule::lazy(1), &MinPlusWeight).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_constant_sum_for_general_udf() {
+        let g = GraphGen::path(4).build();
+        let p = OrderedProblem::lower_first(&g);
+        let err = validate(&p, &Schedule::lazy_constant_sum(), &MinPlusWeight).unwrap_err();
+        assert_eq!(err, ScheduleError::ConstantSumRequired);
+        assert!(validate(&p, &Schedule::lazy_constant_sum(), &DecrementToFloor).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_dense_pull_eager() {
+        let g = GraphGen::path(4).build();
+        let p = OrderedProblem::lower_first(&g);
+        let s = Schedule::eager(1).config_apply_direction(Direction::DensePull);
+        assert_eq!(
+            validate(&p, &s, &MinPlusWeight).unwrap_err(),
+            ScheduleError::DensePullRequiresLazy
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let g = GraphGen::path(4).build();
+        let p = OrderedProblem::lower_first(&g);
+        assert_eq!(
+            validate(&p, &Schedule::lazy(0), &MinPlusWeight).unwrap_err(),
+            ScheduleError::InvalidDelta { delta: 0 }
+        );
+        let s = Schedule::eager_with_fusion(1).config_bucket_fusion_threshold(0);
+        assert_eq!(
+            validate(&p, &s, &MinPlusWeight).unwrap_err(),
+            ScheduleError::InvalidFusionThreshold
+        );
+    }
+}

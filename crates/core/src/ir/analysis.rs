@@ -1,0 +1,387 @@
+//! Program analyses over UDF bodies (paper §5.1–5.2).
+//!
+//! The compiler needs four facts about a user-defined function before it can
+//! pick code generation strategies:
+//!
+//! 1. **Which vertices it writes** — updates targeting the edge destination
+//!    under push traversal race across threads and need atomics; pull
+//!    traversal makes destination writes owner-exclusive (Figure 9(b)).
+//! 2. **Whether there is exactly one priority update** — required by the
+//!    histogram transform.
+//! 3. **Whether the update is a constant sum** — `updatePrioritySum(dst, c,
+//!    current_priority)` with compile-time-constant `c` (Figure 10); `let`
+//!    bindings are resolved so the idiomatic `var k = getCurrentPriority()`
+//!    form is recognized.
+//! 4. **Whether the ordered loop matches the eager pattern** — the dequeued
+//!    bucket must have no use other than `applyUpdatePriority` (§5.2).
+
+use crate::ir::ast::{Expr, ProgramAst, Stmt, UdfDef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Analysis failures (reported like compiler diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A variable was used before being bound.
+    UnboundVariable(String),
+    /// The UDF contains no priority update at all.
+    NoPriorityUpdate,
+    /// The UDF contains more than one priority update (the histogram
+    /// transform requires exactly one; §5.1: "the compiler ensures that
+    /// there is only one priority update operator in the user-defined
+    /// function").
+    MultiplePriorityUpdates(usize),
+    /// The single update is not an `updatePrioritySum`.
+    NotASumUpdate,
+    /// The sum's delta is not a compile-time constant.
+    NonConstantDelta,
+    /// The sum's threshold is not the current priority.
+    ThresholdNotCurrentPriority,
+    /// The update's target is not the edge destination.
+    TargetNotDst,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnboundVariable(name) => write!(f, "use of unbound variable `{name}`"),
+            AnalysisError::NoPriorityUpdate => write!(f, "UDF performs no priority update"),
+            AnalysisError::MultiplePriorityUpdates(n) => {
+                write!(f, "UDF performs {n} priority updates; exactly one required")
+            }
+            AnalysisError::NotASumUpdate => write!(f, "priority update is not updatePrioritySum"),
+            AnalysisError::NonConstantDelta => {
+                write!(f, "updatePrioritySum delta is not a compile-time constant")
+            }
+            AnalysisError::ThresholdNotCurrentPriority => {
+                write!(f, "updatePrioritySum threshold is not the current priority")
+            }
+            AnalysisError::TargetNotDst => write!(f, "priority update target is not `dst`"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Which UDF parameter a priority update writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteTarget {
+    /// The edge destination (the common case).
+    Dst,
+    /// The edge source.
+    Src,
+    /// Something computed (conservatively treated as any vertex).
+    Unknown,
+}
+
+/// Resolves `let` bindings so later analyses see through local names.
+/// Returns the substituted priority-update statements.
+fn resolved_updates(udf: &UdfDef) -> Result<Vec<Stmt>, AnalysisError> {
+    let mut env: HashMap<&str, Expr> = HashMap::new();
+    let mut updates = Vec::new();
+    for stmt in &udf.body {
+        match stmt {
+            Stmt::Let { name, value } => {
+                let value = substitute(value, &env)?;
+                env.insert(name, value);
+            }
+            Stmt::UpdateMin { target, value } => updates.push(Stmt::UpdateMin {
+                target: substitute(target, &env)?,
+                value: substitute(value, &env)?,
+            }),
+            Stmt::UpdateMax { target, value } => updates.push(Stmt::UpdateMax {
+                target: substitute(target, &env)?,
+                value: substitute(value, &env)?,
+            }),
+            Stmt::UpdateSum {
+                target,
+                delta,
+                threshold,
+            } => updates.push(Stmt::UpdateSum {
+                target: substitute(target, &env)?,
+                delta: substitute(delta, &env)?,
+                threshold: substitute(threshold, &env)?,
+            }),
+        }
+    }
+    Ok(updates)
+}
+
+fn substitute(expr: &Expr, env: &HashMap<&str, Expr>) -> Result<Expr, AnalysisError> {
+    Ok(match expr {
+        Expr::Var(name) => env
+            .get(name.as_str())
+            .cloned()
+            .ok_or_else(|| AnalysisError::UnboundVariable(name.clone()))?,
+        Expr::PriorityOf(e) => Expr::priority_of(substitute(e, env)?),
+        Expr::Add(a, b) => Expr::add(substitute(a, env)?, substitute(b, env)?),
+        Expr::Sub(a, b) => Expr::sub(substitute(a, env)?, substitute(b, env)?),
+        Expr::Mul(a, b) => Expr::mul(substitute(a, env)?, substitute(b, env)?),
+        Expr::Neg(a) => Expr::neg(substitute(a, env)?),
+        other => other.clone(),
+    })
+}
+
+/// Constant-folds an expression to an integer if possible.
+fn const_eval(expr: &Expr) -> Option<i64> {
+    match expr {
+        Expr::Int(v) => Some(*v),
+        Expr::Add(a, b) => Some(const_eval(a)? + const_eval(b)?),
+        Expr::Sub(a, b) => Some(const_eval(a)? - const_eval(b)?),
+        Expr::Mul(a, b) => Some(const_eval(a)? * const_eval(b)?),
+        Expr::Neg(a) => Some(-const_eval(a)?),
+        _ => None,
+    }
+}
+
+fn target_of(expr: &Expr) -> WriteTarget {
+    match expr {
+        Expr::Dst => WriteTarget::Dst,
+        Expr::Src => WriteTarget::Src,
+        _ => WriteTarget::Unknown,
+    }
+}
+
+/// Write targets of every priority update in `udf`.
+///
+/// # Errors
+///
+/// Fails on unbound variables.
+pub fn write_targets(udf: &UdfDef) -> Result<Vec<WriteTarget>, AnalysisError> {
+    Ok(resolved_updates(udf)?
+        .iter()
+        .map(|stmt| match stmt {
+            Stmt::UpdateMin { target, .. }
+            | Stmt::UpdateMax { target, .. }
+            | Stmt::UpdateSum { target, .. } => target_of(target),
+            Stmt::Let { .. } => unreachable!("resolved_updates strips lets"),
+        })
+        .collect())
+}
+
+/// Dependence analysis: does push-direction execution of `udf` have
+/// write-write conflicts requiring atomics? (§5.1: "the compiler uses
+/// dependence analysis ... to determine if there are write-write conflicts
+/// and insert atomics instructions as necessary".)
+///
+/// Under push traversal, many sources share a destination, so any write to
+/// `dst` (or to an unknown vertex) conflicts. Writes to `src` alone do not:
+/// each frontier vertex is processed by one thread per round.
+///
+/// # Errors
+///
+/// Fails on unbound variables.
+pub fn needs_atomics_push(udf: &UdfDef) -> Result<bool, AnalysisError> {
+    Ok(write_targets(udf)?
+        .iter()
+        .any(|t| matches!(t, WriteTarget::Dst | WriteTarget::Unknown)))
+}
+
+/// Under pull traversal the destination is owned by the executing thread;
+/// only `src`/unknown writes conflict (Figure 9(b): "no atomics are needed
+/// for the destination nodes").
+///
+/// # Errors
+///
+/// Fails on unbound variables.
+pub fn needs_atomics_pull(udf: &UdfDef) -> Result<bool, AnalysisError> {
+    Ok(write_targets(udf)?
+        .iter()
+        .any(|t| matches!(t, WriteTarget::Src | WriteTarget::Unknown)))
+}
+
+/// Result of the constant-sum analysis (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantSum {
+    /// The compile-time-constant delta (−1 for k-core).
+    pub delta: i64,
+}
+
+/// Proves `udf` is exactly one `updatePrioritySum(dst, c, current_priority)`
+/// and extracts `c` — the precondition for the histogram strategy.
+///
+/// # Errors
+///
+/// Reports precisely which requirement failed, mirroring the compiler's
+/// diagnostics.
+pub fn constant_sum(udf: &UdfDef) -> Result<ConstantSum, AnalysisError> {
+    let updates = resolved_updates(udf)?;
+    match updates.len() {
+        0 => return Err(AnalysisError::NoPriorityUpdate),
+        1 => {}
+        n => return Err(AnalysisError::MultiplePriorityUpdates(n)),
+    }
+    let Stmt::UpdateSum {
+        target,
+        delta,
+        threshold,
+    } = &updates[0]
+    else {
+        return Err(AnalysisError::NotASumUpdate);
+    };
+    if target_of(target) != WriteTarget::Dst {
+        return Err(AnalysisError::TargetNotDst);
+    }
+    let delta = const_eval(delta).ok_or(AnalysisError::NonConstantDelta)?;
+    if *threshold != Expr::CurrentPriority {
+        return Err(AnalysisError::ThresholdNotCurrentPriority);
+    }
+    Ok(ConstantSum { delta })
+}
+
+/// The §5.2 loop-pattern check: the eager transform may replace the while
+/// loop only when the dequeued bucket has no other use.
+pub fn eager_transform_applicable(program: &ProgramAst) -> bool {
+    program.ordered_loop.other_bucket_uses.is_empty() && program.loop_udf().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::programs;
+
+    #[test]
+    fn sssp_udf_writes_dst_and_needs_push_atomics() {
+        let prog = programs::delta_stepping();
+        let udf = prog.loop_udf().unwrap();
+        assert_eq!(write_targets(udf).unwrap(), vec![WriteTarget::Dst]);
+        assert!(needs_atomics_push(udf).unwrap());
+        assert!(!needs_atomics_pull(udf).unwrap());
+    }
+
+    #[test]
+    fn sssp_udf_is_not_constant_sum() {
+        let prog = programs::delta_stepping();
+        let udf = prog.loop_udf().unwrap();
+        assert_eq!(constant_sum(udf).unwrap_err(), AnalysisError::NotASumUpdate);
+    }
+
+    #[test]
+    fn kcore_udf_is_constant_sum_minus_one() {
+        // Figure 10 top: var k = getCurrentPriority(); updatePrioritySum(dst, -1, k)
+        let prog = programs::kcore();
+        let udf = prog.loop_udf().unwrap();
+        assert_eq!(constant_sum(udf).unwrap(), ConstantSum { delta: -1 });
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let udf = UdfDef {
+            name: "bad".into(),
+            body: vec![Stmt::UpdateMin {
+                target: Expr::Dst,
+                value: Expr::Var("ghost".into()),
+            }],
+        };
+        assert_eq!(
+            write_targets(&udf).unwrap_err(),
+            AnalysisError::UnboundVariable("ghost".into())
+        );
+    }
+
+    #[test]
+    fn multiple_updates_rejected_for_constant_sum() {
+        let udf = UdfDef {
+            name: "double".into(),
+            body: vec![
+                Stmt::UpdateSum {
+                    target: Expr::Dst,
+                    delta: Expr::Int(-1),
+                    threshold: Expr::CurrentPriority,
+                },
+                Stmt::UpdateSum {
+                    target: Expr::Dst,
+                    delta: Expr::Int(-1),
+                    threshold: Expr::CurrentPriority,
+                },
+            ],
+        };
+        assert_eq!(
+            constant_sum(&udf).unwrap_err(),
+            AnalysisError::MultiplePriorityUpdates(2)
+        );
+    }
+
+    #[test]
+    fn non_constant_delta_rejected() {
+        let udf = UdfDef {
+            name: "w".into(),
+            body: vec![Stmt::UpdateSum {
+                target: Expr::Dst,
+                delta: Expr::Weight,
+                threshold: Expr::CurrentPriority,
+            }],
+        };
+        assert_eq!(
+            constant_sum(&udf).unwrap_err(),
+            AnalysisError::NonConstantDelta
+        );
+    }
+
+    #[test]
+    fn folded_constant_delta_accepted() {
+        let udf = UdfDef {
+            name: "folded".into(),
+            body: vec![Stmt::UpdateSum {
+                target: Expr::Dst,
+                delta: Expr::neg(Expr::mul(Expr::Int(1), Expr::Int(1))),
+                threshold: Expr::CurrentPriority,
+            }],
+        };
+        assert_eq!(constant_sum(&udf).unwrap().delta, -1);
+    }
+
+    #[test]
+    fn wrong_threshold_rejected() {
+        let udf = UdfDef {
+            name: "thr".into(),
+            body: vec![Stmt::UpdateSum {
+                target: Expr::Dst,
+                delta: Expr::Int(-1),
+                threshold: Expr::Int(0),
+            }],
+        };
+        assert_eq!(
+            constant_sum(&udf).unwrap_err(),
+            AnalysisError::ThresholdNotCurrentPriority
+        );
+    }
+
+    #[test]
+    fn src_target_rejected_for_constant_sum() {
+        let udf = UdfDef {
+            name: "srcy".into(),
+            body: vec![Stmt::UpdateSum {
+                target: Expr::Src,
+                delta: Expr::Int(-1),
+                threshold: Expr::CurrentPriority,
+            }],
+        };
+        assert_eq!(constant_sum(&udf).unwrap_err(), AnalysisError::TargetNotDst);
+        assert!(!needs_atomics_push(&udf).unwrap());
+        assert!(needs_atomics_pull(&udf).unwrap());
+    }
+
+    #[test]
+    fn empty_udf_has_no_update() {
+        let udf = UdfDef {
+            name: "empty".into(),
+            body: vec![],
+        };
+        assert_eq!(
+            constant_sum(&udf).unwrap_err(),
+            AnalysisError::NoPriorityUpdate
+        );
+        assert!(!needs_atomics_push(&udf).unwrap());
+    }
+
+    #[test]
+    fn eager_pattern_check() {
+        let mut prog = programs::delta_stepping();
+        assert!(eager_transform_applicable(&prog));
+        prog.ordered_loop
+            .other_bucket_uses
+            .push("print bucket.getVertexSetSize();".into());
+        assert!(!eager_transform_applicable(&prog));
+    }
+}

@@ -1,0 +1,317 @@
+//! Program representation for ordered graph programs.
+//!
+//! Models the priority-relevant subset of the GraphIt algorithm language:
+//! the priority queue declaration of Figure 3 (lines 5, 15–16), user-defined
+//! edge functions built from integer expressions and priority-update
+//! operators (lines 7–10), and the ordered while loop (lines 17–21).
+
+use std::fmt;
+
+/// Integer-valued expressions inside UDF bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Reference to a `let`-bound local.
+    Var(String),
+    /// The edge's source vertex (as an id usable in priority reads).
+    Src,
+    /// The edge's destination vertex.
+    Dst,
+    /// The edge weight.
+    Weight,
+    /// `priority_vector[e]` — read the priority of the vertex `e` evaluates
+    /// to (`dist[src]` in Figure 3 line 8).
+    PriorityOf(Box<Expr>),
+    /// `pq.getCurrentPriority()`.
+    CurrentPriority,
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// `a + b` without the `Box` noise.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `-a`.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+
+    /// `priority_vector[e]`.
+    pub fn priority_of(e: Expr) -> Expr {
+        Expr::PriorityOf(Box::new(e))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Src => write!(f, "src"),
+            Expr::Dst => write!(f, "dst"),
+            Expr::Weight => write!(f, "weight"),
+            Expr::PriorityOf(e) => write!(f, "priority[{e}]"),
+            Expr::CurrentPriority => write!(f, "pq.get_current_priority()"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+/// Statements inside UDF bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var name : int = value;`
+    Let {
+        /// Bound name.
+        name: String,
+        /// Bound value.
+        value: Expr,
+    },
+    /// `pq.updatePriorityMin(target, value);`
+    UpdateMin {
+        /// The vertex whose priority changes.
+        target: Expr,
+        /// The candidate new priority.
+        value: Expr,
+    },
+    /// `pq.updatePriorityMax(target, value);`
+    UpdateMax {
+        /// The vertex whose priority changes.
+        target: Expr,
+        /// The candidate new priority.
+        value: Expr,
+    },
+    /// `pq.updatePrioritySum(target, delta, threshold);`
+    UpdateSum {
+        /// The vertex whose priority changes.
+        target: Expr,
+        /// Amount added to the priority.
+        delta: Expr,
+        /// Minimum threshold the priority may not cross.
+        threshold: Expr,
+    },
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Let { name, value } => write!(f, "var {name} : int = {value};"),
+            Stmt::UpdateMin { target, value } => {
+                write!(f, "pq.updatePriorityMin({target}, {value});")
+            }
+            Stmt::UpdateMax { target, value } => {
+                write!(f, "pq.updatePriorityMax({target}, {value});")
+            }
+            Stmt::UpdateSum {
+                target,
+                delta,
+                threshold,
+            } => write!(f, "pq.updatePrioritySum({target}, {delta}, {threshold});"),
+        }
+    }
+}
+
+/// A user-defined edge function (`func updateEdge(src, dst, weight)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfDef {
+    /// Function name.
+    pub name: String,
+    /// Statement list.
+    pub body: Vec<Stmt>,
+}
+
+impl fmt::Display for UdfDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {}(src : Vertex, dst : Vertex, weight : int)", self.name)?;
+        for stmt in &self.body {
+            writeln!(f, "    {stmt}")?;
+        }
+        write!(f, "end")
+    }
+}
+
+/// The priority-queue declaration (Figure 3 lines 15–16).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PqDecl {
+    /// First constructor argument: is priority coarsening allowed?
+    pub allow_coarsening: bool,
+    /// `"lower_first"` (true) or `"higher_first"` (false).
+    pub lower_first: bool,
+    /// Name of the vector backing priorities (`dist` for SSSP).
+    pub priority_vector: String,
+    /// Optional start vertex variable name.
+    pub start_vertex: Option<String>,
+}
+
+/// The ordered while loop driving execution (Figure 3 lines 17–21).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedLoop {
+    /// Scheduling label on the `applyUpdatePriority` statement (`s1`).
+    pub label: String,
+    /// Name of the UDF applied to each bucket's out-edges.
+    pub udf: String,
+    /// Other statements using the dequeued bucket. Must be empty for the
+    /// eager transform (§5.2: "the analysis checks that there is no other
+    /// use of the generated vertexset (bucket) except for the
+    /// applyUpdatePriority operator").
+    pub other_bucket_uses: Vec<String>,
+}
+
+/// A whole ordered program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramAst {
+    /// Program name (for diagnostics and codegen headers).
+    pub name: String,
+    /// The priority queue declaration.
+    pub pq: PqDecl,
+    /// All UDFs (the loop references one by name).
+    pub udfs: Vec<UdfDef>,
+    /// The ordered loop.
+    pub ordered_loop: OrderedLoop,
+}
+
+impl ProgramAst {
+    /// Finds the UDF the ordered loop applies.
+    pub fn loop_udf(&self) -> Option<&UdfDef> {
+        self.udfs.iter().find(|u| u.name == self.ordered_loop.udf)
+    }
+}
+
+impl fmt::Display for ProgramAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// program: {}", self.name)?;
+        writeln!(
+            f,
+            "const pq: priority_queue{{Vertex}}(int)({}, \"{}\", {}, {});",
+            self.pq.allow_coarsening,
+            if self.pq.lower_first { "lower_first" } else { "higher_first" },
+            self.pq.priority_vector,
+            self.pq.start_vertex.as_deref().unwrap_or("-")
+        )?;
+        for udf in &self.udfs {
+            writeln!(f, "{udf}")?;
+        }
+        writeln!(f, "while (pq.finished() == false)")?;
+        writeln!(f, "    var bucket : vertexset{{Vertex}} = pq.dequeueReadySet();")?;
+        writeln!(
+            f,
+            "    #{}# edges.from(bucket).applyUpdatePriority({});",
+            self.ordered_loop.label, self.ordered_loop.udf
+        )?;
+        for extra in &self.ordered_loop.other_bucket_uses {
+            writeln!(f, "    {extra}")?;
+        }
+        writeln!(f, "    delete bucket;")?;
+        write!(f, "end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sssp_udf() -> UdfDef {
+        UdfDef {
+            name: "updateEdge".into(),
+            body: vec![
+                Stmt::Let {
+                    name: "new_dist".into(),
+                    value: Expr::add(Expr::priority_of(Expr::Src), Expr::Weight),
+                },
+                Stmt::UpdateMin {
+                    target: Expr::Dst,
+                    value: Expr::Var("new_dist".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn expr_display_matches_dsl_syntax() {
+        let e = Expr::add(Expr::priority_of(Expr::Src), Expr::Weight);
+        assert_eq!(e.to_string(), "(priority[src] + weight)");
+        assert_eq!(Expr::neg(Expr::Int(1)).to_string(), "(-1)");
+        assert_eq!(
+            Expr::mul(Expr::Var("k".into()), Expr::Int(2)).to_string(),
+            "(k * 2)"
+        );
+        assert_eq!(
+            Expr::sub(Expr::CurrentPriority, Expr::Int(1)).to_string(),
+            "(pq.get_current_priority() - 1)"
+        );
+    }
+
+    #[test]
+    fn udf_display_looks_like_figure_3() {
+        let text = sssp_udf().to_string();
+        assert!(text.contains("func updateEdge"));
+        assert!(text.contains("var new_dist : int = (priority[src] + weight);"));
+        assert!(text.contains("pq.updatePriorityMin(dst, new_dist);"));
+    }
+
+    #[test]
+    fn program_display_includes_loop() {
+        let prog = ProgramAst {
+            name: "sssp".into(),
+            pq: PqDecl {
+                allow_coarsening: true,
+                lower_first: true,
+                priority_vector: "dist".into(),
+                start_vertex: Some("start_vertex".into()),
+            },
+            udfs: vec![sssp_udf()],
+            ordered_loop: OrderedLoop {
+                label: "s1".into(),
+                udf: "updateEdge".into(),
+                other_bucket_uses: vec![],
+            },
+        };
+        let text = prog.to_string();
+        assert!(text.contains("dequeueReadySet"));
+        assert!(text.contains("#s1# edges.from(bucket).applyUpdatePriority(updateEdge);"));
+        assert!(prog.loop_udf().is_some());
+    }
+
+    #[test]
+    fn loop_udf_missing_is_none() {
+        let prog = ProgramAst {
+            name: "broken".into(),
+            pq: PqDecl {
+                allow_coarsening: false,
+                lower_first: true,
+                priority_vector: "p".into(),
+                start_vertex: None,
+            },
+            udfs: vec![],
+            ordered_loop: OrderedLoop {
+                label: "s1".into(),
+                udf: "nope".into(),
+                other_bucket_uses: vec![],
+            },
+        };
+        assert!(prog.loop_udf().is_none());
+    }
+}

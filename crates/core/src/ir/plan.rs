@@ -1,0 +1,228 @@
+//! Lowering: AST + schedule → executable plan (paper §5's "code generation"
+//! decisions, minus the C++ text — see [`crate::ir::codegen`] for that).
+
+use crate::ir::analysis::{self, AnalysisError};
+use crate::ir::ast::ProgramAst;
+use crate::ir::transform::{transform_constant_sum, CountUdf};
+use crate::schedule::{Direction, PriorityUpdateStrategy, Schedule, ScheduleError};
+use std::fmt;
+
+/// Everything the engines need to execute one ordered program under one
+/// schedule, with all compiler decisions resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Program name.
+    pub program: String,
+    /// Bucket update strategy.
+    pub strategy: PriorityUpdateStrategy,
+    /// Traversal direction (lazy only).
+    pub direction: Direction,
+    /// Coarsening factor Δ.
+    pub delta: i64,
+    /// Whether generated push code needs atomic priority updates.
+    pub needs_atomics: bool,
+    /// Whether generated code needs deduplication flags.
+    pub needs_dedup: bool,
+    /// The transformed `(vertex, count)` UDF when the histogram strategy is
+    /// selected.
+    pub count_udf: Option<CountUdf>,
+    /// Fusion threshold for `eager_with_fusion`.
+    pub fusion_threshold: Option<usize>,
+    /// Materialized buckets for lazy strategies.
+    pub num_open_buckets: usize,
+    /// `lower_first` ordering?
+    pub lower_first: bool,
+}
+
+/// Compile-time rejections, mirroring the checks of paper §5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The ordered loop references an unknown UDF.
+    UnknownUdf(String),
+    /// A schedule constraint failed (shared with the runtime checks).
+    Schedule(ScheduleError),
+    /// A UDF analysis failed.
+    Analysis(AnalysisError),
+    /// The eager transform pattern check failed: the bucket has other uses.
+    EagerPatternMismatch,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownUdf(name) => {
+                write!(f, "ordered loop applies unknown UDF `{name}`")
+            }
+            CompileError::Schedule(e) => write!(f, "schedule error: {e}"),
+            CompileError::Analysis(e) => write!(f, "analysis error: {e}"),
+            CompileError::EagerPatternMismatch => write!(
+                f,
+                "eager transform requires the dequeued bucket to have no use besides applyUpdatePriority"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ScheduleError> for CompileError {
+    fn from(e: ScheduleError) -> Self {
+        CompileError::Schedule(e)
+    }
+}
+
+impl From<AnalysisError> for CompileError {
+    fn from(e: AnalysisError) -> Self {
+        CompileError::Analysis(e)
+    }
+}
+
+/// Lowers `program` under `schedule` into a [`Plan`].
+///
+/// # Errors
+///
+/// Rejects illegal combinations: coarsening without permission, eager with
+/// `higher_first` or a used bucket, histogram without a constant-sum UDF,
+/// `DensePull` with eager, bad parameters.
+pub fn lower(program: &ProgramAst, schedule: &Schedule) -> Result<Plan, CompileError> {
+    let udf = program
+        .loop_udf()
+        .ok_or_else(|| CompileError::UnknownUdf(program.ordered_loop.udf.clone()))?;
+
+    if schedule.delta < 1 {
+        return Err(ScheduleError::InvalidDelta {
+            delta: schedule.delta,
+        }
+        .into());
+    }
+    if schedule.delta > 1 && !program.pq.allow_coarsening {
+        return Err(ScheduleError::CoarseningNotAllowed {
+            delta: schedule.delta,
+        }
+        .into());
+    }
+    if schedule.is_eager() {
+        if !program.pq.lower_first {
+            return Err(ScheduleError::EagerRequiresLowerFirst.into());
+        }
+        if schedule.direction == Direction::DensePull {
+            return Err(ScheduleError::DensePullRequiresLazy.into());
+        }
+        if !analysis::eager_transform_applicable(program) {
+            return Err(CompileError::EagerPatternMismatch);
+        }
+    }
+    if schedule.priority_update == PriorityUpdateStrategy::EagerWithFusion
+        && schedule.fusion_threshold == 0
+    {
+        return Err(ScheduleError::InvalidFusionThreshold.into());
+    }
+
+    let count_udf = if schedule.priority_update == PriorityUpdateStrategy::LazyConstantSum {
+        Some(transform_constant_sum(udf)?)
+    } else {
+        None
+    };
+
+    let needs_atomics = match schedule.direction {
+        Direction::SparsePush => analysis::needs_atomics_push(udf)?,
+        Direction::DensePull => analysis::needs_atomics_pull(udf)?,
+    };
+    // Sum updates may hit a vertex many times; processing such vertices more
+    // than once breaks correctness, so dedup is required (the paper calls
+    // this out for k-core).
+    let needs_dedup = udf.body.iter().any(|s| {
+        matches!(s, crate::ir::ast::Stmt::UpdateSum { .. })
+    });
+
+    Ok(Plan {
+        program: program.name.clone(),
+        strategy: schedule.priority_update,
+        direction: schedule.direction,
+        delta: schedule.delta,
+        needs_atomics,
+        needs_dedup,
+        count_udf,
+        fusion_threshold: (schedule.priority_update == PriorityUpdateStrategy::EagerWithFusion)
+            .then_some(schedule.fusion_threshold),
+        num_open_buckets: schedule.num_open_buckets,
+        lower_first: program.pq.lower_first,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::programs;
+
+    #[test]
+    fn sssp_eager_plan_resolves_decisions() {
+        let plan = lower(&programs::delta_stepping(), &Schedule::eager_with_fusion(8)).unwrap();
+        assert_eq!(plan.strategy, PriorityUpdateStrategy::EagerWithFusion);
+        assert_eq!(plan.delta, 8);
+        assert!(plan.needs_atomics);
+        assert!(!plan.needs_dedup);
+        assert_eq!(plan.fusion_threshold, Some(1000));
+        assert!(plan.count_udf.is_none());
+    }
+
+    #[test]
+    fn sssp_dense_pull_drops_atomics() {
+        let s = Schedule::lazy(4).config_apply_direction(Direction::DensePull);
+        let plan = lower(&programs::delta_stepping(), &s).unwrap();
+        assert!(!plan.needs_atomics, "pull owns destinations");
+    }
+
+    #[test]
+    fn kcore_histogram_plan_contains_transformed_udf() {
+        let plan = lower(&programs::kcore(), &Schedule::lazy_constant_sum()).unwrap();
+        let count_udf = plan.count_udf.unwrap();
+        assert_eq!(count_udf.constant, -1);
+        assert!(plan.needs_dedup);
+    }
+
+    #[test]
+    fn kcore_rejects_coarsening() {
+        let err = lower(&programs::kcore(), &Schedule::lazy(16)).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::Schedule(ScheduleError::CoarseningNotAllowed { delta: 16 })
+        );
+    }
+
+    #[test]
+    fn sssp_histogram_rejected_by_analysis() {
+        let err = lower(&programs::delta_stepping(), &Schedule::lazy_constant_sum()).unwrap_err();
+        assert!(matches!(err, CompileError::Analysis(_)));
+    }
+
+    #[test]
+    fn eager_rejected_when_bucket_has_other_uses() {
+        let mut prog = programs::delta_stepping();
+        prog.ordered_loop
+            .other_bucket_uses
+            .push("var n : int = bucket.getVertexSetSize();".into());
+        let err = lower(&prog, &Schedule::eager(2)).unwrap_err();
+        assert_eq!(err, CompileError::EagerPatternMismatch);
+        // Lazy remains legal.
+        assert!(lower(&prog, &Schedule::lazy(2)).is_ok());
+    }
+
+    #[test]
+    fn unknown_udf_is_reported() {
+        let mut prog = programs::delta_stepping();
+        prog.ordered_loop.udf = "missing".into();
+        assert_eq!(
+            lower(&prog, &Schedule::lazy(1)).unwrap_err(),
+            CompileError::UnknownUdf("missing".into())
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CompileError::EagerPatternMismatch;
+        assert!(e.to_string().contains("applyUpdatePriority"));
+        let e: CompileError = AnalysisError::NoPriorityUpdate.into();
+        assert!(e.to_string().contains("analysis error"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Ready-made ASTs for the paper's running examples.
+
+use crate::ir::ast::{Expr, OrderedLoop, PqDecl, ProgramAst, Stmt, UdfDef};
+
+/// Δ-stepping SSSP (paper Figure 3):
+///
+/// ```text
+/// func updateEdge(src : Vertex, dst : Vertex, weight : int)
+///     var new_dist : int = dist[src] + weight;
+///     pq.updatePriorityMin(dst, dist[dst], new_dist);
+/// end
+/// ```
+pub fn delta_stepping() -> ProgramAst {
+    ProgramAst {
+        name: "sssp_delta_stepping".into(),
+        pq: PqDecl {
+            allow_coarsening: true,
+            lower_first: true,
+            priority_vector: "dist".into(),
+            start_vertex: Some("start_vertex".into()),
+        },
+        udfs: vec![UdfDef {
+            name: "updateEdge".into(),
+            body: vec![
+                Stmt::Let {
+                    name: "new_dist".into(),
+                    value: Expr::add(Expr::priority_of(Expr::Src), Expr::Weight),
+                },
+                Stmt::UpdateMin {
+                    target: Expr::Dst,
+                    value: Expr::Var("new_dist".into()),
+                },
+            ],
+        }],
+        ordered_loop: OrderedLoop {
+            label: "s1".into(),
+            udf: "updateEdge".into(),
+            other_bucket_uses: vec![],
+        },
+    }
+}
+
+/// Weighted BFS: identical to Δ-stepping; wBFS is "a special case of
+/// Δ-stepping ... with delta fixed to 1" (paper §6.1), so only the schedule
+/// differs.
+pub fn wbfs() -> ProgramAst {
+    let mut prog = delta_stepping();
+    prog.name = "wbfs".into();
+    prog
+}
+
+/// k-core peeling (paper Figure 10 top):
+///
+/// ```text
+/// func apply_f(src: Vertex, dst: Vertex)
+///     var k: int = pq.get_current_priority();
+///     pq.updatePrioritySum(dst, -1, k);
+/// end
+/// ```
+pub fn kcore() -> ProgramAst {
+    ProgramAst {
+        name: "kcore".into(),
+        pq: PqDecl {
+            allow_coarsening: false,
+            lower_first: true,
+            priority_vector: "degrees".into(),
+            start_vertex: None,
+        },
+        udfs: vec![UdfDef {
+            name: "apply_f".into(),
+            body: vec![
+                Stmt::Let {
+                    name: "k".into(),
+                    value: Expr::CurrentPriority,
+                },
+                Stmt::UpdateSum {
+                    target: Expr::Dst,
+                    delta: Expr::Int(-1),
+                    threshold: Expr::Var("k".into()),
+                },
+            ],
+        }],
+        ordered_loop: OrderedLoop {
+            label: "s1".into(),
+            udf: "apply_f".into(),
+            other_bucket_uses: vec![],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_stepping_prints_like_figure_3() {
+        let text = delta_stepping().to_string();
+        assert!(text.contains("var new_dist : int = (priority[src] + weight);"));
+        assert!(text.contains("pq.updatePriorityMin(dst, new_dist);"));
+        assert!(text.contains("applyUpdatePriority(updateEdge)"));
+    }
+
+    #[test]
+    fn kcore_prints_like_figure_10() {
+        let text = kcore().to_string();
+        assert!(text.contains("var k : int = pq.get_current_priority();"));
+        assert!(text.contains("pq.updatePrioritySum(dst, -1, k);"));
+    }
+
+    #[test]
+    fn wbfs_shares_sssp_udf() {
+        assert_eq!(wbfs().udfs, delta_stepping().udfs);
+        assert_eq!(wbfs().name, "wbfs");
+    }
+
+    #[test]
+    fn coarsening_flags_match_section_2() {
+        // §2: coarsening is used in SSSP-family but not k-core/SetCover.
+        assert!(delta_stepping().pq.allow_coarsening);
+        assert!(!kcore().pq.allow_coarsening);
+    }
+}

@@ -1,0 +1,111 @@
+//! The constant-sum UDF transformation (paper Figure 10).
+//!
+//! Given a UDF proven by [`crate::ir::analysis::constant_sum`] to be exactly
+//! `updatePrioritySum(dst, c, current_priority)`, the compiler rewrites it
+//! into a `(vertex, count)` function applied once per distinct vertex after
+//! a histogram reduction:
+//!
+//! ```cpp
+//! apply_f_transformed = [&] (uint vertex, uint count) {
+//!     int k = pq->get_current_priority();
+//!     int priority = pq->priority_vector[vertex];
+//!     if (priority > k) {
+//!         uint __new_pri = std::max(priority + (-1) * count, k);
+//!         pq->priority_vector[vertex] = __new_pri;
+//!         return wrap(vertex, pq->get_bucket(__new_pri));
+//!     }
+//! }
+//! ```
+
+use crate::ir::analysis::{self, AnalysisError};
+use crate::ir::ast::UdfDef;
+use std::fmt;
+
+/// The transformed `(vertex, count)` function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountUdf {
+    /// Derived name (`<udf>_transformed`, as in Figure 10).
+    pub name: String,
+    /// The constant applied per occurrence (−1 for k-core).
+    pub constant: i64,
+}
+
+impl CountUdf {
+    /// Applies the transformed function semantics to a priority value:
+    /// returns the new priority for a vertex seen `count` times while the
+    /// current priority is `k`, or `None` if the vertex is already
+    /// finalized (`priority <= k`).
+    pub fn apply(&self, priority: i64, count: u32, k: i64) -> Option<i64> {
+        if priority > k {
+            Some((priority + self.constant * i64::from(count)).max(k))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for CountUdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} = [&] (uint vertex, uint count) {{", self.name)?;
+        writeln!(f, "    int k = pq->get_current_priority();")?;
+        writeln!(f, "    int priority = pq->priority_vector[vertex];")?;
+        writeln!(f, "    if (priority > k) {{")?;
+        writeln!(
+            f,
+            "        uint __new_pri = std::max(priority + ({}) * count, k);",
+            self.constant
+        )?;
+        writeln!(f, "        pq->priority_vector[vertex] = __new_pri;")?;
+        writeln!(f, "        return wrap(vertex, pq->get_bucket(__new_pri));}}}}")
+    }
+}
+
+/// Runs the constant-sum analysis and, on success, produces the transformed
+/// function.
+///
+/// # Errors
+///
+/// Propagates the analysis failure when the UDF is not a constant sum.
+pub fn transform_constant_sum(udf: &UdfDef) -> Result<CountUdf, AnalysisError> {
+    let info = analysis::constant_sum(udf)?;
+    Ok(CountUdf {
+        name: format!("{}_transformed", udf.name),
+        constant: info.delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::programs;
+
+    #[test]
+    fn kcore_transforms_to_figure_10_bottom() {
+        let prog = programs::kcore();
+        let t = transform_constant_sum(prog.loop_udf().unwrap()).unwrap();
+        assert_eq!(t.name, "apply_f_transformed");
+        assert_eq!(t.constant, -1);
+        let text = t.to_string();
+        assert!(text.contains("int k = pq->get_current_priority();"));
+        assert!(text.contains("std::max(priority + (-1) * count, k)"));
+        assert!(text.contains("return wrap(vertex, pq->get_bucket(__new_pri));"));
+    }
+
+    #[test]
+    fn transformed_semantics_clamp_at_k() {
+        let t = CountUdf {
+            name: "t".into(),
+            constant: -1,
+        };
+        assert_eq!(t.apply(10, 3, 5), Some(7));
+        assert_eq!(t.apply(10, 20, 5), Some(5)); // clamped
+        assert_eq!(t.apply(5, 1, 5), None); // finalized
+        assert_eq!(t.apply(3, 1, 5), None); // below floor
+    }
+
+    #[test]
+    fn sssp_udf_is_rejected() {
+        let prog = programs::delta_stepping();
+        assert!(transform_constant_sum(prog.loop_udf().unwrap()).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! The abstract priority queue of the algorithm language (paper Table 1).
+//!
+//! This facade gives algorithms the exact operator set of Figure 3 for
+//! custom ordered loops (SetCover drives it directly):
+//!
+//! ```text
+//! while (pq.finished() == false)
+//!     var bucket : vertexset = pq.dequeueReadySet();
+//!     #s1# edges.from(bucket).applyUpdatePriority(updateEdge);
+//! end
+//! ```
+//!
+//! Internally it is backed by the lazy bucket structure; priority updates
+//! made between dequeues are buffered (deduplicated) and flushed to the
+//! buckets before the next dequeue — callers never see bucket mechanics.
+//! For whole-algorithm runs where the compiler would fuse the loop into an
+//! ordered operator, use [`crate::engine::run_ordered_on`] instead.
+
+use crate::schedule::Schedule;
+use crate::udf::{OrderedUdf, PriorityOps};
+use crate::vertexset::VertexSubset;
+use priograph_buckets::{BucketOrder, LazyBucketQueue, PriorityMap, SharedFrontier};
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::atomics::{add_clamped, snapshot, write_max, write_min};
+use priograph_parallel::Pool;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An abstract priority queue over a graph's vertices.
+pub struct PriorityQueue<'g> {
+    graph: &'g CsrGraph,
+    priorities: Arc<[AtomicI64]>,
+    queue: LazyBucketQueue,
+    map: PriorityMap,
+    /// Buffered updates since the last dequeue.
+    pending: SharedFrontier,
+    stamps: crate::engine::ctx::RoundStamps,
+    round: AtomicU64,
+    /// Bucket returned by the most recent dequeue.
+    current: Option<i64>,
+    /// Cached next bucket for `finished()` lookahead.
+    lookahead: Option<(i64, Vec<VertexId>)>,
+}
+
+impl fmt::Debug for PriorityQueue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PriorityQueue")
+            .field("num_vertices", &self.priorities.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl<'g> PriorityQueue<'g> {
+    /// Constructs a queue (paper Table 1's `new priority_queue(...)`).
+    ///
+    /// * `order` — `lower_first` ([`BucketOrder::Increasing`]) or
+    ///   `higher_first` ([`BucketOrder::Decreasing`]).
+    /// * `initial` — the priority vector (one value per vertex; use
+    ///   [`priograph_buckets::NULL_PRIORITY`] for ∅).
+    /// * `seeds` — initially scheduled vertices.
+    /// * `schedule` — supplies Δ and the number of open buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the vertex count.
+    pub fn new(
+        graph: &'g CsrGraph,
+        order: BucketOrder,
+        initial: Vec<i64>,
+        seeds: &[VertexId],
+        schedule: &Schedule,
+    ) -> Self {
+        assert_eq!(
+            initial.len(),
+            graph.num_vertices(),
+            "one priority per vertex"
+        );
+        let n = initial.len();
+        let priorities: Arc<[AtomicI64]> = initial.into_iter().map(AtomicI64::new).collect();
+        let map = PriorityMap::new(order, schedule.delta);
+        let mut queue =
+            LazyBucketQueue::new(Arc::clone(&priorities), map, schedule.num_open_buckets);
+        queue.insert_initial(seeds.iter().copied());
+        PriorityQueue {
+            graph,
+            priorities,
+            queue,
+            map,
+            pending: SharedFrontier::new(n + 1),
+            stamps: crate::engine::ctx::RoundStamps::new(n),
+            round: AtomicU64::new(0),
+            current: None,
+            lookahead: None,
+        }
+    }
+
+    /// `pq.finished()`: true when no bucket remains.
+    pub fn finished(&mut self, pool: &Pool) -> bool {
+        self.flush_pending(pool);
+        if self.lookahead.is_none() {
+            self.lookahead = self.queue.next_bucket(pool);
+        }
+        self.lookahead.is_none()
+    }
+
+    /// `pq.dequeueReadySet()`: extracts the next ready bucket as a vertex
+    /// subset. Returns an empty subset when finished.
+    pub fn dequeue_ready_set(&mut self, pool: &Pool) -> VertexSubset {
+        self.flush_pending(pool);
+        let next = self
+            .lookahead
+            .take()
+            .or_else(|| self.queue.next_bucket(pool));
+        match next {
+            Some((bucket, vertices)) => {
+                self.current = Some(bucket);
+                VertexSubset::from_vertices(vertices)
+            }
+            None => VertexSubset::new(),
+        }
+    }
+
+    /// `pq.getCurrentPriority()`: priority of the bucket being processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been dequeued yet.
+    pub fn get_current_priority(&self) -> i64 {
+        let bucket = self.current.expect("no bucket dequeued yet");
+        self.map.priority_of_bucket(bucket)
+    }
+
+    /// `pq.finishedVertex(v)`: true once `v`'s priority can no longer change
+    /// (its bucket precedes the current one).
+    pub fn finished_vertex(&self, v: VertexId) -> bool {
+        let pri = self.priorities[v as usize].load(Ordering::Relaxed);
+        match (self.map.bucket_of(pri), self.current) {
+            (Some(b), Some(cur)) => b < cur,
+            _ => false,
+        }
+    }
+
+    /// Reads `v`'s current priority.
+    pub fn priority_of(&self, v: VertexId) -> i64 {
+        self.priorities[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// `pq.updatePriorityMin(v, new_val)`.
+    pub fn update_priority_min(&self, v: VertexId, new_val: i64) {
+        if write_min(&self.priorities[v as usize], new_val) {
+            self.record(v);
+        }
+    }
+
+    /// `pq.updatePriorityMax(v, new_val)`.
+    pub fn update_priority_max(&self, v: VertexId, new_val: i64) {
+        if write_max(&self.priorities[v as usize], new_val) {
+            self.record(v);
+        }
+    }
+
+    /// `pq.updatePrioritySum(v, delta, threshold)`.
+    pub fn update_priority_sum(&self, v: VertexId, delta: i64, threshold: i64) {
+        if add_clamped(&self.priorities[v as usize], delta, threshold).is_some() {
+            self.record(v);
+        }
+    }
+
+    /// `edges.from(bucket).applyUpdatePriority(udf)`: one parallel
+    /// sparse-push pass over the bucket's out-edges.
+    pub fn apply_update_priority<U: OrderedUdf>(
+        &mut self,
+        pool: &Pool,
+        bucket: &VertexSubset,
+        udf: &U,
+    ) {
+        let ctx = FacadeCtx { pq: self };
+        let frontier = bucket.as_slice();
+        pool.parallel_for(0..frontier.len(), 64, |i| {
+            let src = frontier[i];
+            for e in self.graph.out_edges(src) {
+                udf.apply(src, e.dst, e.weight, &ctx);
+            }
+        });
+    }
+
+    /// Removes `v` from further scheduling by setting its priority to the
+    /// null value ∅ (stale bucket copies are dropped at extraction).
+    pub fn finalize_vertex(&self, v: VertexId) {
+        let null = match self.map.order() {
+            BucketOrder::Increasing => priograph_buckets::NULL_PRIORITY,
+            BucketOrder::Decreasing => -priograph_buckets::NULL_PRIORITY,
+        };
+        self.priorities[v as usize].store(null, Ordering::Relaxed);
+    }
+
+    /// Re-schedules `v` at its *current* priority even though it did not
+    /// change (used by algorithms whose bucket processing can defer a vertex
+    /// to a later round of the same bucket, e.g. SetCover sets that lost
+    /// their element claims).
+    pub fn reschedule(&self, v: VertexId) {
+        self.record(v);
+    }
+
+    /// Snapshot of the priority vector.
+    pub fn priorities(&self) -> Vec<i64> {
+        snapshot(&self.priorities)
+    }
+
+    fn record(&self, v: VertexId) {
+        let round = self.round.load(Ordering::Relaxed);
+        if self.stamps.claim(v, round + 1) {
+            self.pending.push(v);
+        }
+    }
+
+    fn flush_pending(&mut self, pool: &Pool) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let updated = self.pending.to_vec();
+        self.pending.reset();
+        self.round.fetch_add(1, Ordering::Relaxed);
+        self.queue.bulk_update(pool, &updated);
+        // A buffered update may have re-filled an earlier bucket than the
+        // cached lookahead; invalidate it.
+        if let Some((bucket, vertices)) = self.lookahead.take() {
+            // Re-queue the cached bucket contents so nothing is lost.
+            let _ = bucket;
+            for v in vertices {
+                self.queue.insert(v);
+            }
+        }
+    }
+}
+
+/// Priority operators bound to the facade, usable inside UDFs.
+struct FacadeCtx<'a, 'g> {
+    pq: &'a PriorityQueue<'g>,
+}
+
+impl PriorityOps for FacadeCtx<'_, '_> {
+    fn current_priority(&self) -> i64 {
+        self.pq.get_current_priority()
+    }
+    fn get(&self, v: VertexId) -> i64 {
+        self.pq.priority_of(v)
+    }
+    fn update_min(&self, v: VertexId, new_val: i64) {
+        self.pq.update_priority_min(v, new_val);
+    }
+    fn update_max(&self, v: VertexId, new_val: i64) {
+        self.pq.update_priority_max(v, new_val);
+    }
+    fn update_sum(&self, v: VertexId, delta: i64, threshold: i64) {
+        self.pq.update_priority_sum(v, delta, threshold);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::MinPlusWeight;
+    use priograph_buckets::NULL_PRIORITY;
+    use priograph_graph::GraphBuilder;
+
+    fn sssp_via_facade(graph: &CsrGraph, source: VertexId, delta: i64) -> Vec<i64> {
+        let pool = Pool::new(2);
+        let mut initial = vec![NULL_PRIORITY; graph.num_vertices()];
+        initial[source as usize] = 0;
+        let schedule = Schedule::lazy(delta);
+        let mut pq = PriorityQueue::new(
+            graph,
+            BucketOrder::Increasing,
+            initial,
+            &[source],
+            &schedule,
+        );
+        // The exact loop of paper Figure 3.
+        while !pq.finished(&pool) {
+            let bucket = pq.dequeue_ready_set(&pool);
+            pq.apply_update_priority(&pool, &bucket, &MinPlusWeight);
+        }
+        pq.priorities()
+    }
+
+    fn diamond() -> CsrGraph {
+        GraphBuilder::new(5)
+            .edge(0, 1, 5)
+            .edge(0, 2, 1)
+            .edge(2, 1, 1)
+            .edge(1, 3, 2)
+            .edge(2, 3, 10)
+            .build()
+    }
+
+    #[test]
+    fn figure_3_loop_computes_sssp() {
+        let g = diamond();
+        assert_eq!(sssp_via_facade(&g, 0, 1)[..4], [0, 2, 1, 4]);
+        assert_eq!(sssp_via_facade(&g, 0, 4)[..4], [0, 2, 1, 4]);
+    }
+
+    #[test]
+    fn finished_on_empty_queue() {
+        let g = diamond();
+        let pool = Pool::new(1);
+        let mut pq = PriorityQueue::new(
+            &g,
+            BucketOrder::Increasing,
+            vec![NULL_PRIORITY; 5],
+            &[],
+            &Schedule::lazy(1),
+        );
+        assert!(pq.finished(&pool));
+        assert!(pq.dequeue_ready_set(&pool).is_empty());
+    }
+
+    #[test]
+    fn finished_vertex_tracks_processing() {
+        let g = GraphBuilder::new(3).edge(0, 1, 1).edge(1, 2, 1).build();
+        let pool = Pool::new(1);
+        let mut initial = vec![NULL_PRIORITY; 3];
+        initial[0] = 0;
+        let mut pq =
+            PriorityQueue::new(&g, BucketOrder::Increasing, initial, &[0], &Schedule::lazy(1));
+        let b0 = pq.dequeue_ready_set(&pool);
+        assert_eq!(b0.as_slice(), &[0]);
+        assert_eq!(pq.get_current_priority(), 0);
+        assert!(!pq.finished_vertex(0)); // being processed now
+        pq.apply_update_priority(&pool, &b0, &MinPlusWeight);
+        let b1 = pq.dequeue_ready_set(&pool);
+        assert_eq!(b1.as_slice(), &[1]);
+        assert!(pq.finished_vertex(0));
+        assert!(!pq.finished_vertex(2)); // still null
+    }
+
+    #[test]
+    fn manual_updates_between_dequeues_are_buffered() {
+        let g = GraphBuilder::new(3).build();
+        let pool = Pool::new(1);
+        let mut pq = PriorityQueue::new(
+            &g,
+            BucketOrder::Increasing,
+            vec![NULL_PRIORITY; 3],
+            &[],
+            &Schedule::lazy(1),
+        );
+        assert!(pq.finished(&pool));
+        pq.update_priority_min(2, 7);
+        pq.update_priority_min(2, 6); // improves, still one pending entry
+        assert!(!pq.finished(&pool));
+        let b = pq.dequeue_ready_set(&pool);
+        assert_eq!(b.as_slice(), &[2]);
+        assert_eq!(pq.get_current_priority(), 6);
+    }
+
+    #[test]
+    fn higher_first_order_dequeues_descending() {
+        let g = GraphBuilder::new(3).build();
+        let pool = Pool::new(1);
+        let mut pq = PriorityQueue::new(
+            &g,
+            BucketOrder::Decreasing,
+            vec![10, 30, 20],
+            &[0, 1, 2],
+            &Schedule::lazy(1),
+        );
+        let mut order = Vec::new();
+        while !pq.finished(&pool) {
+            let b = pq.dequeue_ready_set(&pool);
+            order.extend_from_slice(b.as_slice());
+        }
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Problem descriptions: the algorithmic half of a priority-queue
+//! construction (paper Table 1's `new priority_queue(...)` arguments).
+
+use crate::stats::ExecStats;
+use priograph_buckets::BucketOrder;
+use priograph_graph::{CsrGraph, VertexId};
+
+/// Initial priority assignment (the `priority_vector` argument).
+#[derive(Debug, Clone)]
+pub enum InitPriorities {
+    /// Every vertex starts at the same value (e.g. `INT_MAX` → [`crate::prelude::NULL_PRIORITY`]).
+    Constant(i64),
+    /// Explicit per-vertex values (e.g. degrees for k-core).
+    PerVertex(Vec<i64>),
+}
+
+/// Which vertices enter the bucket structure initially.
+#[derive(Debug, Clone)]
+pub enum Seeds {
+    /// An explicit list (SSSP: the start vertex).
+    Vertices(Vec<VertexId>),
+    /// Every vertex with a non-null priority (k-core: all of them).
+    AllFinite,
+}
+
+/// An ordered-processing problem: graph + priority-queue construction
+/// parameters. Pair it with a [`crate::schedule::Schedule`] and an
+/// [`crate::udf::OrderedUdf`] to run.
+#[derive(Debug, Clone)]
+pub struct OrderedProblem<'g> {
+    /// The graph to traverse.
+    pub graph: &'g CsrGraph,
+    /// Lower- or higher-priority-first execution.
+    pub order: BucketOrder,
+    /// Whether priority coarsening (Δ > 1) is legal for this algorithm.
+    pub coarsening_allowed: bool,
+    /// Initial priorities.
+    pub init: InitPriorities,
+    /// Initially scheduled vertices.
+    pub seeds: Seeds,
+}
+
+impl<'g> OrderedProblem<'g> {
+    /// A `lower_first` problem (SSSP family, k-core) with null initial
+    /// priorities and no seeds; configure with the builder methods.
+    pub fn lower_first(graph: &'g CsrGraph) -> Self {
+        OrderedProblem {
+            graph,
+            order: BucketOrder::Increasing,
+            coarsening_allowed: false,
+            init: InitPriorities::Constant(priograph_buckets::NULL_PRIORITY),
+            seeds: Seeds::Vertices(Vec::new()),
+        }
+    }
+
+    /// A `higher_first` problem (SetCover).
+    pub fn higher_first(graph: &'g CsrGraph) -> Self {
+        OrderedProblem {
+            order: BucketOrder::Decreasing,
+            ..OrderedProblem::lower_first(graph)
+        }
+    }
+
+    /// Permits priority coarsening (Δ > 1 in the schedule).
+    pub fn allow_coarsening(mut self) -> Self {
+        self.coarsening_allowed = true;
+        self
+    }
+
+    /// Sets every initial priority to `value`.
+    pub fn init_constant(mut self, value: i64) -> Self {
+        self.init = InitPriorities::Constant(value);
+        self
+    }
+
+    /// Sets explicit per-vertex initial priorities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the vertex count.
+    pub fn init_per_vertex(mut self, values: Vec<i64>) -> Self {
+        assert_eq!(
+            values.len(),
+            self.graph.num_vertices(),
+            "one priority per vertex"
+        );
+        self.init = InitPriorities::PerVertex(values);
+        self
+    }
+
+    /// Seeds `vertex` with `priority` (overriding its initial value) and
+    /// schedules it. SSSP calls `seed(start, 0)`.
+    pub fn seed(mut self, vertex: VertexId, priority: i64) -> Self {
+        let n = self.graph.num_vertices();
+        assert!((vertex as usize) < n, "seed vertex out of range");
+        match &mut self.init {
+            InitPriorities::PerVertex(values) => values[vertex as usize] = priority,
+            InitPriorities::Constant(c) => {
+                let mut values = vec![*c; n];
+                values[vertex as usize] = priority;
+                self.init = InitPriorities::PerVertex(values);
+            }
+        }
+        match &mut self.seeds {
+            Seeds::Vertices(list) => list.push(vertex),
+            Seeds::AllFinite => {}
+        }
+        self
+    }
+
+    /// Schedules every vertex whose initial priority is non-null (k-core).
+    pub fn seed_all_finite(mut self) -> Self {
+        self.seeds = Seeds::AllFinite;
+        self
+    }
+
+    /// Materializes the initial priority vector.
+    pub fn initial_priorities(&self) -> Vec<i64> {
+        match &self.init {
+            InitPriorities::Constant(c) => vec![*c; self.graph.num_vertices()],
+            InitPriorities::PerVertex(values) => values.clone(),
+        }
+    }
+
+    /// Materializes the seed list against `priorities`.
+    pub fn seed_vertices(&self, priorities: &[i64]) -> Vec<VertexId> {
+        match &self.seeds {
+            Seeds::Vertices(list) => list.clone(),
+            Seeds::AllFinite => priorities
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p.abs() < priograph_buckets::NULL_PRIORITY)
+                .map(|(v, _)| v as VertexId)
+                .collect(),
+        }
+    }
+}
+
+/// The result of an ordered execution.
+#[derive(Debug, Clone)]
+pub struct OrderedOutput {
+    /// Final per-vertex priorities (distances for SSSP, coreness for
+    /// k-core, …).
+    pub priorities: Vec<i64>,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_buckets::NULL_PRIORITY;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn seed_overrides_priority_and_schedules() {
+        let g = GraphGen::path(4).build();
+        let p = OrderedProblem::lower_first(&g)
+            .init_constant(NULL_PRIORITY)
+            .seed(2, 0);
+        let pri = p.initial_priorities();
+        assert_eq!(pri[2], 0);
+        assert_eq!(pri[0], NULL_PRIORITY);
+        assert_eq!(p.seed_vertices(&pri), vec![2]);
+    }
+
+    #[test]
+    fn seed_all_finite_selects_non_null() {
+        let g = GraphGen::path(3).build();
+        let p = OrderedProblem::lower_first(&g)
+            .init_per_vertex(vec![1, NULL_PRIORITY, 5])
+            .seed_all_finite();
+        let pri = p.initial_priorities();
+        assert_eq!(p.seed_vertices(&pri), vec![0, 2]);
+    }
+
+    #[test]
+    fn higher_first_flips_order() {
+        let g = GraphGen::path(2).build();
+        assert_eq!(
+            OrderedProblem::higher_first(&g).order,
+            BucketOrder::Decreasing
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn seed_out_of_range_panics() {
+        let g = GraphGen::path(2).build();
+        let _ = OrderedProblem::lower_first(&g).seed(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one priority per vertex")]
+    fn wrong_init_length_panics() {
+        let g = GraphGen::path(3).build();
+        let _ = OrderedProblem::lower_first(&g).init_per_vertex(vec![0; 2]);
+    }
+}

@@ -1,0 +1,377 @@
+//! The scheduling language (paper Table 2).
+//!
+//! A [`Schedule`] describes *how* an ordered algorithm executes without
+//! touching its specification. The builder methods carry the names of the
+//! paper's scheduling functions:
+//!
+//! | Paper (Table 2) | Here |
+//! |---|---|
+//! | `configApplyPriorityUpdate(label, s)` | [`Schedule::config_apply_priority_update`] |
+//! | `configApplyPriorityUpdateDelta(label, Δ)` | [`Schedule::config_apply_priority_update_delta`] |
+//! | `configBucketFusionThreshold(label, t)` | [`Schedule::config_bucket_fusion_threshold`] |
+//! | `configNumBuckets(label, k)` | [`Schedule::config_num_buckets`] |
+//! | `configApplyDirection(label, d)` | [`Schedule::config_apply_direction`] |
+//! | `configApplyParallelization(label, p)` | [`Schedule::config_apply_parallelization`] |
+//!
+//! (Labels are unnecessary in the embedded setting: a schedule configures the
+//! single `applyUpdatePriority` operator it is passed alongside.)
+
+use std::fmt;
+
+/// Bucket update strategy (the `configApplyPriorityUpdate` options; paper
+/// Table 2 lists `eager_with_fusion`, `eager_no_fusion`, `lazy_constant_sum`,
+/// and `lazy`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PriorityUpdateStrategy {
+    /// Eager thread-local bucket updates with the bucket fusion optimization
+    /// (§3.3) — the paper's default.
+    EagerWithFusion,
+    /// Eager thread-local bucket updates, one global sync per round (§3.2).
+    EagerNoFusion,
+    /// Lazy buffered bucket updates with a bulk re-bucketing pass (§3.1).
+    Lazy,
+    /// Lazy updates reduced with a histogram, for UDFs that change priorities
+    /// by a fixed constant (§5.1, Figure 10).
+    LazyConstantSum,
+}
+
+impl PriorityUpdateStrategy {
+    /// The scheduling-language spelling (`"eager_with_fusion"` etc.).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PriorityUpdateStrategy::EagerWithFusion => "eager_with_fusion",
+            PriorityUpdateStrategy::EagerNoFusion => "eager_no_fusion",
+            PriorityUpdateStrategy::Lazy => "lazy",
+            PriorityUpdateStrategy::LazyConstantSum => "lazy_constant_sum",
+        }
+    }
+}
+
+impl fmt::Display for PriorityUpdateStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Edge traversal direction for the lazy engine (`configApplyDirection`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Sparse frontier, push along out-edges (Figure 9(a)); the default.
+    SparsePush,
+    /// Dense frontier, pull along in-edges — destinations update themselves,
+    /// so no atomics are needed (Figure 9(b)).
+    DensePull,
+}
+
+impl Direction {
+    /// The scheduling-language spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Direction::SparsePush => "SparsePush",
+            Direction::DensePull => "DensePull",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Load balancing for vertex loops (`configApplyParallelization`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Parallelization {
+    /// OpenMP `schedule(dynamic, grain)`-style chunk claiming.
+    DynamicVertex {
+        /// Chunk size.
+        grain: usize,
+    },
+    /// One contiguous block per thread (`schedule(static)`).
+    StaticVertex,
+}
+
+impl Parallelization {
+    /// The scheduling-language spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Parallelization::DynamicVertex { .. } => "dynamic-vertex-parallel",
+            Parallelization::StaticVertex => "static-vertex-parallel",
+        }
+    }
+}
+
+/// Default bucket fusion threshold: local buckets smaller than this are
+/// drained in place instead of being redistributed (§3.3 notes the threshold
+/// avoids straggler threads).
+pub const DEFAULT_FUSION_THRESHOLD: usize = 1000;
+
+/// A complete optimization strategy for one `applyUpdatePriority` operator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Bucket update strategy.
+    pub priority_update: PriorityUpdateStrategy,
+    /// Priority coarsening factor Δ (≥ 1; 1 disables coarsening).
+    pub delta: i64,
+    /// Bucket fusion threshold (only meaningful with
+    /// [`PriorityUpdateStrategy::EagerWithFusion`]).
+    pub fusion_threshold: usize,
+    /// Number of materialized buckets for the lazy strategies.
+    pub num_open_buckets: usize,
+    /// Traversal direction (lazy strategies only; eager is push-based).
+    pub direction: Direction,
+    /// Vertex-loop load balancing.
+    pub parallelization: Parallelization,
+}
+
+impl Default for Schedule {
+    /// The paper's defaults: `eager_with_fusion`, `SparsePush`,
+    /// dynamic vertex parallelism (Table 2 bolds these), Δ = 1.
+    fn default() -> Self {
+        Schedule {
+            priority_update: PriorityUpdateStrategy::EagerWithFusion,
+            delta: 1,
+            fusion_threshold: DEFAULT_FUSION_THRESHOLD,
+            num_open_buckets: priograph_buckets::DEFAULT_OPEN_BUCKETS,
+            direction: Direction::SparsePush,
+            parallelization: Parallelization::DynamicVertex {
+                grain: priograph_parallel::DEFAULT_GRAIN,
+            },
+        }
+    }
+}
+
+impl Schedule {
+    /// Eager updates with bucket fusion and coarsening factor `delta`.
+    pub fn eager_with_fusion(delta: i64) -> Self {
+        Schedule {
+            priority_update: PriorityUpdateStrategy::EagerWithFusion,
+            delta,
+            ..Schedule::default()
+        }
+    }
+
+    /// Eager updates without fusion.
+    pub fn eager(delta: i64) -> Self {
+        Schedule {
+            priority_update: PriorityUpdateStrategy::EagerNoFusion,
+            delta,
+            ..Schedule::default()
+        }
+    }
+
+    /// Lazy buffered updates.
+    pub fn lazy(delta: i64) -> Self {
+        Schedule {
+            priority_update: PriorityUpdateStrategy::Lazy,
+            delta,
+            ..Schedule::default()
+        }
+    }
+
+    /// Lazy updates with the constant-sum histogram reduction (Δ is forced
+    /// to 1: constant-sum algorithms such as k-core forbid coarsening).
+    pub fn lazy_constant_sum() -> Self {
+        Schedule {
+            priority_update: PriorityUpdateStrategy::LazyConstantSum,
+            delta: 1,
+            ..Schedule::default()
+        }
+    }
+
+    /// `configApplyPriorityUpdate`: selects the bucket update strategy.
+    pub fn config_apply_priority_update(mut self, strategy: PriorityUpdateStrategy) -> Self {
+        self.priority_update = strategy;
+        self
+    }
+
+    /// `configApplyPriorityUpdateDelta`: sets the coarsening factor Δ.
+    pub fn config_apply_priority_update_delta(mut self, delta: i64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// `configBucketFusionThreshold`: sets the fusion threshold.
+    pub fn config_bucket_fusion_threshold(mut self, threshold: usize) -> Self {
+        self.fusion_threshold = threshold;
+        self
+    }
+
+    /// `configNumBuckets`: sets the number of materialized lazy buckets.
+    pub fn config_num_buckets(mut self, num: usize) -> Self {
+        self.num_open_buckets = num;
+        self
+    }
+
+    /// `configApplyDirection`: sets the traversal direction.
+    pub fn config_apply_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// `configApplyParallelization`: sets the load-balancing strategy.
+    pub fn config_apply_parallelization(mut self, parallelization: Parallelization) -> Self {
+        self.parallelization = parallelization;
+        self
+    }
+
+    /// True for the two eager strategies.
+    pub fn is_eager(&self) -> bool {
+        matches!(
+            self.priority_update,
+            PriorityUpdateStrategy::EagerWithFusion | PriorityUpdateStrategy::EagerNoFusion
+        )
+    }
+
+    /// Loop grain size implied by the parallelization choice.
+    pub fn grain(&self) -> usize {
+        match self.parallelization {
+            Parallelization::DynamicVertex { grain } => grain,
+            Parallelization::StaticVertex => priograph_parallel::DEFAULT_GRAIN,
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "configApplyPriorityUpdate(\"{}\") -> configApplyPriorityUpdateDelta({}) -> \
+             configApplyDirection(\"{}\") -> configApplyParallelization(\"{}\")",
+            self.priority_update,
+            self.delta,
+            self.direction,
+            self.parallelization.as_str()
+        )?;
+        if self.priority_update == PriorityUpdateStrategy::EagerWithFusion {
+            write!(f, " -> configBucketFusionThreshold({})", self.fusion_threshold)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a schedule cannot be applied to a given problem — the runtime analogue
+/// of the compile-time checks in §5 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Δ > 1 requested but the priority queue was constructed without
+    /// priority coarsening (k-core, SetCover).
+    CoarseningNotAllowed {
+        /// The requested Δ.
+        delta: i64,
+    },
+    /// The eager engine only supports `lower_first` execution over
+    /// non-negative priorities (GAPBS-style bins are an array).
+    EagerRequiresLowerFirst,
+    /// `lazy_constant_sum` was requested but the UDF is not a constant-sum
+    /// priority update (the analysis of Figure 10 failed).
+    ConstantSumRequired,
+    /// `DensePull` traversal is only generated for the lazy strategies.
+    DensePullRequiresLazy,
+    /// Δ must be at least 1.
+    InvalidDelta {
+        /// The offending value.
+        delta: i64,
+    },
+    /// The fusion threshold must be positive.
+    InvalidFusionThreshold,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::CoarseningNotAllowed { delta } => write!(
+                f,
+                "priority coarsening (delta = {delta}) requested but the problem forbids it"
+            ),
+            ScheduleError::EagerRequiresLowerFirst => {
+                write!(f, "eager bucket updates require lower_first priority ordering")
+            }
+            ScheduleError::ConstantSumRequired => write!(
+                f,
+                "lazy_constant_sum requires a UDF proven to be a constant-sum priority update"
+            ),
+            ScheduleError::DensePullRequiresLazy => {
+                write!(f, "DensePull traversal is only available with lazy bucket updates")
+            }
+            ScheduleError::InvalidDelta { delta } => {
+                write!(f, "coarsening factor must be >= 1, got {delta}")
+            }
+            ScheduleError::InvalidFusionThreshold => {
+                write!(f, "bucket fusion threshold must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_bold_options() {
+        let s = Schedule::default();
+        assert_eq!(s.priority_update, PriorityUpdateStrategy::EagerWithFusion);
+        assert_eq!(s.direction, Direction::SparsePush);
+        assert!(matches!(
+            s.parallelization,
+            Parallelization::DynamicVertex { grain: 64 }
+        ));
+        assert_eq!(s.delta, 1);
+    }
+
+    #[test]
+    fn builders_set_strategy_and_delta() {
+        assert_eq!(
+            Schedule::eager(16).priority_update,
+            PriorityUpdateStrategy::EagerNoFusion
+        );
+        assert_eq!(Schedule::eager(16).delta, 16);
+        assert_eq!(Schedule::lazy(4).priority_update, PriorityUpdateStrategy::Lazy);
+        let cs = Schedule::lazy_constant_sum();
+        assert_eq!(cs.priority_update, PriorityUpdateStrategy::LazyConstantSum);
+        assert_eq!(cs.delta, 1);
+    }
+
+    #[test]
+    fn chained_config_mirrors_figure_8() {
+        // program->configApplyPriorityUpdate("s1", "lazy")
+        //        ->configApplyPriorityUpdateDelta("s1", "4")
+        //        ->configApplyDirection("s1", "SparsePush")
+        //        ->configApplyParallelization("s1","dynamic-vertex-parallel");
+        let s = Schedule::default()
+            .config_apply_priority_update(PriorityUpdateStrategy::Lazy)
+            .config_apply_priority_update_delta(4)
+            .config_apply_direction(Direction::SparsePush)
+            .config_apply_parallelization(Parallelization::DynamicVertex { grain: 64 });
+        assert_eq!(s.priority_update, PriorityUpdateStrategy::Lazy);
+        assert_eq!(s.delta, 4);
+        assert!(!s.is_eager());
+    }
+
+    #[test]
+    fn display_is_schedule_language_like() {
+        let text = Schedule::eager_with_fusion(8).to_string();
+        assert!(text.contains("eager_with_fusion"));
+        assert!(text.contains("configBucketFusionThreshold"));
+        let lazy = Schedule::lazy(2).to_string();
+        assert!(!lazy.contains("FusionThreshold"));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ScheduleError::CoarseningNotAllowed { delta: 8 };
+        assert!(e.to_string().contains("delta = 8"));
+        assert!(ScheduleError::ConstantSumRequired.to_string().contains("constant-sum"));
+    }
+
+    #[test]
+    fn grain_falls_back_for_static() {
+        assert_eq!(Schedule::default().grain(), 64);
+        let s = Schedule::default()
+            .config_apply_parallelization(Parallelization::StaticVertex);
+        assert_eq!(s.grain(), 64);
+    }
+}

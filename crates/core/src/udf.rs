@@ -1,0 +1,251 @@
+//! User-defined edge functions and the priority operators they may call.
+//!
+//! An [`OrderedUdf`] is the body of the paper's `updateEdge` function
+//! (Figure 3 lines 7–10): it sees one edge and may update priorities through
+//! a [`PriorityOps`] handle. The handle hides everything the compiler would
+//! otherwise generate — atomics, deduplication, and bucket insertion — and
+//! each engine supplies its own implementation (eager handles push straight
+//! into thread-local bins; lazy handles record into the round's buffer).
+
+use priograph_graph::{VertexId, Weight};
+
+/// Priority operators available inside UDFs (paper Table 1).
+///
+/// Object safe so that closure-based UDFs ([`FnUdf`]) can take `&dyn
+/// PriorityOps`; engine code uses static dispatch.
+pub trait PriorityOps {
+    /// Priority value of the bucket being processed
+    /// (`pq.getCurrentPriority()`).
+    fn current_priority(&self) -> i64;
+
+    /// Reads `v`'s current priority.
+    fn get(&self, v: VertexId) -> i64;
+
+    /// `pq.updatePriorityMin(v, new_val)`: lowers `v`'s priority to
+    /// `new_val` if smaller, scheduling `v` into its new bucket on success.
+    fn update_min(&self, v: VertexId, new_val: i64);
+
+    /// `pq.updatePriorityMax(v, new_val)`: raises `v`'s priority to
+    /// `new_val` if larger.
+    fn update_max(&self, v: VertexId, new_val: i64);
+
+    /// `pq.updatePrioritySum(v, delta, threshold)`: adds `delta`, clamped so
+    /// a decreasing priority never crosses `threshold`; no-op on vertices
+    /// already at or below the threshold (finalized).
+    fn update_sum(&self, v: VertexId, delta: i64, threshold: i64);
+}
+
+/// A user-defined function applied to every edge leaving the current bucket
+/// (the argument of `applyUpdatePriority`).
+pub trait OrderedUdf: Sync {
+    /// Processes one edge. `src` comes from the dequeued bucket.
+    fn apply<P: PriorityOps>(&self, src: VertexId, dst: VertexId, weight: Weight, pq: &P);
+
+    /// `Some(c)` if this UDF is *exactly* one `updatePrioritySum(dst, c,
+    /// current_priority)` — the property the compiler's constant-sum
+    /// analysis must prove before selecting the histogram strategy
+    /// (paper Figure 10).
+    fn constant_sum(&self) -> Option<i64> {
+        None
+    }
+
+    /// True if a vertex must be processed at most once over the whole run
+    /// (k-core peels each vertex exactly once; SSSP may legitimately
+    /// reprocess a vertex whose distance improved within a bucket).
+    fn needs_final_dedup(&self) -> bool {
+        false
+    }
+}
+
+/// The Δ-stepping relaxation: `updatePriorityMin(dst, pri[src] + weight)`.
+///
+/// This single UDF implements SSSP, wBFS, and PPSP (the latter two differ
+/// only in Δ and the stop condition).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinPlusWeight;
+
+impl OrderedUdf for MinPlusWeight {
+    #[inline]
+    fn apply<P: PriorityOps>(&self, src: VertexId, dst: VertexId, weight: Weight, pq: &P) {
+        let new_dist = pq.get(src) + i64::from(weight);
+        pq.update_min(dst, new_dist);
+    }
+}
+
+/// The k-core peel: decrement the neighbor's degree, floored at the current
+/// core value (Figure 10 top: `pq.updatePrioritySum(dst, -1, k)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecrementToFloor;
+
+impl OrderedUdf for DecrementToFloor {
+    #[inline]
+    fn apply<P: PriorityOps>(&self, _src: VertexId, dst: VertexId, _weight: Weight, pq: &P) {
+        let k = pq.current_priority();
+        pq.update_sum(dst, -1, k);
+    }
+
+    fn constant_sum(&self) -> Option<i64> {
+        Some(-1)
+    }
+
+    fn needs_final_dedup(&self) -> bool {
+        true
+    }
+}
+
+/// Adapts a closure taking `&dyn PriorityOps` into an [`OrderedUdf`].
+///
+/// Convenient for examples and one-off algorithms; named structs with
+/// inherent `apply` stay fully monomorphized and are preferred in hot paths.
+///
+/// # Example
+///
+/// ```
+/// use priograph_core::udf::{FnUdf, OrderedUdf, PriorityOps};
+///
+/// let udf = FnUdf::new(|src, dst, w, pq: &dyn PriorityOps| {
+///     pq.update_min(dst, pq.get(src) + i64::from(w));
+/// });
+/// # let _ = udf;
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnUdf<F> {
+    f: F,
+    constant_sum: Option<i64>,
+    needs_final_dedup: bool,
+}
+
+impl<F> FnUdf<F>
+where
+    F: Fn(VertexId, VertexId, Weight, &dyn PriorityOps) + Sync,
+{
+    /// Wraps `f` as a UDF with no special properties.
+    pub fn new(f: F) -> Self {
+        FnUdf {
+            f,
+            constant_sum: None,
+            needs_final_dedup: false,
+        }
+    }
+
+    /// Declares the UDF a constant-sum update (enables `lazy_constant_sum`).
+    pub fn with_constant_sum(mut self, c: i64) -> Self {
+        self.constant_sum = Some(c);
+        self
+    }
+
+    /// Declares that vertices are processed at most once.
+    pub fn with_final_dedup(mut self) -> Self {
+        self.needs_final_dedup = true;
+        self
+    }
+}
+
+impl<F> OrderedUdf for FnUdf<F>
+where
+    F: Fn(VertexId, VertexId, Weight, &dyn PriorityOps) + Sync,
+{
+    #[inline]
+    fn apply<P: PriorityOps>(&self, src: VertexId, dst: VertexId, weight: Weight, pq: &P) {
+        (self.f)(src, dst, weight, &DynShim(pq));
+    }
+
+    fn constant_sum(&self) -> Option<i64> {
+        self.constant_sum
+    }
+
+    fn needs_final_dedup(&self) -> bool {
+        self.needs_final_dedup
+    }
+}
+
+/// Forwards a concrete context as `&dyn PriorityOps` without requiring
+/// `P: Sized + 'static` coercions at every call site.
+struct DynShim<'a, P: PriorityOps>(&'a P);
+
+impl<P: PriorityOps> PriorityOps for DynShim<'_, P> {
+    fn current_priority(&self) -> i64 {
+        self.0.current_priority()
+    }
+    fn get(&self, v: VertexId) -> i64 {
+        self.0.get(v)
+    }
+    fn update_min(&self, v: VertexId, new_val: i64) {
+        self.0.update_min(v, new_val)
+    }
+    fn update_max(&self, v: VertexId, new_val: i64) {
+        self.0.update_max(v, new_val)
+    }
+    fn update_sum(&self, v: VertexId, delta: i64, threshold: i64) {
+        self.0.update_sum(v, delta, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Records every operator call for inspection.
+    #[derive(Default)]
+    struct Recorder {
+        calls: RefCell<Vec<String>>,
+    }
+
+    impl PriorityOps for Recorder {
+        fn current_priority(&self) -> i64 {
+            7
+        }
+        fn get(&self, v: VertexId) -> i64 {
+            i64::from(v) * 10
+        }
+        fn update_min(&self, v: VertexId, new_val: i64) {
+            self.calls.borrow_mut().push(format!("min({v},{new_val})"));
+        }
+        fn update_max(&self, v: VertexId, new_val: i64) {
+            self.calls.borrow_mut().push(format!("max({v},{new_val})"));
+        }
+        fn update_sum(&self, v: VertexId, delta: i64, threshold: i64) {
+            self.calls
+                .borrow_mut()
+                .push(format!("sum({v},{delta},{threshold})"));
+        }
+    }
+
+    #[test]
+    fn min_plus_weight_relaxes() {
+        let rec = Recorder::default();
+        MinPlusWeight.apply(2, 5, 3, &rec);
+        assert_eq!(rec.calls.into_inner(), vec!["min(5,23)"]);
+        assert_eq!(MinPlusWeight.constant_sum(), None);
+        assert!(!MinPlusWeight.needs_final_dedup());
+    }
+
+    #[test]
+    fn decrement_to_floor_uses_current_priority() {
+        let rec = Recorder::default();
+        DecrementToFloor.apply(0, 4, 1, &rec);
+        assert_eq!(rec.calls.into_inner(), vec!["sum(4,-1,7)"]);
+        assert_eq!(DecrementToFloor.constant_sum(), Some(-1));
+        assert!(DecrementToFloor.needs_final_dedup());
+    }
+
+    #[test]
+    fn fn_udf_forwards_through_dyn() {
+        let udf = FnUdf::new(|src, dst, w, pq: &dyn PriorityOps| {
+            pq.update_max(dst, pq.get(src) + i64::from(w) + pq.current_priority());
+        });
+        let rec = Recorder::default();
+        udf.apply(1, 2, 3, &rec);
+        assert_eq!(rec.calls.into_inner(), vec!["max(2,20)"]);
+    }
+
+    #[test]
+    fn fn_udf_property_declarations() {
+        let udf = FnUdf::new(|_, _, _, _: &dyn PriorityOps| {})
+            .with_constant_sum(-1)
+            .with_final_dedup();
+        assert_eq!(udf.constant_sum(), Some(-1));
+        assert!(udf.needs_final_dedup());
+    }
+}

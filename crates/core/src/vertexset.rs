@@ -1,0 +1,129 @@
+//! Vertex subsets (frontiers) in sparse and dense form.
+//!
+//! GraphIt frontiers switch representation with the traversal direction:
+//! sparse vertex lists for push, dense boolean maps for pull (paper Figure 9
+//! (a) vs (b): `frontier.vert_array` vs `frontier->bool_map_`).
+
+use priograph_graph::VertexId;
+
+/// A set of active vertices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VertexSubset {
+    vertices: Vec<VertexId>,
+}
+
+impl VertexSubset {
+    /// An empty subset.
+    pub fn new() -> Self {
+        VertexSubset::default()
+    }
+
+    /// Wraps a sparse vertex list.
+    pub fn from_vertices(vertices: Vec<VertexId>) -> Self {
+        VertexSubset { vertices }
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Sparse view.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Iterates over the active vertices.
+    pub fn iter(&self) -> std::slice::Iter<'_, VertexId> {
+        self.vertices.iter()
+    }
+
+    /// Consumes the subset, returning the sparse list.
+    pub fn into_vec(self) -> Vec<VertexId> {
+        self.vertices
+    }
+
+    /// Dense boolean map over `n` vertices (the pull-direction layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is out of range.
+    pub fn to_dense(&self, n: usize) -> Vec<bool> {
+        let mut dense = vec![false; n];
+        for &v in &self.vertices {
+            dense[v as usize] = true;
+        }
+        dense
+    }
+
+    /// Builds a subset from a dense boolean map.
+    pub fn from_dense(dense: &[bool]) -> Self {
+        VertexSubset {
+            vertices: dense
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i as VertexId))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<VertexId> for VertexSubset {
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        VertexSubset {
+            vertices: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSubset {
+    type Item = &'a VertexId;
+    type IntoIter = std::slice::Iter<'a, VertexId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vertices.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_round_trip() {
+        let s = VertexSubset::from_vertices(vec![3, 1, 4]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.as_slice(), &[3, 1, 4]);
+        assert_eq!(s.clone().into_vec(), vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let s: VertexSubset = [0u32, 2, 5].into_iter().collect();
+        let dense = s.to_dense(6);
+        assert_eq!(dense, vec![true, false, true, false, false, true]);
+        let back = VertexSubset::from_dense(&dense);
+        assert_eq!(back.as_slice(), &[0, 2, 5]);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let s = VertexSubset::new();
+        assert!(s.is_empty());
+        assert_eq!(s.to_dense(3), vec![false; 3]);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn borrowing_iteration() {
+        let s = VertexSubset::from_vertices(vec![7, 8]);
+        let sum: u32 = (&s).into_iter().sum();
+        assert_eq!(sum, 15);
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge-list to CSR construction.
+
+use crate::csr::{CsrGraph, Edge};
+use crate::{VertexId, Weight};
+
+/// Builds a [`CsrGraph`] from an edge list via counting sort.
+///
+/// # Example
+///
+/// ```
+/// use priograph_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(3)
+///     .edge(0, 1, 4)
+///     .edge(1, 2, 1)
+///     .build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.out_degree(0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a single directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the weight is negative.
+    pub fn edge(mut self, src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        self.push_edge(src, dst, weight);
+        self
+    }
+
+    /// Adds many directed edges.
+    pub fn edges<I>(mut self, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    {
+        for (s, d, w) in edges {
+            self.push_edge(s, d, w);
+        }
+        self
+    }
+
+    fn push_edge(&mut self, src: VertexId, dst: VertexId, weight: Weight) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src}, {dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        assert!(weight >= 0, "negative weight {weight} not supported");
+        self.edges.push((src, dst, weight));
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR arrays (both directions).
+    pub fn build(self) -> CsrGraph {
+        let n = self.num_vertices;
+        let (out_offsets, out_edges) = bucket_by(n, &self.edges, |&(s, d, w)| (s, Edge { dst: d, weight: w }));
+        let (in_offsets, in_edges) = bucket_by(n, &self.edges, |&(s, d, w)| (d, Edge { dst: s, weight: w }));
+        CsrGraph {
+            num_vertices: n,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            coords: None,
+            symmetric: false,
+        }
+    }
+}
+
+/// Counting sort of `items` into per-vertex adjacency lists.
+fn bucket_by<T, F>(n: usize, items: &[T], key: F) -> (Vec<usize>, Vec<Edge>)
+where
+    F: Fn(&T) -> (VertexId, Edge),
+{
+    let mut counts = vec![0usize; n + 1];
+    for item in items {
+        counts[key(item).0 as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut edges = vec![Edge { dst: 0, weight: 0 }; items.len()];
+    for item in items {
+        let (v, e) = key(item);
+        edges[cursor[v as usize]] = e;
+        cursor[v as usize] += 1;
+    }
+    (offsets, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_preserves_all_edges() {
+        let g = GraphBuilder::new(5)
+            .edges(vec![(0, 1, 1), (0, 2, 2), (4, 0, 3), (2, 3, 4)])
+            .build();
+        assert_eq!(g.num_edges(), 4);
+        let mut triples = g.edge_triples();
+        triples.sort_unstable();
+        assert_eq!(triples, vec![(0, 1, 1), (0, 2, 2), (2, 3, 4), (4, 0, 3)]);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let g = GraphBuilder::new(2).edge(0, 1, 1).edge(0, 1, 2).build();
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let g = GraphBuilder::new(10).edge(0, 9, 1).build();
+        for v in 1..9 {
+            assert_eq!(g.out_degree(v), 0);
+            assert_eq!(g.in_degree(v), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = GraphBuilder::new(2).edge(0, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_panics() {
+        let _ = GraphBuilder::new(2).edge(0, 1, -1);
+    }
+
+    #[test]
+    fn transpose_agrees_with_out_edges() {
+        let g = GraphBuilder::new(4)
+            .edges(vec![(0, 1, 5), (1, 2, 6), (3, 1, 7)])
+            .build();
+        // every out edge (u, v, w) appears as in edge (v) containing u with w
+        for u in g.vertices() {
+            for e in g.out_edges(u) {
+                assert!(g
+                    .in_edges(e.dst)
+                    .iter()
+                    .any(|ie| ie.dst == u && ie.weight == e.weight));
+            }
+        }
+        let out_total: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_total: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        assert_eq!(out_total, in_total);
+    }
+}

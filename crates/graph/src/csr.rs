@@ -1,0 +1,282 @@
+//! Compressed sparse row graph storage.
+
+use crate::{VertexId, Weight};
+use std::fmt;
+
+/// A weighted directed edge endpoint as stored in CSR adjacency arrays.
+///
+/// Mirrors GAPBS's `WNode { v, weight }` (paper Figure 9 caption).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Non-negative edge weight.
+    pub weight: Weight,
+}
+
+/// A planar coordinate attached to a vertex (longitude/latitude analogue),
+/// used by the A\* heuristic (paper §6.1: road graphs "have the longitude and
+/// latitude data for each vertex").
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A weighted directed graph in compressed sparse row form, with both
+/// out-edges (for push traversals) and in-edges (for pull traversals).
+#[derive(Clone, Default)]
+pub struct CsrGraph {
+    pub(crate) num_vertices: usize,
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_edges: Vec<Edge>,
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_edges: Vec<Edge>,
+    pub(crate) coords: Option<Vec<Point>>,
+    pub(crate) symmetric: bool,
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("num_vertices", &self.num_vertices)
+            .field("num_edges", &self.out_edges.len())
+            .field("symmetric", &self.symmetric)
+            .field("has_coords", &self.coords.is_some())
+            .finish()
+    }
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// True if the graph was built or marked as symmetric (every edge has a
+    /// reverse twin with equal weight).
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Outgoing edges of `v` (paper's `G.getOutNgh(s)`).
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> &[Edge] {
+        let v = v as usize;
+        &self.out_edges[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Incoming edges of `v` (paper's `G.getInNgh(d)`); the `dst` field holds
+    /// the *source* of the original edge.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> &[Edge] {
+        let v = v as usize;
+        &self.in_edges[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Vertex coordinates, if the graph carries them (road networks do).
+    pub fn coords(&self) -> Option<&[Point]> {
+        self.coords.as_deref()
+    }
+
+    /// Attaches coordinates (replacing any existing ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != num_vertices`.
+    pub fn set_coords(&mut self, coords: Vec<Point>) {
+        assert_eq!(coords.len(), self.num_vertices, "one coordinate per vertex");
+        self.coords = Some(coords);
+    }
+
+    /// Maximum edge weight, or 0 for an edgeless graph.
+    pub fn max_weight(&self) -> Weight {
+        self.out_edges.iter().map(|e| e.weight).max().unwrap_or(0)
+    }
+
+    /// Sum of out-degrees over `frontier` (Julienne computes this every round
+    /// to drive direction selection — an overhead §6.2 calls out).
+    pub fn out_degree_sum(&self, frontier: &[VertexId]) -> u64 {
+        frontier.iter().map(|&v| self.out_degree(v) as u64).sum()
+    }
+
+    /// Returns the symmetrized graph: for every edge `(u, v, w)` both
+    /// `(u, v, w)` and `(v, u, w)` exist; duplicate pairs are collapsed to
+    /// the minimum weight. Used for k-core and SetCover (paper Table 3:
+    /// "graphs are symmetrized for k-core and SetCover").
+    pub fn symmetrize(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.out_edges.len() * 2);
+        for u in 0..self.num_vertices as VertexId {
+            for e in self.out_edges(u) {
+                if e.dst != u {
+                    edges.push((u, e.dst, e.weight));
+                    edges.push((e.dst, u, e.weight));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1 && {
+            b.2 = b.2.min(a.2);
+            true
+        });
+        let mut g = crate::GraphBuilder::new(self.num_vertices)
+            .edges(edges)
+            .build();
+        g.symmetric = true;
+        g.coords = self.coords.clone();
+        g
+    }
+
+    /// All edges as `(src, dst, weight)` triples, in CSR order.
+    pub fn edge_triples(&self) -> Vec<(VertexId, VertexId, Weight)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_vertices as VertexId {
+            for e in self.out_edges(u) {
+                out.push((u, e.dst, e.weight));
+            }
+        }
+        out
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices as VertexId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        GraphBuilder::new(4)
+            .edge(0, 1, 2)
+            .edge(0, 2, 5)
+            .edge(1, 3, 1)
+            .edge(2, 3, 1)
+            .build()
+    }
+
+    #[test]
+    fn degrees_and_edges() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_edges(1), &[Edge { dst: 3, weight: 1 }]);
+    }
+
+    #[test]
+    fn in_edges_are_transposed_out_edges() {
+        let g = diamond();
+        let sources: Vec<_> = g.in_edges(3).iter().map(|e| e.dst).collect();
+        assert_eq!(sources, vec![1, 2]);
+    }
+
+    #[test]
+    fn symmetrize_doubles_and_marks() {
+        let g = diamond();
+        let s = g.symmetrize();
+        assert!(s.is_symmetric());
+        assert_eq!(s.num_edges(), 8);
+        assert_eq!(s.out_degree(3), 2);
+        // in == out for symmetric graphs
+        for v in s.vertices() {
+            assert_eq!(s.out_degree(v), s.in_degree(v));
+        }
+    }
+
+    #[test]
+    fn symmetrize_dedups_reverse_pairs_keeping_min_weight() {
+        let g = GraphBuilder::new(2).edge(0, 1, 7).edge(1, 0, 3).build();
+        let s = g.symmetrize();
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.out_edges(0)[0].weight, 3);
+        assert_eq!(s.out_edges(1)[0].weight, 3);
+    }
+
+    #[test]
+    fn symmetrize_drops_self_loops() {
+        let g = GraphBuilder::new(2).edge(0, 0, 1).edge(0, 1, 1).build();
+        let s = g.symmetrize();
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.out_degree(0), 1);
+    }
+
+    #[test]
+    fn out_degree_sum_over_frontier() {
+        let g = diamond();
+        assert_eq!(g.out_degree_sum(&[0, 1]), 3);
+        assert_eq!(g.out_degree_sum(&[]), 0);
+    }
+
+    #[test]
+    fn max_weight_and_triples() {
+        let g = diamond();
+        assert_eq!(g.max_weight(), 5);
+        assert_eq!(g.edge_triples().len(), 4);
+        let empty = GraphBuilder::new(1).build();
+        assert_eq!(empty.max_weight(), 0);
+    }
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let mut g = diamond();
+        assert!(g.coords().is_none());
+        g.set_coords(vec![Point::default(); 4]);
+        assert_eq!(g.coords().unwrap().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one coordinate per vertex")]
+    fn mismatched_coords_panic() {
+        let mut g = diamond();
+        g.set_coords(vec![Point::default(); 3]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Seeded synthetic graph generators standing in for the paper's datasets.
+//!
+//! | Paper dataset family | Generator | Preserved structure |
+//! |---|---|---|
+//! | Social/web (LJ, OK, TW, FT, WB) | [`GraphGen::rmat`] | power-law degrees, small diameter |
+//! | Road (MA, GE, RD) | [`GraphGen::road_grid`] | planar, bounded degree, huge diameter, coordinates + metric weights |
+//! | — micro tests | [`GraphGen::path`], [`GraphGen::cycle`], [`GraphGen::star`], [`GraphGen::uniform`] | — |
+//!
+//! Weight distributions follow Table 4's caption: social graphs get uniform
+//! `[1, 1000)` (or `[1, log n)` for wBFS), road grids default to "original"
+//! metric weights (scaled Euclidean lengths).
+
+use crate::csr::{CsrGraph, Point};
+use crate::{GraphBuilder, VertexId, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT partition probabilities (GAPBS Kronecker defaults: a=0.57, b=0.19,
+/// c=0.19, implicit d=0.05).
+const RMAT_A: f64 = 0.57;
+const RMAT_B: f64 = 0.19;
+const RMAT_C: f64 = 0.19;
+
+/// Which topology to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Topology {
+    Rmat { scale: u32, edge_factor: u32 },
+    RoadGrid { width: usize, height: usize },
+    Uniform { n: usize, m: usize },
+    Path { n: usize },
+    Cycle { n: usize },
+    Star { n: usize },
+}
+
+/// How to weight the generated edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WeightSpec {
+    /// Uniform integers in `[lo, hi)`.
+    Uniform { lo: Weight, hi: Weight },
+    /// Uniform integers in `[1, max(2, log2 n))` — the wBFS convention.
+    LogN,
+    /// All ones.
+    Unit,
+    /// Scaled Euclidean length (road grids only; falls back to `Unit`).
+    Metric,
+}
+
+/// Builder for seeded synthetic graphs.
+///
+/// # Example
+///
+/// ```
+/// use priograph_graph::gen::GraphGen;
+///
+/// let road = GraphGen::road_grid(16, 16).seed(7).build();
+/// assert!(road.coords().is_some());
+/// let social = GraphGen::rmat(8, 4).seed(7).weights_log_n().build();
+/// assert_eq!(social.num_vertices(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphGen {
+    topology: Topology,
+    seed: u64,
+    weights: WeightSpec,
+}
+
+impl GraphGen {
+    /// Power-law R-MAT graph with `2^scale` vertices and
+    /// `edge_factor * 2^scale` directed edges (social/web stand-in).
+    pub fn rmat(scale: u32, edge_factor: u32) -> Self {
+        GraphGen {
+            topology: Topology::Rmat { scale, edge_factor },
+            seed: 0x5EED,
+            weights: WeightSpec::Uniform { lo: 1, hi: 1000 },
+        }
+    }
+
+    /// Planar `width x height` grid with diagonal shortcuts, jittered
+    /// coordinates and metric weights (road-network stand-in).
+    pub fn road_grid(width: usize, height: usize) -> Self {
+        GraphGen {
+            topology: Topology::RoadGrid { width, height },
+            seed: 0x5EED,
+            weights: WeightSpec::Metric,
+        }
+    }
+
+    /// Erdős–Rényi-style graph: `m` uniformly random directed edges.
+    pub fn uniform(n: usize, m: usize) -> Self {
+        GraphGen {
+            topology: Topology::Uniform { n, m },
+            seed: 0x5EED,
+            weights: WeightSpec::Uniform { lo: 1, hi: 1000 },
+        }
+    }
+
+    /// Directed path `0 -> 1 -> .. -> n-1` (worst-case diameter).
+    pub fn path(n: usize) -> Self {
+        GraphGen {
+            topology: Topology::Path { n },
+            seed: 0x5EED,
+            weights: WeightSpec::Unit,
+        }
+    }
+
+    /// Directed cycle on `n` vertices.
+    pub fn cycle(n: usize) -> Self {
+        GraphGen {
+            topology: Topology::Cycle { n },
+            seed: 0x5EED,
+            weights: WeightSpec::Unit,
+        }
+    }
+
+    /// Star: edges `0 -> v` for all `v != 0` (maximum frontier width).
+    pub fn star(n: usize) -> Self {
+        GraphGen {
+            topology: Topology::Star { n },
+            seed: 0x5EED,
+            weights: WeightSpec::Unit,
+        }
+    }
+
+    /// Sets the RNG seed (generation is fully deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uniform integer weights in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo < 1` or `hi <= lo`.
+    pub fn weights_uniform(mut self, lo: Weight, hi: Weight) -> Self {
+        assert!(lo >= 1 && hi > lo, "weights must satisfy 1 <= lo < hi");
+        self.weights = WeightSpec::Uniform { lo, hi };
+        self
+    }
+
+    /// Weights uniform in `[1, log2 n)` — the wBFS convention (paper §6.1).
+    pub fn weights_log_n(mut self) -> Self {
+        self.weights = WeightSpec::LogN;
+        self
+    }
+
+    /// Unit weights.
+    pub fn weights_unit(mut self) -> Self {
+        self.weights = WeightSpec::Unit;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn build(&self) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.topology {
+            Topology::Rmat { scale, edge_factor } => self.build_rmat(&mut rng, scale, edge_factor),
+            Topology::RoadGrid { width, height } => self.build_road(&mut rng, width, height),
+            Topology::Uniform { n, m } => {
+                let edges: Vec<_> = (0..m)
+                    .map(|_| {
+                        let s = rng.gen_range(0..n) as VertexId;
+                        let d = rng.gen_range(0..n) as VertexId;
+                        (s, d)
+                    })
+                    .collect();
+                self.weighted(&mut rng, n, edges)
+            }
+            Topology::Path { n } => {
+                let edges: Vec<_> = (1..n).map(|i| ((i - 1) as VertexId, i as VertexId)).collect();
+                self.weighted(&mut rng, n, edges)
+            }
+            Topology::Cycle { n } => {
+                let edges: Vec<_> = (0..n)
+                    .map(|i| (i as VertexId, ((i + 1) % n) as VertexId))
+                    .collect();
+                self.weighted(&mut rng, n, edges)
+            }
+            Topology::Star { n } => {
+                let edges: Vec<_> = (1..n).map(|i| (0, i as VertexId)).collect();
+                self.weighted(&mut rng, n, edges)
+            }
+        }
+    }
+
+    fn draw_weight(&self, rng: &mut StdRng, n: usize) -> Weight {
+        match self.weights {
+            WeightSpec::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            WeightSpec::LogN => {
+                let hi = (usize::BITS - 1 - n.max(2).leading_zeros()) as Weight;
+                rng.gen_range(1..hi.max(2))
+            }
+            WeightSpec::Unit | WeightSpec::Metric => 1,
+        }
+    }
+
+    fn weighted(
+        &self,
+        rng: &mut StdRng,
+        n: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> CsrGraph {
+        let weighted: Vec<_> = edges
+            .into_iter()
+            .map(|(s, d)| {
+                let w = self.draw_weight(rng, n);
+                (s, d, w)
+            })
+            .collect();
+        GraphBuilder::new(n).edges(weighted).build()
+    }
+
+    fn build_rmat(&self, rng: &mut StdRng, scale: u32, edge_factor: u32) -> CsrGraph {
+        let n = 1usize << scale;
+        let m = n * edge_factor as usize;
+        // Random vertex relabeling so CSR order carries no generator locality
+        // (GAPBS permutes likewise).
+        let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut edges = Vec::with_capacity(m);
+        while edges.len() < m {
+            let (mut s, mut d) = (0usize, 0usize);
+            for _ in 0..scale {
+                let r: f64 = rng.gen();
+                let (sb, db) = if r < RMAT_A {
+                    (0, 0)
+                } else if r < RMAT_A + RMAT_B {
+                    (0, 1)
+                } else if r < RMAT_A + RMAT_B + RMAT_C {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                s = (s << 1) | sb;
+                d = (d << 1) | db;
+            }
+            if s != d {
+                edges.push((perm[s], perm[d]));
+            }
+        }
+        self.weighted(rng, n, edges)
+    }
+
+    fn build_road(&self, rng: &mut StdRng, width: usize, height: usize) -> CsrGraph {
+        assert!(width >= 2 && height >= 2, "road grid needs at least 2x2");
+        let n = width * height;
+        let id = |x: usize, y: usize| (y * width + x) as VertexId;
+        // Jittered planar coordinates on a unit-spaced grid.
+        let coords: Vec<Point> = (0..n)
+            .map(|v| {
+                let x = (v % width) as f64 + rng.gen_range(-0.3..0.3);
+                let y = (v / width) as f64 + rng.gen_range(-0.3..0.3);
+                Point { x, y }
+            })
+            .collect();
+        // Metric weight: scaled Euclidean length (always >= 1), so the A*
+        // straight-line heuristic is admissible w.r.t. these weights.
+        const SCALE: f64 = 100.0;
+        let metric = |a: VertexId, b: VertexId, coords: &[Point]| -> Weight {
+            (coords[a as usize].distance(&coords[b as usize]) * SCALE).ceil().max(1.0) as Weight
+        };
+        let mut edges = Vec::new();
+        let add_bidi = |a: VertexId, b: VertexId, rng: &mut StdRng, edges: &mut Vec<_>| {
+            let w = match self.weights {
+                WeightSpec::Metric => metric(a, b, &coords),
+                _ => self.draw_weight(rng, n),
+            };
+            edges.push((a, b, w));
+            edges.push((b, a, w));
+        };
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width {
+                    add_bidi(id(x, y), id(x + 1, y), rng, &mut edges);
+                }
+                if y + 1 < height {
+                    add_bidi(id(x, y), id(x, y + 1), rng, &mut edges);
+                }
+                // Sparse diagonal shortcuts mimic highway links.
+                if x + 1 < width && y + 1 < height && rng.gen_bool(0.1) {
+                    add_bidi(id(x, y), id(x + 1, y + 1), rng, &mut edges);
+                }
+            }
+        }
+        let mut g = GraphBuilder::new(n).edges(edges).build();
+        g.symmetric = true;
+        g.set_coords(coords);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn rmat_has_requested_size() {
+        let g = GraphGen::rmat(8, 4).seed(3).build();
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 256 * 4);
+    }
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let a = GraphGen::rmat(7, 4).seed(11).build();
+        let b = GraphGen::rmat(7, 4).seed(11).build();
+        let c = GraphGen::rmat(7, 4).seed(12).build();
+        assert_eq!(a.edge_triples(), b.edge_triples());
+        assert_ne!(a.edge_triples(), c.edge_triples());
+    }
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        let g = GraphGen::rmat(10, 8).seed(5).build();
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() / g.num_vertices();
+        // Power-law: the hub degree dwarfs the average.
+        assert!(max_deg > avg * 8, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn road_grid_is_connected_with_coords() {
+        let g = GraphGen::road_grid(12, 9).seed(1).build();
+        assert_eq!(g.num_vertices(), 108);
+        assert!(g.is_symmetric());
+        assert!(g.coords().is_some());
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn road_grid_has_high_diameter_relative_to_rmat() {
+        let road = GraphGen::road_grid(24, 24).seed(2).build();
+        let social = GraphGen::rmat(9, 8).seed(2).build().symmetrize();
+        let road_ecc = props::bfs_eccentricity(&road, 0);
+        let social_ecc = props::bfs_eccentricity(&social, 0);
+        assert!(
+            road_ecc > social_ecc * 2,
+            "road {road_ecc} vs social {social_ecc}"
+        );
+    }
+
+    #[test]
+    fn road_metric_weights_are_admissible_for_euclidean_heuristic() {
+        let g = GraphGen::road_grid(10, 10).seed(4).build();
+        let coords = g.coords().unwrap();
+        for u in g.vertices() {
+            for e in g.out_edges(u) {
+                let straight = coords[u as usize].distance(&coords[e.dst as usize]) * 100.0;
+                assert!(
+                    (e.weight as f64) >= straight - 1e-9,
+                    "edge shorter than straight line"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_uniform_within_bounds() {
+        let g = GraphGen::rmat(8, 4).seed(9).weights_uniform(5, 10).build();
+        assert!(g.edge_triples().iter().all(|&(_, _, w)| (5..10).contains(&w)));
+    }
+
+    #[test]
+    fn weights_log_n_within_bounds() {
+        let g = GraphGen::rmat(10, 4).seed(9).weights_log_n().build();
+        // log2(1024) = 10
+        assert!(g.edge_triples().iter().all(|&(_, _, w)| (1..10).contains(&w)));
+    }
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        let p = GraphGen::path(5).build();
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.out_degree(4), 0);
+        let c = GraphGen::cycle(5).build();
+        assert_eq!(c.num_edges(), 5);
+        assert!(c.vertices().all(|v| c.out_degree(v) == 1));
+        let s = GraphGen::star(5).build();
+        assert_eq!(s.out_degree(0), 4);
+    }
+
+    #[test]
+    fn uniform_has_exact_edge_count() {
+        let g = GraphGen::uniform(100, 500).seed(3).build();
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_road_grid_panics() {
+        let _ = GraphGen::road_grid(1, 5).build();
+    }
+}

@@ -1,0 +1,317 @@
+//! Graph serialization: whitespace edge lists and DIMACS shortest-path
+//! formats (the RoadUSA dataset in the paper ships as DIMACS `.gr`/`.co`).
+
+use crate::csr::{CsrGraph, Point};
+use crate::{GraphBuilder, VertexId, Weight};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised while parsing graph files.
+#[derive(Debug)]
+pub enum ParseGraphError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGraphError::Io(e) => write!(f, "io error: {e}"),
+            ParseGraphError::Malformed { line, reason } => {
+                write!(f, "malformed input at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseGraphError::Io(e) => Some(e),
+            ParseGraphError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseGraphError {
+    fn from(e: io::Error) -> Self {
+        ParseGraphError::Io(e)
+    }
+}
+
+fn malformed(line: usize, reason: impl Into<String>) -> ParseGraphError {
+    ParseGraphError::Malformed {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Parses a whitespace-separated edge list: one `src dst [weight]` triple per
+/// line; `#` starts a comment. Vertices are 0-based; a missing weight is 1.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError::Malformed`] on syntax errors.
+///
+/// # Example
+///
+/// ```
+/// use priograph_graph::io::parse_edge_list;
+///
+/// let g = parse_edge_list("# tiny\n0 1 5\n1 2\n").unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.out_edges(1)[0].weight, 1);
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<CsrGraph, ParseGraphError> {
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut max_v: u64 = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let src: u64 = parts
+            .next()
+            .ok_or_else(|| malformed(line_no, "missing source"))?
+            .parse()
+            .map_err(|e| malformed(line_no, format!("bad source: {e}")))?;
+        let dst: u64 = parts
+            .next()
+            .ok_or_else(|| malformed(line_no, "missing destination"))?
+            .parse()
+            .map_err(|e| malformed(line_no, format!("bad destination: {e}")))?;
+        let weight: Weight = match parts.next() {
+            Some(w) => w
+                .parse()
+                .map_err(|e| malformed(line_no, format!("bad weight: {e}")))?,
+            None => 1,
+        };
+        if weight < 0 {
+            return Err(malformed(line_no, "negative weight"));
+        }
+        max_v = max_v.max(src).max(dst);
+        edges.push((src as VertexId, dst as VertexId, weight));
+    }
+    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    Ok(GraphBuilder::new(n).edges(edges).build())
+}
+
+/// Serializes a graph as an edge list (the inverse of [`parse_edge_list`]).
+pub fn to_edge_list(graph: &CsrGraph) -> String {
+    let mut out = String::new();
+    for (s, d, w) in graph.edge_triples() {
+        let _ = writeln!(out, "{s} {d} {w}");
+    }
+    out
+}
+
+/// Parses a DIMACS shortest-path `.gr` file (`p sp n m` header, `a u v w`
+/// arcs, 1-based vertices), the format of the 9th DIMACS Implementation
+/// Challenge road graphs used by the paper.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError::Malformed`] on syntax errors or arcs outside
+/// the declared vertex count.
+pub fn parse_dimacs_gr(text: &str) -> Result<CsrGraph, ParseGraphError> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p sp ") {
+            let mut parts = rest.split_whitespace();
+            let nv: usize = parts
+                .next()
+                .ok_or_else(|| malformed(line_no, "missing vertex count"))?
+                .parse()
+                .map_err(|e| malformed(line_no, format!("bad vertex count: {e}")))?;
+            n = Some(nv);
+        } else if let Some(rest) = line.strip_prefix("a ") {
+            let nv = n.ok_or_else(|| malformed(line_no, "arc before problem line"))?;
+            let mut parts = rest.split_whitespace();
+            let mut next_num = |what: &str| -> Result<i64, ParseGraphError> {
+                parts
+                    .next()
+                    .ok_or_else(|| malformed(line_no, format!("missing {what}")))?
+                    .parse()
+                    .map_err(|e| malformed(line_no, format!("bad {what}: {e}")))
+            };
+            let u = next_num("source")?;
+            let v = next_num("destination")?;
+            let w = next_num("weight")?;
+            if u < 1 || v < 1 || u as usize > nv || v as usize > nv {
+                return Err(malformed(line_no, "vertex id out of declared range"));
+            }
+            if w < 0 {
+                return Err(malformed(line_no, "negative weight"));
+            }
+            edges.push(((u - 1) as VertexId, (v - 1) as VertexId, w as Weight));
+        } else {
+            return Err(malformed(line_no, format!("unrecognized line {line:?}")));
+        }
+    }
+    let n = n.ok_or_else(|| malformed(0, "missing problem line"))?;
+    Ok(GraphBuilder::new(n).edges(edges).build())
+}
+
+/// Serializes a graph in DIMACS `.gr` form.
+pub fn to_dimacs_gr(graph: &CsrGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "c priograph export");
+    let _ = writeln!(out, "p sp {} {}", graph.num_vertices(), graph.num_edges());
+    for (s, d, w) in graph.edge_triples() {
+        let _ = writeln!(out, "a {} {} {}", s + 1, d + 1, w);
+    }
+    out
+}
+
+/// Parses DIMACS `.co` coordinates (`v id x y`, 1-based ids) for a graph with
+/// `n` vertices. Missing vertices default to the origin.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError::Malformed`] on syntax errors or out-of-range ids.
+pub fn parse_dimacs_co(text: &str, n: usize) -> Result<Vec<Point>, ParseGraphError> {
+    let mut coords = vec![Point::default(); n];
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("v ") {
+            let mut parts = rest.split_whitespace();
+            let id: usize = parts
+                .next()
+                .ok_or_else(|| malformed(line_no, "missing id"))?
+                .parse()
+                .map_err(|e| malformed(line_no, format!("bad id: {e}")))?;
+            if id < 1 || id > n {
+                return Err(malformed(line_no, "vertex id out of range"));
+            }
+            let x: f64 = parts
+                .next()
+                .ok_or_else(|| malformed(line_no, "missing x"))?
+                .parse()
+                .map_err(|e| malformed(line_no, format!("bad x: {e}")))?;
+            let y: f64 = parts
+                .next()
+                .ok_or_else(|| malformed(line_no, "missing y"))?
+                .parse()
+                .map_err(|e| malformed(line_no, format!("bad y: {e}")))?;
+            coords[id - 1] = Point { x, y };
+        } else {
+            return Err(malformed(line_no, format!("unrecognized line {line:?}")));
+        }
+    }
+    Ok(coords)
+}
+
+/// Loads a graph from a file, selecting the parser by extension
+/// (`.gr` → DIMACS, anything else → edge list).
+///
+/// # Errors
+///
+/// Propagates IO and parse failures.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<CsrGraph, ParseGraphError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    if path.extension().is_some_and(|e| e == "gr") {
+        parse_dimacs_gr(&text)
+    } else {
+        parse_edge_list(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = GraphBuilder::new(4)
+            .edges(vec![(0, 1, 3), (1, 2, 4), (3, 0, 1)])
+            .build();
+        let text = to_edge_list(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        assert_eq!(g.edge_triples(), g2.edge_triples());
+    }
+
+    #[test]
+    fn edge_list_defaults_weight_and_skips_comments() {
+        let g = parse_edge_list("# header\n\n0 1\n# mid\n1 0 9\n").unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_edges(0)[0].weight, 1);
+        assert_eq!(g.out_edges(1)[0].weight, 9);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = parse_edge_list("0 x 1\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::Malformed { line: 1, .. }));
+        let err = parse_edge_list("0 1 -2\n").unwrap_err();
+        assert!(err.to_string().contains("negative"));
+    }
+
+    #[test]
+    fn empty_edge_list_is_empty_graph() {
+        let g = parse_edge_list("# nothing\n").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = GraphBuilder::new(3)
+            .edges(vec![(0, 1, 10), (1, 2, 20), (2, 0, 30)])
+            .build();
+        let text = to_dimacs_gr(&g);
+        let g2 = parse_dimacs_gr(&text).unwrap();
+        assert_eq!(g.edge_triples(), g2.edge_triples());
+        assert_eq!(g2.num_vertices(), 3);
+    }
+
+    #[test]
+    fn dimacs_rejects_out_of_range_and_missing_header() {
+        assert!(parse_dimacs_gr("a 1 2 3\n").is_err());
+        assert!(parse_dimacs_gr("p sp 2 1\na 1 3 5\n").is_err());
+        assert!(parse_dimacs_gr("p sp 2 1\nq nonsense\n").is_err());
+    }
+
+    #[test]
+    fn dimacs_coordinates_parse() {
+        let coords = parse_dimacs_co("c x\nv 1 1.5 -2.0\nv 3 0.25 0.75\n", 3).unwrap();
+        assert_eq!(coords[0], Point { x: 1.5, y: -2.0 });
+        assert_eq!(coords[1], Point::default());
+        assert_eq!(coords[2], Point { x: 0.25, y: 0.75 });
+        assert!(parse_dimacs_co("v 4 0 0\n", 3).is_err());
+    }
+
+    #[test]
+    fn load_graph_dispatches_on_extension() {
+        let dir = std::env::temp_dir();
+        let el = dir.join("priograph_io_test.el");
+        let gr = dir.join("priograph_io_test.gr");
+        fs::write(&el, "0 1 2\n").unwrap();
+        fs::write(&gr, "p sp 2 1\na 1 2 2\n").unwrap();
+        let a = load_graph(&el).unwrap();
+        let b = load_graph(&gr).unwrap();
+        assert_eq!(a.edge_triples(), b.edge_triples());
+        let _ = fs::remove_file(el);
+        let _ = fs::remove_file(gr);
+    }
+}

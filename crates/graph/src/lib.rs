@@ -1,0 +1,56 @@
+//! Graph storage, generation and IO substrate for `priograph`.
+//!
+//! The CGO 2020 evaluation (paper Table 3) runs on two structurally distinct
+//! graph families:
+//!
+//! * **social/web graphs** (Orkut, LiveJournal, Twitter, Friendster,
+//!   WebGraph) — small diameter, heavy-tailed degree distributions, ample
+//!   per-bucket parallelism;
+//! * **road networks** (Massachusetts, Germany, RoadUSA) — enormous
+//!   diameter, bounded degree, tiny frontiers, where synchronization
+//!   overhead dominates and bucket fusion shines.
+//!
+//! Since the original datasets are multi-gigabyte downloads, this crate
+//! provides *seeded synthetic stand-ins* preserving those structural
+//! contrasts (see `DESIGN.md` §1): R-MAT power-law generators for the social
+//! family and planar grid road networks (with coordinates, for A\*) for the
+//! road family, plus the paper's weight distributions (`[1, 1000)` and
+//! `[1, log n)`, Table 4 caption).
+//!
+//! The storage format is a compressed sparse row ([`CsrGraph`]) with both
+//! out- and in-edges, matching what GraphIt-generated C++ traverses in
+//! `SparsePush` and `DensePull` directions (paper Figure 9).
+//!
+//! # Example
+//!
+//! ```
+//! use priograph_graph::gen::GraphGen;
+//!
+//! let g = GraphGen::rmat(8, 8).seed(42).weights_uniform(1, 1000).build();
+//! assert_eq!(g.num_vertices(), 256);
+//! let h = g.symmetrize();
+//! assert!(h.is_symmetric());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod csr;
+pub mod gen;
+pub mod io;
+pub mod props;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, Edge, Point};
+
+/// Vertex identifier. Graphs in the evaluation are well below 2^32 vertices.
+pub type VertexId = u32;
+
+/// Edge weight as stored (non-negative; SSSP-family algorithms require it).
+pub type Weight = i32;
+
+/// "Infinite" distance sentinel: large enough that `INF + max_weight` cannot
+/// overflow an `i64` accumulator (paper uses `INT_MAX` with bit tricks; we
+/// keep headroom instead).
+pub const INF: i64 = i64::MAX / 4;

@@ -1,0 +1,125 @@
+//! Structural graph properties used by tests and workload characterization.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+use std::collections::VecDeque;
+
+/// Unweighted BFS distances from `src` (`usize::MAX` = unreachable).
+pub fn bfs_levels(graph: &CsrGraph, src: VertexId) -> Vec<usize> {
+    let mut level = vec![usize::MAX; graph.num_vertices()];
+    if graph.num_vertices() == 0 {
+        return level;
+    }
+    let mut queue = VecDeque::new();
+    level[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for e in graph.out_edges(u) {
+            if level[e.dst as usize] == usize::MAX {
+                level[e.dst as usize] = level[u as usize] + 1;
+                queue.push_back(e.dst);
+            }
+        }
+    }
+    level
+}
+
+/// Number of vertices reachable from `src` (including `src`).
+pub fn reachable_count(graph: &CsrGraph, src: VertexId) -> usize {
+    bfs_levels(graph, src)
+        .iter()
+        .filter(|&&l| l != usize::MAX)
+        .count()
+}
+
+/// True if every vertex is reachable from vertex 0 following out-edges.
+/// For symmetric graphs this is standard connectivity.
+pub fn is_connected(graph: &CsrGraph) -> bool {
+    graph.num_vertices() == 0 || reachable_count(graph, 0) == graph.num_vertices()
+}
+
+/// Eccentricity of `src` in BFS hops, ignoring unreachable vertices.
+///
+/// Road stand-ins must show much larger eccentricities than social
+/// stand-ins — that contrast drives the bucket-fusion results (paper §3.3).
+pub fn bfs_eccentricity(graph: &CsrGraph, src: VertexId) -> usize {
+    bfs_levels(graph, src)
+        .into_iter()
+        .filter(|&l| l != usize::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Simple degree statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Number of vertices with zero out-degree.
+    pub zeros: usize,
+}
+
+/// Computes out-degree statistics.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices().max(1);
+    let mut max = 0;
+    let mut zeros = 0;
+    for v in graph.vertices() {
+        let d = graph.out_degree(v);
+        max = max.max(d);
+        zeros += usize::from(d == 0);
+    }
+    DegreeStats {
+        max,
+        mean: graph.num_edges() as f64 / n as f64,
+        zeros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GraphGen;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = GraphGen::path(5).build();
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_eccentricity(&g, 0), 4);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_max() {
+        let g = GraphBuilder::new(3).edge(0, 1, 1).build();
+        let levels = bfs_levels(&g, 0);
+        assert_eq!(levels[2], usize::MAX);
+        assert_eq!(reachable_count(&g, 0), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_is_connected() {
+        let g = GraphGen::cycle(10).build();
+        assert!(is_connected(&g));
+        assert_eq!(bfs_eccentricity(&g, 0), 9);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = GraphGen::star(10).build();
+        let stats = degree_stats(&g);
+        assert_eq!(stats.max, 9);
+        assert_eq!(stats.zeros, 9);
+        assert!((stats.mean - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = GraphBuilder::new(0).build();
+        assert!(is_connected(&g));
+        assert_eq!(degree_stats(&g).max, 0);
+    }
+}

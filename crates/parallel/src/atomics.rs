@@ -1,0 +1,286 @@
+//! `atomicWriteMin`-style helpers used throughout the engines.
+//!
+//! The paper's generated code (Figure 9) relies on three primitives: an
+//! atomic write-min over the distance array, compare-and-swap deduplication
+//! flags, and relaxed atomic loads/stores for dense traversals. These helpers
+//! centralize the CAS loops so engine code reads like the paper's pseudocode.
+
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
+
+/// Atomically lowers `cell` to `value` if `value` is smaller.
+///
+/// Returns `true` iff this call strictly lowered the stored value — the
+/// "changed" flag the generated code uses to decide whether a vertex enters
+/// a bucket (Figure 9(a) line 20, Figure 9(c) line 19).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::AtomicI64;
+/// use priograph_parallel::atomics::write_min;
+///
+/// let d = AtomicI64::new(10);
+/// assert!(write_min(&d, 7));
+/// assert!(!write_min(&d, 9));
+/// assert_eq!(d.into_inner(), 7);
+/// ```
+#[inline]
+pub fn write_min(cell: &AtomicI64, value: i64) -> bool {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value < current {
+        match cell.compare_exchange_weak(current, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => current = actual,
+        }
+    }
+    false
+}
+
+/// Atomically raises `cell` to `value` if `value` is larger.
+///
+/// Returns `true` iff this call strictly raised the stored value. Used by
+/// `updatePriorityMax` for increasing-priority algorithms.
+#[inline]
+pub fn write_max(cell: &AtomicI64, value: i64) -> bool {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value > current {
+        match cell.compare_exchange_weak(current, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => current = actual,
+        }
+    }
+    false
+}
+
+/// Atomically adds `delta` to `cell` but never lets the result cross `floor`
+/// (for negative deltas) — the semantics of `updatePrioritySum(v, -1, k)` in
+/// k-core, where a vertex's degree must not drop below the current core `k`
+/// (paper Figure 10).
+///
+/// For negative `delta` the update is a pure *decrement*: cells already at or
+/// below `floor` are left untouched (a vertex finalized at an earlier, lower
+/// core must never be raised back to `k`). Returns the previous value when
+/// the cell changed, `None` otherwise.
+#[inline]
+pub fn add_clamped(cell: &AtomicI64, delta: i64, floor: i64) -> Option<i64> {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        if delta < 0 && current <= floor {
+            return None;
+        }
+        let target = if delta < 0 {
+            (current + delta).max(floor)
+        } else {
+            current + delta
+        };
+        if target == current {
+            return None;
+        }
+        match cell.compare_exchange_weak(current, target, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(prev) => return Some(prev),
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// One-shot claim flags, one byte per vertex, used for deduplication.
+///
+/// `try_claim` is the `CAS(dedup_flags[d], 0, 1)` of Figure 9(a) line 21: it
+/// succeeds for exactly one contender per generation, ensuring each vertex is
+/// appended to the output frontier once per round.
+#[derive(Debug)]
+pub struct ClaimFlags {
+    flags: Box<[AtomicU8]>,
+}
+
+impl ClaimFlags {
+    /// Creates `len` unclaimed flags.
+    pub fn new(len: usize) -> Self {
+        ClaimFlags {
+            flags: (0..len).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True if there are no flags at all.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Attempts to claim `index`; returns `true` for exactly one caller until
+    /// the flag is released.
+    #[inline]
+    pub fn try_claim(&self, index: usize) -> bool {
+        self.flags[index].load(Ordering::Relaxed) == 0
+            && self.flags[index]
+                .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// True if `index` is currently claimed.
+    pub fn is_claimed(&self, index: usize) -> bool {
+        self.flags[index].load(Ordering::Relaxed) != 0
+    }
+
+    /// Releases a single flag.
+    #[inline]
+    pub fn release(&self, index: usize) {
+        self.flags[index].store(0, Ordering::Relaxed);
+    }
+
+    /// Releases every flag (serially; used between rounds on small frontiers).
+    pub fn release_all(&self) {
+        for f in self.flags.iter() {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Builds a fresh atomic vector initialized to `value`.
+pub fn atomic_vec(len: usize, value: i64) -> Box<[AtomicI64]> {
+    (0..len).map(|_| AtomicI64::new(value)).collect()
+}
+
+/// Copies an atomic vector into a plain `Vec<i64>` (relaxed loads).
+pub fn snapshot(cells: &[AtomicI64]) -> Vec<i64> {
+    cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn write_min_keeps_global_minimum_under_contention() {
+        let cell = Arc::new(AtomicI64::new(i64::MAX));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let cell = Arc::clone(&cell);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000i64 {
+                    write_min(&cell, i * 8 + t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn write_min_reports_strict_improvement_only() {
+        let cell = AtomicI64::new(5);
+        assert!(!write_min(&cell, 5));
+        assert!(!write_min(&cell, 6));
+        assert!(write_min(&cell, 4));
+    }
+
+    #[test]
+    fn write_max_mirrors_write_min() {
+        let cell = AtomicI64::new(5);
+        assert!(write_max(&cell, 9));
+        assert!(!write_max(&cell, 9));
+        assert!(!write_max(&cell, 2));
+        assert_eq!(cell.into_inner(), 9);
+    }
+
+    #[test]
+    fn add_clamped_respects_floor() {
+        let cell = AtomicI64::new(10);
+        assert_eq!(add_clamped(&cell, -3, 5), Some(10));
+        assert_eq!(cell.load(Ordering::Relaxed), 7);
+        assert_eq!(add_clamped(&cell, -3, 5), Some(7));
+        assert_eq!(cell.load(Ordering::Relaxed), 5);
+        // Already at the floor: no change.
+        assert_eq!(add_clamped(&cell, -3, 5), None);
+        assert_eq!(cell.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn add_clamped_never_raises_a_finalized_cell() {
+        // A vertex finalized at core 3 must stay at 3 when later peels at
+        // core 7 decrement its neighbors.
+        let cell = AtomicI64::new(3);
+        assert_eq!(add_clamped(&cell, -1, 7), None);
+        assert_eq!(cell.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn add_clamped_supports_positive_delta() {
+        let cell = AtomicI64::new(3);
+        assert_eq!(add_clamped(&cell, 2, 0), Some(3));
+        assert_eq!(cell.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn add_clamped_counts_every_decrement_under_contention() {
+        let cell = Arc::new(AtomicI64::new(1000));
+        let changed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let changed = Arc::clone(&changed);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..300 {
+                    if add_clamped(&cell, -1, 0).is_some() {
+                        changed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.load(Ordering::Relaxed), 0);
+        assert_eq!(changed.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn claim_flags_admit_exactly_one_claimer() {
+        let flags = Arc::new(ClaimFlags::new(64));
+        let wins = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let flags = Arc::clone(&flags);
+            let wins = Arc::clone(&wins);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..64 {
+                    if flags.try_claim(i) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn claim_release_cycle() {
+        let flags = ClaimFlags::new(4);
+        assert!(flags.try_claim(2));
+        assert!(flags.is_claimed(2));
+        assert!(!flags.try_claim(2));
+        flags.release(2);
+        assert!(flags.try_claim(2));
+        flags.release_all();
+        assert!(!flags.is_claimed(2));
+        assert_eq!(flags.len(), 4);
+        assert!(!flags.is_empty());
+    }
+
+    #[test]
+    fn snapshot_copies_values() {
+        let v = atomic_vec(3, 7);
+        v[1].store(9, Ordering::Relaxed);
+        assert_eq!(snapshot(&v), vec![7, 9, 7]);
+    }
+}

@@ -1,0 +1,158 @@
+//! A reusable sense-reversing spin barrier.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed set of participants.
+///
+/// Unlike [`std::sync::Barrier`], waiting spins (with periodic yields) rather
+/// than immediately sleeping, which matters for the eager engine where
+/// thousands of rounds each cross two barriers (paper §3.3 measures tens of
+/// thousands of rounds for SSSP on RoadUSA without bucket fusion).
+///
+/// # Example
+///
+/// ```
+/// use priograph_parallel::SpinBarrier;
+/// use std::sync::Arc;
+///
+/// let barrier = Arc::new(SpinBarrier::new(2));
+/// let b = Arc::clone(&barrier);
+/// let handle = std::thread::spawn(move || b.wait());
+/// barrier.wait();
+/// handle.join().unwrap();
+/// ```
+pub struct SpinBarrier {
+    /// Participants that have not yet arrived in the current generation.
+    remaining: AtomicUsize,
+    /// Generation counter; flips when the last participant arrives.
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl fmt::Debug for SpinBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpinBarrier")
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+/// Spins between yields while waiting for the generation to flip.
+const SPINS_PER_YIELD: usize = 256;
+
+impl SpinBarrier {
+    /// Creates a barrier for `total` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is 0.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "barrier requires at least one participant");
+        SpinBarrier {
+            remaining: AtomicUsize::new(total),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Number of participants required to release the barrier.
+    pub fn participants(&self) -> usize {
+        self.total
+    }
+
+    /// Blocks until all participants have called `wait` in this generation.
+    ///
+    /// Returns `true` on exactly one participant per generation (the last
+    /// arriver), mirroring [`std::sync::BarrierWaitResult::is_leader`].
+    pub fn wait(&self) -> bool {
+        if self.total == 1 {
+            return true;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arriver: reset the count and release the generation.
+            self.remaining.store(self.total, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0usize;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins % SPINS_PER_YIELD == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let n = 4;
+        let barrier = Arc::new(SpinBarrier::new(n));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let rounds = 50;
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let barrier = Arc::clone(&barrier);
+            let leaders = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    if barrier.wait() {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), rounds);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let n = 3;
+        let barrier = Arc::new(SpinBarrier::new(n));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let min_seen = Arc::new(AtomicUsize::new(usize::MAX));
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let barrier = Arc::clone(&barrier);
+            let counter = Arc::clone(&counter);
+            let min_seen = Arc::clone(&min_seen);
+            handles.push(std::thread::spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                barrier.wait();
+                min_seen.fetch_min(counter.load(Ordering::SeqCst), Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(min_seen.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn participants_reports_total() {
+        assert_eq!(SpinBarrier::new(7).participants(), 7);
+    }
+}

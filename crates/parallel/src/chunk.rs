@@ -1,0 +1,137 @@
+//! Dynamic chunk scheduling for loops inside broadcast regions.
+
+use crossbeam::utils::CachePadded;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared cursor handing out `grain`-sized chunks of `0..len`.
+///
+/// This is the `schedule(dynamic, grain)` primitive: threads inside a
+/// [`crate::Pool::broadcast`] region repeatedly claim the next chunk until
+/// the range is exhausted. The eager engine resets one cursor per round
+/// (between barriers) instead of allocating a new one.
+///
+/// # Example
+///
+/// ```
+/// use priograph_parallel::ChunkCursor;
+///
+/// let cursor = ChunkCursor::new(10, 4);
+/// assert_eq!(cursor.next_chunk(), Some(0..4));
+/// assert_eq!(cursor.next_chunk(), Some(4..8));
+/// assert_eq!(cursor.next_chunk(), Some(8..10));
+/// assert_eq!(cursor.next_chunk(), None);
+/// ```
+pub struct ChunkCursor {
+    next: CachePadded<AtomicUsize>,
+    len: AtomicUsize,
+    grain: usize,
+}
+
+impl fmt::Debug for ChunkCursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChunkCursor")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .field("grain", &self.grain)
+            .finish()
+    }
+}
+
+impl ChunkCursor {
+    /// Creates a cursor over `0..len` with the given chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain` is 0.
+    pub fn new(len: usize, grain: usize) -> Self {
+        assert!(grain > 0, "chunk grain must be positive");
+        ChunkCursor {
+            next: CachePadded::new(AtomicUsize::new(0)),
+            len: AtomicUsize::new(len),
+            grain,
+        }
+    }
+
+    /// Claims the next chunk, or `None` when the range is exhausted.
+    pub fn next_chunk(&self) -> Option<Range<usize>> {
+        let len = self.len.load(Ordering::Relaxed);
+        let start = self.next.fetch_add(self.grain, Ordering::Relaxed);
+        if start >= len {
+            return None;
+        }
+        Some(start..(start + self.grain).min(len))
+    }
+
+    /// Rearms the cursor for a new range of `len` items.
+    ///
+    /// Callers must guarantee no thread is concurrently claiming chunks —
+    /// in engine code this runs single-threaded between two barriers.
+    pub fn reset(&self, len: usize) {
+        self.len.store(len, Ordering::Relaxed);
+        self.next.store(0, Ordering::Relaxed);
+    }
+
+    /// The configured chunk size.
+    pub fn grain(&self) -> usize {
+        self.grain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn chunks_tile_the_range_exactly() {
+        let cursor = ChunkCursor::new(103, 10);
+        let mut seen = vec![false; 103];
+        while let Some(r) = cursor.next_chunk() {
+            for i in r {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let cursor = ChunkCursor::new(0, 8);
+        assert_eq!(cursor.next_chunk(), None);
+    }
+
+    #[test]
+    fn reset_rearms_the_cursor() {
+        let cursor = ChunkCursor::new(5, 8);
+        assert_eq!(cursor.next_chunk(), Some(0..5));
+        assert_eq!(cursor.next_chunk(), None);
+        cursor.reset(3);
+        assert_eq!(cursor.next_chunk(), Some(0..3));
+        assert_eq!(cursor.next_chunk(), None);
+    }
+
+    #[test]
+    fn concurrent_claims_never_overlap() {
+        let cursor = Arc::new(ChunkCursor::new(10_000, 7));
+        let seen: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..10_000).map(|_| AtomicUsize::new(0)).collect());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cursor = Arc::clone(&cursor);
+            let seen = Arc::clone(&seen);
+            handles.push(std::thread::spawn(move || {
+                while let Some(r) = cursor.next_chunk() {
+                    for i in r {
+                        seen[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

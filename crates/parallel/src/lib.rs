@@ -1,0 +1,89 @@
+//! OpenMP-style parallel runtime substrate for `priograph`.
+//!
+//! The CGO 2020 GraphIt priority extension generates C++ that relies on two
+//! OpenMP execution shapes (paper Figure 9):
+//!
+//! 1. **Per-round parallel loops** (`parallel_for`) for the *lazy* bucketing
+//!    engine — one bulk-synchronous parallel loop per bucket round.
+//! 2. **One long-lived parallel region** (`#pragma omp parallel { while .. }`)
+//!    for the *eager* engine — every thread owns local buckets, loops over
+//!    rounds itself, and synchronizes with explicit barriers. Bucket fusion
+//!    (paper Figure 7) only exists *inside* such a region: a thread keeps
+//!    draining its current local bucket without waiting at the barrier.
+//!
+//! Work-stealing pools such as rayon express (1) well but not (2); this crate
+//! therefore implements a small persistent pool with:
+//!
+//! * [`Pool::broadcast`] — run one closure on every worker, like an OpenMP
+//!   `parallel` region; the [`Worker`] handle exposes a reusable
+//!   [`Worker::barrier`].
+//! * [`Pool::parallel_for`] / [`Pool::parallel_for_static`] — chunked loops
+//!   in the spirit of `schedule(dynamic, grain)` / `schedule(static)`.
+//! * [`ChunkCursor`] — the dynamic-chunk iterator used *inside* broadcast
+//!   regions (the eager engine resets one per round).
+//! * [`scan`] — parallel exclusive prefix sums (used by the lazy engine to
+//!   build output frontiers without atomics, paper §3.1).
+//! * [`atomics`] — `atomicWriteMin`-style helpers over `AtomicI64` slices.
+//! * [`shared`] — an unsafe-but-audited shared-slice cell for writes to
+//!   provably disjoint indices (prefix-sum-assigned output slots).
+//!
+//! # Example
+//!
+//! ```
+//! use priograph_parallel::Pool;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let pool = Pool::new(4);
+//! let sum = AtomicUsize::new(0);
+//! pool.parallel_for(0..1000, 64, |i| {
+//!     sum.fetch_add(i, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atomics;
+mod barrier;
+mod chunk;
+mod pool;
+pub mod reduce;
+pub mod scan;
+pub mod shared;
+
+pub use barrier::SpinBarrier;
+pub use chunk::ChunkCursor;
+pub use pool::{global, in_worker, Pool, Worker};
+
+/// Default grain size for dynamically scheduled loops.
+///
+/// Matches the `schedule(dynamic, 64)` pragma that GAPBS (and the paper's
+/// generated code, Figure 9(c) line 15) uses for frontier loops.
+pub const DEFAULT_GRAIN: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pool>();
+    }
+
+    #[test]
+    fn default_grain_matches_gapbs() {
+        assert_eq!(DEFAULT_GRAIN, 64);
+    }
+
+    #[test]
+    fn global_pool_runs_work() {
+        let hits = AtomicUsize::new(0);
+        global().parallel_for(0..128, 16, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 128);
+    }
+}

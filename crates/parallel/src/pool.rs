@@ -1,0 +1,535 @@
+//! The persistent worker pool and its broadcast ("parallel region") protocol.
+
+use crate::barrier::SpinBarrier;
+use crate::chunk::ChunkCursor;
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased reference to the closure executed by a broadcast region.
+///
+/// The pointee lives on the caller's stack for the duration of the broadcast;
+/// `Pool::broadcast` does not return until every worker has finished running
+/// it, so the erased lifetime never outlives the borrow.
+type JobRef = *const (dyn Fn(Worker<'_>) + Sync);
+
+/// A raw fat pointer cell written only while all workers are quiescent.
+struct JobSlot(Cell<Option<JobRef>>);
+
+// SAFETY: the slot is written exclusively by the broadcasting thread while no
+// worker is running (between the completion wait of the previous job and the
+// epoch bump of the next one), and read by workers only after an Acquire load
+// of the epoch that happens-after the Release store following the write.
+unsafe impl Send for JobSlot {}
+unsafe impl Sync for JobSlot {}
+
+struct Shared {
+    /// Total participants: `workers.len() + 1` (the broadcasting thread).
+    n: usize,
+    /// Bumped (Release) to publish a new job to the workers.
+    epoch: AtomicUsize,
+    /// The current job; valid whenever `epoch` is odd... see protocol notes.
+    job: JobSlot,
+    /// Workers still running the current job.
+    outstanding: AtomicUsize,
+    /// Sleep/wake machinery for idle workers.
+    work_lock: Mutex<()>,
+    work_cv: Condvar,
+    /// Sleep/wake machinery for the broadcaster waiting on completion.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Reusable barrier spanning all `n` participants of a region.
+    barrier: SpinBarrier,
+}
+
+/// How long participants spin before falling back to a condvar sleep.
+const SPIN_ROUNDS: usize = 1 << 14;
+
+thread_local! {
+    /// True while the current thread is executing inside a broadcast region
+    /// (either as a pool worker or as the broadcasting caller). Used to make
+    /// nested parallelism degrade to serial execution instead of deadlocking.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns true if the calling thread is currently inside a [`Pool`] region.
+///
+/// Library code uses this to decide between parallel and serial fallbacks;
+/// nested `broadcast`/`parallel_for` calls run serially rather than deadlock.
+pub fn in_worker() -> bool {
+    IN_REGION.with(|f| f.get())
+}
+
+/// A persistent OpenMP-style thread pool.
+///
+/// The pool owns `num_threads - 1` OS threads; the thread that calls
+/// [`Pool::broadcast`] participates as thread id 0, so a `Pool::new(1)` pool
+/// spawns nothing and runs everything inline.
+///
+/// # Example
+///
+/// ```
+/// use priograph_parallel::Pool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = Pool::new(2);
+/// let count = AtomicUsize::new(0);
+/// pool.broadcast(|w| {
+///     count.fetch_add(w.tid() + 1, Ordering::Relaxed);
+///     w.barrier();
+/// });
+/// assert_eq!(count.into_inner(), 1 + 2);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("num_threads", &self.shared.n)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `num_threads` participants (minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is 0.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "pool requires at least one thread");
+        let shared = Arc::new(Shared {
+            n: num_threads,
+            epoch: AtomicUsize::new(0),
+            job: JobSlot(Cell::new(None)),
+            outstanding: AtomicUsize::new(0),
+            work_lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            barrier: SpinBarrier::new(num_threads),
+        });
+        let mut handles = Vec::with_capacity(num_threads.saturating_sub(1));
+        for tid in 1..num_threads {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("priograph-worker-{tid}"))
+                .spawn(move || worker_loop(&shared, tid))
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        Pool { shared, handles }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Pool::new(n)
+    }
+
+    /// Number of participants in every region (including the caller).
+    pub fn num_threads(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Runs `f` once on every participant, like an OpenMP `parallel` region.
+    ///
+    /// The calling thread participates as tid 0. All participants share one
+    /// reusable barrier reachable through [`Worker::barrier`]. The call
+    /// returns once every participant has returned from `f`.
+    ///
+    /// Nested broadcasts (calling `broadcast` from inside a region) execute
+    /// `f` exactly once, serially, with a single-participant [`Worker`].
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(Worker<'_>) + Sync,
+    {
+        if self.shared.n == 1 || in_worker() {
+            IN_REGION.with(|flag| {
+                let was = flag.replace(true);
+                f(Worker {
+                    tid: 0,
+                    serial: true,
+                    shared: &self.shared,
+                });
+                flag.set(was);
+            });
+            return;
+        }
+
+        let shared = &*self.shared;
+        // Erase the closure's concrete type and lifetime. SAFETY: we wait for
+        // all workers below before returning, so `f` outlives every use.
+        let wide: &(dyn Fn(Worker<'_>) + Sync) = &f;
+        let raw: JobRef = unsafe { std::mem::transmute(wide) };
+        shared.job.0.set(Some(raw));
+        shared
+            .outstanding
+            .store(shared.n - 1, Ordering::Relaxed);
+        {
+            // Publish under the lock so sleeping workers cannot miss the wake.
+            let _guard = shared.work_lock.lock();
+            shared.epoch.fetch_add(1, Ordering::Release);
+        }
+        shared.work_cv.notify_all();
+
+        IN_REGION.with(|flag| {
+            let was = flag.replace(true);
+            f(Worker {
+                tid: 0,
+                serial: false,
+                shared,
+            });
+            flag.set(was);
+        });
+
+        // Wait for the workers: spin briefly, then sleep.
+        let mut spins = 0usize;
+        while shared.outstanding.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else {
+                let mut guard = shared.done_lock.lock();
+                if shared.outstanding.load(Ordering::Acquire) != 0 {
+                    shared.done_cv.wait(&mut guard);
+                }
+            }
+        }
+        shared.job.0.set(None);
+    }
+
+    /// Dynamically scheduled parallel loop over `range`, chunked by `grain`.
+    ///
+    /// Equivalent to `#pragma omp parallel for schedule(dynamic, grain)`.
+    /// Falls back to a serial loop for single-thread pools, nested calls, or
+    /// ranges not longer than `grain`.
+    pub fn parallel_for<F>(&self, range: std::ops::Range<usize>, grain: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        let grain = grain.max(1);
+        if self.shared.n == 1 || in_worker() || len <= grain {
+            for i in range {
+                f(i);
+            }
+            return;
+        }
+        let base = range.start;
+        let cursor = ChunkCursor::new(len, grain);
+        self.broadcast(|_w| {
+            while let Some(chunk) = cursor.next_chunk() {
+                for i in chunk {
+                    f(base + i);
+                }
+            }
+        });
+    }
+
+    /// Statically scheduled parallel loop: the range is split into one
+    /// contiguous block per participant (`schedule(static)`).
+    pub fn parallel_for_static<F>(&self, range: std::ops::Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if self.shared.n == 1 || in_worker() || len <= 1 {
+            for i in range {
+                f(i);
+            }
+            return;
+        }
+        let base = range.start;
+        let n = self.shared.n;
+        self.broadcast(|w| {
+            let (start, end) = split_evenly(len, n, w.tid());
+            for i in start..end {
+                f(base + i);
+            }
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.work_lock.lock();
+            self.shared.epoch.fetch_add(1, Ordering::Release);
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Computes participant `tid`'s contiguous `[start, end)` share of `len`
+/// items split across `n` participants, distributing the remainder to the
+/// lowest tids.
+pub(crate) fn split_evenly(len: usize, n: usize, tid: usize) -> (usize, usize) {
+    let per = len / n;
+    let rem = len % n;
+    let start = tid * per + tid.min(rem);
+    let size = per + usize::from(tid < rem);
+    (start, (start + size).min(len))
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_epoch = 0usize;
+    loop {
+        // Wait for a new epoch (spin, then sleep).
+        let mut spins = 0usize;
+        loop {
+            let epoch = shared.epoch.load(Ordering::Acquire);
+            if epoch != seen_epoch {
+                seen_epoch = epoch;
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else {
+                let mut guard = shared.work_lock.lock();
+                if shared.epoch.load(Ordering::Acquire) == seen_epoch {
+                    shared.work_cv.wait(&mut guard);
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(raw) = shared.job.0.get() else {
+            continue;
+        };
+        // SAFETY: the broadcaster keeps the closure alive until `outstanding`
+        // reaches zero, which only happens after this call returns.
+        let job: &(dyn Fn(Worker<'_>) + Sync) = unsafe { &*raw };
+        IN_REGION.with(|flag| {
+            flag.set(true);
+            job(Worker {
+                tid,
+                serial: false,
+                shared,
+            });
+            flag.set(false);
+        });
+        if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = shared.done_lock.lock();
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// Handle given to each participant of a [`Pool::broadcast`] region.
+pub struct Worker<'a> {
+    tid: usize,
+    serial: bool,
+    shared: &'a Shared,
+}
+
+impl fmt::Debug for Worker<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker")
+            .field("tid", &self.tid)
+            .field("num_threads", &self.num_threads())
+            .finish()
+    }
+}
+
+impl Worker<'_> {
+    /// This participant's id in `0..num_threads`.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of participants in this region.
+    pub fn num_threads(&self) -> usize {
+        if self.serial {
+            1
+        } else {
+            self.shared.n
+        }
+    }
+
+    /// Region-wide barrier: blocks until every participant has arrived.
+    ///
+    /// No-op for serial (single participant) regions. Every participant must
+    /// execute the same sequence of `barrier()` calls, as with OpenMP.
+    pub fn barrier(&self) {
+        if !self.serial {
+            self.shared.barrier.wait();
+        }
+    }
+
+    /// This participant's contiguous `[start, end)` share of `len` items
+    /// (static partitioning).
+    pub fn static_range(&self, len: usize) -> std::ops::Range<usize> {
+        let (start, end) = split_evenly(len, self.num_threads(), self.tid);
+        start..end
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide default pool, sized to available parallelism.
+///
+/// Experiments that sweep thread counts (paper Figure 11) construct their own
+/// [`Pool`]s instead.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(Pool::with_available_parallelism)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn broadcast_runs_every_tid_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(|w| {
+            hits[w.tid()].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_is_reusable_many_times() {
+        let pool = Pool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.broadcast(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.into_inner(), 200 * 3);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let pool = Pool::new(4);
+        let phase1 = AtomicUsize::new(0);
+        let phase2_saw = AtomicUsize::new(usize::MAX);
+        pool.broadcast(|w| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            w.barrier();
+            // After the barrier every thread must observe all 4 increments.
+            phase2_saw.fetch_min(phase1.load(Ordering::SeqCst), Ordering::SeqCst);
+            w.barrier();
+        });
+        assert_eq!(phase2_saw.into_inner(), 4);
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_deadlock() {
+        let pool = Pool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.broadcast(|w| {
+            for _ in 0..100 {
+                count.fetch_add(1, Ordering::Relaxed);
+                w.barrier();
+            }
+        });
+        assert_eq!(count.into_inner(), 400);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let mut touched = false;
+        // Closure captures &mut via Cell-free trick: use atomic for Sync bound.
+        let flag = AtomicUsize::new(0);
+        pool.broadcast(|w| {
+            assert_eq!(w.tid(), 0);
+            assert_eq!(w.num_threads(), 1);
+            w.barrier(); // must be a no-op
+            flag.store(1, Ordering::Relaxed);
+        });
+        if flag.into_inner() == 1 {
+            touched = true;
+        }
+        assert!(touched);
+    }
+
+    #[test]
+    fn nested_broadcast_degrades_to_serial() {
+        let pool = Pool::new(4);
+        let inner_runs = AtomicUsize::new(0);
+        pool.broadcast(|_w| {
+            pool.broadcast(|iw| {
+                assert_eq!(iw.num_threads(), 1);
+                inner_runs.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        // Each of the 4 outer participants ran the inner region serially.
+        assert_eq!(inner_runs.into_inner(), 4);
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..1000, 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_static_visits_each_index_once() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicUsize> = (0..997).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_static(0..997, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_fine() {
+        let pool = Pool::new(2);
+        pool.parallel_for(5..5, 64, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn split_evenly_covers_range_without_overlap() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for n in 1..9 {
+                let mut next = 0;
+                for tid in 0..n {
+                    let (s, e) = split_evenly(len, n, tid);
+                    assert_eq!(s, next);
+                    assert!(e >= s);
+                    next = e;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_static_range_is_consistent() {
+        let pool = Pool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.broadcast(|w| {
+            let r = w.static_range(103);
+            total.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 103);
+    }
+}

@@ -1,0 +1,119 @@
+//! Parallel reductions over index ranges.
+
+use crate::pool::Pool;
+use parking_lot::Mutex;
+
+/// Reduces `map(i)` over `range` with the associative operator `combine`,
+/// starting from `identity`.
+///
+/// # Example
+///
+/// ```
+/// use priograph_parallel::{reduce::parallel_reduce, Pool};
+///
+/// let pool = Pool::new(4);
+/// let max = parallel_reduce(&pool, 0..1000, i64::MIN, |i| i as i64, i64::max);
+/// assert_eq!(max, 999);
+/// ```
+pub fn parallel_reduce<T, M, C>(
+    pool: &Pool,
+    range: std::ops::Range<usize>,
+    identity: T,
+    map: M,
+    combine: C,
+) -> T
+where
+    T: Clone + Send + Sync,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync + Send,
+{
+    let len = range.end.saturating_sub(range.start);
+    if pool.num_threads() == 1 || crate::pool::in_worker() || len < 1024 {
+        let mut acc = identity;
+        for i in range {
+            acc = combine(acc, map(i));
+        }
+        return acc;
+    }
+    let base = range.start;
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+    pool.broadcast(|w| {
+        let r = w.static_range(len);
+        let mut acc = identity.clone();
+        for i in r {
+            acc = combine(acc, map(base + i));
+        }
+        partials.lock().push(acc);
+    });
+    partials
+        .into_inner()
+        .into_iter()
+        .fold(identity, |a, b| combine(a, b))
+}
+
+/// Sums `map(i)` over `range` (u64 accumulator).
+pub fn parallel_sum<M>(pool: &Pool, range: std::ops::Range<usize>, map: M) -> u64
+where
+    M: Fn(usize) -> u64 + Sync,
+{
+    parallel_reduce(pool, range, 0u64, map, |a, b| a + b)
+}
+
+/// Counts the indices in `range` for which `pred` holds.
+pub fn parallel_count<P>(pool: &Pool, range: std::ops::Range<usize>, pred: P) -> usize
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    parallel_sum(pool, range, |i| u64::from(pred(i))) as usize
+}
+
+/// Minimum of `map(i)` over `range`, or `None` for an empty range.
+pub fn parallel_min<M>(pool: &Pool, range: std::ops::Range<usize>, map: M) -> Option<i64>
+where
+    M: Fn(usize) -> i64 + Sync,
+{
+    if range.is_empty() {
+        return None;
+    }
+    Some(parallel_reduce(pool, range, i64::MAX, map, i64::min))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_closed_form() {
+        let pool = Pool::new(4);
+        let s = parallel_sum(&pool, 0..100_000, |i| i as u64);
+        assert_eq!(s, 99_999u64 * 100_000 / 2);
+    }
+
+    #[test]
+    fn count_matches_filter() {
+        let pool = Pool::new(3);
+        let c = parallel_count(&pool, 0..10_000, |i| i % 7 == 0);
+        assert_eq!(c, (0..10_000).filter(|i| i % 7 == 0).count());
+    }
+
+    #[test]
+    fn min_of_empty_is_none() {
+        let pool = Pool::new(2);
+        assert_eq!(parallel_min(&pool, 3..3, |i| i as i64), None);
+    }
+
+    #[test]
+    fn min_matches_iterator_min() {
+        let pool = Pool::new(4);
+        let vals: Vec<i64> = (0..50_000).map(|i| ((i * 2654435761u64) % 1000) as i64).collect();
+        let got = parallel_min(&pool, 0..vals.len(), |i| vals[i]);
+        assert_eq!(got, vals.iter().copied().min());
+    }
+
+    #[test]
+    fn small_ranges_use_serial_path() {
+        let pool = Pool::new(4);
+        let s = parallel_sum(&pool, 0..10, |i| i as u64);
+        assert_eq!(s, 45);
+    }
+}

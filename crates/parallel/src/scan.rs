@@ -1,0 +1,157 @@
+//! Parallel exclusive prefix sums.
+//!
+//! The lazy bucket engine uses prefix sums twice per round: to compute
+//! per-source output offsets in the edge buffer and to compact the valid
+//! entries of the buffer into the next frontier (paper §3.1's
+//! "`syncAppend` ... or with a prefix sum to avoid atomics").
+
+use crate::pool::Pool;
+
+/// Block size for the two-pass parallel scan.
+const SCAN_BLOCK: usize = 2048;
+
+/// Computes the exclusive prefix sum of `values` in place and returns the
+/// total sum.
+///
+/// `out[i] = values[0] + .. + values[i-1]`, `out[0] = 0`.
+///
+/// # Example
+///
+/// ```
+/// use priograph_parallel::{scan::exclusive_scan_in_place, Pool};
+///
+/// let pool = Pool::new(2);
+/// let mut v = vec![3u64, 1, 4, 1, 5];
+/// let total = exclusive_scan_in_place(&pool, &mut v);
+/// assert_eq!(total, 14);
+/// assert_eq!(v, vec![0, 3, 4, 8, 9]);
+/// ```
+pub fn exclusive_scan_in_place(pool: &Pool, values: &mut [u64]) -> u64 {
+    let len = values.len();
+    if len == 0 {
+        return 0;
+    }
+    if pool.num_threads() == 1 || len <= SCAN_BLOCK || crate::pool::in_worker() {
+        return serial_exclusive_scan(values);
+    }
+
+    let num_blocks = len.div_ceil(SCAN_BLOCK);
+    let mut block_sums = vec![0u64; num_blocks];
+
+    // Phase 1: scan each block independently, recording its total.
+    {
+        let sums = crate::shared::DisjointSlice::from_vec(std::mem::take(&mut block_sums));
+        let data = crate::shared::DisjointSlice::from_vec(values.to_vec());
+        pool.parallel_for(0..num_blocks, 1, |b| {
+            let start = b * SCAN_BLOCK;
+            let end = (start + SCAN_BLOCK).min(len);
+            let mut acc = 0u64;
+            for i in start..end {
+                let v = data.read(i);
+                data.write(i, acc);
+                acc += v;
+            }
+            sums.write(b, acc);
+        });
+        let scanned = data.into_vec();
+        values.copy_from_slice(&scanned);
+        block_sums = sums.into_vec();
+    }
+
+    // Phase 2: serial scan of the (small) block totals.
+    let total = serial_exclusive_scan(&mut block_sums);
+
+    // Phase 3: add each block's offset to its entries.
+    {
+        let data = crate::shared::DisjointSlice::from_vec(values.to_vec());
+        let offsets = &block_sums;
+        pool.parallel_for(0..num_blocks, 1, |b| {
+            let start = b * SCAN_BLOCK;
+            let end = (start + SCAN_BLOCK).min(len);
+            let off = offsets[b];
+            for i in start..end {
+                data.write(i, data.read(i) + off);
+            }
+        });
+        let shifted = data.into_vec();
+        values.copy_from_slice(&shifted);
+    }
+    total
+}
+
+/// Serial exclusive scan; returns the total.
+pub fn serial_exclusive_scan(values: &mut [u64]) -> u64 {
+    let mut acc = 0u64;
+    for v in values.iter_mut() {
+        let old = *v;
+        *v = acc;
+        acc += old;
+    }
+    acc
+}
+
+/// Convenience wrapper: returns `(offsets, total)` for a slice of counts,
+/// leaving the input untouched.
+pub fn exclusive_offsets(pool: &Pool, counts: &[u64]) -> (Vec<u64>, u64) {
+    let mut offsets = counts.to_vec();
+    let total = exclusive_scan_in_place(pool, &mut offsets);
+    (offsets, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_scan_matches_definition() {
+        let mut v = vec![2u64, 0, 7, 1];
+        let total = serial_exclusive_scan(&mut v);
+        assert_eq!(total, 10);
+        assert_eq!(v, vec![0, 2, 2, 9]);
+    }
+
+    #[test]
+    fn empty_scan_is_zero() {
+        let pool = Pool::new(2);
+        let mut v: Vec<u64> = vec![];
+        assert_eq!(exclusive_scan_in_place(&pool, &mut v), 0);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_on_large_input() {
+        let pool = Pool::new(4);
+        let input: Vec<u64> = (0..50_000u64).map(|i| (i * 31 + 7) % 13).collect();
+        let mut parallel = input.clone();
+        let mut serial = input;
+        let pt = exclusive_scan_in_place(&pool, &mut parallel);
+        let st = serial_exclusive_scan(&mut serial);
+        assert_eq!(pt, st);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn exclusive_offsets_leaves_input_alone() {
+        let pool = Pool::new(2);
+        let counts = vec![5u64, 5, 5];
+        let (offsets, total) = exclusive_offsets(&pool, &counts);
+        assert_eq!(counts, vec![5, 5, 5]);
+        assert_eq!(offsets, vec![0, 5, 10]);
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn scan_block_boundary_sizes() {
+        let pool = Pool::new(3);
+        for len in [SCAN_BLOCK - 1, SCAN_BLOCK, SCAN_BLOCK + 1, 3 * SCAN_BLOCK + 5] {
+            let input: Vec<u64> = (0..len as u64).map(|i| i % 5).collect();
+            let mut parallel = input.clone();
+            let mut serial = input;
+            assert_eq!(
+                exclusive_scan_in_place(&pool, &mut parallel),
+                serial_exclusive_scan(&mut serial),
+                "len={len}"
+            );
+            assert_eq!(parallel, serial, "len={len}");
+        }
+    }
+}

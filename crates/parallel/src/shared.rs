@@ -1,0 +1,158 @@
+//! Shared mutable slices for writes to provably disjoint indices.
+//!
+//! The lazy engine allocates an output-edge buffer and uses a prefix sum over
+//! frontier out-degrees to assign each source vertex a private sub-range of
+//! the buffer (paper Figure 9(a), `setupOutputBufferOffsets`). Threads then
+//! write concurrently into their disjoint sub-ranges without synchronization.
+//! Rust's borrow rules cannot see that disjointness, so this module provides
+//! a minimal, audited escape hatch.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+
+/// A slice whose elements may be written concurrently at *disjoint* indices.
+///
+/// All methods are safe to call; the safety obligation is concentrated in the
+/// contract that no two threads touch the same index without other
+/// synchronization, and that reads do not race writes to the same index.
+/// Engine code establishes this via prefix-sum-assigned ranges or
+/// owner-computes partitioning.
+pub struct DisjointSlice<T> {
+    cells: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: access discipline (disjoint indices across threads) is documented
+// on every mutating method; `T: Send` suffices because values only move
+// across threads as whole elements.
+unsafe impl<T: Send> Send for DisjointSlice<T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for DisjointSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DisjointSlice(len = {})", self.cells.len())
+    }
+}
+
+impl<T: Clone> DisjointSlice<T> {
+    /// Allocates `len` copies of `value`.
+    pub fn new(len: usize, value: T) -> Self {
+        DisjointSlice {
+            cells: (0..len).map(|_| UnsafeCell::new(value.clone())).collect(),
+        }
+    }
+}
+
+impl<T> DisjointSlice<T> {
+    /// Builds the slice from an existing vector.
+    pub fn from_vec(values: Vec<T>) -> Self {
+        DisjointSlice {
+            cells: values.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety contract (checked by callers, not the compiler)
+    ///
+    /// No other thread may read or write `index` concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn write(&self, index: usize, value: T) {
+        let cell = &self.cells[index];
+        // SAFETY: per the access contract, this thread has exclusive access
+        // to `index` for the duration of the call.
+        unsafe { *cell.get() = value }
+    }
+
+    /// Reads the value at `index` (requires `T: Copy`).
+    ///
+    /// # Safety contract
+    ///
+    /// No thread may be writing `index` concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        let cell = &self.cells[index];
+        // SAFETY: per the access contract, no concurrent writer exists.
+        unsafe { *cell.get() }
+    }
+
+    /// Consumes the slice, returning the underlying values.
+    pub fn into_vec(self) -> Vec<T> {
+        self.cells
+            .into_vec()
+            .into_iter()
+            .map(UnsafeCell::into_inner)
+            .collect()
+    }
+
+    /// Exclusive view of the contents (no concurrent access possible).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: `&mut self` guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.cells.as_mut_ptr().cast(), self.cells.len()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let slice = Arc::new(DisjointSlice::new(1000, 0usize));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let slice = Arc::clone(&slice);
+            handles.push(std::thread::spawn(move || {
+                let mut i = t;
+                while i < 1000 {
+                    slice.write(i, i * 2);
+                    i += 4;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let out = Arc::try_unwrap(slice).unwrap().into_vec();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn read_after_write_round_trips() {
+        let slice = DisjointSlice::new(4, 0i64);
+        slice.write(3, 42);
+        assert_eq!(slice.read(3), 42);
+        assert_eq!(slice.read(0), 0);
+    }
+
+    #[test]
+    fn from_vec_and_as_mut_slice() {
+        let mut slice = DisjointSlice::from_vec(vec![1, 2, 3]);
+        slice.as_mut_slice()[1] = 9;
+        assert_eq!(slice.into_vec(), vec![1, 9, 3]);
+        let empty = DisjointSlice::from_vec(Vec::<u8>::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+    }
+}

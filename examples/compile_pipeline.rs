@@ -1,0 +1,66 @@
+//! The compiler pipeline end to end: take the Δ-stepping program of paper
+//! Figure 3, analyze it, lower it under two schedules, print the generated
+//! pseudo-C++ (Figure 9), and execute the compiled plan — checking it
+//! against the hand-written engine path.
+//!
+//! Run with `cargo run --release --example compile_pipeline`.
+
+use priograph::core::ir::{analysis, codegen, interp, plan, programs};
+use priograph::core::schedule::Schedule;
+use priograph::graph::gen::GraphGen;
+
+fn main() {
+    let program = programs::delta_stepping();
+    println!("=== source program (Figure 3) ===\n{program}\n");
+
+    // The compiler's analyses (paper §5).
+    let udf = program.loop_udf().expect("program has a UDF");
+    println!(
+        "analysis: push-direction atomics needed: {}",
+        analysis::needs_atomics_push(udf).unwrap()
+    );
+    println!(
+        "analysis: pull-direction atomics needed: {}",
+        analysis::needs_atomics_pull(udf).unwrap()
+    );
+    println!(
+        "analysis: constant-sum? {:?}",
+        analysis::constant_sum(udf).err().map(|e| e.to_string())
+    );
+    println!(
+        "analysis: eager transform applicable: {}\n",
+        analysis::eager_transform_applicable(&program)
+    );
+
+    // Lower under a schedule and emit Figure 9(c)-style code.
+    let schedule = Schedule::eager_with_fusion(8);
+    let lowered = plan::lower(&program, &schedule).expect("legal schedule");
+    println!("=== generated code ({}) ===", schedule);
+    println!("{}", codegen::emit_cpp(&program, &lowered));
+
+    // Execute the compiled plan and cross-check against a second schedule.
+    let graph = GraphGen::rmat(12, 8).seed(5).weights_uniform(1, 100).build();
+    let mut initial = vec![priograph::buckets::NULL_PRIORITY; graph.num_vertices()];
+    initial[0] = 0;
+    let pool = priograph::parallel::global();
+
+    let (_, eager_out) = interp::run_program(
+        pool,
+        &graph,
+        &program,
+        &schedule,
+        initial.clone(),
+        &[0],
+        None,
+    )
+    .expect("compilation + execution");
+    let (_, lazy_out) =
+        interp::run_program(pool, &graph, &program, &Schedule::lazy(8), initial, &[0], None)
+            .expect("compilation + execution");
+
+    assert_eq!(eager_out.priorities, lazy_out.priorities);
+    println!(
+        "compiled program executed: {} rounds (eager+fusion) vs {} rounds (lazy); distances agree ✓",
+        eager_out.stats.rounds, lazy_out.stats.rounds
+    );
+}

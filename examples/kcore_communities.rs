@@ -1,0 +1,50 @@
+//! Community-core analysis: k-core decomposition of a social network,
+//! comparing the histogram-reduced lazy schedule against eager updates
+//! (the tradeoff of paper Table 7).
+//!
+//! Run with `cargo run --release --example kcore_communities`.
+
+use priograph::algorithms::kcore;
+use priograph::core::schedule::Schedule;
+use priograph::graph::gen::GraphGen;
+
+fn main() {
+    // k-core runs on symmetrized graphs (paper Table 3).
+    let social = GraphGen::rmat(14, 12).seed(99).build().symmetrize();
+    println!(
+        "social graph: {} users, {} (symmetric) links",
+        social.num_vertices(),
+        social.num_edges()
+    );
+
+    // The paper's preferred schedule for k-core: lazy with the constant-sum
+    // histogram reduction (Figure 10).
+    let result = kcore::kcore(&social, &Schedule::lazy_constant_sum());
+    println!(
+        "degeneracy (max coreness): {} — computed in {} rounds, {:.2} ms",
+        result.degeneracy(),
+        result.stats.rounds,
+        result.stats.elapsed_ms()
+    );
+
+    // Coreness histogram: how many vertices sit in each core.
+    let mut histogram = vec![0usize; result.degeneracy() as usize + 1];
+    for &c in &result.coreness {
+        histogram[c as usize] += 1;
+    }
+    println!("coreness distribution (core: members):");
+    for (k, count) in histogram.iter().enumerate().filter(|(_, &c)| c > 0) {
+        if k % 4 == 0 || k == histogram.len() - 1 {
+            println!("  {k:>3}: {count}");
+        }
+    }
+
+    // The eager strategy computes the same decomposition, slower on social
+    // graphs because every degree decrement re-inserts the vertex.
+    let eager = kcore::kcore(&social, &Schedule::eager(1));
+    assert_eq!(eager.coreness, result.coreness);
+    println!(
+        "eager bucket inserts: {} vs lazy: {} (the Table 7 effect)",
+        eager.stats.bucket_inserts, result.stats.bucket_inserts
+    );
+}

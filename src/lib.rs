@@ -1,0 +1,43 @@
+//! # priograph
+//!
+//! A Rust reproduction of **"Optimizing Ordered Graph Algorithms with
+//! GraphIt"** (Zhang et al., CGO 2020): a priority-based programming model
+//! for parallel *ordered* graph algorithms, with switchable eager/lazy
+//! bucketing schedules and the bucket-fusion optimization.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`parallel`] — OpenMP-style thread pool, barriers, scans, atomics.
+//! * [`graph`] — CSR graphs, generators (R-MAT social, grid road), IO.
+//! * [`buckets`] — lazy (Julienne-style) and eager (GAPBS-style) bucket
+//!   structures, update buffers, dedup flags, histogramming.
+//! * [`core`] — the paper's contribution: the `PriorityQueue` algorithm API
+//!   (Table 1), the scheduling language (Table 2), the execution engines
+//!   (lazy sparse/dense, eager, eager + bucket fusion), and the mini-DSL
+//!   compiler pipeline (analyses, transforms, pseudo-C++ codegen).
+//! * [`algorithms`] — SSSP (Δ-stepping), wBFS, PPSP, A\*, k-core, SetCover,
+//!   plus unordered baselines and serial references.
+//! * [`baselines`] — GAPBS-, Julienne-, Galois- and Ligra-style comparison
+//!   engines.
+//! * [`autotune`] — stochastic schedule autotuner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use priograph::graph::gen::GraphGen;
+//! use priograph::core::schedule::Schedule;
+//! use priograph::algorithms::sssp;
+//!
+//! // A small power-law graph with weights in [1, 1000).
+//! let graph = GraphGen::rmat(10, 8).seed(1).weights_uniform(1, 1000).build();
+//! let result = sssp::delta_stepping(&graph, 0, &Schedule::eager_with_fusion(8));
+//! assert_eq!(result.dist[0], 0);
+//! ```
+
+pub use priograph_algorithms as algorithms;
+pub use priograph_autotune as autotune;
+pub use priograph_baselines as baselines;
+pub use priograph_buckets as buckets;
+pub use priograph_core as core;
+pub use priograph_graph as graph;
+pub use priograph_parallel as parallel;

@@ -1,0 +1,96 @@
+//! Cross-crate integration tests: every engine, every baseline, and the
+//! compiled-DSL path must agree on results across graph families.
+
+use priograph::algorithms::serial::{dijkstra, kcore_serial};
+use priograph::algorithms::{kcore, sssp, unordered};
+use priograph::baselines::{galois, gapbs, julienne, ligra};
+use priograph::core::schedule::Schedule;
+use priograph::graph::gen::GraphGen;
+use priograph::parallel::Pool;
+
+#[test]
+fn all_sssp_implementations_agree() {
+    let pool = Pool::new(2);
+    for (name, graph, delta) in [
+        (
+            "social",
+            GraphGen::rmat(10, 8).seed(2).weights_uniform(1, 1000).build(),
+            32i64,
+        ),
+        ("road", GraphGen::road_grid(40, 40).seed(2).build(), 1 << 10),
+    ] {
+        let reference = dijkstra(&graph, 0);
+        let runs: Vec<(&str, Vec<i64>)> = vec![
+            (
+                "eager_fusion",
+                sssp::delta_stepping_on(&pool, &graph, 0, &Schedule::eager_with_fusion(delta))
+                    .unwrap()
+                    .dist,
+            ),
+            (
+                "eager",
+                sssp::delta_stepping_on(&pool, &graph, 0, &Schedule::eager(delta))
+                    .unwrap()
+                    .dist,
+            ),
+            (
+                "lazy",
+                sssp::delta_stepping_on(&pool, &graph, 0, &Schedule::lazy(delta))
+                    .unwrap()
+                    .dist,
+            ),
+            ("gapbs", gapbs::sssp(&pool, &graph, 0, delta).dist),
+            ("julienne", julienne::sssp(&pool, &graph, 0, delta).dist),
+            ("galois", galois::sssp(&pool, &graph, 0, delta).dist),
+            (
+                "bellman_ford",
+                unordered::bellman_ford_on(&pool, &graph, 0).unwrap().dist,
+            ),
+            ("ligra", ligra::bellman_ford(&pool, &graph, 0).dist),
+        ];
+        for (impl_name, dist) in runs {
+            assert_eq!(dist, reference, "{impl_name} deviates on {name}");
+        }
+    }
+}
+
+#[test]
+fn all_kcore_implementations_agree() {
+    let pool = Pool::new(2);
+    let graph = GraphGen::rmat(9, 8).seed(4).build().symmetrize();
+    let reference = kcore_serial(&graph);
+    for schedule in [
+        Schedule::lazy_constant_sum(),
+        Schedule::lazy(1),
+        Schedule::eager(1),
+        Schedule::eager_with_fusion(1),
+    ] {
+        let run = kcore::kcore_on(&pool, &graph, &schedule).unwrap();
+        assert_eq!(run.coreness, reference, "schedule {schedule}");
+    }
+    assert_eq!(julienne::kcore(&pool, &graph).dist, reference);
+    assert_eq!(
+        unordered::kcore_unordered_on(&pool, &graph).unwrap().coreness,
+        reference
+    );
+}
+
+#[test]
+fn compiled_dsl_path_matches_library_path() {
+    use priograph::core::ir::{interp, programs};
+    let pool = Pool::new(2);
+    let graph = GraphGen::rmat(9, 8).seed(6).weights_uniform(1, 100).build();
+    let mut initial = vec![priograph::buckets::NULL_PRIORITY; graph.num_vertices()];
+    initial[0] = 0;
+    let (_, compiled) = interp::run_program(
+        &pool,
+        &graph,
+        &programs::delta_stepping(),
+        &Schedule::eager_with_fusion(16),
+        initial,
+        &[0],
+        None,
+    )
+    .unwrap();
+    assert_eq!(compiled.priorities, dijkstra(&graph, 0));
+}

@@ -1,0 +1,99 @@
+//! Integration tests asserting the paper's *qualitative* results — the
+//! shapes that must hold at any scale (the quantitative tables live in the
+//! bench binaries and `EXPERIMENTS.md`).
+
+use priograph::algorithms::{kcore, ppsp, sssp};
+use priograph::core::schedule::Schedule;
+use priograph::graph::gen::GraphGen;
+use priograph::parallel::Pool;
+
+/// §3.3 / Table 6: bucket fusion slashes synchronized rounds on
+/// high-diameter graphs without changing results.
+#[test]
+fn fusion_cuts_rounds_on_road_networks() {
+    let pool = Pool::new(2);
+    let road = GraphGen::road_grid(60, 60).seed(1).build();
+    let delta = 1 << 11;
+    let fused =
+        sssp::delta_stepping_on(&pool, &road, 0, &Schedule::eager_with_fusion(delta)).unwrap();
+    let plain = sssp::delta_stepping_on(&pool, &road, 0, &Schedule::eager(delta)).unwrap();
+    assert_eq!(fused.dist, plain.dist);
+    assert!(
+        fused.stats.rounds * 3 < plain.stats.rounds,
+        "expected >=3x round reduction: {} vs {}",
+        fused.stats.rounds,
+        plain.stats.rounds
+    );
+}
+
+/// Table 7: the eager strategy performs strictly more bucket insertions on
+/// k-core than the histogram-reduced lazy strategy.
+#[test]
+fn eager_kcore_inserts_exceed_lazy() {
+    let pool = Pool::new(2);
+    let graph = GraphGen::rmat(10, 8).seed(3).build().symmetrize();
+    let eager = kcore::kcore_on(&pool, &graph, &Schedule::eager(1)).unwrap();
+    let lazy = kcore::kcore_on(&pool, &graph, &Schedule::lazy_constant_sum()).unwrap();
+    assert_eq!(eager.coreness, lazy.coreness);
+    assert!(
+        eager.stats.bucket_inserts > lazy.stats.bucket_inserts,
+        "eager {} vs lazy {}",
+        eager.stats.bucket_inserts,
+        lazy.stats.bucket_inserts
+    );
+}
+
+/// §6.2: PPSP terminates early and does a fraction of full-SSSP work for
+/// nearby targets.
+#[test]
+fn ppsp_early_termination_saves_work() {
+    let pool = Pool::new(2);
+    let road = GraphGen::road_grid(50, 50).seed(5).build();
+    let near_target = road.out_edges(0)[0].dst;
+    let schedule = Schedule::eager_with_fusion(1 << 10);
+    let point = ppsp::ppsp_on(&pool, &road, 0, near_target, &schedule).unwrap();
+    let full = sssp::delta_stepping_on(&pool, &road, 0, &schedule).unwrap();
+    assert_eq!(point.distance, Some(full.dist[near_target as usize]));
+    assert!(point.stats.relaxations * 2 < full.stats.relaxations);
+}
+
+/// §6.2 delta selection: road networks need large Δ (rounds explode with
+/// Δ = 1), social networks tolerate small Δ.
+#[test]
+fn road_networks_need_coarsening() {
+    let pool = Pool::new(2);
+    let road = GraphGen::road_grid(40, 40).seed(7).build();
+    let fine = sssp::delta_stepping_on(&pool, &road, 0, &Schedule::eager_with_fusion(1)).unwrap();
+    let coarse =
+        sssp::delta_stepping_on(&pool, &road, 0, &Schedule::eager_with_fusion(1 << 12)).unwrap();
+    assert_eq!(fine.dist, coarse.dist);
+    assert!(
+        coarse.stats.total_rounds() * 4 < fine.stats.total_rounds(),
+        "coarse {} vs fine {}",
+        coarse.stats.total_rounds(),
+        fine.stats.total_rounds()
+    );
+}
+
+/// The six algorithms all run through the public facade re-exports.
+#[test]
+fn facade_reexports_cover_the_api() {
+    let pool = Pool::new(1);
+    let g = GraphGen::rmat(7, 6).seed(1).weights_uniform(1, 50).build();
+    let sym = g.symmetrize();
+    let road = GraphGen::road_grid(8, 8).seed(1).build();
+
+    assert!(sssp::delta_stepping_on(&pool, &g, 0, &Schedule::default()).is_ok());
+    assert!(priograph::algorithms::wbfs::wbfs_on(&pool, &g, 0, &Schedule::default()).is_ok());
+    assert!(ppsp::ppsp_on(&pool, &g, 0, 5, &Schedule::default()).is_ok());
+    let h = priograph::algorithms::astar::euclidean_heuristic(&road, 10, 100.0).unwrap();
+    assert!(
+        priograph::algorithms::astar::astar_on(&pool, &road, 0, 10, &Schedule::default(), &h)
+            .is_ok()
+    );
+    assert!(kcore::kcore_on(&pool, &sym, &Schedule::lazy_constant_sum()).is_ok());
+    let inst = priograph::algorithms::setcover::SetCoverInstance::new(3, vec![vec![0, 1], vec![2]]);
+    assert!(
+        priograph::algorithms::setcover::set_cover_on(&pool, &inst, &Schedule::lazy(1)).is_ok()
+    );
+}

@@ -1,0 +1,63 @@
+//! Property-based integration tests: random graphs × random schedules must
+//! always produce reference-correct results (the "schedules never change
+//! semantics" guarantee of the scheduling-language design).
+
+use priograph::algorithms::serial::dijkstra;
+use priograph::algorithms::sssp;
+use priograph::algorithms::validate::validate_sssp;
+use priograph::autotune::ScheduleSpace;
+use priograph::graph::gen::GraphGen;
+use priograph::parallel::Pool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_schedules_preserve_sssp_semantics(
+        graph_seed in 0u64..500,
+        schedule_seed in 0u64..500,
+        road in proptest::bool::ANY,
+    ) {
+        let pool = Pool::new(2);
+        let graph = if road {
+            GraphGen::road_grid(12, 12).seed(graph_seed).build()
+        } else {
+            GraphGen::rmat(7, 6).seed(graph_seed).weights_uniform(1, 200).build()
+        };
+        let mut rng = StdRng::seed_from_u64(schedule_seed);
+        let schedule = ScheduleSpace::sssp_like().sample(&mut rng);
+        let run = sssp::delta_stepping_on(&pool, &graph, 0, &schedule).unwrap();
+        prop_assert_eq!(&run.dist, &dijkstra(&graph, 0));
+        prop_assert!(validate_sssp(&graph, 0, &run.dist).is_ok());
+    }
+
+    #[test]
+    fn random_weighted_graphs_roundtrip_through_io(
+        seed in 0u64..1000,
+        n in 2usize..60,
+        m in 1usize..200,
+    ) {
+        let graph = GraphGen::uniform(n, m).seed(seed).weights_uniform(1, 50).build();
+        let text = priograph::graph::io::to_dimacs_gr(&graph);
+        let back = priograph::graph::io::parse_dimacs_gr(&text).unwrap();
+        prop_assert_eq!(graph.edge_triples(), back.edge_triples());
+    }
+
+    #[test]
+    fn coreness_is_valid_on_random_graphs(seed in 0u64..300) {
+        let pool = Pool::new(2);
+        let graph = GraphGen::uniform(50, 300).seed(seed).build().symmetrize();
+        let run = priograph::algorithms::kcore::kcore_on(
+            &pool,
+            &graph,
+            &priograph::core::schedule::Schedule::lazy_constant_sum(),
+        )
+        .unwrap();
+        prop_assert!(
+            priograph::algorithms::validate::validate_coreness(&graph, &run.coreness).is_ok()
+        );
+    }
+}
