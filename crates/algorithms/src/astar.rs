@@ -117,10 +117,7 @@ where
         .init_constant(NULL_PRIORITY)
         .seed(source, heuristic(source));
 
-    let udf = AStarUdf {
-        g: &g,
-        heuristic,
-    };
+    let udf = AStarUdf { g: &g, heuristic };
     // f(target) = g(target) since h(target) = 0; stop once the current
     // bucket's priority reaches it.
     let stop = move |current_priority: i64, view: &StopView<'_>| {

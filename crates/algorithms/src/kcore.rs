@@ -35,7 +35,10 @@ pub fn kcore_on(pool: &Pool, graph: &CsrGraph, schedule: &Schedule) -> Result<Co
     if !graph.is_symmetric() {
         return Err(AlgoError::RequiresSymmetricGraph);
     }
-    let degrees: Vec<i64> = graph.vertices().map(|v| graph.out_degree(v) as i64).collect();
+    let degrees: Vec<i64> = graph
+        .vertices()
+        .map(|v| graph.out_degree(v) as i64)
+        .collect();
     let problem = OrderedProblem::lower_first(graph)
         .init_per_vertex(degrees)
         .seed_all_finite();

@@ -21,8 +21,14 @@ pub fn ppsp(
     target: VertexId,
     schedule: &Schedule,
 ) -> PointToPoint {
-    ppsp_on(priograph_parallel::global(), graph, source, target, schedule)
-        .expect("invalid PPSP configuration")
+    ppsp_on(
+        priograph_parallel::global(),
+        graph,
+        source,
+        target,
+        schedule,
+    )
+    .expect("invalid PPSP configuration")
 }
 
 /// Runs a PPSP query on `pool`.

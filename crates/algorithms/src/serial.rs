@@ -137,7 +137,10 @@ mod tests {
                 .iter()
                 .filter(|e| coreness[e.dst as usize] >= c)
                 .count() as i64;
-            assert!(strong >= c, "vertex {v}: coreness {c} but only {strong} strong neighbors");
+            assert!(
+                strong >= c,
+                "vertex {v}: coreness {c} but only {strong} strong neighbors"
+            );
         }
     }
 }

@@ -148,7 +148,9 @@ pub fn set_cover_on(
     let owner: Vec<AtomicU32> = (0..instance.num_elements)
         .map(|_| AtomicU32::new(u32::MAX))
         .collect();
-    let covered: Vec<AtomicU8> = (0..instance.num_elements).map(|_| AtomicU8::new(0)).collect();
+    let covered: Vec<AtomicU8> = (0..instance.num_elements)
+        .map(|_| AtomicU8::new(0))
+        .collect();
     let chosen: Mutex<Vec<u32>> = Mutex::new(Vec::new());
     let mut stats = ExecStats::default();
 
@@ -336,10 +338,7 @@ mod tests {
     fn duplicate_coverage_prefers_larger_sets() {
         // Two disjoint pairs plus a set covering all four: pick the big one
         // then fill in.
-        let inst = SetCoverInstance::new(
-            4,
-            vec![vec![0, 1], vec![2, 3], vec![0, 1, 2, 3]],
-        );
+        let inst = SetCoverInstance::new(4, vec![vec![0, 1], vec![2, 3], vec![0, 1, 2, 3]]);
         let pool = Pool::new(2);
         let sol = set_cover_on(&pool, &inst, &Schedule::lazy(1)).unwrap();
         assert_eq!(sol.chosen, vec![2]);

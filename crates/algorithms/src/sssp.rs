@@ -2,8 +2,8 @@
 
 use crate::result::ShortestPaths;
 use crate::AlgoError;
-use priograph_core::prelude::*;
 use priograph_core::engine::run_ordered_on;
+use priograph_core::prelude::*;
 use priograph_graph::{CsrGraph, VertexId};
 use priograph_parallel::Pool;
 
@@ -56,7 +56,10 @@ mod tests {
     fn matches_dijkstra_on_social_graphs() {
         let pool = Pool::new(4);
         for seed in [1, 7, 42] {
-            let g = GraphGen::rmat(8, 8).seed(seed).weights_uniform(1, 1000).build();
+            let g = GraphGen::rmat(8, 8)
+                .seed(seed)
+                .weights_uniform(1, 1000)
+                .build();
             let reference = dijkstra(&g, 0);
             for schedule in [
                 Schedule::eager_with_fusion(32),

@@ -167,7 +167,10 @@ mod tests {
     fn bellman_ford_matches_dijkstra() {
         let pool = Pool::new(4);
         for seed in [2, 9] {
-            let g = GraphGen::rmat(8, 8).seed(seed).weights_uniform(1, 100).build();
+            let g = GraphGen::rmat(8, 8)
+                .seed(seed)
+                .weights_uniform(1, 100)
+                .build();
             let bf = bellman_ford_on(&pool, &g, 0).unwrap();
             assert_eq!(bf.dist, dijkstra(&g, 0), "seed={seed}");
         }
@@ -179,7 +182,10 @@ mod tests {
         // With skewed degrees and wide weights, Bellman-Ford repeatedly
         // re-relaxes hub out-edges; Δ-stepping with a small Δ does not.
         let pool = Pool::new(2);
-        let g = GraphGen::rmat(8, 8).seed(4).weights_uniform(1, 1000).build();
+        let g = GraphGen::rmat(8, 8)
+            .seed(4)
+            .weights_uniform(1, 1000)
+            .build();
         let bf = bellman_ford_on(&pool, &g, 0).unwrap();
         let ordered = crate::sssp::delta_stepping_on(
             &pool,

@@ -36,10 +36,7 @@ pub fn validate_sssp(graph: &CsrGraph, source: VertexId, dist: &[i64]) -> Result
             if dist[e.dst as usize] > dist[u as usize] + i64::from(e.weight) {
                 return Err(format!(
                     "edge ({u}, {}) can still relax: {} > {} + {}",
-                    e.dst,
-                    dist[e.dst as usize],
-                    dist[u as usize],
-                    e.weight
+                    e.dst, dist[e.dst as usize], dist[u as usize], e.weight
                 ));
             }
         }

@@ -146,12 +146,16 @@ mod tests {
             LazyConstantSum => return None, // illegal for SSSP
         };
         let delta_penalty = (s.delta - 256).unsigned_abs() / 4;
-        Some(Duration::from_micros(100 + strategy_penalty + delta_penalty))
+        Some(Duration::from_micros(
+            100 + strategy_penalty + delta_penalty,
+        ))
     }
 
     #[test]
     fn finds_near_optimal_schedule() {
-        let tuner = Autotuner::new(ScheduleSpace::sssp_like()).trials(40).seed(11);
+        let tuner = Autotuner::new(ScheduleSpace::sssp_like())
+            .trials(40)
+            .seed(11);
         let result = tuner.tune(synthetic_cost);
         // Optimal cost is 100us + small delta penalty; within 5% of the
         // hand-tuned optimum mirrors the paper's §6.2 claim.
@@ -165,7 +169,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let tuner = Autotuner::new(ScheduleSpace::sssp_like()).trials(20).seed(5);
+        let tuner = Autotuner::new(ScheduleSpace::sssp_like())
+            .trials(20)
+            .seed(5);
         let a = tuner.tune(synthetic_cost);
         let b = tuner.tune(synthetic_cost);
         assert_eq!(a.best, b.best);
@@ -174,7 +180,9 @@ mod tests {
 
     #[test]
     fn rejected_schedules_are_recorded_but_not_chosen() {
-        let tuner = Autotuner::new(ScheduleSpace::kcore_like()).trials(30).seed(3);
+        let tuner = Autotuner::new(ScheduleSpace::kcore_like())
+            .trials(30)
+            .seed(3);
         // Only lazy_constant_sum is "legal" in this synthetic evaluator.
         let result = tuner.tune(|s| {
             use priograph_core::schedule::PriorityUpdateStrategy::*;
@@ -192,7 +200,9 @@ mod tests {
 
     #[test]
     fn best_trial_index_points_at_best() {
-        let tuner = Autotuner::new(ScheduleSpace::sssp_like()).trials(15).seed(9);
+        let tuner = Autotuner::new(ScheduleSpace::sssp_like())
+            .trials(15)
+            .seed(9);
         let result = tuner.tune(synthetic_cost);
         let record = &result.trials[result.best_trial_index()];
         assert_eq!(record.cost, Some(result.best_cost));

@@ -48,8 +48,8 @@ impl BucketBags {
             block < MAX_BLOCKS,
             "priority bucket {bucket} exceeds the OBIM range"
         );
-        let queues = self.blocks[block]
-            .get_or_init(|| (0..BLOCK).map(|_| SegQueue::new()).collect());
+        let queues =
+            self.blocks[block].get_or_init(|| (0..BLOCK).map(|_| SegQueue::new()).collect());
         &queues[bucket % BLOCK]
     }
 
@@ -168,9 +168,8 @@ fn run(
             let stale = (dv / delta) < bucket as i64;
             // Point-to-point pruning: no path through this bucket can beat
             // the target's current distance.
-            let pruned = target.is_some_and(|t| {
-                bucket as i64 * delta >= dist[t as usize].load(Ordering::Relaxed)
-            });
+            let pruned = target
+                .is_some_and(|t| bucket as i64 * delta >= dist[t as usize].load(Ordering::Relaxed));
             if !stale && !pruned {
                 for e in graph.out_edges(v) {
                     let new_dist = dv + i64::from(e.weight);
@@ -203,7 +202,10 @@ mod tests {
     fn galois_sssp_matches_dijkstra() {
         let pool = Pool::new(4);
         for seed in [3, 12] {
-            let g = GraphGen::rmat(8, 8).seed(seed).weights_uniform(1, 300).build();
+            let g = GraphGen::rmat(8, 8)
+                .seed(seed)
+                .weights_uniform(1, 300)
+                .build();
             let run = sssp(&pool, &g, 0, 16);
             assert_eq!(run.dist, dijkstra(&g, 0), "seed={seed}");
             assert_eq!(run.rounds, 0, "no global synchronization");

@@ -109,7 +109,10 @@ mod tests {
     fn gapbs_matches_dijkstra() {
         let pool = Pool::new(4);
         for seed in [1, 6] {
-            let g = GraphGen::rmat(8, 8).seed(seed).weights_uniform(1, 500).build();
+            let g = GraphGen::rmat(8, 8)
+                .seed(seed)
+                .weights_uniform(1, 500)
+                .build();
             let run = sssp(&pool, &g, 0, 32);
             assert_eq!(run.dist, dijkstra(&g, 0), "seed={seed}");
         }

@@ -409,7 +409,13 @@ mod tests {
         let pool = Pool::new(2);
         let inst = priograph_algorithms::setcover::SetCoverInstance::new(
             6,
-            vec![vec![0, 1, 2, 3], vec![0, 1], vec![2, 3], vec![4], vec![4, 5]],
+            vec![
+                vec![0, 1, 2, 3],
+                vec![0, 1],
+                vec![2, 3],
+                vec![4],
+                vec![4, 5],
+            ],
         );
         let (chosen, run) = set_cover(&pool, &inst);
         priograph_algorithms::validate::validate_cover(&inst, &chosen).unwrap();
@@ -419,10 +425,7 @@ mod tests {
 
     #[test]
     fn lambda_buckets_order_and_dedup() {
-        let pri: Vec<AtomicI64> = [3i64, 1, 1, 9]
-            .iter()
-            .map(|&p| AtomicI64::new(p))
-            .collect();
+        let pri: Vec<AtomicI64> = [3i64, 1, 1, 9].iter().map(|&p| AtomicI64::new(p)).collect();
         let pri_ref = &pri;
         let mut b = LambdaBuckets::new(4, 4, move |v: VertexId| {
             Some(pri_ref[v as usize].load(Ordering::Relaxed))

@@ -8,7 +8,10 @@ use priograph_parallel::Pool;
 
 fn bench_algorithms(c: &mut Criterion) {
     let pool = Pool::with_available_parallelism();
-    let social = GraphGen::rmat(12, 8).seed(3).weights_uniform(1, 1000).build();
+    let social = GraphGen::rmat(12, 8)
+        .seed(3)
+        .weights_uniform(1, 1000)
+        .build();
     let social_sym = social.symmetrize();
     let road = GraphGen::road_grid(48, 48).seed(3).build();
     let social_log = GraphGen::rmat(12, 8).seed(3).weights_log_n().build();
@@ -35,18 +38,31 @@ fn bench_algorithms(c: &mut Criterion) {
     group.bench_function("ppsp_road", |b| {
         let target = (road.num_vertices() / 2) as u32;
         b.iter(|| {
-            ppsp::ppsp_on(&pool, &road, 0, target, &Schedule::eager_with_fusion(1 << 11))
-                .unwrap()
-                .distance
+            ppsp::ppsp_on(
+                &pool,
+                &road,
+                0,
+                target,
+                &Schedule::eager_with_fusion(1 << 11),
+            )
+            .unwrap()
+            .distance
         })
     });
     group.bench_function("astar_road", |b| {
         let target = (road.num_vertices() - 1) as u32;
         let h = astar::euclidean_heuristic(&road, target, astar::road_metric_scale()).unwrap();
         b.iter(|| {
-            astar::astar_on(&pool, &road, 0, target, &Schedule::eager_with_fusion(1 << 11), &h)
-                .unwrap()
-                .distance
+            astar::astar_on(
+                &pool,
+                &road,
+                0,
+                target,
+                &Schedule::eager_with_fusion(1 << 11),
+                &h,
+            )
+            .unwrap()
+            .distance
         })
     });
     group.bench_function("kcore_social", |b| {
@@ -60,7 +76,11 @@ fn bench_algorithms(c: &mut Criterion) {
     let instance = {
         // Small deterministic instance.
         let sets: Vec<Vec<u32>> = (0..2000)
-            .map(|i| ((i * 3) % 4000..((i * 3) % 4000 + 5).min(4000)).map(|e| e as u32).collect())
+            .map(|i| {
+                ((i * 3) % 4000..((i * 3) % 4000 + 5).min(4000))
+                    .map(|e| e as u32)
+                    .collect()
+            })
             .collect();
         setcover::SetCoverInstance::new(4000, sets)
     };

@@ -9,7 +9,10 @@ use priograph_parallel::Pool;
 
 fn bench_sssp_engines(c: &mut Criterion) {
     let pool = Pool::with_available_parallelism();
-    let social = GraphGen::rmat(12, 8).seed(1).weights_uniform(1, 1000).build();
+    let social = GraphGen::rmat(12, 8)
+        .seed(1)
+        .weights_uniform(1, 1000)
+        .build();
     let road = GraphGen::road_grid(64, 64).seed(1).build();
 
     let mut group = c.benchmark_group("sssp_engines");

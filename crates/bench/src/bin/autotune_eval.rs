@@ -14,7 +14,9 @@ fn main() {
 
     tables::header(
         "Autotuner vs hand-tuned",
-        &["workload", "hand(s)", "tuned(s)", "ratio", "trials", "space"],
+        &[
+            "workload", "hand(s)", "tuned(s)", "ratio", "trials", "space",
+        ],
     );
 
     // SSSP on a social and a road workload.
@@ -33,13 +35,18 @@ fn main() {
         let space_size = space.size();
         let tuner = Autotuner::new(space).trials(40).seed(0xCAFE);
         let result = tuner.tune(|s| {
-            sssp::delta_stepping_on(&pool, &w.graph, source, s).ok().map(|_| {
-                time_once(|| {
-                    std::hint::black_box(
-                        sssp::delta_stepping_on(&pool, &w.graph, source, s).unwrap().dist.len(),
-                    );
+            sssp::delta_stepping_on(&pool, &w.graph, source, s)
+                .ok()
+                .map(|_| {
+                    time_once(|| {
+                        std::hint::black_box(
+                            sssp::delta_stepping_on(&pool, &w.graph, source, s)
+                                .unwrap()
+                                .dist
+                                .len(),
+                        );
+                    })
                 })
-            })
         });
         tables::row_label_first(
             &format!("SSSP/{}", w.name),

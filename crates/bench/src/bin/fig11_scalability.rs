@@ -18,11 +18,7 @@ fn main() {
         thread_counts.push(max_threads);
     }
 
-    let frameworks = [
-        Framework::Priograph,
-        Framework::Gapbs,
-        Framework::Julienne,
-    ];
+    let frameworks = [Framework::Priograph, Framework::Gapbs, Framework::Julienne];
     for w in [workloads::tw(args.scale), workloads::rd(args.scale)] {
         let mut cols = vec!["threads"];
         let names: Vec<&str> = frameworks.iter().map(|f| f.name()).collect();

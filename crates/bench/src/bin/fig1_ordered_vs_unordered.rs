@@ -22,8 +22,7 @@ fn main() {
         &["graph", "sssp-speedup", "kcore-speedup"],
     );
     for w in &workloads {
-        let ordered =
-            sssp_time(&pool, w, args.sources, args.trials, Framework::Priograph).unwrap();
+        let ordered = sssp_time(&pool, w, args.sources, args.trials, Framework::Priograph).unwrap();
         let unordered =
             sssp_time(&pool, w, args.sources, args.trials, Framework::Unordered).unwrap();
         let sssp_speedup = unordered.as_secs_f64() / ordered.as_secs_f64();
@@ -41,7 +40,5 @@ fn main() {
             ],
         );
     }
-    println!(
-        "\npaper reports: SSSP 1.67x-600x, k-core 3x-60x (24-core machine, full-size graphs)"
-    );
+    println!("\npaper reports: SSSP 1.67x-600x, k-core 3x-60x (24-core machine, full-size graphs)");
 }

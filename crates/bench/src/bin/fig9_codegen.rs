@@ -9,10 +9,7 @@ fn main() {
     println!("=== Algorithm (Figure 3) ===\n{sssp}\n");
 
     let schedules = [
-        (
-            "Figure 9(a): lazy + SparsePush",
-            Schedule::lazy(4),
-        ),
+        ("Figure 9(a): lazy + SparsePush", Schedule::lazy(4)),
         (
             "Figure 9(b): lazy + DensePull",
             Schedule::lazy(4).config_apply_direction(Direction::DensePull),
@@ -30,7 +27,10 @@ fn main() {
     }
 
     let kcore = programs::kcore();
-    println!("=== k-core UDF (Figure 10, top) ===\n{}\n", kcore.loop_udf().unwrap());
+    println!(
+        "=== k-core UDF (Figure 10, top) ===\n{}\n",
+        kcore.loop_udf().unwrap()
+    );
     let transformed = transform::transform_constant_sum(kcore.loop_udf().unwrap()).unwrap();
     println!("=== transformed UDF (Figure 10, bottom) ===\n{transformed}");
 }

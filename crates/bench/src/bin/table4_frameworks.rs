@@ -6,8 +6,8 @@
 
 use priograph_bench::cli::BenchArgs;
 use priograph_bench::runners::*;
-use priograph_bench::workloads::{self, Workload};
 use priograph_bench::tables;
+use priograph_bench::workloads::{self, Workload};
 use priograph_parallel::Pool;
 use std::time::Duration;
 
@@ -21,7 +21,7 @@ const FRAMEWORKS: [Framework; 6] = [
 ];
 
 fn cell(t: Option<Duration>) -> String {
-    t.map_or("-".into(), |d| tables::secs(d))
+    t.map_or("-".into(), tables::secs)
 }
 
 fn print_block<F>(title: &str, workloads: &[&Workload], mut run: F)

@@ -15,7 +15,9 @@ use priograph_core::ir::programs;
 fn loc(code: &str) -> usize {
     code.lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!") && !l.starts_with("///"))
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!") && !l.starts_with("///")
+        })
         .count()
 }
 
@@ -78,7 +80,10 @@ fn main() {
         &[
             sssp_spec.to_string(),
             cell(count_fn(gapbs_src, "sssp")),
-            cell(count_fn(galois_src, "run").map(|n| n + count_fn(galois_src, "pop_from").unwrap_or(0))),
+            cell(
+                count_fn(galois_src, "run")
+                    .map(|n| n + count_fn(galois_src, "pop_from").unwrap_or(0)),
+            ),
             cell(count_fn(julienne_src, "sssp").map(|n| n + julienne_buckets)),
         ],
     );
@@ -87,7 +92,9 @@ fn main() {
         &[
             ppsp_spec.to_string(),
             "-".into(),
-            cell(count_fn(galois_src, "ppsp").map(|n| n + count_fn(galois_src, "run").unwrap_or(0))),
+            cell(
+                count_fn(galois_src, "ppsp").map(|n| n + count_fn(galois_src, "run").unwrap_or(0)),
+            ),
             "-".into(),
         ],
     );
@@ -115,5 +122,8 @@ fn main() {
     );
     println!("\npaper reports (GraphIt/GAPBS/Galois/Julienne): SSSP 28/77/90/65,");
     println!("PPSP 24/80/99/103, A* 74/105/139/84, KCore 24/-/-/35, SetCover 70/-/-/72.");
-    println!("note: sanity check on the sssp driver itself: {} lines", count_fn(sssp_src, "delta_stepping_on").unwrap_or(0));
+    println!(
+        "note: sanity check on the sssp driver itself: {} lines",
+        count_fn(sssp_src, "delta_stepping_on").unwrap_or(0)
+    );
 }

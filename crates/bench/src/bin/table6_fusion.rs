@@ -20,7 +20,14 @@ fn main() {
 
     tables::header(
         "Table 6: bucket fusion on SSSP",
-        &["graph", "fused-time", "fused-rnds", "plain-time", "plain-rnds", "rnd-reduc"],
+        &[
+            "graph",
+            "fused-time",
+            "fused-rnds",
+            "plain-time",
+            "plain-rnds",
+            "rnd-reduc",
+        ],
     );
     for w in &suite {
         let delta = default_delta(w);

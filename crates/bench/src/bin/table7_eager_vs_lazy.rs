@@ -20,13 +20,22 @@ fn main() {
 
     tables::header(
         "Table 7: eager vs lazy (seconds)",
-        &["graph", "kcore-eager", "kcore-lazy", "sssp-eager", "sssp-lazy"],
+        &[
+            "graph",
+            "kcore-eager",
+            "kcore-lazy",
+            "sssp-eager",
+            "sssp-lazy",
+        ],
     );
     for w in &suite {
         let sym = w.graph.symmetrize();
         let k_eager = time_best_of(args.trials, || {
             std::hint::black_box(
-                kcore::kcore_on(&pool, &sym, &Schedule::eager(1)).unwrap().coreness.len(),
+                kcore::kcore_on(&pool, &sym, &Schedule::eager(1))
+                    .unwrap()
+                    .coreness
+                    .len(),
             );
         });
         // "Lazy update for k-core uses constant sum reduction optimization."
@@ -43,10 +52,15 @@ fn main() {
         let source = pick_useful_sources(&w.graph, 1)[0];
         let s_eager = time_best_of(args.trials, || {
             std::hint::black_box(
-                sssp::delta_stepping_on(&pool, &w.graph, source, &Schedule::eager_with_fusion(delta))
-                    .unwrap()
-                    .dist
-                    .len(),
+                sssp::delta_stepping_on(
+                    &pool,
+                    &w.graph,
+                    source,
+                    &Schedule::eager_with_fusion(delta),
+                )
+                .unwrap()
+                .dist
+                .len(),
             );
         });
         let s_lazy = time_best_of(args.trials, || {

@@ -17,7 +17,9 @@ impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
             scale: 1,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             trials: 2,
             sources: 3,
         }

@@ -91,7 +91,12 @@ pub fn sssp_time(
                 std::hint::black_box(galois::sssp(pool, &w.graph, s, delta).dist.len());
             }),
             Framework::Unordered => time_best_of(trials, || {
-                std::hint::black_box(unordered::bellman_ford_on(pool, &w.graph, s).unwrap().dist.len());
+                std::hint::black_box(
+                    unordered::bellman_ford_on(pool, &w.graph, s)
+                        .unwrap()
+                        .dist
+                        .len(),
+                );
             }),
             Framework::Ligra => time_best_of(trials, || {
                 std::hint::black_box(ligra::bellman_ford(pool, &w.graph, s).dist.len());
@@ -149,7 +154,12 @@ pub fn ppsp_time(
                 std::hint::black_box(galois::ppsp(pool, &w.graph, s, t, delta).dist.len());
             }),
             Framework::Unordered => time_best_of(trials, || {
-                std::hint::black_box(unordered::bellman_ford_on(pool, &w.graph, s).unwrap().dist.len());
+                std::hint::black_box(
+                    unordered::bellman_ford_on(pool, &w.graph, s)
+                        .unwrap()
+                        .dist
+                        .len(),
+                );
             }),
             Framework::Ligra => time_best_of(trials, || {
                 std::hint::black_box(ligra::bellman_ford(pool, &w.graph, s).dist.len());
@@ -189,7 +199,12 @@ pub fn wbfs_time(
             // Galois provides no wBFS (paper Table 4 dashes).
             Framework::Galois => return None,
             Framework::Unordered => time_best_of(trials, || {
-                std::hint::black_box(unordered::bellman_ford_on(pool, graph, s).unwrap().dist.len());
+                std::hint::black_box(
+                    unordered::bellman_ford_on(pool, graph, s)
+                        .unwrap()
+                        .dist
+                        .len(),
+                );
             }),
             Framework::Ligra => time_best_of(trials, || {
                 std::hint::black_box(ligra::bellman_ford(pool, graph, s).dist.len());
@@ -230,7 +245,10 @@ pub fn astar_time(
             for &s in &sources {
                 total += time_best_of(trials, || {
                     std::hint::black_box(
-                        unordered::bellman_ford_on(pool, &w.graph, s).unwrap().dist.len(),
+                        unordered::bellman_ford_on(pool, &w.graph, s)
+                            .unwrap()
+                            .dist
+                            .len(),
                     );
                 });
             }
@@ -241,7 +259,11 @@ pub fn astar_time(
     for &(s, t) in &pairs {
         let h = astar::euclidean_heuristic(&w.graph, t, astar::road_metric_scale()).ok()?;
         total += time_best_of(trials, || {
-            std::hint::black_box(astar::astar_on(pool, &w.graph, s, t, &schedule, &h).unwrap().distance);
+            std::hint::black_box(
+                astar::astar_on(pool, &w.graph, s, t, &schedule, &h)
+                    .unwrap()
+                    .distance,
+            );
         });
     }
     Some(total / pairs.len() as u32)
@@ -269,7 +291,12 @@ pub fn kcore_time(
         // GAPBS and Galois provide no k-core (paper Table 4 dashes).
         Framework::Gapbs | Framework::Galois => return None,
         Framework::Unordered | Framework::Ligra => time_best_of(trials, || {
-            std::hint::black_box(unordered::kcore_unordered_on(pool, graph_sym).unwrap().coreness.len());
+            std::hint::black_box(
+                unordered::kcore_unordered_on(pool, graph_sym)
+                    .unwrap()
+                    .coreness
+                    .len(),
+            );
         }),
     };
     Some(t)

@@ -53,7 +53,9 @@ fn road(name: &'static str, side: usize, scale: u32) -> Workload {
     let side = side * scale.max(1) as usize;
     Workload {
         name,
-        graph: GraphGen::road_grid(side, side).seed(0xD0 + side as u64).build(),
+        graph: GraphGen::road_grid(side, side)
+            .seed(0xD0 + side as u64)
+            .build(),
         is_road: true,
     }
 }
@@ -96,7 +98,7 @@ pub fn rd(scale: u32) -> Workload {
 /// The wBFS variants: social graphs with weights in `[1, log n)`
 /// (Table 4's † graphs).
 pub fn wbfs_variant(w: &Workload) -> CsrGraph {
-    let scale = (usize::BITS - 1 - w.graph.num_vertices().leading_zeros()) as u32;
+    let scale = usize::BITS - 1 - w.graph.num_vertices().leading_zeros();
     GraphGen::rmat(scale, (w.graph.num_edges() / w.graph.num_vertices()) as u32)
         .seed(0xBF5)
         .weights_log_n()

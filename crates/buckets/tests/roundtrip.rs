@@ -1,0 +1,180 @@
+//! Direct round-trip coverage of the bucket structures — the eager
+//! ([`LocalBins`] + [`SharedFrontier`]) and lazy ([`LazyBucketQueue`]) paths
+//! exercised head-to-head, without going through SSSP.
+//!
+//! The invariant under test is the one the engines rely on: for the same
+//! sequence of priority writes, both strategies must hand back the same
+//! vertices at the same coarsened bucket, exactly once each (dedup), and
+//! skip entries whose priority moved on (staleness).
+
+use priograph_buckets::{
+    BucketOrder, LazyBucketQueue, LocalBins, PriorityMap, SharedFrontier, NULL_PRIORITY,
+};
+use priograph_parallel::Pool;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+fn priorities(values: &[i64]) -> Arc<[AtomicI64]> {
+    values.iter().map(|&p| AtomicI64::new(p)).collect()
+}
+
+/// Drains a lazy queue into `(bucket, sorted vertices)` rounds.
+fn drain_lazy(queue: &mut LazyBucketQueue, pool: &Pool) -> Vec<(i64, Vec<u32>)> {
+    let mut rounds = Vec::new();
+    while let Some((bucket, mut ready)) = queue.next_bucket(pool) {
+        ready.sort_unstable();
+        rounds.push((bucket, ready));
+    }
+    rounds
+}
+
+/// Drains eager local bins into the same shape, pulling each round through a
+/// shared frontier the way the eager engine's copy-out step does.
+fn drain_eager(bins: &mut LocalBins, capacity: usize) -> Vec<(i64, Vec<u32>)> {
+    let frontier = SharedFrontier::new(capacity);
+    let mut rounds = Vec::new();
+    let mut from = 0usize;
+    while let Some(bucket) = bins.min_nonempty_from(from) {
+        frontier.reset();
+        frontier.append(&bins.take(bucket));
+        let mut ready = frontier.to_vec();
+        ready.sort_unstable();
+        ready.dedup();
+        rounds.push((bucket as i64, ready));
+        from = bucket; // monotone: never revisit earlier buckets
+    }
+    rounds
+}
+
+#[test]
+fn eager_and_lazy_agree_on_static_priorities() {
+    let pool = Pool::new(2);
+    let map = PriorityMap::new(BucketOrder::Increasing, 4);
+    // Vertices 0..8 with priorities spreading over three buckets; vertex 7
+    // is unreachable (null) and must never be handed out.
+    let pri = [0, 3, 4, 7, 8, 11, 2, NULL_PRIORITY];
+    let store = priorities(&pri);
+
+    let mut lazy = LazyBucketQueue::new(Arc::clone(&store), map, 8);
+    lazy.insert_initial(0..pri.len() as u32);
+
+    let mut bins = LocalBins::new();
+    for (v, &p) in pri.iter().enumerate() {
+        if let Some(bucket) = map.bucket_of(p) {
+            bins.push(bucket as usize, v as u32);
+        }
+    }
+
+    let lazy_rounds = drain_lazy(&mut lazy, &pool);
+    let eager_rounds = drain_eager(&mut bins, pri.len());
+    assert_eq!(lazy_rounds, eager_rounds);
+    assert_eq!(
+        lazy_rounds,
+        vec![(0, vec![0, 1, 6]), (1, vec![2, 3]), (2, vec![4, 5]),]
+    );
+}
+
+#[test]
+fn lazy_dedups_multiple_inserts_of_one_vertex() {
+    let pool = Pool::new(1);
+    let map = PriorityMap::new(BucketOrder::Increasing, 1);
+    let store = priorities(&[5, NULL_PRIORITY]);
+    let mut lazy = LazyBucketQueue::new(store, map, 4);
+
+    // The same vertex relaxed three times in a round lands in the bucket
+    // three times; dequeue must return it once.
+    lazy.insert(0);
+    lazy.insert(0);
+    lazy.insert(0);
+    assert_eq!(lazy.total_inserts(), 3);
+
+    let rounds = drain_lazy(&mut lazy, &pool);
+    assert_eq!(rounds, vec![(5, vec![0])]);
+}
+
+#[test]
+fn lazy_skips_stale_entries_after_priority_decrease() {
+    let pool = Pool::new(1);
+    let map = PriorityMap::new(BucketOrder::Increasing, 1);
+    let store = priorities(&[9, NULL_PRIORITY]);
+    let mut lazy = LazyBucketQueue::new(Arc::clone(&store), map, 16);
+
+    lazy.insert(0); // recorded at bucket 9
+    store[0].store(2, Ordering::Relaxed); // a better path was found
+    lazy.insert(0); // re-recorded at bucket 2
+
+    // The bucket-9 copy is stale: the vertex must come out at 2 and only
+    // at 2.
+    let rounds = drain_lazy(&mut lazy, &pool);
+    assert_eq!(rounds, vec![(2, vec![0])]);
+}
+
+#[test]
+fn lazy_bulk_update_matches_singles() {
+    let pool = Pool::new(2);
+    let map = PriorityMap::new(BucketOrder::Increasing, 8);
+    let n = 64u32;
+    let values: Vec<i64> = (0..n as i64).map(|v| (v * 7) % 100).collect();
+
+    let mut singles = LazyBucketQueue::new(priorities(&values), map, 8);
+    singles.insert_initial(0..n);
+
+    let mut bulk = LazyBucketQueue::new(priorities(&values), map, 8);
+    bulk.insert_initial(0..1); // seed the window
+    let rest: Vec<u32> = (1..n).collect();
+    bulk.bulk_update(&pool, &rest);
+
+    assert_eq!(
+        drain_lazy(&mut singles, &pool),
+        drain_lazy(&mut bulk, &pool)
+    );
+}
+
+#[test]
+fn local_bins_take_then_min_advances() {
+    let mut bins = LocalBins::new();
+    bins.push(3, 30);
+    bins.push(1, 10);
+    bins.push(3, 31);
+    assert_eq!(bins.total_pushes(), 3);
+    assert_eq!(bins.min_nonempty_from(0), Some(1));
+    assert_eq!(bins.take(1), vec![10]);
+    assert_eq!(bins.len_of(1), 0);
+    assert_eq!(bins.min_nonempty_from(0), Some(3));
+    assert_eq!(bins.take(3), vec![30, 31]);
+    assert!(bins.is_empty());
+    assert_eq!(bins.min_nonempty_from(0), None);
+    // Taking an out-of-range bucket is a harmless empty read.
+    assert_eq!(bins.take(99), Vec::<u32>::new());
+}
+
+#[test]
+fn shared_frontier_append_and_reset() {
+    let frontier = SharedFrontier::new(8);
+    frontier.append(&[1, 2, 3]);
+    frontier.push(4);
+    assert_eq!(frontier.len(), 4);
+    let mut got = frontier.to_vec();
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2, 3, 4]);
+
+    frontier.reset();
+    assert!(frontier.is_empty());
+    frontier.append(&[9]);
+    assert_eq!(frontier.to_vec(), vec![9]);
+}
+
+#[test]
+fn decreasing_order_drains_highest_priority_first() {
+    // SetCover-style: higher priority first, mapped onto increasing bucket
+    // ids by BucketOrder::Decreasing.
+    let pool = Pool::new(1);
+    let map = PriorityMap::new(BucketOrder::Decreasing, 1);
+    let store = priorities(&[3, 10, 7]);
+    let mut lazy = LazyBucketQueue::new(store, map, 32);
+    lazy.insert_initial(0..3);
+
+    let rounds = drain_lazy(&mut lazy, &pool);
+    let drained: Vec<Vec<u32>> = rounds.iter().map(|(_, vs)| vs.clone()).collect();
+    assert_eq!(drained, vec![vec![1], vec![2], vec![0]]);
+}

@@ -52,7 +52,9 @@ pub(crate) fn run_eager<U: OrderedUdf>(
         _ => None,
     };
     let grain = schedule.grain();
-    let dedup = udf.needs_final_dedup().then(|| ClaimFlags::new(graph.num_vertices()));
+    let dedup = udf
+        .needs_final_dedup()
+        .then(|| ClaimFlags::new(graph.num_vertices()));
 
     // Shared round state.
     let frontier = SharedFrontier::new(graph.num_edges() + graph.num_vertices() + 1);
@@ -207,12 +209,7 @@ mod tests {
     use priograph_graph::gen::GraphGen;
     use priograph_graph::GraphBuilder;
 
-    fn sssp(
-        graph: &CsrGraph,
-        schedule: &Schedule,
-        source: VertexId,
-        threads: usize,
-    ) -> Vec<i64> {
+    fn sssp(graph: &CsrGraph, schedule: &Schedule, source: VertexId, threads: usize) -> Vec<i64> {
         let pool = Pool::new(threads);
         let p = OrderedProblem::lower_first(graph)
             .allow_coarsening()
@@ -259,8 +256,14 @@ mod tests {
             .allow_coarsening()
             .init_constant(NULL_PRIORITY)
             .seed(0, 0);
-        let fused = run_ordered_on(&pool, &p, &Schedule::eager_with_fusion(64), &MinPlusWeight, None)
-            .unwrap();
+        let fused = run_ordered_on(
+            &pool,
+            &p,
+            &Schedule::eager_with_fusion(64),
+            &MinPlusWeight,
+            None,
+        )
+        .unwrap();
         let plain = run_ordered_on(&pool, &p, &Schedule::eager(64), &MinPlusWeight, None).unwrap();
         assert_eq!(fused.priorities, plain.priorities);
         assert!(
@@ -276,7 +279,10 @@ mod tests {
     #[test]
     fn eager_matches_lazy_on_random_graphs() {
         for seed in [1, 2, 3] {
-            let g = GraphGen::rmat(7, 8).seed(seed).weights_uniform(1, 100).build();
+            let g = GraphGen::rmat(7, 8)
+                .seed(seed)
+                .weights_uniform(1, 100)
+                .build();
             let eager = sssp(&g, &Schedule::eager(4), 0, 4);
             let lazy = sssp(&g, &Schedule::lazy(4), 0, 4);
             assert_eq!(eager, lazy, "seed={seed}");
@@ -291,8 +297,14 @@ mod tests {
         let problem = OrderedProblem::lower_first(&g)
             .init_per_vertex(degrees)
             .seed_all_finite();
-        let eager =
-            run_ordered_on(&pool, &problem, &Schedule::eager(1), &DecrementToFloor, None).unwrap();
+        let eager = run_ordered_on(
+            &pool,
+            &problem,
+            &Schedule::eager(1),
+            &DecrementToFloor,
+            None,
+        )
+        .unwrap();
         let lazy = run_ordered_on(
             &pool,
             &problem,

@@ -98,13 +98,30 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
                 Direction::SparsePush => {
                     stats.relaxations += graph.out_degree_sum(&frontier);
                     round_sparse_push(
-                        pool, graph, &priorities, cur_priority, &frontier, &out, &stamps, round,
-                        schedule, udf,
+                        pool,
+                        graph,
+                        &priorities,
+                        cur_priority,
+                        &frontier,
+                        &out,
+                        &stamps,
+                        round,
+                        schedule,
+                        udf,
                     )
                 }
                 Direction::DensePull => {
                     stats.relaxations += graph.num_edges() as u64;
-                    round_dense_pull(pool, graph, &priorities, cur_priority, &frontier, &out, grain, udf)
+                    round_dense_pull(
+                        pool,
+                        graph,
+                        &priorities,
+                        cur_priority,
+                        &frontier,
+                        &out,
+                        grain,
+                        udf,
+                    )
                 }
             }
         };

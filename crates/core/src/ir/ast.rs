@@ -35,6 +35,10 @@ pub enum Expr {
     Neg(Box<Expr>),
 }
 
+// These are by-value AST constructors (`Expr::add(a, b)`), not operator
+// methods; the std-trait signatures (`self`-taking, `Output`-producing)
+// don't fit a builder over boxed nodes.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// `a + b` without the `Box` noise.
     pub fn add(a: Expr, b: Expr) -> Expr {
@@ -145,7 +149,11 @@ pub struct UdfDef {
 
 impl fmt::Display for UdfDef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "func {}(src : Vertex, dst : Vertex, weight : int)", self.name)?;
+        writeln!(
+            f,
+            "func {}(src : Vertex, dst : Vertex, weight : int)",
+            self.name
+        )?;
         for stmt in &self.body {
             writeln!(f, "    {stmt}")?;
         }
@@ -207,7 +215,11 @@ impl fmt::Display for ProgramAst {
             f,
             "const pq: priority_queue{{Vertex}}(int)({}, \"{}\", {}, {});",
             self.pq.allow_coarsening,
-            if self.pq.lower_first { "lower_first" } else { "higher_first" },
+            if self.pq.lower_first {
+                "lower_first"
+            } else {
+                "higher_first"
+            },
             self.pq.priority_vector,
             self.pq.start_vertex.as_deref().unwrap_or("-")
         )?;
@@ -215,7 +227,10 @@ impl fmt::Display for ProgramAst {
             writeln!(f, "{udf}")?;
         }
         writeln!(f, "while (pq.finished() == false)")?;
-        writeln!(f, "    var bucket : vertexset{{Vertex}} = pq.dequeueReadySet();")?;
+        writeln!(
+            f,
+            "    var bucket : vertexset{{Vertex}} = pq.dequeueReadySet();"
+        )?;
         writeln!(
             f,
             "    #{}# edges.from(bucket).applyUpdatePriority({});",

@@ -117,7 +117,13 @@ fn header(program: &ProgramAst, plan: &Plan) -> String {
     let vec = &program.pq.priority_vector;
     let mut out = String::new();
     let _ = writeln!(out, "// generated by priograph for `{}`", plan.program);
-    let _ = writeln!(out, "// schedule: {} / {} / delta={}", plan.strategy.as_str(), plan.direction.as_str(), plan.delta);
+    let _ = writeln!(
+        out,
+        "// schedule: {} / {} / delta={}",
+        plan.strategy.as_str(),
+        plan.direction.as_str(),
+        plan.delta
+    );
     let _ = writeln!(out, "int * {vec} = new int[num_verts];");
     let _ = writeln!(out, "int delta = {};", plan.delta);
     let _ = writeln!(out, "WGraph* G = loadGraph(argv[1]);");
@@ -128,11 +134,17 @@ fn header(program: &ProgramAst, plan: &Plan) -> String {
 fn emit_lazy_sparse_push(program: &ProgramAst, plan: &Plan) -> String {
     let vec = &program.pq.priority_vector;
     let mut out = header(program, plan);
-    let _ = writeln!(out, "LazyPriorityQueue* pq = new LazyPriorityQueue(true, \"lower\", {vec}, delta);");
+    let _ = writeln!(
+        out,
+        "LazyPriorityQueue* pq = new LazyPriorityQueue(true, \"lower\", {vec}, delta);"
+    );
     let _ = writeln!(out, "while (pq.finished()) {{");
     let _ = writeln!(out, "  VertexSubset* frontier = getNextBucket(pq);");
     let _ = writeln!(out, "  uint* outEdges = setupOutputBuffer(g, frontier);");
-    let _ = writeln!(out, "  uint* offsets = setupOutputBufferOffsets(g, frontier);");
+    let _ = writeln!(
+        out,
+        "  uint* offsets = setupOutputBufferOffsets(g, frontier);"
+    );
     let _ = writeln!(out, "  parallel_for (uint s : frontier.vert_array) {{");
     let _ = writeln!(out, "    int j = 0;");
     let _ = writeln!(out, "    uint offset = offsets[i];");
@@ -144,7 +156,10 @@ fn emit_lazy_sparse_push(program: &ProgramAst, plan: &Plan) -> String {
     };
     emit_udf_body(&mut out, program, plan, "      ", record);
     let _ = writeln!(out, "    }}}}");
-    let _ = writeln!(out, "  VertexSubset* nextFrontier = setupFrontier(outEdges);");
+    let _ = writeln!(
+        out,
+        "  VertexSubset* nextFrontier = setupFrontier(outEdges);"
+    );
     let _ = writeln!(out, "  updateBuckets(nextFrontier, pq, delta);");
     if let Some(count_udf) = &plan.count_udf {
         let _ = writeln!(out, "  // histogram-reduced constant-sum path:");
@@ -160,11 +175,17 @@ fn emit_lazy_sparse_push(program: &ProgramAst, plan: &Plan) -> String {
 fn emit_lazy_dense_pull(program: &ProgramAst, plan: &Plan) -> String {
     let vec = &program.pq.priority_vector;
     let mut out = header(program, plan);
-    let _ = writeln!(out, "LazyPriorityQueue* pq = new LazyPriorityQueue(true, \"lower\", {vec}, delta);");
+    let _ = writeln!(
+        out,
+        "LazyPriorityQueue* pq = new LazyPriorityQueue(true, \"lower\", {vec}, delta);"
+    );
     let _ = writeln!(out, "while (pq.finished()) {{");
     let _ = writeln!(out, "  VertexSubset* frontier = getNextBucket(pq);");
     let _ = writeln!(out, "  bool* next = newA(bool, g.num_nodes());");
-    let _ = writeln!(out, "  parallel_for (uint i = 0; i < numNodes; i++) next[i] = 0;");
+    let _ = writeln!(
+        out,
+        "  parallel_for (uint i = 0; i < numNodes; i++) next[i] = 0;"
+    );
     let _ = writeln!(out, "  parallel_for (uint d = 0; d < numNodes; d++) {{");
     let _ = writeln!(out, "    for (WNode s : G.getInNgh(d)) {{");
     let _ = writeln!(out, "      if (frontier->bool_map_[s.v]) {{");
@@ -187,7 +208,10 @@ fn emit_lazy_dense_pull(program: &ProgramAst, plan: &Plan) -> String {
 fn emit_eager(program: &ProgramAst, plan: &Plan) -> String {
     let vec = &program.pq.priority_vector;
     let mut out = header(program, plan);
-    let _ = writeln!(out, "EagerPriorityQueue* pq = new EagerPriorityQueue(true, \"lower\", {vec}, delta);");
+    let _ = writeln!(
+        out,
+        "EagerPriorityQueue* pq = new EagerPriorityQueue(true, \"lower\", {vec}, delta);"
+    );
     let _ = writeln!(out, "uint* frontier = new uint[G.num_edges()];");
     let _ = writeln!(out, "#pragma omp parallel");
     let _ = writeln!(out, "{{   vector<vector<uint>> local_bins(0);");
@@ -202,14 +226,26 @@ fn emit_eager(program: &ProgramAst, plan: &Plan) -> String {
     if let Some(threshold) = plan.fusion_threshold {
         let _ = writeln!(out, "      // bucket fusion (Figure 7, lines 14-21):");
         let _ = writeln!(out, "      while (!local_bins[curr_bin].empty() &&");
-        let _ = writeln!(out, "             local_bins[curr_bin].size() < {threshold}) {{");
-        let _ = writeln!(out, "        vector<uint> curr = move(local_bins[curr_bin]);");
-        let _ = writeln!(out, "        for (uint s : curr) {{ /* same relaxation as above */ }}");
+        let _ = writeln!(
+            out,
+            "             local_bins[curr_bin].size() < {threshold}) {{"
+        );
+        let _ = writeln!(
+            out,
+            "        vector<uint> curr = move(local_bins[curr_bin]);"
+        );
+        let _ = writeln!(
+            out,
+            "        for (uint s : curr) {{ /* same relaxation as above */ }}"
+        );
         let _ = writeln!(out, "      }}");
     }
     let _ = writeln!(out, "      ... // omitted: find next bucket");
     let _ = writeln!(out, "      #pragma omp barrier");
-    let _ = writeln!(out, "      ... // omitted: copy local buckets to global bucket");
+    let _ = writeln!(
+        out,
+        "      ... // omitted: copy local buckets to global bucket"
+    );
     let _ = writeln!(out, "      #pragma omp barrier");
     let _ = writeln!(out, "    }} // end of while loop");
     let _ = writeln!(out, "}} // end of parallel region");

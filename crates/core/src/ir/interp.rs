@@ -88,10 +88,7 @@ pub fn compile_udf(udf: &UdfDef) -> Result<CompiledUdf, AnalysisError> {
     Ok(CompiledUdf {
         instrs: compiler.instrs,
         constant_sum: analysis::constant_sum(udf).ok().map(|c| c.delta),
-        needs_final_dedup: udf
-            .body
-            .iter()
-            .any(|s| matches!(s, Stmt::UpdateSum { .. })),
+        needs_final_dedup: udf.body.iter().any(|s| matches!(s, Stmt::UpdateSum { .. })),
     })
 }
 
@@ -305,8 +302,8 @@ pub fn run_program(
         crate::problem::Seeds::Vertices(seeds.to_vec())
     };
 
-    let output = run_ordered_on(pool, &problem, schedule, &udf, stop)
-        .map_err(CompileError::Schedule)?;
+    let output =
+        run_ordered_on(pool, &problem, schedule, &udf, stop).map_err(CompileError::Schedule)?;
     Ok((plan, output))
 }
 
@@ -326,7 +323,11 @@ mod tests {
         let mut initial = vec![NULL_PRIORITY; g.num_vertices()];
         initial[0] = 0;
 
-        for schedule in [Schedule::lazy(4), Schedule::eager(4), Schedule::eager_with_fusion(4)] {
+        for schedule in [
+            Schedule::lazy(4),
+            Schedule::eager(4),
+            Schedule::eager_with_fusion(4),
+        ] {
             let (plan, compiled) =
                 run_program(&pool, &g, &prog, &schedule, initial.clone(), &[0], None).unwrap();
             assert_eq!(plan.delta, 4);
@@ -406,16 +407,8 @@ mod tests {
         let g = GraphGen::path(4).build();
         let pool = Pool::new(1);
         let prog = programs::kcore(); // forbids coarsening
-        let err = run_program(
-            &pool,
-            &g,
-            &prog,
-            &Schedule::lazy(8),
-            vec![0; 4],
-            &[],
-            None,
-        )
-        .unwrap_err();
+        let err =
+            run_program(&pool, &g, &prog, &Schedule::lazy(8), vec![0; 4], &[], None).unwrap_err();
         assert!(matches!(err, CompileError::Schedule(_)));
     }
 }

@@ -131,9 +131,10 @@ pub fn lower(program: &ProgramAst, schedule: &Schedule) -> Result<Plan, CompileE
     // Sum updates may hit a vertex many times; processing such vertices more
     // than once breaks correctness, so dedup is required (the paper calls
     // this out for k-core).
-    let needs_dedup = udf.body.iter().any(|s| {
-        matches!(s, crate::ir::ast::Stmt::UpdateSum { .. })
-    });
+    let needs_dedup = udf
+        .body
+        .iter()
+        .any(|s| matches!(s, crate::ir::ast::Stmt::UpdateSum { .. }));
 
     Ok(Plan {
         program: program.name.clone(),

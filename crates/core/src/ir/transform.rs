@@ -56,7 +56,10 @@ impl fmt::Display for CountUdf {
             self.constant
         )?;
         writeln!(f, "        pq->priority_vector[vertex] = __new_pri;")?;
-        writeln!(f, "        return wrap(vertex, pq->get_bucket(__new_pri));}}}}")
+        writeln!(
+            f,
+            "        return wrap(vertex, pq->get_bucket(__new_pri));}}}}"
+        )
     }
 }
 

@@ -324,8 +324,13 @@ mod tests {
         let pool = Pool::new(1);
         let mut initial = vec![NULL_PRIORITY; 3];
         initial[0] = 0;
-        let mut pq =
-            PriorityQueue::new(&g, BucketOrder::Increasing, initial, &[0], &Schedule::lazy(1));
+        let mut pq = PriorityQueue::new(
+            &g,
+            BucketOrder::Increasing,
+            initial,
+            &[0],
+            &Schedule::lazy(1),
+        );
         let b0 = pq.dequeue_ready_set(&pool);
         assert_eq!(b0.as_slice(), &[0]);
         assert_eq!(pq.get_current_priority(), 0);

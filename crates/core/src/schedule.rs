@@ -244,7 +244,11 @@ impl fmt::Display for Schedule {
             self.parallelization.as_str()
         )?;
         if self.priority_update == PriorityUpdateStrategy::EagerWithFusion {
-            write!(f, " -> configBucketFusionThreshold({})", self.fusion_threshold)?;
+            write!(
+                f,
+                " -> configBucketFusionThreshold({})",
+                self.fusion_threshold
+            )?;
         }
         Ok(())
     }
@@ -285,14 +289,20 @@ impl fmt::Display for ScheduleError {
                 "priority coarsening (delta = {delta}) requested but the problem forbids it"
             ),
             ScheduleError::EagerRequiresLowerFirst => {
-                write!(f, "eager bucket updates require lower_first priority ordering")
+                write!(
+                    f,
+                    "eager bucket updates require lower_first priority ordering"
+                )
             }
             ScheduleError::ConstantSumRequired => write!(
                 f,
                 "lazy_constant_sum requires a UDF proven to be a constant-sum priority update"
             ),
             ScheduleError::DensePullRequiresLazy => {
-                write!(f, "DensePull traversal is only available with lazy bucket updates")
+                write!(
+                    f,
+                    "DensePull traversal is only available with lazy bucket updates"
+                )
             }
             ScheduleError::InvalidDelta { delta } => {
                 write!(f, "coarsening factor must be >= 1, got {delta}")
@@ -329,7 +339,10 @@ mod tests {
             PriorityUpdateStrategy::EagerNoFusion
         );
         assert_eq!(Schedule::eager(16).delta, 16);
-        assert_eq!(Schedule::lazy(4).priority_update, PriorityUpdateStrategy::Lazy);
+        assert_eq!(
+            Schedule::lazy(4).priority_update,
+            PriorityUpdateStrategy::Lazy
+        );
         let cs = Schedule::lazy_constant_sum();
         assert_eq!(cs.priority_update, PriorityUpdateStrategy::LazyConstantSum);
         assert_eq!(cs.delta, 1);
@@ -364,14 +377,15 @@ mod tests {
     fn error_messages_are_informative() {
         let e = ScheduleError::CoarseningNotAllowed { delta: 8 };
         assert!(e.to_string().contains("delta = 8"));
-        assert!(ScheduleError::ConstantSumRequired.to_string().contains("constant-sum"));
+        assert!(ScheduleError::ConstantSumRequired
+            .to_string()
+            .contains("constant-sum"));
     }
 
     #[test]
     fn grain_falls_back_for_static() {
         assert_eq!(Schedule::default().grain(), 64);
-        let s = Schedule::default()
-            .config_apply_parallelization(Parallelization::StaticVertex);
+        let s = Schedule::default().config_apply_parallelization(Parallelization::StaticVertex);
         assert_eq!(s.grain(), 64);
     }
 }

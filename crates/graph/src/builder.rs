@@ -71,8 +71,10 @@ impl GraphBuilder {
     /// Finalizes the CSR arrays (both directions).
     pub fn build(self) -> CsrGraph {
         let n = self.num_vertices;
-        let (out_offsets, out_edges) = bucket_by(n, &self.edges, |&(s, d, w)| (s, Edge { dst: d, weight: w }));
-        let (in_offsets, in_edges) = bucket_by(n, &self.edges, |&(s, d, w)| (d, Edge { dst: s, weight: w }));
+        let (out_offsets, out_edges) =
+            bucket_by(n, &self.edges, |&(s, d, w)| (s, Edge { dst: d, weight: w }));
+        let (in_offsets, in_edges) =
+            bucket_by(n, &self.edges, |&(s, d, w)| (d, Edge { dst: s, weight: w }));
         CsrGraph {
             num_vertices: n,
             out_offsets,

@@ -149,9 +149,11 @@ impl CsrGraph {
             }
         }
         edges.sort_unstable();
-        edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1 && {
-            b.2 = b.2.min(a.2);
-            true
+        edges.dedup_by(|a, b| {
+            a.0 == b.0 && a.1 == b.1 && {
+                b.2 = b.2.min(a.2);
+                true
+            }
         });
         let mut g = crate::GraphBuilder::new(self.num_vertices)
             .edges(edges)

@@ -167,7 +167,9 @@ impl GraphGen {
                 self.weighted(&mut rng, n, edges)
             }
             Topology::Path { n } => {
-                let edges: Vec<_> = (1..n).map(|i| ((i - 1) as VertexId, i as VertexId)).collect();
+                let edges: Vec<_> = (1..n)
+                    .map(|i| ((i - 1) as VertexId, i as VertexId))
+                    .collect();
                 self.weighted(&mut rng, n, edges)
             }
             Topology::Cycle { n } => {
@@ -194,12 +196,7 @@ impl GraphGen {
         }
     }
 
-    fn weighted(
-        &self,
-        rng: &mut StdRng,
-        n: usize,
-        edges: Vec<(VertexId, VertexId)>,
-    ) -> CsrGraph {
+    fn weighted(&self, rng: &mut StdRng, n: usize, edges: Vec<(VertexId, VertexId)>) -> CsrGraph {
         let weighted: Vec<_> = edges
             .into_iter()
             .map(|(s, d)| {
@@ -260,7 +257,9 @@ impl GraphGen {
         // straight-line heuristic is admissible w.r.t. these weights.
         const SCALE: f64 = 100.0;
         let metric = |a: VertexId, b: VertexId, coords: &[Point]| -> Weight {
-            (coords[a as usize].distance(&coords[b as usize]) * SCALE).ceil().max(1.0) as Weight
+            (coords[a as usize].distance(&coords[b as usize]) * SCALE)
+                .ceil()
+                .max(1.0) as Weight
         };
         let mut edges = Vec::new();
         let add_bidi = |a: VertexId, b: VertexId, rng: &mut StdRng, edges: &mut Vec<_>| {
@@ -361,14 +360,20 @@ mod tests {
     #[test]
     fn weights_uniform_within_bounds() {
         let g = GraphGen::rmat(8, 4).seed(9).weights_uniform(5, 10).build();
-        assert!(g.edge_triples().iter().all(|&(_, _, w)| (5..10).contains(&w)));
+        assert!(g
+            .edge_triples()
+            .iter()
+            .all(|&(_, _, w)| (5..10).contains(&w)));
     }
 
     #[test]
     fn weights_log_n_within_bounds() {
         let g = GraphGen::rmat(10, 4).seed(9).weights_log_n().build();
         // log2(1024) = 10
-        assert!(g.edge_triples().iter().all(|&(_, _, w)| (1..10).contains(&w)));
+        assert!(g
+            .edge_triples()
+            .iter()
+            .all(|&(_, _, w)| (1..10).contains(&w)));
     }
 
     #[test]

@@ -103,7 +103,11 @@ pub fn parse_edge_list(text: &str) -> Result<CsrGraph, ParseGraphError> {
         max_v = max_v.max(src).max(dst);
         edges.push((src as VertexId, dst as VertexId, weight));
     }
-    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    };
     Ok(GraphBuilder::new(n).edges(edges).build())
 }
 

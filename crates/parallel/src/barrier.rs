@@ -79,7 +79,7 @@ impl SpinBarrier {
             let mut spins = 0usize;
             while self.generation.load(Ordering::Acquire) == gen {
                 spins += 1;
-                if spins % SPINS_PER_YIELD == 0 {
+                if spins.is_multiple_of(SPINS_PER_YIELD) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();

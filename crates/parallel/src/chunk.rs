@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn chunks_tile_the_range_exactly() {
         let cursor = ChunkCursor::new(103, 10);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         while let Some(r) = cursor.next_chunk() {
             for i in r {
                 assert!(!seen[i]);

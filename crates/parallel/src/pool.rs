@@ -173,9 +173,7 @@ impl Pool {
         let wide: &(dyn Fn(Worker<'_>) + Sync) = &f;
         let raw: JobRef = unsafe { std::mem::transmute(wide) };
         shared.job.0.set(Some(raw));
-        shared
-            .outstanding
-            .store(shared.n - 1, Ordering::Relaxed);
+        shared.outstanding.store(shared.n - 1, Ordering::Relaxed);
         {
             // Publish under the lock so sleeping workers cannot miss the wake.
             let _guard = shared.work_lock.lock();

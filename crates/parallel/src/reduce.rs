@@ -45,10 +45,7 @@ where
         }
         partials.lock().push(acc);
     });
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(identity, |a, b| combine(a, b))
+    partials.into_inner().into_iter().fold(identity, combine)
 }
 
 /// Sums `map(i)` over `range` (u64 accumulator).
@@ -105,7 +102,9 @@ mod tests {
     #[test]
     fn min_matches_iterator_min() {
         let pool = Pool::new(4);
-        let vals: Vec<i64> = (0..50_000).map(|i| ((i * 2654435761u64) % 1000) as i64).collect();
+        let vals: Vec<i64> = (0..50_000)
+            .map(|i| ((i * 2654435761u64) % 1000) as i64)
+            .collect();
         let got = parallel_min(&pool, 0..vals.len(), |i| vals[i]);
         assert_eq!(got, vals.iter().copied().min());
     }

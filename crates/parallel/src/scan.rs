@@ -142,7 +142,12 @@ mod tests {
     #[test]
     fn scan_block_boundary_sizes() {
         let pool = Pool::new(3);
-        for len in [SCAN_BLOCK - 1, SCAN_BLOCK, SCAN_BLOCK + 1, 3 * SCAN_BLOCK + 5] {
+        for len in [
+            SCAN_BLOCK - 1,
+            SCAN_BLOCK,
+            SCAN_BLOCK + 1,
+            3 * SCAN_BLOCK + 5,
+        ] {
             let input: Vec<u64> = (0..len as u64).map(|i| i % 5).collect();
             let mut parallel = input.clone();
             let mut serial = input;

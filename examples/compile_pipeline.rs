@@ -39,7 +39,10 @@ fn main() {
     println!("{}", codegen::emit_cpp(&program, &lowered));
 
     // Execute the compiled plan and cross-check against a second schedule.
-    let graph = GraphGen::rmat(12, 8).seed(5).weights_uniform(1, 100).build();
+    let graph = GraphGen::rmat(12, 8)
+        .seed(5)
+        .weights_uniform(1, 100)
+        .build();
     let mut initial = vec![priograph::buckets::NULL_PRIORITY; graph.num_vertices()];
     initial[0] = 0;
     let pool = priograph::parallel::global();
@@ -54,9 +57,16 @@ fn main() {
         None,
     )
     .expect("compilation + execution");
-    let (_, lazy_out) =
-        interp::run_program(pool, &graph, &program, &Schedule::lazy(8), initial, &[0], None)
-            .expect("compilation + execution");
+    let (_, lazy_out) = interp::run_program(
+        pool,
+        &graph,
+        &program,
+        &Schedule::lazy(8),
+        initial,
+        &[0],
+        None,
+    )
+    .expect("compilation + execution");
 
     assert_eq!(eager_out.priorities, lazy_out.priorities);
     println!(

@@ -3,13 +3,17 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use priograph::algorithms::sssp;
+use priograph::algorithms::validate::validate_sssp;
+use priograph::algorithms::{serial, sssp};
 use priograph::core::schedule::Schedule;
 use priograph::graph::gen::GraphGen;
 
 fn main() {
     // A power-law graph standing in for LiveJournal (weights in [1, 1000)).
-    let graph = GraphGen::rmat(14, 8).seed(42).weights_uniform(1, 1000).build();
+    let graph = GraphGen::rmat(14, 8)
+        .seed(42)
+        .weights_uniform(1, 1000)
+        .build();
     println!(
         "graph: {} vertices, {} edges",
         graph.num_vertices(),
@@ -36,4 +40,10 @@ fn main() {
     let lazy = sssp::delta_stepping(&graph, 0, &Schedule::lazy(32));
     assert_eq!(lazy.dist, result.dist);
     println!("lazy schedule agrees with eager-with-fusion ✓");
+
+    // Both must match the serial Dijkstra reference and satisfy the
+    // triangle-inequality certificate — not just agree with each other.
+    assert_eq!(result.dist, serial::dijkstra(&graph, 0));
+    validate_sssp(&graph, 0, &result.dist).expect("distances violate an edge relaxation");
+    println!("distances match serial Dijkstra and validate ✓");
 }

@@ -12,7 +12,11 @@ fn main() {
     // A 200x200 road grid with coordinates and metric weights.
     let road = GraphGen::road_grid(200, 200).seed(7).build();
     let n = road.num_vertices();
-    println!("road network: {} junctions, {} road segments", n, road.num_edges());
+    println!(
+        "road network: {} junctions, {} road segments",
+        n,
+        road.num_edges()
+    );
 
     // Route along the top edge: top-left corner to top-right corner. The
     // straight-line heuristic prunes the half-disc a blind search explores.
@@ -46,7 +50,21 @@ fn main() {
         guided.stats.elapsed_ms()
     );
 
-    assert_eq!(plain.distance, guided.distance, "both must find the shortest route");
-    let saved = 100.0 * (1.0 - guided.stats.relaxations as f64 / plain.stats.relaxations.max(1) as f64);
+    assert_eq!(
+        plain.distance, guided.distance,
+        "both must find the shortest route"
+    );
+
+    // Check the route length against the serial Dijkstra reference: on a
+    // connected grid the corners must be reachable with exactly this cost.
+    let reference = priograph::algorithms::serial::dijkstra(&road, source)[target as usize];
+    assert_eq!(
+        plain.distance,
+        Some(reference),
+        "point-to-point distance must equal the full-SSSP reference"
+    );
+
+    let saved =
+        100.0 * (1.0 - guided.stats.relaxations as f64 / plain.stats.relaxations.max(1) as f64);
     println!("the heuristic pruned {saved:.0}% of edge relaxations");
 }

@@ -14,7 +14,10 @@ fn all_sssp_implementations_agree() {
     for (name, graph, delta) in [
         (
             "social",
-            GraphGen::rmat(10, 8).seed(2).weights_uniform(1, 1000).build(),
+            GraphGen::rmat(10, 8)
+                .seed(2)
+                .weights_uniform(1, 1000)
+                .build(),
             32i64,
         ),
         ("road", GraphGen::road_grid(40, 40).seed(2).build(), 1 << 10),
@@ -70,7 +73,9 @@ fn all_kcore_implementations_agree() {
     }
     assert_eq!(julienne::kcore(&pool, &graph).dist, reference);
     assert_eq!(
-        unordered::kcore_unordered_on(&pool, &graph).unwrap().coreness,
+        unordered::kcore_unordered_on(&pool, &graph)
+            .unwrap()
+            .coreness,
         reference
     );
 }

@@ -1,0 +1,217 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the bench-definition API the workspace's `benches/` use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`criterion_group!`],
+//! [`criterion_main!`]) on top of a simple median-of-samples timer. No
+//! statistical analysis, HTML reports, or outlier rejection — each bench
+//! prints `group/name  median  (samples)` to stdout. Enough to keep
+//! `cargo bench` meaningful offline; swap back to real criterion when the
+//! build has registry access.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported so user code can opt out of constant-folding.
+pub use std::hint::black_box;
+
+/// Entry point handed to each bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one("", &id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing handle passed to the closure of each benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call over the configured
+    /// number of rounds (one warm-up call is discarded).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        rounds: sample_size,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{label:<48} median {:>12.3?}  ({} samples)",
+        median,
+        b.samples.len()
+    );
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("eager", 32).to_string(), "eager/32");
+    }
+}

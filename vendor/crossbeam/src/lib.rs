@@ -1,0 +1,347 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Implements the two pieces the workspace uses: [`utils::CachePadded`]
+//! (alignment wrapper against false sharing) and [`queue::SegQueue`]
+//! (unbounded MPMC queue). The queue here is a lock-free Treiber stack —
+//! LIFO rather than upstream's FIFO, which is fine for its one consumer
+//! (the Galois-style *unordered* bucket bags, which give no intra-bucket
+//! ordering guarantee by design).
+
+#![warn(missing_docs)]
+
+/// Utilities (subset of `crossbeam_utils`).
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) a cache-line boundary so hot
+    /// per-thread fields don't false-share.
+    #[derive(Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line-aligned storage.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.value.fmt(f)
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+/// Concurrent queues (subset of `crossbeam_queue`).
+pub mod queue {
+    use std::fmt;
+    use std::mem::ManuallyDrop;
+    use std::ptr;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+    struct Node<T> {
+        value: ManuallyDrop<T>,
+        /// Set (with exclusive ownership) by the pop that extracted `value`,
+        /// so `Drop` knows whether the value still needs dropping.
+        taken: AtomicBool,
+        /// Live-stack link; stale once the node is popped.
+        next: *mut Node<T>,
+        /// Allocation-list link; every node ever pushed stays on this list
+        /// until the queue itself drops.
+        all_next: *mut Node<T>,
+    }
+
+    /// Unbounded multi-producer multi-consumer queue.
+    ///
+    /// Implemented as a lock-free Treiber stack: `push`/`pop` are O(1) and
+    /// never block, but ordering is LIFO (see crate docs for why that is
+    /// acceptable here).
+    ///
+    /// # Memory reclamation
+    ///
+    /// Popped nodes are *not* freed until the queue drops. This is the
+    /// simplest sound reclamation scheme for a multi-consumer Treiber
+    /// stack: a concurrent popper may still be reading a node it loaded
+    /// before losing the race, and because no address is ever recycled
+    /// into the stack, the classic ABA head-swap cannot occur. The cost —
+    /// one live allocation per push until drop — is bounded here by its
+    /// users (per-run bucket bags that drop at the end of the algorithm).
+    pub struct SegQueue<T> {
+        head: AtomicPtr<Node<T>>,
+        all: AtomicPtr<Node<T>>,
+    }
+
+    // Safety: nodes are heap-allocated and reachable only through this
+    // struct; value ownership transfers atomically to the single pop that
+    // wins the head CAS, and node memory outlives all concurrent readers
+    // (freed only in Drop, which requires `&mut self`).
+    unsafe impl<T: Send> Send for SegQueue<T> {}
+    unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub const fn new() -> Self {
+            SegQueue {
+                head: AtomicPtr::new(ptr::null_mut()),
+                all: AtomicPtr::new(ptr::null_mut()),
+            }
+        }
+
+        /// Pushes an element (never blocks, never fails).
+        pub fn push(&self, value: T) {
+            let node = Box::into_raw(Box::new(Node {
+                value: ManuallyDrop::new(value),
+                taken: AtomicBool::new(false),
+                next: ptr::null_mut(),
+                all_next: ptr::null_mut(),
+            }));
+            // Link into the allocation list (push-only, so no ABA hazard).
+            let mut all = self.all.load(Ordering::Relaxed);
+            loop {
+                // Safety: `node` is freshly allocated and not yet shared.
+                unsafe { (*node).all_next = all };
+                match self.all.compare_exchange_weak(
+                    all,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(a) => all = a,
+                }
+            }
+            // Publish onto the live stack.
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                // Safety: only this thread writes `next` until the CAS
+                // below publishes the node.
+                unsafe { (*node).next = head };
+                match self.head.compare_exchange_weak(
+                    head,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(h) => head = h,
+                }
+            }
+        }
+
+        /// Pops an element, or `None` if the queue is observed empty.
+        pub fn pop(&self) -> Option<T> {
+            let mut head = self.head.load(Ordering::Acquire);
+            loop {
+                if head.is_null() {
+                    return None;
+                }
+                // Safety: nodes are never freed while the queue is shared
+                // (see "Memory reclamation"), so a once-published pointer
+                // stays readable even if another pop unlinks it first.
+                let next = unsafe { (*head).next };
+                match self.head.compare_exchange_weak(
+                    head,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS grants exclusive
+                        // ownership of the value; mark it taken so Drop
+                        // doesn't double-drop.
+                        let value = unsafe { ptr::read(&*(*head).value) };
+                        unsafe { (*head).taken.store(true, Ordering::Release) };
+                        return Some(value);
+                    }
+                    Err(h) => head = h,
+                }
+            }
+        }
+
+        /// Whether the queue was empty at the moment of the load.
+        pub fn is_empty(&self) -> bool {
+            self.head.load(Ordering::Acquire).is_null()
+        }
+
+        /// Number of queued elements (O(n); best-effort under concurrency,
+        /// test/diagnostic use only).
+        pub fn len(&self) -> usize {
+            let mut n = 0;
+            let mut cur = self.head.load(Ordering::Acquire);
+            while !cur.is_null() {
+                n += 1;
+                // Safety: node memory stays allocated until Drop, so the
+                // traversal never dereferences freed memory (it may count
+                // concurrently-popped nodes; callers accept approximation).
+                cur = unsafe { (*cur).next };
+            }
+            n
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> Drop for SegQueue<T> {
+        fn drop(&mut self) {
+            // `&mut self`: no concurrent readers remain; free every node
+            // ever pushed, dropping values pops never extracted.
+            let mut cur = *self.all.get_mut();
+            while !cur.is_null() {
+                // Safety: exclusive access; each node freed exactly once.
+                let mut node = unsafe { Box::from_raw(cur) };
+                if !*node.taken.get_mut() {
+                    unsafe { ManuallyDrop::drop(&mut node.value) };
+                }
+                cur = node.all_next;
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SegQueue { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::SegQueue;
+        use std::sync::Arc;
+
+        #[test]
+        fn push_pop_roundtrip() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            let mut got = vec![q.pop().unwrap(), q.pop().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+            assert!(q.pop().is_none());
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn concurrent_producers_consumers() {
+            let q = Arc::new(SegQueue::new());
+            let producers: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..1000 {
+                            q.push(t * 1000 + i);
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut seen = vec![false; 4000];
+            while let Some(v) = q.pop() {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn racing_consumers_see_each_value_once() {
+            // Producers and consumers overlap so pops race on the same
+            // head — the scenario the deferred-reclamation scheme exists
+            // for.
+            let q = Arc::new(SegQueue::new());
+            let n_threads = 4usize;
+            let per_thread = 5_000usize;
+            let producers: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            q.push((t * per_thread + i) as u32);
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        let mut idle = 0;
+                        while idle < 10_000 {
+                            match q.pop() {
+                                Some(v) => {
+                                    got.push(v);
+                                    idle = 0;
+                                }
+                                None => idle += 1,
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut seen = vec![false; n_threads * per_thread];
+            for c in consumers {
+                for v in c.join().unwrap() {
+                    assert!(!seen[v as usize], "value {v} popped twice");
+                    seen[v as usize] = true;
+                }
+            }
+            while let Some(v) = q.pop() {
+                assert!(!seen[v as usize], "value {v} popped twice");
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "some value was lost");
+        }
+
+        #[test]
+        fn drop_releases_unpopped_values() {
+            let q = SegQueue::new();
+            let value = Arc::new(());
+            for _ in 0..10 {
+                q.push(Arc::clone(&value));
+            }
+            let _ = q.pop(); // one value extracted, nine still queued
+            drop(q);
+            // All ten clones must be gone regardless of pop state.
+            assert_eq!(Arc::strong_count(&value), 1);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements exactly the 0.8-era API surface the workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], [`Rng::gen_range`] over
+//! integer and float ranges, and [`Rng::gen`] for a few primitive types.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! across platforms, which is all the workspace needs (seeded synthetic
+//! graphs, reproducible autotuner trials). It is *not* the same stream as
+//! upstream `StdRng`, so seeds produce different (but still deterministic)
+//! graphs than a crates.io build would.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_one(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// A type with a "standard" uniform distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one sample from the standard distribution.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// User-facing generator methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: AsStdRng,
+    {
+        range.sample_one(self.as_std_rng())
+    }
+
+    /// Samples a value from the standard distribution (`f64` in `[0, 1)`,
+    /// full-width integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::draw(self.as_std_rng())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.as_std_rng().unit_f64() < p
+    }
+}
+
+/// Helper enabling default methods on [`Rng`] to reach the concrete state.
+pub trait AsStdRng {
+    /// Returns the underlying concrete generator.
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{SeedableRng, Standard};
+
+    /// Deterministic 64-bit generator (xoshiro256++ under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, as
+            // recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl StdRng {
+        /// Advances the state and returns 64 random bits (xoshiro256++).
+        pub fn next_bits(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `u64` in `[0, bound)` via Lemire's multiply-shift with a
+        /// rejection step to remove modulo bias.
+        pub fn bounded(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            loop {
+                let x = self.next_bits();
+                let m = (x as u128) * (bound as u128);
+                let lo = m as u64;
+                if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Samples from the standard distribution of `T`.
+        pub fn gen<T: Standard>(&mut self) -> T {
+            T::draw(self)
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_bits()
+        }
+    }
+
+    impl super::AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_bits() as $t;
+                }
+                (lo as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl Standard for $t {
+            fn draw(rng: &mut rngs::StdRng) -> $t {
+                rng.next_bits() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // The lerp can round up to `end` when the unit draw is near 1;
+        // clamp to the next value below to keep the range half-open.
+        let x = self.start + rng.unit_f64() * (self.end - self.start);
+        if x >= self.end {
+            self.end.next_down()
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_one(self, rng: &mut rngs::StdRng) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // f64→f32 narrowing rounds up to `end` far more often than the f64
+        // case (~2^-25 per draw); same half-open clamp.
+        let x = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+        if x >= self.end {
+            self.end.next_down()
+        } else {
+            x
+        }
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut rngs::StdRng) -> f32 {
+        // Narrowing can round a unit draw up to 1.0; clamp below it.
+        (rng.unit_f64() as f32).min(1.0f32.next_down())
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::StdRng) -> bool {
+        rng.next_bits() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_bits(), b.next_bits());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.gen_range(-0.3..0.3);
+            assert!((-0.3..0.3).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bounded_hits_all_residues() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.bounded(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
