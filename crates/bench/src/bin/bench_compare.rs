@@ -1,0 +1,64 @@
+//! Diffs two `BENCH_*.json` reports (schema `priograph-bench-v1`) and
+//! prints per-workload regressions/improvements for PR review.
+//!
+//! ```text
+//! bench_compare BASELINE.json CANDIDATE.json [--regress-pct P] [--fail-on-regression]
+//! ```
+//!
+//! With `--fail-on-regression`, exits 1 when any workload is slower than the
+//! baseline by more than `--regress-pct` percent (default 5%).
+
+use priograph_bench::record::{compare, render_comparison, BenchReport};
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut regress_pct = 5.0f64;
+    let mut fail_on_regression = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--regress-pct" => {
+                regress_pct = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--regress-pct expects a number");
+            }
+            "--fail-on-regression" => fail_on_regression = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_compare BASELINE.json CANDIDATE.json \
+                     [--regress-pct P] [--fail-on-regression]"
+                );
+                std::process::exit(0);
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("expected exactly two report paths; see --help");
+        std::process::exit(2);
+    }
+
+    let base = BenchReport::load(std::path::Path::new(&paths[0])).unwrap_or_else(|e| {
+        eprintln!("baseline: {e}");
+        std::process::exit(2);
+    });
+    let new = BenchReport::load(std::path::Path::new(&paths[1])).unwrap_or_else(|e| {
+        eprintln!("candidate: {e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "baseline {} ({} threads)  vs  candidate {} ({} threads)",
+        base.git_rev, base.threads, new.git_rev, new.threads
+    );
+    let rows = compare(&base, &new);
+    let (table, regressions) = render_comparison(&rows, regress_pct);
+    print!("{table}");
+    if regressions > 0 {
+        println!("{regressions} regression(s) beyond {regress_pct}%");
+        if fail_on_regression {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The perf-tracking suite: measures the hot engine paths on fixed
+//! workloads and writes a `BENCH_*.json` report (schema
+//! `priograph-bench-v1`) so every perf PR can prove its trajectory with
+//! `scripts/bench_compare`.
+//!
+//! Workloads are chosen to stress per-round bucket maintenance (the cost the
+//! zero-allocation frontier pipeline targets): road-style grids are
+//! round-heavy (high diameter, small buckets), social R-MATs are
+//! frontier-heavy (few rounds, large buckets).
+//!
+//! ```text
+//! perf_suite --out BENCH_PR2.json [--threads N] [--samples N] [--scale N]
+//! ```
+
+use priograph_algorithms::{kcore, sssp, wbfs};
+use priograph_bench::record::{median, BenchReport};
+use priograph_bench::workloads;
+use priograph_core::schedule::Schedule;
+use priograph_graph::gen::GraphGen;
+use priograph_parallel::Pool;
+use std::time::{Duration, Instant};
+
+struct SuiteArgs {
+    out: std::path::PathBuf,
+    threads: usize,
+    samples: usize,
+    scale: u32,
+}
+
+impl SuiteArgs {
+    fn parse() -> Self {
+        let mut args = SuiteArgs {
+            out: std::path::PathBuf::from("BENCH_perf_suite.json"),
+            threads: 4,
+            samples: 5,
+            scale: 1,
+        };
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            let mut take = |what: &str| -> String {
+                argv.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match flag.as_str() {
+                "--out" => args.out = take("--out").into(),
+                "--threads" => args.threads = take("--threads").parse().expect("--threads"),
+                "--samples" => args.samples = take("--samples").parse().expect("--samples"),
+                "--scale" => args.scale = take("--scale").parse().expect("--scale"),
+                "--help" | "-h" => {
+                    eprintln!("flags: --out PATH  --threads N  --samples N  --scale N");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args.threads = args.threads.max(1);
+        args.samples = args.samples.max(1);
+        args
+    }
+}
+
+/// Times `f` once per sample after one warm-up run, returning the median.
+fn measure<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    f(); // warm-up
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        timings.push(start.elapsed());
+    }
+    median(&mut timings)
+}
+
+fn main() {
+    let args = SuiteArgs::parse();
+    let pool = Pool::new(args.threads);
+    let mut report = BenchReport::new(args.threads);
+    let samples = args.samples;
+
+    // Road-style: high-diameter grid, the paper's RoadUSA stand-in family.
+    let road = workloads::ge(args.scale);
+    let road_delta = workloads::default_delta(&road);
+    let source = priograph_bench::pick_useful_sources(&road.graph, 1)[0];
+    eprintln!("road workload: {road:?}, delta {road_delta}, source {source}");
+
+    let run = |name: &str,
+               report: &mut BenchReport,
+               graph: &priograph_graph::CsrGraph,
+               schedule: &Schedule,
+               src: u32| {
+        let t = measure(samples, || {
+            let r = sssp::delta_stepping_on(&pool, graph, src, schedule).unwrap();
+            std::hint::black_box(r.dist.len());
+        });
+        eprintln!("{name:<28} median {t:>12.3?}");
+        report.push(name, t, samples);
+    };
+
+    run(
+        "GE-sssp-lazy",
+        &mut report,
+        &road.graph,
+        &Schedule::lazy(road_delta),
+        source,
+    );
+    run(
+        "GE-sssp-lazy-d64",
+        &mut report,
+        &road.graph,
+        &Schedule::lazy(64),
+        source,
+    );
+    run(
+        "GE-sssp-eager-fusion",
+        &mut report,
+        &road.graph,
+        &Schedule::eager_with_fusion(road_delta),
+        source,
+    );
+    run(
+        "GE-sssp-eager",
+        &mut report,
+        &road.graph,
+        &Schedule::eager(road_delta),
+        source,
+    );
+
+    // Road-style wBFS: same grid topology, weights in [1, log n).
+    let side = 240 * args.scale.max(1) as usize;
+    let road_wbfs = GraphGen::road_grid(side, side)
+        .seed(0xD0 + side as u64)
+        .weights_log_n()
+        .build();
+    let t = measure(samples, || {
+        let r = wbfs::wbfs_on(&pool, &road_wbfs, source, &Schedule::lazy(1)).unwrap();
+        std::hint::black_box(r.dist.len());
+    });
+    eprintln!("{:<28} median {t:>12.3?}", "GE-wbfs-lazy");
+    report.push("GE-wbfs-lazy", t, samples);
+
+    // Social-style: frontier-heavy R-MAT (LiveJournal stand-in).
+    let social = workloads::lj(args.scale);
+    let social_delta = workloads::default_delta(&social);
+    let social_src = priograph_bench::pick_useful_sources(&social.graph, 1)[0];
+    eprintln!("social workload: {social:?}, delta {social_delta}, source {social_src}");
+    run(
+        "LJ-sssp-lazy",
+        &mut report,
+        &social.graph,
+        &Schedule::lazy(social_delta),
+        social_src,
+    );
+    run(
+        "LJ-sssp-eager-fusion",
+        &mut report,
+        &social.graph,
+        &Schedule::eager_with_fusion(social_delta),
+        social_src,
+    );
+
+    // k-core exercises the constant-sum lazy path.
+    let social_sym = social.graph.symmetrize();
+    let t = measure(samples, || {
+        let r = kcore::kcore_on(&pool, &social_sym, &Schedule::lazy_constant_sum()).unwrap();
+        std::hint::black_box(r.coreness.len());
+    });
+    eprintln!("{:<28} median {t:>12.3?}", "LJ-kcore-constant-sum");
+    report.push("LJ-kcore-constant-sum", t, samples);
+
+    report.write(&args.out).expect("writing bench report");
+    eprintln!(
+        "wrote {} ({} records, rev {}, {} threads)",
+        args.out.display(),
+        report.records.len(),
+        report.git_rev,
+        report.threads
+    );
+}

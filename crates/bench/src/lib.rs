@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod record;
 pub mod runners;
 pub mod tables;
 pub mod workloads;

@@ -1,0 +1,560 @@
+//! Bench-result records: a tiny JSON schema (`priograph-bench-v1`) that perf
+//! PRs use to prove wins over time.
+//!
+//! Every perf harness (the `perf_suite` binary, the vendored criterion shim)
+//! emits a [`BenchReport`] — per-workload medians plus the thread count and
+//! git revision they were measured at — into a `BENCH_*.json` file. The
+//! `bench_compare` binary (wrapped by `scripts/bench_compare`) diffs two such
+//! files and prints per-workload regressions/improvements for PR review.
+//!
+//! The JSON is hand-rolled in both directions because the build environment
+//! has no crates.io access (no serde); the parser accepts exactly the subset
+//! the emitter produces (objects, arrays, strings with `\"`/`\\` escapes,
+//! and unsigned integers).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Schema tag emitted and required by the parser.
+pub const SCHEMA: &str = "priograph-bench-v1";
+
+/// One measured workload: the median over `samples` timed runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Workload id, e.g. `GE-sssp-lazy`.
+    pub name: String,
+    /// Median wall-clock time in nanoseconds.
+    pub median_ns: u64,
+    /// Number of timed samples the median was taken over.
+    pub samples: u64,
+    /// Worker threads the workload ran with.
+    pub threads: u64,
+}
+
+/// A set of records measured at one git revision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchReport {
+    /// `git rev-parse --short HEAD` at measurement time (or `unknown`).
+    pub git_rev: String,
+    /// Default thread count of the run (records may override per entry).
+    pub threads: u64,
+    /// The measurements.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Creates an empty report stamped with the current git revision.
+    pub fn new(threads: usize) -> Self {
+        BenchReport {
+            git_rev: git_rev(),
+            threads: threads as u64,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, name: impl Into<String>, median: Duration, samples: usize) {
+        let threads = self.threads;
+        self.push_with_threads(name, median, samples, threads as usize);
+    }
+
+    /// Appends one measurement taken at an explicit thread count.
+    pub fn push_with_threads(
+        &mut self,
+        name: impl Into<String>,
+        median: Duration,
+        samples: usize,
+        threads: usize,
+    ) {
+        self.records.push(BenchRecord {
+            name: name.into(),
+            median_ns: median.as_nanos().min(u64::MAX as u128) as u64,
+            samples: samples as u64,
+            threads: threads as u64,
+        });
+    }
+
+    /// Serializes the report (pretty-printed, stable field order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", quote(SCHEMA));
+        let _ = writeln!(s, "  \"git_rev\": {},", quote(&self.git_rev));
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        s.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"median_ns\": {}, \"samples\": {}, \"threads\": {}}}",
+                quote(&r.name),
+                r.median_ns,
+                r.samples,
+                r.threads
+            );
+            s.push_str(if i + 1 == self.records.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a report emitted by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object()?;
+        let schema = obj.get_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let mut records = Vec::new();
+        for item in obj.get_array("records")? {
+            let r = item.as_object()?;
+            records.push(BenchRecord {
+                name: r.get_str("name")?.to_string(),
+                median_ns: r.get_u64("median_ns")?,
+                samples: r.get_u64("samples")?,
+                threads: r.get_u64("threads")?,
+            });
+        }
+        Ok(BenchReport {
+            git_rev: obj.get_str("git_rev")?.to_string(),
+            threads: obj.get_u64("threads")?,
+            records,
+        })
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads and parses a report from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Reports both I/O and parse failures as strings.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// One row of a baseline-vs-candidate diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Workload name present in at least one report.
+    pub name: String,
+    /// Baseline median (ns), if the baseline has the workload.
+    pub base_ns: Option<u64>,
+    /// Candidate median (ns), if the candidate has the workload.
+    pub new_ns: Option<u64>,
+}
+
+impl Comparison {
+    /// Speedup ratio `base / new` (>1 is an improvement); `None` unless both
+    /// sides are present and nonzero.
+    pub fn speedup(&self) -> Option<f64> {
+        match (self.base_ns, self.new_ns) {
+            (Some(b), Some(n)) if b > 0 && n > 0 => Some(b as f64 / n as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Aligns two reports by workload name (baseline order first, then
+/// candidate-only entries).
+pub fn compare(base: &BenchReport, new: &BenchReport) -> Vec<Comparison> {
+    let find = |records: &[BenchRecord], name: &str| {
+        records.iter().find(|r| r.name == name).map(|r| r.median_ns)
+    };
+    let mut rows: Vec<Comparison> = base
+        .records
+        .iter()
+        .map(|r| Comparison {
+            name: r.name.clone(),
+            base_ns: Some(r.median_ns),
+            new_ns: find(&new.records, &r.name),
+        })
+        .collect();
+    for r in &new.records {
+        if rows.iter().all(|row| row.name != r.name) {
+            rows.push(Comparison {
+                name: r.name.clone(),
+                base_ns: None,
+                new_ns: Some(r.median_ns),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders a comparison table; `regress_pct` marks rows slower by more than
+/// that percentage. Returns `(table, num_regressions)`.
+pub fn render_comparison(rows: &[Comparison], regress_pct: f64) -> (String, usize) {
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>9}  verdict",
+        "workload", "base", "new", "delta"
+    );
+    for row in rows {
+        let fmt_ns = |ns: Option<u64>| match ns {
+            Some(ns) => format!("{:.3?}", Duration::from_nanos(ns)),
+            None => "-".to_string(),
+        };
+        let (delta, verdict) = match row.speedup() {
+            Some(s) => {
+                let pct = (s - 1.0) * 100.0;
+                let verdict = if pct <= -regress_pct {
+                    regressions += 1;
+                    "REGRESSION"
+                } else if pct >= regress_pct {
+                    "improved"
+                } else {
+                    "~same"
+                };
+                (format!("{pct:+.1}%"), verdict)
+            }
+            None => ("-".to_string(), "only one side"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}  {}",
+            row.name,
+            fmt_ns(row.base_ns),
+            fmt_ns(row.new_ns),
+            delta,
+            verdict
+        );
+    }
+    (out, regressions)
+}
+
+/// Median of a set of sampled durations (empty input yields zero).
+pub fn median(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Current short git revision: `$GIT_REV` if set, else `git rev-parse
+/// --short HEAD`, else `unknown`.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("GIT_REV") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON reader for the emitter's subset.
+mod json {
+    /// A parsed JSON value (subset: no floats, no bool/null).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// String literal.
+        Str(String),
+        /// Unsigned integer.
+        Num(u64),
+        /// Array of values.
+        Array(Vec<Value>),
+        /// Object as insertion-ordered pairs.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Result<Obj<'_>, String> {
+            match self {
+                Value::Object(pairs) => Ok(Obj(pairs)),
+                other => Err(format!("expected object, found {other:?}")),
+            }
+        }
+    }
+
+    /// Borrowed view of an object with typed accessors.
+    pub struct Obj<'a>(&'a [(String, Value)]);
+
+    impl Obj<'_> {
+        fn get(&self, key: &str) -> Result<&Value, String> {
+            self.0
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key {key:?}"))
+        }
+
+        pub fn get_str(&self, key: &str) -> Result<&str, String> {
+            match self.get(key)? {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("key {key:?}: expected string, found {other:?}")),
+            }
+        }
+
+        pub fn get_u64(&self, key: &str) -> Result<u64, String> {
+            match self.get(key)? {
+                Value::Num(n) => Ok(*n),
+                other => Err(format!("key {key:?}: expected integer, found {other:?}")),
+            }
+        }
+
+        pub fn get_array(&self, key: &str) -> Result<&[Value], String> {
+            match self.get(key)? {
+                Value::Array(items) => Ok(items),
+                other => Err(format!("key {key:?}: expected array, found {other:?}")),
+            }
+        }
+    }
+
+    /// Parses one JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    expect(bytes, pos, b':')?;
+                    let value = parse_value(bytes, pos)?;
+                    pairs.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&bytes[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected input at byte {pos}")),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&c) = bytes.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| "invalid utf-8".to_string());
+                }
+                b'\\' => {
+                    let esc = bytes.get(*pos).copied();
+                    *pos += 1;
+                    match esc {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'n') => out.push(b'\n'),
+                        _ => return Err(format!("unsupported escape at byte {}", *pos - 1)),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut report = BenchReport {
+            git_rev: "abc1234".to_string(),
+            threads: 4,
+            records: Vec::new(),
+        };
+        report.push("GE-sssp-lazy", Duration::from_micros(1500), 5);
+        report.push_with_threads("LJ-\"quoted\"", Duration::from_nanos(42), 3, 2);
+        report
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_report() {
+        let report = sample_report();
+        let parsed = BenchReport::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn empty_report_roundtrips() {
+        let report = BenchReport {
+            git_rev: "unknown".into(),
+            threads: 1,
+            records: vec![],
+        };
+        assert_eq!(BenchReport::parse(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let text = r#"{"schema": "other", "git_rev": "x", "threads": 1, "records": []}"#;
+        assert!(BenchReport::parse(text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse("{\"schema\": \"priograph-bench-v1\"} extra").is_err());
+    }
+
+    #[test]
+    fn compare_aligns_by_name() {
+        let mut base = BenchReport::new(4);
+        base.git_rev = "base".into();
+        base.push("a", Duration::from_millis(10), 5);
+        base.push("gone", Duration::from_millis(1), 5);
+        let mut new = BenchReport::new(4);
+        new.git_rev = "new".into();
+        new.push("a", Duration::from_millis(5), 5);
+        new.push("added", Duration::from_millis(2), 5);
+        let rows = compare(&base, &new);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].speedup(), Some(2.0));
+        assert_eq!(rows[1].new_ns, None);
+        assert_eq!(rows[2].base_ns, None);
+    }
+
+    #[test]
+    fn render_flags_regressions() {
+        let rows = vec![
+            Comparison {
+                name: "slower".into(),
+                base_ns: Some(100),
+                new_ns: Some(200),
+            },
+            Comparison {
+                name: "faster".into(),
+                base_ns: Some(200),
+                new_ns: Some(100),
+            },
+        ];
+        let (table, regressions) = render_comparison(&rows, 5.0);
+        assert_eq!(regressions, 1);
+        assert!(table.contains("REGRESSION"));
+        assert!(table.contains("improved"));
+    }
+
+    #[test]
+    fn median_of_samples() {
+        let mut s = vec![
+            Duration::from_nanos(5),
+            Duration::from_nanos(1),
+            Duration::from_nanos(9),
+        ];
+        assert_eq!(median(&mut s), Duration::from_nanos(5));
+        assert_eq!(median(&mut []), Duration::ZERO);
+    }
+}

@@ -48,12 +48,40 @@ impl LocalBins {
     }
 
     /// Removes and returns the contents of `bucket`.
+    ///
+    /// Surrenders the bin's allocation; per-round engine loops should use
+    /// [`LocalBins::flush_into`] or [`LocalBins::swap_bin`] instead, which
+    /// keep capacities warm across rounds.
     #[inline]
     pub fn take(&mut self, bucket: usize) -> Vec<VertexId> {
         if bucket < self.bins.len() {
             std::mem::take(&mut self.bins[bucket])
         } else {
             Vec::new()
+        }
+    }
+
+    /// Appends the contents of `bucket` to `frontier` and clears the bin,
+    /// retaining its capacity — the per-round copy-out of paper Figure 6
+    /// line 8, allocation-free in the steady state.
+    #[inline]
+    pub fn flush_into(&mut self, bucket: usize, frontier: &SharedFrontier) {
+        if let Some(bin) = self.bins.get_mut(bucket) {
+            frontier.append(bin);
+            bin.clear();
+        }
+    }
+
+    /// Swaps the contents of `bucket` with `scratch` (typically empty).
+    ///
+    /// The bucket-fusion loop drains its current bin this way: the drained
+    /// items live in `scratch` while new pushes land in the (empty,
+    /// previously-`scratch`) bin, and the two capacities ping-pong across
+    /// fused iterations with no allocation.
+    #[inline]
+    pub fn swap_bin(&mut self, bucket: usize, scratch: &mut Vec<VertexId>) {
+        if bucket < self.bins.len() {
+            std::mem::swap(&mut self.bins[bucket], scratch);
         }
     }
 
@@ -123,7 +151,8 @@ impl SharedFrontier {
         self.len.store(0, Ordering::Release);
     }
 
-    /// Appends `items`, claiming a contiguous range atomically.
+    /// Appends `items`, claiming a contiguous range with a single
+    /// `fetch_add` and filling it with one `memcpy`.
     ///
     /// # Panics
     ///
@@ -138,9 +167,7 @@ impl SharedFrontier {
             "frontier capacity {} exceeded",
             self.data.len()
         );
-        for (i, &v) in items.iter().enumerate() {
-            self.data.write(start + i, v);
-        }
+        self.data.write_slice(start, items);
     }
 
     /// Appends a single vertex.
@@ -155,9 +182,19 @@ impl SharedFrontier {
         self.data.read(index)
     }
 
-    /// Copies the live contents out (for tests and stats).
+    /// Copies the live contents out (for tests and stats). Hot loops should
+    /// prefer [`SharedFrontier::copy_into`], which reuses the destination.
     pub fn to_vec(&self) -> Vec<VertexId> {
-        (0..self.len()).map(|i| self.get(i)).collect()
+        let mut out = Vec::new();
+        self.copy_into(&mut out);
+        out
+    }
+
+    /// Copies the live contents into `out` (cleared first) with one
+    /// `memcpy`, reusing `out`'s capacity. Must not race with appends.
+    pub fn copy_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        self.data.copy_range_into(0, self.len(), out);
     }
 }
 
@@ -198,6 +235,41 @@ mod tests {
     fn take_beyond_allocated_is_empty() {
         let mut bins = LocalBins::new();
         assert!(bins.take(42).is_empty());
+    }
+
+    #[test]
+    fn flush_into_keeps_bin_capacity() {
+        let mut bins = LocalBins::new();
+        let frontier = SharedFrontier::new(8);
+        bins.push(1, 10);
+        bins.push(1, 11);
+        bins.flush_into(1, &frontier);
+        assert_eq!(frontier.to_vec(), vec![10, 11]);
+        assert_eq!(bins.len_of(1), 0);
+        // The bin's storage survives the flush for the next round.
+        bins.push(1, 12);
+        frontier.reset();
+        bins.flush_into(1, &frontier);
+        assert_eq!(frontier.to_vec(), vec![12]);
+        bins.flush_into(99, &frontier); // out-of-range bucket is a no-op
+        assert_eq!(frontier.len(), 1);
+    }
+
+    #[test]
+    fn swap_bin_ping_pongs_storage() {
+        let mut bins = LocalBins::new();
+        bins.push(0, 1);
+        bins.push(0, 2);
+        let mut scratch = Vec::new();
+        bins.swap_bin(0, &mut scratch);
+        assert_eq!(scratch, vec![1, 2]);
+        assert_eq!(bins.len_of(0), 0);
+        scratch.clear();
+        bins.push(0, 3);
+        bins.swap_bin(0, &mut scratch);
+        assert_eq!(scratch, vec![3]);
+        bins.swap_bin(42, &mut scratch); // out-of-range bucket is a no-op
+        assert_eq!(scratch, vec![3]);
     }
 
     #[test]
@@ -242,5 +314,20 @@ mod tests {
         let frontier = SharedFrontier::new(0);
         frontier.append(&[]);
         assert!(frontier.is_empty());
+    }
+
+    #[test]
+    fn copy_into_reuses_destination() {
+        let frontier = SharedFrontier::new(16);
+        frontier.append(&[4, 5, 6]);
+        let mut out = Vec::with_capacity(16);
+        let ptr = out.as_ptr();
+        frontier.copy_into(&mut out);
+        assert_eq!(out, vec![4, 5, 6]);
+        frontier.reset();
+        frontier.append(&[7]);
+        frontier.copy_into(&mut out);
+        assert_eq!(out, vec![7]);
+        assert_eq!(out.as_ptr(), ptr, "copy_into must reuse capacity");
     }
 }

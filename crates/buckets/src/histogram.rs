@@ -7,7 +7,8 @@
 //! compiler selects after proving the update is a constant sum (paper §5.1,
 //! Figure 10). The transformed UDF then receives `(vertex, count)` pairs.
 
-use parking_lot::Mutex;
+use priograph_parallel::scan::filter_map_compact_into;
+use priograph_parallel::shared::WorkerLocal;
 use priograph_parallel::Pool;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -66,34 +67,37 @@ impl Histogram {
     }
 
     /// Adds one occurrence per item and returns the distinct vertices touched
-    /// (each exactly once, unordered).
+    /// (each exactly once, unordered). Allocating convenience wrapper over
+    /// [`Histogram::accumulate_into`].
+    pub fn accumulate(&self, pool: &Pool, items: &[VertexId]) -> Vec<VertexId> {
+        let mut locals = WorkerLocal::default();
+        let mut out = Vec::new();
+        self.accumulate_into(pool, items, &mut locals, &mut out);
+        out
+    }
+
+    /// Adds one occurrence per item, compacting the distinct vertices
+    /// touched (each exactly once) into `out` through the caller's reusable
+    /// per-worker buffers — lock-free and allocation-free once warm.
     ///
     /// The first thread to raise a counter from zero claims the vertex for
     /// the distinct list — this is the "one bucket update per vertex" half of
     /// the constant-sum reduction.
-    pub fn accumulate(&self, pool: &Pool, items: &[VertexId]) -> Vec<VertexId> {
-        let distinct: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
-        let run = |local: &mut Vec<VertexId>, v: VertexId| {
-            if self.counts[v as usize].fetch_add(1, Ordering::Relaxed) == 0 {
-                local.push(v);
-            }
-        };
-        if items.len() < 4096 || pool.num_threads() == 1 {
-            let mut local = Vec::new();
-            for &v in items {
-                run(&mut local, v);
-            }
-            distinct.lock().append(&mut local);
-        } else {
-            pool.broadcast(|w| {
-                let mut local = Vec::new();
-                for i in w.static_range(items.len()) {
-                    run(&mut local, items[i]);
-                }
-                distinct.lock().append(&mut local);
-            });
-        }
-        distinct.into_inner()
+    pub fn accumulate_into(
+        &self,
+        pool: &Pool,
+        items: &[VertexId],
+        locals: &mut WorkerLocal<Vec<VertexId>>,
+        out: &mut Vec<VertexId>,
+    ) {
+        locals.ensure(pool.num_threads());
+        filter_map_compact_into(
+            pool,
+            items,
+            |&v| (self.counts[v as usize].fetch_add(1, Ordering::Relaxed) == 0).then_some(v),
+            locals,
+            out,
+        );
     }
 
     /// Current count for `v`.

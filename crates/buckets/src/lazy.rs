@@ -10,9 +10,27 @@
 //! read straight from a shared priority vector (plus the coarsening Δ)
 //! instead of calling a user lambda per vertex — eliminating the per-call
 //! overhead §6.2 measures against original Julienne.
+//!
+//! # Zero-allocation round protocol
+//!
+//! Steady-state rounds take no lock and allocate nothing:
+//!
+//! * [`LazyBucketQueue::next_bucket_into`] fills a caller-owned reusable
+//!   frontier vector, filtering stale entries through per-worker buffers
+//!   merged by scan compaction
+//!   ([`filter_map_compact_into`](priograph_parallel::scan::filter_map_compact_into)),
+//!   and hands each drained bucket's capacity back to its slot;
+//! * [`LazyBucketQueue::bulk_update`] classifies vertices into per-worker
+//!   `(bucket, vertex)` buffers the queue owns across rounds, merges them
+//!   with the same compaction, and places serially.
+//!
+//! Every buffer is cleared — never dropped — at the end of a round, so once
+//! capacities have warmed up the merge path is lock-free and allocation-free
+//! (the overhead paper §3.1 attributes to lazy bucketing, minimized).
 
 use crate::priority_map::PriorityMap;
-use parking_lot::Mutex;
+use priograph_parallel::scan::filter_map_compact_into;
+use priograph_parallel::shared::WorkerLocal;
 use priograph_parallel::Pool;
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -20,6 +38,19 @@ use std::sync::Arc;
 
 /// Vertex identifier (mirrors `priograph_graph::VertexId` without the dep).
 type VertexId = u32;
+
+/// Reusable per-round scratch owned by the queue: per-worker pipeline
+/// buffers plus the merged classification output, all cleared (capacity
+/// retained) after every use.
+#[derive(Default)]
+struct RoundWorkspace {
+    /// Per-worker `(bucket, vertex)` buffers for `bulk_update`.
+    pairs: WorkerLocal<Vec<(i64, VertexId)>>,
+    /// Merged classification output of `bulk_update`.
+    classified: Vec<(i64, VertexId)>,
+    /// Per-worker keep buffers for the extraction staleness filter.
+    kept: WorkerLocal<Vec<VertexId>>,
+}
 
 /// A lazy bucket queue over a shared atomic priority vector.
 ///
@@ -49,6 +80,7 @@ pub struct LazyBucketQueue {
     stamps: Box<[AtomicU64]>,
     round: u64,
     inserts: u64,
+    ws: RoundWorkspace,
 }
 
 impl fmt::Debug for LazyBucketQueue {
@@ -84,6 +116,7 @@ impl LazyBucketQueue {
             stamps,
             round: 0,
             inserts: 0,
+            ws: RoundWorkspace::default(),
         }
     }
 
@@ -159,8 +192,9 @@ impl LazyBucketQueue {
     /// Bulk re-bucketing of `vertices` after a round of priority updates —
     /// the `bulkUpdateBuckets` of paper Figure 5 line 13.
     ///
-    /// Bucket targets are computed in parallel; appends are grouped per
-    /// destination.
+    /// Bucket targets are computed in parallel into the queue's per-worker
+    /// pipeline buffers and merged with scan compaction — no lock, and no
+    /// allocation once the reused buffers have warmed up.
     pub fn bulk_update(&mut self, pool: &Pool, vertices: &[VertexId]) {
         if vertices.len() < 2048 || pool.num_threads() == 1 {
             for &v in vertices {
@@ -168,36 +202,52 @@ impl LazyBucketQueue {
             }
             return;
         }
-        // Parallel classification into (bucket, vertex) pairs.
-        let partials: Mutex<Vec<Vec<(i64, VertexId)>>> = Mutex::new(Vec::new());
-        let map = self.map;
-        let floor = self.last_returned;
-        let priorities = &self.priorities;
-        pool.broadcast(|w| {
-            let range = w.static_range(vertices.len());
-            let mut local = Vec::with_capacity(range.len());
-            for i in range {
-                let v = vertices[i];
-                if let Some(b) = map.bucket_of(priorities[v as usize].load(Ordering::Relaxed)) {
-                    local.push((b.max(floor), v));
-                }
-            }
-            partials.lock().push(local);
-        });
-        for local in partials.into_inner() {
-            for (bucket, v) in local {
-                self.inserts += 1;
-                self.place(v, bucket);
-            }
+        self.ws.pairs.ensure(pool.num_threads());
+        let mut ws = std::mem::take(&mut self.ws);
+        {
+            let map = self.map;
+            let floor = self.last_returned;
+            let priorities = &self.priorities;
+            filter_map_compact_into(
+                pool,
+                vertices,
+                |&v| {
+                    map.bucket_of(priorities[v as usize].load(Ordering::Relaxed))
+                        .map(|b| (b.max(floor), v))
+                },
+                &mut ws.pairs,
+                &mut ws.classified,
+            );
         }
+        for &(bucket, v) in &ws.classified {
+            self.inserts += 1;
+            self.place(v, bucket);
+        }
+        ws.classified.clear();
+        self.ws = ws;
     }
 
     /// Extracts the next non-empty bucket: returns its id and the
     /// deduplicated, still-valid vertices (paper's `dequeueReadySet`).
     ///
-    /// Returns `None` when no bucket holds a live vertex — the `finished()`
-    /// condition of the algorithm language.
+    /// Convenience wrapper over [`LazyBucketQueue::next_bucket_into`] that
+    /// allocates a fresh frontier per call; hot loops should hold a reusable
+    /// vector and call `next_bucket_into` instead.
     pub fn next_bucket(&mut self, pool: &Pool) -> Option<(i64, Vec<VertexId>)> {
+        let mut out = Vec::new();
+        self.next_bucket_into(pool, &mut out).map(|b| (b, out))
+    }
+
+    /// Extracts the next non-empty bucket into the caller's reusable
+    /// frontier vector (cleared first), returning the bucket id, or `None`
+    /// when no bucket holds a live vertex — the `finished()` condition of
+    /// the algorithm language.
+    ///
+    /// Steady-state calls perform no allocation: the staleness filter runs
+    /// through the queue's per-worker buffers, and each drained bucket's
+    /// vector capacity is handed back to its window slot.
+    pub fn next_bucket_into(&mut self, pool: &Pool, out: &mut Vec<VertexId>) -> Option<i64> {
+        out.clear();
         loop {
             if self.scan_pos < self.window_start {
                 // An insert landed before the window (only possible before
@@ -212,12 +262,16 @@ impl LazyBucketQueue {
                     self.scan_pos += 1;
                     continue;
                 }
-                let raw = std::mem::take(&mut self.open[slot]);
+                let mut raw = std::mem::take(&mut self.open[slot]);
                 self.round += 1;
-                let ready = self.filter_ready(pool, raw);
-                if !ready.is_empty() {
+                self.filter_ready_into(pool, &raw, out);
+                // Hand the drained bucket's capacity back to its slot so the
+                // next round's inserts push into warm storage.
+                raw.clear();
+                self.open[slot] = raw;
+                if !out.is_empty() {
                     self.last_returned = self.scan_pos;
-                    return Some((self.scan_pos, ready));
+                    return Some(self.scan_pos);
                 }
                 // All entries were stale; the slot is now empty, loop advances.
             }
@@ -262,37 +316,50 @@ impl LazyBucketQueue {
     }
 
     /// Drops stale entries (vertex no longer maps to the candidate bucket)
-    /// and duplicates (same vertex inserted in several earlier rounds).
-    fn filter_ready(&self, pool: &Pool, raw: Vec<VertexId>) -> Vec<VertexId> {
+    /// and duplicates (same vertex inserted in several earlier rounds),
+    /// compacting the survivors into `out` via the per-worker pipeline.
+    fn filter_ready_into(&mut self, pool: &Pool, raw: &[VertexId], out: &mut Vec<VertexId>) {
+        self.ws.kept.ensure(pool.num_threads());
         let round = self.round;
         let candidate = self.scan_pos;
-        let keep = |v: VertexId| -> bool {
-            match self.bucket_now(v) {
-                // With monotone priorities an entry whose recomputed bucket
-                // moved past the candidate was re-inserted there; a mismatch
-                // marks this copy stale.
-                Some(b) if self.clamp(b) == candidate => {
-                    self.stamps[v as usize].swap(round, Ordering::Relaxed) != round
+        let floor = self.last_returned;
+        let map = self.map;
+        let priorities = &self.priorities;
+        let stamps = &self.stamps;
+        filter_map_compact_into(
+            pool,
+            raw,
+            |&v| {
+                match map.bucket_of(priorities[v as usize].load(Ordering::Relaxed)) {
+                    // With monotone priorities an entry whose recomputed
+                    // bucket moved past the candidate was re-inserted there;
+                    // a mismatch marks this copy stale.
+                    Some(b) if b.max(floor) == candidate => {
+                        (stamps[v as usize].swap(round, Ordering::Relaxed) != round).then_some(v)
+                    }
+                    _ => None,
                 }
-                _ => false,
-            }
-        };
-        if raw.len() < 4096 || pool.num_threads() == 1 {
-            return raw.into_iter().filter(|&v| keep(v)).collect();
-        }
-        let partials: Mutex<Vec<Vec<VertexId>>> = Mutex::new(Vec::new());
-        pool.broadcast(|w| {
-            let range = w.static_range(raw.len());
-            let mut local = Vec::with_capacity(range.len());
-            for i in range {
-                let v = raw[i];
-                if keep(v) {
-                    local.push(v);
-                }
-            }
-            partials.lock().push(local);
-        });
-        partials.into_inner().into_iter().flatten().collect()
+            },
+            &mut self.ws.kept,
+            out,
+        );
+    }
+
+    /// Capacities of the reusable round buffers, for tests asserting that
+    /// steady-state rounds reuse rather than reallocate: per-worker pipeline
+    /// buffer capacity, merged classification capacity, and the capacity
+    /// currently parked in the open window slots.
+    #[doc(hidden)]
+    pub fn workspace_capacities(&mut self) -> (usize, usize, usize) {
+        let worker: usize = self
+            .ws
+            .pairs
+            .iter_mut()
+            .map(|b| b.capacity())
+            .sum::<usize>()
+            + self.ws.kept.iter_mut().map(|b| b.capacity()).sum::<usize>();
+        let open: usize = self.open.iter().map(Vec::capacity).sum();
+        (worker, self.ws.classified.capacity(), open)
     }
 }
 
@@ -489,6 +556,58 @@ mod tests {
             if a.is_none() {
                 break;
             }
+        }
+    }
+
+    #[test]
+    fn steady_state_rounds_reuse_buffers() {
+        // Acceptance check for the zero-allocation round protocol: after a
+        // warm-up pass, repeated bulk_update/next_bucket_into rounds must
+        // not grow any reusable buffer (no per-round `Vec` allocation) and
+        // must keep filling the same caller-owned frontier storage.
+        let pool = Pool::new(4);
+        let n = 20_000usize; // big enough to engage every parallel path
+        let pri: Arc<[AtomicI64]> = Arc::from(atomic_vec(n, 0));
+        let map = PriorityMap::new(BucketOrder::Increasing, 1);
+        let vertices: Vec<VertexId> = (0..n as VertexId).collect();
+        let mut q = LazyBucketQueue::new(pri.clone(), map, 8);
+        let mut frontier: Vec<VertexId> = Vec::new();
+
+        // Road-style steady state: the *same* bucket is re-filled by
+        // re-insertions round after round (monotone priorities allow
+        // re-insertion at the current bucket).
+        let bucket = 5i64;
+        for v in &vertices {
+            pri[*v as usize].store(bucket, Ordering::Relaxed);
+        }
+        let run_round = |q: &mut LazyBucketQueue, frontier: &mut Vec<VertexId>| {
+            q.bulk_update(&pool, &vertices);
+            assert_eq!(q.next_bucket_into(&pool, frontier), Some(bucket));
+            assert_eq!(frontier.len(), n);
+        };
+
+        // Warm-up: first rounds grow the pipeline buffers and window slots.
+        run_round(&mut q, &mut frontier);
+        run_round(&mut q, &mut frontier);
+        let warm = q.workspace_capacities();
+        let frontier_ptr = frontier.as_ptr();
+        let frontier_cap = frontier.capacity();
+        assert!(warm.0 > 0, "parallel rounds must fill per-worker buffers");
+
+        // Steady state: identical rounds must reuse every buffer.
+        for round in 0..6 {
+            run_round(&mut q, &mut frontier);
+            assert_eq!(
+                q.workspace_capacities(),
+                warm,
+                "round {round} must not grow the reusable round buffers"
+            );
+            assert_eq!(
+                frontier.as_ptr(),
+                frontier_ptr,
+                "round {round} frontier realloc"
+            );
+            assert_eq!(frontier.capacity(), frontier_cap);
         }
     }
 

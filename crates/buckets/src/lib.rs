@@ -18,6 +18,14 @@
 //! higher-priority-first (SetCover) executions onto monotonically increasing
 //! bucket ids.
 //!
+//! Both families follow the zero-allocation worker-local round protocol
+//! (documented on `priograph_parallel::shared`): per-round data lives in
+//! reusable per-worker buffers that are merged by scan compaction and
+//! cleared — never dropped — between rounds. [`LazyBucketQueue`]'s module
+//! docs describe the lazy side; on the eager side [`LocalBins::flush_into`]
+//! and [`LocalBins::swap_bin`] keep bin storage warm across rounds, and
+//! [`SharedFrontier`] appends and drains with single `memcpy`s.
+//!
 //! # Example
 //!
 //! ```

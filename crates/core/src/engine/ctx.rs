@@ -5,7 +5,7 @@
 //! (paper Figure 9, purple-highlighted lines).
 
 use crate::udf::PriorityOps;
-use priograph_buckets::{LocalBins, PriorityMap, SharedFrontier};
+use priograph_buckets::{LocalBins, PriorityMap};
 use priograph_graph::VertexId;
 use priograph_parallel::atomics::{add_clamped, write_max, write_min};
 use std::cell::{Cell, RefCell};
@@ -34,11 +34,18 @@ impl RoundStamps {
 }
 
 /// Context for lazy SparsePush rounds: atomic updates + deduplicated append
-/// to the round's output frontier.
+/// to this worker's round-output buffer.
+///
+/// The buffer is one slot of the engine's reusable
+/// [`WorkerLocal`](priograph_parallel::shared::WorkerLocal) update log —
+/// recording a winner is a plain unsynchronized push (the global `stamps`
+/// CAS already guarantees each vertex lands in exactly one worker's log),
+/// and the logs are merged by scan compaction after the traversal. `RefCell`
+/// because the UDF only holds `&self`.
 pub(crate) struct SparseCtx<'a> {
     pub priorities: &'a [AtomicI64],
     pub cur_priority: i64,
-    pub out: &'a SharedFrontier,
+    pub out: &'a RefCell<Vec<VertexId>>,
     pub stamps: &'a RoundStamps,
     pub round: u64,
 }
@@ -47,7 +54,7 @@ impl SparseCtx<'_> {
     #[inline]
     fn record(&self, v: VertexId) {
         if self.stamps.claim(v, self.round) {
-            self.out.push(v);
+            self.out.borrow_mut().push(v);
         }
     }
 }
@@ -221,7 +228,7 @@ mod tests {
     #[test]
     fn sparse_ctx_records_winners_once() {
         let pri = atomic_vec(4, 100);
-        let out = SharedFrontier::new(8);
+        let out = RefCell::new(Vec::new());
         let stamps = RoundStamps::new(4);
         let ctx = SparseCtx {
             priorities: &pri,
@@ -233,8 +240,8 @@ mod tests {
         ctx.update_min(1, 50);
         ctx.update_min(1, 40); // improves again, but already recorded
         ctx.update_min(2, 200); // loses
-        assert_eq!(out.to_vec(), vec![1]);
         assert_eq!(ctx.get(1), 40);
+        assert_eq!(out.into_inner(), vec![1]);
     }
 
     #[test]

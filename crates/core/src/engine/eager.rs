@@ -71,6 +71,9 @@ pub(crate) fn run_eager<U: OrderedUdf>(
 
     pool.broadcast(|w| {
         let bins = RefCell::new(LocalBins::new());
+        // Fusion drain scratch: ping-pongs storage with the current bin so
+        // fused iterations allocate nothing (see `LocalBins::swap_bin`).
+        let mut fuse_scratch: Vec<VertexId> = Vec::new();
         let mut local_relax: u64 = 0;
         let mut local_fused: u64 = 0;
 
@@ -123,9 +126,9 @@ pub(crate) fn run_eager<U: OrderedUdf>(
             let next = next_bucket.load(Ordering::Acquire);
 
             // --- Copy local bins for `next` into the global frontier
-            //     (redistributes work across threads, §3.2). ---
-            let mine = bins.borrow_mut().take(next);
-            frontier.append(&mine);
+            //     (redistributes work across threads, §3.2); the bin keeps
+            //     its storage for the next round. ---
+            bins.borrow_mut().flush_into(next, &frontier);
             w.barrier();
             if w.tid() == 0 {
                 cursor.reset(frontier.len());
@@ -168,18 +171,21 @@ pub(crate) fn run_eager<U: OrderedUdf>(
             }
 
             // --- Bucket fusion: drain the current local bin in place while
-            //     it stays small (Figure 7 lines 14–21). ---
+            //     it stays small (Figure 7 lines 14–21). Draining swaps the
+            //     bin with the scratch vector, so new pushes land in warm
+            //     storage and no iteration allocates. ---
             if let Some(threshold) = fusion_threshold {
                 loop {
                     let len = bins.borrow().len_of(cur_bucket);
                     if len == 0 || len >= threshold {
                         break;
                     }
-                    let items = bins.borrow_mut().take(cur_bucket);
+                    bins.borrow_mut().swap_bin(cur_bucket, &mut fuse_scratch);
                     local_fused += 1;
-                    for v in items {
+                    for &v in &fuse_scratch {
                         process(v, &mut local_relax);
                     }
+                    fuse_scratch.clear();
                 }
             }
         }

@@ -12,6 +12,16 @@
 //! * **ConstantSum** — raw neighbor occurrences are buffered and reduced
 //!   with a histogram, then a transformed `(vertex, count)` UDF applies each
 //!   vertex's total once (Figure 10).
+//!
+//! # Zero-allocation rounds
+//!
+//! All per-round state lives in [`RoundBuffers`], allocated once per run and
+//! cleared (never dropped) between rounds: the frontier is refilled in place
+//! by [`LazyBucketQueue::next_bucket_into`], traversal output is recorded in
+//! per-worker update logs merged by scan compaction, and the DensePull
+//! membership bitmap is wiped by iterating the old frontier rather than
+//! reallocated. Steady-state rounds take no lock and perform no heap
+//! allocation anywhere on the frontier pipeline.
 
 use crate::engine::ctx::{DenseCtx, RoundStamps, SparseCtx};
 use crate::engine::StopFn;
@@ -19,13 +29,53 @@ use crate::schedule::{Direction, Parallelization, PriorityUpdateStrategy, Schedu
 use crate::stats::ExecStats;
 use crate::udf::OrderedUdf;
 use priograph_buckets::histogram::Histogram;
-use priograph_buckets::{LazyBucketQueue, PriorityMap, SharedFrontier};
+use priograph_buckets::{LazyBucketQueue, PriorityMap};
 use priograph_graph::{CsrGraph, VertexId};
-use priograph_parallel::Pool;
-use std::cell::Cell;
+use priograph_parallel::scan::compact_into;
+use priograph_parallel::shared::WorkerLocal;
+use priograph_parallel::{ChunkCursor, Pool};
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Rounds with fewer edge relaxations than this run inline on the calling
+/// thread: dispatching a parallel region (waking workers, joining them)
+/// costs far more than relaxing a few thousand edges serially. Road-style
+/// graphs hit this constantly — hundreds of rounds whose frontiers hold a
+/// few hundred vertices each — and per-round dispatch is exactly the
+/// synchronization constant factor the paper's design minimizes.
+const SERIAL_ROUND_CUTOFF: u64 = 4096;
+
+/// Reusable per-round buffers of the lazy engine (see module docs).
+struct RoundBuffers {
+    /// The current bucket's ready set, refilled in place each round.
+    frontier: Vec<VertexId>,
+    /// Per-worker traversal output logs (SparsePush winners, ConstantSum
+    /// raw occurrences).
+    log: WorkerLocal<Vec<VertexId>>,
+    /// Merged round output handed to `bulk_update`.
+    updated: Vec<VertexId>,
+    /// DensePull frontier-membership bitmap (lazily sized, wiped per round).
+    dense: Vec<bool>,
+    /// ConstantSum scratch: raw occurrences and the histogram's per-worker
+    /// claim buffers.
+    raw_items: Vec<VertexId>,
+    hist_locals: WorkerLocal<Vec<VertexId>>,
+}
+
+impl RoundBuffers {
+    fn new(pool: &Pool) -> Self {
+        RoundBuffers {
+            frontier: Vec::new(),
+            log: WorkerLocal::new(pool.num_threads()),
+            updated: Vec::new(),
+            dense: Vec::new(),
+            raw_items: Vec::new(),
+            hist_locals: WorkerLocal::new(pool.num_threads()),
+        }
+    }
+}
 
 /// Runs the bulk-synchronous lazy engine to completion.
 #[allow(clippy::too_many_arguments)]
@@ -46,26 +96,19 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
     queue.insert_initial(seeds);
 
     let stamps = RoundStamps::new(n);
-    let out = SharedFrontier::new(n + 1);
+    let mut buffers = RoundBuffers::new(pool);
     let constant_sum = if schedule.priority_update == PriorityUpdateStrategy::LazyConstantSum {
         udf.constant_sum()
     } else {
         None
     };
-    let (hist, raw) = if constant_sum.is_some() {
-        (
-            Some(Histogram::new(n)),
-            Some(SharedFrontier::new(graph.num_edges() + 1)),
-        )
-    } else {
-        (None, None)
-    };
+    let hist = constant_sum.map(|_| Histogram::new(n));
 
     let grain = schedule.grain();
     let mut round: u64 = 0;
     let mut last_bucket = i64::MIN;
 
-    while let Some((bucket, frontier)) = queue.next_bucket(pool) {
+    while let Some(bucket) = queue.next_bucket_into(pool, &mut buffers.frontier) {
         let cur_priority = map.priority_of_bucket(bucket);
         if let Some(stop) = stop {
             let view = crate::engine::StopView::new(&priorities);
@@ -80,35 +123,37 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
             last_bucket = bucket;
         }
 
-        let updated: Vec<VertexId> = if let Some(c) = constant_sum {
-            stats.relaxations += graph.out_degree_sum(&frontier);
+        if let Some(c) = constant_sum {
+            let work = graph.out_degree_sum(&buffers.frontier);
+            stats.relaxations += work;
             round_constant_sum(
                 pool,
                 graph,
                 &priorities,
                 cur_priority,
                 c,
-                &frontier,
-                raw.as_ref().expect("raw buffer allocated"),
+                &mut buffers,
                 hist.as_ref().expect("histogram allocated"),
                 grain,
-            )
+                work,
+            );
         } else {
             match schedule.direction {
                 Direction::SparsePush => {
-                    stats.relaxations += graph.out_degree_sum(&frontier);
+                    let work = graph.out_degree_sum(&buffers.frontier);
+                    stats.relaxations += work;
                     round_sparse_push(
                         pool,
                         graph,
                         &priorities,
                         cur_priority,
-                        &frontier,
-                        &out,
+                        &mut buffers,
                         &stamps,
                         round,
                         schedule,
                         udf,
-                    )
+                        work,
+                    );
                 }
                 Direction::DensePull => {
                     stats.relaxations += graph.num_edges() as u64;
@@ -117,16 +162,15 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
                         graph,
                         &priorities,
                         cur_priority,
-                        &frontier,
-                        &out,
+                        &mut buffers,
                         grain,
                         udf,
-                    )
+                    );
                 }
             }
-        };
+        }
 
-        queue.bulk_update(pool, &updated);
+        queue.bulk_update(pool, &buffers.updated);
     }
 
     stats.bucket_inserts = queue.total_inserts();
@@ -134,77 +178,138 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
     stats
 }
 
-/// One SparsePush round: Figure 9(a) lines 13–27.
+/// One SparsePush round: Figure 9(a) lines 13–27, with the paper's
+/// `syncAppend` realized as per-worker logs plus scan compaction — winners
+/// are recorded with plain pushes (the stamp CAS already deduplicates
+/// globally) and merged into `buffers.updated` without locks.
 #[allow(clippy::too_many_arguments)]
 fn round_sparse_push<U: OrderedUdf>(
     pool: &Pool,
     graph: &CsrGraph,
     priorities: &[AtomicI64],
     cur_priority: i64,
-    frontier: &[VertexId],
-    out: &SharedFrontier,
+    buffers: &mut RoundBuffers,
     stamps: &RoundStamps,
     round: u64,
     schedule: &Schedule,
     udf: &U,
-) -> Vec<VertexId> {
-    out.reset();
-    let ctx = SparseCtx {
-        priorities,
-        cur_priority,
-        out,
-        stamps,
-        round,
-    };
-    let body = |i: usize| {
+    work: u64,
+) {
+    let frontier = &buffers.frontier;
+    let traverse = |ctx: &SparseCtx<'_>, i: usize| {
         let src = frontier[i];
         for e in graph.out_edges(src) {
-            udf.apply(src, e.dst, e.weight, &ctx);
+            udf.apply(src, e.dst, e.weight, ctx);
         }
     };
-    match schedule.parallelization {
-        Parallelization::DynamicVertex { grain } => {
-            pool.parallel_for(0..frontier.len(), grain, body)
+    let grain = match schedule.parallelization {
+        Parallelization::DynamicVertex { grain } => grain.max(1),
+        Parallelization::StaticVertex => 1,
+    };
+    // Small rounds run inline: recording straight into the output beats
+    // waking the pool for a few thousand edge relaxations.
+    if pool.num_threads() == 1
+        || priograph_parallel::in_worker()
+        || work < SERIAL_ROUND_CUTOFF
+        || frontier.len() <= grain
+    {
+        let out = &mut buffers.updated;
+        out.clear();
+        let local = RefCell::new(std::mem::take(out));
+        let ctx = SparseCtx {
+            priorities,
+            cur_priority,
+            out: &local,
+            stamps,
+            round,
+        };
+        for i in 0..frontier.len() {
+            traverse(&ctx, i);
         }
-        Parallelization::StaticVertex => pool.parallel_for_static(0..frontier.len(), body),
+        *out = local.into_inner();
+        return;
     }
-    out.to_vec()
+    buffers.log.ensure(pool.num_threads());
+    let log = &buffers.log;
+    let cursor = ChunkCursor::new(frontier.len(), grain);
+    let run_worker = |w: &priograph_parallel::Worker<'_>, buf: &mut Vec<VertexId>| {
+        let local = RefCell::new(std::mem::take(buf));
+        let ctx = SparseCtx {
+            priorities,
+            cur_priority,
+            out: &local,
+            stamps,
+            round,
+        };
+        match schedule.parallelization {
+            Parallelization::DynamicVertex { .. } => {
+                while let Some(chunk) = cursor.next_chunk() {
+                    for i in chunk {
+                        traverse(&ctx, i);
+                    }
+                }
+            }
+            Parallelization::StaticVertex => {
+                for i in w.static_range(frontier.len()) {
+                    traverse(&ctx, i);
+                }
+            }
+        }
+        *buf = local.into_inner();
+    };
+    pool.broadcast(|w| log.with_mut(w.tid(), |buf| run_worker(&w, buf)));
+    compact_into(pool, &mut buffers.log, &mut buffers.updated);
 }
 
-/// One DensePull round: Figure 9(b) lines 12–24.
-#[allow(clippy::too_many_arguments)]
+/// One DensePull round: Figure 9(b) lines 12–24. The membership bitmap is
+/// engine-owned — wiped by iterating the frontier (O(frontier), not O(n))
+/// instead of reallocated.
 fn round_dense_pull<U: OrderedUdf>(
     pool: &Pool,
     graph: &CsrGraph,
     priorities: &[AtomicI64],
     cur_priority: i64,
-    frontier: &[VertexId],
-    out: &SharedFrontier,
+    buffers: &mut RoundBuffers,
     grain: usize,
     udf: &U,
-) -> Vec<VertexId> {
+) {
     let n = graph.num_vertices();
-    let mut dense = vec![false; n];
+    buffers.dense.resize(n, false);
+    let frontier = &buffers.frontier;
     for &v in frontier {
-        dense[v as usize] = true;
+        buffers.dense[v as usize] = true;
     }
-    out.reset();
-    pool.parallel_for(0..n, grain, |d| {
-        let ctx = DenseCtx {
-            priorities,
-            cur_priority,
-            changed: Cell::new(false),
-        };
-        for e in graph.in_edges(d as VertexId) {
-            if dense[e.dst as usize] {
-                udf.apply(e.dst, d as VertexId, e.weight, &ctx);
-            }
-        }
-        if ctx.changed.get() {
-            out.push(d as VertexId);
-        }
-    });
-    out.to_vec()
+    buffers.log.ensure(pool.num_threads());
+    {
+        let dense = &buffers.dense;
+        let log = &buffers.log;
+        let cursor = ChunkCursor::new(n, grain.max(1));
+        pool.broadcast(|w| {
+            log.with_mut(w.tid(), |buf| {
+                while let Some(chunk) = cursor.next_chunk() {
+                    for d in chunk {
+                        let ctx = DenseCtx {
+                            priorities,
+                            cur_priority,
+                            changed: Cell::new(false),
+                        };
+                        for e in graph.in_edges(d as VertexId) {
+                            if dense[e.dst as usize] {
+                                udf.apply(e.dst, d as VertexId, e.weight, &ctx);
+                            }
+                        }
+                        if ctx.changed.get() {
+                            buf.push(d as VertexId);
+                        }
+                    }
+                }
+            });
+        });
+    }
+    compact_into(pool, &mut buffers.log, &mut buffers.updated);
+    for &v in &buffers.frontier {
+        buffers.dense[v as usize] = false;
+    }
 }
 
 /// One constant-sum round: buffer raw occurrences, histogram-reduce, then
@@ -216,33 +321,56 @@ fn round_constant_sum(
     priorities: &[AtomicI64],
     cur_priority: i64,
     c: i64,
-    frontier: &[VertexId],
-    raw: &SharedFrontier,
+    buffers: &mut RoundBuffers,
     hist: &Histogram,
     grain: usize,
-) -> Vec<VertexId> {
-    raw.reset();
+    work: u64,
+) {
     // Phase 1: collect raw neighbor occurrences of not-yet-finalized
-    // vertices (no atomics on priorities, no per-update dedup).
-    let cursor = priograph_parallel::ChunkCursor::new(frontier.len(), grain.max(1));
-    pool.broadcast(|_w| {
-        let mut local: Vec<VertexId> = Vec::new();
-        while let Some(chunk) = cursor.next_chunk() {
-            for i in chunk {
-                let src = frontier[i];
-                for e in graph.out_edges(src) {
-                    if priorities[e.dst as usize].load(Ordering::Relaxed) > cur_priority {
-                        local.push(e.dst);
-                    }
+    // vertices (no atomics on priorities, no per-update dedup) into the
+    // per-worker logs; small rounds fill the merged buffer inline.
+    if pool.num_threads() == 1 || priograph_parallel::in_worker() || work < SERIAL_ROUND_CUTOFF {
+        buffers.raw_items.clear();
+        for &src in &buffers.frontier {
+            for e in graph.out_edges(src) {
+                if priorities[e.dst as usize].load(Ordering::Relaxed) > cur_priority {
+                    buffers.raw_items.push(e.dst);
                 }
             }
         }
-        raw.append(&local);
-    });
-    let raw_items = raw.to_vec();
+    } else {
+        buffers.log.ensure(pool.num_threads());
+        {
+            let frontier = &buffers.frontier;
+            let log = &buffers.log;
+            let cursor = ChunkCursor::new(frontier.len(), grain.max(1));
+            pool.broadcast(|w| {
+                log.with_mut(w.tid(), |buf| {
+                    while let Some(chunk) = cursor.next_chunk() {
+                        for i in chunk {
+                            let src = frontier[i];
+                            for e in graph.out_edges(src) {
+                                if priorities[e.dst as usize].load(Ordering::Relaxed) > cur_priority
+                                {
+                                    buf.push(e.dst);
+                                }
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        compact_into(pool, &mut buffers.log, &mut buffers.raw_items);
+    }
 
     // Phase 2: histogram reduction — one bucket update per distinct vertex.
-    let distinct = hist.accumulate(pool, &raw_items);
+    hist.accumulate_into(
+        pool,
+        &buffers.raw_items,
+        &mut buffers.hist_locals,
+        &mut buffers.updated,
+    );
+    let distinct = &buffers.updated;
 
     // Phase 3: transformed UDF (Figure 10 bottom): one non-atomic write per
     // vertex, clamped at the current core value.
@@ -255,8 +383,7 @@ fn round_constant_sum(
             priorities[v].store(new_priority, Ordering::Relaxed);
         }
     });
-    hist.clear(pool, &distinct);
-    distinct
+    hist.clear(pool, distinct);
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ pub struct PriorityQueue<'g> {
     map: PriorityMap,
     /// Buffered updates since the last dequeue.
     pending: SharedFrontier,
+    /// Reusable flush scratch (cleared, never dropped, between flushes).
+    pending_buf: Vec<VertexId>,
     stamps: crate::engine::ctx::RoundStamps,
     round: AtomicU64,
     /// Bucket returned by the most recent dequeue.
@@ -89,6 +91,7 @@ impl<'g> PriorityQueue<'g> {
             queue,
             map,
             pending: SharedFrontier::new(n + 1),
+            pending_buf: Vec::new(),
             stamps: crate::engine::ctx::RoundStamps::new(n),
             round: AtomicU64::new(0),
             current: None,
@@ -220,10 +223,12 @@ impl<'g> PriorityQueue<'g> {
         if self.pending.is_empty() {
             return;
         }
-        let updated = self.pending.to_vec();
+        let mut updated = std::mem::take(&mut self.pending_buf);
+        self.pending.copy_into(&mut updated);
         self.pending.reset();
         self.round.fetch_add(1, Ordering::Relaxed);
         self.queue.bulk_update(pool, &updated);
+        self.pending_buf = updated;
         // A buffered update may have re-filled an earlier bucket than the
         // cached lookahead; invalidate it.
         if let Some((bucket, vertices)) = self.lookahead.take() {

@@ -21,11 +21,17 @@
 //!   in the spirit of `schedule(dynamic, grain)` / `schedule(static)`.
 //! * [`ChunkCursor`] — the dynamic-chunk iterator used *inside* broadcast
 //!   regions (the eager engine resets one per round).
-//! * [`scan`] — parallel exclusive prefix sums (used by the lazy engine to
-//!   build output frontiers without atomics, paper §3.1).
+//! * [`scan`] — parallel exclusive prefix sums and the scan-based frontier
+//!   compaction primitives ([`scan::compact_into`],
+//!   [`scan::filter_map_compact_into`]) that merge per-worker buffers into
+//!   reusable output vectors without atomics, locks, or steady-state
+//!   allocation (paper §3.1's "`syncAppend` ... or with a prefix sum").
 //! * [`atomics`] — `atomicWriteMin`-style helpers over `AtomicI64` slices.
-//! * [`shared`] — an unsafe-but-audited shared-slice cell for writes to
-//!   provably disjoint indices (prefix-sum-assigned output slots).
+//! * [`shared`] — unsafe-but-audited disjoint-write storage: shared-slice
+//!   cells ([`shared::DisjointSlice`], [`shared::SliceWriter`]) and the
+//!   per-worker slot array ([`shared::WorkerLocal`]) behind the
+//!   zero-allocation frontier pipeline (see that module's docs for the
+//!   fill/merge/reset round protocol).
 //!
 //! # Example
 //!

@@ -1,14 +1,29 @@
-//! Parallel exclusive prefix sums.
+//! Parallel exclusive prefix sums and scan-based frontier compaction.
 //!
 //! The lazy bucket engine uses prefix sums twice per round: to compute
 //! per-source output offsets in the edge buffer and to compact the valid
 //! entries of the buffer into the next frontier (paper §3.1's
 //! "`syncAppend` ... or with a prefix sum to avoid atomics").
+//!
+//! [`compact_into`] and [`filter_map_compact_into`] are the allocation-free
+//! round primitives built on that idea: per-worker buffers
+//! ([`WorkerLocal`]) are merged into one reusable output vector by giving
+//! each worker the prefix sum of the preceding workers' buffer lengths as
+//! its disjoint destination offset. With at most a few dozen workers the
+//! exclusive scan over buffer lengths is evaluated per worker (each sums
+//! its predecessors) instead of in the two-pass block form — same result,
+//! no scratch array. Steady-state rounds touch no locks and allocate
+//! nothing once the reused buffers have warmed up.
 
 use crate::pool::Pool;
+use crate::shared::{SliceWriter, WorkerLocal};
 
 /// Block size for the two-pass parallel scan.
 const SCAN_BLOCK: usize = 2048;
+
+/// Below this many items the compaction helpers run serially: one thread's
+/// `memcpy` beats waking the pool.
+const COMPACT_PAR_CUTOFF: usize = 4096;
 
 /// Computes the exclusive prefix sum of `values` in place and returns the
 /// total sum.
@@ -98,6 +113,123 @@ pub fn exclusive_offsets(pool: &Pool, counts: &[u64]) -> (Vec<u64>, u64) {
     (offsets, total)
 }
 
+/// Merges per-worker buffers into `out` (cleared first) and empties every
+/// buffer, retaining all capacities — the zero-allocation merge step of the
+/// frontier pipeline.
+///
+/// Each worker's destination offset is the exclusive prefix sum of the
+/// preceding workers' buffer lengths, so the copies land disjointly and
+/// `out` holds slot 0's items, then slot 1's, and so on (deterministic for
+/// a fixed fill). Small totals (or single-thread pools, or calls from
+/// inside a region) merge serially. Returns the number of items merged.
+pub fn compact_into<T>(pool: &Pool, locals: &mut WorkerLocal<Vec<T>>, out: &mut Vec<T>) -> usize
+where
+    T: Copy + Send + Sync,
+{
+    out.clear();
+    let total: usize = (0..locals.len()).map(|t| locals.get_mut(t).len()).sum();
+    out.reserve(total);
+    // The parallel path requires exactly one slot per region participant:
+    // with fewer slots a worker would index out of bounds, and with MORE
+    // slots than workers the extra slots would be counted in `total` but
+    // never copied — set_len over uninitialized memory. Everything else
+    // merges serially.
+    if pool.num_threads() == 1
+        || crate::pool::in_worker()
+        || total < COMPACT_PAR_CUTOFF
+        || locals.len() != pool.num_threads()
+    {
+        for buf in locals.iter_mut() {
+            out.extend_from_slice(buf);
+            buf.clear();
+        }
+        return total;
+    }
+    {
+        let writer = SliceWriter::spare(out);
+        let locals = &*locals;
+        pool.broadcast(|w| {
+            let tid = w.tid();
+            // Exclusive prefix sum of the preceding buffers' lengths. All
+            // fills completed before the region started, so peeks are safe.
+            let offset: usize = (0..tid).map(|t| locals.peek(t).len()).sum();
+            writer.write_copy(offset, locals.peek(tid));
+        });
+    }
+    // SAFETY: every index in 0..total was written by exactly one worker
+    // (offsets tile the range by construction).
+    unsafe { out.set_len(total) };
+    for buf in locals.iter_mut() {
+        buf.clear();
+    }
+    total
+}
+
+/// Applies `f` to every item, compacting the `Some` results into `out`
+/// (cleared first) in item order — the fused classify-and-merge step of the
+/// frontier pipeline.
+///
+/// The parallel path statically partitions `items`, fills each worker's
+/// buffer, crosses one barrier, and copies every buffer to its
+/// prefix-sum-assigned range of `out` — one region, no locks, and no
+/// allocation once `locals` and `out` have warmed up. Output order matches
+/// the serial `items.iter().filter_map(f)` order because static ranges are
+/// contiguous and ascending in worker id. Returns the number of items kept.
+pub fn filter_map_compact_into<T, U, F>(
+    pool: &Pool,
+    items: &[T],
+    f: F,
+    locals: &mut WorkerLocal<Vec<U>>,
+    out: &mut Vec<U>,
+) -> usize
+where
+    T: Sync,
+    U: Copy + Send + Sync,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    out.clear();
+    // Slot count must equal the region's participant count — see the
+    // matching guard in `compact_into` for why a mismatch in either
+    // direction is unsound here.
+    if pool.num_threads() == 1
+        || crate::pool::in_worker()
+        || items.len() < COMPACT_PAR_CUTOFF
+        || locals.len() != pool.num_threads()
+    {
+        out.extend(items.iter().filter_map(f));
+        return out.len();
+    }
+    out.reserve(items.len());
+    {
+        let writer = SliceWriter::spare(out);
+        let locals = &*locals;
+        pool.broadcast(|w| {
+            let tid = w.tid();
+            locals.with_mut(tid, |buf| {
+                debug_assert!(buf.is_empty(), "pipeline buffers start rounds empty");
+                for item in &items[w.static_range(items.len())] {
+                    if let Some(u) = f(item) {
+                        buf.push(u);
+                    }
+                }
+            });
+            // Fills are complete for every worker past this barrier, making
+            // the cross-slot length peeks below race-free.
+            w.barrier();
+            let offset: usize = (0..tid).map(|t| locals.peek(t).len()).sum();
+            writer.write_copy(offset, locals.peek(tid));
+        });
+    }
+    let total: usize = (0..locals.len()).map(|t| locals.get_mut(t).len()).sum();
+    // SAFETY: every index in 0..total was written by exactly one worker
+    // (offsets tile the range by construction).
+    unsafe { out.set_len(total) };
+    for buf in locals.iter_mut() {
+        buf.clear();
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +269,107 @@ mod tests {
         assert_eq!(counts, vec![5, 5, 5]);
         assert_eq!(offsets, vec![0, 5, 10]);
         assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn compact_into_merges_in_slot_order() {
+        let pool = Pool::new(2);
+        let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::new(3);
+        locals.get_mut(0).extend([1, 2]);
+        locals.get_mut(2).extend([5]);
+        let mut out = Vec::new();
+        assert_eq!(compact_into(&pool, &mut locals, &mut out), 3);
+        assert_eq!(out, vec![1, 2, 5]);
+        assert!(locals.iter_mut().all(|b| b.is_empty()), "buffers cleared");
+    }
+
+    #[test]
+    fn compact_into_empty_frontier_and_single_thread_pool() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::new(threads);
+            let mut out = vec![9, 9, 9];
+            assert_eq!(compact_into(&pool, &mut locals, &mut out), 0);
+            assert!(out.is_empty(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compact_into_parallel_path_reuses_capacity() {
+        let pool = Pool::new(4);
+        let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::new(4);
+        let mut out = Vec::new();
+        let per_slot = 4096; // 4 slots × 4096 clears the parallel cutoff
+        let mut expected = Vec::new();
+        for t in 0..4 {
+            let items: Vec<u32> = (0..per_slot).map(|i| (t * per_slot + i) as u32).collect();
+            expected.extend_from_slice(&items);
+            locals.get_mut(t).extend(items);
+        }
+        assert_eq!(compact_into(&pool, &mut locals, &mut out), 4 * per_slot);
+        assert_eq!(out, expected);
+        // Second round into the warmed buffer must not reallocate.
+        let ptr = out.as_ptr();
+        for t in 0..4 {
+            locals.get_mut(t).extend((0..per_slot).map(|i| i as u32));
+        }
+        compact_into(&pool, &mut locals, &mut out);
+        assert_eq!(out.as_ptr(), ptr, "warm merge must reuse the output buffer");
+    }
+
+    #[test]
+    fn filter_map_compact_matches_serial_filter_map() {
+        let items: Vec<u32> = (0..20_000).collect();
+        let keep = |v: &u32| v.is_multiple_of(3).then_some(*v * 2);
+        let expected: Vec<u32> = items.iter().filter_map(keep).collect();
+        for threads in [1, 3, 4] {
+            let pool = Pool::new(threads);
+            let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::new(threads);
+            let mut out = Vec::new();
+            let n = filter_map_compact_into(&pool, &items, keep, &mut locals, &mut out);
+            assert_eq!(n, expected.len(), "threads={threads}");
+            assert_eq!(out, expected, "threads={threads}");
+            assert!(locals.iter_mut().all(|b| b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn filter_map_compact_empty_input() {
+        let pool = Pool::new(2);
+        let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::new(2);
+        let mut out = vec![7];
+        let n = filter_map_compact_into(&pool, &[], |v: &u32| Some(*v), &mut locals, &mut out);
+        assert_eq!(n, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_map_compact_with_undersized_locals_falls_back_serial() {
+        let pool = Pool::new(4);
+        let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::new(2); // < threads
+        let items: Vec<u32> = (0..10_000).collect();
+        let mut out = Vec::new();
+        filter_map_compact_into(&pool, &items, |v| Some(*v), &mut locals, &mut out);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn compact_with_oversized_locals_loses_nothing() {
+        // More slots than pool workers (e.g. buffers warmed by a wider pool,
+        // then reused with a narrower one): every slot's items must still be
+        // merged — the parallel path would only copy the first
+        // `num_threads` slots, so this must take the serial fallback.
+        let pool = Pool::new(2);
+        let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::new(6);
+        let mut expected = Vec::new();
+        for t in 0..6 {
+            let items: Vec<u32> = (0..2048).map(|i| (t * 2048 + i) as u32).collect();
+            expected.extend_from_slice(&items);
+            locals.get_mut(t).extend(items);
+        }
+        let mut out = Vec::new();
+        assert_eq!(compact_into(&pool, &mut locals, &mut out), expected.len());
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -1,14 +1,39 @@
-//! Shared mutable slices for writes to provably disjoint indices.
+//! Shared mutable storage for writes to provably disjoint locations.
 //!
 //! The lazy engine allocates an output-edge buffer and uses a prefix sum over
 //! frontier out-degrees to assign each source vertex a private sub-range of
 //! the buffer (paper Figure 9(a), `setupOutputBufferOffsets`). Threads then
 //! write concurrently into their disjoint sub-ranges without synchronization.
 //! Rust's borrow rules cannot see that disjointness, so this module provides
-//! a minimal, audited escape hatch.
+//! minimal, audited escape hatches:
+//!
+//! * [`DisjointSlice`] — element-granularity disjoint writes;
+//! * [`SliceWriter`] — range-granularity `memcpy` writes into a borrowed
+//!   slice (the copy-out step of scan compaction);
+//! * [`WorkerLocal`] — one cache-padded slot per pool worker, the backbone
+//!   of the zero-allocation frontier pipeline: workers fill their own slot
+//!   during a region (no locks, no false sharing), and the merge phase
+//!   reads all slots after a barrier (see [`crate::scan::compact_into`]).
+//!
+//! # The worker-local round protocol
+//!
+//! Every round of a bucket engine follows the same shape:
+//!
+//! 1. **fill** — inside a [`crate::Pool::broadcast`] region, worker `tid`
+//!    mutates only slot `tid` (via [`WorkerLocal::with_mut`]);
+//! 2. **merge** — after a barrier (or after the region ends), slots are
+//!    read-only ([`WorkerLocal::peek`]) and their contents are copied to
+//!    prefix-sum-assigned ranges of the output;
+//! 3. **reset** — slot vectors are cleared (capacity retained) so the next
+//!    round allocates nothing.
+//!
+//! The phases never overlap, which is exactly the aliasing discipline the
+//! safety contracts below demand.
 
+use crossbeam::utils::CachePadded;
 use std::cell::UnsafeCell;
 use std::fmt;
+use std::marker::PhantomData;
 
 /// A slice whose elements may be written concurrently at *disjoint* indices.
 ///
@@ -112,6 +137,274 @@ impl<T> DisjointSlice<T> {
     }
 }
 
+impl<T: Copy> DisjointSlice<T> {
+    /// Copies `src` into `[offset, offset + src.len())` with one `memcpy`.
+    ///
+    /// # Safety contract
+    ///
+    /// As for [`DisjointSlice::write`], applied to the whole range: no other
+    /// thread may read or write any index of the range concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the slice.
+    #[inline]
+    pub fn write_slice(&self, offset: usize, src: &[T]) {
+        assert!(
+            offset
+                .checked_add(src.len())
+                .is_some_and(|e| e <= self.cells.len()),
+            "range {offset}..{} out of bounds for DisjointSlice of len {}",
+            offset + src.len(),
+            self.cells.len()
+        );
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, the bounds were
+        // checked above, and the access contract rules out concurrent use of
+        // the range.
+        unsafe {
+            let dst = self.cells.as_ptr().add(offset) as *mut T;
+            std::ptr::copy_nonoverlapping(src.as_ptr(), dst, src.len());
+        }
+    }
+
+    /// Appends `[start, start + len)` to `out` with one `memcpy`, reusing
+    /// `out`'s capacity.
+    ///
+    /// # Safety contract
+    ///
+    /// No thread may be writing any index of the range concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the slice.
+    pub fn copy_range_into(&self, start: usize, len: usize, out: &mut Vec<T>) {
+        assert!(
+            start
+                .checked_add(len)
+                .is_some_and(|e| e <= self.cells.len()),
+            "range {start}..{} out of bounds for DisjointSlice of len {}",
+            start + len,
+            self.cells.len()
+        );
+        out.reserve(len);
+        // SAFETY: bounds checked; the reserve guarantees spare capacity; the
+        // access contract rules out concurrent writers of the source range.
+        unsafe {
+            let src = self.cells.as_ptr().add(start) as *const T;
+            let dst = out.as_mut_ptr().add(out.len());
+            std::ptr::copy_nonoverlapping(src, dst, len);
+            out.set_len(out.len() + len);
+        }
+    }
+}
+
+/// A borrowed slice whose disjoint sub-ranges may be written from several
+/// threads with `memcpy`-granularity stores.
+///
+/// Where [`DisjointSlice`] owns its storage and writes element-by-element,
+/// `SliceWriter` borrows existing storage (typically a `Vec`'s spare
+/// capacity during scan compaction) and copies whole ranges. The safety
+/// obligation is the same: no two threads may touch overlapping ranges, and
+/// reads must not race writes.
+pub struct SliceWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the access discipline (disjoint ranges across threads) is
+// documented on every write method; `T: Send` suffices because values only
+// cross threads as whole elements.
+unsafe impl<T: Send> Send for SliceWriter<'_, T> {}
+unsafe impl<T: Send> Sync for SliceWriter<'_, T> {}
+
+impl<T: fmt::Debug> fmt::Debug for SliceWriter<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SliceWriter(len = {})", self.len)
+    }
+}
+
+impl<'a, T> SliceWriter<'a, T> {
+    /// Wraps an initialized slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SliceWriter {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wraps the spare capacity of `vec` (everything past `vec.len()`).
+    ///
+    /// The caller later commits written elements with `Vec::set_len`; until
+    /// then the memory is uninitialized, so only [`SliceWriter::write_copy`]
+    /// (which never reads the destination) may be used, and every committed
+    /// index must have been written.
+    pub fn spare(vec: &'a mut Vec<T>) -> Self {
+        let offset = vec.len();
+        let spare = vec.capacity() - offset;
+        SliceWriter {
+            // SAFETY: `offset <= capacity`, so the add stays in the
+            // allocation.
+            ptr: unsafe { vec.as_mut_ptr().add(offset) },
+            len: spare,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of writable elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing can be written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies `src` to `[offset, offset + src.len())`.
+    ///
+    /// # Safety contract (checked by callers, not the compiler)
+    ///
+    /// No other thread may access the destination range concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the writer's length.
+    #[inline]
+    pub fn write_copy(&self, offset: usize, src: &[T])
+    where
+        T: Copy,
+    {
+        assert!(
+            offset.checked_add(src.len()).is_some_and(|e| e <= self.len),
+            "range {offset}..{} out of bounds for SliceWriter of len {}",
+            offset + src.len(),
+            self.len
+        );
+        // SAFETY: bounds checked above; the access contract rules out
+        // concurrent use of the range; `T: Copy` means no drop obligations.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(offset), src.len());
+        }
+    }
+}
+
+/// One cache-padded slot per pool worker.
+///
+/// Workers address their own slot by thread id inside a broadcast region
+/// ([`WorkerLocal::with_mut`]); merge phases read every slot after the
+/// region (or after a barrier) with [`WorkerLocal::peek`]. Constructed
+/// empty-able and grown with [`WorkerLocal::ensure`] so long-lived owners
+/// (bucket queues, engines) adapt to whatever pool they are handed without
+/// reallocating in the steady state.
+pub struct WorkerLocal<T> {
+    /// Each slot is [`CachePadded`] so per-worker hot buffers never
+    /// false-share.
+    slots: Box<[CachePadded<UnsafeCell<T>>]>,
+}
+
+// SAFETY: slot access follows the fill/merge/reset protocol documented on
+// the module: a slot is mutated only by its owning worker (`with_mut`,
+// requiring `T: Send` to move the access across threads), and shared reads
+// (`peek`, requiring `T: Sync`) only happen in phases with no mutation.
+unsafe impl<T: Send> Send for WorkerLocal<T> {}
+unsafe impl<T: Send + Sync> Sync for WorkerLocal<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for WorkerLocal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WorkerLocal(workers = {})", self.slots.len())
+    }
+}
+
+impl<T: Default> Default for WorkerLocal<T> {
+    fn default() -> Self {
+        WorkerLocal::new(0)
+    }
+}
+
+impl<T: Default> WorkerLocal<T> {
+    /// Creates one default-initialized slot per worker.
+    pub fn new(workers: usize) -> Self {
+        WorkerLocal {
+            slots: (0..workers)
+                .map(|_| CachePadded::new(UnsafeCell::new(T::default())))
+                .collect(),
+        }
+    }
+
+    /// Grows to at least `workers` slots, preserving existing contents.
+    /// No-op (and no allocation) when already large enough — call freely
+    /// once per round.
+    pub fn ensure(&mut self, workers: usize) {
+        if self.slots.len() >= workers {
+            return;
+        }
+        let mut slots: Vec<CachePadded<UnsafeCell<T>>> = std::mem::take(&mut self.slots).into_vec();
+        slots.resize_with(workers, || CachePadded::new(UnsafeCell::new(T::default())));
+        self.slots = slots.into_boxed_slice();
+    }
+}
+
+impl<T> WorkerLocal<T> {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs `f` with exclusive access to slot `tid`.
+    ///
+    /// # Safety contract (checked by callers, not the compiler)
+    ///
+    /// Only the worker owning `tid` may call this while a region is active,
+    /// no [`WorkerLocal::peek`] of the slot may overlap it, and `f` must not
+    /// re-enter `with_mut` for the same slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of bounds.
+    #[inline]
+    pub fn with_mut<R>(&self, tid: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let cell: &UnsafeCell<T> = &self.slots[tid];
+        // SAFETY: per the access contract the owning worker has exclusive
+        // access to this slot for the duration of the call.
+        f(unsafe { &mut *cell.get() })
+    }
+
+    /// Shared read of slot `tid`.
+    ///
+    /// # Safety contract
+    ///
+    /// No thread may hold a [`WorkerLocal::with_mut`] borrow of the same
+    /// slot concurrently (merge phases run after a barrier, so fills are
+    /// complete).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of bounds.
+    #[inline]
+    pub fn peek(&self, tid: usize) -> &T {
+        let cell: &UnsafeCell<T> = &self.slots[tid];
+        // SAFETY: per the access contract no mutable borrow is live.
+        unsafe { &*cell.get() }
+    }
+
+    /// Exclusive access to slot `tid` (no concurrent access possible).
+    pub fn get_mut(&mut self, tid: usize) -> &mut T {
+        self.slots[tid].get_mut()
+    }
+
+    /// Iterates over all slots exclusively (for merge/reset phases).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|slot| slot.get_mut())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +447,97 @@ mod tests {
         let empty = DisjointSlice::from_vec(Vec::<u8>::new());
         assert!(empty.is_empty());
         assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn write_slice_and_copy_range_round_trip() {
+        let slice = DisjointSlice::new(8, 0u32);
+        slice.write_slice(2, &[7, 8, 9]);
+        let mut out = vec![100];
+        slice.copy_range_into(1, 5, &mut out);
+        assert_eq!(out, vec![100, 0, 7, 8, 9, 0]);
+        slice.write_slice(8, &[]); // empty write at the end is in bounds
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_slice_past_end_panics() {
+        DisjointSlice::new(2, 0u32).write_slice(1, &[1, 2]);
+    }
+
+    #[test]
+    fn slice_writer_parallel_disjoint_ranges() {
+        let mut data = vec![0u32; 100];
+        let writer = SliceWriter::new(&mut data);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let writer = &writer;
+                scope.spawn(move || {
+                    let src: Vec<u32> = (0..25).map(|i| (t * 25 + i) as u32).collect();
+                    writer.write_copy(t * 25, &src);
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn slice_writer_spare_commits_into_vec() {
+        let mut v: Vec<u32> = vec![1, 2];
+        v.reserve(4);
+        let writer = SliceWriter::spare(&mut v);
+        assert!(writer.len() >= 4);
+        assert!(!writer.is_empty());
+        writer.write_copy(0, &[3, 4]);
+        // SAFETY: indices 0..2 of the spare were written above.
+        unsafe { v.set_len(4) };
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_writer_overflow_panics() {
+        let mut data = vec![0u8; 2];
+        SliceWriter::new(&mut data).write_copy(1, &[1, 2]);
+    }
+
+    #[test]
+    fn worker_local_fill_then_merge() {
+        let locals: WorkerLocal<Vec<usize>> = WorkerLocal::new(4);
+        std::thread::scope(|scope| {
+            for tid in 0..4 {
+                let locals = &locals;
+                scope.spawn(move || {
+                    locals.with_mut(tid, |buf| buf.extend([tid, tid * 10]));
+                });
+            }
+        });
+        let mut merged: Vec<usize> = (0..4).flat_map(|t| locals.peek(t).clone()).collect();
+        merged.sort_unstable();
+        assert_eq!(merged, vec![0, 0, 1, 2, 3, 10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_local_ensure_preserves_and_grows() {
+        let mut locals: WorkerLocal<Vec<u32>> = WorkerLocal::default();
+        assert!(locals.is_empty());
+        locals.ensure(2);
+        locals.get_mut(1).push(42);
+        locals.ensure(1); // shrink request is a no-op
+        assert_eq!(locals.len(), 2);
+        locals.ensure(4);
+        assert_eq!(locals.len(), 4);
+        assert_eq!(locals.peek(1), &vec![42], "growth keeps slot contents");
+        assert!(locals.peek(3).is_empty());
+        let total: usize = locals.iter_mut().map(|b| b.len()).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn worker_local_slots_are_cache_padded() {
+        let locals: WorkerLocal<u64> = WorkerLocal::new(2);
+        let a = locals.peek(0) as *const u64 as usize;
+        let b = locals.peek(1) as *const u64 as usize;
+        assert!(b.abs_diff(a) >= 128, "slots must not share a cache line");
     }
 }

@@ -1,0 +1,124 @@
+//! Property tests for the zero-allocation frontier pipeline: across random
+//! graphs, thread counts, and Δ choices, the scan-compaction lazy and eager
+//! paths must produce distances identical to `serial::dijkstra`.
+//!
+//! Graph sizes are chosen so both pipeline regimes are exercised: small
+//! frontiers take the inline serial rounds, while the large-Δ R-MAT cases
+//! push whole-graph frontiers through the parallel per-worker-buffer merge
+//! (the `filter_map_compact_into` path with its 4096-item cutoff).
+
+use priograph::algorithms::serial::{dijkstra, kcore_serial};
+use priograph::algorithms::{kcore, sssp, wbfs};
+use priograph::core::schedule::Schedule;
+use priograph::graph::gen::GraphGen;
+use priograph::parallel::Pool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn lazy_sssp_matches_dijkstra_on_random_social_graphs(
+        seed in 0u64..1_000,
+        scale in 6u32..10,
+        edge_factor in 4u32..10,
+        threads in 1usize..=4,
+        delta_exp in 0u32..8,
+    ) {
+        let graph = GraphGen::rmat(scale, edge_factor)
+            .seed(seed)
+            .weights_uniform(1, 1000)
+            .build();
+        let reference = dijkstra(&graph, 0);
+        let pool = Pool::new(threads);
+        let lazy = sssp::delta_stepping_on(&pool, &graph, 0, &Schedule::lazy(1i64 << delta_exp))
+            .unwrap()
+            .dist;
+        prop_assert_eq!(lazy, reference);
+    }
+
+    #[test]
+    fn eager_sssp_matches_dijkstra_on_random_social_graphs(
+        seed in 0u64..1_000,
+        scale in 6u32..10,
+        edge_factor in 4u32..10,
+        threads in 1usize..=4,
+        delta_exp in 0u32..8,
+        fusion in proptest::bool::ANY,
+    ) {
+        let graph = GraphGen::rmat(scale, edge_factor)
+            .seed(seed)
+            .weights_uniform(1, 1000)
+            .build();
+        let reference = dijkstra(&graph, 0);
+        let pool = Pool::new(threads);
+        let schedule = if fusion {
+            Schedule::eager_with_fusion(1i64 << delta_exp)
+        } else {
+            Schedule::eager(1i64 << delta_exp)
+        };
+        let eager = sssp::delta_stepping_on(&pool, &graph, 0, &schedule)
+            .unwrap()
+            .dist;
+        prop_assert_eq!(eager, reference);
+    }
+
+    #[test]
+    fn both_engines_match_dijkstra_on_random_road_grids(
+        seed in 0u64..1_000,
+        side in 8usize..28,
+        threads in 1usize..=4,
+        delta_exp in 4u32..14,
+    ) {
+        let graph = GraphGen::road_grid(side, side).seed(seed).build();
+        let reference = dijkstra(&graph, 0);
+        let pool = Pool::new(threads);
+        let delta = 1i64 << delta_exp;
+        let lazy = sssp::delta_stepping_on(&pool, &graph, 0, &Schedule::lazy(delta))
+            .unwrap()
+            .dist;
+        prop_assert_eq!(&lazy, &reference);
+        let eager =
+            sssp::delta_stepping_on(&pool, &graph, 0, &Schedule::eager_with_fusion(delta))
+                .unwrap()
+                .dist;
+        prop_assert_eq!(&eager, &reference);
+    }
+
+    #[test]
+    fn parallel_compaction_regime_matches_dijkstra(
+        seed in 0u64..1_000,
+        threads in 2usize..=4,
+    ) {
+        // Scale-12 R-MAT with a huge Δ: the whole reachable set churns
+        // through one bucket, so round frontiers exceed the 4096-item
+        // parallel cutoff and every merge takes the per-worker-buffer path.
+        let graph = GraphGen::rmat(12, 8)
+            .seed(seed)
+            .weights_uniform(1, 100)
+            .build();
+        let reference = dijkstra(&graph, 0);
+        let pool = Pool::new(threads);
+        let lazy = sssp::delta_stepping_on(&pool, &graph, 0, &Schedule::lazy(1 << 20))
+            .unwrap()
+            .dist;
+        prop_assert_eq!(&lazy, &reference);
+        let wbfs_run = wbfs::wbfs_on(&pool, &graph, 0, &Schedule::lazy(1)).unwrap().dist;
+        prop_assert_eq!(&wbfs_run, &reference);
+    }
+
+    #[test]
+    fn kcore_constant_sum_matches_serial_across_threads(
+        seed in 0u64..1_000,
+        scale in 6u32..9,
+        threads in 1usize..=4,
+    ) {
+        let graph = GraphGen::rmat(scale, 6).seed(seed).build().symmetrize();
+        let reference = kcore_serial(&graph);
+        let pool = Pool::new(threads);
+        let coreness = kcore::kcore_on(&pool, &graph, &Schedule::lazy_constant_sum())
+            .unwrap()
+            .coreness;
+        prop_assert_eq!(coreness, reference);
+    }
+}

@@ -8,10 +8,21 @@
 //! prints `group/name  median  (samples)` to stdout. Enough to keep
 //! `cargo bench` meaningful offline; swap back to real criterion when the
 //! build has registry access.
+//!
+//! Two environment variables integrate `cargo bench` with the repo's
+//! perf-tracking harness (`priograph-bench`'s `record` module and
+//! `scripts/bench_compare`):
+//!
+//! * `BENCH_SAMPLE_SIZE` — overrides every benchmark's sample count (CI's
+//!   bench smoke job sets it to 2 so the binaries stay fast but can't rot);
+//! * `BENCH_JSON_DIR` — when set, [`criterion_main!`]'s `main` writes a
+//!   `BENCH_<binary>.json` report (schema `priograph-bench-v1`) with each
+//!   benchmark's median into that directory.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-exported so user code can opt out of constant-folding.
@@ -25,7 +36,98 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: env_sample_size().unwrap_or(10),
+        }
+    }
+}
+
+/// Sample-size override from `BENCH_SAMPLE_SIZE` (also caps explicit
+/// [`BenchmarkGroup::sample_size`] calls so CI smoke runs stay short).
+fn env_sample_size() -> Option<usize> {
+    std::env::var("BENCH_SAMPLE_SIZE").ok()?.parse().ok()
+}
+
+/// Results recorded by every `run_one` call of this process, drained by
+/// [`flush_json_report`].
+fn results() -> &'static Mutex<Vec<(String, Duration, usize)>> {
+    static RESULTS: Mutex<Vec<(String, Duration, usize)>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Writes the accumulated medians as a `priograph-bench-v1` JSON report to
+/// `$BENCH_JSON_DIR/BENCH_<binary>.json`. No-op unless `BENCH_JSON_DIR` is
+/// set. Called by the [`criterion_main!`] expansion after all groups run.
+pub fn flush_json_report() {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .map(|s| {
+            // Strip cargo's `-<hash>` suffix from the bench binary name.
+            match s.rsplit_once('-') {
+                Some((stem, hash)) if hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+                    stem.to_string()
+                }
+                _ => s,
+            }
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let git_rev = std::env::var("GIT_REV")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let quote = |s: &str| {
+        let escaped: String = s
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        format!("\"{escaped}\"")
+    };
+    let records = results().lock().unwrap();
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"schema\": \"priograph-bench-v1\",\n");
+    body.push_str(&format!("  \"git_rev\": {},\n", quote(&git_rev)));
+    body.push_str(&format!("  \"threads\": {threads},\n"));
+    body.push_str("  \"records\": [\n");
+    for (i, (name, duration, samples)) in records.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": {}, \"median_ns\": {}, \"samples\": {}, \"threads\": {}}}{}\n",
+            quote(name),
+            duration.as_nanos(),
+            samples,
+            threads,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{exe}.json"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("failed to write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {} ({} records)", path.display(), records.len());
     }
 }
 
@@ -67,9 +169,10 @@ impl fmt::Debug for BenchmarkGroup<'_> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (the
+    /// `BENCH_SAMPLE_SIZE` environment variable, when set, wins).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = env_sample_size().unwrap_or(n).max(1);
         self
     }
 
@@ -167,6 +270,10 @@ fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mu
         median,
         b.samples.len()
     );
+    results()
+        .lock()
+        .unwrap()
+        .push((label, median, b.samples.len()));
 }
 
 /// Declares a group function that runs each listed benchmark.
@@ -180,12 +287,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed group functions.
+/// Declares `main` running the listed group functions, then flushing the
+/// optional `BENCH_JSON_DIR` report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_json_report();
         }
     };
 }

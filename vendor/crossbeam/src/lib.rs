@@ -2,10 +2,12 @@
 //!
 //! Implements the two pieces the workspace uses: [`utils::CachePadded`]
 //! (alignment wrapper against false sharing) and [`queue::SegQueue`]
-//! (unbounded MPMC queue). The queue here is a lock-free Treiber stack —
-//! LIFO rather than upstream's FIFO, which is fine for its one consumer
-//! (the Galois-style *unordered* bucket bags, which give no intra-bucket
-//! ordering guarantee by design).
+//! (unbounded MPMC queue). Like upstream, the queue is a linked list of
+//! fixed-size segments with per-slot state flags, giving FIFO order —
+//! consumers drain a bucket's oldest entries first, which keeps priority
+//! inversion inside Galois-style bucket bags bounded (older, typically
+//! lower-priority work is not starved behind fresh pushes the way the
+//! previous Treiber-stack stand-in starved it).
 
 #![warn(missing_docs)]
 
@@ -62,71 +64,107 @@ pub mod utils {
 
 /// Concurrent queues (subset of `crossbeam_queue`).
 pub mod queue {
+    use std::cell::UnsafeCell;
     use std::fmt;
-    use std::mem::ManuallyDrop;
+    use std::mem::MaybeUninit;
     use std::ptr;
-    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 
-    struct Node<T> {
-        value: ManuallyDrop<T>,
-        /// Set (with exclusive ownership) by the pop that extracted `value`,
-        /// so `Drop` knows whether the value still needs dropping.
-        taken: AtomicBool,
-        /// Live-stack link; stale once the node is popped.
-        next: *mut Node<T>,
-        /// Allocation-list link; every node ever pushed stays on this list
-        /// until the queue itself drops.
-        all_next: *mut Node<T>,
+    /// Elements per segment (upstream uses 32; 64 amortizes the segment
+    /// hand-off a little further for the bucket-bag workload).
+    const SEG_CAP: usize = 64;
+
+    /// Slot lifecycle: reserved-but-unwritten → written → consumed.
+    const SLOT_EMPTY: u8 = 0;
+    const SLOT_WRITTEN: u8 = 1;
+    const SLOT_TAKEN: u8 = 2;
+
+    /// Consumer-side spins on a reserved-but-uncommitted slot before
+    /// yielding the CPU to let the stalled producer finish.
+    const POP_SPINS_PER_YIELD: usize = 64;
+
+    struct Segment<T> {
+        /// Producer claim counter; values ≥ `SEG_CAP` mean "full, move on".
+        reserved: AtomicUsize,
+        /// Consumer cursor, advanced by CAS; never exceeds `SEG_CAP`.
+        popped: AtomicUsize,
+        /// Per-slot lifecycle flags.
+        state: [AtomicU8; SEG_CAP],
+        /// Slot storage; slot `i` is initialized iff `state[i] != EMPTY`.
+        data: [UnsafeCell<MaybeUninit<T>>; SEG_CAP],
+        /// Next segment in FIFO order (installed once, by CAS).
+        next: AtomicPtr<Segment<T>>,
+        /// Allocation-list link; every segment stays on this list until the
+        /// queue itself drops (deferred reclamation, see type docs).
+        all_next: *mut Segment<T>,
     }
 
-    /// Unbounded multi-producer multi-consumer queue.
+    impl<T> Segment<T> {
+        fn new() -> Box<Self> {
+            Box::new(Segment {
+                reserved: AtomicUsize::new(0),
+                popped: AtomicUsize::new(0),
+                state: std::array::from_fn(|_| AtomicU8::new(SLOT_EMPTY)),
+                data: std::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
+                next: AtomicPtr::new(ptr::null_mut()),
+                all_next: ptr::null_mut(),
+            })
+        }
+    }
+
+    /// Unbounded multi-producer multi-consumer FIFO queue.
     ///
-    /// Implemented as a lock-free Treiber stack: `push`/`pop` are O(1) and
-    /// never block, but ordering is LIFO (see crate docs for why that is
-    /// acceptable here).
+    /// A linked list of fixed-size segments, as in upstream crossbeam:
+    /// producers claim slots with one `fetch_add` on the tail segment and
+    /// commit them with a per-slot flag; consumers advance a CAS cursor
+    /// through the head segment in slot order. Ordering is FIFO per
+    /// producer (and globally, by slot-reservation order) — unlike the
+    /// Treiber-stack stand-in this replaces, old entries cannot be starved
+    /// behind new ones.
     ///
     /// # Memory reclamation
     ///
-    /// Popped nodes are *not* freed until the queue drops. This is the
-    /// simplest sound reclamation scheme for a multi-consumer Treiber
-    /// stack: a concurrent popper may still be reading a node it loaded
-    /// before losing the race, and because no address is ever recycled
-    /// into the stack, the classic ABA head-swap cannot occur. The cost —
-    /// one live allocation per push until drop — is bounded here by its
-    /// users (per-run bucket bags that drop at the end of the algorithm).
+    /// Drained segments are *not* freed until the queue drops. This is the
+    /// simplest sound reclamation scheme for an MPMC list: a concurrent
+    /// popper may still be reading a segment it loaded before the head
+    /// advanced, and because no address is ever recycled into the list, the
+    /// classic ABA head-swap cannot occur. The cost — one live segment per
+    /// `SEG_CAP` pushes until drop — is bounded here by its users (per-run
+    /// bucket bags that drop at the end of the algorithm).
     pub struct SegQueue<T> {
-        head: AtomicPtr<Node<T>>,
-        all: AtomicPtr<Node<T>>,
+        /// Consumer segment.
+        head: AtomicPtr<Segment<T>>,
+        /// Producer segment.
+        tail: AtomicPtr<Segment<T>>,
+        /// Head of the allocation list.
+        all: AtomicPtr<Segment<T>>,
     }
 
-    // Safety: nodes are heap-allocated and reachable only through this
+    // Safety: segments are heap-allocated and reachable only through this
     // struct; value ownership transfers atomically to the single pop that
-    // wins the head CAS, and node memory outlives all concurrent readers
-    // (freed only in Drop, which requires `&mut self`).
+    // wins the cursor CAS, and segment memory outlives all concurrent
+    // readers (freed only in Drop, which requires `&mut self`).
     unsafe impl<T: Send> Send for SegQueue<T> {}
     unsafe impl<T: Send> Sync for SegQueue<T> {}
 
     impl<T> SegQueue<T> {
         /// Creates an empty queue.
-        pub const fn new() -> Self {
+        pub fn new() -> Self {
+            let first = Box::into_raw(Segment::new());
             SegQueue {
-                head: AtomicPtr::new(ptr::null_mut()),
-                all: AtomicPtr::new(ptr::null_mut()),
+                head: AtomicPtr::new(first),
+                tail: AtomicPtr::new(first),
+                all: AtomicPtr::new(first),
             }
         }
 
-        /// Pushes an element (never blocks, never fails).
-        pub fn push(&self, value: T) {
-            let node = Box::into_raw(Box::new(Node {
-                value: ManuallyDrop::new(value),
-                taken: AtomicBool::new(false),
-                next: ptr::null_mut(),
-                all_next: ptr::null_mut(),
-            }));
-            // Link into the allocation list (push-only, so no ABA hazard).
+        /// Links a freshly installed segment into the allocation list.
+        fn link_allocation(&self, node: *mut Segment<T>) {
             let mut all = self.all.load(Ordering::Relaxed);
             loop {
-                // Safety: `node` is freshly allocated and not yet shared.
+                // Safety: `all_next` is only written here, by the unique
+                // thread that won the `next` CAS for `node`, and the list
+                // is only traversed under `&mut self` (Drop).
                 unsafe { (*node).all_next = all };
                 match self.all.compare_exchange_weak(
                     all,
@@ -134,74 +172,156 @@ pub mod queue {
                     Ordering::Release,
                     Ordering::Relaxed,
                 ) {
-                    Ok(_) => break,
+                    Ok(_) => return,
                     Err(a) => all = a,
                 }
             }
-            // Publish onto the live stack.
-            let mut head = self.head.load(Ordering::Relaxed);
+        }
+
+        /// Pushes an element (never blocks, never fails).
+        pub fn push(&self, value: T) {
+            let mut value = Some(value);
             loop {
-                // Safety: only this thread writes `next` until the CAS
-                // below publishes the node.
-                unsafe { (*node).next = head };
-                match self.head.compare_exchange_weak(
-                    head,
-                    node,
-                    Ordering::Release,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => return,
-                    Err(h) => head = h,
+                let seg_ptr = self.tail.load(Ordering::Acquire);
+                // Safety: segments are never freed while the queue is
+                // shared (see "Memory reclamation").
+                let seg = unsafe { &*seg_ptr };
+                let i = seg.reserved.fetch_add(1, Ordering::Relaxed);
+                if i < SEG_CAP {
+                    // Safety: the fetch_add made this thread the unique
+                    // owner of slot `i`; consumers wait for the WRITTEN
+                    // flag below before touching it.
+                    unsafe { (*seg.data[i].get()).write(value.take().expect("unused value")) };
+                    seg.state[i].store(SLOT_WRITTEN, Ordering::Release);
+                    return;
+                }
+                // Segment full: install (or help install) the next one.
+                let next = seg.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    let fresh = Box::into_raw(Segment::new());
+                    match seg.next.compare_exchange(
+                        ptr::null_mut(),
+                        fresh,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            self.link_allocation(fresh);
+                            let _ = self.tail.compare_exchange(
+                                seg_ptr,
+                                fresh,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                        }
+                        Err(_) => {
+                            // Lost the install race; `fresh` was never
+                            // shared. Safety: unique owner, free it.
+                            drop(unsafe { Box::from_raw(fresh) });
+                        }
+                    }
+                } else {
+                    // Help a stalled installer advance the tail.
+                    let _ = self.tail.compare_exchange(
+                        seg_ptr,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
                 }
             }
         }
 
-        /// Pops an element, or `None` if the queue is observed empty.
+        /// Pops the oldest element, or `None` if the queue is observed
+        /// empty.
         pub fn pop(&self) -> Option<T> {
-            let mut head = self.head.load(Ordering::Acquire);
+            let mut spins = 0usize;
             loop {
-                if head.is_null() {
-                    return None;
+                let seg_ptr = self.head.load(Ordering::Acquire);
+                // Safety: segments outlive all concurrent readers.
+                let seg = unsafe { &*seg_ptr };
+                let i = seg.popped.load(Ordering::Acquire);
+                if i >= SEG_CAP {
+                    // Segment drained; advance to the next or report empty.
+                    let next = seg.next.load(Ordering::Acquire);
+                    if next.is_null() {
+                        return None;
+                    }
+                    let _ = self.head.compare_exchange(
+                        seg_ptr,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    continue;
                 }
-                // Safety: nodes are never freed while the queue is shared
-                // (see "Memory reclamation"), so a once-published pointer
-                // stays readable even if another pop unlinks it first.
-                let next = unsafe { (*head).next };
-                match self.head.compare_exchange_weak(
-                    head,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
-                    Ok(_) => {
-                        // Safety: winning the CAS grants exclusive
-                        // ownership of the value; mark it taken so Drop
-                        // doesn't double-drop.
-                        let value = unsafe { ptr::read(&*(*head).value) };
-                        unsafe { (*head).taken.store(true, Ordering::Release) };
+                let state = seg.state[i].load(Ordering::Acquire);
+                if state == SLOT_WRITTEN {
+                    if seg
+                        .popped
+                        .compare_exchange(i, i + 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // Safety: winning the cursor CAS grants exclusive
+                        // ownership of the committed value; mark it taken
+                        // so Drop doesn't double-drop.
+                        let value = unsafe { (*seg.data[i].get()).assume_init_read() };
+                        seg.state[i].store(SLOT_TAKEN, Ordering::Release);
                         return Some(value);
                     }
-                    Err(h) => head = h,
+                    // Lost to another consumer; retry with fresh state.
+                } else if state == SLOT_EMPTY {
+                    if i >= seg.reserved.load(Ordering::Acquire) {
+                        // No producer has claimed this slot: empty.
+                        return None;
+                    }
+                    // A producer claimed the slot but has not committed
+                    // yet; FIFO order requires waiting it out.
+                    spins += 1;
+                    if spins.is_multiple_of(POP_SPINS_PER_YIELD) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
                 }
+                // SLOT_TAKEN: a racing consumer advanced the cursor between
+                // our two loads; reload and retry.
             }
         }
 
-        /// Whether the queue was empty at the moment of the load.
+        /// Whether the queue was empty at the moment of the loads.
         pub fn is_empty(&self) -> bool {
-            self.head.load(Ordering::Acquire).is_null()
+            let mut seg_ptr = self.head.load(Ordering::Acquire);
+            loop {
+                // Safety: segments outlive all concurrent readers.
+                let seg = unsafe { &*seg_ptr };
+                let popped = seg.popped.load(Ordering::Acquire);
+                let reserved = seg.reserved.load(Ordering::Acquire).min(SEG_CAP);
+                if popped < reserved {
+                    return false;
+                }
+                let next = seg.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    return true;
+                }
+                seg_ptr = next;
+            }
         }
 
-        /// Number of queued elements (O(n); best-effort under concurrency,
-        /// test/diagnostic use only).
+        /// Number of queued elements (O(segments); best-effort under
+        /// concurrency, test/diagnostic use only).
         pub fn len(&self) -> usize {
-            let mut n = 0;
+            let mut n = 0usize;
             let mut cur = self.head.load(Ordering::Acquire);
             while !cur.is_null() {
-                n += 1;
-                // Safety: node memory stays allocated until Drop, so the
-                // traversal never dereferences freed memory (it may count
-                // concurrently-popped nodes; callers accept approximation).
-                cur = unsafe { (*cur).next };
+                // Safety: segment memory stays allocated until Drop, so the
+                // traversal never dereferences freed memory (counts may be
+                // momentarily inconsistent; callers accept approximation).
+                let seg = unsafe { &*cur };
+                let reserved = seg.reserved.load(Ordering::Acquire).min(SEG_CAP);
+                let popped = seg.popped.load(Ordering::Acquire).min(SEG_CAP);
+                n += reserved.saturating_sub(popped);
+                cur = seg.next.load(Ordering::Acquire);
             }
             n
         }
@@ -215,16 +335,21 @@ pub mod queue {
 
     impl<T> Drop for SegQueue<T> {
         fn drop(&mut self) {
-            // `&mut self`: no concurrent readers remain; free every node
-            // ever pushed, dropping values pops never extracted.
+            // `&mut self`: no concurrent readers remain; free every segment
+            // ever allocated, dropping values pops never extracted.
             let mut cur = *self.all.get_mut();
             while !cur.is_null() {
-                // Safety: exclusive access; each node freed exactly once.
-                let mut node = unsafe { Box::from_raw(cur) };
-                if !*node.taken.get_mut() {
-                    unsafe { ManuallyDrop::drop(&mut node.value) };
+                // Safety: exclusive access; each segment freed exactly once.
+                let mut seg = unsafe { Box::from_raw(cur) };
+                let reserved = (*seg.reserved.get_mut()).min(SEG_CAP);
+                for i in 0..reserved {
+                    if *seg.state[i].get_mut() == SLOT_WRITTEN {
+                        // Safety: WRITTEN slots hold initialized,
+                        // never-consumed values.
+                        unsafe { seg.data[i].get_mut().assume_init_drop() };
+                    }
                 }
-                cur = node.all_next;
+                cur = seg.all_next;
             }
         }
     }
@@ -251,6 +376,59 @@ pub mod queue {
             assert_eq!(got, vec![1, 2]);
             assert!(q.pop().is_none());
             assert!(q.is_empty());
+        }
+
+        #[test]
+        fn single_threaded_order_is_fifo_across_segments() {
+            // 10_000 items cross many 64-slot segment boundaries.
+            let q = SegQueue::new();
+            for i in 0..10_000u32 {
+                q.push(i);
+            }
+            assert_eq!(q.len(), 10_000);
+            for i in 0..10_000u32 {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert!(q.is_empty());
+            // The queue stays usable after full drains.
+            q.push(7);
+            assert_eq!(q.pop(), Some(7));
+        }
+
+        #[test]
+        fn per_producer_order_survives_concurrency() {
+            // With a single consumer, each producer's items must come out
+            // in the order that producer pushed them (FIFO per producer —
+            // the property the Treiber-stack stand-in violated).
+            let q = Arc::new(SegQueue::new());
+            let n_producers = 4usize;
+            let per_thread = 5_000usize;
+            let producers: Vec<_> = (0..n_producers)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            q.push((t, i));
+                        }
+                    })
+                })
+                .collect();
+            let mut next_expected = vec![0usize; n_producers];
+            let mut got = 0usize;
+            while got < n_producers * per_thread {
+                if let Some((t, i)) = q.pop() {
+                    assert_eq!(
+                        i, next_expected[t],
+                        "producer {t} items observed out of order"
+                    );
+                    next_expected[t] = i + 1;
+                    got += 1;
+                }
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            assert!(q.pop().is_none());
         }
 
         #[test]
