@@ -2,17 +2,22 @@
 //! prints per-workload regressions/improvements for PR review.
 //!
 //! ```text
-//! bench_compare BASELINE.json CANDIDATE.json [--regress-pct P] [--fail-on-regression]
+//! bench_compare BASELINE.json CANDIDATE.json \
+//!     [--fail-ratio R] [--regress-pct P] [--fail-on-regression]
 //! ```
 //!
-//! With `--fail-on-regression`, exits 1 when any workload is slower than the
-//! baseline by more than `--regress-pct` percent (default 5%).
+//! Exit status is the gate: any workload slower than `--fail-ratio` times
+//! its baseline median (default 1.5x) exits 1, so CI's bench-smoke job
+//! fails instead of merely uploading artifacts. `--fail-ratio 0` disables
+//! the gate. The softer `--regress-pct` (default 5%) only labels table rows
+//! unless `--fail-on-regression` promotes it to a gate too.
 
-use priograph_bench::record::{compare, render_comparison, BenchReport};
+use priograph_bench::record::{compare, hard_regressions, render_comparison, BenchReport};
 
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut regress_pct = 5.0f64;
+    let mut fail_ratio = 1.5f64;
     let mut fail_on_regression = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -23,10 +28,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--regress-pct expects a number");
             }
+            "--fail-ratio" => {
+                fail_ratio = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fail-ratio expects a number");
+            }
             "--fail-on-regression" => fail_on_regression = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench_compare BASELINE.json CANDIDATE.json \
+                     [--fail-ratio R (default 1.5; 0 disables)] \
                      [--regress-pct P] [--fail-on-regression]"
                 );
                 std::process::exit(0);
@@ -58,6 +70,24 @@ fn main() {
     if regressions > 0 {
         println!("{regressions} regression(s) beyond {regress_pct}%");
         if fail_on_regression {
+            std::process::exit(1);
+        }
+    }
+    if fail_ratio > 0.0 {
+        let hard = hard_regressions(&rows, fail_ratio);
+        if !hard.is_empty() {
+            println!(
+                "FAIL: {} workload(s) slower than {fail_ratio}x baseline:",
+                hard.len()
+            );
+            for row in hard {
+                println!(
+                    "  {}: {} -> {} ns",
+                    row.name,
+                    row.base_ns.unwrap_or(0),
+                    row.new_ns.unwrap_or(0)
+                );
+            }
             std::process::exit(1);
         }
     }

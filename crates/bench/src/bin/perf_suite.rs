@@ -10,7 +10,12 @@
 //!
 //! ```text
 //! perf_suite --out BENCH_PR2.json [--threads N] [--samples N] [--scale N]
+//!            [--snapshot DIR]
 //! ```
+//!
+//! `--snapshot DIR` caches the generated workload graphs as binary
+//! snapshots (`priograph_graph::snapshot`): the first run pays generation
+//! once, later runs load in O(file-read).
 
 use priograph_algorithms::{kcore, sssp, wbfs};
 use priograph_bench::record::{median, BenchReport};
@@ -25,6 +30,7 @@ struct SuiteArgs {
     threads: usize,
     samples: usize,
     scale: u32,
+    snapshot: Option<std::path::PathBuf>,
 }
 
 impl SuiteArgs {
@@ -34,6 +40,7 @@ impl SuiteArgs {
             threads: 4,
             samples: 5,
             scale: 1,
+            snapshot: None,
         };
         let mut argv = std::env::args().skip(1);
         while let Some(flag) = argv.next() {
@@ -46,8 +53,11 @@ impl SuiteArgs {
                 "--threads" => args.threads = take("--threads").parse().expect("--threads"),
                 "--samples" => args.samples = take("--samples").parse().expect("--samples"),
                 "--scale" => args.scale = take("--scale").parse().expect("--scale"),
+                "--snapshot" => args.snapshot = Some(take("--snapshot").into()),
                 "--help" | "-h" => {
-                    eprintln!("flags: --out PATH  --threads N  --samples N  --scale N");
+                    eprintln!(
+                        "flags: --out PATH  --threads N  --samples N  --scale N  --snapshot DIR"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -80,8 +90,11 @@ fn main() {
     let mut report = BenchReport::new(args.threads);
     let samples = args.samples;
 
+    let snap_dir = args.snapshot.as_deref();
+    let scale = args.scale;
+
     // Road-style: high-diameter grid, the paper's RoadUSA stand-in family.
-    let road = workloads::ge(args.scale);
+    let road = workloads::ge_cached(scale, snap_dir);
     let road_delta = workloads::default_delta(&road);
     let source = priograph_bench::pick_useful_sources(&road.graph, 1)[0];
     eprintln!("road workload: {road:?}, delta {road_delta}, source {source}");
@@ -130,10 +143,12 @@ fn main() {
 
     // Road-style wBFS: same grid topology, weights in [1, log n).
     let side = 240 * args.scale.max(1) as usize;
-    let road_wbfs = GraphGen::road_grid(side, side)
-        .seed(0xD0 + side as u64)
-        .weights_log_n()
-        .build();
+    let road_wbfs = workloads::load_or_snapshot(snap_dir, &format!("GE-logw-s{scale}"), || {
+        GraphGen::road_grid(side, side)
+            .seed(0xD0 + side as u64)
+            .weights_log_n()
+            .build()
+    });
     let t = measure(samples, || {
         let r = wbfs::wbfs_on(&pool, &road_wbfs, source, &Schedule::lazy(1)).unwrap();
         std::hint::black_box(r.dist.len());
@@ -142,7 +157,7 @@ fn main() {
     report.push("GE-wbfs-lazy", t, samples);
 
     // Social-style: frontier-heavy R-MAT (LiveJournal stand-in).
-    let social = workloads::lj(args.scale);
+    let social = workloads::lj_cached(scale, snap_dir);
     let social_delta = workloads::default_delta(&social);
     let social_src = priograph_bench::pick_useful_sources(&social.graph, 1)[0];
     eprintln!("social workload: {social:?}, delta {social_delta}, source {social_src}");

@@ -33,19 +33,25 @@ impl BenchArgs {
         let mut args = BenchArgs::default();
         let mut argv = std::env::args().skip(1);
         while let Some(flag) = argv.next() {
-            let mut take = |what: &str| -> usize {
+            let mut take_raw = |what: &str| -> String {
                 argv.next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("{what} expects a positive integer"))
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            let parse_num = |v: String, what: &str| -> usize {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{what} expects a positive integer"))
             };
             match flag.as_str() {
-                "--scale" => args.scale = take("--scale") as u32,
-                "--threads" => args.threads = take("--threads").max(1),
-                "--trials" => args.trials = take("--trials").max(1),
-                "--sources" => args.sources = take("--sources").max(1),
+                "--scale" => args.scale = parse_num(take_raw("--scale"), "--scale") as u32,
+                "--threads" => {
+                    args.threads = parse_num(take_raw("--threads"), "--threads").max(1);
+                }
+                "--trials" => args.trials = parse_num(take_raw("--trials"), "--trials").max(1),
+                "--sources" => args.sources = parse_num(take_raw("--sources"), "--sources").max(1),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale N (workload size multiplier)  --threads N  --trials N  --sources N"
+                        "flags: --scale N (workload size multiplier)  --threads N  --trials N  \
+                         --sources N"
                     );
                     std::process::exit(0);
                 }

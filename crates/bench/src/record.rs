@@ -242,6 +242,19 @@ pub fn render_comparison(rows: &[Comparison], regress_pct: f64) -> (String, usiz
     (out, regressions)
 }
 
+/// Workloads slower than `fail_ratio` times their baseline — the hard
+/// regressions `bench_compare` (and CI's bench-smoke job) gates on. Rows
+/// present on only one side never hard-fail (additions and removals are
+/// reviewable in the table).
+pub fn hard_regressions(rows: &[Comparison], fail_ratio: f64) -> Vec<&Comparison> {
+    rows.iter()
+        .filter(|row| match (row.base_ns, row.new_ns) {
+            (Some(base), Some(new)) if base > 0 => new as f64 > base as f64 * fail_ratio,
+            _ => false,
+        })
+        .collect()
+}
+
 /// Median of a set of sampled durations (empty input yields zero).
 pub fn median(samples: &mut [Duration]) -> Duration {
     if samples.is_empty() {
@@ -545,6 +558,39 @@ mod tests {
         assert_eq!(regressions, 1);
         assert!(table.contains("REGRESSION"));
         assert!(table.contains("improved"));
+    }
+
+    #[test]
+    fn hard_regressions_apply_the_ratio() {
+        let rows = vec![
+            Comparison {
+                name: "bad".into(),
+                base_ns: Some(100),
+                new_ns: Some(200),
+            },
+            Comparison {
+                name: "borderline".into(),
+                base_ns: Some(100),
+                new_ns: Some(150),
+            },
+            Comparison {
+                name: "fine".into(),
+                base_ns: Some(100),
+                new_ns: Some(149),
+            },
+            Comparison {
+                name: "new-only".into(),
+                base_ns: None,
+                new_ns: Some(999),
+            },
+        ];
+        let bad: Vec<&str> = hard_regressions(&rows, 1.5)
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(bad, vec!["bad"], "strictly-beyond-ratio only");
+        assert_eq!(hard_regressions(&rows, 1.0).len(), 3);
+        assert!(hard_regressions(&rows, 2.0).is_empty());
     }
 
     #[test]

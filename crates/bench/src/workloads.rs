@@ -14,7 +14,8 @@
 //! R-MAT scales and multiplies grid sides.
 
 use priograph_graph::gen::GraphGen;
-use priograph_graph::CsrGraph;
+use priograph_graph::{CsrGraph, GraphSnapshot};
+use std::path::Path;
 
 /// A named workload graph.
 pub struct Workload {
@@ -115,6 +116,63 @@ pub fn default_delta(w: &Workload) -> i64 {
     }
 }
 
+/// Version stamp baked into snapshot-cache filenames. **Bump this whenever
+/// a generator in this module (or `priograph_graph::gen`) changes its
+/// output** — a previously written snapshot is still a *valid* snapshot, so
+/// the filename is the only thing that can invalidate it.
+pub const SNAPSHOT_CACHE_VERSION: u32 = 1;
+
+/// Loads `{dir}/{name}-c{SNAPSHOT_CACHE_VERSION}.snap` if it holds a valid
+/// snapshot, else builds the graph and writes the snapshot for the next
+/// run — the bench harness's `--snapshot DIR` amortization (generation
+/// re-sorts every edge list; a snapshot load is one read plus fixed-width
+/// decoding).
+///
+/// A corrupt or truncated snapshot silently falls back to `build` (and is
+/// rewritten), so cache directories never wedge a bench run; write failures
+/// only warn, since the measurement itself can proceed. A snapshot from an
+/// *older generator* is only caught by the version stamp in the name — see
+/// [`SNAPSHOT_CACHE_VERSION`].
+pub fn load_or_snapshot(
+    dir: Option<&Path>,
+    name: &str,
+    build: impl FnOnce() -> CsrGraph,
+) -> CsrGraph {
+    let Some(dir) = dir else {
+        return build();
+    };
+    let path = dir.join(format!("{name}-c{SNAPSHOT_CACHE_VERSION}.snap"));
+    if let Ok(graph) = GraphSnapshot::load(&path) {
+        return graph;
+    }
+    let graph = build();
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| GraphSnapshot::write(&graph, &path))
+    {
+        eprintln!("warning: could not cache {}: {e}", path.display());
+    }
+    graph
+}
+
+/// [`ge`] with an optional snapshot cache (the perf suite's road workload);
+/// metadata stays owned here so it cannot drift from the uncached builder.
+pub fn ge_cached(scale: u32, dir: Option<&Path>) -> Workload {
+    Workload {
+        name: "GE",
+        graph: load_or_snapshot(dir, &format!("GE-s{scale}"), || ge(scale).graph),
+        is_road: true,
+    }
+}
+
+/// [`lj`] with an optional snapshot cache (the perf suite's social
+/// workload).
+pub fn lj_cached(scale: u32, dir: Option<&Path>) -> Workload {
+    Workload {
+        name: "LJ",
+        graph: load_or_snapshot(dir, &format!("LJ-s{scale}"), || lj(scale).graph),
+        is_road: false,
+    }
+}
+
 /// The social workloads used across tables.
 pub fn social_suite(scale: u32) -> Vec<Workload> {
     vec![lj(scale), ok(scale), tw(scale), wb(scale)]
@@ -180,6 +238,36 @@ mod tests {
     #[test]
     fn deltas_differ_by_family() {
         assert!(default_delta(&rd(1)) > default_delta(&lj(1)) * 10);
+    }
+
+    #[test]
+    fn snapshot_cache_round_trips_and_survives_corruption() {
+        let dir = std::env::temp_dir().join("priograph_workload_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let build_count = std::cell::Cell::new(0u32);
+        let build = || {
+            build_count.set(build_count.get() + 1);
+            ma(1).graph
+        };
+        let first = load_or_snapshot(Some(&dir), "MA", build);
+        let second = load_or_snapshot(Some(&dir), "MA", build);
+        assert_eq!(build_count.get(), 1, "second call must hit the cache");
+        assert_eq!(first.edge_triples(), second.edge_triples());
+        assert_eq!(
+            first.coords().unwrap().len(),
+            second.coords().unwrap().len()
+        );
+        // Corrupt the cache: the helper must rebuild, not fail.
+        let cache_file = dir.join(format!("MA-c{SNAPSHOT_CACHE_VERSION}.snap"));
+        assert!(cache_file.exists(), "cache name carries the version stamp");
+        std::fs::write(cache_file, b"junk").unwrap();
+        let third = load_or_snapshot(Some(&dir), "MA", build);
+        assert_eq!(build_count.get(), 2);
+        assert_eq!(first.edge_triples(), third.edge_triples());
+        // No dir: always builds.
+        let _ = load_or_snapshot(None, "MA", build);
+        assert_eq!(build_count.get(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Snapshot robustness over the bundled workloads (ISSUE 3 satellite):
+//! every Table 3 stand-in must roundtrip bit-exactly through the binary
+//! snapshot format, and corrupted files must fail cleanly (`Err`, never a
+//! panic and never an attacker-sized allocation).
+
+use priograph_bench::workloads;
+use priograph_graph::{CsrGraph, GraphSnapshot, SnapshotError};
+
+fn all_workloads() -> Vec<workloads::Workload> {
+    let mut all = workloads::social_suite(1);
+    all.extend(workloads::road_suite(1));
+    all
+}
+
+fn assert_graphs_equal(name: &str, a: &CsrGraph, b: &CsrGraph) {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "{name} vertex count");
+    assert_eq!(a.edge_triples(), b.edge_triples(), "{name} out-edges");
+    assert_eq!(a.is_symmetric(), b.is_symmetric(), "{name} symmetry flag");
+    for v in a.vertices() {
+        assert_eq!(a.in_edges(v), b.in_edges(v), "{name} in-edges of {v}");
+    }
+    match (a.coords(), b.coords()) {
+        (None, None) => {}
+        (Some(ca), Some(cb)) => assert_eq!(ca, cb, "{name} coordinates"),
+        _ => panic!("{name}: coords presence differs"),
+    }
+}
+
+#[test]
+fn every_bundled_workload_roundtrips() {
+    for w in all_workloads() {
+        let bytes = GraphSnapshot::to_bytes(&w.graph);
+        let loaded = GraphSnapshot::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!("{}: decode failed: {e}", w.name);
+        });
+        assert_graphs_equal(w.name, &w.graph, &loaded);
+        // Re-encoding the decoded graph must be byte-identical (the format
+        // is canonical), so snapshot files can be content-compared.
+        assert_eq!(
+            bytes,
+            GraphSnapshot::to_bytes(&loaded),
+            "{} re-encode not canonical",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn symmetrized_workload_roundtrips_with_flag() {
+    // k-core serving path: the symmetrized view keeps its marker bit.
+    let sym = workloads::lj(1).graph.symmetrize();
+    assert!(sym.is_symmetric());
+    let loaded = GraphSnapshot::from_bytes(&GraphSnapshot::to_bytes(&sym)).unwrap();
+    assert!(loaded.is_symmetric());
+    assert_graphs_equal("LJ-sym", &sym, &loaded);
+}
+
+#[test]
+fn truncations_of_a_real_workload_error_cleanly() {
+    // MA is the smallest bundled workload; cut its snapshot at a spread of
+    // points including every boundary region.
+    let bytes = GraphSnapshot::to_bytes(&workloads::ma(1).graph);
+    let len = bytes.len();
+    let mut cuts: Vec<usize> = vec![0, 1, 7, 8, 11, 12, 19, 20, 27, 28];
+    cuts.extend((1..16).map(|i| i * len / 16));
+    cuts.extend([len - 9, len - 8, len - 1]);
+    for cut in cuts {
+        match GraphSnapshot::from_bytes(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation at {cut}/{len} must not decode"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_and_bad_checksum_error_cleanly() {
+    let mut bytes = GraphSnapshot::to_bytes(&workloads::ma(1).graph);
+    let good = bytes.clone();
+
+    bytes[..5].copy_from_slice(b"WRONG");
+    assert!(matches!(
+        GraphSnapshot::from_bytes(&bytes).unwrap_err(),
+        SnapshotError::BadMagic
+    ));
+
+    // Flip one bit in each region of the payload: all must fail the
+    // checksum (or structural validation), none may panic.
+    for pos in [9usize, 40, good.len() / 3, good.len() / 2, good.len() - 12] {
+        let mut corrupt = good.clone();
+        corrupt[pos] ^= 0x10;
+        assert!(
+            GraphSnapshot::from_bytes(&corrupt).is_err(),
+            "bit flip at {pos} must not decode"
+        );
+    }
+}
+
+#[test]
+fn header_lies_cannot_cause_outsized_allocations() {
+    // Override each header count field with huge values; with ~100KB of
+    // actual bytes behind them, decode must reject before allocating
+    // count-proportional memory (this test OOMs if it ever does not).
+    let good = GraphSnapshot::to_bytes(&workloads::ma(1).graph);
+    for field_offset in [12usize, 20] {
+        for lie in [u64::MAX, 1 << 61, 1 << 40, 1 << 33] {
+            let mut corrupt = good.clone();
+            corrupt[field_offset..field_offset + 8].copy_from_slice(&lie.to_le_bytes());
+            assert!(
+                GraphSnapshot::from_bytes(&corrupt).is_err(),
+                "lying count {lie:#x} at {field_offset} must not decode"
+            );
+        }
+    }
+}

@@ -40,9 +40,11 @@ mod csr;
 pub mod gen;
 pub mod io;
 pub mod props;
+pub mod snapshot;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, Edge, Point};
+pub use snapshot::{GraphSnapshot, SnapshotError};
 
 /// Vertex identifier. Graphs in the evaluation are well below 2^32 vertices.
 pub type VertexId = u32;

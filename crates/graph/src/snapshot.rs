@@ -1,0 +1,547 @@
+//! Binary graph snapshots: a versioned, checksummed CSR serialization.
+//!
+//! Parsing a multi-gigabyte edge list on every process start defeats the
+//! amortization the serving layer is built around (both GraphIt and the CGO
+//! 2020 paper assume a preprocessed resident graph that many queries share).
+//! A snapshot stores the *finished* CSR arrays — both directions, plus
+//! coordinates and the symmetry flag — so loading is one `fs::read` plus
+//! O(|V| + |E|) fixed-width decoding, with no edge-list re-sort.
+//!
+//! # Format (`PSNAP`, version 1, little-endian)
+//!
+//! ```text
+//! magic        8 bytes  b"PSNAPv1\n"
+//! flags        u32      bit 0 = symmetric, bit 1 = has coordinates
+//! num_vertices u64
+//! num_edges    u64      (directed; out- and in-arrays hold this many each)
+//! out_offsets  (n+1) x u64
+//! out_edges    m x (u32 dst, i32 weight)
+//! in_offsets   (n+1) x u64
+//! in_edges     m x (u32 dst, i32 weight)
+//! coords       n x (f64 x, f64 y)        only when bit 1 of flags is set
+//! checksum     u64      FNV-1a over every preceding byte
+//! ```
+//!
+//! # Robustness contract
+//!
+//! [`GraphSnapshot::from_bytes`] never panics and never allocates more than
+//! the input's own size before validating: the declared counts must account
+//! for the byte length *exactly* before any array is decoded, so a corrupted
+//! header cannot trigger an outsized allocation. Truncation, a foreign
+//! magic, a future version, a checksum mismatch, and structural corruption
+//! (non-monotone offsets, out-of-range endpoints, negative weights,
+//! mismatched transpose degrees) all surface as [`SnapshotError`]s.
+
+use crate::csr::{CsrGraph, Edge, Point};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Magic bytes opening every snapshot; the version is part of the magic so
+/// bumping it makes old readers fail with [`SnapshotError::BadMagic`]'s
+/// sibling [`SnapshotError::UnsupportedVersion`] rather than garbage.
+pub const MAGIC: &[u8; 8] = b"PSNAPv1\n";
+
+/// Version-independent prefix of [`MAGIC`] used to distinguish "not a
+/// snapshot at all" from "a snapshot from another version".
+const MAGIC_PREFIX: &[u8; 5] = b"PSNAP";
+
+const FLAG_SYMMETRIC: u32 = 1 << 0;
+const FLAG_COORDS: u32 = 1 << 1;
+
+/// Why a snapshot failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file is a snapshot of an unsupported (newer or older) version.
+    UnsupportedVersion,
+    /// The byte length does not match what the header declares.
+    Truncated {
+        /// Bytes the header implies.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The trailing FNV-1a checksum does not match the content.
+    ChecksumMismatch,
+    /// The arrays decode but violate a CSR structural invariant.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a priograph snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion => {
+                write!(f, "snapshot version unsupported (want {MAGIC:?})")
+            }
+            SnapshotError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot truncated: header declares {expected} bytes, file has {actual}"
+                )
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — cheap, dependency-free, and strong enough to
+/// catch the bit rot and partial writes a serving fleet actually sees.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Namespace for snapshot serialization (see the module docs for the
+/// format).
+///
+/// # Example
+///
+/// ```
+/// use priograph_graph::gen::GraphGen;
+/// use priograph_graph::snapshot::GraphSnapshot;
+///
+/// let g = GraphGen::road_grid(8, 8).seed(3).build();
+/// let bytes = GraphSnapshot::to_bytes(&g);
+/// let loaded = GraphSnapshot::from_bytes(&bytes).unwrap();
+/// assert_eq!(loaded.edge_triples(), g.edge_triples());
+/// assert!(loaded.is_symmetric() == g.is_symmetric());
+/// ```
+#[derive(Debug)]
+pub struct GraphSnapshot;
+
+impl GraphSnapshot {
+    /// Serializes `graph` into the snapshot byte format.
+    pub fn to_bytes(graph: &CsrGraph) -> Vec<u8> {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        let has_coords = graph.coords().is_some();
+        let mut flags = 0u32;
+        if graph.is_symmetric() {
+            flags |= FLAG_SYMMETRIC;
+        }
+        if has_coords {
+            flags |= FLAG_COORDS;
+        }
+        let mut out = Vec::with_capacity(body_len(n, m, has_coords) + 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.extend_from_slice(&(m as u64).to_le_bytes());
+        let write_dir = |out: &mut Vec<u8>, offsets: &[usize], edges: &[Edge]| {
+            for &o in offsets {
+                out.extend_from_slice(&(o as u64).to_le_bytes());
+            }
+            for e in edges {
+                out.extend_from_slice(&e.dst.to_le_bytes());
+                out.extend_from_slice(&e.weight.to_le_bytes());
+            }
+        };
+        write_dir(&mut out, &graph.out_offsets, &graph.out_edges);
+        write_dir(&mut out, &graph.in_offsets, &graph.in_edges);
+        if let Some(coords) = graph.coords() {
+            for p in coords {
+                out.extend_from_slice(&p.x.to_le_bytes());
+                out.extend_from_slice(&p.y.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a snapshot produced by [`GraphSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on any malformed input; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CsrGraph, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if &magic[..MAGIC_PREFIX.len()] != MAGIC_PREFIX {
+            return Err(SnapshotError::BadMagic);
+        }
+        if magic != MAGIC {
+            return Err(SnapshotError::UnsupportedVersion);
+        }
+        let flags = r.u32()?;
+        if flags & !(FLAG_SYMMETRIC | FLAG_COORDS) != 0 {
+            return Err(SnapshotError::Corrupt(format!("unknown flags {flags:#x}")));
+        }
+        let n = r.u64()? as usize;
+        let m = r.u64()? as usize;
+        let has_coords = flags & FLAG_COORDS != 0;
+        // Validate the declared sizes against the actual byte count *before*
+        // decoding (and thus before any count-derived allocation): a lying
+        // header must not be able to request terabytes.
+        let expected = body_len(n, m, has_coords)
+            .checked_add(8)
+            .ok_or(SnapshotError::Corrupt("size overflow".to_string()))?;
+        if bytes.len() != expected {
+            return Err(SnapshotError::Truncated {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let declared = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv1a(&bytes[..bytes.len() - 8]) != declared {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let mut read_dir = |what: &str| -> Result<(Vec<usize>, Vec<Edge>), SnapshotError> {
+            let mut offsets = Vec::with_capacity(n + 1);
+            for _ in 0..n + 1 {
+                let o = r.u64()? as usize;
+                if let Some(&prev) = offsets.last() {
+                    if o < prev {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "{what} offsets not monotone"
+                        )));
+                    }
+                }
+                if o > m {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "{what} offset {o} exceeds edge count {m}"
+                    )));
+                }
+                offsets.push(o);
+            }
+            if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{what} offsets do not span 0..{m}"
+                )));
+            }
+            let mut edges = Vec::with_capacity(m);
+            for _ in 0..m {
+                let dst = r.u32()?;
+                let weight = r.i32()?;
+                if dst as usize >= n {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "{what} endpoint {dst} out of range for {n} vertices"
+                    )));
+                }
+                if weight < 0 {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "{what} edge has negative weight {weight}"
+                    )));
+                }
+                edges.push(Edge { dst, weight });
+            }
+            Ok((offsets, edges))
+        };
+        let (out_offsets, out_edges) = read_dir("out")?;
+        let (in_offsets, in_edges) = read_dir("in")?;
+        // The in-direction must be the transpose of the out-direction; a
+        // full edge-by-edge comparison would need a sort, but per-vertex
+        // degree sums catch offset-table corruption in O(n + m).
+        let mut in_counts = vec![0u64; n];
+        for e in &out_edges {
+            in_counts[e.dst as usize] += 1;
+        }
+        for v in 0..n {
+            let declared = (in_offsets[v + 1] - in_offsets[v]) as u64;
+            if in_counts[v] != declared {
+                return Err(SnapshotError::Corrupt(format!(
+                    "vertex {v}: in-degree {declared} does not match transpose degree {}",
+                    in_counts[v]
+                )));
+            }
+        }
+        let coords = if has_coords {
+            let mut coords = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = f64::from_le_bytes(r.take(8)?.try_into().unwrap());
+                let y = f64::from_le_bytes(r.take(8)?.try_into().unwrap());
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(SnapshotError::Corrupt("non-finite coordinate".to_string()));
+                }
+                coords.push(Point { x, y });
+            }
+            Some(coords)
+        } else {
+            None
+        };
+        Ok(CsrGraph {
+            num_vertices: n,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            coords,
+            symmetric: flags & FLAG_SYMMETRIC != 0,
+        })
+    }
+
+    /// Writes `graph` as a snapshot file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn write(graph: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, Self::to_bytes(graph))
+    }
+
+    /// Loads a snapshot file written by [`GraphSnapshot::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on IO failure or any malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<CsrGraph, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Byte length of a snapshot body (everything except the trailing checksum)
+/// for the given dimensions, saturating instead of overflowing so the caller
+/// can compare against a real file length safely.
+fn body_len(n: usize, m: usize, has_coords: bool) -> usize {
+    let header: usize = 8 + 4 + 8 + 8;
+    let offsets = (n.saturating_add(1)).saturating_mul(8).saturating_mul(2);
+    let edges = m.saturating_mul(8).saturating_mul(2);
+    let coords = if has_coords { n.saturating_mul(16) } else { 0 };
+    header
+        .saturating_add(offsets)
+        .saturating_add(edges)
+        .saturating_add(coords)
+}
+
+/// Bounds-checked little-endian cursor over the input bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(SnapshotError::Truncated {
+                expected: self.pos.saturating_add(len),
+                actual: self.bytes.len(),
+            })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, SnapshotError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GraphGen;
+    use crate::GraphBuilder;
+
+    fn fixture() -> CsrGraph {
+        GraphGen::rmat(7, 4)
+            .seed(11)
+            .weights_uniform(1, 100)
+            .build()
+    }
+
+    fn graphs_equal(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.edge_triples(), b.edge_triples());
+        assert_eq!(a.is_symmetric(), b.is_symmetric());
+        match (a.coords(), b.coords()) {
+            (None, None) => {}
+            (Some(ca), Some(cb)) => assert_eq!(ca, cb),
+            _ => panic!("coords presence mismatch"),
+        }
+        // The in-direction must roundtrip too (pull traversals read it).
+        for v in a.vertices() {
+            assert_eq!(a.in_edges(v), b.in_edges(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_plain_graph() {
+        let g = fixture();
+        let loaded = GraphSnapshot::from_bytes(&GraphSnapshot::to_bytes(&g)).unwrap();
+        graphs_equal(&g, &loaded);
+    }
+
+    #[test]
+    fn roundtrip_symmetric_graph_with_coords() {
+        let g = GraphGen::road_grid(9, 7).seed(2).build();
+        assert!(g.is_symmetric() && g.coords().is_some());
+        let loaded = GraphSnapshot::from_bytes(&GraphSnapshot::to_bytes(&g)).unwrap();
+        graphs_equal(&g, &loaded);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_edgeless_graphs() {
+        for g in [GraphBuilder::new(0).build(), GraphBuilder::new(5).build()] {
+            let loaded = GraphSnapshot::from_bytes(&GraphSnapshot::to_bytes(&g)).unwrap();
+            graphs_equal(&g, &loaded);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = fixture();
+        let path = std::env::temp_dir().join("priograph_snapshot_test.snap");
+        GraphSnapshot::write(&g, &path).unwrap();
+        let loaded = GraphSnapshot::load(&path).unwrap();
+        graphs_equal(&g, &loaded);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = GraphSnapshot::load("/nonexistent/priograph.snap").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = GraphSnapshot::to_bytes(&fixture());
+        bytes[0] = b'X';
+        assert!(matches!(
+            GraphSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected_distinctly() {
+        let mut bytes = GraphSnapshot::to_bytes(&fixture());
+        bytes[6] = b'9'; // PSNAPv9
+        assert!(matches!(
+            GraphSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_without_panic() {
+        let bytes = GraphSnapshot::to_bytes(&fixture());
+        // Cutting anywhere — header, arrays, checksum — must return Err.
+        let mut cuts: Vec<usize> = (0..bytes.len().min(64)).collect();
+        cuts.extend([bytes.len() / 2, bytes.len() - 9, bytes.len() - 1]);
+        for cut in cuts {
+            assert!(
+                GraphSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut bytes = GraphSnapshot::to_bytes(&fixture());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = GraphSnapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::ChecksumMismatch), "{err}");
+    }
+
+    #[test]
+    fn lying_vertex_count_cannot_demand_a_huge_allocation() {
+        let mut bytes = GraphSnapshot::to_bytes(&fixture());
+        // Claim ~2^60 vertices; the size check must reject this before any
+        // decode-side allocation happens (size overflow / truncation, not
+        // OOM). A smaller lie that stays in usize range must fail too.
+        bytes[12..20].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            GraphSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::Corrupt(_) | SnapshotError::Truncated { .. }
+        ));
+        bytes[12..20].copy_from_slice(&(1u64 << 33).to_le_bytes());
+        assert!(matches!(
+            GraphSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn structural_corruption_is_detected_behind_a_valid_checksum() {
+        let g = GraphBuilder::new(3).edge(0, 1, 5).edge(1, 2, 6).build();
+        let mut bytes = GraphSnapshot::to_bytes(&g);
+        // Point the first out-edge at vertex 7 (out of range) and re-seal the
+        // checksum so only structural validation can catch it.
+        let edge_pos = 8 + 4 + 8 + 8 + 4 * 8;
+        bytes[edge_pos..edge_pos + 4].copy_from_slice(&7u32.to_le_bytes());
+        let len = bytes.len();
+        let reseal = fnv1a(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&reseal.to_le_bytes());
+        assert!(matches!(
+            GraphSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn mismatched_transpose_degrees_are_detected() {
+        // 0 -> 1: out_offsets [0,1,1], in_offsets [0,0,1]. Rewrite the
+        // middle in-offset to 1 (still monotone, still spanning 0..m) and
+        // reseal the checksum: only the transpose-degree check can object.
+        let g = GraphBuilder::new(2).edge(0, 1, 5).build();
+        let mut bytes = GraphSnapshot::to_bytes(&g);
+        let in_offsets_pos = 28 + 3 * 8 + 8; // header + out_offsets + out_edges
+        let mid = in_offsets_pos + 8;
+        bytes[mid..mid + 8].copy_from_slice(&1u64.to_le_bytes());
+        let len = bytes.len();
+        let reseal = fnv1a(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&reseal.to_le_bytes());
+        match GraphSnapshot::from_bytes(&bytes).unwrap_err() {
+            SnapshotError::Corrupt(why) => assert!(why.contains("transpose"), "{why}"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::Truncated {
+            expected: 10,
+            actual: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(SnapshotError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
+        assert!(SnapshotError::Corrupt("x".into()).to_string().contains('x'));
+    }
+}

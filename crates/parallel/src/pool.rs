@@ -44,10 +44,59 @@ struct Shared {
     shutdown: AtomicBool,
     /// Reusable barrier spanning all `n` participants of a region.
     barrier: SpinBarrier,
+    /// The broadcaster's persisted adaptive spin budget (see
+    /// [`AdaptiveSpin`]); workers keep theirs on their own stacks.
+    caller_spin: AtomicUsize,
 }
 
-/// How long participants spin before falling back to a condvar sleep.
-const SPIN_ROUNDS: usize = 1 << 14;
+/// Smallest adaptive spin budget: even a waiter that keeps parking should
+/// absorb back-to-back dispatches without a syscall.
+const SPIN_MIN: usize = 1 << 8;
+/// Largest adaptive spin budget (order of the old fixed spin count).
+const SPIN_MAX: usize = 1 << 16;
+/// Starting budget for a fresh waiter.
+const SPIN_INIT: usize = 1 << 12;
+
+/// Adaptive spin-before-park controller (ROADMAP "thread-pool scaling").
+///
+/// At high round rates (road graphs, small Δ) dispatch wake-up latency
+/// dominates, so parking on the condvar is the expensive path; during long
+/// serial gaps, spinning is the expensive path. Each waiter tracks its own
+/// budget: a wait that resolves *while spinning* doubles it (rounds are
+/// coming fast — stay hot), a wait that exhausts it and parks halves it
+/// (rounds are sparse — stop burning the core), clamped to
+/// `[SPIN_MIN, SPIN_MAX]`.
+struct AdaptiveSpin {
+    budget: usize,
+}
+
+impl AdaptiveSpin {
+    fn new() -> Self {
+        AdaptiveSpin { budget: SPIN_INIT }
+    }
+
+    fn with_budget(budget: usize) -> Self {
+        AdaptiveSpin {
+            budget: budget.clamp(SPIN_MIN, SPIN_MAX),
+        }
+    }
+
+    /// Spins until `done()` holds or the budget runs out, adapting the
+    /// budget; returns whether the condition was met while spinning (if
+    /// not, the caller should park).
+    #[inline]
+    fn spin(&mut self, done: impl Fn() -> bool) -> bool {
+        for _ in 0..self.budget {
+            if done() {
+                self.budget = (self.budget * 2).min(SPIN_MAX);
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+        self.budget = (self.budget / 2).max(SPIN_MIN);
+        false
+    }
+}
 
 thread_local! {
     /// True while the current thread is executing inside a broadcast region
@@ -116,6 +165,7 @@ impl Pool {
             done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             barrier: SpinBarrier::new(num_threads),
+            caller_spin: AtomicUsize::new(SPIN_INIT),
         });
         let mut handles = Vec::with_capacity(num_threads.saturating_sub(1));
         for tid in 1..num_threads {
@@ -191,19 +241,19 @@ impl Pool {
             flag.set(was);
         });
 
-        // Wait for the workers: spin briefly, then sleep.
-        let mut spins = 0usize;
-        while shared.outstanding.load(Ordering::Acquire) != 0 {
-            spins += 1;
-            if spins < SPIN_ROUNDS {
-                std::hint::spin_loop();
-            } else {
+        // Wait for the workers: adaptive spin, then sleep. The budget
+        // persists across broadcasts (in `caller_spin`) so a road-graph
+        // round storm keeps the caller hot while sparse dispatch parks.
+        let mut spinner = AdaptiveSpin::with_budget(shared.caller_spin.load(Ordering::Relaxed));
+        if !spinner.spin(|| shared.outstanding.load(Ordering::Acquire) == 0) {
+            while shared.outstanding.load(Ordering::Acquire) != 0 {
                 let mut guard = shared.done_lock.lock();
                 if shared.outstanding.load(Ordering::Acquire) != 0 {
                     shared.done_cv.wait(&mut guard);
                 }
             }
         }
+        shared.caller_spin.store(spinner.budget, Ordering::Relaxed);
         shared.job.0.set(None);
     }
 
@@ -286,25 +336,19 @@ pub(crate) fn split_evenly(len: usize, n: usize, tid: usize) -> (usize, usize) {
 
 fn worker_loop(shared: &Shared, tid: usize) {
     let mut seen_epoch = 0usize;
+    let mut spinner = AdaptiveSpin::new();
     loop {
-        // Wait for a new epoch (spin, then sleep).
-        let mut spins = 0usize;
-        loop {
-            let epoch = shared.epoch.load(Ordering::Acquire);
-            if epoch != seen_epoch {
-                seen_epoch = epoch;
-                break;
-            }
-            spins += 1;
-            if spins < SPIN_ROUNDS {
-                std::hint::spin_loop();
-            } else {
+        // Wait for a new epoch: adaptive spin, then sleep. Each worker's
+        // budget adapts independently to the dispatch rate it observes.
+        if !spinner.spin(|| shared.epoch.load(Ordering::Acquire) != seen_epoch) {
+            while shared.epoch.load(Ordering::Acquire) == seen_epoch {
                 let mut guard = shared.work_lock.lock();
                 if shared.epoch.load(Ordering::Acquire) == seen_epoch {
                     shared.work_cv.wait(&mut guard);
                 }
             }
         }
+        seen_epoch = shared.epoch.load(Ordering::Acquire);
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -393,6 +437,46 @@ pub fn global() -> &'static Pool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn adaptive_spin_budget_tracks_outcomes() {
+        let mut s = AdaptiveSpin::new();
+        let start = s.budget;
+        assert!(s.spin(|| true), "immediate success resolves while spinning");
+        assert_eq!(s.budget, start * 2);
+        assert!(!s.spin(|| false), "exhaustion reports a park");
+        assert_eq!(s.budget, start);
+        // Repeated parks floor at SPIN_MIN; repeated hits cap at SPIN_MAX.
+        for _ in 0..64 {
+            let _ = s.spin(|| false);
+        }
+        assert_eq!(s.budget, SPIN_MIN);
+        for _ in 0..64 {
+            let _ = s.spin(|| true);
+        }
+        assert_eq!(s.budget, SPIN_MAX);
+        assert_eq!(AdaptiveSpin::with_budget(0).budget, SPIN_MIN);
+        assert_eq!(AdaptiveSpin::with_budget(usize::MAX).budget, SPIN_MAX);
+    }
+
+    #[test]
+    fn rapid_rebroadcast_after_long_idle_still_runs_everywhere() {
+        // Exercises both adaptive regimes: a parked pool (idle gap shrinks
+        // budgets) must still execute every following burst correctly.
+        let pool = Pool::new(4);
+        let count = AtomicUsize::new(0);
+        for burst in 0..3 {
+            if burst > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            for _ in 0..100 {
+                pool.broadcast(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(count.into_inner(), 3 * 100 * 4);
+    }
 
     #[test]
     fn broadcast_runs_every_tid_exactly_once() {

@@ -1,0 +1,315 @@
+//! Batched point-query execution: per-worker reusable engines dispatched
+//! across the [`Pool`].
+//!
+//! Full-vector queries (SSSP, k-core) want *intra*-query parallelism — the
+//! bucket engines already provide it. Point-to-point queries are the
+//! opposite: early termination (paper §6.1's PPSP) finalizes only a small
+//! neighborhood, so the win comes from *inter*-query parallelism — many
+//! independent queries sharing the resident graph. This module serves a
+//! batch of point queries by handing each pool worker its own
+//! [`QueryEngine`], a serial strict-priority engine (the Δ → 0 limit of
+//! Δ-stepping, i.e. Dijkstra with early stop) whose buffers persist across
+//! queries and across batches.
+//!
+//! The engines follow PR 2's zero-allocation discipline: distance storage is
+//! reset *sparsely* (only vertices the previous query touched), the heap and
+//! touched-list keep their capacity, and the answer slots are written
+//! through a [`SliceWriter`] over a caller-reused vector — steady-state
+//! serving rounds allocate nothing in the engine hot path (asserted by
+//! `steady_state_batches_reuse_buffers`, the same way as the bucket queue's
+//! buffer-stability test).
+
+use priograph_algorithms::UNREACHABLE;
+use priograph_graph::{CsrGraph, VertexId};
+use priograph_parallel::shared::{SliceWriter, WorkerLocal};
+use priograph_parallel::{ChunkCursor, Pool};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Answer to one point query.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PointAnswer {
+    /// Shortest distance, or `None` when the target is unreachable.
+    pub distance: Option<i64>,
+    /// Edge relaxations the early-terminating run performed.
+    pub relaxations: u64,
+}
+
+/// A reusable serial strict-priority engine for point queries.
+///
+/// Construction is cheap; the first query against an `n`-vertex graph sizes
+/// the distance array, and every later query reuses it via sparse resets.
+#[derive(Debug, Default)]
+pub struct QueryEngine {
+    /// `dist[v]` for the current query; always [`UNREACHABLE`] between
+    /// queries (maintained by sparse resets, never a full rewrite).
+    dist: Vec<i64>,
+    /// Vertices whose `dist` entry differs from [`UNREACHABLE`].
+    touched: Vec<VertexId>,
+    /// Min-heap of `(dist, vertex)`; `clear` retains capacity, so the
+    /// storage stays warm across queries.
+    heap: BinaryHeap<Reverse<(i64, VertexId)>>,
+}
+
+impl QueryEngine {
+    /// Creates an engine with no storage; buffers grow on first use.
+    pub fn new() -> Self {
+        QueryEngine::default()
+    }
+
+    /// Answers a point-to-point shortest-path query, stopping as soon as the
+    /// target is finalized.
+    ///
+    /// Out-of-range endpoints yield `distance: None` with zero relaxations
+    /// (the server layer validates and reports them before dispatch).
+    pub fn point_query(&mut self, graph: &CsrGraph, source: u32, target: u32) -> PointAnswer {
+        let n = graph.num_vertices();
+        if source as usize >= n || target as usize >= n {
+            return PointAnswer {
+                distance: None,
+                relaxations: 0,
+            };
+        }
+        if self.dist.len() < n {
+            self.dist.resize(n, UNREACHABLE);
+        }
+        debug_assert!(self.touched.is_empty() && self.heap.is_empty());
+
+        let mut relaxations = 0u64;
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.heap.push(Reverse((0, source)));
+        let mut answer = None;
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist[v as usize] {
+                continue; // stale copy; v was finalized at a smaller distance
+            }
+            if v == target {
+                answer = Some(d);
+                break;
+            }
+            for e in graph.out_edges(v) {
+                relaxations += 1;
+                let nd = d + e.weight as i64;
+                let slot = &mut self.dist[e.dst as usize];
+                if nd < *slot {
+                    if *slot == UNREACHABLE {
+                        self.touched.push(e.dst);
+                    }
+                    *slot = nd;
+                    self.heap.push(Reverse((nd, e.dst)));
+                }
+            }
+        }
+
+        // Sparse reset: restore only what this query dirtied, so the next
+        // query starts clean without an O(n) wipe or any reallocation.
+        for &v in &self.touched {
+            self.dist[v as usize] = UNREACHABLE;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        PointAnswer {
+            distance: answer,
+            relaxations,
+        }
+    }
+
+    /// Buffer capacities (dist, touched, heap), for tests asserting that
+    /// steady-state batches reuse rather than reallocate.
+    #[doc(hidden)]
+    pub fn capacities(&self) -> (usize, usize, usize) {
+        (
+            self.dist.capacity(),
+            self.touched.capacity(),
+            self.heap.capacity(),
+        )
+    }
+}
+
+/// Runs a batch of point queries across the pool's workers, each worker
+/// answering whole queries with its own persistent [`QueryEngine`].
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    engines: WorkerLocal<QueryEngine>,
+}
+
+impl BatchRunner {
+    /// Creates a runner; engines materialize per worker on first use.
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// Answers `queries` (as `(source, target)` pairs) into `answers`
+    /// (cleared and refilled in query order).
+    ///
+    /// Workers claim queries through a dynamic cursor — point queries vary
+    /// wildly in cost (a road-network query touching the whole component vs.
+    /// an adjacent pair), so static partitioning would straggle.
+    pub fn run(
+        &mut self,
+        pool: &Pool,
+        graph: &CsrGraph,
+        queries: &[(u32, u32)],
+        answers: &mut Vec<PointAnswer>,
+    ) {
+        answers.clear();
+        answers.resize(queries.len(), PointAnswer::default());
+        self.engines.ensure(pool.num_threads());
+        let engines = &self.engines;
+        let cursor = ChunkCursor::new(queries.len(), 1);
+        let writer = SliceWriter::new(answers.as_mut_slice());
+        pool.broadcast(|w| {
+            engines.with_mut(w.tid(), |engine| {
+                while let Some(chunk) = cursor.next_chunk() {
+                    for i in chunk {
+                        let (source, target) = queries[i];
+                        let answer = engine.point_query(graph, source, target);
+                        // SAFETY contract of `write_copy`: index `i` is
+                        // claimed by exactly one worker via the cursor.
+                        writer.write_copy(i, &[answer]);
+                    }
+                }
+            });
+        });
+    }
+
+    /// Capacities of every per-worker engine, for buffer-stability tests.
+    #[doc(hidden)]
+    pub fn engine_capacities(&mut self) -> Vec<(usize, usize, usize)> {
+        self.engines.iter_mut().map(|e| e.capacities()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_algorithms::serial::dijkstra;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn point_queries_match_dijkstra() {
+        let g = GraphGen::rmat(8, 8).seed(5).weights_uniform(1, 100).build();
+        let mut engine = QueryEngine::new();
+        for source in [0u32, 17, 200] {
+            let reference = dijkstra(&g, source);
+            for target in [1u32, 42, 255] {
+                let a = engine.point_query(&g, source, target);
+                let expected = (reference[target as usize] < UNREACHABLE)
+                    .then_some(reference[target as usize]);
+                assert_eq!(a.distance, expected, "{source}->{target}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_skips_work_on_road_graphs() {
+        let g = GraphGen::road_grid(24, 24).seed(5).build();
+        let mut engine = QueryEngine::new();
+        let near = engine.point_query(&g, 0, g.out_edges(0)[0].dst);
+        let far = engine.point_query(&g, 0, (g.num_vertices() - 1) as u32);
+        assert!(near.distance.is_some() && far.distance.is_some());
+        assert!(
+            near.relaxations < far.relaxations / 4,
+            "adjacent target must stop early: {} vs {}",
+            near.relaxations,
+            far.relaxations
+        );
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_unreachable_not_panics() {
+        let g = GraphGen::path(3).build();
+        let mut engine = QueryEngine::new();
+        assert_eq!(engine.point_query(&g, 9, 0).distance, None);
+        assert_eq!(engine.point_query(&g, 0, 9).distance, None);
+        // The engine stays usable afterwards.
+        assert_eq!(engine.point_query(&g, 0, 2).distance, Some(2));
+    }
+
+    #[test]
+    fn disconnected_target_is_none_and_engine_resets() {
+        let g = priograph_graph::GraphBuilder::new(4)
+            .edge(0, 1, 3)
+            .edge(2, 3, 1)
+            .build();
+        let mut engine = QueryEngine::new();
+        assert_eq!(engine.point_query(&g, 0, 3).distance, None);
+        // The failed query's touched set must not leak into the next one.
+        assert_eq!(engine.point_query(&g, 2, 3).distance, Some(1));
+        assert_eq!(engine.point_query(&g, 0, 1).distance, Some(3));
+    }
+
+    #[test]
+    fn batch_runner_matches_dijkstra_across_thread_counts() {
+        let g = GraphGen::road_grid(16, 16).seed(7).build();
+        let n = g.num_vertices() as u32;
+        let queries: Vec<(u32, u32)> = (0..64)
+            .map(|i| ((i * 37) % n, (i * 101 + 13) % n))
+            .collect();
+        let mut expected = Vec::new();
+        for &(s, t) in &queries {
+            let d = dijkstra(&g, s)[t as usize];
+            expected.push((d < UNREACHABLE).then_some(d));
+        }
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let mut runner = BatchRunner::new();
+            let mut answers = Vec::new();
+            runner.run(&pool, &g, &queries, &mut answers);
+            let got: Vec<Option<i64>> = answers.iter().map(|a| a.distance).collect();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn steady_state_batches_reuse_buffers() {
+        // The serving-layer analogue of the bucket queue's
+        // steady_state_rounds_reuse_buffers: after a warm-up batch, repeated
+        // identical batches must not grow any engine buffer and must keep
+        // filling the same caller-owned answer storage.
+        let g = GraphGen::road_grid(20, 20).seed(3).build();
+        let n = g.num_vertices() as u32;
+        let pool = Pool::new(4);
+        let queries: Vec<(u32, u32)> = (0..128)
+            .map(|i| ((i * 53) % n, (i * 71 + 29) % n))
+            .collect();
+        let mut runner = BatchRunner::new();
+        let mut answers = Vec::new();
+
+        runner.run(&pool, &g, &queries, &mut answers);
+        runner.run(&pool, &g, &queries, &mut answers);
+        let warm = runner.engine_capacities();
+        let answers_ptr = answers.as_ptr();
+        let answers_cap = answers.capacity();
+        assert!(
+            warm.iter().any(|&(d, _, _)| d > 0),
+            "warm-up must materialize engine buffers"
+        );
+
+        for round in 0..6 {
+            runner.run(&pool, &g, &queries, &mut answers);
+            assert_eq!(
+                runner.engine_capacities(),
+                warm,
+                "round {round} must not grow any per-worker engine buffer"
+            );
+            assert_eq!(
+                answers.as_ptr(),
+                answers_ptr,
+                "round {round} answers realloc"
+            );
+            assert_eq!(answers.capacity(), answers_cap);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = GraphGen::path(4).build();
+        let pool = Pool::new(2);
+        let mut runner = BatchRunner::new();
+        let mut answers = vec![PointAnswer::default(); 3];
+        runner.run(&pool, &g, &[], &mut answers);
+        assert!(answers.is_empty());
+    }
+}

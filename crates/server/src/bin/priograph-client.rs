@@ -1,0 +1,262 @@
+//! The `priograph-client` binary: issue queries against a running
+//! `priograph-server`, optionally verifying every distance against a
+//! locally computed serial Dijkstra reference (the CI smoke test's gate).
+//!
+//! ```text
+//! priograph-client --connect 127.0.0.1:7411 stats
+//! priograph-client --connect ADDR ppsp 0 99
+//! priograph-client --connect ADDR sssp 0
+//! priograph-client --connect ADDR shutdown
+//! priograph-client --connect ADDR --random 120 --seed 7 \
+//!                  --snapshot g.snap --verify
+//! ```
+//!
+//! `--random N` sends one batch of N mixed PPSP/SSSP queries; with
+//! `--verify` the client loads the same graph (via --snapshot/--graph/--gen)
+//! and exits nonzero unless every served distance matches Dijkstra.
+
+use priograph_algorithms::serial::dijkstra;
+use priograph_algorithms::UNREACHABLE;
+use priograph_serve::client::Client;
+use priograph_serve::protocol::{Query, Response};
+use priograph_serve::server::fmt_distance;
+use priograph_serve::spec::GraphSource;
+use std::collections::HashMap;
+
+struct Args {
+    connect: String,
+    source: GraphSource,
+    random: usize,
+    seed: u64,
+    verify: bool,
+    command: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        connect: "127.0.0.1:7411".to_string(),
+        source: GraphSource::default(),
+        random: 0,
+        seed: 1,
+        verify: false,
+        command: Vec::new(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut take = |what: &str| -> String {
+            argv.next()
+                .unwrap_or_else(|| fail(&format!("{what} expects a value")))
+        };
+        match flag.as_str() {
+            "--connect" => args.connect = take("--connect"),
+            "--snapshot" => args.source.snapshot = Some(take("--snapshot")),
+            "--graph" => args.source.graph = Some(take("--graph")),
+            "--gen" => args.source.gen_spec = Some(take("--gen")),
+            "--random" => {
+                args.random = take("--random")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--random expects a count"));
+            }
+            "--seed" => {
+                args.seed = take("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed expects an integer"));
+            }
+            "--verify" => args.verify = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --connect ADDR  [--random N --seed S --verify]\n\
+                     \x20      [--snapshot PATH | --graph PATH | --gen SPEC]\n\
+                     commands: stats | ppsp SRC DST | sssp SRC | shutdown"
+                );
+                std::process::exit(0);
+            }
+            other => args.command.push(other.to_string()),
+        }
+    }
+    args
+}
+
+fn fail(why: &str) -> ! {
+    eprintln!("priograph-client: {why}");
+    std::process::exit(2);
+}
+
+/// Deterministic mixed query batch: mostly point queries, a sprinkling of
+/// full SSSP — the serving mix the batching dispatcher is built for.
+fn random_batch(n_vertices: u32, count: usize, seed: u64) -> Vec<Query> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        // xorshift64* — deterministic and dependency-free.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    (0..count)
+        .map(|i| {
+            let source = (next() % n_vertices as u64) as u32;
+            if i % 5 == 4 {
+                Query::sssp(source)
+            } else {
+                let target = (next() % n_vertices as u64) as u32;
+                Query::ppsp(source, target)
+            }
+        })
+        .collect()
+}
+
+/// Checks one served response against the reference distance vector.
+fn check(query: &Query, response: &Response, dist: &[i64]) -> Result<(), String> {
+    match (query, response) {
+        (q, Response::Distance { distance, .. }) => {
+            let expected =
+                (dist[q.target as usize] < UNREACHABLE).then_some(dist[q.target as usize]);
+            if *distance == expected {
+                Ok(())
+            } else {
+                Err(format!(
+                    "ppsp {}->{}: served {distance:?}, reference {expected:?}",
+                    q.source, q.target
+                ))
+            }
+        }
+        (q, Response::DistVec(served)) => {
+            if served == dist {
+                Ok(())
+            } else {
+                let bad = served.iter().zip(dist).filter(|(a, b)| a != b).count();
+                Err(format!(
+                    "sssp from {}: {bad} of {} distances differ",
+                    q.source,
+                    dist.len()
+                ))
+            }
+        }
+        (q, Response::Error(why)) => Err(format!("query {q:?} failed: {why}")),
+        (q, other) => Err(format!("query {q:?} got unexpected response {other:?}")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut client = Client::connect(&args.connect)
+        .unwrap_or_else(|e| fail(&format!("connecting {}: {e}", args.connect)));
+
+    if args.random > 0 {
+        let stats = client
+            .stats()
+            .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+        let n = stats.num_vertices as u32;
+        if n == 0 {
+            fail("server graph is empty");
+        }
+        let queries = random_batch(n, args.random, args.seed);
+        let started = std::time::Instant::now();
+        let responses = client
+            .batch(queries.clone())
+            .unwrap_or_else(|e| fail(&format!("batch: {e}")));
+        let elapsed = started.elapsed();
+        println!(
+            "batch of {} served in {elapsed:.3?} ({:.1} queries/s)",
+            queries.len(),
+            queries.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+        );
+        if args.verify {
+            let graph = args
+                .source
+                .load()
+                .unwrap_or_else(|e| fail(&format!("--verify needs the graph: {e}")));
+            if graph.num_vertices() as u64 != stats.num_vertices
+                || graph.num_edges() as u64 != stats.num_edges
+            {
+                fail("local graph differs from the server's resident graph");
+            }
+            // One Dijkstra per distinct source covers every query on it.
+            let mut references: HashMap<u32, Vec<i64>> = HashMap::new();
+            let mut mismatches = 0usize;
+            for (query, response) in queries.iter().zip(&responses) {
+                let dist = references
+                    .entry(query.source)
+                    .or_insert_with(|| dijkstra(&graph, query.source));
+                if let Err(why) = check(query, response, dist) {
+                    eprintln!("MISMATCH: {why}");
+                    mismatches += 1;
+                }
+            }
+            if mismatches > 0 {
+                fail(&format!("{mismatches} mismatches against serial Dijkstra"));
+            }
+            println!(
+                "verified {} responses against serial Dijkstra ({} distinct sources): all match",
+                responses.len(),
+                references.len()
+            );
+        }
+        return;
+    }
+
+    match args.command.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["stats"] => {
+            let s = client
+                .stats()
+                .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+            println!(
+                "graph |V|={} |E|={} threads={}\nqueries={} rounds={} point={} full={} errors={}",
+                s.num_vertices,
+                s.num_edges,
+                s.threads,
+                s.queries,
+                s.batch_rounds,
+                s.point_queries,
+                s.full_queries,
+                s.errors
+            );
+        }
+        ["ppsp", src, dst] => {
+            let source = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
+            let target = dst.parse().unwrap_or_else(|_| fail("bad target vertex"));
+            match client.query(Query::ppsp(source, target)) {
+                Ok(Response::Distance {
+                    distance,
+                    relaxations,
+                }) => match distance {
+                    Some(d) => {
+                        println!("distance {source} -> {target}: {d} ({relaxations} relaxations)")
+                    }
+                    None => println!("{target} unreachable from {source}"),
+                },
+                Ok(other) => fail(&format!("unexpected response {other:?}")),
+                Err(e) => fail(&format!("ppsp: {e}")),
+            }
+        }
+        ["sssp", src] => {
+            let source: u32 = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
+            match client.query(Query::sssp(source)) {
+                Ok(Response::DistVec(dist)) => {
+                    let reached = dist.iter().filter(|&&d| d < UNREACHABLE).count();
+                    println!("sssp from {source}: {reached}/{} reached", dist.len());
+                    for (v, d) in dist.iter().enumerate().take(10) {
+                        println!("  {v}: {}", fmt_distance(*d));
+                    }
+                    if dist.len() > 10 {
+                        println!("  ... ({} more)", dist.len() - 10);
+                    }
+                }
+                Ok(other) => fail(&format!("unexpected response {other:?}")),
+                Err(e) => fail(&format!("sssp: {e}")),
+            }
+        }
+        ["shutdown"] => {
+            client
+                .shutdown()
+                .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+            println!("server acknowledged shutdown");
+        }
+        [] => fail("no command; see --help"),
+        _ => fail(&format!(
+            "unrecognized command {:?}; see --help",
+            args.command
+        )),
+    }
+}

@@ -1,0 +1,137 @@
+//! The `priograph-server` binary: load (or generate) a graph, optionally
+//! persist it as a snapshot, and serve queries over TCP.
+//!
+//! ```text
+//! priograph-server --snapshot g.snap                 [--listen 127.0.0.1:7411]
+//! priograph-server --graph edges.el                  [--threads N]
+//! priograph-server --gen grid:60 --save-snapshot g.snap
+//!                  [--schedule lazy|eager|eager-fusion] [--delta N]
+//! ```
+//!
+//! Once bound it prints `listening on ADDR` to stdout (scripts wait for
+//! that line) and serves until killed or a client sends the shutdown
+//! request.
+
+use priograph_core::schedule::Schedule;
+use priograph_graph::GraphSnapshot;
+use priograph_serve::protocol::{WireSchedule, WireStrategy};
+use priograph_serve::server::{serve, ServerConfig};
+use priograph_serve::spec::GraphSource;
+
+struct Args {
+    listen: String,
+    source: GraphSource,
+    save_snapshot: Option<String>,
+    threads: usize,
+    schedule: String,
+    delta: Option<i64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7411".to_string(),
+        source: GraphSource::default(),
+        save_snapshot: None,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        schedule: "lazy".to_string(),
+        delta: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut take = |what: &str| -> String {
+            argv.next()
+                .unwrap_or_else(|| fail(&format!("{what} expects a value")))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = take("--listen"),
+            "--snapshot" => args.source.snapshot = Some(take("--snapshot")),
+            "--graph" => args.source.graph = Some(take("--graph")),
+            "--gen" => args.source.gen_spec = Some(take("--gen")),
+            "--save-snapshot" => args.save_snapshot = Some(take("--save-snapshot")),
+            "--threads" => {
+                args.threads = take("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads expects a positive integer"));
+            }
+            "--schedule" => args.schedule = take("--schedule"),
+            "--delta" => {
+                args.delta = Some(
+                    take("--delta")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--delta expects an integer >= 1")),
+                );
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --snapshot PATH | --graph PATH | --gen SPEC (one required)\n\
+                     \x20      --listen ADDR  --threads N  --save-snapshot PATH\n\
+                     \x20      --schedule lazy|eager|eager-fusion|lazy-constant-sum  --delta N"
+                );
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other}; see --help")),
+        }
+    }
+    args
+}
+
+fn fail(why: &str) -> ! {
+    eprintln!("priograph-server: {why}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let graph = args
+        .source
+        .load()
+        .unwrap_or_else(|e| fail(&format!("loading graph: {e}")));
+    eprintln!(
+        "resident graph: |V| = {}, |E| = {}, symmetric = {}, coords = {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.is_symmetric(),
+        graph.coords().is_some()
+    );
+    if let Some(path) = &args.save_snapshot {
+        GraphSnapshot::write(&graph, path)
+            .unwrap_or_else(|e| fail(&format!("writing snapshot {path}: {e}")));
+        eprintln!("wrote snapshot {path}");
+    }
+
+    // Road graphs (recognizable by coordinates) want a large Δ, social
+    // graphs a small one (paper §6.2); --delta overrides the guess.
+    let delta = args
+        .delta
+        .unwrap_or(if graph.coords().is_some() {
+            1 << 12
+        } else {
+            32
+        })
+        .max(1);
+    // One spelling set for --schedule and the wire: WireStrategy::parse.
+    // "default" (= ServerDefault) resolves to lazy, the family-agnostic
+    // choice.
+    let strategy = WireStrategy::parse(&args.schedule).unwrap_or_else(|e| fail(&e));
+    let default_schedule = WireSchedule { strategy, delta }.resolve(&Schedule::lazy(delta));
+
+    let handle = serve(
+        graph,
+        ServerConfig {
+            addr: args.listen.clone(),
+            threads: args.threads.max(1),
+            default_schedule,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("binding {}: {e}", args.listen)));
+
+    // Scripts block on this exact line to know the port is live.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    eprintln!("priograph-server: shut down");
+}

@@ -1,0 +1,104 @@
+//! Blocking TCP client for the `priograph-serve` protocol.
+
+use crate::protocol::{read_frame, write_frame, Query, Request, Response, ServerStats, WireError};
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. One request is in flight at a time (the protocol is
+/// strictly request/response per connection; open more connections for
+/// client-side concurrency — the server batches across them).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on socket or framing failures (in-band
+    /// [`Response::Error`]s are returned as `Ok`).
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        Response::decode(&payload)
+    }
+
+    /// Runs one query.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn query(&mut self, query: Query) -> Result<Response, WireError> {
+        self.request(&Request::Query(query))
+    }
+
+    /// Runs a batch, returning per-query responses in request order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a non-batch reply.
+    pub fn batch(&mut self, queries: Vec<Query>) -> Result<Vec<Response>, WireError> {
+        match self.request(&Request::Batch(queries))? {
+            Response::Batch(items) => Ok(items),
+            Response::Error(why) => Err(WireError::Remote(why)),
+            other => Err(WireError::Malformed(format!(
+                "expected a batch response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches server statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a non-stats reply.
+    pub fn stats(&mut self) -> Result<ServerStats, WireError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(why) => Err(WireError::Remote(why)),
+            other => Err(WireError::Malformed(format!(
+                "expected a stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a non-acknowledgement reply.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Error(why) => Err(WireError::Remote(why)),
+            other => Err(WireError::Malformed(format!(
+                "expected a shutdown acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+}

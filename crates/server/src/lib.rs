@@ -1,0 +1,54 @@
+//! `priograph-serve` — the serving layer over the priograph engines.
+//!
+//! The CGO 2020 paper makes ordered queries (SSSP, PPSP, wBFS, k-core) fast
+//! under the assumption that the graph is preprocessed and resident; this
+//! crate is the systems half of that amortization. It provides:
+//!
+//! * [`server`] — a std-TCP server holding one resident
+//!   [`CsrGraph`](priograph_graph::CsrGraph) (typically snapshot-loaded via
+//!   [`priograph_graph::snapshot`]), with a single dispatcher thread that
+//!   owns the worker [`Pool`](priograph_parallel::Pool) and **batches**
+//!   concurrent queries against it;
+//! * [`protocol`] — the versioned, length-prefixed binary wire protocol
+//!   (typed PPSP/SSSP/wBFS/k-core queries, schedule selection, stats);
+//! * [`batch`] — per-worker reusable point-query engines: a steady stream
+//!   of PPSP queries is served with zero allocation in the engine hot path,
+//!   extending PR 2's zero-allocation frontier discipline across queries;
+//! * [`client`] — a blocking client;
+//! * [`spec`] — shared graph-source handling for the `priograph-server`
+//!   and `priograph-client` binaries.
+//!
+//! No async runtime is used: connections are OS threads, and the protocol
+//! is strict request/response (see `vendor/README.md` for the rationale —
+//! the build environment vendors all dependencies by hand, and a hand-rolled
+//! tokio is a far worse idea than thread-per-connection at the connection
+//! counts a resident-graph server sees).
+//!
+//! # Example
+//!
+//! ```
+//! use priograph_serve::client::Client;
+//! use priograph_serve::protocol::Query;
+//! use priograph_serve::server::{serve, ServerConfig};
+//! use priograph_graph::gen::GraphGen;
+//!
+//! let graph = GraphGen::road_grid(8, 8).seed(1).build();
+//! let handle = serve(graph, ServerConfig { threads: 2, ..Default::default() }).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let answers = client.batch(vec![Query::ppsp(0, 63), Query::ppsp(5, 5)]).unwrap();
+//! assert_eq!(answers.len(), 2);
+//! handle.stop();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+
+pub use client::Client;
+pub use protocol::{Query, QueryOp, Request, Response, ServerStats, WireError};
+pub use server::{serve, ServerConfig, ServerHandle};

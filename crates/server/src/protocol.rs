@@ -1,0 +1,890 @@
+//! The `priograph-serve` wire protocol: length-prefixed binary frames over a
+//! plain TCP stream.
+//!
+//! Every message is one frame: a `u32` little-endian payload length followed
+//! by the payload. Payloads open with a protocol version byte and a message
+//! tag; all integers are little-endian, vectors carry a `u64` length prefix.
+//! The format is hand-rolled for the same reason the bench JSON is (no
+//! crates.io access, so no serde), and the decoder accepts exactly the
+//! subset the encoder produces.
+//!
+//! Frames are capped at [`MAX_FRAME_LEN`]; a peer announcing a larger frame
+//! is rejected before any allocation, so a corrupt or hostile length prefix
+//! cannot OOM the server.
+
+use priograph_core::schedule::Schedule;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Protocol version carried in every frame. Bump on any wire change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on a frame payload (64 MiB) — larger than any distance vector
+/// the bundled workloads produce, small enough to bound a malicious peer.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// Why a frame could not be read, written, or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version byte received.
+        got: u8,
+    },
+    /// The frame length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: usize,
+    },
+    /// The payload does not decode as any known message.
+    Malformed(String),
+    /// The server answered with an in-band error.
+    Remote(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::VersionMismatch { got } => {
+                write!(
+                    f,
+                    "protocol version mismatch: got {got}, want {PROTOCOL_VERSION}"
+                )
+            }
+            WireError::FrameTooLarge { declared } => {
+                write!(f, "frame of {declared} bytes exceeds cap {MAX_FRAME_LEN}")
+            }
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            WireError::Remote(why) => write!(f, "server error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(why: impl Into<String>) -> WireError {
+    WireError::Malformed(why.into())
+}
+
+/// The ordered algorithm a [`Query`] runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueryOp {
+    /// Point-to-point shortest path (early-terminating; served by the
+    /// per-worker serial engine so whole batches run concurrently).
+    Ppsp,
+    /// Full single-source shortest paths (parallel Δ-stepping engine).
+    Sssp,
+    /// Weighted BFS — Δ-stepping with Δ forced to 1.
+    Wbfs,
+    /// k-core decomposition over the symmetrized resident graph.
+    KCore,
+}
+
+impl QueryOp {
+    fn to_u8(self) -> u8 {
+        match self {
+            QueryOp::Ppsp => 0,
+            QueryOp::Sssp => 1,
+            QueryOp::Wbfs => 2,
+            QueryOp::KCore => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(QueryOp::Ppsp),
+            1 => Ok(QueryOp::Sssp),
+            2 => Ok(QueryOp::Wbfs),
+            3 => Ok(QueryOp::KCore),
+            other => Err(malformed(format!("unknown query op {other}"))),
+        }
+    }
+}
+
+/// Bucket strategy requested for a query, mirroring
+/// [`priograph_core::schedule::PriorityUpdateStrategy`] plus a "server
+/// default" sentinel so clients need not know the resident graph's family.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum WireStrategy {
+    /// Use whatever schedule the server was started with.
+    #[default]
+    ServerDefault,
+    /// `lazy` bucket updates.
+    Lazy,
+    /// `eager_no_fusion`.
+    Eager,
+    /// `eager_with_fusion`.
+    EagerFusion,
+    /// `lazy_constant_sum` (k-core's preferred schedule).
+    LazyConstantSum,
+}
+
+impl WireStrategy {
+    fn to_u8(self) -> u8 {
+        match self {
+            WireStrategy::ServerDefault => 0,
+            WireStrategy::Lazy => 1,
+            WireStrategy::Eager => 2,
+            WireStrategy::EagerFusion => 3,
+            WireStrategy::LazyConstantSum => 4,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(WireStrategy::ServerDefault),
+            1 => Ok(WireStrategy::Lazy),
+            2 => Ok(WireStrategy::Eager),
+            3 => Ok(WireStrategy::EagerFusion),
+            4 => Ok(WireStrategy::LazyConstantSum),
+            other => Err(malformed(format!("unknown strategy {other}"))),
+        }
+    }
+
+    /// Parses the scheduling-language spelling (`lazy`, `eager`,
+    /// `eager-fusion`/`eager_with_fusion`, `lazy-constant-sum`, `default`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized spelling.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "default" => Ok(WireStrategy::ServerDefault),
+            "lazy" => Ok(WireStrategy::Lazy),
+            "eager" | "eager_no_fusion" => Ok(WireStrategy::Eager),
+            "eager-fusion" | "eager_with_fusion" => Ok(WireStrategy::EagerFusion),
+            "lazy-constant-sum" | "lazy_constant_sum" => Ok(WireStrategy::LazyConstantSum),
+            other => Err(format!("unknown schedule {other:?}")),
+        }
+    }
+}
+
+/// Schedule selection carried by a query: a strategy plus Δ (`0` = keep the
+/// server default's Δ).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct WireSchedule {
+    /// Requested bucket strategy.
+    pub strategy: WireStrategy,
+    /// Requested coarsening factor; `0` defers to the server default.
+    pub delta: i64,
+}
+
+impl WireSchedule {
+    /// Resolves the wire selection against the server's default schedule.
+    pub fn resolve(&self, default: &Schedule) -> Schedule {
+        let mut schedule = match self.strategy {
+            WireStrategy::ServerDefault => default.clone(),
+            WireStrategy::Lazy => Schedule::lazy(default.delta),
+            WireStrategy::Eager => Schedule::eager(default.delta),
+            WireStrategy::EagerFusion => Schedule::eager_with_fusion(default.delta),
+            WireStrategy::LazyConstantSum => Schedule::lazy_constant_sum(),
+        };
+        if self.delta > 0 && self.strategy != WireStrategy::LazyConstantSum {
+            schedule.delta = self.delta;
+        }
+        schedule
+    }
+}
+
+/// Encoded size of one [`Query`]: op + source + target + strategy + delta.
+const QUERY_WIRE_LEN: usize = 1 + 4 + 4 + 1 + 8;
+
+/// One typed query against the resident graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Which algorithm to run.
+    pub op: QueryOp,
+    /// Source vertex (ignored by k-core).
+    pub source: u32,
+    /// Target vertex (PPSP only; ignored elsewhere).
+    pub target: u32,
+    /// Schedule selection.
+    pub schedule: WireSchedule,
+}
+
+impl Query {
+    /// A PPSP query with the server-default schedule.
+    pub fn ppsp(source: u32, target: u32) -> Self {
+        Query {
+            op: QueryOp::Ppsp,
+            source,
+            target,
+            schedule: WireSchedule::default(),
+        }
+    }
+
+    /// A full SSSP query with the server-default schedule.
+    pub fn sssp(source: u32) -> Self {
+        Query {
+            op: QueryOp::Sssp,
+            source,
+            target: 0,
+            schedule: WireSchedule::default(),
+        }
+    }
+
+    /// A wBFS query with the server-default schedule.
+    pub fn wbfs(source: u32) -> Self {
+        Query {
+            op: QueryOp::Wbfs,
+            source,
+            target: 0,
+            schedule: WireSchedule::default(),
+        }
+    }
+
+    /// A k-core query (always runs `lazy_constant_sum`-compatible peeling).
+    pub fn kcore() -> Self {
+        Query {
+            op: QueryOp::KCore,
+            source: 0,
+            target: 0,
+            schedule: WireSchedule {
+                strategy: WireStrategy::LazyConstantSum,
+                delta: 0,
+            },
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.op.to_u8());
+        out.extend_from_slice(&self.source.to_le_bytes());
+        out.extend_from_slice(&self.target.to_le_bytes());
+        out.push(self.schedule.strategy.to_u8());
+        out.extend_from_slice(&self.schedule.delta.to_le_bytes());
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        Ok(Query {
+            op: QueryOp::from_u8(r.u8()?)?,
+            source: r.u32()?,
+            target: r.u32()?,
+            schedule: WireSchedule {
+                strategy: WireStrategy::from_u8(r.u8()?)?,
+                delta: r.i64()?,
+            },
+        })
+    }
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// One query.
+    Query(Query),
+    /// Several queries answered as one ordered [`Response::Batch`].
+    Batch(Vec<Query>),
+    /// Ask for [`Response::Stats`].
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request payload (version byte included, frame prefix
+    /// excluded).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Request::Query(q) => {
+                out.push(0);
+                q.encode(&mut out);
+            }
+            Request::Batch(qs) => {
+                out.push(1);
+                out.extend_from_slice(&(qs.len() as u64).to_le_bytes());
+                for q in qs {
+                    q.encode(&mut out);
+                }
+            }
+            Request::Stats => out.push(2),
+            Request::Shutdown => out.push(3),
+        }
+        out
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for version mismatches and malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Cursor::open(bytes)?;
+        let req = match r.u8()? {
+            0 => Request::Query(Query::decode(&mut r)?),
+            1 => {
+                let count = r.len_prefix(QUERY_WIRE_LEN)?;
+                let mut qs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    qs.push(Query::decode(&mut r)?);
+                }
+                Request::Batch(qs)
+            }
+            2 => Request::Stats,
+            3 => Request::Shutdown,
+            other => return Err(malformed(format!("unknown request tag {other}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// Server-side counters reported by [`Response::Stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Vertices in the resident graph.
+    pub num_vertices: u64,
+    /// Directed edges in the resident graph.
+    pub num_edges: u64,
+    /// Worker threads in the serving pool.
+    pub threads: u64,
+    /// Queries answered (successes and errors).
+    pub queries: u64,
+    /// Dispatcher rounds (each groups one or more concurrent queries).
+    pub batch_rounds: u64,
+    /// Point queries served by the per-worker serial engines.
+    pub point_queries: u64,
+    /// Full-vector queries served by the parallel engines.
+    pub full_queries: u64,
+    /// Queries that produced an in-band error.
+    pub errors: u64,
+}
+
+impl ServerStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.num_vertices,
+            self.num_edges,
+            self.threads,
+            self.queries,
+            self.batch_rounds,
+            self.point_queries,
+            self.full_queries,
+            self.errors,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        Ok(ServerStats {
+            num_vertices: r.u64()?,
+            num_edges: r.u64()?,
+            threads: r.u64()?,
+            queries: r.u64()?,
+            batch_rounds: r.u64()?,
+            point_queries: r.u64()?,
+            full_queries: r.u64()?,
+            errors: r.u64()?,
+        })
+    }
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to a PPSP query: the distance (if connected) and the
+    /// relaxations the early-terminating engine performed.
+    Distance {
+        /// Shortest distance, `None` when the target is unreachable.
+        distance: Option<i64>,
+        /// Edge relaxations performed.
+        relaxations: u64,
+    },
+    /// Full distance vector (SSSP / wBFS).
+    DistVec(Vec<i64>),
+    /// Coreness vector (k-core).
+    Coreness(Vec<i64>),
+    /// Server counters.
+    Stats(ServerStats),
+    /// Per-query answers of a [`Request::Batch`], in request order.
+    Batch(Vec<Response>),
+    /// The query failed (bad vertex, rejected schedule, ...).
+    Error(String),
+    /// Acknowledgement of [`Request::Shutdown`].
+    Bye,
+}
+
+impl Response {
+    /// Serializes the response payload (version byte included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![PROTOCOL_VERSION];
+        self.encode_body(&mut out);
+        out
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Distance {
+                distance,
+                relaxations,
+            } => {
+                out.push(0);
+                match distance {
+                    Some(d) => {
+                        out.push(1);
+                        out.extend_from_slice(&d.to_le_bytes());
+                    }
+                    None => {
+                        out.push(0);
+                        out.extend_from_slice(&0i64.to_le_bytes());
+                    }
+                }
+                out.extend_from_slice(&relaxations.to_le_bytes());
+            }
+            Response::DistVec(dist) => {
+                out.push(1);
+                encode_i64_vec(dist, out);
+            }
+            Response::Coreness(core) => {
+                out.push(2);
+                encode_i64_vec(core, out);
+            }
+            Response::Stats(stats) => {
+                out.push(3);
+                stats.encode(out);
+            }
+            Response::Batch(items) => {
+                out.push(4);
+                out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+                for item in items {
+                    item.encode_body(out);
+                }
+            }
+            Response::Error(why) => {
+                out.push(5);
+                let bytes = why.as_bytes();
+                out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            Response::Bye => out.push(6),
+        }
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for version mismatches and malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Cursor::open(bytes)?;
+        let resp = Self::decode_body(&mut r, 0)?;
+        r.finish()?;
+        Ok(resp)
+    }
+
+    fn decode_body(r: &mut Cursor<'_>, depth: u8) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => {
+                let present = r.u8()?;
+                let d = r.i64()?;
+                let relaxations = r.u64()?;
+                Ok(Response::Distance {
+                    distance: (present != 0).then_some(d),
+                    relaxations,
+                })
+            }
+            1 => Ok(Response::DistVec(decode_i64_vec(r)?)),
+            2 => Ok(Response::Coreness(decode_i64_vec(r)?)),
+            3 => Ok(Response::Stats(ServerStats::decode(r)?)),
+            4 => {
+                if depth > 0 {
+                    return Err(malformed("nested batch responses are not allowed"));
+                }
+                // Responses are 1 byte minimum on the wire but much larger
+                // in memory, so growth is left to push (bounded by items
+                // actually decoded) instead of a count-sized preallocation.
+                let count = r.len_prefix(1)?;
+                let mut items = Vec::new();
+                for _ in 0..count {
+                    items.push(Self::decode_body(r, depth + 1)?);
+                }
+                Ok(Response::Batch(items))
+            }
+            5 => {
+                let len = r.len_prefix(1)?;
+                let bytes = r.take(len)?;
+                Ok(Response::Error(
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| malformed("error message is not utf-8"))?,
+                ))
+            }
+            6 => Ok(Response::Bye),
+            other => Err(malformed(format!("unknown response tag {other}"))),
+        }
+    }
+}
+
+fn encode_i64_vec(values: &[i64], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn decode_i64_vec(r: &mut Cursor<'_>) -> Result<Vec<i64>, WireError> {
+    let len = r.len_prefix(8)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.i64()?);
+    }
+    Ok(out)
+}
+
+/// Writes `payload` as one length-prefixed frame.
+///
+/// # Errors
+///
+/// Rejects payloads over [`MAX_FRAME_LEN`] and propagates IO failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            declared: payload.len(),
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame, returning `None` on a clean EOF at a
+/// frame boundary (the peer hung up between requests).
+///
+/// # Errors
+///
+/// Rejects oversized length prefixes before allocating and propagates IO
+/// failures (including EOF mid-frame).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    // Fill the length prefix byte-by-byte so that EOF *before* the first
+    // byte reads as a clean hangup while EOF *inside* the prefix surfaces
+    // as truncation, like EOF inside the payload does.
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame length prefix",
+                )))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { declared: len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Bounds-checked little-endian cursor that also enforces the leading
+/// protocol version byte.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Opens a payload, consuming and checking the version byte.
+    fn open(bytes: &'a [u8]) -> Result<Self, WireError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let version = c.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch { got: version });
+        }
+        Ok(c)
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| malformed("payload truncated"))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` element count and bounds it by the bytes actually
+    /// remaining divided by the element's minimum encoded size, so a lying
+    /// count cannot trigger an outsized `Vec::with_capacity` (a 64 MiB
+    /// frame must not be able to demand a multi-GiB allocation).
+    fn len_prefix(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let len = self.u64()?;
+        let remaining = self.bytes.len() - self.pos;
+        let max = remaining / min_elem_size.max(1);
+        if len > max as u64 {
+            return Err(malformed(format!(
+                "length prefix {len} exceeds the {remaining} remaining bytes \
+                 ({min_elem_size} per element)"
+            )));
+        }
+        Ok(len as usize)
+    }
+
+    /// Asserts the payload was fully consumed.
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(malformed(format!(
+                "{} trailing bytes after message",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Query(Query::ppsp(3, 99)));
+        roundtrip_request(Request::Query(Query {
+            op: QueryOp::Sssp,
+            source: 7,
+            target: 0,
+            schedule: WireSchedule {
+                strategy: WireStrategy::EagerFusion,
+                delta: 4096,
+            },
+        }));
+        roundtrip_request(Request::Batch(vec![
+            Query::ppsp(0, 1),
+            Query::sssp(2),
+            Query::wbfs(3),
+            Query::kcore(),
+        ]));
+        roundtrip_request(Request::Batch(Vec::new()));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Distance {
+            distance: Some(41),
+            relaxations: 17,
+        });
+        roundtrip_response(Response::Distance {
+            distance: None,
+            relaxations: 0,
+        });
+        roundtrip_response(Response::DistVec(vec![0, 5, i64::MAX / 4]));
+        roundtrip_response(Response::Coreness(vec![2, 2, 1]));
+        roundtrip_response(Response::Stats(ServerStats {
+            num_vertices: 100,
+            num_edges: 400,
+            threads: 4,
+            queries: 9,
+            batch_rounds: 3,
+            point_queries: 6,
+            full_queries: 3,
+            errors: 1,
+        }));
+        roundtrip_response(Response::Batch(vec![
+            Response::Distance {
+                distance: Some(1),
+                relaxations: 2,
+            },
+            Response::Error("nope".to_string()),
+            Response::DistVec(vec![7]),
+        ]));
+        roundtrip_response(Response::Error(String::new()));
+        roundtrip_response(Response::Bye);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = Request::Stats.encode();
+        bytes[0] = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            WireError::VersionMismatch { got } if got == PROTOCOL_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let bytes = Request::Query(Query::ppsp(1, 2)).encode();
+        for cut in 0..bytes.len() {
+            assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            Request::decode(&extended).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn lying_batch_count_cannot_demand_a_huge_allocation() {
+        let mut bytes = Request::Batch(vec![Query::ppsp(0, 1)]).encode();
+        // The count sits right after version + tag.
+        bytes[2..10].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn batch_count_is_bounded_by_element_size() {
+        // Two queries encoded, count rewritten to 3: a one-byte-per-element
+        // bound would accept this (36 bytes remain) and overshoot the
+        // preallocation; the element-size bound rejects it up front.
+        let mut bytes = Request::Batch(vec![Query::ppsp(0, 1), Query::ppsp(1, 2)]).encode();
+        bytes[2..10].copy_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn nested_batch_response_is_rejected() {
+        let inner = Response::Batch(vec![Response::Bye]);
+        let outer = Response::Batch(vec![inner]);
+        assert!(matches!(
+            Response::decode(&outer.encode()).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &huge[..]).unwrap_err(),
+            WireError::FrameTooLarge { .. }
+        ));
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME_LEN + 1]).unwrap_err(),
+            WireError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2); // inside the payload
+        assert!(matches!(
+            read_frame(&mut &buf[..]).unwrap_err(),
+            WireError::Io(_)
+        ));
+        // EOF inside the 4-byte length prefix is truncation too, not a
+        // clean close.
+        for cut in 1..4 {
+            let partial = &[0u8; 4][..cut];
+            assert!(matches!(
+                read_frame(&mut &partial[..]).unwrap_err(),
+                WireError::Io(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn wire_schedule_resolves_against_default() {
+        let default = Schedule::lazy(512);
+        let keep = WireSchedule::default().resolve(&default);
+        assert_eq!(keep, default);
+        let eager = WireSchedule {
+            strategy: WireStrategy::EagerFusion,
+            delta: 32,
+        }
+        .resolve(&default);
+        assert_eq!(eager.delta, 32);
+        assert!(eager.is_eager());
+        let inherit_delta = WireSchedule {
+            strategy: WireStrategy::Lazy,
+            delta: 0,
+        }
+        .resolve(&default);
+        assert_eq!(inherit_delta.delta, 512);
+        let kcore = WireSchedule {
+            strategy: WireStrategy::LazyConstantSum,
+            delta: 99,
+        }
+        .resolve(&default);
+        assert_eq!(kcore.delta, 1, "constant-sum forbids coarsening");
+    }
+
+    #[test]
+    fn strategy_spellings_parse() {
+        assert_eq!(WireStrategy::parse("lazy"), Ok(WireStrategy::Lazy));
+        assert_eq!(
+            WireStrategy::parse("eager-fusion"),
+            Ok(WireStrategy::EagerFusion)
+        );
+        assert_eq!(
+            WireStrategy::parse("eager_with_fusion"),
+            Ok(WireStrategy::EagerFusion)
+        );
+        assert_eq!(
+            WireStrategy::parse("default"),
+            Ok(WireStrategy::ServerDefault)
+        );
+        assert!(WireStrategy::parse("bogus").is_err());
+    }
+}

@@ -1,0 +1,606 @@
+//! The graph server: a resident [`CsrGraph`], a serving [`Pool`], and a
+//! batching dispatcher behind a std-TCP accept loop.
+//!
+//! # Architecture
+//!
+//! ```text
+//! client conns ──► connection threads ──► job queue ──► dispatcher thread
+//!   (frames)         (decode/reply)       (mpsc)        (owns the Pool)
+//! ```
+//!
+//! Every connection gets a plain OS thread (no async runtime — see
+//! `vendor/README.md` for why), but **no connection thread ever touches the
+//! pool**: [`Pool::broadcast`] assumes a single orchestrator, so all query
+//! execution funnels through one dispatcher thread that owns it. That
+//! funnel is also where batching happens — the dispatcher drains every
+//! query that arrived while the previous round ran and serves them as one
+//! group: point queries fan out across the pool's per-worker
+//! [`QueryEngine`](crate::batch::QueryEngine)s (inter-query parallelism,
+//! zero steady-state allocation), full-vector queries run one at a time on
+//! the parallel bucket engines (intra-query parallelism).
+
+use crate::batch::{BatchRunner, PointAnswer};
+use crate::protocol::{
+    read_frame, write_frame, Query, QueryOp, Request, Response, ServerStats, WireError,
+    WireStrategy,
+};
+use priograph_algorithms::{kcore, sssp, wbfs, UNREACHABLE};
+use priograph_core::schedule::Schedule;
+use priograph_graph::CsrGraph;
+use priograph_parallel::Pool;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// How a [`serve`]d server is configured.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (the bound address is
+    /// reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads in the serving pool.
+    pub threads: usize,
+    /// Schedule used when a query asks for the server default.
+    pub default_schedule: Schedule,
+    /// Maximum queries grouped into one dispatcher round.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            default_schedule: Schedule::lazy(32),
+            max_batch: 256,
+        }
+    }
+}
+
+/// Counters shared between connections, the dispatcher, and stats replies.
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    batch_rounds: AtomicU64,
+    point_queries: AtomicU64,
+    full_queries: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// State shared by every thread of one server instance.
+#[derive(Debug)]
+struct Shared {
+    graph: Arc<CsrGraph>,
+    /// Symmetrized view for k-core, computed on first use (the resident
+    /// graph itself is reused when it is already symmetric).
+    sym: OnceLock<Arc<CsrGraph>>,
+    default_schedule: Schedule,
+    threads: usize,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn sym_graph(&self) -> Arc<CsrGraph> {
+        self.sym
+            .get_or_init(|| {
+                if self.graph.is_symmetric() {
+                    Arc::clone(&self.graph)
+                } else {
+                    Arc::new(self.graph.symmetrize())
+                }
+            })
+            .clone()
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            num_vertices: self.graph.num_vertices() as u64,
+            num_edges: self.graph.num_edges() as u64,
+            threads: self.threads as u64,
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            batch_rounds: self.counters.batch_rounds.load(Ordering::Relaxed),
+            point_queries: self.counters.point_queries.load(Ordering::Relaxed),
+            full_queries: self.counters.full_queries.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One query in flight from a connection thread to the dispatcher.
+struct Job {
+    query: Query,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Handle to a running server.
+///
+/// Dropping the handle stops the server; [`ServerHandle::stop`] does so
+/// explicitly, [`ServerHandle::join`] instead blocks until a client sends
+/// [`Request::Shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: no new connections are accepted, in-flight
+    /// queries finish, and both service threads are joined.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    /// Blocks until the server shuts down (via [`Request::Shutdown`] or
+    /// [`ServerHandle::stop`] from another handle-owning thread).
+    pub fn join(mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Kick the blocking accept() so the listener observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.listener.is_some() || self.dispatcher.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// Starts serving `graph` per `config`, returning once the listen socket is
+/// bound.
+///
+/// # Errors
+///
+/// Propagates socket bind/spawn failures.
+pub fn serve(graph: CsrGraph, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        graph: Arc::new(graph),
+        sym: OnceLock::new(),
+        default_schedule: config.default_schedule.clone(),
+        threads: config.threads.max(1),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (tx, rx) = mpsc::channel::<Job>();
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        let threads = shared.threads;
+        let max_batch = config.max_batch.max(1);
+        std::thread::Builder::new()
+            .name("priograph-dispatch".to_string())
+            .spawn(move || dispatcher_loop(&shared, &rx, threads, max_batch))?
+    };
+    let listener_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("priograph-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared, addr, &tx))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        listener: Some(listener_thread),
+        dispatcher: Some(dispatcher),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    addr: SocketAddr,
+    tx: &mpsc::Sender<Job>,
+) {
+    // The master job sender lives exactly as long as the accept loop; when
+    // it drops (plus every connection's clone), the dispatcher drains and
+    // exits.
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // accept can fail persistently (e.g. fd exhaustion under a
+                // connection flood) — and then the stop() kick-connect fails
+                // too, so the shutdown flag must be checked here, and the
+                // retry must back off instead of busy-spinning.
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("priograph-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &shared, addr, &tx);
+            });
+    }
+}
+
+/// Serves one client connection; returns on disconnect or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    addr: SocketAddr,
+    tx: &mpsc::Sender<Job>,
+) -> Result<(), WireError> {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let Some(payload) = read_frame(&mut stream)? else {
+            return Ok(()); // clean disconnect between frames
+        };
+        let response = match Request::decode(&payload) {
+            Ok(Request::Stats) => Response::Stats(shared.stats()),
+            Ok(Request::Shutdown) => {
+                write_frame(&mut stream, &Response::Bye.encode())?;
+                shared.shutdown.store(true, Ordering::Release);
+                // Kick the accept loop awake so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+            Ok(Request::Query(query)) => submit(tx, query),
+            Ok(Request::Batch(queries)) => {
+                // Submit every query before collecting any reply, so the
+                // whole batch is visible to one dispatcher round.
+                let pending: Vec<mpsc::Receiver<Response>> =
+                    queries.iter().map(|&q| submit_async(tx, q)).collect();
+                Response::Batch(pending.into_iter().map(collect_reply).collect())
+            }
+            // Framing survives a malformed payload, so report and carry on.
+            Err(e) => Response::Error(e.to_string()),
+        };
+        let mut encoded = response.encode();
+        if encoded.len() > crate::protocol::MAX_FRAME_LEN {
+            // Never kill the connection over an oversized answer (a batch
+            // of full-vector queries can cross the cap even though each
+            // fits): degrade to an in-band error the client can act on.
+            encoded = Response::Error(format!(
+                "response of {} bytes exceeds the {} byte frame cap; \
+                 split the batch or use point queries",
+                encoded.len(),
+                crate::protocol::MAX_FRAME_LEN
+            ))
+            .encode();
+        }
+        write_frame(&mut stream, &encoded)?;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(()); // stop serving this connection once shutdown began
+        }
+    }
+}
+
+/// Whether a full distance/coreness vector for `n` vertices fits one
+/// frame (with generous envelope slack). Beyond this, full-vector queries
+/// get an in-band error up front instead of a dead connection after the
+/// engine has already done the work.
+fn dist_vec_fits(n: usize) -> bool {
+    n.saturating_mul(8).saturating_add(4096) <= crate::protocol::MAX_FRAME_LEN
+}
+
+fn submit_async(tx: &mpsc::Sender<Job>, query: Query) -> mpsc::Receiver<Response> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let _ = tx.send(Job {
+        query,
+        reply: reply_tx,
+    });
+    reply_rx
+}
+
+fn collect_reply(rx: mpsc::Receiver<Response>) -> Response {
+    rx.recv()
+        .unwrap_or_else(|_| Response::Error("server is shutting down".to_string()))
+}
+
+fn submit(tx: &mpsc::Sender<Job>, query: Query) -> Response {
+    collect_reply(submit_async(tx, query))
+}
+
+/// The dispatcher: the single owner of the pool and the batching point.
+fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, max_batch: usize) {
+    let pool = Pool::new(threads);
+    let mut runner = BatchRunner::new();
+    // Reused round state (cleared, never dropped, between rounds).
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut point_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut point_slots: Vec<usize> = Vec::new();
+    let mut answers: Vec<PointAnswer> = Vec::new();
+    let mut replies: Vec<Option<Response>> = Vec::new();
+
+    loop {
+        // The shutdown check must come before processing, not only on the
+        // idle timeout: a client streaming queries with sub-timeout gaps
+        // would otherwise keep the dispatcher in the Ok(job) branch forever
+        // and wedge ServerHandle::stop(). Dropped jobs resolve to a
+        // shutting-down error reply on the connection side.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Poll-with-timeout instead of a bare recv: connections may outlive
+        // a [`ServerHandle::stop`], and the dispatcher must still exit.
+        let first = match rx.recv_timeout(std::time::Duration::from_millis(25)) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        jobs.clear();
+        jobs.push(first);
+        while jobs.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        shared.counters.batch_rounds.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .queries
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+
+        // Partition: point queries fan out together, the rest run after.
+        let n = shared.graph.num_vertices();
+        point_pairs.clear();
+        point_slots.clear();
+        replies.clear();
+        replies.resize_with(jobs.len(), || None);
+        for (i, job) in jobs.iter().enumerate() {
+            let q = &job.query;
+            match q.op {
+                QueryOp::Ppsp => {
+                    if (q.source as usize) < n && (q.target as usize) < n {
+                        point_slots.push(i);
+                        point_pairs.push((q.source, q.target));
+                    } else {
+                        replies[i] = Some(vertex_error(q, n));
+                    }
+                }
+                QueryOp::Sssp | QueryOp::Wbfs if (q.source as usize) >= n => {
+                    replies[i] = Some(vertex_error(q, n));
+                }
+                _ => {}
+            }
+        }
+
+        if !point_pairs.is_empty() {
+            shared
+                .counters
+                .point_queries
+                .fetch_add(point_pairs.len() as u64, Ordering::Relaxed);
+            runner.run(&pool, &shared.graph, &point_pairs, &mut answers);
+            for (slot, answer) in point_slots.iter().zip(&answers) {
+                replies[*slot] = Some(Response::Distance {
+                    distance: answer.distance,
+                    relaxations: answer.relaxations,
+                });
+            }
+        }
+
+        for (i, job) in jobs.iter().enumerate() {
+            if replies[i].is_none() {
+                shared.counters.full_queries.fetch_add(1, Ordering::Relaxed);
+                replies[i] = Some(run_full_query(shared, &pool, &job.query));
+            }
+        }
+
+        for (job, reply) in jobs.drain(..).zip(replies.drain(..)) {
+            let reply = reply.expect("every job got a reply");
+            if matches!(reply, Response::Error(_)) {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+fn vertex_error(q: &Query, n: usize) -> Response {
+    Response::Error(format!(
+        "vertex out of range (source {}, target {}, graph has {n})",
+        q.source, q.target
+    ))
+}
+
+/// Runs one full-vector query on the parallel engines.
+fn run_full_query(shared: &Shared, pool: &Pool, query: &Query) -> Response {
+    if !dist_vec_fits(shared.graph.num_vertices()) {
+        return Response::Error(format!(
+            "full-vector responses for {} vertices exceed the wire frame cap; \
+             use point (ppsp) queries against this graph",
+            shared.graph.num_vertices()
+        ));
+    }
+    let schedule = query.schedule.resolve(&shared.default_schedule);
+    match query.op {
+        QueryOp::Ppsp => unreachable!("point queries are batched"),
+        QueryOp::Sssp => {
+            match sssp::delta_stepping_on(pool, &shared.graph, query.source, &schedule) {
+                Ok(r) => Response::DistVec(r.dist),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        QueryOp::Wbfs => match wbfs::wbfs_on(pool, &shared.graph, query.source, &schedule) {
+            Ok(r) => Response::DistVec(r.dist),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        QueryOp::KCore => {
+            // "Server default" means the k-core-legal schedule, not the
+            // SSSP-tuned one (whose Δ would be rejected by validation).
+            let schedule = if query.schedule.strategy == WireStrategy::ServerDefault {
+                Schedule::lazy_constant_sum()
+            } else {
+                schedule
+            };
+            let sym = shared.sym_graph();
+            match kcore::kcore_on(pool, &sym, &schedule) {
+                Ok(r) => Response::Coreness(r.coreness),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+    }
+}
+
+/// Formats a distance for human-facing client output (`"-"` when the
+/// vertex is unreachable).
+pub fn fmt_distance(d: i64) -> String {
+    if d >= UNREACHABLE {
+        "-".to_string()
+    } else {
+        d.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use priograph_graph::gen::GraphGen;
+
+    fn tiny_server(threads: usize) -> ServerHandle {
+        let graph = GraphGen::road_grid(8, 8).seed(1).build();
+        serve(
+            graph,
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn stats_reflect_the_resident_graph() {
+        let handle = tiny_server(2);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.num_vertices, 64);
+        assert!(stats.num_edges > 0);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.queries, 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn out_of_range_queries_error_in_band() {
+        let handle = tiny_server(1);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let resp = client
+            .request(&Request::Query(Query::ppsp(0, 9999)))
+            .unwrap();
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        let resp = client.request(&Request::Query(Query::sssp(9999))).unwrap();
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.queries, 2);
+        handle.stop();
+    }
+
+    #[test]
+    fn malformed_frames_get_an_error_and_do_not_kill_the_connection() {
+        let handle = tiny_server(1);
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(&mut stream, b"garbage").unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error(_)
+        ));
+        // The connection still serves well-formed requests afterwards.
+        write_frame(&mut stream, &Request::Stats.encode()).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Stats(_)
+        ));
+        handle.stop();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let handle = tiny_server(1);
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join(); // returns only because the client-side shutdown landed
+                       // New connections are refused once the listener is gone.
+        assert!(
+            Client::connect(addr).is_err() || {
+                // A race can leave the OS accept queue briefly alive; a request
+                // against it must fail.
+                let mut c = Client::connect(addr).unwrap();
+                c.stats().is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn stop_returns_even_under_continuous_traffic() {
+        // Regression: the dispatcher must observe shutdown even when a
+        // client streams queries with sub-timeout gaps (it previously only
+        // checked the flag on the idle-timeout branch).
+        let handle = tiny_server(2);
+        let addr = handle.addr();
+        let spammer = std::thread::spawn(move || {
+            let Ok(mut client) = Client::connect(addr) else {
+                return;
+            };
+            // Hammer until the server goes away (each is_ok() includes the
+            // in-band shutting-down error; the loop ends when the
+            // connection itself closes).
+            while client.query(Query::ppsp(0, 63)).is_ok() {}
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        handle.stop(); // hangs forever if the dispatcher misses the flag
+        let _ = spammer.join();
+    }
+
+    #[test]
+    fn dist_vec_fits_tracks_the_frame_cap() {
+        use crate::protocol::MAX_FRAME_LEN;
+        assert!(dist_vec_fits(0));
+        assert!(dist_vec_fits(1 << 20)); // ~8 MiB of distances
+        assert!(!dist_vec_fits(MAX_FRAME_LEN / 8)); // envelope pushes it over
+        assert!(!dist_vec_fits(usize::MAX)); // no overflow
+    }
+
+    #[test]
+    fn fmt_distance_marks_unreachable() {
+        assert_eq!(fmt_distance(12), "12");
+        assert_eq!(fmt_distance(UNREACHABLE), "-");
+    }
+}

@@ -1,0 +1,181 @@
+//! Textual graph sources shared by the server and client binaries.
+//!
+//! A spec is either a file (`--graph`, `--snapshot`) or a deterministic
+//! generator string (`--gen`), so a client can rebuild the exact graph a
+//! server resides over — which is what lets the CI smoke test verify served
+//! distances against a locally computed serial reference.
+
+use priograph_graph::gen::GraphGen;
+use priograph_graph::{CsrGraph, GraphSnapshot};
+use std::path::Path;
+
+/// Builds a graph from a generator spec:
+///
+/// * `grid:SIDE[:SEED]` — square road grid (symmetric, coordinates,
+///   metric weights);
+/// * `rmat:SCALE:EDGE_FACTOR[:SEED]` — R-MAT social graph, weights
+///   `[1, 1000)`;
+/// * `path:N` — directed unit-weight path (degenerate but handy).
+///
+/// The default seed is 1; generation is fully deterministic per spec.
+///
+/// # Errors
+///
+/// Returns a description of the malformed spec.
+pub fn graph_from_spec(spec: &str) -> Result<CsrGraph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|e| format!("bad {what} in spec {spec:?}: {e}"))
+    };
+    match parts.as_slice() {
+        ["grid", side] | ["grid", side, _] => {
+            let side = num(side, "side")? as usize;
+            if !(2..=4096).contains(&side) {
+                return Err(format!(
+                    "grid side must be in 2..=4096 in {spec:?} (16.7M vertices max)"
+                ));
+            }
+            let seed = match parts.get(2) {
+                Some(s) => num(s, "seed")?,
+                None => 1,
+            };
+            Ok(GraphGen::road_grid(side, side).seed(seed).build())
+        }
+        ["rmat", scale, ef] | ["rmat", scale, ef, _] => {
+            let scale = num(scale, "scale")? as u32;
+            let ef = num(ef, "edge factor")? as u32;
+            if scale > 24 {
+                return Err(format!("rmat scale {scale} too large (max 24)"));
+            }
+            let seed = match parts.get(3) {
+                Some(s) => num(s, "seed")?,
+                None => 1,
+            };
+            Ok(GraphGen::rmat(scale, ef.max(1))
+                .seed(seed)
+                .weights_uniform(1, 1000)
+                .build())
+        }
+        ["path", n] => {
+            let n = num(n, "length")? as usize;
+            if n > 1 << 24 {
+                return Err(format!("path length {n} too large (max {})", 1 << 24));
+            }
+            Ok(GraphGen::path(n).build())
+        }
+        _ => Err(format!(
+            "unrecognized gen spec {spec:?} (want grid:SIDE[:SEED], \
+             rmat:SCALE:EF[:SEED], or path:N)"
+        )),
+    }
+}
+
+/// The graph sources a binary accepts (exactly one must be given).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphSource {
+    /// Snapshot file ([`GraphSnapshot`] format).
+    pub snapshot: Option<String>,
+    /// Edge-list or DIMACS `.gr` file.
+    pub graph: Option<String>,
+    /// Generator spec for [`graph_from_spec`].
+    pub gen_spec: Option<String>,
+}
+
+impl GraphSource {
+    /// True when no source was specified.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_none() && self.graph.is_none() && self.gen_spec.is_none()
+    }
+
+    /// Loads the graph, preferring snapshot > file > generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of whichever source failed.
+    pub fn load(&self) -> Result<CsrGraph, String> {
+        let given = [&self.snapshot, &self.graph, &self.gen_spec]
+            .iter()
+            .filter(|o| o.is_some())
+            .count();
+        if given != 1 {
+            return Err(format!(
+                "need exactly one of --snapshot / --graph / --gen, got {given}"
+            ));
+        }
+        if let Some(path) = &self.snapshot {
+            return GraphSnapshot::load(Path::new(path)).map_err(|e| format!("{path}: {e}"));
+        }
+        if let Some(path) = &self.graph {
+            return priograph_graph::io::load_graph(Path::new(path))
+                .map_err(|e| format!("{path}: {e}"));
+        }
+        graph_from_spec(self.gen_spec.as_deref().unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_and_rmat_specs_build_deterministically() {
+        let a = graph_from_spec("grid:6").unwrap();
+        let b = graph_from_spec("grid:6:1").unwrap();
+        assert_eq!(a.edge_triples(), b.edge_triples());
+        assert!(a.is_symmetric() && a.coords().is_some());
+        let c = graph_from_spec("rmat:6:4:7").unwrap();
+        assert_eq!(c.num_vertices(), 64);
+        let d = graph_from_spec("path:5").unwrap();
+        assert_eq!(d.num_edges(), 4);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = graph_from_spec("grid:6:1").unwrap();
+        let b = graph_from_spec("grid:6:2").unwrap();
+        assert_ne!(a.edge_triples(), b.edge_triples());
+    }
+
+    #[test]
+    fn bad_specs_error() {
+        assert!(graph_from_spec("").is_err());
+        assert!(graph_from_spec("grid:1").is_err());
+        assert!(graph_from_spec("grid:x").is_err());
+        assert!(graph_from_spec("rmat:99:8").is_err());
+        assert!(graph_from_spec("torus:4").is_err());
+        // Oversized operands are clean spec errors, not OOM attempts.
+        assert!(graph_from_spec("grid:2000000000").is_err());
+        assert!(graph_from_spec("grid:4097").is_err());
+        assert!(graph_from_spec("path:999999999999").is_err());
+    }
+
+    #[test]
+    fn source_requires_exactly_one_origin() {
+        assert!(GraphSource::default().load().is_err());
+        let both = GraphSource {
+            snapshot: Some("a".into()),
+            gen_spec: Some("grid:4".into()),
+            ..GraphSource::default()
+        };
+        assert!(both.load().is_err());
+        let gen = GraphSource {
+            gen_spec: Some("grid:4".into()),
+            ..GraphSource::default()
+        };
+        assert_eq!(gen.load().unwrap().num_vertices(), 16);
+    }
+
+    #[test]
+    fn snapshot_source_roundtrips() {
+        let g = graph_from_spec("grid:5").unwrap();
+        let path = std::env::temp_dir().join("priograph_spec_test.snap");
+        GraphSnapshot::write(&g, &path).unwrap();
+        let src = GraphSource {
+            snapshot: Some(path.display().to_string()),
+            ..GraphSource::default()
+        };
+        assert_eq!(src.load().unwrap().edge_triples(), g.edge_triples());
+        let _ = std::fs::remove_file(path);
+    }
+}

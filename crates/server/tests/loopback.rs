@@ -1,0 +1,166 @@
+//! End-to-end serving test over a loopback socket: a snapshot-loaded graph,
+//! a mixed batch of 100+ PPSP/SSSP/wBFS/k-core queries, and serial
+//! references — at more than one thread count (ISSUE 3 acceptance).
+
+use priograph_algorithms::serial::{dijkstra, kcore_serial};
+use priograph_algorithms::UNREACHABLE;
+use priograph_graph::gen::GraphGen;
+use priograph_graph::{CsrGraph, GraphSnapshot};
+use priograph_serve::client::Client;
+use priograph_serve::protocol::{Query, QueryOp, Response, WireSchedule, WireStrategy};
+use priograph_serve::server::{serve, ServerConfig};
+use std::collections::HashMap;
+
+/// Builds the mixed batch: 84 point queries, 20 full-vector queries (SSSP
+/// and wBFS), and a k-core — 105 queries total, deterministic.
+fn mixed_batch(n: u32) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for i in 0..84u64 {
+        let source = ((i * 37 + 11) % n as u64) as u32;
+        let target = ((i * 101 + 5) % n as u64) as u32;
+        let mut q = Query::ppsp(source, target);
+        if i % 7 == 3 {
+            // Exercise schedule selection on the wire; the answer must not
+            // change (schedules are performance knobs, not semantics).
+            q.schedule = WireSchedule {
+                strategy: WireStrategy::EagerFusion,
+                delta: 64,
+            };
+        }
+        queries.push(q);
+    }
+    for i in 0..20u64 {
+        let source = ((i * 53 + 2) % n as u64) as u32;
+        if i % 2 == 0 {
+            queries.push(Query::sssp(source));
+        } else {
+            queries.push(Query::wbfs(source));
+        }
+    }
+    queries.push(Query::kcore());
+    queries
+}
+
+fn reference_for<'a>(
+    graph: &CsrGraph,
+    cache: &'a mut HashMap<u32, Vec<i64>>,
+    source: u32,
+) -> &'a Vec<i64> {
+    cache
+        .entry(source)
+        .or_insert_with(|| dijkstra(graph, source))
+}
+
+#[test]
+fn snapshot_loaded_server_matches_serial_references_across_thread_counts() {
+    // Snapshot round: the resident graph must come out of the binary
+    // snapshot, not the generator.
+    let built = GraphGen::road_grid(14, 14).seed(9).build();
+    let snap_path = std::env::temp_dir().join("priograph_loopback.snap");
+    GraphSnapshot::write(&built, &snap_path).expect("write snapshot");
+    let graph = GraphSnapshot::load(&snap_path).expect("load snapshot");
+    let _ = std::fs::remove_file(&snap_path);
+    assert_eq!(graph.edge_triples(), built.edge_triples());
+
+    let n = graph.num_vertices() as u32;
+    let queries = mixed_batch(n);
+    assert!(queries.len() >= 100, "acceptance demands >= 100 queries");
+    let coreness = kcore_serial(&graph); // grid graphs are already symmetric
+    let mut dijkstra_cache: HashMap<u32, Vec<i64>> = HashMap::new();
+
+    for threads in [1usize, 4] {
+        let handle = serve(
+            graph.clone(),
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        let responses = client.batch(queries.clone()).expect("batch");
+        assert_eq!(responses.len(), queries.len());
+        for (query, response) in queries.iter().zip(&responses) {
+            match (query.op, response) {
+                (QueryOp::Ppsp, Response::Distance { distance, .. }) => {
+                    let dist = reference_for(&graph, &mut dijkstra_cache, query.source);
+                    let expected = (dist[query.target as usize] < UNREACHABLE)
+                        .then_some(dist[query.target as usize]);
+                    assert_eq!(
+                        *distance, expected,
+                        "threads={threads} ppsp {}->{}",
+                        query.source, query.target
+                    );
+                }
+                (QueryOp::Sssp | QueryOp::Wbfs, Response::DistVec(served)) => {
+                    let dist = reference_for(&graph, &mut dijkstra_cache, query.source);
+                    assert_eq!(
+                        served, dist,
+                        "threads={threads} full query from {}",
+                        query.source
+                    );
+                }
+                (QueryOp::KCore, Response::Coreness(served)) => {
+                    assert_eq!(served, &coreness, "threads={threads} k-core");
+                }
+                (op, other) => panic!("threads={threads} {op:?} got {other:?}"),
+            }
+        }
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.queries, queries.len() as u64);
+        assert_eq!(stats.point_queries, 84);
+        assert_eq!(stats.full_queries, 21);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.threads, threads as u64);
+        handle.stop();
+    }
+}
+
+#[test]
+fn concurrent_connections_are_batched_together() {
+    // Several clients firing at once must all get correct answers — this is
+    // the cross-connection grouping path of the dispatcher.
+    let graph = GraphGen::rmat(7, 6).seed(3).weights_uniform(1, 50).build();
+    let n = graph.num_vertices() as u32;
+    let reference = dijkstra(&graph, 0);
+    let handle = serve(
+        graph,
+        ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        for t in 0..6u32 {
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..20u32 {
+                    let target = (t * 31 + i * 7) % n;
+                    match client.query(Query::ppsp(0, target)).expect("query") {
+                        Response::Distance { distance, .. } => {
+                            let expected = (reference[target as usize] < UNREACHABLE)
+                                .then_some(reference[target as usize]);
+                            assert_eq!(distance, expected, "conn {t} target {target}");
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.queries, 120);
+    // Batching is opportunistic (it depends on arrival timing), so the only
+    // hard guarantee is that rounds never exceed queries; with 6 concurrent
+    // spammers some grouping is overwhelmingly likely, but not asserted.
+    assert!(stats.batch_rounds <= stats.queries);
+    handle.stop();
+}

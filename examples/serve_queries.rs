@@ -1,0 +1,84 @@
+//! The serving layer end to end, in-process: snapshot a road network, serve
+//! it over a loopback socket, and answer a batched mix of point-to-point
+//! and full shortest-path queries — verified against serial Dijkstra.
+//!
+//! Run with `cargo run --release --example serve_queries`.
+
+use priograph::algorithms::serial::dijkstra;
+use priograph::algorithms::UNREACHABLE;
+use priograph::graph::gen::GraphGen;
+use priograph::graph::GraphSnapshot;
+use priograph::serve::client::Client;
+use priograph::serve::protocol::{Query, Response};
+use priograph::serve::server::{serve, ServerConfig};
+
+fn main() {
+    // 1. Preprocess once: build the graph and persist it as a snapshot, the
+    //    artifact a production server would load at startup.
+    let built = GraphGen::road_grid(40, 40).seed(7).build();
+    let snap = std::env::temp_dir().join("serve_queries_example.snap");
+    GraphSnapshot::write(&built, &snap).expect("write snapshot");
+    let graph = GraphSnapshot::load(&snap).expect("load snapshot");
+    let _ = std::fs::remove_file(&snap);
+    println!(
+        "resident graph (snapshot-loaded): {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Serve it. Port 0 picks a free loopback port; the handle reports it.
+    let handle = serve(
+        graph.clone(),
+        ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    println!("serving on {}", handle.addr());
+
+    // 3. One batch of mixed queries. The server groups the point queries
+    //    and fans them out across per-worker engines; the full SSSP runs on
+    //    the parallel bucket engine.
+    let n = graph.num_vertices() as u32;
+    let mut queries: Vec<Query> = (0..30u32)
+        .map(|i| Query::ppsp((i * 131) % n, (i * 337 + 17) % n))
+        .collect();
+    queries.push(Query::sssp(0));
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let responses = client.batch(queries.clone()).expect("batch");
+
+    // 4. Verify everything against the serial reference.
+    let reference = dijkstra(&graph, 0);
+    let mut checked = 0;
+    for (query, response) in queries.iter().zip(&responses) {
+        match response {
+            Response::Distance { distance, .. } => {
+                let dist = dijkstra(&graph, query.source);
+                let expected = (dist[query.target as usize] < UNREACHABLE)
+                    .then_some(dist[query.target as usize]);
+                assert_eq!(
+                    *distance, expected,
+                    "ppsp {}->{}",
+                    query.source, query.target
+                );
+                checked += 1;
+            }
+            Response::DistVec(served) => {
+                assert_eq!(served, &reference, "full sssp from 0");
+                checked += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let stats = client.stats().expect("stats");
+    println!(
+        "verified {checked} responses against Dijkstra; server counters: \
+         {} queries, {} point, {} full, {} dispatcher rounds",
+        stats.queries, stats.point_queries, stats.full_queries, stats.batch_rounds
+    );
+
+    handle.stop();
+    println!("server stopped");
+}

@@ -20,6 +20,10 @@
 //! * [`baselines`] — GAPBS-, Julienne-, Galois- and Ligra-style comparison
 //!   engines.
 //! * [`autotune`] — stochastic schedule autotuner.
+//! * [`serve`] — the serving layer: binary graph snapshots
+//!   ([`graph::snapshot`]), a length-prefixed TCP wire protocol, and a
+//!   dispatcher that batches concurrent queries across the worker pool
+//!   (`priograph-server` / `priograph-client` binaries).
 //!
 //! ## Quickstart
 //!
@@ -41,3 +45,4 @@ pub use priograph_buckets as buckets;
 pub use priograph_core as core;
 pub use priograph_graph as graph;
 pub use priograph_parallel as parallel;
+pub use priograph_serve as serve;
