@@ -1,0 +1,216 @@
+//! Serving-throughput sweep: drives a loopback `priograph-serve` server
+//! across **batch sizes × thread counts × resident-graph counts** and
+//! writes a `BENCH_*.json` report (schema `priograph-bench-v1`).
+//!
+//! This closes the ROADMAP item "benchmark serving throughput vs. batch
+//! size": each record is the median wall time to answer `--queries`
+//! point-to-point queries over one connection, issued in batches of the
+//! given size, with queries round-robining across the resident graphs (so
+//! multi-graph cases exercise the per-graph engine routing). The derived
+//! metric is queries/s = queries / median.
+//!
+//! It also records the snapshot load paths head-to-head
+//! (`snapshot-load-mmap` vs `snapshot-load-copy`) on a larger grid, the
+//! O(mmap)-vs-O(copy) claim in measurable form.
+//!
+//! ```text
+//! serve_throughput --out BENCH_serve.json [--threads 1,4] [--batches 1,8,64,256]
+//!                  [--graphs 1,2] [--queries 512] [--samples 3] [--side 40]
+//! ```
+
+use priograph_bench::record::{median, BenchReport};
+use priograph_graph::gen::GraphGen;
+use priograph_graph::{CsrGraph, GraphSnapshot, SnapshotView};
+use priograph_serve::client::Client;
+use priograph_serve::protocol::Query;
+use priograph_serve::server::{serve_named, ServerConfig};
+use std::time::{Duration, Instant};
+
+struct Args {
+    out: std::path::PathBuf,
+    threads: Vec<usize>,
+    batches: Vec<usize>,
+    graphs: Vec<usize>,
+    queries: usize,
+    samples: usize,
+    side: usize,
+}
+
+fn parse_list(text: &str, what: &str) -> Vec<usize> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&v| v > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("{what} expects a comma-separated list of positive integers");
+                    std::process::exit(2);
+                })
+        })
+        .collect()
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            out: std::path::PathBuf::from("BENCH_serve_throughput.json"),
+            threads: vec![1, 4],
+            batches: vec![1, 8, 64, 256],
+            graphs: vec![1, 2],
+            queries: 512,
+            samples: 3,
+            side: 40,
+        };
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            let mut take = |what: &str| -> String {
+                argv.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match flag.as_str() {
+                "--out" => args.out = take("--out").into(),
+                "--threads" => args.threads = parse_list(&take("--threads"), "--threads"),
+                "--batches" => args.batches = parse_list(&take("--batches"), "--batches"),
+                "--graphs" => args.graphs = parse_list(&take("--graphs"), "--graphs"),
+                "--queries" => args.queries = take("--queries").parse().expect("--queries"),
+                "--samples" => args.samples = take("--samples").parse().expect("--samples"),
+                "--side" => args.side = take("--side").parse().expect("--side"),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --out PATH  --threads LIST  --batches LIST  --graphs LIST\n\
+                         \x20      --queries N  --samples N  --side N"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args.queries = args.queries.max(1);
+        args.samples = args.samples.max(1);
+        args.side = args.side.clamp(4, 2048);
+        args
+    }
+}
+
+/// Deterministic xorshift64* stream (same generator the client binary uses).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The full query stream for one configuration: point queries round-robined
+/// across `graph_count` resident graphs.
+fn query_stream(n_vertices: u32, graph_count: usize, queries: usize, seed: u64) -> Vec<Query> {
+    let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1));
+    (0..queries)
+        .map(|i| {
+            let source = (rng.next() % n_vertices as u64) as u32;
+            let target = (rng.next() % n_vertices as u64) as u32;
+            Query::ppsp(source, target).on_graph((i % graph_count) as u32)
+        })
+        .collect()
+}
+
+/// Times `f` once per sample after one warm-up run, returning the median.
+fn measure<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    f(); // warm-up (also sizes the per-graph engines)
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        timings.push(start.elapsed());
+    }
+    median(&mut timings)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut report = BenchReport::new(*args.threads.iter().max().unwrap_or(&1));
+
+    // --- Snapshot load paths: O(mmap) vs O(copy) on a bigger graph. ---
+    let load_side = (args.side * 5).clamp(100, 1000);
+    let big = GraphGen::road_grid(load_side, load_side).seed(42).build();
+    let snap_path = std::env::temp_dir().join("priograph_serve_throughput_load.snap");
+    GraphSnapshot::write(&big, &snap_path).expect("write snapshot");
+    let mmap_t = measure(args.samples, || {
+        let view = SnapshotView::open(&snap_path).expect("open view");
+        std::hint::black_box(view.graph().num_edges());
+    });
+    let copy_t = measure(args.samples, || {
+        let g = GraphSnapshot::load(&snap_path).expect("copy load");
+        std::hint::black_box(g.num_edges());
+    });
+    let _ = std::fs::remove_file(&snap_path);
+    eprintln!(
+        "snapshot load ({} vertices, {} edges): mmap {mmap_t:.3?}, copy {copy_t:.3?}",
+        big.num_vertices(),
+        big.num_edges()
+    );
+    report.push_with_threads("snapshot-load-mmap", mmap_t, args.samples, 1);
+    report.push_with_threads("snapshot-load-copy", copy_t, args.samples, 1);
+    drop(big);
+
+    // --- The serving sweep. ---
+    let max_graphs = *args.graphs.iter().max().unwrap_or(&1);
+    let graphs: Vec<CsrGraph> = (0..max_graphs)
+        .map(|i| {
+            GraphGen::road_grid(args.side, args.side)
+                .seed(1 + i as u64)
+                .build()
+        })
+        .collect();
+    let n_vertices = graphs[0].num_vertices() as u32;
+
+    for &graph_count in &args.graphs {
+        for &threads in &args.threads {
+            let named: Vec<(String, CsrGraph)> = graphs[..graph_count]
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (format!("g{i}"), g.clone()))
+                .collect();
+            let handle = serve_named(
+                named,
+                ServerConfig {
+                    threads,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind loopback");
+            let mut client = Client::connect(handle.addr()).expect("connect");
+            let stream = query_stream(n_vertices, graph_count, args.queries, 7);
+
+            for &batch in &args.batches {
+                let t = measure(args.samples, || {
+                    for chunk in stream.chunks(batch) {
+                        let responses = client.batch(chunk.to_vec()).expect("batch");
+                        std::hint::black_box(responses.len());
+                    }
+                });
+                let qps = args.queries as f64 / t.as_secs_f64().max(1e-12);
+                let name = format!("serve-g{graph_count}-t{threads}-b{batch}");
+                eprintln!("{name:<28} median {t:>12.3?}  ({qps:>10.0} q/s)");
+                report.push_with_threads(&name, t, args.samples, threads);
+            }
+            handle.stop();
+        }
+    }
+
+    report.write(&args.out).expect("writing bench report");
+    eprintln!(
+        "wrote {} ({} records, rev {}, {} queries per record)",
+        args.out.display(),
+        report.records.len(),
+        report.git_rev,
+        args.queries
+    );
+}

@@ -100,15 +100,26 @@ fn header_lies_cannot_cause_outsized_allocations() {
     // Override each header count field with huge values; with ~100KB of
     // actual bytes behind them, decode must reject before allocating
     // count-proportional memory (this test OOMs if it ever does not).
+    // PSNAPv2 header: num_vertices at byte 16, num_edges at byte 24.
     let good = GraphSnapshot::to_bytes(&workloads::ma(1).graph);
-    for field_offset in [12usize, 20] {
-        for lie in [u64::MAX, 1 << 61, 1 << 40, 1 << 33] {
-            let mut corrupt = good.clone();
-            corrupt[field_offset..field_offset + 8].copy_from_slice(&lie.to_le_bytes());
-            assert!(
-                GraphSnapshot::from_bytes(&corrupt).is_err(),
-                "lying count {lie:#x} at {field_offset} must not decode"
-            );
+    for (version, bytes, offsets) in [
+        (2, good, [16usize, 24]),
+        // The legacy v1 header keeps its counts at 12 and 20.
+        (
+            1,
+            GraphSnapshot::to_bytes_v1(&workloads::ma(1).graph),
+            [12, 20],
+        ),
+    ] {
+        for field_offset in offsets {
+            for lie in [u64::MAX, 1 << 61, 1 << 40, 1 << 33] {
+                let mut corrupt = bytes.clone();
+                corrupt[field_offset..field_offset + 8].copy_from_slice(&lie.to_le_bytes());
+                assert!(
+                    GraphSnapshot::from_bytes(&corrupt).is_err(),
+                    "v{version}: lying count {lie:#x} at {field_offset} must not decode"
+                );
+            }
         }
     }
 }

@@ -61,6 +61,31 @@ struct RoundWorkspace {
 /// Monotonicity contract: once a bucket has been returned, priority updates
 /// must map vertices to that bucket or later (paper §2 — priorities change
 /// monotonically). Violations are clamped to the last returned bucket.
+///
+/// # Example
+///
+/// ```
+/// use priograph_buckets::{BucketOrder, LazyBucketQueue, PriorityMap};
+/// use priograph_parallel::Pool;
+/// use std::sync::atomic::AtomicI64;
+/// use std::sync::Arc;
+///
+/// // Three vertices with priorities 0, 5, 9; Δ = 4 coarsens them into
+/// // buckets 0, 1, 2.
+/// let priorities: Arc<[AtomicI64]> =
+///     [0, 5, 9].into_iter().map(AtomicI64::new).collect();
+/// let map = PriorityMap::new(BucketOrder::Increasing, 4);
+/// let mut queue = LazyBucketQueue::new(priorities, map, 8);
+/// queue.insert_initial(0..3);
+///
+/// let pool = Pool::new(2);
+/// let (bucket, frontier) = queue.next_bucket(&pool).unwrap();
+/// assert_eq!((bucket, frontier), (0, vec![0]));
+/// let (bucket, frontier) = queue.next_bucket(&pool).unwrap();
+/// assert_eq!((bucket, frontier), (1, vec![1]));
+/// assert!(queue.next_bucket(&pool).is_some()); // vertex 2 in bucket 2
+/// assert!(queue.next_bucket(&pool).is_none()); // drained
+/// ```
 pub struct LazyBucketQueue {
     priorities: Arc<[AtomicI64]>,
     map: PriorityMap,

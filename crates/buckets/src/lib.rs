@@ -37,7 +37,9 @@
 //! assert_eq!(map.bucket_of(priograph_buckets::NULL_PRIORITY), None);
 //! ```
 
-#![warn(missing_docs)]
+// See crates/graph/src/lib.rs: docs on public items are enforced, not
+// suggested, for the crates the serving stack exposes.
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod buffer;

@@ -15,7 +15,7 @@
 //!
 //! # Zero-allocation rounds
 //!
-//! All per-round state lives in [`RoundBuffers`], allocated once per run and
+//! All per-round state lives in `RoundBuffers` (private), allocated once per run and
 //! cleared (never dropped) between rounds: the frontier is refilled in place
 //! by [`LazyBucketQueue::next_bucket_into`], traversal output is recorded in
 //! per-worker update logs merged by scan compaction, and the DensePull

@@ -2,7 +2,7 @@
 //! a driver that runs lowered plans on the runtime engines.
 //!
 //! This closes the DSL loop: `programs::delta_stepping()` → `plan::lower`
-//! → `compile_udf` → [`run_plan`] produces the same distances as the
+//! → `compile_udf` → [`run_program`] produces the same distances as the
 //! hand-written engine path, demonstrating that the compiler pipeline is
 //! executable and not just pretty-printed.
 

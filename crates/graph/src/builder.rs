@@ -77,10 +77,10 @@ impl GraphBuilder {
             bucket_by(n, &self.edges, |&(s, d, w)| (d, Edge { dst: s, weight: w }));
         CsrGraph {
             num_vertices: n,
-            out_offsets,
-            out_edges,
-            in_offsets,
-            in_edges,
+            out_offsets: out_offsets.into(),
+            out_edges: out_edges.into(),
+            in_offsets: in_offsets.into(),
+            in_edges: in_edges.into(),
             coords: None,
             symmetric: false,
         }

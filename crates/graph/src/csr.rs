@@ -1,12 +1,18 @@
 //! Compressed sparse row graph storage.
 
+use crate::graph_ref::GraphRef;
+use crate::storage::Storage;
 use crate::{VertexId, Weight};
 use std::fmt;
 
 /// A weighted directed edge endpoint as stored in CSR adjacency arrays.
 ///
-/// Mirrors GAPBS's `WNode { v, weight }` (paper Figure 9 caption).
+/// Mirrors GAPBS's `WNode { v, weight }` (paper Figure 9 caption). The
+/// layout is `#[repr(C)]` because the `PSNAPv2` snapshot format stores edge
+/// arrays in exactly this shape and the zero-copy loader reinterprets the
+/// mapped bytes in place (little-endian, asserted below).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(C)]
 pub struct Edge {
     /// Destination vertex.
     pub dst: VertexId,
@@ -14,10 +20,17 @@ pub struct Edge {
     pub weight: Weight,
 }
 
+// The zero-copy snapshot loader reinterprets file sections as these types;
+// a layout drift must fail the build, not corrupt graphs.
+const _: () = assert!(std::mem::size_of::<Edge>() == 8 && std::mem::align_of::<Edge>() == 4);
+const _: () = assert!(std::mem::size_of::<Point>() == 16 && std::mem::align_of::<Point>() == 8);
+
 /// A planar coordinate attached to a vertex (longitude/latitude analogue),
 /// used by the A\* heuristic (paper §6.1: road graphs "have the longitude and
-/// latitude data for each vertex").
+/// latitude data for each vertex"). `#[repr(C)]` for the same zero-copy
+/// snapshot reason as [`Edge`].
 #[derive(Copy, Clone, Debug, PartialEq, Default)]
+#[repr(C)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -36,14 +49,21 @@ impl Point {
 
 /// A weighted directed graph in compressed sparse row form, with both
 /// out-edges (for push traversals) and in-edges (for pull traversals).
+///
+/// The arrays live in an internal storage type: either owned vectors (built graphs,
+/// `PSNAPv1` loads) or borrowed sections of a shared read-only file mapping
+/// (`PSNAPv2` loads through
+/// [`SnapshotView`](crate::snapshot::SnapshotView)). Engines cannot tell the
+/// difference — both deref to plain slices — and cloning a mapped graph is
+/// O(1) (it bumps the mapping's refcount).
 #[derive(Clone, Default)]
 pub struct CsrGraph {
     pub(crate) num_vertices: usize,
-    pub(crate) out_offsets: Vec<usize>,
-    pub(crate) out_edges: Vec<Edge>,
-    pub(crate) in_offsets: Vec<usize>,
-    pub(crate) in_edges: Vec<Edge>,
-    pub(crate) coords: Option<Vec<Point>>,
+    pub(crate) out_offsets: Storage<usize>,
+    pub(crate) out_edges: Storage<Edge>,
+    pub(crate) in_offsets: Storage<usize>,
+    pub(crate) in_edges: Storage<Edge>,
+    pub(crate) coords: Option<Storage<Point>>,
     pub(crate) symmetric: bool,
 }
 
@@ -75,6 +95,23 @@ impl CsrGraph {
         self.symmetric
     }
 
+    /// Borrowed CSR view of this graph: the same accessor surface as
+    /// [`CsrGraph`] over plain slices, `Copy`, and independent of how the
+    /// arrays are owned (see [`GraphRef`]). The slice-level accessors below
+    /// all delegate here, so there is exactly one indexing implementation.
+    #[inline]
+    pub fn as_graph_ref(&self) -> GraphRef<'_> {
+        GraphRef::from_raw(
+            self.num_vertices,
+            &self.out_offsets,
+            &self.out_edges,
+            &self.in_offsets,
+            &self.in_edges,
+            self.coords.as_deref(),
+            self.symmetric,
+        )
+    }
+
     /// Out-degree of `v`.
     ///
     /// # Panics
@@ -82,30 +119,26 @@ impl CsrGraph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {
-        let v = v as usize;
-        self.out_offsets[v + 1] - self.out_offsets[v]
+        self.as_graph_ref().out_degree(v)
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: VertexId) -> usize {
-        let v = v as usize;
-        self.in_offsets[v + 1] - self.in_offsets[v]
+        self.as_graph_ref().in_degree(v)
     }
 
     /// Outgoing edges of `v` (paper's `G.getOutNgh(s)`).
     #[inline]
     pub fn out_edges(&self, v: VertexId) -> &[Edge] {
-        let v = v as usize;
-        &self.out_edges[self.out_offsets[v]..self.out_offsets[v + 1]]
+        self.as_graph_ref().out_edges(v)
     }
 
     /// Incoming edges of `v` (paper's `G.getInNgh(d)`); the `dst` field holds
     /// the *source* of the original edge.
     #[inline]
     pub fn in_edges(&self, v: VertexId) -> &[Edge] {
-        let v = v as usize;
-        &self.in_edges[self.in_offsets[v]..self.in_offsets[v + 1]]
+        self.as_graph_ref().in_edges(v)
     }
 
     /// Vertex coordinates, if the graph carries them (road networks do).
@@ -120,7 +153,31 @@ impl CsrGraph {
     /// Panics if `coords.len() != num_vertices`.
     pub fn set_coords(&mut self, coords: Vec<Point>) {
         assert_eq!(coords.len(), self.num_vertices, "one coordinate per vertex");
-        self.coords = Some(coords);
+        self.coords = Some(coords.into());
+    }
+
+    /// True when the CSR arrays are borrowed from a memory-mapped snapshot
+    /// (the zero-copy `PSNAPv2` load path) rather than owned by this value.
+    pub fn is_mapped(&self) -> bool {
+        self.out_offsets.is_mapped()
+            || self.out_edges.is_mapped()
+            || self.in_offsets.is_mapped()
+            || self.in_edges.is_mapped()
+    }
+
+    /// Bytes of array data this graph keeps resident — heap bytes for owned
+    /// storage, file-backed (page-cache) bytes for mapped storage. This is
+    /// what the serving catalog reports per graph.
+    pub fn resident_bytes(&self) -> u64 {
+        let coords = self
+            .coords
+            .as_ref()
+            .map_or(0, |c| c.resident_bytes() as u64);
+        self.out_offsets.resident_bytes() as u64
+            + self.out_edges.resident_bytes() as u64
+            + self.in_offsets.resident_bytes() as u64
+            + self.in_edges.resident_bytes() as u64
+            + coords
     }
 
     /// Maximum edge weight, or 0 for an edgeless graph.

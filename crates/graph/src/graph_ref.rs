@@ -1,0 +1,193 @@
+//! [`GraphRef`]: a borrowed, `Copy` CSR view.
+//!
+//! [`CsrGraph`](crate::CsrGraph) owns (or maps — see
+//! [`storage`](crate::snapshot::SnapshotView)) its arrays; `GraphRef` is the
+//! storage-independent *view* of them: five slices and two scalars. Every
+//! slice-level accessor on `CsrGraph` delegates here, so engines written
+//! against either type traverse through exactly the same code, and code
+//! that wants to be explicit about "I only read the CSR" (validators, the
+//! snapshot writer, custom kernels) can take a `GraphRef<'_>` and be handed
+//! a view of an owned graph, a mapped snapshot, or a test fixture alike.
+
+use crate::csr::{Edge, Point};
+use crate::VertexId;
+
+/// A borrowed compressed-sparse-row view: the read-only accessor surface of
+/// [`CsrGraph`](crate::CsrGraph) over plain slices.
+///
+/// `Copy` (two words per array), so pass it by value. Obtain one with
+/// [`CsrGraph::as_graph_ref`](crate::CsrGraph::as_graph_ref) or
+/// [`SnapshotView::graph_ref`](crate::snapshot::SnapshotView::graph_ref).
+///
+/// # Example
+///
+/// ```
+/// use priograph_graph::{GraphBuilder, GraphRef};
+///
+/// fn total_weight(g: GraphRef<'_>) -> i64 {
+///     (0..g.num_vertices() as u32)
+///         .flat_map(|v| g.out_edges(v))
+///         .map(|e| e.weight as i64)
+///         .sum()
+/// }
+///
+/// let g = GraphBuilder::new(3).edge(0, 1, 4).edge(1, 2, 6).build();
+/// assert_eq!(total_weight(g.as_graph_ref()), 10);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct GraphRef<'a> {
+    num_vertices: usize,
+    out_offsets: &'a [usize],
+    out_edges: &'a [Edge],
+    in_offsets: &'a [usize],
+    in_edges: &'a [Edge],
+    coords: Option<&'a [Point]>,
+    symmetric: bool,
+}
+
+impl<'a> GraphRef<'a> {
+    /// Assembles a view from raw CSR parts (crate-internal: the public ways
+    /// in are `CsrGraph::as_graph_ref` and `SnapshotView::graph_ref`).
+    ///
+    /// Invariants (upheld by both constructors, asserted in debug builds):
+    /// offset arrays have `num_vertices + 1` entries, are monotone, and span
+    /// exactly the edge arrays.
+    pub(crate) fn from_raw(
+        num_vertices: usize,
+        out_offsets: &'a [usize],
+        out_edges: &'a [Edge],
+        in_offsets: &'a [usize],
+        in_edges: &'a [Edge],
+        coords: Option<&'a [Point]>,
+        symmetric: bool,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), num_vertices + 1);
+        debug_assert_eq!(in_offsets.len(), num_vertices + 1);
+        debug_assert_eq!(out_offsets.last(), Some(&out_edges.len()));
+        debug_assert_eq!(in_offsets.last(), Some(&in_edges.len()));
+        GraphRef {
+            num_vertices,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            coords,
+            symmetric,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// True if the graph was built or marked as symmetric.
+    #[inline]
+    pub fn is_symmetric(self) -> bool {
+        self.symmetric
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn out_degree(self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Outgoing edges of `v`.
+    #[inline]
+    pub fn out_edges(self, v: VertexId) -> &'a [Edge] {
+        let v = v as usize;
+        &self.out_edges[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Incoming edges of `v` (the `dst` field holds the original source).
+    #[inline]
+    pub fn in_edges(self, v: VertexId) -> &'a [Edge] {
+        let v = v as usize;
+        &self.in_edges[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Vertex coordinates, if present.
+    #[inline]
+    pub fn coords(self) -> Option<&'a [Point]> {
+        self.coords
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices as VertexId
+    }
+
+    /// The full offset/edge arrays of one direction, for code that walks the
+    /// CSR wholesale (the snapshot writer, validators).
+    #[inline]
+    pub fn out_arrays(self) -> (&'a [usize], &'a [Edge]) {
+        (self.out_offsets, self.out_edges)
+    }
+
+    /// As [`GraphRef::out_arrays`], for the in-direction.
+    #[inline]
+    pub fn in_arrays(self) -> (&'a [usize], &'a [Edge]) {
+        (self.in_offsets, self.in_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn view_agrees_with_owner() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 2)
+            .edge(0, 2, 5)
+            .edge(1, 3, 1)
+            .edge(2, 3, 1)
+            .build();
+        let r = g.as_graph_ref();
+        assert_eq!(r.num_vertices(), g.num_vertices());
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.is_symmetric(), g.is_symmetric());
+        assert_eq!(r.coords(), g.coords());
+        for v in r.vertices() {
+            assert_eq!(r.out_edges(v), g.out_edges(v));
+            assert_eq!(r.in_edges(v), g.in_edges(v));
+            assert_eq!(r.out_degree(v), g.out_degree(v));
+            assert_eq!(r.in_degree(v), g.in_degree(v));
+        }
+        let (offsets, edges) = r.out_arrays();
+        assert_eq!(offsets.len(), 5);
+        assert_eq!(edges.len(), 4);
+        let (in_offsets, in_edges) = r.in_arrays();
+        assert_eq!(in_offsets.len(), 5);
+        assert_eq!(in_edges.len(), 4);
+    }
+
+    #[test]
+    fn view_is_copy_and_outlives_reslicing() {
+        let g = GraphBuilder::new(2).edge(0, 1, 9).build();
+        let r = g.as_graph_ref();
+        let r2 = r; // Copy
+        let edges = r.out_edges(0); // &'a [Edge] borrows the graph, not `r`
+        assert_eq!(r2.out_edges(0), edges);
+    }
+}

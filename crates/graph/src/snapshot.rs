@@ -1,17 +1,28 @@
-//! Binary graph snapshots: a versioned, checksummed CSR serialization.
+//! Binary graph snapshots: versioned, checksummed CSR serialization with a
+//! zero-copy load path.
 //!
 //! Parsing a multi-gigabyte edge list on every process start defeats the
 //! amortization the serving layer is built around (both GraphIt and the CGO
 //! 2020 paper assume a preprocessed resident graph that many queries share).
 //! A snapshot stores the *finished* CSR arrays — both directions, plus
-//! coordinates and the symmetry flag — so loading is one `fs::read` plus
-//! O(|V| + |E|) fixed-width decoding, with no edge-list re-sort.
+//! coordinates and the symmetry flag. Two formats exist (see
+//! `docs/ARCHITECTURE.md` for the design discussion):
 //!
-//! # Format (`PSNAP`, version 1, little-endian)
+//! * **`PSNAPv1`** — the PR 3 format, decoded by copying every array
+//!   ([`GraphSnapshot::from_bytes`]). Kept readable forever.
+//! * **`PSNAPv2`** — the same content with an 8-byte-aligned layout, so
+//!   [`SnapshotView::open`] can `mmap` the file and hand the engines the
+//!   mapped pages *in place*: loading is O(mmap) + one validation pass, with
+//!   no per-array allocation or copy, and the OS shares the pages across
+//!   processes. [`GraphSnapshot::to_bytes`]/[`write`](GraphSnapshot::write)
+//!   emit v2; `from_bytes` copy-decodes either version.
+//!
+//! # Format (`PSNAPv2`, little-endian)
 //!
 //! ```text
-//! magic        8 bytes  b"PSNAPv1\n"
+//! magic        8 bytes  b"PSNAPv2\n"
 //! flags        u32      bit 0 = symmetric, bit 1 = has coordinates
+//! reserved     u32      must be zero (pads the header to 32 bytes)
 //! num_vertices u64
 //! num_edges    u64      (directed; out- and in-arrays hold this many each)
 //! out_offsets  (n+1) x u64
@@ -22,32 +33,48 @@
 //! checksum     u64      FNV-1a over every preceding byte
 //! ```
 //!
+//! With the 32-byte header every section starts on an 8-byte boundary
+//! (sections are multiples of 8 bytes long), which is what lets the mapped
+//! bytes be reinterpreted as `&[usize]` / `&[Edge]` / `&[Point]` directly on
+//! 64-bit little-endian targets. `PSNAPv1` differs only in the magic and a
+//! 28-byte header (no `reserved` word) — which is exactly why it cannot be
+//! mapped: its sections are 4-byte-misaligned.
+//!
 //! # Robustness contract
 //!
-//! [`GraphSnapshot::from_bytes`] never panics and never allocates more than
-//! the input's own size before validating: the declared counts must account
-//! for the byte length *exactly* before any array is decoded, so a corrupted
-//! header cannot trigger an outsized allocation. Truncation, a foreign
-//! magic, a future version, a checksum mismatch, and structural corruption
-//! (non-monotone offsets, out-of-range endpoints, negative weights,
-//! mismatched transpose degrees) all surface as [`SnapshotError`]s.
+//! Neither decode path panics, and neither allocates more than the input's
+//! own size before validating: the declared counts must account for the byte
+//! length *exactly* before any array is decoded or any section cast, so a
+//! corrupted header cannot trigger an outsized allocation. Truncation, a
+//! foreign magic, a future version, a checksum mismatch, and structural
+//! corruption (non-monotone offsets, out-of-range endpoints, negative
+//! weights, mismatched transpose degrees, non-finite coordinates) all
+//! surface as [`SnapshotError`]s — from [`SnapshotView::open`] just as from
+//! the copying path.
 
 use crate::csr::{CsrGraph, Edge, Point};
+use crate::graph_ref::GraphRef;
+use crate::storage::Storage;
 use std::fmt;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
-/// Magic bytes opening every snapshot; the version is part of the magic so
-/// bumping it makes old readers fail with [`SnapshotError::BadMagic`]'s
-/// sibling [`SnapshotError::UnsupportedVersion`] rather than garbage.
+/// Magic bytes opening a version-1 snapshot.
 pub const MAGIC: &[u8; 8] = b"PSNAPv1\n";
 
-/// Version-independent prefix of [`MAGIC`] used to distinguish "not a
+/// Magic bytes opening a version-2 (alignment-aware, mappable) snapshot.
+pub const MAGIC_V2: &[u8; 8] = b"PSNAPv2\n";
+
+/// Version-independent prefix of the magics, used to distinguish "not a
 /// snapshot at all" from "a snapshot from another version".
 const MAGIC_PREFIX: &[u8; 5] = b"PSNAP";
 
 const FLAG_SYMMETRIC: u32 = 1 << 0;
 const FLAG_COORDS: u32 = 1 << 1;
+
+const V1_HEADER_LEN: usize = 8 + 4 + 8 + 8;
+const V2_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8;
 
 /// Why a snapshot failed to load.
 #[derive(Debug)]
@@ -77,7 +104,10 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "io error: {e}"),
             SnapshotError::BadMagic => write!(f, "not a priograph snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion => {
-                write!(f, "snapshot version unsupported (want {MAGIC:?})")
+                write!(
+                    f,
+                    "snapshot version unsupported (want {MAGIC:?} or {MAGIC_V2:?})"
+                )
             }
             SnapshotError::Truncated { expected, actual } => {
                 write!(
@@ -106,6 +136,10 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
+fn corrupt(why: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(why.into())
+}
+
 /// FNV-1a 64-bit over `bytes` — cheap, dependency-free, and strong enough to
 /// catch the bit rot and partial writes a serving fleet actually sees.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -117,8 +151,212 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// How a [`SnapshotView`]'s graph ended up in memory — reported per graph by
+/// the serving catalog (`ListGraphs`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// The CSR arrays are owned heap allocations (copying decode, or the
+    /// read-to-heap mmap fallback).
+    Owned,
+    /// The CSR arrays borrow a live read-only file mapping (zero-copy).
+    Mapped,
+}
+
+impl LoadMode {
+    /// Stable lowercase spelling (`"owned"` / `"mmap"`), used on the wire
+    /// and in operator-facing listings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoadMode::Owned => "owned",
+            LoadMode::Mapped => "mmap",
+        }
+    }
+}
+
+impl fmt::Display for LoadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Parsed header fields common to both snapshot versions.
+struct Header {
+    version: u8,
+    n: usize,
+    m: usize,
+    symmetric: bool,
+    has_coords: bool,
+    header_len: usize,
+}
+
+impl Header {
+    fn parse(bytes: &[u8]) -> Result<Header, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        let version = if magic == MAGIC {
+            1
+        } else if magic == MAGIC_V2 {
+            2
+        } else if &magic[..MAGIC_PREFIX.len()] == MAGIC_PREFIX {
+            return Err(SnapshotError::UnsupportedVersion);
+        } else {
+            return Err(SnapshotError::BadMagic);
+        };
+        let flags = r.u32()?;
+        if flags & !(FLAG_SYMMETRIC | FLAG_COORDS) != 0 {
+            return Err(corrupt(format!("unknown flags {flags:#x}")));
+        }
+        if version == 2 {
+            let reserved = r.u32()?;
+            if reserved != 0 {
+                return Err(corrupt(format!(
+                    "nonzero reserved header word {reserved:#x}"
+                )));
+            }
+        }
+        let n = r.u64()? as usize;
+        let m = r.u64()? as usize;
+        Ok(Header {
+            version,
+            n,
+            m,
+            symmetric: flags & FLAG_SYMMETRIC != 0,
+            has_coords: flags & FLAG_COORDS != 0,
+            header_len: r.pos,
+        })
+    }
+
+    /// Total file length the header implies (body + trailing checksum),
+    /// computed with checked arithmetic: `None` when the true value exceeds
+    /// `usize` (the caller reports that as a corrupt size, never wraps).
+    fn expected_len(&self) -> Option<usize> {
+        let offsets = self.n.checked_add(1)?.checked_mul(8)?.checked_mul(2)?;
+        let edges = self.m.checked_mul(8)?.checked_mul(2)?;
+        let coords = if self.has_coords {
+            self.n.checked_mul(16)?
+        } else {
+            0
+        };
+        self.header_len
+            .checked_add(offsets)?
+            .checked_add(edges)?
+            .checked_add(coords)?
+            .checked_add(8)
+    }
+
+    /// Validates total length and trailing checksum; every decode path runs
+    /// this before touching (or casting) any section.
+    fn check_envelope(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let expected = self
+            .expected_len()
+            .ok_or_else(|| corrupt("size overflow"))?;
+        if bytes.len() != expected {
+            return Err(SnapshotError::Truncated {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let declared = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv1a(&bytes[..bytes.len() - 8]) != declared {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        Ok(())
+    }
+
+    /// Byte offsets of the five sections, in file order.
+    fn sections(&self) -> Sections {
+        let out_offsets = self.header_len;
+        let out_edges = out_offsets + (self.n + 1) * 8;
+        let in_offsets = out_edges + self.m * 8;
+        let in_edges = in_offsets + (self.n + 1) * 8;
+        let coords = in_edges + self.m * 8;
+        Sections {
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            coords,
+        }
+    }
+}
+
+struct Sections {
+    out_offsets: usize,
+    out_edges: usize,
+    in_offsets: usize,
+    in_edges: usize,
+    coords: usize,
+}
+
+/// Structural validation shared by the copying and zero-copy paths: one CSR
+/// direction's offsets and edges.
+fn validate_dir(
+    what: &str,
+    offsets: &[usize],
+    edges: &[Edge],
+    n: usize,
+    m: usize,
+) -> Result<(), SnapshotError> {
+    debug_assert_eq!(offsets.len(), n + 1);
+    debug_assert_eq!(edges.len(), m);
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+        return Err(corrupt(format!("{what} offsets do not span 0..{m}")));
+    }
+    if offsets.windows(2).any(|w| w[1] < w[0]) {
+        return Err(corrupt(format!("{what} offsets not monotone")));
+    }
+    for e in edges {
+        if e.dst as usize >= n {
+            return Err(corrupt(format!(
+                "{what} endpoint {} out of range for {n} vertices",
+                e.dst
+            )));
+        }
+        if e.weight < 0 {
+            return Err(corrupt(format!(
+                "{what} edge has negative weight {}",
+                e.weight
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The in-direction must be the transpose of the out-direction; a full
+/// edge-by-edge comparison would need a sort, but per-vertex degree sums
+/// catch offset-table corruption in O(n + m).
+fn validate_transpose(
+    out_edges: &[Edge],
+    in_offsets: &[usize],
+    n: usize,
+) -> Result<(), SnapshotError> {
+    let mut in_counts = vec![0u64; n];
+    for e in out_edges {
+        in_counts[e.dst as usize] += 1;
+    }
+    for v in 0..n {
+        let declared = (in_offsets[v + 1] - in_offsets[v]) as u64;
+        if in_counts[v] != declared {
+            return Err(corrupt(format!(
+                "vertex {v}: in-degree {declared} does not match transpose degree {}",
+                in_counts[v]
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn validate_coords(coords: &[Point]) -> Result<(), SnapshotError> {
+    for p in coords {
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(corrupt("non-finite coordinate"));
+        }
+    }
+    Ok(())
+}
+
 /// Namespace for snapshot serialization (see the module docs for the
-/// format).
+/// formats).
 ///
 /// # Example
 ///
@@ -127,7 +365,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// use priograph_graph::snapshot::GraphSnapshot;
 ///
 /// let g = GraphGen::road_grid(8, 8).seed(3).build();
-/// let bytes = GraphSnapshot::to_bytes(&g);
+/// let bytes = GraphSnapshot::to_bytes(&g); // PSNAPv2
 /// let loaded = GraphSnapshot::from_bytes(&bytes).unwrap();
 /// assert_eq!(loaded.edge_triples(), g.edge_triples());
 /// assert!(loaded.is_symmetric() == g.is_symmetric());
@@ -136,21 +374,43 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 pub struct GraphSnapshot;
 
 impl GraphSnapshot {
-    /// Serializes `graph` into the snapshot byte format.
+    /// Serializes `graph` into the current (`PSNAPv2`) snapshot format —
+    /// the one [`SnapshotView::open`] can memory-map without copying.
     pub fn to_bytes(graph: &CsrGraph) -> Vec<u8> {
-        let n = graph.num_vertices();
-        let m = graph.num_edges();
-        let has_coords = graph.coords().is_some();
+        Self::encode(graph, 2)
+    }
+
+    /// Serializes `graph` into the legacy `PSNAPv1` format (copy-decoded
+    /// only). Exists for cross-version tests and for producing snapshots an
+    /// older reader can load; new code wants [`GraphSnapshot::to_bytes`].
+    pub fn to_bytes_v1(graph: &CsrGraph) -> Vec<u8> {
+        Self::encode(graph, 1)
+    }
+
+    fn encode(graph: &CsrGraph, version: u8) -> Vec<u8> {
+        let g = graph.as_graph_ref();
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let has_coords = g.coords().is_some();
         let mut flags = 0u32;
-        if graph.is_symmetric() {
+        if g.is_symmetric() {
             flags |= FLAG_SYMMETRIC;
         }
         if has_coords {
             flags |= FLAG_COORDS;
         }
-        let mut out = Vec::with_capacity(body_len(n, m, has_coords) + 8);
-        out.extend_from_slice(MAGIC);
+        let header_len = if version == 1 {
+            V1_HEADER_LEN
+        } else {
+            V2_HEADER_LEN
+        };
+        let body = header_len + (n + 1) * 16 + m * 16 + if has_coords { n * 16 } else { 0 };
+        let mut out = Vec::with_capacity(body + 8);
+        out.extend_from_slice(if version == 1 { MAGIC } else { MAGIC_V2 });
         out.extend_from_slice(&flags.to_le_bytes());
+        if version == 2 {
+            out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        }
         out.extend_from_slice(&(n as u64).to_le_bytes());
         out.extend_from_slice(&(m as u64).to_le_bytes());
         let write_dir = |out: &mut Vec<u8>, offsets: &[usize], edges: &[Edge]| {
@@ -162,9 +422,11 @@ impl GraphSnapshot {
                 out.extend_from_slice(&e.weight.to_le_bytes());
             }
         };
-        write_dir(&mut out, &graph.out_offsets, &graph.out_edges);
-        write_dir(&mut out, &graph.in_offsets, &graph.in_edges);
-        if let Some(coords) = graph.coords() {
+        let (out_offsets, out_edges) = g.out_arrays();
+        let (in_offsets, in_edges) = g.in_arrays();
+        write_dir(&mut out, out_offsets, out_edges);
+        write_dir(&mut out, in_offsets, in_edges);
+        if let Some(coords) = g.coords() {
             for p in coords {
                 out.extend_from_slice(&p.x.to_le_bytes());
                 out.extend_from_slice(&p.y.to_le_bytes());
@@ -175,129 +437,65 @@ impl GraphSnapshot {
         out
     }
 
-    /// Decodes a snapshot produced by [`GraphSnapshot::to_bytes`].
+    /// Decodes a snapshot of either version by copying into owned arrays.
+    ///
+    /// For large v2 files prefer [`SnapshotView::open`], which maps instead
+    /// of copying.
     ///
     /// # Errors
     ///
     /// Returns a [`SnapshotError`] on any malformed input; never panics.
     pub fn from_bytes(bytes: &[u8]) -> Result<CsrGraph, SnapshotError> {
-        let mut r = Reader { bytes, pos: 0 };
-        let magic = r.take(8)?;
-        if &magic[..MAGIC_PREFIX.len()] != MAGIC_PREFIX {
-            return Err(SnapshotError::BadMagic);
-        }
-        if magic != MAGIC {
-            return Err(SnapshotError::UnsupportedVersion);
-        }
-        let flags = r.u32()?;
-        if flags & !(FLAG_SYMMETRIC | FLAG_COORDS) != 0 {
-            return Err(SnapshotError::Corrupt(format!("unknown flags {flags:#x}")));
-        }
-        let n = r.u64()? as usize;
-        let m = r.u64()? as usize;
-        let has_coords = flags & FLAG_COORDS != 0;
-        // Validate the declared sizes against the actual byte count *before*
-        // decoding (and thus before any count-derived allocation): a lying
-        // header must not be able to request terabytes.
-        let expected = body_len(n, m, has_coords)
-            .checked_add(8)
-            .ok_or(SnapshotError::Corrupt("size overflow".to_string()))?;
-        if bytes.len() != expected {
-            return Err(SnapshotError::Truncated {
-                expected,
-                actual: bytes.len(),
-            });
-        }
-        let declared = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
-        if fnv1a(&bytes[..bytes.len() - 8]) != declared {
-            return Err(SnapshotError::ChecksumMismatch);
-        }
-
+        let header = Header::parse(bytes)?;
+        header.check_envelope(bytes)?;
+        let (n, m) = (header.n, header.m);
+        let mut r = Reader {
+            bytes,
+            pos: header.header_len,
+        };
         let mut read_dir = |what: &str| -> Result<(Vec<usize>, Vec<Edge>), SnapshotError> {
+            // Allocation is bounded: check_envelope proved n and m are
+            // consistent with the actual byte length.
             let mut offsets = Vec::with_capacity(n + 1);
             for _ in 0..n + 1 {
-                let o = r.u64()? as usize;
-                if let Some(&prev) = offsets.last() {
-                    if o < prev {
-                        return Err(SnapshotError::Corrupt(format!(
-                            "{what} offsets not monotone"
-                        )));
-                    }
-                }
-                if o > m {
-                    return Err(SnapshotError::Corrupt(format!(
-                        "{what} offset {o} exceeds edge count {m}"
-                    )));
-                }
-                offsets.push(o);
-            }
-            if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
-                return Err(SnapshotError::Corrupt(format!(
-                    "{what} offsets do not span 0..{m}"
-                )));
+                offsets.push(r.u64()? as usize);
             }
             let mut edges = Vec::with_capacity(m);
             for _ in 0..m {
                 let dst = r.u32()?;
                 let weight = r.i32()?;
-                if dst as usize >= n {
-                    return Err(SnapshotError::Corrupt(format!(
-                        "{what} endpoint {dst} out of range for {n} vertices"
-                    )));
-                }
-                if weight < 0 {
-                    return Err(SnapshotError::Corrupt(format!(
-                        "{what} edge has negative weight {weight}"
-                    )));
-                }
                 edges.push(Edge { dst, weight });
             }
+            validate_dir(what, &offsets, &edges, n, m)?;
             Ok((offsets, edges))
         };
         let (out_offsets, out_edges) = read_dir("out")?;
         let (in_offsets, in_edges) = read_dir("in")?;
-        // The in-direction must be the transpose of the out-direction; a
-        // full edge-by-edge comparison would need a sort, but per-vertex
-        // degree sums catch offset-table corruption in O(n + m).
-        let mut in_counts = vec![0u64; n];
-        for e in &out_edges {
-            in_counts[e.dst as usize] += 1;
-        }
-        for v in 0..n {
-            let declared = (in_offsets[v + 1] - in_offsets[v]) as u64;
-            if in_counts[v] != declared {
-                return Err(SnapshotError::Corrupt(format!(
-                    "vertex {v}: in-degree {declared} does not match transpose degree {}",
-                    in_counts[v]
-                )));
-            }
-        }
-        let coords = if has_coords {
+        validate_transpose(&out_edges, &in_offsets, n)?;
+        let coords = if header.has_coords {
             let mut coords = Vec::with_capacity(n);
             for _ in 0..n {
                 let x = f64::from_le_bytes(r.take(8)?.try_into().unwrap());
                 let y = f64::from_le_bytes(r.take(8)?.try_into().unwrap());
-                if !x.is_finite() || !y.is_finite() {
-                    return Err(SnapshotError::Corrupt("non-finite coordinate".to_string()));
-                }
                 coords.push(Point { x, y });
             }
-            Some(coords)
+            validate_coords(&coords)?;
+            Some(coords.into())
         } else {
             None
         };
         Ok(CsrGraph {
             num_vertices: n,
-            out_offsets,
-            out_edges,
-            in_offsets,
-            in_edges,
+            out_offsets: out_offsets.into(),
+            out_edges: out_edges.into(),
+            in_offsets: in_offsets.into(),
+            in_edges: in_edges.into(),
             coords,
-            symmetric: flags & FLAG_SYMMETRIC != 0,
+            symmetric: header.symmetric,
         })
     }
 
-    /// Writes `graph` as a snapshot file at `path`.
+    /// Writes `graph` as a `PSNAPv2` snapshot file at `path`.
     ///
     /// # Errors
     ///
@@ -306,7 +504,18 @@ impl GraphSnapshot {
         std::fs::write(path, Self::to_bytes(graph))
     }
 
-    /// Loads a snapshot file written by [`GraphSnapshot::write`].
+    /// Writes `graph` as a legacy `PSNAPv1` snapshot file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn write_v1(graph: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, Self::to_bytes_v1(graph))
+    }
+
+    /// Loads a snapshot file of either version **by copying** into owned
+    /// arrays. [`SnapshotView::open`] is the zero-copy alternative for v2
+    /// files.
     ///
     /// # Errors
     ///
@@ -317,18 +526,168 @@ impl GraphSnapshot {
     }
 }
 
-/// Byte length of a snapshot body (everything except the trailing checksum)
-/// for the given dimensions, saturating instead of overflowing so the caller
-/// can compare against a real file length safely.
-fn body_len(n: usize, m: usize, has_coords: bool) -> usize {
-    let header: usize = 8 + 4 + 8 + 8;
-    let offsets = (n.saturating_add(1)).saturating_mul(8).saturating_mul(2);
-    let edges = m.saturating_mul(8).saturating_mul(2);
-    let coords = if has_coords { n.saturating_mul(16) } else { 0 };
-    header
-        .saturating_add(offsets)
-        .saturating_add(edges)
-        .saturating_add(coords)
+/// A snapshot opened for serving: the graph plus how it is resident.
+///
+/// [`SnapshotView::open`] is the O(mmap) load path. For a `PSNAPv2` file it
+/// maps the file read-only, validates it in place (checksum + structure —
+/// one streaming read; the only graph-sized scratch is the transpose
+/// check's `n`-element degree counter, freed before this returns — no edge
+/// array is ever copied or decoded), and builds a [`CsrGraph`] whose arrays
+/// *borrow the mapping*; the engines then traverse the file's page cache
+/// directly, and cloning the graph is O(1).
+/// A `PSNAPv1` file (whose layout is misaligned by design of its era) falls
+/// back to the copying decoder, as does any platform where the in-memory
+/// layout differs from the file's (big-endian or 32-bit `usize`).
+///
+/// # Example
+///
+/// ```
+/// use priograph_graph::gen::GraphGen;
+/// use priograph_graph::snapshot::{GraphSnapshot, SnapshotView};
+///
+/// let g = GraphGen::road_grid(6, 6).seed(1).build();
+/// let path = std::env::temp_dir().join("snapshot_view_doc.snap");
+/// GraphSnapshot::write(&g, &path).unwrap();
+///
+/// let view = SnapshotView::open(&path).unwrap();
+/// assert_eq!(view.graph().edge_triples(), g.edge_triples());
+/// assert_eq!(view.version(), 2);
+/// println!("loaded as {}", view.mode()); // "mmap" on 64-bit unix
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SnapshotView {
+    graph: CsrGraph,
+    mode: LoadMode,
+    version: u8,
+    file_bytes: u64,
+}
+
+impl SnapshotView {
+    /// Opens a snapshot file of either version, zero-copy where the format
+    /// and platform allow (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on IO failure or any malformed content;
+    /// never panics.
+    pub fn open(path: impl AsRef<Path>) -> Result<SnapshotView, SnapshotError> {
+        let file = std::fs::File::open(path)?;
+        let map = memmap2::Mmap::map_or_read(&file)?;
+        Self::from_map(map)
+    }
+
+    fn from_map(map: memmap2::Mmap) -> Result<SnapshotView, SnapshotError> {
+        let header = Header::parse(&map)?;
+        header.check_envelope(&map)?;
+        let file_bytes = map.len() as u64;
+        let version = header.version;
+        let (graph, mode) = if version == 2 {
+            zero_copy_or_decode(map, &header)?
+        } else {
+            (GraphSnapshot::from_bytes(&map)?, LoadMode::Owned)
+        };
+        Ok(SnapshotView {
+            graph,
+            mode,
+            version,
+            file_bytes,
+        })
+    }
+
+    /// The resident graph. Clone it (O(1) when mapped) to share with a
+    /// serving catalog.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Consumes the view, returning the graph (which keeps the mapping
+    /// alive through its storage for as long as it lives).
+    pub fn into_graph(self) -> CsrGraph {
+        self.graph
+    }
+
+    /// Borrowed CSR view of the resident graph.
+    pub fn graph_ref(&self) -> GraphRef<'_> {
+        self.graph.as_graph_ref()
+    }
+
+    /// How the arrays are resident: [`LoadMode::Mapped`] when they borrow a
+    /// live `mmap` region, [`LoadMode::Owned`] for every copying/heap path.
+    pub fn mode(&self) -> LoadMode {
+        self.mode
+    }
+
+    /// Snapshot format version the file carried (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Size of the snapshot file in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+}
+
+/// v2 zero-copy construction on layout-compatible targets: cast each
+/// section of the (already envelope-checked) mapping in place, validate,
+/// and wrap the sections in mapping-backed storage.
+#[cfg(all(target_endian = "little", target_pointer_width = "64"))]
+fn zero_copy_or_decode(
+    map: memmap2::Mmap,
+    header: &Header,
+) -> Result<(CsrGraph, LoadMode), SnapshotError> {
+    let (n, m) = (header.n, header.m);
+    let sections = header.sections();
+    let mode = if map.is_mapped() {
+        LoadMode::Mapped
+    } else {
+        LoadMode::Owned
+    };
+    let map = Arc::new(map);
+    fn section<T: crate::storage::Pod>(
+        map: &Arc<memmap2::Mmap>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Storage<T>, SnapshotError> {
+        Storage::mapped(Arc::clone(map), offset, len).map_err(corrupt)
+    }
+    let out_offsets: Storage<usize> = section(&map, sections.out_offsets, n + 1)?;
+    let out_edges: Storage<Edge> = section(&map, sections.out_edges, m)?;
+    let in_offsets: Storage<usize> = section(&map, sections.in_offsets, n + 1)?;
+    let in_edges: Storage<Edge> = section(&map, sections.in_edges, m)?;
+    validate_dir("out", &out_offsets, &out_edges, n, m)?;
+    validate_dir("in", &in_offsets, &in_edges, n, m)?;
+    validate_transpose(&out_edges, &in_offsets, n)?;
+    let coords = if header.has_coords {
+        let coords: Storage<Point> = section(&map, sections.coords, n)?;
+        validate_coords(&coords)?;
+        Some(coords)
+    } else {
+        None
+    };
+    Ok((
+        CsrGraph {
+            num_vertices: n,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            coords,
+            symmetric: header.symmetric,
+        },
+        mode,
+    ))
+}
+
+/// On big-endian or 32-bit targets the file layout differs from memory
+/// layout, so v2 falls back to the copying decoder.
+#[cfg(not(all(target_endian = "little", target_pointer_width = "64")))]
+fn zero_copy_or_decode(
+    map: memmap2::Mmap,
+    _header: &Header,
+) -> Result<(CsrGraph, LoadMode), SnapshotError> {
+    Ok((GraphSnapshot::from_bytes(&map)?, LoadMode::Owned))
 }
 
 /// Bounds-checked little-endian cursor over the input bytes.
@@ -393,11 +752,30 @@ mod tests {
         }
     }
 
+    /// Re-seals the trailing checksum after a test mutated payload bytes.
+    fn reseal(bytes: &mut [u8]) {
+        let len = bytes.len();
+        let sum = fnv1a(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+    }
+
     #[test]
-    fn roundtrip_plain_graph() {
+    fn roundtrip_plain_graph_both_versions() {
         let g = fixture();
-        let loaded = GraphSnapshot::from_bytes(&GraphSnapshot::to_bytes(&g)).unwrap();
-        graphs_equal(&g, &loaded);
+        for bytes in [GraphSnapshot::to_bytes(&g), GraphSnapshot::to_bytes_v1(&g)] {
+            let loaded = GraphSnapshot::from_bytes(&bytes).unwrap();
+            graphs_equal(&g, &loaded);
+        }
+    }
+
+    #[test]
+    fn v2_is_the_default_and_v1_is_distinct() {
+        let g = fixture();
+        let v2 = GraphSnapshot::to_bytes(&g);
+        let v1 = GraphSnapshot::to_bytes_v1(&g);
+        assert_eq!(&v2[..8], MAGIC_V2);
+        assert_eq!(&v1[..8], MAGIC);
+        assert_eq!(v2.len(), v1.len() + 4, "v2 adds exactly the reserved word");
     }
 
     #[test]
@@ -431,6 +809,8 @@ mod tests {
         let err = GraphSnapshot::load("/nonexistent/priograph.snap").unwrap_err();
         assert!(matches!(err, SnapshotError::Io(_)));
         assert!(std::error::Error::source(&err).is_some());
+        let err = SnapshotView::open("/nonexistent/priograph.snap").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
     }
 
     #[test]
@@ -455,15 +835,19 @@ mod tests {
 
     #[test]
     fn every_truncation_point_errors_without_panic() {
-        let bytes = GraphSnapshot::to_bytes(&fixture());
-        // Cutting anywhere — header, arrays, checksum — must return Err.
-        let mut cuts: Vec<usize> = (0..bytes.len().min(64)).collect();
-        cuts.extend([bytes.len() / 2, bytes.len() - 9, bytes.len() - 1]);
-        for cut in cuts {
-            assert!(
-                GraphSnapshot::from_bytes(&bytes[..cut]).is_err(),
-                "truncation at {cut} must fail"
-            );
+        for bytes in [
+            GraphSnapshot::to_bytes(&fixture()),
+            GraphSnapshot::to_bytes_v1(&fixture()),
+        ] {
+            // Cutting anywhere — header, arrays, checksum — must return Err.
+            let mut cuts: Vec<usize> = (0..bytes.len().min(64)).collect();
+            cuts.extend([bytes.len() / 2, bytes.len() - 9, bytes.len() - 1]);
+            for cut in cuts {
+                assert!(
+                    GraphSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                    "truncation at {cut} must fail"
+                );
+            }
         }
     }
 
@@ -482,15 +866,27 @@ mod tests {
         // Claim ~2^60 vertices; the size check must reject this before any
         // decode-side allocation happens (size overflow / truncation, not
         // OOM). A smaller lie that stays in usize range must fail too.
-        bytes[12..20].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        // v2 header: num_vertices lives at byte 16.
+        bytes[16..24].copy_from_slice(&(1u64 << 60).to_le_bytes());
         assert!(matches!(
             GraphSnapshot::from_bytes(&bytes).unwrap_err(),
             SnapshotError::Corrupt(_) | SnapshotError::Truncated { .. }
         ));
-        bytes[12..20].copy_from_slice(&(1u64 << 33).to_le_bytes());
+        bytes[16..24].copy_from_slice(&(1u64 << 33).to_le_bytes());
         assert!(matches!(
             GraphSnapshot::from_bytes(&bytes).unwrap_err(),
             SnapshotError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn nonzero_reserved_word_is_corrupt() {
+        let mut bytes = GraphSnapshot::to_bytes(&fixture());
+        bytes[12..16].copy_from_slice(&7u32.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            GraphSnapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::Corrupt(_)
         ));
     }
 
@@ -500,11 +896,9 @@ mod tests {
         let mut bytes = GraphSnapshot::to_bytes(&g);
         // Point the first out-edge at vertex 7 (out of range) and re-seal the
         // checksum so only structural validation can catch it.
-        let edge_pos = 8 + 4 + 8 + 8 + 4 * 8;
+        let edge_pos = V2_HEADER_LEN + 4 * 8;
         bytes[edge_pos..edge_pos + 4].copy_from_slice(&7u32.to_le_bytes());
-        let len = bytes.len();
-        let reseal = fnv1a(&bytes[..len - 8]);
-        bytes[len - 8..].copy_from_slice(&reseal.to_le_bytes());
+        reseal(&mut bytes);
         assert!(matches!(
             GraphSnapshot::from_bytes(&bytes).unwrap_err(),
             SnapshotError::Corrupt(_)
@@ -518,16 +912,127 @@ mod tests {
         // reseal the checksum: only the transpose-degree check can object.
         let g = GraphBuilder::new(2).edge(0, 1, 5).build();
         let mut bytes = GraphSnapshot::to_bytes(&g);
-        let in_offsets_pos = 28 + 3 * 8 + 8; // header + out_offsets + out_edges
+        let in_offsets_pos = V2_HEADER_LEN + 3 * 8 + 8; // header + out_offsets + out_edges
         let mid = in_offsets_pos + 8;
         bytes[mid..mid + 8].copy_from_slice(&1u64.to_le_bytes());
-        let len = bytes.len();
-        let reseal = fnv1a(&bytes[..len - 8]);
-        bytes[len - 8..].copy_from_slice(&reseal.to_le_bytes());
+        reseal(&mut bytes);
         match GraphSnapshot::from_bytes(&bytes).unwrap_err() {
             SnapshotError::Corrupt(why) => assert!(why.contains("transpose"), "{why}"),
             other => panic!("expected Corrupt, got {other}"),
         }
+    }
+
+    /// Writes `bytes` to a temp file and opens it as a [`SnapshotView`].
+    fn view_of(bytes: &[u8], name: &str) -> Result<SnapshotView, SnapshotError> {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, bytes).unwrap();
+        let view = SnapshotView::open(&path);
+        let _ = std::fs::remove_file(&path);
+        view
+    }
+
+    #[test]
+    fn cross_version_matrix_all_paths_agree() {
+        // Every (writer version × reader path) cell must produce the same
+        // graph: v1/v2 through the copying decoder, v1/v2 through the view.
+        for g in [
+            fixture(),
+            GraphGen::road_grid(7, 5).seed(4).build(),
+            GraphBuilder::new(0).build(),
+            GraphBuilder::new(3).build(),
+        ] {
+            let v1 = GraphSnapshot::to_bytes_v1(&g);
+            let v2 = GraphSnapshot::to_bytes(&g);
+            graphs_equal(&g, &GraphSnapshot::from_bytes(&v1).unwrap());
+            graphs_equal(&g, &GraphSnapshot::from_bytes(&v2).unwrap());
+            let via_v1 = view_of(&v1, "priograph_matrix_v1.snap").unwrap();
+            assert_eq!(via_v1.version(), 1);
+            assert_eq!(via_v1.mode(), LoadMode::Owned, "v1 always copies");
+            graphs_equal(&g, via_v1.graph());
+            let via_v2 = view_of(&v2, "priograph_matrix_v2.snap").unwrap();
+            assert_eq!(via_v2.version(), 2);
+            assert_eq!(via_v2.file_bytes(), v2.len() as u64);
+            graphs_equal(&g, via_v2.graph());
+        }
+    }
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    #[test]
+    fn v2_view_is_zero_copy_on_this_platform() {
+        let g = GraphGen::road_grid(9, 9).seed(6).build();
+        let view = view_of(&GraphSnapshot::to_bytes(&g), "priograph_zero_copy.snap").unwrap();
+        assert_eq!(view.mode(), LoadMode::Mapped);
+        assert!(view.graph().is_mapped());
+        assert_eq!(view.graph().resident_bytes(), g.resident_bytes());
+        // A mapped graph clones in O(1) (refcount bump) and stays usable
+        // after the view is gone: the storage keeps the mapping alive.
+        let clone = view.graph().clone();
+        let owned = view.into_graph();
+        drop(owned);
+        graphs_equal(&g, &clone);
+        // Engines see identical adjacency through the mapped arrays.
+        assert_eq!(clone.out_edges(17), g.out_edges(17));
+        assert_eq!(clone.as_graph_ref().in_edges(3), g.in_edges(3));
+    }
+
+    #[test]
+    fn v2_view_rejects_malformed_input_without_panicking() {
+        let g = fixture();
+        let good = GraphSnapshot::to_bytes(&g);
+
+        // Truncation at every early boundary plus section-interior cuts.
+        let mut cuts: Vec<usize> = (0..good.len().min(48)).collect();
+        cuts.extend([good.len() / 3, good.len() - 9, good.len() - 1]);
+        for cut in cuts {
+            assert!(
+                view_of(&good[..cut], "priograph_view_trunc.snap").is_err(),
+                "view truncation at {cut} must fail"
+            );
+        }
+
+        // Bad magic and foreign versions.
+        let mut bad = good.clone();
+        bad[0] = b'Q';
+        assert!(matches!(
+            view_of(&bad, "priograph_view_magic.snap").unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+        let mut future = good.clone();
+        future[6] = b'7';
+        assert!(matches!(
+            view_of(&future, "priograph_view_future.snap").unwrap_err(),
+            SnapshotError::UnsupportedVersion
+        ));
+
+        // Misalignment: extra trailing byte breaks the exact-length check
+        // (the only way a well-formed v2 header could yield misaligned
+        // sections is a size lie, which Truncated catches first).
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(matches!(
+            view_of(&padded, "priograph_view_pad.snap").unwrap_err(),
+            SnapshotError::Truncated { .. }
+        ));
+
+        // Structural lie behind a valid checksum.
+        let small = GraphBuilder::new(3).edge(0, 1, 5).edge(1, 2, 6).build();
+        let mut bytes = GraphSnapshot::to_bytes(&small);
+        let edge_pos = V2_HEADER_LEN + 4 * 8;
+        bytes[edge_pos..edge_pos + 4].copy_from_slice(&9u32.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            view_of(&bytes, "priograph_view_corrupt.snap").unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+
+        // Bit flip behind the checksum.
+        let mut flipped = good;
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            view_of(&flipped, "priograph_view_flip.snap").unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        ));
     }
 
     #[test]
@@ -543,5 +1048,7 @@ mod tests {
             .to_string()
             .contains("checksum"));
         assert!(SnapshotError::Corrupt("x".into()).to_string().contains('x'));
+        assert_eq!(LoadMode::Mapped.to_string(), "mmap");
+        assert_eq!(LoadMode::Owned.to_string(), "owned");
     }
 }

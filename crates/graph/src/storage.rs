@@ -1,0 +1,223 @@
+//! Array storage backing [`CsrGraph`](crate::CsrGraph): owned vectors or
+//! borrowed slices of a shared read-only memory map.
+//!
+//! Every CSR array (`out_offsets`, `out_edges`, ...) is a [`Storage<T>`],
+//! which dereferences to `&[T]` exactly like the `Vec<T>` it replaced. The
+//! difference is the owner: an [`Owned`](Storage) storage holds a `Vec<T>`;
+//! a mapped storage holds an `Arc` on a [`memmap2::Mmap`] plus a pre-resolved
+//! pointer into it, so a `PSNAPv2` snapshot loads in O(mmap) with the engines
+//! reading the file's pages directly — no per-array copy, no decode
+//! allocation (see [`snapshot::SnapshotView`](crate::snapshot::SnapshotView)).
+//!
+//! The deref is branch-free (the pointer/length pair is resolved at
+//! construction), so traversal hot paths pay nothing for the indirection.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Element types that may be reinterpreted directly from snapshot bytes.
+///
+/// # Safety
+///
+/// Implementors must be `#[repr(C)]` (or a primitive), contain no padding
+/// bytes that validation could miss, no niches with invalid bit patterns at
+/// the containing field positions, and no pointers. All implementations live
+/// in this crate next to the types they describe.
+pub(crate) unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: primitives — any bit pattern is valid, no padding.
+unsafe impl Pod for usize {}
+// SAFETY: `Edge` is #[repr(C)] { u32, i32 }: 8 bytes, no padding, every bit
+// pattern inhabited (structural validity is checked by snapshot validation,
+// not the type system).
+unsafe impl Pod for crate::csr::Edge {}
+// SAFETY: `Point` is #[repr(C)] { f64, f64 }: 16 bytes, no padding, every
+// bit pattern is a valid f64 (NaN/inf are rejected by snapshot validation
+// as a semantic, not safety, matter).
+unsafe impl Pod for crate::csr::Point {}
+
+/// An immutable `[T]` with a swappable owner: a `Vec<T>` or a section of a
+/// shared read-only file mapping.
+pub(crate) struct Storage<T: Pod> {
+    /// Resolved element pointer (into the vec or the map) — kept alongside
+    /// the owner so `Deref` is a plain `from_raw_parts`, no matching.
+    ptr: *const T,
+    len: usize,
+    owner: Owner<T>,
+}
+
+enum Owner<T> {
+    Owned(Vec<T>),
+    Mapped(Arc<memmap2::Mmap>),
+}
+
+// SAFETY: the storage is immutable after construction; `Vec<T>` and the
+// read-only mapping are both safe to read from any thread, and `T: Pod`
+// excludes interior mutability and non-Send payloads.
+unsafe impl<T: Pod> Send for Storage<T> {}
+unsafe impl<T: Pod> Sync for Storage<T> {}
+
+impl<T: Pod> Storage<T> {
+    /// Borrows `len` elements of `map` starting at `byte_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-bounds sections and misaligned offsets (both indicate
+    /// a malformed snapshot, never a reason to panic).
+    pub(crate) fn mapped(
+        map: Arc<memmap2::Mmap>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<Self, String> {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .and_then(|b| b.checked_add(byte_offset))
+            .ok_or_else(|| "section size overflows".to_string())?;
+        if bytes > map.len() {
+            return Err(format!(
+                "section [{byte_offset}..{bytes}] exceeds the {}-byte map",
+                map.len()
+            ));
+        }
+        let base = map.as_slice().as_ptr();
+        // The map base is 8-byte aligned (memmap2 shim guarantee); the
+        // offset must keep the element alignment.
+        if !(base as usize + byte_offset).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(format!("section at byte {byte_offset} is misaligned"));
+        }
+        // SAFETY: bounds and alignment checked above; the map outlives the
+        // storage via the Arc and is never written.
+        let ptr = unsafe { base.add(byte_offset) } as *const T;
+        Ok(Storage {
+            ptr,
+            len,
+            owner: Owner::Mapped(map),
+        })
+    }
+
+    /// True when the elements live in a real `mmap` region. A storage
+    /// borrowing the shim's read-to-heap fallback reports `false`: its
+    /// memory behaves like any owned heap allocation.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(&self.owner, Owner::Mapped(map) if map.is_mapped())
+    }
+
+    /// Bytes of element data this storage keeps resident (heap or mapped).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Storage<T> {
+    fn from(vec: Vec<T>) -> Self {
+        Storage {
+            ptr: vec.as_ptr(),
+            len: vec.len(),
+            owner: Owner::Owned(vec),
+        }
+    }
+}
+
+impl<T: Pod> Default for Storage<T> {
+    fn default() -> Self {
+        Storage::from(Vec::new())
+    }
+}
+
+impl<T: Pod> Deref for Storage<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: ptr/len were validated at construction; the owner (vec or
+        // Arc'd map) is held by self, and a moved Vec keeps its heap buffer.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Pod> Clone for Storage<T> {
+    fn clone(&self) -> Self {
+        match &self.owner {
+            Owner::Owned(vec) => Storage::from(vec.clone()),
+            Owner::Mapped(map) => Storage {
+                ptr: self.ptr,
+                len: self.len,
+                owner: Owner::Mapped(Arc::clone(map)),
+            },
+        }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for Storage<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Storage")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn mapped_file(payload: &[u8], name: &str) -> Arc<memmap2::Mmap> {
+        let path = std::env::temp_dir().join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(payload).unwrap();
+        drop(f);
+        let map = memmap2::Mmap::map_or_read(&std::fs::File::open(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_file(path);
+        Arc::new(map)
+    }
+
+    #[test]
+    fn owned_storage_derefs_and_clones() {
+        let s: Storage<usize> = vec![3usize, 1, 4].into();
+        assert_eq!(&s[..], &[3, 1, 4]);
+        assert!(!s.is_mapped());
+        assert_eq!(s.resident_bytes(), 24);
+        let c = s.clone();
+        assert_eq!(&c[..], &s[..]);
+        // An empty storage is fine too (dangling-but-aligned pointer).
+        let empty: Storage<usize> = Storage::default();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn mapped_storage_reads_file_words() {
+        let mut payload = Vec::new();
+        for w in [7u64, 8, 9, 10] {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        let map = mapped_file(&payload, "priograph_storage_words.bin");
+        let s = Storage::<usize>::mapped(Arc::clone(&map), 8, 3).unwrap();
+        assert_eq!(&s[..], &[8, 9, 10]);
+        assert!(s.is_mapped());
+        let c = s.clone();
+        assert_eq!(&c[..], &[8, 9, 10]);
+        assert!(c.is_mapped());
+    }
+
+    #[test]
+    fn mapped_storage_rejects_bad_sections() {
+        let map = mapped_file(&[0u8; 64], "priograph_storage_bad.bin");
+        assert!(Storage::<usize>::mapped(Arc::clone(&map), 0, 9).is_err());
+        assert!(Storage::<usize>::mapped(Arc::clone(&map), 4, 1).is_err());
+        assert!(Storage::<usize>::mapped(Arc::clone(&map), usize::MAX, 2).is_err());
+        assert!(
+            Storage::<usize>::mapped(map, 64, 0).is_ok(),
+            "empty tail ok"
+        );
+    }
+
+    #[test]
+    fn storage_moves_keep_the_pointer_valid() {
+        let s: Storage<usize> = vec![5usize; 1000].into();
+        let moved = s; // Vec's heap buffer does not move with the struct
+        assert!(moved.iter().all(|&x| x == 5));
+        let boxed = Box::new(moved);
+        assert_eq!(boxed.len(), 1000);
+    }
+}

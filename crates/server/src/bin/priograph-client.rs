@@ -4,21 +4,26 @@
 //!
 //! ```text
 //! priograph-client --connect 127.0.0.1:7411 stats
-//! priograph-client --connect ADDR ppsp 0 99
+//! priograph-client --connect ADDR list
+//! priograph-client --connect ADDR load roads-de /data/de.snap
+//! priograph-client --connect ADDR --graph-name roads-de ppsp 0 99
 //! priograph-client --connect ADDR sssp 0
+//! priograph-client --connect ADDR unload roads-de
 //! priograph-client --connect ADDR shutdown
-//! priograph-client --connect ADDR --random 120 --seed 7 \
-//!                  --snapshot g.snap --verify
+//! priograph-client --connect ADDR --graph-name roads-de --random 120 \
+//!                  --seed 7 --snapshot g.snap --verify
 //! ```
 //!
 //! `--random N` sends one batch of N mixed PPSP/SSSP queries; with
 //! `--verify` the client loads the same graph (via --snapshot/--graph/--gen)
 //! and exits nonzero unless every served distance matches Dijkstra.
+//! `--graph-name` targets a named resident graph (default: the catalog's
+//! graph 0).
 
 use priograph_algorithms::serial::dijkstra;
 use priograph_algorithms::UNREACHABLE;
 use priograph_serve::client::Client;
-use priograph_serve::protocol::{Query, Response};
+use priograph_serve::protocol::{GraphId, GraphInfo, Query, Response};
 use priograph_serve::server::fmt_distance;
 use priograph_serve::spec::GraphSource;
 use std::collections::HashMap;
@@ -26,6 +31,7 @@ use std::collections::HashMap;
 struct Args {
     connect: String,
     source: GraphSource,
+    graph_name: Option<String>,
     random: usize,
     seed: u64,
     verify: bool,
@@ -36,6 +42,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         connect: "127.0.0.1:7411".to_string(),
         source: GraphSource::default(),
+        graph_name: None,
         random: 0,
         seed: 1,
         verify: false,
@@ -52,6 +59,7 @@ fn parse_args() -> Args {
             "--snapshot" => args.source.snapshot = Some(take("--snapshot")),
             "--graph" => args.source.graph = Some(take("--graph")),
             "--gen" => args.source.gen_spec = Some(take("--gen")),
+            "--graph-name" => args.graph_name = Some(take("--graph-name")),
             "--random" => {
                 args.random = take("--random")
                     .parse()
@@ -65,9 +73,11 @@ fn parse_args() -> Args {
             "--verify" => args.verify = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --connect ADDR  [--random N --seed S --verify]\n\
+                    "flags: --connect ADDR  [--graph-name NAME]\n\
+                     \x20      [--random N --seed S --verify]\n\
                      \x20      [--snapshot PATH | --graph PATH | --gen SPEC]\n\
-                     commands: stats | ppsp SRC DST | sssp SRC | shutdown"
+                     commands: stats | list | ppsp SRC DST | sssp SRC\n\
+                     \x20         load NAME PATH | unload NAME | shutdown"
                 );
                 std::process::exit(0);
             }
@@ -82,9 +92,42 @@ fn fail(why: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Graph id for the simple query commands: 0 (the constructors' default)
+/// unless `--graph-name` forces a catalog round-trip to resolve the name.
+fn target_graph_id(client: &mut Client, name: Option<&str>) -> GraphId {
+    match name {
+        Some(name) => {
+            client
+                .resolve_graph(name)
+                .unwrap_or_else(|e| fail(&format!("resolving graph {name:?}: {e}")))
+                .id
+        }
+        None => 0,
+    }
+}
+
+/// Resolves `--graph-name` against the server's catalog (default: graph 0).
+/// Used by `--random`, which needs the vertex count as well as the id.
+fn target_graph(client: &mut Client, name: Option<&str>) -> GraphInfo {
+    match name {
+        Some(name) => client
+            .resolve_graph(name)
+            .unwrap_or_else(|e| fail(&format!("resolving graph {name:?}: {e}"))),
+        None => {
+            let graphs = client
+                .list_graphs()
+                .unwrap_or_else(|e| fail(&format!("listing graphs: {e}")));
+            graphs
+                .into_iter()
+                .find(|g| g.id == 0)
+                .unwrap_or_else(|| fail("the server has no graph 0; use --graph-name"))
+        }
+    }
+}
+
 /// Deterministic mixed query batch: mostly point queries, a sprinkling of
 /// full SSSP — the serving mix the batching dispatcher is built for.
-fn random_batch(n_vertices: u32, count: usize, seed: u64) -> Vec<Query> {
+fn random_batch(n_vertices: u32, graph: GraphId, count: usize, seed: u64) -> Vec<Query> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
     let mut next = move || {
         // xorshift64* — deterministic and dependency-free.
@@ -96,12 +139,13 @@ fn random_batch(n_vertices: u32, count: usize, seed: u64) -> Vec<Query> {
     (0..count)
         .map(|i| {
             let source = (next() % n_vertices as u64) as u32;
-            if i % 5 == 4 {
+            let q = if i % 5 == 4 {
                 Query::sssp(source)
             } else {
                 let target = (next() % n_vertices as u64) as u32;
                 Query::ppsp(source, target)
-            }
+            };
+            q.on_graph(graph)
         })
         .collect()
 }
@@ -133,8 +177,29 @@ fn check(query: &Query, response: &Response, dist: &[i64]) -> Result<(), String>
                 ))
             }
         }
-        (q, Response::Error(why)) => Err(format!("query {q:?} failed: {why}")),
+        (q, Response::Error { kind, message }) => {
+            Err(format!("query {q:?} failed ({kind}): {message}"))
+        }
         (q, other) => Err(format!("query {q:?} got unexpected response {other:?}")),
+    }
+}
+
+fn print_graph_table(graphs: &[GraphInfo]) {
+    println!(
+        "{:>4}  {:<24} {:>12} {:>12} {:>12}  {:<5} {:>10}",
+        "id", "name", "vertices", "edges", "resident", "mode", "queries"
+    );
+    for g in graphs {
+        println!(
+            "{:>4}  {:<24} {:>12} {:>12} {:>12}  {:<5} {:>10}",
+            g.id,
+            g.name,
+            g.vertices,
+            g.edges,
+            format!("{:.1}MiB", g.resident_bytes as f64 / (1 << 20) as f64),
+            g.mode.as_str(),
+            g.queries
+        );
     }
 }
 
@@ -144,22 +209,22 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("connecting {}: {e}", args.connect)));
 
     if args.random > 0 {
-        let stats = client
-            .stats()
-            .unwrap_or_else(|e| fail(&format!("stats: {e}")));
-        let n = stats.num_vertices as u32;
+        let info = target_graph(&mut client, args.graph_name.as_deref());
+        let n = info.vertices as u32;
         if n == 0 {
-            fail("server graph is empty");
+            fail("target graph is empty");
         }
-        let queries = random_batch(n, args.random, args.seed);
+        let queries = random_batch(n, info.id, args.random, args.seed);
         let started = std::time::Instant::now();
         let responses = client
             .batch(queries.clone())
             .unwrap_or_else(|e| fail(&format!("batch: {e}")));
         let elapsed = started.elapsed();
         println!(
-            "batch of {} served in {elapsed:.3?} ({:.1} queries/s)",
+            "batch of {} against graph {:?} ({}) served in {elapsed:.3?} ({:.1} queries/s)",
             queries.len(),
+            info.name,
+            info.mode.as_str(),
             queries.len() as f64 / elapsed.as_secs_f64().max(1e-9)
         );
         if args.verify {
@@ -167,8 +232,8 @@ fn main() {
                 .source
                 .load()
                 .unwrap_or_else(|e| fail(&format!("--verify needs the graph: {e}")));
-            if graph.num_vertices() as u64 != stats.num_vertices
-                || graph.num_edges() as u64 != stats.num_edges
+            if graph.num_vertices() as u64 != info.vertices
+                || graph.num_edges() as u64 != info.edges
             {
                 fail("local graph differs from the server's resident graph");
             }
@@ -202,21 +267,50 @@ fn main() {
                 .stats()
                 .unwrap_or_else(|e| fail(&format!("stats: {e}")));
             println!(
-                "graph |V|={} |E|={} threads={}\nqueries={} rounds={} point={} full={} errors={}",
+                "graph0 |V|={} |E|={} threads={} graphs={}\n\
+                 queries={} rounds={} point={} full={} errors={} busy={}",
                 s.num_vertices,
                 s.num_edges,
                 s.threads,
+                s.graphs,
                 s.queries,
                 s.batch_rounds,
                 s.point_queries,
                 s.full_queries,
-                s.errors
+                s.errors,
+                s.busy_rejections
             );
         }
+        ["list"] => {
+            let graphs = client
+                .list_graphs()
+                .unwrap_or_else(|e| fail(&format!("list: {e}")));
+            print_graph_table(&graphs);
+        }
+        ["load", name, path] => {
+            let info = client
+                .load_graph(name, path)
+                .unwrap_or_else(|e| fail(&format!("load: {e}")));
+            println!(
+                "loaded {:?} as graph {} ({} vertices, {} edges, {} mode)",
+                info.name,
+                info.id,
+                info.vertices,
+                info.edges,
+                info.mode.as_str()
+            );
+        }
+        ["unload", name] => {
+            client
+                .unload_graph(name)
+                .unwrap_or_else(|e| fail(&format!("unload: {e}")));
+            println!("unloaded {name:?}");
+        }
         ["ppsp", src, dst] => {
+            let graph_id = target_graph_id(&mut client, args.graph_name.as_deref());
             let source = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
             let target = dst.parse().unwrap_or_else(|_| fail("bad target vertex"));
-            match client.query(Query::ppsp(source, target)) {
+            match client.query(Query::ppsp(source, target).on_graph(graph_id)) {
                 Ok(Response::Distance {
                     distance,
                     relaxations,
@@ -231,8 +325,9 @@ fn main() {
             }
         }
         ["sssp", src] => {
+            let graph_id = target_graph_id(&mut client, args.graph_name.as_deref());
             let source: u32 = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
-            match client.query(Query::sssp(source)) {
+            match client.query(Query::sssp(source).on_graph(graph_id)) {
                 Ok(Response::DistVec(dist)) => {
                     let reached = dist.iter().filter(|&&d| d < UNREACHABLE).count();
                     println!("sssp from {source}: {reached}/{} reached", dist.len());

@@ -89,11 +89,12 @@ fn main() {
         .load()
         .unwrap_or_else(|e| fail(&format!("loading graph: {e}")));
     eprintln!(
-        "resident graph: |V| = {}, |E| = {}, symmetric = {}, coords = {}",
+        "resident graph: |V| = {}, |E| = {}, symmetric = {}, coords = {}, load = {}",
         graph.num_vertices(),
         graph.num_edges(),
         graph.is_symmetric(),
-        graph.coords().is_some()
+        graph.coords().is_some(),
+        if graph.is_mapped() { "mmap" } else { "owned" }
     );
     if let Some(path) = &args.save_snapshot {
         GraphSnapshot::write(&graph, path)

@@ -1,0 +1,313 @@
+//! The graph catalog: named resident graphs behind stable ids.
+//!
+//! PR 3's server held exactly one resident graph; the catalog makes the
+//! process multi-tenant. Each entry pins a [`CsrGraph`] (owned or zero-copy
+//! memory-mapped — see [`SnapshotView`]), its lazily-symmetrized twin for
+//! k-core, and per-graph counters. Queries address entries by [`GraphId`];
+//! operators address them by name (`LoadGraph` / `UnloadGraph` on the wire,
+//! `--graph-name` in the client).
+//!
+//! Lifetime rules that keep unloading safe without stalling the dispatcher:
+//! entries are `Arc`ed, and a job resolves its entry *at submission*. An
+//! `UnloadGraph` only removes the catalog's reference — queries already in
+//! flight keep their `Arc` and finish against the evicted graph; the arrays
+//! (and any backing mmap) are released when the last reference drops.
+
+use crate::protocol::{GraphId, GraphInfo};
+use priograph_graph::{CsrGraph, LoadMode, SnapshotView};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One resident graph: the arrays, the k-core twin, and counters.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// Catalog id — what queries carry on the wire.
+    pub id: GraphId,
+    /// Operator-chosen name.
+    pub name: String,
+    /// The graph itself.
+    pub graph: Arc<CsrGraph>,
+    /// How the arrays are resident (owned heap vs. zero-copy mapping).
+    pub mode: LoadMode,
+    /// Queries answered against this graph.
+    pub queries: AtomicU64,
+    /// Symmetrized view for k-core, computed on first use (the resident
+    /// graph itself is reused when it is already symmetric).
+    sym: OnceLock<Arc<CsrGraph>>,
+}
+
+impl GraphEntry {
+    fn new(id: GraphId, name: String, graph: CsrGraph, mode: LoadMode) -> Arc<Self> {
+        Arc::new(GraphEntry {
+            id,
+            name,
+            graph: Arc::new(graph),
+            mode,
+            queries: AtomicU64::new(0),
+            sym: OnceLock::new(),
+        })
+    }
+
+    /// The symmetrized twin (k-core and SetCover run on it).
+    pub fn sym_graph(&self) -> Arc<CsrGraph> {
+        self.sym
+            .get_or_init(|| {
+                if self.graph.is_symmetric() {
+                    Arc::clone(&self.graph)
+                } else {
+                    Arc::new(self.graph.symmetrize())
+                }
+            })
+            .clone()
+    }
+
+    /// Wire-facing description of this entry.
+    pub fn info(&self) -> GraphInfo {
+        GraphInfo {
+            id: self.id,
+            name: self.name.clone(),
+            vertices: self.graph.num_vertices() as u64,
+            edges: self.graph.num_edges() as u64,
+            resident_bytes: self.graph.resident_bytes(),
+            mode: self.mode,
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Why a catalog mutation was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// `LoadGraph` named an already-resident graph.
+    NameTaken(String),
+    /// `UnloadGraph` (or a lookup) named no resident graph.
+    UnknownName(String),
+    /// The snapshot failed to open or validate.
+    Load(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::NameTaken(name) => {
+                write!(
+                    f,
+                    "a graph named {name:?} is already resident (unload it first)"
+                )
+            }
+            CatalogError::UnknownName(name) => write!(f, "no resident graph named {name:?}"),
+            CatalogError::Load(why) => write!(f, "snapshot failed to load: {why}"),
+        }
+    }
+}
+
+/// The set of resident graphs. Lookups are per-request (not per-query-row:
+/// the dispatcher works with resolved `Arc<GraphEntry>`s), so a plain mutex
+/// around two small maps is plenty.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_id: HashMap<GraphId, Arc<GraphEntry>>,
+    next_id: GraphId,
+}
+
+impl Catalog {
+    /// Builds a catalog holding `graphs` under ids `0..n` in order.
+    pub fn new(graphs: Vec<(String, CsrGraph, LoadMode)>) -> Catalog {
+        let catalog = Catalog::default();
+        for (name, graph, mode) in graphs {
+            let mut inner = catalog.inner.lock().unwrap();
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner
+                .by_id
+                .insert(id, GraphEntry::new(id, name, graph, mode));
+        }
+        catalog
+    }
+
+    /// Resolves a graph id (the per-query lookup).
+    pub fn get(&self, id: GraphId) -> Option<Arc<GraphEntry>> {
+        self.inner.lock().unwrap().by_id.get(&id).cloned()
+    }
+
+    /// Resolves a graph by name (the operator-facing lookup).
+    pub fn by_name(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        let inner = self.inner.lock().unwrap();
+        inner.by_id.values().find(|e| e.name == name).cloned()
+    }
+
+    /// Inserts an already-built graph under a fresh id.
+    ///
+    /// # Errors
+    ///
+    /// Refuses duplicate names — names are the operator-facing handle and
+    /// must stay unambiguous.
+    pub fn insert(
+        &self,
+        name: &str,
+        graph: CsrGraph,
+        mode: LoadMode,
+    ) -> Result<Arc<GraphEntry>, CatalogError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.by_id.values().any(|e| e.name == name) {
+            return Err(CatalogError::NameTaken(name.to_string()));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let entry = GraphEntry::new(id, name.to_string(), graph, mode);
+        inner.by_id.insert(id, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Opens `path` as a [`SnapshotView`] (zero-copy for `PSNAPv2`) and
+    /// inserts it under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate names and snapshot open/validation failures.
+    pub fn load(&self, name: &str, path: &str) -> Result<Arc<GraphEntry>, CatalogError> {
+        // Check the name before paying for the load; the insert re-checks
+        // under the lock, so a racing duplicate still loses cleanly.
+        if self.by_name(name).is_some() {
+            return Err(CatalogError::NameTaken(name.to_string()));
+        }
+        let view = SnapshotView::open(path).map_err(|e| CatalogError::Load(e.to_string()))?;
+        let mode = view.mode();
+        self.insert(name, view.into_graph(), mode)
+    }
+
+    /// Removes the graph named `name`. In-flight queries holding the entry
+    /// finish; the arrays free when the last `Arc` drops.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names.
+    pub fn unload(&self, name: &str) -> Result<Arc<GraphEntry>, CatalogError> {
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner
+            .by_id
+            .values()
+            .find(|e| e.name == name)
+            .map(|e| e.id)
+            .ok_or_else(|| CatalogError::UnknownName(name.to_string()))?;
+        Ok(inner.by_id.remove(&id).expect("id just resolved"))
+    }
+
+    /// Every resident entry, ordered by id (stable listing for operators).
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        let inner = self.inner.lock().unwrap();
+        let mut entries: Vec<_> = inner.by_id.values().cloned().collect();
+        entries.sort_by_key(|e| e.id);
+        entries
+    }
+
+    /// Number of resident graphs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().by_id.len()
+    }
+
+    /// True when no graph is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `id` is resident — the dispatcher's engine-state GC uses
+    /// this to drop per-graph engines for evicted graphs.
+    pub fn contains(&self, id: GraphId) -> bool {
+        self.inner.lock().unwrap().by_id.contains_key(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_graph::gen::GraphGen;
+    use priograph_graph::GraphSnapshot;
+
+    fn grid(side: usize, seed: u64) -> CsrGraph {
+        GraphGen::road_grid(side, side).seed(seed).build()
+    }
+
+    #[test]
+    fn ids_are_stable_and_never_reused() {
+        let catalog = Catalog::new(vec![("default".to_string(), grid(4, 1), LoadMode::Owned)]);
+        assert_eq!(catalog.get(0).unwrap().name, "default");
+        let a = catalog.insert("a", grid(5, 2), LoadMode::Owned).unwrap();
+        assert_eq!(a.id, 1);
+        catalog.unload("a").unwrap();
+        let b = catalog.insert("b", grid(5, 3), LoadMode::Owned).unwrap();
+        assert_eq!(b.id, 2, "ids advance past unloaded entries");
+        assert!(catalog.get(1).is_none());
+        assert!(catalog.contains(2) && !catalog.contains(1));
+        assert_eq!(catalog.len(), 2);
+        assert!(!catalog.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_refused() {
+        let catalog = Catalog::new(vec![("g".to_string(), grid(4, 1), LoadMode::Owned)]);
+        let err = catalog
+            .insert("g", grid(4, 2), LoadMode::Owned)
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::NameTaken(_)), "{err}");
+        assert!(matches!(
+            catalog.unload("nope").unwrap_err(),
+            CatalogError::UnknownName(_)
+        ));
+    }
+
+    #[test]
+    fn load_from_snapshot_reports_mode_and_footprint() {
+        let g = grid(6, 4);
+        let path = std::env::temp_dir().join("priograph_catalog_load.snap");
+        GraphSnapshot::write(&g, &path).unwrap();
+        let catalog = Catalog::default();
+        let entry = catalog.load("roads", path.to_str().unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let info = entry.info();
+        assert_eq!(info.vertices, 36);
+        assert_eq!(info.resident_bytes, g.resident_bytes());
+        #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+        assert_eq!(info.mode, LoadMode::Mapped, "v2 snapshots load zero-copy");
+        // Same name again: refused before any IO.
+        assert!(matches!(
+            catalog.load("roads", "/nonexistent.snap").unwrap_err(),
+            CatalogError::NameTaken(_)
+        ));
+        // Bad path: surfaced as a load failure.
+        assert!(matches!(
+            catalog.load("other", "/nonexistent.snap").unwrap_err(),
+            CatalogError::Load(_)
+        ));
+    }
+
+    #[test]
+    fn unloaded_entries_survive_while_referenced() {
+        let catalog = Catalog::new(vec![("g".to_string(), grid(5, 1), LoadMode::Owned)]);
+        let held = catalog.get(0).unwrap();
+        catalog.unload("g").unwrap();
+        assert!(catalog.is_empty());
+        // The in-flight reference still traverses fine.
+        assert!(held.graph.num_edges() > 0);
+        assert_eq!(held.sym_graph().num_vertices(), 25);
+    }
+
+    #[test]
+    fn sym_graph_is_shared_when_already_symmetric() {
+        let catalog = Catalog::new(vec![("g".to_string(), grid(4, 1), LoadMode::Owned)]);
+        let entry = catalog.get(0).unwrap();
+        assert!(entry.graph.is_symmetric());
+        assert!(Arc::ptr_eq(&entry.sym_graph(), &entry.graph));
+        let rmat = GraphGen::rmat(5, 4).seed(9).weights_uniform(1, 10).build();
+        assert!(!rmat.is_symmetric());
+        let entry = catalog.insert("rmat", rmat, LoadMode::Owned).unwrap();
+        assert!(!Arc::ptr_eq(&entry.sym_graph(), &entry.graph));
+        assert!(entry.sym_graph().is_symmetric());
+    }
+}

@@ -1,12 +1,35 @@
 //! Blocking TCP client for the `priograph-serve` protocol.
 
-use crate::protocol::{read_frame, write_frame, Query, Request, Response, ServerStats, WireError};
+use crate::protocol::{
+    read_frame, write_frame, ErrorKind, GraphInfo, Query, Request, Response, ServerStats, WireError,
+};
 use std::fmt;
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A connected client. One request is in flight at a time (the protocol is
 /// strictly request/response per connection; open more connections for
 /// client-side concurrency — the server batches across them).
+///
+/// # Example
+///
+/// ```
+/// use priograph_serve::client::Client;
+/// use priograph_serve::protocol::{Query, Response};
+/// use priograph_serve::server::{serve, ServerConfig};
+/// use priograph_graph::gen::GraphGen;
+///
+/// let graph = GraphGen::road_grid(6, 6).seed(1).build();
+/// let handle = serve(graph, ServerConfig { threads: 1, ..Default::default() }).unwrap();
+///
+/// let mut client = Client::connect(handle.addr()).unwrap();
+/// let graphs = client.list_graphs().unwrap();
+/// assert_eq!(graphs[0].name, "default");
+/// match client.query(Query::ppsp(0, 35).on_graph(graphs[0].id)).unwrap() {
+///     Response::Distance { distance, .. } => assert!(distance.is_some()),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// handle.stop();
+/// ```
 pub struct Client {
     stream: TcpStream,
 }
@@ -16,6 +39,16 @@ impl fmt::Debug for Client {
         f.debug_struct("Client")
             .field("peer", &self.stream.peer_addr().ok())
             .finish()
+    }
+}
+
+/// Converts a non-payload reply into the matching typed error; used by the
+/// helpers that expect one specific response shape.
+fn unexpected(what: &str, got: Response) -> WireError {
+    match got {
+        Response::Error { kind, message } => WireError::Remote { kind, message },
+        Response::Busy { pending, budget } => WireError::Busy { pending, budget },
+        other => WireError::Malformed(format!("expected {what}, got {other:?}")),
     }
 }
 
@@ -36,7 +69,7 @@ impl Client {
     /// # Errors
     ///
     /// Returns a [`WireError`] on socket or framing failures (in-band
-    /// [`Response::Error`]s are returned as `Ok`).
+    /// [`Response::Error`]s and [`Response::Busy`]s are returned as `Ok`).
     pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
         write_frame(&mut self.stream, &request.encode())?;
         let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
@@ -61,14 +94,12 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Fails on wire errors or a non-batch reply.
+    /// Fails on wire errors, a [`WireError::Busy`] refusal, or a non-batch
+    /// reply.
     pub fn batch(&mut self, queries: Vec<Query>) -> Result<Vec<Response>, WireError> {
         match self.request(&Request::Batch(queries))? {
             Response::Batch(items) => Ok(items),
-            Response::Error(why) => Err(WireError::Remote(why)),
-            other => Err(WireError::Malformed(format!(
-                "expected a batch response, got {other:?}"
-            ))),
+            other => Err(unexpected("a batch response", other)),
         }
     }
 
@@ -80,10 +111,67 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServerStats, WireError> {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
-            Response::Error(why) => Err(WireError::Remote(why)),
-            other => Err(WireError::Malformed(format!(
-                "expected a stats response, got {other:?}"
-            ))),
+            other => Err(unexpected("a stats response", other)),
+        }
+    }
+
+    /// Lists the resident graphs (id order).
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a non-list reply.
+    pub fn list_graphs(&mut self) -> Result<Vec<GraphInfo>, WireError> {
+        match self.request(&Request::ListGraphs)? {
+            Response::GraphList(graphs) => Ok(graphs),
+            other => Err(unexpected("a graph list", other)),
+        }
+    }
+
+    /// Resolves a graph name to its catalog id.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors, or a typed [`WireError::Remote`] with
+    /// [`ErrorKind::UnknownGraph`] when no resident graph has that name.
+    pub fn resolve_graph(&mut self, name: &str) -> Result<GraphInfo, WireError> {
+        self.list_graphs()?
+            .into_iter()
+            .find(|g| g.name == name)
+            .ok_or_else(|| WireError::Remote {
+                kind: ErrorKind::UnknownGraph,
+                message: format!("no resident graph named {name:?}"),
+            })
+    }
+
+    /// Loads a snapshot (by server-side path) as a named resident graph.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a non-`Loaded` reply (duplicate name, load
+    /// failure — surfaced as typed [`WireError::Remote`]s).
+    pub fn load_graph(&mut self, name: &str, path: &str) -> Result<GraphInfo, WireError> {
+        let request = Request::LoadGraph {
+            name: name.to_string(),
+            path: path.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Loaded(info) => Ok(info),
+            other => Err(unexpected("a loaded acknowledgement", other)),
+        }
+    }
+
+    /// Unloads a resident graph by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a non-`Unloaded` reply.
+    pub fn unload_graph(&mut self, name: &str) -> Result<(), WireError> {
+        let request = Request::UnloadGraph {
+            name: name.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Unloaded => Ok(()),
+            other => Err(unexpected("an unloaded acknowledgement", other)),
         }
     }
 
@@ -95,10 +183,7 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), WireError> {
         match self.request(&Request::Shutdown)? {
             Response::Bye => Ok(()),
-            Response::Error(why) => Err(WireError::Remote(why)),
-            other => Err(WireError::Malformed(format!(
-                "expected a shutdown acknowledgement, got {other:?}"
-            ))),
+            other => Err(unexpected("a shutdown acknowledgement", other)),
         }
     }
 }

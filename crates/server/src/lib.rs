@@ -4,13 +4,19 @@
 //! under the assumption that the graph is preprocessed and resident; this
 //! crate is the systems half of that amortization. It provides:
 //!
-//! * [`server`] — a std-TCP server holding one resident
-//!   [`CsrGraph`](priograph_graph::CsrGraph) (typically snapshot-loaded via
-//!   [`priograph_graph::snapshot`]), with a single dispatcher thread that
-//!   owns the worker [`Pool`](priograph_parallel::Pool) and **batches**
-//!   concurrent queries against it;
+//! * [`server`] — a std-TCP server holding a **catalog of resident graphs**
+//!   (snapshot-loaded zero-copy via
+//!   [`priograph_graph::SnapshotView`] where the format allows), with a
+//!   single dispatcher thread that owns the worker
+//!   [`Pool`](priograph_parallel::Pool), keeps **per-graph engine state**,
+//!   and **batches** concurrent queries; admission is bounded by a
+//!   pending-query budget (typed `Busy` replies, no unbounded queueing);
+//! * [`catalog`] — the named-graph registry behind `LoadGraph` /
+//!   `UnloadGraph` / `ListGraphs`;
 //! * [`protocol`] — the versioned, length-prefixed binary wire protocol
-//!   (typed PPSP/SSSP/wBFS/k-core queries, schedule selection, stats);
+//!   (typed PPSP/SSSP/wBFS/k-core queries carrying a graph id, schedule
+//!   selection, typed errors, catalog + backpressure messages). The
+//!   normative spec is `docs/PROTOCOL.md`;
 //! * [`batch`] — per-worker reusable point-query engines: a steady stream
 //!   of PPSP queries is served with zero allocation in the engine hot path,
 //!   extending PR 2's zero-allocation frontier discipline across queries;
@@ -22,33 +28,47 @@
 //! is strict request/response (see `vendor/README.md` for the rationale —
 //! the build environment vendors all dependencies by hand, and a hand-rolled
 //! tokio is a far worse idea than thread-per-connection at the connection
-//! counts a resident-graph server sees).
+//! counts a resident-graph server sees). `docs/ARCHITECTURE.md` walks the
+//! whole design.
 //!
 //! # Example
 //!
 //! ```
 //! use priograph_serve::client::Client;
 //! use priograph_serve::protocol::Query;
-//! use priograph_serve::server::{serve, ServerConfig};
+//! use priograph_serve::server::{serve_named, ServerConfig};
 //! use priograph_graph::gen::GraphGen;
 //!
-//! let graph = GraphGen::road_grid(8, 8).seed(1).build();
-//! let handle = serve(graph, ServerConfig { threads: 2, ..Default::default() }).unwrap();
+//! // Two resident graphs, queried by id over one connection.
+//! let roads = GraphGen::road_grid(8, 8).seed(1).build();
+//! let social = GraphGen::rmat(6, 4).seed(2).weights_uniform(1, 100).build();
+//! let handle = serve_named(
+//!     vec![("roads".to_string(), roads), ("social".to_string(), social)],
+//!     ServerConfig { threads: 2, ..Default::default() },
+//! )
+//! .unwrap();
 //! let mut client = Client::connect(handle.addr()).unwrap();
-//! let answers = client.batch(vec![Query::ppsp(0, 63), Query::ppsp(5, 5)]).unwrap();
+//! let answers = client
+//!     .batch(vec![Query::ppsp(0, 63).on_graph(0), Query::ppsp(0, 9).on_graph(1)])
+//!     .unwrap();
 //! assert_eq!(answers.len(), 2);
 //! handle.stop();
 //! ```
 
-#![warn(missing_docs)]
+// See crates/graph/src/lib.rs: docs on public items are enforced, not
+// suggested, for the crates the serving stack exposes.
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod catalog;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod spec;
 
 pub use client::Client;
-pub use protocol::{Query, QueryOp, Request, Response, ServerStats, WireError};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use protocol::{
+    ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response, ServerStats, WireError,
+};
+pub use server::{serve, serve_named, ServerConfig, ServerHandle};

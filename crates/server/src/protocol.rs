@@ -1,27 +1,47 @@
 //! The `priograph-serve` wire protocol: length-prefixed binary frames over a
 //! plain TCP stream.
 //!
+//! **The normative byte-level specification lives in
+//! [`docs/PROTOCOL.md`](https://github.com/priograph/priograph/blob/main/docs/PROTOCOL.md)**
+//! (frame layout, version negotiation, every message with examples, limits);
+//! this module is its reference implementation and must match it.
+//!
 //! Every message is one frame: a `u32` little-endian payload length followed
 //! by the payload. Payloads open with a protocol version byte and a message
-//! tag; all integers are little-endian, vectors carry a `u64` length prefix.
-//! The format is hand-rolled for the same reason the bench JSON is (no
-//! crates.io access, so no serde), and the decoder accepts exactly the
-//! subset the encoder produces.
+//! tag; all integers are little-endian, vectors and strings carry a `u64`
+//! length prefix. The format is hand-rolled for the same reason the bench
+//! JSON is (no crates.io access, so no serde), and the decoder accepts
+//! exactly the subset the encoder produces.
+//!
+//! Protocol **version 2** (this one) made the server multi-tenant: every
+//! query carries a graph id, the catalog messages (`LoadGraph` /
+//! `UnloadGraph` / `ListGraphs`) manage named resident graphs, errors are
+//! typed ([`ErrorKind`]), and [`Response::Busy`] is the backpressure reply.
+//! A version-1 peer receives a v1-compatible in-band error (see
+//! [`legacy_v1_error_payload`]) telling it to upgrade.
 //!
 //! Frames are capped at [`MAX_FRAME_LEN`]; a peer announcing a larger frame
 //! is rejected before any allocation, so a corrupt or hostile length prefix
 //! cannot OOM the server.
 
 use priograph_core::schedule::Schedule;
+use priograph_graph::LoadMode;
 use std::fmt;
 use std::io::{Read, Write};
 
 /// Protocol version carried in every frame. Bump on any wire change.
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on a frame payload (64 MiB) — larger than any distance vector
 /// the bundled workloads produce, small enough to bound a malicious peer.
 pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// Longest accepted graph name (bytes). Names are operator-chosen labels;
+/// the cap keeps listings and logs sane.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Longest accepted snapshot path in a `LoadGraph` request (bytes).
+pub const MAX_PATH_LEN: usize = 4096;
 
 /// Why a frame could not be read, written, or decoded.
 #[derive(Debug)]
@@ -40,8 +60,21 @@ pub enum WireError {
     },
     /// The payload does not decode as any known message.
     Malformed(String),
-    /// The server answered with an in-band error.
-    Remote(String),
+    /// The server answered with an in-band typed error.
+    Remote {
+        /// Error category the server reported.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server refused the request over its pending-query budget; retry
+    /// after in-flight work drains (see `docs/PROTOCOL.md` §Backpressure).
+    Busy {
+        /// Queries currently pending server-side.
+        pending: u64,
+        /// The server's pending-query budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -58,7 +91,10 @@ impl fmt::Display for WireError {
                 write!(f, "frame of {declared} bytes exceeds cap {MAX_FRAME_LEN}")
             }
             WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
-            WireError::Remote(why) => write!(f, "server error: {why}"),
+            WireError::Remote { kind, message } => write!(f, "server error ({kind}): {message}"),
+            WireError::Busy { pending, budget } => {
+                write!(f, "server busy: {pending} pending of a {budget} budget")
+            }
         }
     }
 }
@@ -80,6 +116,77 @@ impl From<std::io::Error> for WireError {
 
 fn malformed(why: impl Into<String>) -> WireError {
     WireError::Malformed(why.into())
+}
+
+/// Category of an in-band [`Response::Error`]. Stable on the wire — new
+/// kinds append, existing discriminants never change.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unclassified server-side failure.
+    Internal,
+    /// The request decoded but is semantically invalid.
+    BadRequest,
+    /// A query endpoint is out of range for its graph.
+    BadVertex,
+    /// The graph id (or name) names no resident graph.
+    UnknownGraph,
+    /// The client spoke an unsupported protocol version.
+    UnsupportedVersion,
+    /// The requested schedule was rejected by validation.
+    ScheduleRejected,
+    /// The response would exceed the frame cap; split the request.
+    TooLarge,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// A `LoadGraph` snapshot failed to open or validate.
+    LoadFailed,
+}
+
+impl ErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorKind::Internal => 0,
+            ErrorKind::BadRequest => 1,
+            ErrorKind::BadVertex => 2,
+            ErrorKind::UnknownGraph => 3,
+            ErrorKind::UnsupportedVersion => 4,
+            ErrorKind::ScheduleRejected => 5,
+            ErrorKind::TooLarge => 6,
+            ErrorKind::ShuttingDown => 7,
+            ErrorKind::LoadFailed => 8,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => ErrorKind::Internal,
+            1 => ErrorKind::BadRequest,
+            2 => ErrorKind::BadVertex,
+            3 => ErrorKind::UnknownGraph,
+            4 => ErrorKind::UnsupportedVersion,
+            5 => ErrorKind::ScheduleRejected,
+            6 => ErrorKind::TooLarge,
+            7 => ErrorKind::ShuttingDown,
+            8 => ErrorKind::LoadFailed,
+            other => return Err(malformed(format!("unknown error kind {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Internal => "internal",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::BadVertex => "bad-vertex",
+            ErrorKind::UnknownGraph => "unknown-graph",
+            ErrorKind::UnsupportedVersion => "unsupported-version",
+            ErrorKind::ScheduleRejected => "schedule-rejected",
+            ErrorKind::TooLarge => "too-large",
+            ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::LoadFailed => "load-failed",
+        })
+    }
 }
 
 /// The ordered algorithm a [`Query`] runs.
@@ -202,14 +309,22 @@ impl WireSchedule {
     }
 }
 
-/// Encoded size of one [`Query`]: op + source + target + strategy + delta.
-const QUERY_WIRE_LEN: usize = 1 + 4 + 4 + 1 + 8;
+/// The id of a resident graph in the serving catalog. Id `0` is the graph
+/// the server was started with (named `default` unless renamed); ids are
+/// assigned at `LoadGraph` time and never reused within a server's life.
+pub type GraphId = u32;
 
-/// One typed query against the resident graph.
+/// Encoded size of one [`Query`]: op + graph + source + target + strategy +
+/// delta.
+const QUERY_WIRE_LEN: usize = 1 + 4 + 4 + 4 + 1 + 8;
+
+/// One typed query against a resident graph.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Query {
     /// Which algorithm to run.
     pub op: QueryOp,
+    /// Which resident graph to run it on (`0` = the startup graph).
+    pub graph: GraphId,
     /// Source vertex (ignored by k-core).
     pub source: u32,
     /// Target vertex (PPSP only; ignored elsewhere).
@@ -219,40 +334,45 @@ pub struct Query {
 }
 
 impl Query {
-    /// A PPSP query with the server-default schedule.
+    /// A PPSP query with the server-default schedule, on graph 0.
     pub fn ppsp(source: u32, target: u32) -> Self {
         Query {
             op: QueryOp::Ppsp,
+            graph: 0,
             source,
             target,
             schedule: WireSchedule::default(),
         }
     }
 
-    /// A full SSSP query with the server-default schedule.
+    /// A full SSSP query with the server-default schedule, on graph 0.
     pub fn sssp(source: u32) -> Self {
         Query {
             op: QueryOp::Sssp,
+            graph: 0,
             source,
             target: 0,
             schedule: WireSchedule::default(),
         }
     }
 
-    /// A wBFS query with the server-default schedule.
+    /// A wBFS query with the server-default schedule, on graph 0.
     pub fn wbfs(source: u32) -> Self {
         Query {
             op: QueryOp::Wbfs,
+            graph: 0,
             source,
             target: 0,
             schedule: WireSchedule::default(),
         }
     }
 
-    /// A k-core query (always runs `lazy_constant_sum`-compatible peeling).
+    /// A k-core query (always runs `lazy_constant_sum`-compatible peeling),
+    /// on graph 0.
     pub fn kcore() -> Self {
         Query {
             op: QueryOp::KCore,
+            graph: 0,
             source: 0,
             target: 0,
             schedule: WireSchedule {
@@ -262,8 +382,15 @@ impl Query {
         }
     }
 
+    /// Retargets the query at another resident graph.
+    pub fn on_graph(mut self, graph: GraphId) -> Self {
+        self.graph = graph;
+        self
+    }
+
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(self.op.to_u8());
+        out.extend_from_slice(&self.graph.to_le_bytes());
         out.extend_from_slice(&self.source.to_le_bytes());
         out.extend_from_slice(&self.target.to_le_bytes());
         out.push(self.schedule.strategy.to_u8());
@@ -273,6 +400,7 @@ impl Query {
     fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Query {
             op: QueryOp::from_u8(r.u8()?)?,
+            graph: r.u32()?,
             source: r.u32()?,
             target: r.u32()?,
             schedule: WireSchedule {
@@ -294,6 +422,23 @@ pub enum Request {
     Stats,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
+    /// Load a snapshot file (server-side path) as a named resident graph;
+    /// answered with [`Response::Loaded`].
+    LoadGraph {
+        /// Catalog name for the new graph (at most [`MAX_NAME_LEN`] bytes).
+        name: String,
+        /// Snapshot path on the server's filesystem (at most
+        /// [`MAX_PATH_LEN`] bytes); `PSNAPv2` files load zero-copy.
+        path: String,
+    },
+    /// Evict a resident graph by name; answered with
+    /// [`Response::Unloaded`]. In-flight queries against it finish.
+    UnloadGraph {
+        /// Name the graph was loaded under.
+        name: String,
+    },
+    /// List every resident graph; answered with [`Response::GraphList`].
+    ListGraphs,
 }
 
 impl Request {
@@ -315,6 +460,16 @@ impl Request {
             }
             Request::Stats => out.push(2),
             Request::Shutdown => out.push(3),
+            Request::LoadGraph { name, path } => {
+                out.push(4);
+                encode_str(name, &mut out);
+                encode_str(path, &mut out);
+            }
+            Request::UnloadGraph { name } => {
+                out.push(5);
+                encode_str(name, &mut out);
+            }
+            Request::ListGraphs => out.push(6),
         }
         out
     }
@@ -338,6 +493,14 @@ impl Request {
             }
             2 => Request::Stats,
             3 => Request::Shutdown,
+            4 => Request::LoadGraph {
+                name: r.string(MAX_NAME_LEN, "graph name")?,
+                path: r.string(MAX_PATH_LEN, "snapshot path")?,
+            },
+            5 => Request::UnloadGraph {
+                name: r.string(MAX_NAME_LEN, "graph name")?,
+            },
+            6 => Request::ListGraphs,
             other => return Err(malformed(format!("unknown request tag {other}"))),
         };
         r.finish()?;
@@ -348,9 +511,9 @@ impl Request {
 /// Server-side counters reported by [`Response::Stats`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Vertices in the resident graph.
+    /// Vertices in graph 0 (the startup graph), 0 if it was unloaded.
     pub num_vertices: u64,
-    /// Directed edges in the resident graph.
+    /// Directed edges in graph 0, 0 if it was unloaded.
     pub num_edges: u64,
     /// Worker threads in the serving pool.
     pub threads: u64,
@@ -364,6 +527,10 @@ pub struct ServerStats {
     pub full_queries: u64,
     /// Queries that produced an in-band error.
     pub errors: u64,
+    /// Graphs currently resident in the catalog.
+    pub graphs: u64,
+    /// Requests refused with [`Response::Busy`] over the pending budget.
+    pub busy_rejections: u64,
 }
 
 impl ServerStats {
@@ -377,6 +544,8 @@ impl ServerStats {
             self.point_queries,
             self.full_queries,
             self.errors,
+            self.graphs,
+            self.busy_rejections,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -392,6 +561,63 @@ impl ServerStats {
             point_queries: r.u64()?,
             full_queries: r.u64()?,
             errors: r.u64()?,
+            graphs: r.u64()?,
+            busy_rejections: r.u64()?,
+        })
+    }
+}
+
+/// One resident graph as reported by [`Response::GraphList`] /
+/// [`Response::Loaded`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// Catalog id queries address the graph by.
+    pub id: GraphId,
+    /// Operator-chosen name.
+    pub name: String,
+    /// Vertices.
+    pub vertices: u64,
+    /// Directed edges.
+    pub edges: u64,
+    /// Bytes of CSR data resident for this graph (heap or page cache).
+    pub resident_bytes: u64,
+    /// How the arrays are resident: owned heap or a zero-copy mapping.
+    pub mode: LoadMode,
+    /// Queries answered against this graph so far.
+    pub queries: u64,
+}
+
+/// Minimum encoded size of a [`GraphInfo`]: id + empty name + four u64
+/// counters + the mode byte.
+const GRAPH_INFO_MIN_WIRE_LEN: usize = 4 + 8 + 8 + 8 + 8 + 1 + 8;
+
+impl GraphInfo {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_le_bytes());
+        encode_str(&self.name, out);
+        out.extend_from_slice(&self.vertices.to_le_bytes());
+        out.extend_from_slice(&self.edges.to_le_bytes());
+        out.extend_from_slice(&self.resident_bytes.to_le_bytes());
+        out.push(match self.mode {
+            LoadMode::Owned => 0,
+            LoadMode::Mapped => 1,
+        });
+        out.extend_from_slice(&self.queries.to_le_bytes());
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        Ok(GraphInfo {
+            id: r.u32()?,
+            name: r.string(MAX_NAME_LEN, "graph name")?,
+            vertices: r.u64()?,
+            edges: r.u64()?,
+            resident_bytes: r.u64()?,
+            mode: match r.u8()? {
+                0 => LoadMode::Owned,
+                1 => LoadMode::Mapped,
+                other => return Err(malformed(format!("unknown load mode {other}"))),
+            },
+            queries: r.u64()?,
         })
     }
 }
@@ -415,13 +641,40 @@ pub enum Response {
     Stats(ServerStats),
     /// Per-query answers of a [`Request::Batch`], in request order.
     Batch(Vec<Response>),
-    /// The query failed (bad vertex, rejected schedule, ...).
-    Error(String),
+    /// The request failed, with a typed category and human-readable detail.
+    Error {
+        /// What category of failure this is.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
     /// Acknowledgement of [`Request::Shutdown`].
     Bye,
+    /// Backpressure: the request was refused because it would exceed the
+    /// server's pending-query budget. Nothing was executed; retry later.
+    Busy {
+        /// Queries pending when the request arrived.
+        pending: u64,
+        /// The server's budget.
+        budget: u64,
+    },
+    /// Answer to [`Request::ListGraphs`].
+    GraphList(Vec<GraphInfo>),
+    /// Answer to [`Request::LoadGraph`]: the freshly loaded graph.
+    Loaded(GraphInfo),
+    /// Acknowledgement of [`Request::UnloadGraph`].
+    Unloaded,
 }
 
 impl Response {
+    /// Builds a typed error response.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+
     /// Serializes the response payload (version byte included).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = vec![PROTOCOL_VERSION];
@@ -467,13 +720,29 @@ impl Response {
                     item.encode_body(out);
                 }
             }
-            Response::Error(why) => {
+            Response::Error { kind, message } => {
                 out.push(5);
-                let bytes = why.as_bytes();
-                out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-                out.extend_from_slice(bytes);
+                out.push(kind.to_u8());
+                encode_str(message, out);
             }
             Response::Bye => out.push(6),
+            Response::Busy { pending, budget } => {
+                out.push(7);
+                out.extend_from_slice(&pending.to_le_bytes());
+                out.extend_from_slice(&budget.to_le_bytes());
+            }
+            Response::GraphList(graphs) => {
+                out.push(8);
+                out.extend_from_slice(&(graphs.len() as u64).to_le_bytes());
+                for g in graphs {
+                    g.encode(out);
+                }
+            }
+            Response::Loaded(info) => {
+                out.push(9);
+                info.encode(out);
+            }
+            Response::Unloaded => out.push(10),
         }
     }
 
@@ -517,18 +786,45 @@ impl Response {
                 }
                 Ok(Response::Batch(items))
             }
-            5 => {
-                let len = r.len_prefix(1)?;
-                let bytes = r.take(len)?;
-                Ok(Response::Error(
-                    String::from_utf8(bytes.to_vec())
-                        .map_err(|_| malformed("error message is not utf-8"))?,
-                ))
-            }
+            5 => Ok(Response::Error {
+                kind: ErrorKind::from_u8(r.u8()?)?,
+                message: r.string(MAX_FRAME_LEN, "error message")?,
+            }),
             6 => Ok(Response::Bye),
+            7 => Ok(Response::Busy {
+                pending: r.u64()?,
+                budget: r.u64()?,
+            }),
+            8 => {
+                let count = r.len_prefix(GRAPH_INFO_MIN_WIRE_LEN)?;
+                let mut graphs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    graphs.push(GraphInfo::decode(r)?);
+                }
+                Ok(Response::GraphList(graphs))
+            }
+            9 => Ok(Response::Loaded(GraphInfo::decode(r)?)),
+            10 => Ok(Response::Unloaded),
             other => Err(malformed(format!("unknown response tag {other}"))),
         }
     }
+}
+
+/// Payload (version byte included) of a **version 1** `Error` response.
+///
+/// When a v1 client talks to this server, a v2-encoded reply would be
+/// rejected by its version check before it could read any message — so the
+/// server answers the session's first mismatched frame with this v1-shaped
+/// error, which a v1 client surfaces verbatim, then closes the connection.
+pub fn legacy_v1_error_payload(message: &str) -> Vec<u8> {
+    let mut out = vec![1u8, 5u8]; // v1 version byte, v1 Error tag
+    encode_str(message, &mut out);
+    out
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
 }
 
 fn encode_i64_vec(values: &[i64], out: &mut Vec<u8>) {
@@ -645,6 +941,18 @@ impl<'a> Cursor<'a> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads a length-prefixed UTF-8 string of at most `max` bytes.
+    fn string(&mut self, max: usize, what: &str) -> Result<String, WireError> {
+        let len = self.len_prefix(1)?;
+        if len > max {
+            return Err(malformed(format!(
+                "{what} of {len} bytes exceeds cap {max}"
+            )));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed(format!("{what} is not utf-8")))
+    }
+
     /// Reads a `u64` element count and bounds it by the bytes actually
     /// remaining divided by the element's minimum encoded size, so a lying
     /// count cannot trigger an outsized `Vec::with_capacity` (a 64 MiB
@@ -687,13 +995,28 @@ mod tests {
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
+    fn sample_info() -> GraphInfo {
+        GraphInfo {
+            id: 3,
+            name: "roads-de".to_string(),
+            vertices: 1000,
+            edges: 4000,
+            resident_bytes: 80_000,
+            mode: LoadMode::Mapped,
+            queries: 17,
+        }
+    }
+
     #[test]
     fn requests_roundtrip() {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::ListGraphs);
         roundtrip_request(Request::Query(Query::ppsp(3, 99)));
+        roundtrip_request(Request::Query(Query::ppsp(3, 99).on_graph(7)));
         roundtrip_request(Request::Query(Query {
             op: QueryOp::Sssp,
+            graph: 2,
             source: 7,
             target: 0,
             schedule: WireSchedule {
@@ -703,11 +1026,18 @@ mod tests {
         }));
         roundtrip_request(Request::Batch(vec![
             Query::ppsp(0, 1),
-            Query::sssp(2),
+            Query::sssp(2).on_graph(1),
             Query::wbfs(3),
-            Query::kcore(),
+            Query::kcore().on_graph(u32::MAX),
         ]));
         roundtrip_request(Request::Batch(Vec::new()));
+        roundtrip_request(Request::LoadGraph {
+            name: "twitter".to_string(),
+            path: "/data/twitter.snap".to_string(),
+        });
+        roundtrip_request(Request::UnloadGraph {
+            name: String::new(),
+        });
     }
 
     #[test]
@@ -731,17 +1061,59 @@ mod tests {
             point_queries: 6,
             full_queries: 3,
             errors: 1,
+            graphs: 2,
+            busy_rejections: 5,
         }));
         roundtrip_response(Response::Batch(vec![
             Response::Distance {
                 distance: Some(1),
                 relaxations: 2,
             },
-            Response::Error("nope".to_string()),
+            Response::error(ErrorKind::BadVertex, "nope"),
             Response::DistVec(vec![7]),
         ]));
-        roundtrip_response(Response::Error(String::new()));
+        roundtrip_response(Response::error(ErrorKind::Internal, ""));
         roundtrip_response(Response::Bye);
+        roundtrip_response(Response::Busy {
+            pending: 900,
+            budget: 1024,
+        });
+        roundtrip_response(Response::GraphList(vec![]));
+        roundtrip_response(Response::GraphList(vec![
+            sample_info(),
+            GraphInfo {
+                id: 0,
+                name: "default".to_string(),
+                mode: LoadMode::Owned,
+                ..sample_info()
+            },
+        ]));
+        roundtrip_response(Response::Loaded(sample_info()));
+        roundtrip_response(Response::Unloaded);
+    }
+
+    #[test]
+    fn every_error_kind_roundtrips() {
+        for kind in [
+            ErrorKind::Internal,
+            ErrorKind::BadRequest,
+            ErrorKind::BadVertex,
+            ErrorKind::UnknownGraph,
+            ErrorKind::UnsupportedVersion,
+            ErrorKind::ScheduleRejected,
+            ErrorKind::TooLarge,
+            ErrorKind::ShuttingDown,
+            ErrorKind::LoadFailed,
+        ] {
+            roundtrip_response(Response::error(kind, kind.to_string()));
+        }
+        // Unknown kinds are malformed, not silently remapped.
+        let mut bytes = Response::error(ErrorKind::Internal, "x").encode();
+        bytes[2] = 200;
+        assert!(matches!(
+            Response::decode(&bytes).unwrap_err(),
+            WireError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -752,20 +1124,63 @@ mod tests {
             Request::decode(&bytes).unwrap_err(),
             WireError::VersionMismatch { got } if got == PROTOCOL_VERSION + 1
         ));
+        // A v1 frame is the expected legacy case.
+        bytes[0] = 1;
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            WireError::VersionMismatch { got: 1 }
+        ));
+    }
+
+    #[test]
+    fn legacy_error_payload_is_v1_shaped() {
+        let payload = legacy_v1_error_payload("upgrade to v2");
+        assert_eq!(payload[0], 1, "v1 version byte");
+        assert_eq!(payload[1], 5, "v1 Error tag");
+        let len = u64::from_le_bytes(payload[2..10].try_into().unwrap()) as usize;
+        assert_eq!(&payload[10..10 + len], b"upgrade to v2");
+        assert_eq!(payload.len(), 10 + len, "nothing after the message");
+        // And the v2 decoder rejects it as a version mismatch, which is
+        // exactly what a *new* client pointed at an old server should see.
+        assert!(matches!(
+            Response::decode(&payload).unwrap_err(),
+            WireError::VersionMismatch { got: 1 }
+        ));
     }
 
     #[test]
     fn truncation_and_trailing_bytes_are_rejected() {
-        let bytes = Request::Query(Query::ppsp(1, 2)).encode();
-        for cut in 0..bytes.len() {
-            assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        for bytes in [
+            Request::Query(Query::ppsp(1, 2)).encode(),
+            Request::LoadGraph {
+                name: "g".to_string(),
+                path: "/tmp/g.snap".to_string(),
+            }
+            .encode(),
+            Request::ListGraphs.encode(),
+        ] {
+            for cut in 0..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+            let mut extended = bytes.clone();
+            extended.push(0);
+            assert!(matches!(
+                Request::decode(&extended).unwrap_err(),
+                WireError::Malformed(_)
+            ));
         }
-        let mut extended = bytes.clone();
-        extended.push(0);
-        assert!(matches!(
-            Request::decode(&extended).unwrap_err(),
-            WireError::Malformed(_)
-        ));
+        for bytes in [
+            Response::Loaded(sample_info()).encode(),
+            Response::Busy {
+                pending: 1,
+                budget: 2,
+            }
+            .encode(),
+        ] {
+            for cut in 1..bytes.len() {
+                assert!(Response::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
     }
 
     #[test]
@@ -782,13 +1197,49 @@ mod tests {
     #[test]
     fn batch_count_is_bounded_by_element_size() {
         // Two queries encoded, count rewritten to 3: a one-byte-per-element
-        // bound would accept this (36 bytes remain) and overshoot the
-        // preallocation; the element-size bound rejects it up front.
+        // bound would accept this and overshoot the preallocation; the
+        // element-size bound rejects it up front.
         let mut bytes = Request::Batch(vec![Query::ppsp(0, 1), Query::ppsp(1, 2)]).encode();
         bytes[2..10].copy_from_slice(&3u64.to_le_bytes());
         assert!(matches!(
             Request::decode(&bytes).unwrap_err(),
             WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_names_and_paths_are_rejected() {
+        let long_name = "n".repeat(MAX_NAME_LEN + 1);
+        let bytes = Request::UnloadGraph { name: long_name }.encode();
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+        let ok_name = "n".repeat(MAX_NAME_LEN);
+        roundtrip_request(Request::UnloadGraph { name: ok_name });
+        let bytes = Request::LoadGraph {
+            name: "g".to_string(),
+            path: "p".repeat(MAX_PATH_LEN + 1),
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn non_utf8_names_are_malformed() {
+        let mut bytes = Request::UnloadGraph {
+            name: "ab".to_string(),
+        }
+        .encode();
+        let name_start = bytes.len() - 2;
+        bytes[name_start] = 0xFF;
+        bytes[name_start + 1] = 0xFE;
+        assert!(matches!(
+            Request::decode(&bytes).unwrap_err(),
+            WireError::Malformed(why) if why.contains("utf-8")
         ));
     }
 

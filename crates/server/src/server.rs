@@ -1,11 +1,13 @@
-//! The graph server: a resident [`CsrGraph`], a serving [`Pool`], and a
-//! batching dispatcher behind a std-TCP accept loop.
+//! The graph server: a catalog of resident [`CsrGraph`]s, a serving
+//! [`Pool`], and a batching dispatcher behind a std-TCP accept loop.
 //!
-//! # Architecture
+//! # Architecture (full guide: `docs/ARCHITECTURE.md`)
 //!
 //! ```text
 //! client conns ──► connection threads ──► job queue ──► dispatcher thread
-//!   (frames)         (decode/reply)       (mpsc)        (owns the Pool)
+//!   (frames)       (decode/admit/reply)    (mpsc)     (owns Pool + engines)
+//!                        │
+//!                        └─► catalog (LoadGraph / UnloadGraph / ListGraphs)
 //! ```
 //!
 //! Every connection gets a plain OS thread (no async runtime — see
@@ -14,25 +16,35 @@
 //! execution funnels through one dispatcher thread that owns it. That
 //! funnel is also where batching happens — the dispatcher drains every
 //! query that arrived while the previous round ran and serves them as one
-//! group: point queries fan out across the pool's per-worker
+//! group, per graph: point queries fan out across the pool's per-worker
 //! [`QueryEngine`](crate::batch::QueryEngine)s (inter-query parallelism,
-//! zero steady-state allocation), full-vector queries run one at a time on
-//! the parallel bucket engines (intra-query parallelism).
+//! zero steady-state allocation, one engine set per resident graph),
+//! full-vector queries run one at a time on the parallel bucket engines
+//! (intra-query parallelism).
+//!
+//! Admission control is **connection-level backpressure**: each request
+//! must reserve its query count against the server-wide pending budget
+//! ([`ServerConfig::pending_budget`]) before anything is enqueued. A
+//! request that does not fit is answered with [`Response::Busy`] — nothing
+//! executes, nothing queues without bound — and the reservation is released
+//! when the request's replies have been collected.
 
 use crate::batch::{BatchRunner, PointAnswer};
+use crate::catalog::{Catalog, CatalogError, GraphEntry};
 use crate::protocol::{
-    read_frame, write_frame, Query, QueryOp, Request, Response, ServerStats, WireError,
-    WireStrategy,
+    legacy_v1_error_payload, read_frame, write_frame, ErrorKind, GraphId, Query, QueryOp, Request,
+    Response, ServerStats, WireError, WireStrategy, PROTOCOL_VERSION,
 };
 use priograph_algorithms::{kcore, sssp, wbfs, UNREACHABLE};
 use priograph_core::schedule::Schedule;
-use priograph_graph::CsrGraph;
+use priograph_graph::{CsrGraph, LoadMode};
 use priograph_parallel::Pool;
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// How a [`serve`]d server is configured.
@@ -47,6 +59,12 @@ pub struct ServerConfig {
     pub default_schedule: Schedule,
     /// Maximum queries grouped into one dispatcher round.
     pub max_batch: usize,
+    /// Server-wide bound on queries admitted but not yet answered. A
+    /// request whose query count does not fit is refused with
+    /// [`Response::Busy`] instead of queueing without bound; a single
+    /// request larger than the whole budget can never be admitted (the
+    /// `Busy` reply tells the client to split it).
+    pub pending_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +76,7 @@ impl Default for ServerConfig {
                 .unwrap_or(1),
             default_schedule: Schedule::lazy(32),
             max_batch: 256,
+            pending_budget: 4096,
         }
     }
 }
@@ -70,50 +89,88 @@ struct Counters {
     point_queries: AtomicU64,
     full_queries: AtomicU64,
     errors: AtomicU64,
+    busy_rejections: AtomicU64,
 }
 
 /// State shared by every thread of one server instance.
 #[derive(Debug)]
 struct Shared {
-    graph: Arc<CsrGraph>,
-    /// Symmetrized view for k-core, computed on first use (the resident
-    /// graph itself is reused when it is already symmetric).
-    sym: OnceLock<Arc<CsrGraph>>,
+    catalog: Catalog,
     default_schedule: Schedule,
     threads: usize,
     counters: Counters,
+    /// Queries admitted but not yet answered, bounded by `pending_budget`.
+    pending: AtomicU64,
+    pending_budget: u64,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    fn sym_graph(&self) -> Arc<CsrGraph> {
-        self.sym
-            .get_or_init(|| {
-                if self.graph.is_symmetric() {
-                    Arc::clone(&self.graph)
-                } else {
-                    Arc::new(self.graph.symmetrize())
-                }
-            })
-            .clone()
-    }
-
     fn stats(&self) -> ServerStats {
+        let (num_vertices, num_edges) = match self.catalog.get(0) {
+            Some(entry) => (
+                entry.graph.num_vertices() as u64,
+                entry.graph.num_edges() as u64,
+            ),
+            None => (0, 0),
+        };
         ServerStats {
-            num_vertices: self.graph.num_vertices() as u64,
-            num_edges: self.graph.num_edges() as u64,
+            num_vertices,
+            num_edges,
             threads: self.threads as u64,
             queries: self.counters.queries.load(Ordering::Relaxed),
             batch_rounds: self.counters.batch_rounds.load(Ordering::Relaxed),
             point_queries: self.counters.point_queries.load(Ordering::Relaxed),
             full_queries: self.counters.full_queries.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            graphs: self.catalog.len() as u64,
+            busy_rejections: self.counters.busy_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reserves `count` pending-query slots, or reports (pending, budget)
+    /// for the `Busy` reply. Release happens via [`PendingGuard`].
+    fn try_reserve(self: &Arc<Self>, count: u64) -> Result<PendingGuard, (u64, u64)> {
+        loop {
+            let current = self.pending.load(Ordering::Acquire);
+            let wanted = current.saturating_add(count);
+            if wanted > self.pending_budget {
+                self.counters
+                    .busy_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err((current, self.pending_budget));
+            }
+            if self
+                .pending
+                .compare_exchange(current, wanted, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(PendingGuard {
+                    shared: Arc::clone(self),
+                    count,
+                });
+            }
         }
     }
 }
 
-/// One query in flight from a connection thread to the dispatcher.
+/// RAII release of a pending-budget reservation.
+struct PendingGuard {
+    shared: Arc<Shared>,
+    count: u64,
+}
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.shared.pending.fetch_sub(self.count, Ordering::AcqRel);
+    }
+}
+
+/// One query in flight from a connection thread to the dispatcher, with its
+/// graph resolved at submission (so an unload mid-flight cannot invalidate
+/// it — the `Arc` keeps the graph alive).
 struct Job {
+    entry: Arc<GraphEntry>,
     query: Query,
     reply: mpsc::Sender<Response>,
 }
@@ -175,21 +232,52 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts serving `graph` per `config`, returning once the listen socket is
-/// bound.
+/// Starts serving a single graph (catalog id 0, named `default`) per
+/// `config`, returning once the listen socket is bound. More graphs can be
+/// loaded over the wire (`LoadGraph`) afterwards; [`serve_named`] starts
+/// with several.
 ///
 /// # Errors
 ///
 /// Propagates socket bind/spawn failures.
 pub fn serve(graph: CsrGraph, config: ServerConfig) -> io::Result<ServerHandle> {
+    serve_named(vec![("default".to_string(), graph)], config)
+}
+
+/// Starts serving `graphs` under catalog ids `0..n` (in order) with the
+/// given names. Each graph's load mode is taken from how it is resident
+/// (a [`SnapshotView`](priograph_graph::SnapshotView)-loaded graph reports
+/// `mmap`).
+///
+/// # Errors
+///
+/// Propagates socket bind/spawn failures.
+pub fn serve_named(
+    graphs: Vec<(String, CsrGraph)>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let catalog = Catalog::new(
+        graphs
+            .into_iter()
+            .map(|(name, graph)| {
+                let mode = if graph.is_mapped() {
+                    LoadMode::Mapped
+                } else {
+                    LoadMode::Owned
+                };
+                (name, graph, mode)
+            })
+            .collect(),
+    );
     let shared = Arc::new(Shared {
-        graph: Arc::new(graph),
-        sym: OnceLock::new(),
+        catalog,
         default_schedule: config.default_schedule.clone(),
         threads: config.threads.max(1),
         counters: Counters::default(),
+        pending: AtomicU64::new(0),
+        pending_budget: config.pending_budget.max(1) as u64,
         shutdown: AtomicBool::new(false),
     });
 
@@ -254,10 +342,28 @@ fn accept_loop(
     }
 }
 
+/// A per-query slot of an in-progress request: either already answered on
+/// the connection thread (admission failures) or pending at the dispatcher.
+enum Slot {
+    Ready(Response),
+    Pending(mpsc::Receiver<Response>),
+}
+
+impl Slot {
+    fn collect(self) -> Response {
+        match self {
+            Slot::Ready(resp) => resp,
+            Slot::Pending(rx) => rx.recv().unwrap_or_else(|_| {
+                Response::error(ErrorKind::ShuttingDown, "server is shutting down")
+            }),
+        }
+    }
+}
+
 /// Serves one client connection; returns on disconnect or shutdown.
 fn handle_connection(
     mut stream: TcpStream,
-    shared: &Shared,
+    shared: &Arc<Shared>,
     addr: SocketAddr,
     tx: &mpsc::Sender<Job>,
 ) -> Result<(), WireError> {
@@ -275,28 +381,73 @@ fn handle_connection(
                 let _ = TcpStream::connect(addr);
                 return Ok(());
             }
-            Ok(Request::Query(query)) => submit(tx, query),
-            Ok(Request::Batch(queries)) => {
-                // Submit every query before collecting any reply, so the
-                // whole batch is visible to one dispatcher round.
-                let pending: Vec<mpsc::Receiver<Response>> =
-                    queries.iter().map(|&q| submit_async(tx, q)).collect();
-                Response::Batch(pending.into_iter().map(collect_reply).collect())
+            Ok(Request::Query(query)) => match shared.try_reserve(1) {
+                Ok(guard) => {
+                    let slot = submit(shared, tx, query);
+                    let response = slot.collect();
+                    drop(guard);
+                    response
+                }
+                Err((pending, budget)) => Response::Busy { pending, budget },
+            },
+            Ok(Request::Batch(queries)) => match shared.try_reserve(queries.len() as u64) {
+                Ok(guard) => {
+                    // Submit every query before collecting any reply, so the
+                    // whole batch is visible to one dispatcher round.
+                    let slots: Vec<Slot> = queries.iter().map(|&q| submit(shared, tx, q)).collect();
+                    let items = slots.into_iter().map(Slot::collect).collect();
+                    drop(guard);
+                    Response::Batch(items)
+                }
+                Err((pending, budget)) => Response::Busy { pending, budget },
+            },
+            Ok(Request::LoadGraph { name, path }) => load_graph(shared, &name, &path),
+            Ok(Request::UnloadGraph { name }) => match shared.catalog.unload(&name) {
+                Ok(_) => Response::Unloaded,
+                Err(e) => Response::error(ErrorKind::UnknownGraph, e.to_string()),
+            },
+            Ok(Request::ListGraphs) => Response::GraphList(
+                shared
+                    .catalog
+                    .list()
+                    .iter()
+                    .map(|entry| entry.info())
+                    .collect(),
+            ),
+            // An old client cannot decode any v2 frame, so the version
+            // mismatch gets a *v1-shaped* in-band error it can render, and
+            // the connection closes (`docs/PROTOCOL.md` §Versioning).
+            Err(WireError::VersionMismatch { got }) if got < PROTOCOL_VERSION => {
+                write_frame(
+                    &mut stream,
+                    &legacy_v1_error_payload(&format!(
+                        "protocol version {got} is no longer served; this server \
+                         speaks version {PROTOCOL_VERSION} — upgrade the client"
+                    )),
+                )?;
+                return Ok(());
             }
+            Err(WireError::VersionMismatch { got }) => Response::error(
+                ErrorKind::UnsupportedVersion,
+                format!("client version {got} is newer than server version {PROTOCOL_VERSION}"),
+            ),
             // Framing survives a malformed payload, so report and carry on.
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => Response::error(ErrorKind::BadRequest, e.to_string()),
         };
         let mut encoded = response.encode();
         if encoded.len() > crate::protocol::MAX_FRAME_LEN {
             // Never kill the connection over an oversized answer (a batch
             // of full-vector queries can cross the cap even though each
             // fits): degrade to an in-band error the client can act on.
-            encoded = Response::Error(format!(
-                "response of {} bytes exceeds the {} byte frame cap; \
-                 split the batch or use point queries",
-                encoded.len(),
-                crate::protocol::MAX_FRAME_LEN
-            ))
+            encoded = Response::error(
+                ErrorKind::TooLarge,
+                format!(
+                    "response of {} bytes exceeds the {} byte frame cap; \
+                     split the batch or use point queries",
+                    encoded.len(),
+                    crate::protocol::MAX_FRAME_LEN
+                ),
+            )
             .encode();
         }
         write_frame(&mut stream, &encoded)?;
@@ -304,6 +455,39 @@ fn handle_connection(
             return Ok(()); // stop serving this connection once shutdown began
         }
     }
+}
+
+fn load_graph(shared: &Shared, name: &str, path: &str) -> Response {
+    if name.is_empty() {
+        return Response::error(ErrorKind::BadRequest, "graph name must not be empty");
+    }
+    match shared.catalog.load(name, path) {
+        Ok(entry) => Response::Loaded(entry.info()),
+        Err(e @ CatalogError::NameTaken(_)) => {
+            Response::error(ErrorKind::BadRequest, e.to_string())
+        }
+        Err(e) => Response::error(ErrorKind::LoadFailed, e.to_string()),
+    }
+}
+
+/// Resolves the query's graph and enqueues it, or answers immediately when
+/// the graph is unknown. Every query is counted exactly once.
+fn submit(shared: &Shared, tx: &mpsc::Sender<Job>, query: Query) -> Slot {
+    let Some(entry) = shared.catalog.get(query.graph) else {
+        shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return Slot::Ready(Response::error(
+            ErrorKind::UnknownGraph,
+            format!("no resident graph with id {}", query.graph),
+        ));
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let _ = tx.send(Job {
+        entry,
+        query,
+        reply: reply_tx,
+    });
+    Slot::Pending(reply_rx)
 }
 
 /// Whether a full distance/coreness vector for `n` vertices fits one
@@ -314,32 +498,23 @@ fn dist_vec_fits(n: usize) -> bool {
     n.saturating_mul(8).saturating_add(4096) <= crate::protocol::MAX_FRAME_LEN
 }
 
-fn submit_async(tx: &mpsc::Sender<Job>, query: Query) -> mpsc::Receiver<Response> {
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let _ = tx.send(Job {
-        query,
-        reply: reply_tx,
-    });
-    reply_rx
-}
-
-fn collect_reply(rx: mpsc::Receiver<Response>) -> Response {
-    rx.recv()
-        .unwrap_or_else(|_| Response::Error("server is shutting down".to_string()))
-}
-
-fn submit(tx: &mpsc::Sender<Job>, query: Query) -> Response {
-    collect_reply(submit_async(tx, query))
+/// Per-graph point-query grouping within one dispatcher round.
+#[derive(Default)]
+struct PointGroup {
+    pairs: Vec<(u32, u32)>,
+    slots: Vec<usize>,
 }
 
 /// The dispatcher: the single owner of the pool and the batching point.
+/// Engine state is **per graph** — each resident graph gets its own
+/// [`BatchRunner`] whose per-worker engines stay sized to that graph, and
+/// runners for evicted graphs are dropped at the end of the round.
 fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, max_batch: usize) {
     let pool = Pool::new(threads);
-    let mut runner = BatchRunner::new();
+    let mut runners: HashMap<GraphId, BatchRunner> = HashMap::new();
     // Reused round state (cleared, never dropped, between rounds).
     let mut jobs: Vec<Job> = Vec::new();
-    let mut point_pairs: Vec<(u32, u32)> = Vec::new();
-    let mut point_slots: Vec<usize> = Vec::new();
+    let mut groups: HashMap<GraphId, PointGroup> = HashMap::new();
     let mut answers: Vec<PointAnswer> = Vec::new();
     let mut replies: Vec<Option<Response>> = Vec::new();
 
@@ -373,19 +548,23 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
             .queries
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
 
-        // Partition: point queries fan out together, the rest run after.
-        let n = shared.graph.num_vertices();
-        point_pairs.clear();
-        point_slots.clear();
+        // Partition: point queries fan out together per graph, the rest
+        // run after.
+        for group in groups.values_mut() {
+            group.pairs.clear();
+            group.slots.clear();
+        }
         replies.clear();
         replies.resize_with(jobs.len(), || None);
         for (i, job) in jobs.iter().enumerate() {
             let q = &job.query;
+            let n = job.entry.graph.num_vertices();
             match q.op {
                 QueryOp::Ppsp => {
                     if (q.source as usize) < n && (q.target as usize) < n {
-                        point_slots.push(i);
-                        point_pairs.push((q.source, q.target));
+                        let group = groups.entry(job.entry.id).or_default();
+                        group.slots.push(i);
+                        group.pairs.push((q.source, q.target));
                     } else {
                         replies[i] = Some(vertex_error(q, n));
                     }
@@ -397,13 +576,23 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
             }
         }
 
-        if !point_pairs.is_empty() {
+        for (graph_id, group) in &groups {
+            if group.pairs.is_empty() {
+                continue;
+            }
+            // Same id ⇒ same entry: ids are never reused within a server.
+            let entry = &jobs[group.slots[0]].entry;
+            debug_assert_eq!(entry.id, *graph_id);
             shared
                 .counters
                 .point_queries
-                .fetch_add(point_pairs.len() as u64, Ordering::Relaxed);
-            runner.run(&pool, &shared.graph, &point_pairs, &mut answers);
-            for (slot, answer) in point_slots.iter().zip(&answers) {
+                .fetch_add(group.pairs.len() as u64, Ordering::Relaxed);
+            entry
+                .queries
+                .fetch_add(group.pairs.len() as u64, Ordering::Relaxed);
+            let runner = runners.entry(*graph_id).or_default();
+            runner.run(&pool, &entry.graph, &group.pairs, &mut answers);
+            for (slot, answer) in group.slots.iter().zip(&answers) {
                 replies[*slot] = Some(Response::Distance {
                     distance: answer.distance,
                     relaxations: answer.relaxations,
@@ -414,48 +603,61 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
         for (i, job) in jobs.iter().enumerate() {
             if replies[i].is_none() {
                 shared.counters.full_queries.fetch_add(1, Ordering::Relaxed);
-                replies[i] = Some(run_full_query(shared, &pool, &job.query));
+                job.entry.queries.fetch_add(1, Ordering::Relaxed);
+                replies[i] = Some(run_full_query(shared, &pool, job));
             }
         }
 
         for (job, reply) in jobs.drain(..).zip(replies.drain(..)) {
             let reply = reply.expect("every job got a reply");
-            if matches!(reply, Response::Error(_)) {
+            if matches!(reply, Response::Error { .. }) {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             }
             let _ = job.reply.send(reply);
         }
+
+        // Engine-state GC: drop per-graph runners (and their grouping
+        // buffers) once their graph leaves the catalog, so unloading a
+        // graph releases its engine memory too.
+        runners.retain(|id, _| shared.catalog.contains(*id));
+        groups.retain(|id, _| shared.catalog.contains(*id));
     }
 }
 
 fn vertex_error(q: &Query, n: usize) -> Response {
-    Response::Error(format!(
-        "vertex out of range (source {}, target {}, graph has {n})",
-        q.source, q.target
-    ))
+    Response::error(
+        ErrorKind::BadVertex,
+        format!(
+            "vertex out of range (source {}, target {}, graph {} has {n})",
+            q.source, q.target, q.graph
+        ),
+    )
 }
 
 /// Runs one full-vector query on the parallel engines.
-fn run_full_query(shared: &Shared, pool: &Pool, query: &Query) -> Response {
-    if !dist_vec_fits(shared.graph.num_vertices()) {
-        return Response::Error(format!(
-            "full-vector responses for {} vertices exceed the wire frame cap; \
-             use point (ppsp) queries against this graph",
-            shared.graph.num_vertices()
-        ));
+fn run_full_query(shared: &Shared, pool: &Pool, job: &Job) -> Response {
+    let query = &job.query;
+    let graph = &job.entry.graph;
+    if !dist_vec_fits(graph.num_vertices()) {
+        return Response::error(
+            ErrorKind::TooLarge,
+            format!(
+                "full-vector responses for {} vertices exceed the wire frame cap; \
+                 use point (ppsp) queries against this graph",
+                graph.num_vertices()
+            ),
+        );
     }
     let schedule = query.schedule.resolve(&shared.default_schedule);
     match query.op {
         QueryOp::Ppsp => unreachable!("point queries are batched"),
-        QueryOp::Sssp => {
-            match sssp::delta_stepping_on(pool, &shared.graph, query.source, &schedule) {
-                Ok(r) => Response::DistVec(r.dist),
-                Err(e) => Response::Error(e.to_string()),
-            }
-        }
-        QueryOp::Wbfs => match wbfs::wbfs_on(pool, &shared.graph, query.source, &schedule) {
+        QueryOp::Sssp => match sssp::delta_stepping_on(pool, graph, query.source, &schedule) {
             Ok(r) => Response::DistVec(r.dist),
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
+        },
+        QueryOp::Wbfs => match wbfs::wbfs_on(pool, graph, query.source, &schedule) {
+            Ok(r) => Response::DistVec(r.dist),
+            Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
         },
         QueryOp::KCore => {
             // "Server default" means the k-core-legal schedule, not the
@@ -465,10 +667,10 @@ fn run_full_query(shared: &Shared, pool: &Pool, query: &Query) -> Response {
             } else {
                 schedule
             };
-            let sym = shared.sym_graph();
+            let sym = job.entry.sym_graph();
             match kcore::kcore_on(pool, &sym, &schedule) {
                 Ok(r) => Response::Coreness(r.coreness),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
             }
         }
     }
@@ -511,6 +713,8 @@ mod tests {
         assert!(stats.num_edges > 0);
         assert_eq!(stats.threads, 2);
         assert_eq!(stats.queries, 0);
+        assert_eq!(stats.graphs, 1);
+        assert_eq!(stats.busy_rejections, 0);
         handle.stop();
     }
 
@@ -521,9 +725,27 @@ mod tests {
         let resp = client
             .request(&Request::Query(Query::ppsp(0, 9999)))
             .unwrap();
-        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        assert!(
+            matches!(
+                &resp,
+                Response::Error {
+                    kind: ErrorKind::BadVertex,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
         let resp = client.request(&Request::Query(Query::sssp(9999))).unwrap();
-        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        assert!(
+            matches!(
+                &resp,
+                Response::Error {
+                    kind: ErrorKind::BadVertex,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
         let stats = client.stats().unwrap();
         assert_eq!(stats.errors, 2);
         assert_eq!(stats.queries, 2);
@@ -531,16 +753,103 @@ mod tests {
     }
 
     #[test]
+    fn unknown_graph_id_is_a_typed_error() {
+        let handle = tiny_server(1);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let resp = client.query(Query::ppsp(0, 1).on_graph(42)).unwrap();
+        assert!(
+            matches!(
+                &resp,
+                Response::Error {
+                    kind: ErrorKind::UnknownGraph,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.errors, 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn over_budget_requests_get_busy_not_queued() {
+        let graph = GraphGen::road_grid(8, 8).seed(1).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                pending_budget: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // A batch larger than the whole budget can never be admitted.
+        let big: Vec<Query> = (0..9).map(|i| Query::ppsp(0, i)).collect();
+        match client.request(&Request::Batch(big)).unwrap() {
+            Response::Busy { pending, budget } => {
+                assert_eq!(budget, 8);
+                assert!(pending <= 8);
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // A batch that fits is served normally afterwards.
+        let ok: Vec<Query> = (0..8).map(|i| Query::ppsp(0, i)).collect();
+        let responses = client.batch(ok).unwrap();
+        assert_eq!(responses.len(), 8);
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r, Response::Distance { .. })));
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.busy_rejections, 1);
+        assert_eq!(stats.queries, 8, "refused queries never execute");
+        handle.stop();
+    }
+
+    #[test]
+    fn v1_clients_get_a_v1_shaped_error_and_a_close() {
+        let handle = tiny_server(1);
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // A v1 Stats request: version byte 1, tag 2.
+        write_frame(&mut stream, &[1u8, 2u8]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(payload[0], 1, "reply speaks v1");
+        assert_eq!(payload[1], 5, "reply is a v1 Error");
+        let msg_len = u64::from_le_bytes(payload[2..10].try_into().unwrap()) as usize;
+        let message = std::str::from_utf8(&payload[10..10 + msg_len]).unwrap();
+        assert!(message.contains("version"), "{message}");
+        // The server closes the connection after the legacy error.
+        assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
+        handle.stop();
+    }
+
+    #[test]
     fn malformed_frames_get_an_error_and_do_not_kill_the_connection() {
         let handle = tiny_server(1);
         let mut stream = TcpStream::connect(handle.addr()).unwrap();
-        write_frame(&mut stream, b"garbage").unwrap();
+        // Not even a version byte the server recognizes as legacy: version
+        // 200 is "newer than us", answered in-band with v2.
+        write_frame(&mut stream, &[200u8, 9, 9]).unwrap();
         let payload = read_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(
             Response::decode(&payload).unwrap(),
-            Response::Error(_)
+            Response::Error {
+                kind: ErrorKind::UnsupportedVersion,
+                ..
+            }
         ));
-        // The connection still serves well-formed requests afterwards.
+        // A malformed v2 payload is BadRequest, and the connection lives.
+        write_frame(&mut stream, &[PROTOCOL_VERSION, 99]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error {
+                kind: ErrorKind::BadRequest,
+                ..
+            }
+        ));
         write_frame(&mut stream, &Request::Stats.encode()).unwrap();
         let payload = read_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(
@@ -587,6 +896,31 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         handle.stop(); // hangs forever if the dispatcher misses the flag
         let _ = spammer.join();
+    }
+
+    #[test]
+    fn pending_reservations_release_after_each_request() {
+        let graph = GraphGen::road_grid(6, 6).seed(2).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                pending_budget: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // Many budget-filling batches in sequence: if reservations leaked,
+        // the second one would already be Busy.
+        for round in 0..5 {
+            let batch: Vec<Query> = (0..4).map(|i| Query::ppsp(0, i)).collect();
+            let responses = client.batch(batch).unwrap();
+            assert_eq!(responses.len(), 4, "round {round}");
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.busy_rejections, 0);
+        handle.stop();
     }
 
     #[test]

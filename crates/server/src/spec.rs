@@ -6,7 +6,7 @@
 //! distances against a locally computed serial reference.
 
 use priograph_graph::gen::GraphGen;
-use priograph_graph::{CsrGraph, GraphSnapshot};
+use priograph_graph::{CsrGraph, SnapshotView};
 use std::path::Path;
 
 /// Builds a graph from a generator spec:
@@ -74,7 +74,7 @@ pub fn graph_from_spec(spec: &str) -> Result<CsrGraph, String> {
 /// The graph sources a binary accepts (exactly one must be given).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GraphSource {
-    /// Snapshot file ([`GraphSnapshot`] format).
+    /// Snapshot file ([`priograph_graph::GraphSnapshot`] format).
     pub snapshot: Option<String>,
     /// Edge-list or DIMACS `.gr` file.
     pub graph: Option<String>,
@@ -104,7 +104,12 @@ impl GraphSource {
             ));
         }
         if let Some(path) = &self.snapshot {
-            return GraphSnapshot::load(Path::new(path)).map_err(|e| format!("{path}: {e}"));
+            // Snapshots open through the view so a PSNAPv2 file is
+            // memory-mapped zero-copy (v1 falls back to the copying path);
+            // the graph's load mode is visible via CsrGraph::is_mapped.
+            return SnapshotView::open(Path::new(path))
+                .map(SnapshotView::into_graph)
+                .map_err(|e| format!("{path}: {e}"));
         }
         if let Some(path) = &self.graph {
             return priograph_graph::io::load_graph(Path::new(path))
@@ -117,6 +122,7 @@ impl GraphSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use priograph_graph::GraphSnapshot;
 
     #[test]
     fn grid_and_rmat_specs_build_deterministically() {

@@ -1,14 +1,16 @@
-//! End-to-end serving test over a loopback socket: a snapshot-loaded graph,
-//! a mixed batch of 100+ PPSP/SSSP/wBFS/k-core queries, and serial
-//! references — at more than one thread count (ISSUE 3 acceptance).
+//! End-to-end serving tests over a loopback socket: snapshot-loaded graphs,
+//! mixed batches of 100+ PPSP/SSSP/wBFS/k-core queries, and serial
+//! references — at more than one thread count (ISSUE 3 acceptance), plus
+//! multi-graph residency routing under concurrent clients and wire-level
+//! catalog management (ISSUE 4 acceptance).
 
 use priograph_algorithms::serial::{dijkstra, kcore_serial};
 use priograph_algorithms::UNREACHABLE;
 use priograph_graph::gen::GraphGen;
-use priograph_graph::{CsrGraph, GraphSnapshot};
+use priograph_graph::{CsrGraph, GraphSnapshot, LoadMode, SnapshotView};
 use priograph_serve::client::Client;
-use priograph_serve::protocol::{Query, QueryOp, Response, WireSchedule, WireStrategy};
-use priograph_serve::server::{serve, ServerConfig};
+use priograph_serve::protocol::{ErrorKind, Query, QueryOp, Response, WireSchedule, WireStrategy};
+use priograph_serve::server::{serve, serve_named, ServerConfig};
 use std::collections::HashMap;
 
 /// Builds the mixed batch: 84 point queries, 20 full-vector queries (SSSP
@@ -116,6 +118,159 @@ fn snapshot_loaded_server_matches_serial_references_across_thread_counts() {
         assert_eq!(stats.threads, threads as u64);
         handle.stop();
     }
+}
+
+/// Two structurally different resident graphs; queries carrying graph ids
+/// must route to the right one under concurrent clients, at threads {1, 4},
+/// with every answer equal to the per-graph serial reference.
+#[test]
+fn two_resident_graphs_route_queries_correctly_under_concurrency() {
+    // Deliberately different families AND different sizes, so a misrouted
+    // query is overwhelmingly likely to produce a wrong distance or an
+    // out-of-range error rather than a silent coincidence.
+    let roads = GraphGen::road_grid(12, 12).seed(3).build();
+    let social = GraphGen::rmat(7, 6).seed(8).weights_uniform(1, 60).build();
+    let n_roads = roads.num_vertices() as u32;
+    let n_social = social.num_vertices() as u32;
+    let refs: [Vec<Vec<i64>>; 2] = [
+        (0..4).map(|s| dijkstra(&roads, s * 17)).collect(),
+        (0..4).map(|s| dijkstra(&social, s * 17)).collect(),
+    ];
+
+    for threads in [1usize, 4] {
+        let handle = serve_named(
+            vec![
+                ("roads".to_string(), roads.clone()),
+                ("social".to_string(), social.clone()),
+            ],
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let addr = handle.addr();
+
+        std::thread::scope(|scope| {
+            for conn in 0..6u32 {
+                let refs = &refs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..25u32 {
+                        // Alternate graphs within one connection.
+                        let graph_id = (conn + i) % 2;
+                        let (n, source) = if graph_id == 0 {
+                            (n_roads, ((conn + i) % 4) * 17)
+                        } else {
+                            (n_social, ((conn + i) % 4) * 17)
+                        };
+                        let target = (conn * 31 + i * 13) % n;
+                        let query = Query::ppsp(source, target).on_graph(graph_id);
+                        match client.query(query).expect("query") {
+                            Response::Distance { distance, .. } => {
+                                let dist = &refs[graph_id as usize][(source / 17) as usize];
+                                let expected = (dist[target as usize] < UNREACHABLE)
+                                    .then_some(dist[target as usize]);
+                                assert_eq!(
+                                    distance, expected,
+                                    "threads={threads} conn={conn} graph={graph_id} \
+                                     {source}->{target}"
+                                );
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.queries, 150);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.graphs, 2);
+        let graphs = client.list_graphs().expect("list");
+        assert_eq!(graphs.len(), 2);
+        assert_eq!(graphs[0].name, "roads");
+        assert_eq!(graphs[1].name, "social");
+        assert_eq!(graphs[0].vertices, n_roads as u64);
+        assert_eq!(graphs[1].vertices, n_social as u64);
+        // Per-graph counters: every query landed somewhere, split 75/75.
+        assert_eq!(graphs[0].queries + graphs[1].queries, 150);
+        assert!(graphs[0].queries > 0 && graphs[1].queries > 0);
+        assert_eq!(graphs[0].resident_bytes, roads.resident_bytes());
+        handle.stop();
+    }
+}
+
+/// Full catalog lifecycle over the wire: load a PSNAPv2 snapshot (mmap
+/// mode), query it by resolved id, then unload and observe the typed error.
+#[test]
+fn wire_catalog_load_query_unload_roundtrip() {
+    let base = GraphGen::road_grid(9, 9).seed(5).build();
+    let extra = GraphGen::road_grid(11, 11).seed(6).build();
+    let snap_path = std::env::temp_dir().join("priograph_loopback_catalog.snap");
+    GraphSnapshot::write(&extra, &snap_path).expect("write snapshot");
+    // Sanity: the file is the zero-copy format.
+    let view = SnapshotView::open(&snap_path).expect("open view");
+    assert_eq!(view.version(), 2);
+    drop(view);
+
+    let handle = serve(
+        base,
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let info = client
+        .load_graph("extra", snap_path.to_str().unwrap())
+        .expect("load over the wire");
+    assert_eq!(info.vertices, 121);
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    assert_eq!(info.mode, LoadMode::Mapped, "v2 loads zero-copy");
+    let _ = std::fs::remove_file(&snap_path);
+
+    // Duplicate name: typed refusal.
+    match client.load_graph("extra", "/irrelevant.snap").unwrap_err() {
+        priograph_serve::WireError::Remote { kind, .. } => {
+            assert_eq!(kind, ErrorKind::BadRequest)
+        }
+        other => panic!("expected Remote, got {other:?}"),
+    }
+
+    // Queries against the freshly loaded graph match its serial reference.
+    let reference = dijkstra(&extra, 0);
+    for target in [1u32, 60, 120] {
+        match client
+            .query(Query::ppsp(0, target).on_graph(info.id))
+            .unwrap()
+        {
+            Response::Distance { distance, .. } => {
+                let expected = (reference[target as usize] < UNREACHABLE)
+                    .then_some(reference[target as usize]);
+                assert_eq!(distance, expected, "0->{target}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    client.unload_graph("extra").expect("unload");
+    match client.query(Query::ppsp(0, 1).on_graph(info.id)).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownGraph),
+        other => panic!("expected UnknownGraph, got {other:?}"),
+    }
+    assert!(client
+        .list_graphs()
+        .unwrap()
+        .iter()
+        .all(|g| g.name != "extra"));
+    // Unloading again: typed unknown-name error.
+    assert!(client.unload_graph("extra").is_err());
+    handle.stop();
 }
 
 #[test]

@@ -1,30 +1,35 @@
 //! The serving layer end to end, in-process: snapshot a road network, serve
-//! it over a loopback socket, and answer a batched mix of point-to-point
-//! and full shortest-path queries — verified against serial Dijkstra.
+//! it (zero-copy memory-mapped) over a loopback socket, and answer a
+//! batched mix of point-to-point and full shortest-path queries — verified
+//! against serial Dijkstra.
 //!
 //! Run with `cargo run --release --example serve_queries`.
 
 use priograph::algorithms::serial::dijkstra;
 use priograph::algorithms::UNREACHABLE;
 use priograph::graph::gen::GraphGen;
-use priograph::graph::GraphSnapshot;
+use priograph::graph::{GraphSnapshot, SnapshotView};
 use priograph::serve::client::Client;
 use priograph::serve::protocol::{Query, Response};
 use priograph::serve::server::{serve, ServerConfig};
 
 fn main() {
-    // 1. Preprocess once: build the graph and persist it as a snapshot, the
-    //    artifact a production server would load at startup.
+    // 1. Preprocess once: build the graph and persist it as a PSNAPv2
+    //    snapshot, the artifact a production server would load at startup.
     let built = GraphGen::road_grid(40, 40).seed(7).build();
     let snap = std::env::temp_dir().join("serve_queries_example.snap");
     GraphSnapshot::write(&built, &snap).expect("write snapshot");
-    let graph = GraphSnapshot::load(&snap).expect("load snapshot");
-    let _ = std::fs::remove_file(&snap);
+    // Zero-copy open: the CSR arrays stay in the file's page cache; the
+    // file can be removed once the view is dropped (the mapping lives on).
+    let view = SnapshotView::open(&snap).expect("open snapshot view");
     println!(
-        "resident graph (snapshot-loaded): {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
+        "resident graph (snapshot-loaded, {} mode): {} vertices, {} edges",
+        view.mode(),
+        view.graph().num_vertices(),
+        view.graph().num_edges()
     );
+    let graph = view.into_graph();
+    let _ = std::fs::remove_file(&snap);
 
     // 2. Serve it. Port 0 picks a free loopback port; the handle reports it.
     let handle = serve(

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `memmap2` crate (see `vendor/README.md`).
+//!
+//! Implements exactly the surface `priograph-graph`'s zero-copy snapshot
+//! loader needs: a **read-only** file mapping whose backing bytes start at
+//! an 8-byte-aligned address, plus a read-to-heap fallback with the same
+//! alignment guarantee for platforms (or failure modes) where `mmap` is
+//! unavailable. Call sites can later swap in the real crate — the only
+//! extension points beyond upstream's `Mmap` are [`Mmap::map_or_read`],
+//! [`Mmap::read_aligned`], and [`Mmap::is_mapped`], which would become thin
+//! wrappers.
+//!
+//! The FFI layer declares `mmap`/`munmap` directly (libc is always linked;
+//! the *crate* `libc` is what the offline environment lacks) and is gated to
+//! 64-bit Unix targets; everywhere else [`Mmap::map_or_read`] silently takes
+//! the heap path.
+//!
+//! # Safety contract
+//!
+//! A mapped file must not be truncated while the mapping is alive: the OS
+//! would deliver `SIGBUS` on access past the new end. Snapshot files are
+//! written once and then immutable, which is the deployment model this shim
+//! assumes (the same caveat applies to upstream `memmap2`).
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only view of a file's bytes: either a real `mmap` region or an
+/// 8-byte-aligned heap buffer filled by `read`.
+///
+/// Dereferences to `&[u8]`. The first byte is always 8-byte aligned (page
+/// alignment for real mappings, `u64` storage for the heap fallback), which
+/// is what lets callers reinterpret sections as `&[u64]`-class slices.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    /// A live `mmap(2)` region (64-bit Unix only).
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Heap fallback: `u64` storage guarantees 8-byte alignment.
+    Heap { buf: Vec<u64>, len: usize },
+}
+
+// SAFETY: the region is read-only for its whole lifetime (PROT_READ private
+// mapping or an owned heap buffer), so shared references from any thread
+// are sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only, falling back to [`Mmap::read_aligned`] when
+    /// mapping is unavailable (non-Unix target, empty file, or a failed
+    /// `mmap` call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata/read failures from the fallback path.
+    pub fn map_or_read(file: &File) -> io::Result<Mmap> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            let len = file.metadata()?.len();
+            // mmap rejects zero-length mappings; usize::MAX guards the
+            // (theoretical) 32-bit-usize truncation.
+            if len > 0 && len <= usize::MAX as u64 {
+                if let Some(map) = sys::map_readonly(file, len as usize) {
+                    return Ok(Mmap {
+                        inner: Inner::Mapped {
+                            ptr: map,
+                            len: len as usize,
+                        },
+                    });
+                }
+            }
+        }
+        Self::read_aligned(file)
+    }
+
+    /// Reads the whole file into an 8-byte-aligned heap buffer (no `mmap`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata/read failures.
+    pub fn read_aligned(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large for this platform",
+            ));
+        }
+        let len = len as usize;
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: u64 storage reinterpreted as its own bytes; the buffer is
+        // fully initialized (zeroed) and at least `len` bytes long.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        let mut filled = 0usize;
+        let mut reader = file;
+        while filled < len {
+            match reader.read(&mut bytes[filled..len]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "file shrank while reading",
+                    ))
+                }
+                Ok(k) => filled += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Mmap {
+            inner: Inner::Heap { buf, len },
+        })
+    }
+
+    /// True when the bytes come from a real `mmap` region (as opposed to the
+    /// heap fallback) — surfaced to operators as the "mmap" load mode.
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped { .. } => true,
+            Inner::Heap { .. } => false,
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped { len, .. } => *len,
+            Inner::Heap { len, .. } => *len,
+        }
+    }
+
+    /// True when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes, starting at an 8-byte-aligned address.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; unmapped only in Drop.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Heap { buf, len } => {
+                // SAFETY: reinterpreting initialized u64 storage as bytes;
+                // `len <= buf.len() * 8` by construction.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe { sys::unmap(ptr, len) };
+        }
+    }
+}
+
+/// Raw `mmap(2)` bindings. libc the *library* is always linked; only the
+/// libc *crate* is unavailable offline, so the two symbols are declared
+/// directly with the (identical on Linux and macOS 64-bit) constants below.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::fs::File;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    /// Maps `len` bytes of `file` read-only; `None` on any mmap failure
+    /// (the caller falls back to the heap path).
+    pub fn map_readonly(file: &File, len: usize) -> Option<*const u8> {
+        // SAFETY: a fresh private read-only mapping of a valid fd; the
+        // kernel picks the address. MAP_FAILED is (void*)-1.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == usize::MAX as *mut c_void || ptr.is_null() {
+            None
+        } else {
+            Some(ptr as *const u8)
+        }
+    }
+
+    /// Releases a mapping created by [`map_readonly`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must describe a live mapping, unmapped exactly once.
+    pub unsafe fn unmap(ptr: *const u8, len: usize) {
+        let _ = munmap(ptr as *mut c_void, len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(bytes: &[u8], name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn map_or_read_sees_file_bytes() {
+        let path = temp_file(b"hello mmap world", "priograph_mmap_basic.bin");
+        let map = Mmap::map_or_read(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, b"hello mmap world");
+        assert_eq!(map.len(), 16);
+        assert!(!map.is_empty());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(map.is_mapped(), "64-bit unix should take the mmap path");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn both_paths_are_eight_byte_aligned_and_agree() {
+        let payload: Vec<u8> = (0..4099u32).map(|i| (i * 31) as u8).collect();
+        let path = temp_file(&payload, "priograph_mmap_align.bin");
+        let mapped = Mmap::map_or_read(&File::open(&path).unwrap()).unwrap();
+        let heap = Mmap::read_aligned(&File::open(&path).unwrap()).unwrap();
+        assert!(!heap.is_mapped());
+        assert_eq!(&*mapped, &payload[..]);
+        assert_eq!(&*heap, &payload[..]);
+        assert_eq!(mapped.as_slice().as_ptr() as usize % 8, 0);
+        assert_eq!(heap.as_slice().as_ptr() as usize % 8, 0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_file_takes_the_heap_path() {
+        let path = temp_file(b"", "priograph_mmap_empty.bin");
+        let map = Mmap::map_or_read(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped(), "zero-length mmap is not attempted");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn maps_are_shareable_across_threads() {
+        let payload = vec![7u8; 1 << 16];
+        let path = temp_file(&payload, "priograph_mmap_threads.bin");
+        let map = std::sync::Arc::new(Mmap::map_or_read(&File::open(&path).unwrap()).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let map = std::sync::Arc::clone(&map);
+                scope.spawn(move || assert!(map.iter().all(|&b| b == 7)));
+            }
+        });
+        let _ = std::fs::remove_file(path);
+    }
+}
