@@ -1,0 +1,202 @@
+//! Graph-backed cost evaluation: measure candidate schedules by running the
+//! *real* algorithm against the *resident* graph.
+//!
+//! The paper's autotuner does not model costs — it executes the generated
+//! binary under each candidate schedule and times it (§5.3). This module is
+//! that evaluator for the serving stack: [`GraphEvaluator`] runs the
+//! family's driver (Δ-stepping, wBFS, k-core peeling) on a caller-provided
+//! [`Pool`] and graph, returning `None` for schedules the engine validation
+//! rejects — which is exactly the `Option<Duration>` contract
+//! [`Autotuner::tune`](crate::Autotuner) expects.
+//!
+//! [`tune_for_graph`] is the one-call wrapper the server's `TuneGraph`
+//! request uses: pick the family's [`ScheduleSpace`], run the search on the
+//! dispatcher's pool, and return a [`QueryPlan`] ready to install (already
+//! normalized and family-validated — the planner can never install an
+//! illegal combination, property-tested in `tests/plan_legality.rs`).
+
+use crate::{Autotuner, ScheduleSpace, TuneResult};
+use priograph_algorithms::{kcore, sssp, wbfs};
+use priograph_core::plan::{AlgoFamily, PlanOrigin, QueryPlan};
+use priograph_core::schedule::Schedule;
+use priograph_graph::CsrGraph;
+use priograph_parallel::Pool;
+use std::time::{Duration, Instant};
+
+/// Deterministic sample sources for the shortest-path families: spread
+/// across the vertex range so one lucky source does not decide the plan.
+fn sample_sources(n: usize, count: usize) -> Vec<u32> {
+    let count = count.clamp(1, n.max(1));
+    (0..count)
+        .map(|i| ((i * 2 + 1) * n / (2 * count)) as u32)
+        .collect()
+}
+
+/// Measures schedules by executing an algorithm family on a pool + graph.
+///
+/// For k-core the graph must already be symmetric (hand the evaluator the
+/// catalog's symmetrized twin, the same graph queries run on).
+#[derive(Debug)]
+pub struct GraphEvaluator<'a> {
+    pool: &'a Pool,
+    graph: &'a CsrGraph,
+    family: AlgoFamily,
+    sources: Vec<u32>,
+}
+
+impl<'a> GraphEvaluator<'a> {
+    /// Builds an evaluator running `family` on `graph` over `pool`.
+    ///
+    /// Shortest-path families measure the summed cost over a small set of
+    /// deterministic sample sources; k-core (source-free) runs once.
+    pub fn new(pool: &'a Pool, graph: &'a CsrGraph, family: AlgoFamily) -> GraphEvaluator<'a> {
+        let sources = match family {
+            AlgoFamily::Sssp | AlgoFamily::Wbfs => sample_sources(graph.num_vertices(), 3),
+            AlgoFamily::KCore => Vec::new(),
+        };
+        GraphEvaluator {
+            pool,
+            graph,
+            family,
+            sources,
+        }
+    }
+
+    /// Overrides the sample sources (shortest-path families only).
+    pub fn with_sources(mut self, sources: Vec<u32>) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Measures one schedule: wall-clock over the family's sample workload,
+    /// or `None` when the engine validation rejects the combination (an
+    /// illegal trial, recorded but never chosen — the OpenTuner convention).
+    pub fn evaluate(&self, schedule: &Schedule) -> Option<Duration> {
+        // Cheap pre-check: reject family-illegal plans without spinning up
+        // the engines (the engine itself re-validates per run).
+        QueryPlan::new(self.family, schedule.clone(), PlanOrigin::Pinned)
+            .validate()
+            .ok()?;
+        let started = Instant::now();
+        match self.family {
+            AlgoFamily::Sssp => {
+                for &source in &self.sources {
+                    sssp::delta_stepping_on(self.pool, self.graph, source, schedule).ok()?;
+                }
+            }
+            AlgoFamily::Wbfs => {
+                for &source in &self.sources {
+                    wbfs::wbfs_on(self.pool, self.graph, source, schedule).ok()?;
+                }
+            }
+            AlgoFamily::KCore => {
+                kcore::kcore_on(self.pool, self.graph, schedule).ok()?;
+            }
+        }
+        Some(started.elapsed())
+    }
+}
+
+/// The schedule space the tuner searches for `family` — the per-algorithm
+/// presets of [`ScheduleSpace`] keyed the planner's way.
+pub fn space_for(family: AlgoFamily) -> ScheduleSpace {
+    match family {
+        AlgoFamily::Sssp => ScheduleSpace::sssp_like(),
+        // wBFS pins Δ = 1, so searching Δ would burn trials on aliases of
+        // the same execution; reuse the strict-priority space without the
+        // k-core-only constant-sum strategy.
+        AlgoFamily::Wbfs => {
+            let mut space = ScheduleSpace::kcore_like();
+            space.strategies.retain(|s| {
+                *s != priograph_core::schedule::PriorityUpdateStrategy::LazyConstantSum
+            });
+            space
+        }
+        AlgoFamily::KCore => ScheduleSpace::kcore_like(),
+    }
+}
+
+/// Runs the autotuner for `family` against a resident graph and returns the
+/// winning plan plus the full trial log.
+///
+/// `trials` is the search budget (the paper's §6.2: 30–40 usually suffice);
+/// `seed` makes the search deterministic for a deterministic machine state.
+/// The returned plan carries [`PlanOrigin::Tuned`] and has passed
+/// family-level validation.
+pub fn tune_for_graph(
+    pool: &Pool,
+    graph: &CsrGraph,
+    family: AlgoFamily,
+    trials: usize,
+    seed: u64,
+) -> (QueryPlan, TuneResult) {
+    let evaluator = GraphEvaluator::new(pool, graph, family);
+    let tuner = Autotuner::new(space_for(family)).trials(trials).seed(seed);
+    let result = tuner.tune(|s| evaluator.evaluate(s));
+    let plan = QueryPlan::new(
+        family,
+        result.best.clone(),
+        PlanOrigin::Tuned {
+            trials: result.trials.len() as u32,
+        },
+    );
+    debug_assert!(plan.validate().is_ok(), "tuner found an illegal winner");
+    (plan, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_algorithms::serial::dijkstra;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn evaluator_rejects_illegal_schedules_without_running() {
+        let g = GraphGen::road_grid(6, 6).seed(1).build();
+        let pool = Pool::new(1);
+        let eval = GraphEvaluator::new(&pool, &g, AlgoFamily::Sssp);
+        assert!(eval.evaluate(&Schedule::lazy_constant_sum()).is_none());
+        assert!(eval.evaluate(&Schedule::lazy(0)).is_none());
+        assert!(eval.evaluate(&Schedule::lazy(16)).is_some());
+    }
+
+    #[test]
+    fn tuned_sssp_plan_is_legal_and_correct() {
+        let g = GraphGen::road_grid(10, 10).seed(2).build();
+        let pool = Pool::new(2);
+        let (plan, result) = tune_for_graph(&pool, &g, AlgoFamily::Sssp, 8, 7);
+        assert_eq!(plan.family, AlgoFamily::Sssp);
+        assert!(plan.validate().is_ok());
+        assert!(
+            matches!(plan.origin, PlanOrigin::Tuned { trials } if trials as usize == result.trials.len())
+        );
+        // The winning schedule really executes and matches the reference.
+        let sp = sssp::delta_stepping_on(&pool, &g, 0, &plan.schedule).unwrap();
+        assert_eq!(sp.dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn tuned_kcore_plan_stays_in_the_strict_priority_subspace() {
+        let g = GraphGen::rmat(6, 5).seed(3).build().symmetrize();
+        let pool = Pool::new(2);
+        let (plan, _) = tune_for_graph(&pool, &g, AlgoFamily::KCore, 6, 5);
+        assert_eq!(plan.schedule.delta, 1, "coarsening is illegal for k-core");
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn wbfs_space_excludes_constant_sum_and_coarsening() {
+        let space = space_for(AlgoFamily::Wbfs);
+        assert!(!space
+            .strategies
+            .contains(&priograph_core::schedule::PriorityUpdateStrategy::LazyConstantSum));
+        assert_eq!(space.deltas, vec![1]);
+    }
+
+    #[test]
+    fn sample_sources_are_spread_and_bounded() {
+        assert_eq!(sample_sources(100, 3), vec![16, 50, 83]);
+        assert_eq!(sample_sources(1, 3), vec![0]);
+        assert!(sample_sources(2, 5).iter().all(|&s| s < 2));
+    }
+}

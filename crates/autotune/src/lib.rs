@@ -29,8 +29,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod evaluator;
 mod space;
 mod tuner;
 
+pub use evaluator::{space_for, tune_for_graph, GraphEvaluator};
 pub use space::ScheduleSpace;
 pub use tuner::{Autotuner, TrialRecord, TuneResult};

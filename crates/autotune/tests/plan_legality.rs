@@ -1,0 +1,150 @@
+//! Property tests for the planning layer's legality contract: **every plan
+//! the cache or the tuner can install passes the engine's `ScheduleError`
+//! validation for its algorithm family** — the planner must never
+//! synthesize a documented-unsupported combination from the schedule
+//! support matrix (`docs/ARCHITECTURE.md`).
+//!
+//! Plans reach a cache three ways: heuristic seeding from a
+//! [`GraphProfile`], tuner winners from [`tune_for_graph`], and manifest
+//! restore (which re-validates through the same `PlanCache::install`).
+//! These tests cover the first two generators exhaustively-at-random and
+//! pin the family-level check ([`QueryPlan::validate`]) to the engine-level
+//! check ([`priograph_core::engine::validate`]) it abstracts.
+
+use priograph_autotune::{space_for, tune_for_graph};
+use priograph_core::engine::validate;
+use priograph_core::plan::{AlgoFamily, GraphProfile, PlanOrigin, QueryPlan};
+use priograph_core::prelude::*;
+use priograph_core::udf::DecrementToFloor;
+use priograph_graph::gen::GraphGen;
+use priograph_graph::CsrGraph;
+use priograph_parallel::Pool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family_of(index: u8) -> AlgoFamily {
+    AlgoFamily::ALL[index as usize % AlgoFamily::ALL.len()]
+}
+
+/// The engine-level check a query of `family` would hit at execution time,
+/// with the family's representative problem + UDF — exactly what
+/// `run_ordered_on` validates before running.
+fn engine_accepts(family: AlgoFamily, schedule: &Schedule, graph: &CsrGraph) -> bool {
+    match family {
+        AlgoFamily::Sssp => {
+            let problem = OrderedProblem::lower_first(graph)
+                .allow_coarsening()
+                .init_constant(NULL_PRIORITY)
+                .seed(0, 0);
+            validate(&problem, schedule, &MinPlusWeight).is_ok()
+        }
+        AlgoFamily::Wbfs => {
+            // The wBFS driver pins Δ to 1 before validating, so the engine
+            // sees the delta-1 schedule (same problem family as SSSP).
+            let schedule = schedule.clone().config_apply_priority_update_delta(1);
+            let problem = OrderedProblem::lower_first(graph)
+                .allow_coarsening()
+                .init_constant(NULL_PRIORITY)
+                .seed(0, 0);
+            validate(&problem, &schedule, &MinPlusWeight).is_ok()
+        }
+        AlgoFamily::KCore => {
+            let degrees: Vec<i64> = graph
+                .vertices()
+                .map(|v| graph.out_degree(v) as i64)
+                .collect();
+            let problem = OrderedProblem::lower_first(graph)
+                .init_per_vertex(degrees)
+                .seed_all_finite();
+            validate(&problem, schedule, &DecrementToFloor).is_ok()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Heuristic seeding — the plans a `PlanCache` starts with — is legal
+    /// for every family over arbitrary (including degenerate) profiles.
+    #[test]
+    fn heuristic_plans_pass_engine_validation(
+        vertices in 0usize..2_000_000,
+        edges in 0usize..30_000_000,
+        max_weight in 0i64..(1 << 20),
+        has_coords in proptest::bool::ANY,
+        symmetric in proptest::bool::ANY,
+        family_index in 0u8..3,
+    ) {
+        let profile = GraphProfile {
+            vertices,
+            edges,
+            avg_degree: if vertices == 0 { 0.0 } else { edges as f64 / vertices as f64 },
+            max_weight,
+            has_coords,
+            symmetric,
+        };
+        let family = family_of(family_index);
+        let plan = QueryPlan::heuristic(family, &profile);
+        prop_assert!(plan.validate().is_ok(), "family check failed for {}", plan);
+        let graph = GraphGen::road_grid(4, 4).seed(1).build();
+        prop_assert!(
+            engine_accepts(family, &plan.schedule, &graph),
+            "engine rejected heuristic {}",
+            plan
+        );
+    }
+
+    /// Every schedule the tuner's search space can emit (samples and
+    /// mutation chains), once normalized into a plan, agrees with the
+    /// engine: plan-level Ok implies engine-level Ok. This is the exact
+    /// invariant that lets `PlanCache::install` be the last line of
+    /// defense.
+    #[test]
+    fn family_validation_implies_engine_validation_over_the_search_space(
+        seed in 0u64..10_000,
+        family_index in 0u8..3,
+        mutations in 0usize..6,
+    ) {
+        let family = family_of(family_index);
+        let space = space_for(family);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = space.sample(&mut rng);
+        for _ in 0..mutations {
+            schedule = space.mutate(&schedule, &mut rng);
+        }
+        let plan = QueryPlan::new(family, schedule, PlanOrigin::Tuned { trials: 1 });
+        // The per-family spaces are constructed to stay legal — and the
+        // normalization in QueryPlan::new (Δ pinning) must keep them so.
+        prop_assert!(plan.validate().is_ok(), "space emitted illegal {}", plan);
+        let graph = GraphGen::rmat(5, 4).seed(3).build().symmetrize();
+        prop_assert!(
+            engine_accepts(family, &plan.schedule, &graph),
+            "family check passed but engine rejected {}",
+            plan
+        );
+    }
+
+    /// End-to-end: tuner winners against real graphs are installable and
+    /// engine-legal for every family.
+    #[test]
+    fn tuner_winners_pass_engine_validation(
+        seed in 0u64..1_000,
+        family_index in 0u8..3,
+        road in proptest::bool::ANY,
+    ) {
+        let family = family_of(family_index);
+        let pool = Pool::new(1);
+        let graph = if road {
+            GraphGen::road_grid(5, 5).seed(seed).build()
+        } else {
+            GraphGen::rmat(5, 4).seed(seed).weights_uniform(1, 60).build().symmetrize()
+        };
+        // Small budget: the property is legality, not quality.
+        let (plan, result) = tune_for_graph(&pool, &graph, family, 3, seed);
+        prop_assert!(plan.validate().is_ok(), "tuner installed illegal {}", plan);
+        prop_assert!(engine_accepts(family, &plan.schedule, &graph));
+        prop_assert!(matches!(plan.origin, PlanOrigin::Tuned { .. }));
+        prop_assert!(!result.trials.is_empty());
+    }
+}

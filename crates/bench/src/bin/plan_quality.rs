@@ -1,0 +1,215 @@
+//! Plan-quality comparison: **tuned vs. default vs. client-pinned** plans
+//! over a live loopback server — the measurable claim behind the planning
+//! layer.
+//!
+//! For each workload the same unpinned SSSP query stream is timed three
+//! ways against an in-process `priograph-serve` server:
+//!
+//! * `plan-default` — the heuristic plan seeded from the graph's profile
+//!   (what a fresh server executes with no tuning and no client hints);
+//! * `plan-tuned` — after a wire `TuneGraph` run installed the autotuner's
+//!   winner (paper §5.3/§6.2: 30–40 trials land within 5% of hand-tuned);
+//! * `plan-pinned` — a client-pinned *plausible-but-wrong-family* schedule
+//!   (the road workload pinned to the social-network Δ band and vice
+//!   versa), standing in for the pre-planning world where every client
+//!   guessed its own `WireSchedule`.
+//!
+//! Workloads: a road grid and an R-MAT social graph — the two shapes whose
+//! optimal Δ differs by orders of magnitude (§6.2), so plan choice is
+//! visible, not noise. Emits a `priograph-bench-v1` JSON report
+//! (`BENCH_PR5_PLAN.json` is the committed record).
+//!
+//! ```text
+//! plan_quality --out BENCH_plan_quality.json [--samples 5] [--queries 6]
+//!              [--side 48] [--scale 8] [--budget 16] [--threads 2]
+//! ```
+
+use priograph_bench::record::{median, BenchReport};
+use priograph_graph::gen::GraphGen;
+use priograph_graph::CsrGraph;
+use priograph_serve::client::Client;
+use priograph_serve::protocol::{Query, QueryOp, Response, WireSchedule, WireStrategy};
+use priograph_serve::server::{serve, ServerConfig};
+use std::time::{Duration, Instant};
+
+struct Args {
+    out: std::path::PathBuf,
+    samples: usize,
+    queries: usize,
+    side: usize,
+    scale: u32,
+    budget: u32,
+    threads: usize,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            out: std::path::PathBuf::from("BENCH_plan_quality.json"),
+            samples: 5,
+            queries: 6,
+            side: 48,
+            scale: 8,
+            budget: 16,
+            threads: 2,
+        };
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            let mut take = |what: &str| -> String {
+                argv.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match flag.as_str() {
+                "--out" => args.out = take("--out").into(),
+                "--samples" => args.samples = take("--samples").parse().expect("--samples"),
+                "--queries" => args.queries = take("--queries").parse().expect("--queries"),
+                "--side" => args.side = take("--side").parse().expect("--side"),
+                "--scale" => args.scale = take("--scale").parse().expect("--scale"),
+                "--budget" => args.budget = take("--budget").parse().expect("--budget"),
+                "--threads" => args.threads = take("--threads").parse().expect("--threads"),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --out PATH --samples N --queries N --side N --scale N \
+                         --budget N --threads N"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// The unpinned SSSP stream every configuration answers: deterministic
+/// sources spread across the vertex range.
+fn sssp_stream(n: u32, queries: usize, schedule: WireSchedule) -> Vec<Query> {
+    (0..queries)
+        .map(|i| {
+            let mut q = Query::sssp(((i as u64 * 2 + 1) * n as u64 / (2 * queries as u64)) as u32);
+            q.schedule = schedule;
+            q
+        })
+        .collect()
+}
+
+/// Median wall time to answer `queries` over one connection.
+fn measure_batch(client: &mut Client, queries: &[Query], samples: usize) -> Duration {
+    let run = |client: &mut Client| {
+        let responses = client.batch(queries.to_vec()).expect("batch");
+        assert!(
+            responses.iter().all(|r| matches!(r, Response::DistVec(_))),
+            "all queries must succeed: {responses:?}"
+        );
+    };
+    run(client); // warm-up (sizes engines, faults pages)
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        run(client);
+        timings.push(start.elapsed());
+    }
+    median(&mut timings)
+}
+
+/// Runs the three-way comparison for one workload; returns
+/// `(default, pinned, tuned)` medians.
+fn run_workload(
+    report: &mut BenchReport,
+    name: &str,
+    graph: CsrGraph,
+    pinned: WireSchedule,
+    args: &Args,
+) -> (Duration, Duration, Duration) {
+    let n = graph.num_vertices() as u32;
+    let handle = serve(
+        graph,
+        ServerConfig {
+            threads: args.threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let unpinned = sssp_stream(n, args.queries, WireSchedule::default());
+    let pinned_stream = sssp_stream(n, args.queries, pinned);
+
+    // Order matters: default and pinned are measured BEFORE tuning so the
+    // plan cache still holds the heuristic seed.
+    let default_t = measure_batch(&mut client, &unpinned, args.samples);
+    let pinned_t = measure_batch(&mut client, &pinned_stream, args.samples);
+    let outcome = client
+        .tune_graph(0, QueryOp::Sssp, args.budget)
+        .expect("tune");
+    eprintln!(
+        "{name}: tuned to {} in {} trials (best {}us)",
+        outcome.plan.summary(),
+        outcome.trials_run,
+        outcome.best_cost_micros
+    );
+    let tuned_t = measure_batch(&mut client, &unpinned, args.samples);
+    handle.stop();
+
+    eprintln!(
+        "{name}: default {default_t:.3?}, pinned(wrong-family) {pinned_t:.3?}, \
+         tuned {tuned_t:.3?}"
+    );
+    report.push_with_threads(
+        format!("plan-default/{name}"),
+        default_t,
+        args.samples,
+        args.threads,
+    );
+    report.push_with_threads(
+        format!("plan-pinned/{name}"),
+        pinned_t,
+        args.samples,
+        args.threads,
+    );
+    report.push_with_threads(
+        format!("plan-tuned/{name}"),
+        tuned_t,
+        args.samples,
+        args.threads,
+    );
+    (default_t, pinned_t, tuned_t)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut report = BenchReport::new(args.threads);
+
+    // Road workload: large-Δ territory; the pinned guess is the social
+    // band's Δ (§6.2's mismatch in one direction).
+    let roads = GraphGen::road_grid(args.side, args.side).seed(11).build();
+    run_workload(
+        &mut report,
+        &format!("grid{}", args.side),
+        roads,
+        WireSchedule {
+            strategy: WireStrategy::Lazy,
+            delta: 2,
+        },
+        &args,
+    );
+
+    // Social workload: small-Δ territory; the pinned guess is a road Δ.
+    let social = GraphGen::rmat(args.scale, 8)
+        .seed(13)
+        .weights_uniform(1, 1000)
+        .build();
+    run_workload(
+        &mut report,
+        &format!("rmat{}", args.scale),
+        social,
+        WireSchedule {
+            strategy: WireStrategy::Lazy,
+            delta: 1 << 14,
+        },
+        &args,
+    );
+
+    report.write(&args.out).expect("write report");
+    eprintln!("wrote {}", args.out.display());
+}

@@ -44,6 +44,7 @@
 
 pub mod engine;
 pub mod ir;
+pub mod plan;
 pub mod pq;
 pub mod schedule;
 pub mod stats;
@@ -52,6 +53,7 @@ pub mod vertexset;
 
 mod problem;
 
+pub use plan::{AlgoFamily, GraphProfile, PlanOrigin, QueryPlan};
 pub use problem::{InitPriorities, OrderedOutput, OrderedProblem, Seeds};
 
 /// Convenience re-exports for algorithm authors.

@@ -1,0 +1,417 @@
+//! Per-graph query plans: the server-side unit of schedule selection.
+//!
+//! The paper's headline result is that *schedule choice dominates ordered
+//! algorithm performance* (§6: the same Δ-stepping code spans orders of
+//! magnitude depending on strategy and Δ), and §6.2 gives concrete
+//! graph-shape heuristics — road networks want Δ in 2^13–2^17, social
+//! networks want Δ in 1–100. A [`QueryPlan`] packages that decision: *for
+//! this algorithm family, on this graph, execute with this schedule*.
+//!
+//! Plans are produced three ways, recorded in [`PlanOrigin`]:
+//!
+//! * **Heuristic** — seeded from a [`GraphProfile`] (average degree, weight
+//!   range, coordinates) when a graph becomes resident;
+//! * **Tuned** — installed by the autotuner after measuring real executions
+//!   against the resident graph (paper §5.3 / §6.2);
+//! * **Pinned** — the client forced an explicit schedule for one query,
+//!   bypassing the cache.
+//!
+//! [`QueryPlan::validate`] is the *family-level* legality check: the subset
+//! of [`crate::engine::validate`]'s rules that can be decided from the
+//! algorithm family alone, mirroring the documented schedule support matrix
+//! (`docs/ARCHITECTURE.md`). A planner — cache or tuner — must never
+//! install a plan this check rejects.
+
+use crate::schedule::{Direction, PriorityUpdateStrategy, Schedule, ScheduleError};
+use priograph_graph::CsrGraph;
+use std::fmt;
+
+/// The algorithm families the planning layer distinguishes. Each family has
+/// its own legal schedule subspace (and therefore its own plan cache slot).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AlgoFamily {
+    /// Full single-source shortest paths (Δ-stepping; coarsening legal).
+    Sssp,
+    /// Weighted BFS — Δ-stepping with Δ pinned to 1 by the driver.
+    Wbfs,
+    /// k-core decomposition — strict priority peeling, coarsening illegal,
+    /// the only bundled family whose UDF is a constant-sum update.
+    KCore,
+}
+
+impl AlgoFamily {
+    /// Every family, for iteration (cache seeding, listings).
+    pub const ALL: [AlgoFamily; 3] = [AlgoFamily::Sssp, AlgoFamily::Wbfs, AlgoFamily::KCore];
+
+    /// The scheduling-language-adjacent spelling (`sssp`, `wbfs`, `kcore`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlgoFamily::Sssp => "sssp",
+            AlgoFamily::Wbfs => "wbfs",
+            AlgoFamily::KCore => "kcore",
+        }
+    }
+
+    /// Parses [`AlgoFamily::as_str`] spellings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized spelling.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "sssp" => Ok(AlgoFamily::Sssp),
+            "wbfs" => Ok(AlgoFamily::Wbfs),
+            "kcore" | "k-core" => Ok(AlgoFamily::KCore),
+            other => Err(format!("unknown algorithm family {other:?}")),
+        }
+    }
+
+    /// Whether priority coarsening (Δ > 1) is legal for this family.
+    /// k-core peels under strict priority order (paper §2); wBFS pins Δ to
+    /// 1 by definition, so a coarsened plan would be lying about what runs.
+    pub fn coarsening_allowed(&self) -> bool {
+        matches!(self, AlgoFamily::Sssp)
+    }
+
+    /// Whether the family's UDF is a constant-sum priority update (the
+    /// Figure 10 analysis) — the precondition for `lazy_constant_sum`.
+    pub fn constant_sum(&self) -> bool {
+        matches!(self, AlgoFamily::KCore)
+    }
+}
+
+impl fmt::Display for AlgoFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a plan came from — reported to operators so a `ListGraphs` can
+/// distinguish a seeded guess from a measured winner.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PlanOrigin {
+    /// Seeded from [`GraphProfile`] heuristics when the graph loaded.
+    Heuristic,
+    /// Installed by the autotuner after measured trials on this graph.
+    Tuned {
+        /// Trials the winning search spent.
+        trials: u32,
+    },
+    /// The client pinned an explicit schedule for one query (never cached).
+    Pinned,
+}
+
+impl PlanOrigin {
+    /// Short operator-facing spelling (`heur`, `tuned`, `pin`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlanOrigin::Heuristic => "heur",
+            PlanOrigin::Tuned { .. } => "tuned",
+            PlanOrigin::Pinned => "pin",
+        }
+    }
+}
+
+impl fmt::Display for PlanOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanOrigin::Tuned { trials } => write!(f, "tuned/{trials}"),
+            other => f.write_str(other.as_str()),
+        }
+    }
+}
+
+/// Shape statistics that drive heuristic plan seeding — the quantities the
+/// paper's §6.2 guidance is phrased in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphProfile {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Average out-degree (`edges / vertices`, 0 for the empty graph).
+    pub avg_degree: f64,
+    /// Largest edge weight (0 for an edgeless graph).
+    pub max_weight: i64,
+    /// Whether vertices carry coordinates (road networks do; it is the
+    /// strongest single road-vs-social signal the formats preserve).
+    pub has_coords: bool,
+    /// Whether the graph is symmetric.
+    pub symmetric: bool,
+}
+
+impl GraphProfile {
+    /// Profiles a resident graph. O(1) — every input is a stored property.
+    pub fn of(graph: &CsrGraph) -> GraphProfile {
+        let vertices = graph.num_vertices();
+        let edges = graph.num_edges();
+        GraphProfile {
+            vertices,
+            edges,
+            avg_degree: if vertices == 0 {
+                0.0
+            } else {
+                edges as f64 / vertices as f64
+            },
+            max_weight: graph.max_weight() as i64,
+            has_coords: graph.coords().is_some(),
+            symmetric: graph.is_symmetric(),
+        }
+    }
+
+    /// Whether the profile looks like a road network: coordinates, or the
+    /// mesh-like combination of low degree and a wide weight range.
+    pub fn road_like(&self) -> bool {
+        self.has_coords || (self.avg_degree <= 8.0 && self.max_weight >= 1 << 10)
+    }
+}
+
+/// A complete per-graph execution decision for one algorithm family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryPlan {
+    /// The family the plan serves.
+    pub family: AlgoFamily,
+    /// The schedule queries under this plan execute with.
+    pub schedule: Schedule,
+    /// Where the plan came from.
+    pub origin: PlanOrigin,
+}
+
+impl QueryPlan {
+    /// Builds a plan, normalizing the schedule into the family's legal
+    /// subspace where the driver would anyway (Δ is pinned to 1 for wBFS
+    /// and k-core, so the plan reports what actually runs).
+    pub fn new(family: AlgoFamily, schedule: Schedule, origin: PlanOrigin) -> QueryPlan {
+        let mut schedule = schedule;
+        if !family.coarsening_allowed() {
+            schedule.delta = 1;
+        }
+        QueryPlan {
+            family,
+            schedule,
+            origin,
+        }
+    }
+
+    /// The paper-informed default plan for `family` on a graph shaped like
+    /// `profile` (§6.2: road networks want large Δ, social networks small Δ
+    /// scaled to the weight range; k-core wants the constant-sum histogram).
+    pub fn heuristic(family: AlgoFamily, profile: &GraphProfile) -> QueryPlan {
+        let schedule = match family {
+            AlgoFamily::Sssp => {
+                if profile.road_like() {
+                    Schedule::lazy(1 << 12)
+                } else {
+                    // Social-network Δ in the 1–100 band, scaled to the
+                    // weight range (unit weights collapse to wBFS-like Δ=1).
+                    Schedule::lazy((profile.max_weight / 32).clamp(1, 100))
+                }
+            }
+            AlgoFamily::Wbfs => Schedule::lazy(1),
+            AlgoFamily::KCore => Schedule::lazy_constant_sum(),
+        };
+        QueryPlan::new(family, schedule, PlanOrigin::Heuristic)
+    }
+
+    /// Family-level legality: the subset of [`crate::engine::validate`]
+    /// decidable without a concrete problem/UDF pair, mirroring the schedule
+    /// support matrix. A plan that passes here passes the engine check for
+    /// every query of its family.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        let s = &self.schedule;
+        if s.delta < 1 {
+            return Err(ScheduleError::InvalidDelta { delta: s.delta });
+        }
+        if s.delta > 1 && !self.family.coarsening_allowed() {
+            return Err(ScheduleError::CoarseningNotAllowed { delta: s.delta });
+        }
+        if s.is_eager() && s.direction == Direction::DensePull {
+            return Err(ScheduleError::DensePullRequiresLazy);
+        }
+        if s.priority_update == PriorityUpdateStrategy::EagerWithFusion && s.fusion_threshold == 0 {
+            return Err(ScheduleError::InvalidFusionThreshold);
+        }
+        if s.priority_update == PriorityUpdateStrategy::LazyConstantSum
+            && !self.family.constant_sum()
+        {
+            return Err(ScheduleError::ConstantSumRequired);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}@{} ({})",
+            self.family, self.schedule.priority_update, self.schedule.delta, self.origin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_graph::gen::GraphGen;
+
+    #[test]
+    fn family_spellings_roundtrip() {
+        for family in AlgoFamily::ALL {
+            assert_eq!(AlgoFamily::parse(family.as_str()), Ok(family));
+        }
+        assert_eq!(AlgoFamily::parse("k-core"), Ok(AlgoFamily::KCore));
+        assert!(
+            AlgoFamily::parse("ppsp").is_err(),
+            "no plan family: point \
+                 queries run on the strict-priority serial engine"
+        );
+    }
+
+    #[test]
+    fn profile_reads_shape_signals() {
+        let roads = GraphGen::road_grid(8, 8).seed(1).build();
+        let p = GraphProfile::of(&roads);
+        assert!(p.has_coords && p.road_like() && p.symmetric);
+        assert!((p.avg_degree - (p.edges as f64 / 64.0)).abs() < 1e-12);
+
+        let social = GraphGen::rmat(7, 8).seed(2).weights_uniform(1, 100).build();
+        let p = GraphProfile::of(&social);
+        assert!(!p.has_coords && !p.road_like());
+    }
+
+    #[test]
+    fn heuristics_follow_the_paper_bands() {
+        let roads = GraphProfile::of(&GraphGen::road_grid(8, 8).seed(1).build());
+        let plan = QueryPlan::heuristic(AlgoFamily::Sssp, &roads);
+        assert!(
+            plan.schedule.delta >= 1 << 12,
+            "road Δ band is 2^13–2^17ish"
+        );
+
+        let social = GraphProfile::of(
+            &GraphGen::rmat(7, 8)
+                .seed(2)
+                .weights_uniform(1, 1000)
+                .build(),
+        );
+        let plan = QueryPlan::heuristic(AlgoFamily::Sssp, &social);
+        assert!(
+            (1..=100).contains(&plan.schedule.delta),
+            "social Δ band is 1–100, got {}",
+            plan.schedule.delta
+        );
+
+        let kcore = QueryPlan::heuristic(AlgoFamily::KCore, &social);
+        assert_eq!(
+            kcore.schedule.priority_update,
+            PriorityUpdateStrategy::LazyConstantSum
+        );
+        assert_eq!(
+            QueryPlan::heuristic(AlgoFamily::Wbfs, &roads)
+                .schedule
+                .delta,
+            1
+        );
+    }
+
+    #[test]
+    fn heuristic_plans_always_validate() {
+        // Degenerate profiles included: the seeding path must never hand
+        // the engines an illegal plan.
+        let profiles = [
+            GraphProfile {
+                vertices: 0,
+                edges: 0,
+                avg_degree: 0.0,
+                max_weight: 0,
+                has_coords: false,
+                symmetric: false,
+            },
+            GraphProfile::of(&GraphGen::road_grid(6, 6).seed(3).build()),
+            GraphProfile::of(&GraphGen::rmat(6, 4).seed(4).weights_uniform(1, 7).build()),
+        ];
+        for profile in &profiles {
+            for family in AlgoFamily::ALL {
+                let plan = QueryPlan::heuristic(family, profile);
+                assert!(plan.validate().is_ok(), "{plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_the_documented_illegal_corners() {
+        let coarse_kcore = QueryPlan {
+            family: AlgoFamily::KCore,
+            schedule: Schedule::lazy(8),
+            origin: PlanOrigin::Pinned,
+        };
+        assert!(matches!(
+            coarse_kcore.validate(),
+            Err(ScheduleError::CoarseningNotAllowed { delta: 8 })
+        ));
+        let cs_sssp = QueryPlan {
+            family: AlgoFamily::Sssp,
+            schedule: Schedule::lazy_constant_sum(),
+            origin: PlanOrigin::Pinned,
+        };
+        assert!(matches!(
+            cs_sssp.validate(),
+            Err(ScheduleError::ConstantSumRequired)
+        ));
+        let pull_eager = QueryPlan {
+            family: AlgoFamily::Sssp,
+            schedule: Schedule::eager(4).config_apply_direction(Direction::DensePull),
+            origin: PlanOrigin::Pinned,
+        };
+        assert!(matches!(
+            pull_eager.validate(),
+            Err(ScheduleError::DensePullRequiresLazy)
+        ));
+        let zero_fusion = QueryPlan {
+            family: AlgoFamily::Sssp,
+            schedule: Schedule {
+                fusion_threshold: 0,
+                ..Schedule::eager_with_fusion(2)
+            },
+            origin: PlanOrigin::Pinned,
+        };
+        assert!(matches!(
+            zero_fusion.validate(),
+            Err(ScheduleError::InvalidFusionThreshold)
+        ));
+        let bad_delta = QueryPlan {
+            family: AlgoFamily::Sssp,
+            schedule: Schedule::lazy(0),
+            origin: PlanOrigin::Pinned,
+        };
+        assert!(matches!(
+            bad_delta.validate(),
+            Err(ScheduleError::InvalidDelta { delta: 0 })
+        ));
+    }
+
+    #[test]
+    fn new_normalizes_delta_into_the_family_subspace() {
+        let plan = QueryPlan::new(
+            AlgoFamily::Wbfs,
+            Schedule::lazy(4096),
+            PlanOrigin::Heuristic,
+        );
+        assert_eq!(plan.schedule.delta, 1);
+        let plan = QueryPlan::new(
+            AlgoFamily::KCore,
+            Schedule::lazy_constant_sum(),
+            PlanOrigin::Tuned { trials: 12 },
+        );
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.origin.to_string(), "tuned/12");
+        // Sssp keeps its Δ.
+        let plan = QueryPlan::new(AlgoFamily::Sssp, Schedule::lazy(64), PlanOrigin::Heuristic);
+        assert_eq!(plan.schedule.delta, 64);
+    }
+}

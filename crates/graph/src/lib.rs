@@ -50,7 +50,7 @@ mod storage;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, Edge, Point};
 pub use graph_ref::GraphRef;
-pub use snapshot::{GraphSnapshot, LoadMode, SnapshotError, SnapshotView};
+pub use snapshot::{GraphSnapshot, LoadMode, MapOptions, SnapshotError, SnapshotView};
 
 /// Vertex identifier. Graphs in the evaluation are well below 2^32 vertices.
 pub type VertexId = u32;

@@ -18,12 +18,17 @@
 //! `--verify` the client loads the same graph (via --snapshot/--graph/--gen)
 //! and exits nonzero unless every served distance matches Dijkstra.
 //! `--graph-name` targets a named resident graph (default: the catalog's
-//! graph 0).
+//! graph 0). `tune ALGO [BUDGET]` runs the server-side autotuner against
+//! the target graph and installs the winning plan (visible in `list`'s
+//! plans column).
+//!
+//! Every query path retries **once** when the server answers `Busy`,
+//! sleeping for the reply's `retry_after_ms` hint first.
 
 use priograph_algorithms::serial::dijkstra;
 use priograph_algorithms::UNREACHABLE;
 use priograph_serve::client::Client;
-use priograph_serve::protocol::{GraphId, GraphInfo, Query, Response};
+use priograph_serve::protocol::{GraphId, GraphInfo, Query, QueryOp, Response, WireError};
 use priograph_serve::server::fmt_distance;
 use priograph_serve::spec::GraphSource;
 use std::collections::HashMap;
@@ -77,6 +82,7 @@ fn parse_args() -> Args {
                      \x20      [--random N --seed S --verify]\n\
                      \x20      [--snapshot PATH | --graph PATH | --gen SPEC]\n\
                      commands: stats | list | ppsp SRC DST | sssp SRC\n\
+                     \x20         tune sssp|wbfs|kcore [BUDGET]\n\
                      \x20         load NAME PATH | unload NAME | shutdown"
                 );
                 std::process::exit(0);
@@ -90,6 +96,50 @@ fn parse_args() -> Args {
 fn fail(why: &str) -> ! {
     eprintln!("priograph-client: {why}");
     std::process::exit(2);
+}
+
+/// Runs `op`, and — if the server refused it with `Busy` — honors the
+/// reply's `retry_after_ms` hint and retries exactly once. A second refusal
+/// surfaces to the caller (no retry storms).
+fn retry_once_on_busy<T>(
+    client: &mut Client,
+    mut op: impl FnMut(&mut Client) -> Result<T, WireError>,
+) -> Result<T, WireError> {
+    match op(client) {
+        Err(WireError::Busy {
+            scope,
+            pending,
+            budget,
+            retry_after_ms,
+        }) => {
+            eprintln!(
+                "server busy ({scope}): {pending}/{budget} pending; \
+                 retrying once in {retry_after_ms}ms"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
+            op(client)
+        }
+        other => other,
+    }
+}
+
+/// [`Client::query`] with the in-band `Busy` reply lifted into
+/// [`WireError::Busy`], so [`retry_once_on_busy`] sees it.
+fn query_busy_as_error(client: &mut Client, query: Query) -> Result<Response, WireError> {
+    match client.query(query)? {
+        Response::Busy {
+            scope,
+            pending,
+            budget,
+            retry_after_ms,
+        } => Err(WireError::Busy {
+            scope,
+            pending,
+            budget,
+            retry_after_ms,
+        }),
+        other => Ok(other),
+    }
 }
 
 /// Graph id for the simple query commands: 0 (the constructors' default)
@@ -186,19 +236,26 @@ fn check(query: &Query, response: &Response, dist: &[i64]) -> Result<(), String>
 
 fn print_graph_table(graphs: &[GraphInfo]) {
     println!(
-        "{:>4}  {:<24} {:>12} {:>12} {:>12}  {:<5} {:>10}",
+        "{:>4}  {:<24} {:>12} {:>12} {:>12}  {:<5} {:>10}  plans",
         "id", "name", "vertices", "edges", "resident", "mode", "queries"
     );
     for g in graphs {
+        let plans = g
+            .plans
+            .iter()
+            .map(|p| p.summary())
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "{:>4}  {:<24} {:>12} {:>12} {:>12}  {:<5} {:>10}",
+            "{:>4}  {:<24} {:>12} {:>12} {:>12}  {:<5} {:>10}  {}",
             g.id,
             g.name,
             g.vertices,
             g.edges,
             format!("{:.1}MiB", g.resident_bytes as f64 / (1 << 20) as f64),
             g.mode.as_str(),
-            g.queries
+            g.queries,
+            plans
         );
     }
 }
@@ -216,8 +273,7 @@ fn main() {
         }
         let queries = random_batch(n, info.id, args.random, args.seed);
         let started = std::time::Instant::now();
-        let responses = client
-            .batch(queries.clone())
+        let responses = retry_once_on_busy(&mut client, |c| c.batch(queries.clone()))
             .unwrap_or_else(|e| fail(&format!("batch: {e}")));
         let elapsed = started.elapsed();
         println!(
@@ -268,7 +324,7 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("stats: {e}")));
             println!(
                 "graph0 |V|={} |E|={} threads={} graphs={}\n\
-                 queries={} rounds={} point={} full={} errors={} busy={}",
+                 queries={} rounds={} point={} full={} errors={} busy={} tunes={}",
                 s.num_vertices,
                 s.num_edges,
                 s.threads,
@@ -278,7 +334,8 @@ fn main() {
                 s.point_queries,
                 s.full_queries,
                 s.errors,
-                s.busy_rejections
+                s.busy_rejections,
+                s.tune_runs
             );
         }
         ["list"] => {
@@ -306,11 +363,33 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("unload: {e}")));
             println!("unloaded {name:?}");
         }
+        ["tune", algo] | ["tune", algo, _] => {
+            let graph_id = target_graph_id(&mut client, args.graph_name.as_deref());
+            let algo = QueryOp::parse(algo).unwrap_or_else(|e| fail(&e));
+            let budget = match args.command.get(2) {
+                Some(b) => b
+                    .parse()
+                    .unwrap_or_else(|_| fail("tune budget expects a trial count")),
+                None => 40, // the paper's §6.2: 30–40 trials usually suffice
+            };
+            let outcome = retry_once_on_busy(&mut client, |c| c.tune_graph(graph_id, algo, budget))
+                .unwrap_or_else(|e| fail(&format!("tune: {e}")));
+            println!(
+                "tuned graph {} for {}: installed {} after {} trials (best {}us)",
+                outcome.graph,
+                algo.as_str(),
+                outcome.plan.summary(),
+                outcome.trials_run,
+                outcome.best_cost_micros
+            );
+        }
         ["ppsp", src, dst] => {
             let graph_id = target_graph_id(&mut client, args.graph_name.as_deref());
             let source = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
             let target = dst.parse().unwrap_or_else(|_| fail("bad target vertex"));
-            match client.query(Query::ppsp(source, target).on_graph(graph_id)) {
+            match retry_once_on_busy(&mut client, |c| {
+                query_busy_as_error(c, Query::ppsp(source, target).on_graph(graph_id))
+            }) {
                 Ok(Response::Distance {
                     distance,
                     relaxations,
@@ -327,7 +406,9 @@ fn main() {
         ["sssp", src] => {
             let graph_id = target_graph_id(&mut client, args.graph_name.as_deref());
             let source: u32 = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
-            match client.query(Query::sssp(source).on_graph(graph_id)) {
+            match retry_once_on_busy(&mut client, |c| {
+                query_busy_as_error(c, Query::sssp(source).on_graph(graph_id))
+            }) {
                 Ok(Response::DistVec(dist)) => {
                     let reached = dist.iter().filter(|&&d| d < UNREACHABLE).count();
                     println!("sssp from {source}: {reached}/{} reached", dist.len());

@@ -6,7 +6,14 @@
 //! priograph-server --graph edges.el                  [--threads N]
 //! priograph-server --gen grid:60 --save-snapshot g.snap
 //!                  [--schedule lazy|eager|eager-fusion] [--delta N]
+//!                  [--manifest state.manifest] [--mmap-populate]
+//!                  [--graph-budget N] [--pending-budget N]
 //! ```
+//!
+//! `--manifest` makes residency declarative: wire-loaded graphs and tuned
+//! plans are written to the file on every change and restored at boot.
+//! `--mmap-populate` pre-faults snapshot mappings (`MAP_POPULATE` +
+//! sequential advice) so cold-cache first queries do not stall on page-in.
 //!
 //! Once bound it prints `listening on ADDR` to stdout (scripts wait for
 //! that line) and serves until killed or a client sends the shutdown
@@ -25,6 +32,10 @@ struct Args {
     threads: usize,
     schedule: String,
     delta: Option<i64>,
+    manifest: Option<String>,
+    mmap_populate: bool,
+    pending_budget: Option<usize>,
+    graph_budget: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +48,10 @@ fn parse_args() -> Args {
             .unwrap_or(1),
         schedule: "lazy".to_string(),
         delta: None,
+        manifest: None,
+        mmap_populate: false,
+        pending_budget: None,
+        graph_budget: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -63,11 +78,32 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| fail("--delta expects an integer >= 1")),
                 );
             }
+            "--manifest" => args.manifest = Some(take("--manifest")),
+            "--mmap-populate" => {
+                args.mmap_populate = true;
+                args.source.mmap_populate = true;
+            }
+            "--pending-budget" => {
+                args.pending_budget = Some(
+                    take("--pending-budget")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--pending-budget expects a positive integer")),
+                );
+            }
+            "--graph-budget" => {
+                args.graph_budget = Some(
+                    take("--graph-budget")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--graph-budget expects a positive integer")),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --snapshot PATH | --graph PATH | --gen SPEC (one required)\n\
                      \x20      --listen ADDR  --threads N  --save-snapshot PATH\n\
-                     \x20      --schedule lazy|eager|eager-fusion|lazy-constant-sum  --delta N"
+                     \x20      --schedule lazy|eager|eager-fusion|lazy-constant-sum  --delta N\n\
+                     \x20      --manifest PATH  --mmap-populate\n\
+                     \x20      --pending-budget N (global)  --graph-budget N (per graph)"
                 );
                 std::process::exit(0);
             }
@@ -118,13 +154,18 @@ fn main() {
     let strategy = WireStrategy::parse(&args.schedule).unwrap_or_else(|e| fail(&e));
     let default_schedule = WireSchedule { strategy, delta }.resolve(&Schedule::lazy(delta));
 
+    let defaults = ServerConfig::default();
     let handle = serve(
         graph,
         ServerConfig {
             addr: args.listen.clone(),
             threads: args.threads.max(1),
             default_schedule,
-            ..ServerConfig::default()
+            pending_budget: args.pending_budget.unwrap_or(defaults.pending_budget),
+            graph_pending_budget: args.graph_budget.unwrap_or(defaults.graph_pending_budget),
+            manifest: args.manifest.as_ref().map(std::path::PathBuf::from),
+            mmap_populate: args.mmap_populate,
+            ..defaults
         },
     )
     .unwrap_or_else(|e| fail(&format!("binding {}: {e}", args.listen)));

@@ -13,13 +13,16 @@
 //! flight keep their `Arc` and finish against the evicted graph; the arrays
 //! (and any backing mmap) are released when the last reference drops.
 
+use crate::plan_cache::PlanCache;
 use crate::protocol::{GraphId, GraphInfo};
-use priograph_graph::{CsrGraph, LoadMode, SnapshotView};
+use priograph_core::plan::GraphProfile;
+use priograph_graph::{CsrGraph, LoadMode, MapOptions, SnapshotView};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// One resident graph: the arrays, the k-core twin, and counters.
+/// One resident graph: the arrays, the k-core twin, the plan cache, and
+/// counters.
 #[derive(Debug)]
 pub struct GraphEntry {
     /// Catalog id — what queries carry on the wire.
@@ -32,19 +35,43 @@ pub struct GraphEntry {
     pub mode: LoadMode,
     /// Queries answered against this graph.
     pub queries: AtomicU64,
+    /// Queries admitted but not yet answered against this graph — the
+    /// per-graph admission quota counter (`docs/ARCHITECTURE.md`
+    /// §Admission).
+    pub pending: AtomicU64,
+    /// Installed per-family plans; seeded from [`GraphProfile`] heuristics
+    /// at construction, replaced by `TuneGraph` winners.
+    pub plans: PlanCache,
+    /// Shape statistics the heuristic seeding used.
+    pub profile: GraphProfile,
+    /// The snapshot path backing this entry, when there is one — what the
+    /// catalog manifest persists. Generated/in-process graphs have none
+    /// and are skipped by persistence.
+    pub source_path: Option<String>,
     /// Symmetrized view for k-core, computed on first use (the resident
     /// graph itself is reused when it is already symmetric).
     sym: OnceLock<Arc<CsrGraph>>,
 }
 
 impl GraphEntry {
-    fn new(id: GraphId, name: String, graph: CsrGraph, mode: LoadMode) -> Arc<Self> {
+    fn new(
+        id: GraphId,
+        name: String,
+        graph: CsrGraph,
+        mode: LoadMode,
+        source_path: Option<String>,
+    ) -> Arc<Self> {
+        let profile = GraphProfile::of(&graph);
         Arc::new(GraphEntry {
             id,
             name,
             graph: Arc::new(graph),
             mode,
             queries: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            plans: PlanCache::seeded(&profile),
+            profile,
+            source_path,
             sym: OnceLock::new(),
         })
     }
@@ -62,7 +89,7 @@ impl GraphEntry {
             .clone()
     }
 
-    /// Wire-facing description of this entry.
+    /// Wire-facing description of this entry, installed plans included.
     pub fn info(&self) -> GraphInfo {
         GraphInfo {
             id: self.id,
@@ -72,6 +99,7 @@ impl GraphEntry {
             resident_bytes: self.graph.resident_bytes(),
             mode: self.mode,
             queries: self.queries.load(Ordering::Relaxed),
+            plans: self.plans.wire_plans(),
         }
     }
 }
@@ -108,6 +136,11 @@ impl std::fmt::Display for CatalogError {
 #[derive(Debug, Default)]
 pub struct Catalog {
     inner: Mutex<Inner>,
+    /// Mapping knobs used by [`Catalog::load`] (`--mmap-populate`).
+    map_options: MapOptions,
+    /// Manifest file persisted on every catalog/plan change (`--manifest`);
+    /// `None` disables persistence.
+    manifest: Mutex<Option<std::path::PathBuf>>,
 }
 
 #[derive(Debug, Default)]
@@ -119,14 +152,23 @@ struct Inner {
 impl Catalog {
     /// Builds a catalog holding `graphs` under ids `0..n` in order.
     pub fn new(graphs: Vec<(String, CsrGraph, LoadMode)>) -> Catalog {
-        let catalog = Catalog::default();
+        Catalog::with_options(graphs, MapOptions::default())
+    }
+
+    /// [`Catalog::new`] with explicit snapshot mapping options for later
+    /// wire loads.
+    pub fn with_options(graphs: Vec<(String, CsrGraph, LoadMode)>, options: MapOptions) -> Catalog {
+        let catalog = Catalog {
+            map_options: options,
+            ..Catalog::default()
+        };
         for (name, graph, mode) in graphs {
             let mut inner = catalog.inner.lock().unwrap();
             let id = inner.next_id;
             inner.next_id += 1;
             inner
                 .by_id
-                .insert(id, GraphEntry::new(id, name, graph, mode));
+                .insert(id, GraphEntry::new(id, name, graph, mode, None));
         }
         catalog
     }
@@ -154,19 +196,35 @@ impl Catalog {
         graph: CsrGraph,
         mode: LoadMode,
     ) -> Result<Arc<GraphEntry>, CatalogError> {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.by_id.values().any(|e| e.name == name) {
-            return Err(CatalogError::NameTaken(name.to_string()));
-        }
-        let id = inner.next_id;
-        inner.next_id += 1;
-        let entry = GraphEntry::new(id, name.to_string(), graph, mode);
-        inner.by_id.insert(id, Arc::clone(&entry));
+        self.insert_with_path(name, graph, mode, None)
+    }
+
+    /// [`Catalog::insert`] recording the snapshot path backing the entry
+    /// (which makes it eligible for manifest persistence).
+    pub fn insert_with_path(
+        &self,
+        name: &str,
+        graph: CsrGraph,
+        mode: LoadMode,
+        source_path: Option<String>,
+    ) -> Result<Arc<GraphEntry>, CatalogError> {
+        let entry = {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.by_id.values().any(|e| e.name == name) {
+                return Err(CatalogError::NameTaken(name.to_string()));
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            let entry = GraphEntry::new(id, name.to_string(), graph, mode, source_path);
+            inner.by_id.insert(id, Arc::clone(&entry));
+            entry
+        };
+        self.persist();
         Ok(entry)
     }
 
-    /// Opens `path` as a [`SnapshotView`] (zero-copy for `PSNAPv2`) and
-    /// inserts it under `name`.
+    /// Opens `path` as a [`SnapshotView`] (zero-copy for `PSNAPv2`, mapped
+    /// with the catalog's [`MapOptions`]) and inserts it under `name`.
     ///
     /// # Errors
     ///
@@ -177,9 +235,10 @@ impl Catalog {
         if self.by_name(name).is_some() {
             return Err(CatalogError::NameTaken(name.to_string()));
         }
-        let view = SnapshotView::open(path).map_err(|e| CatalogError::Load(e.to_string()))?;
+        let view = SnapshotView::open_with(path, self.map_options)
+            .map_err(|e| CatalogError::Load(e.to_string()))?;
         let mode = view.mode();
-        self.insert(name, view.into_graph(), mode)
+        self.insert_with_path(name, view.into_graph(), mode, Some(path.to_string()))
     }
 
     /// Removes the graph named `name`. In-flight queries holding the entry
@@ -189,14 +248,18 @@ impl Catalog {
     ///
     /// Unknown names.
     pub fn unload(&self, name: &str) -> Result<Arc<GraphEntry>, CatalogError> {
-        let mut inner = self.inner.lock().unwrap();
-        let id = inner
-            .by_id
-            .values()
-            .find(|e| e.name == name)
-            .map(|e| e.id)
-            .ok_or_else(|| CatalogError::UnknownName(name.to_string()))?;
-        Ok(inner.by_id.remove(&id).expect("id just resolved"))
+        let entry = {
+            let mut inner = self.inner.lock().unwrap();
+            let id = inner
+                .by_id
+                .values()
+                .find(|e| e.name == name)
+                .map(|e| e.id)
+                .ok_or_else(|| CatalogError::UnknownName(name.to_string()))?;
+            inner.by_id.remove(&id).expect("id just resolved")
+        };
+        self.persist();
+        Ok(entry)
     }
 
     /// Every resident entry, ordered by id (stable listing for operators).
@@ -221,6 +284,42 @@ impl Catalog {
     /// this to drop per-graph engines for evicted graphs.
     pub fn contains(&self, id: GraphId) -> bool {
         self.inner.lock().unwrap().by_id.contains_key(&id)
+    }
+
+    /// Attaches a manifest file: every later catalog or plan change is
+    /// persisted to `path`, and — if the file already exists — the graphs
+    /// and tuned plans it records are restored now (skipping names already
+    /// resident, e.g. the startup graph). Restore is deliberately lenient:
+    /// a snapshot that moved or rotted is reported in the
+    /// [`crate::manifest::RestoreReport`], not fatal — a serving process
+    /// must boot with the residency it *can* restore.
+    pub fn attach_manifest(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+    ) -> crate::manifest::RestoreReport {
+        let path = path.into();
+        let report = crate::manifest::restore(self, &path);
+        *self.manifest.lock().unwrap() = Some(path);
+        // Write back immediately so the manifest reflects reality (startup
+        // graphs with paths, entries whose snapshots vanished).
+        self.persist();
+        report
+    }
+
+    /// Rewrites the attached manifest (no-op without one). Failures are
+    /// reported to stderr, never propagated: persistence must not take the
+    /// serving path down.
+    pub fn persist(&self) {
+        let manifest = self.manifest.lock().unwrap();
+        let Some(path) = manifest.as_ref() else {
+            return;
+        };
+        if let Err(e) = crate::manifest::write(self, path) {
+            eprintln!(
+                "priograph-serve: manifest write to {} failed: {e}",
+                path.display()
+            );
+        }
     }
 }
 

@@ -1,7 +1,8 @@
 //! Blocking TCP client for the `priograph-serve` protocol.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorKind, GraphInfo, Query, Request, Response, ServerStats, WireError,
+    read_frame, write_frame, ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response,
+    ServerStats, TuneOutcome, WireError,
 };
 use std::fmt;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -47,7 +48,17 @@ impl fmt::Debug for Client {
 fn unexpected(what: &str, got: Response) -> WireError {
     match got {
         Response::Error { kind, message } => WireError::Remote { kind, message },
-        Response::Busy { pending, budget } => WireError::Busy { pending, budget },
+        Response::Busy {
+            scope,
+            pending,
+            budget,
+            retry_after_ms,
+        } => WireError::Busy {
+            scope,
+            pending,
+            budget,
+            retry_after_ms,
+        },
         other => WireError::Malformed(format!("expected {what}, got {other:?}")),
     }
 }
@@ -172,6 +183,31 @@ impl Client {
         match self.request(&request)? {
             Response::Unloaded => Ok(()),
             other => Err(unexpected("an unloaded acknowledgement", other)),
+        }
+    }
+
+    /// Runs the server-side autotuner for `algo` against graph `graph`
+    /// with the given trial `budget`, installing the winning plan (which
+    /// all subsequent unpinned queries for that graph/algorithm use).
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors, a [`WireError::Busy`] refusal, or a typed
+    /// remote error (`bad-request` for `ppsp`, `unknown-graph`).
+    pub fn tune_graph(
+        &mut self,
+        graph: GraphId,
+        algo: QueryOp,
+        budget: u32,
+    ) -> Result<TuneOutcome, WireError> {
+        let request = Request::TuneGraph {
+            graph,
+            algo,
+            budget,
+        };
+        match self.request(&request)? {
+            Response::Tuned(outcome) => Ok(outcome),
+            other => Err(unexpected("a tune outcome", other)),
         }
     }
 

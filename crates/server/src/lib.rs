@@ -63,12 +63,15 @@
 pub mod batch;
 pub mod catalog;
 pub mod client;
+pub mod manifest;
+pub mod plan_cache;
 pub mod protocol;
 pub mod server;
 pub mod spec;
 
 pub use client::Client;
 pub use protocol::{
-    ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response, ServerStats, WireError,
+    BusyScope, ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response, ServerStats,
+    TuneOutcome, WireError, WirePlan, WirePlanOrigin,
 };
 pub use server::{serve, serve_named, ServerConfig, ServerHandle};

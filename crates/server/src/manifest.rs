@@ -1,0 +1,435 @@
+//! Catalog persistence: a manifest file that makes residency declarative.
+//!
+//! The catalog is otherwise in-memory only — a restart forgets every
+//! wire-loaded graph and every tuned plan. With `--manifest FILE` the
+//! server writes this file on every catalog change (load, unload, plan
+//! install) and replays it at boot, so residency and tuning survive
+//! restarts.
+//!
+//! # Format (`priograph-manifest-v1`)
+//!
+//! Line-oriented UTF-8, one record per line, fields tab-separated; values
+//! are percent-escaped (`%`, tab, CR, LF) so arbitrary graph names and
+//! paths round-trip:
+//!
+//! ```text
+//! priograph-manifest-v1
+//! graph\t<name>\t<snapshot path>
+//! plan\t<name>\t<family>\t<strategy>\t<delta>\t<fusion>\t<buckets>\t<direction>\t<grain>\t<trials>
+//! ```
+//!
+//! Only snapshot-backed entries are recorded (`graph` lines need a path to
+//! reload from; generated or in-process graphs are skipped), and only
+//! **tuned** plans get `plan` lines — heuristic plans are deterministic
+//! functions of the graph and reseed for free at load. Unknown line kinds
+//! are ignored (forward compatibility), malformed lines are reported and
+//! skipped: boot restores what it can.
+
+use crate::catalog::Catalog;
+use priograph_core::plan::{AlgoFamily, PlanOrigin, QueryPlan};
+use priograph_core::schedule::{Direction, Parallelization, PriorityUpdateStrategy, Schedule};
+use std::io::Write;
+use std::path::Path;
+
+/// First line of every manifest; bump on any format change.
+pub const MANIFEST_HEADER: &str = "priograph-manifest-v1";
+
+/// What a [`Catalog::attach_manifest`] restore accomplished.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Graph names loaded from their recorded snapshots.
+    pub loaded: Vec<String>,
+    /// Tuned plans reinstalled, as `(graph, family)` pairs.
+    pub plans: Vec<(String, String)>,
+    /// Records that could not be restored, with the reason — a moved
+    /// snapshot, a name already resident, a malformed line.
+    pub skipped: Vec<(String, String)>,
+}
+
+/// Percent-escapes the characters the line format reserves.
+fn escape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]; unknown or truncated escapes are an error (a
+/// hand-edited manifest should fail loudly per line, not silently corrupt a
+/// graph name).
+fn unescape(field: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(field.len());
+    let bytes = field.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = field
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in {field:?}"))?;
+            let code = u8::from_str_radix(hex, 16)
+                .map_err(|_| format!("bad escape %{hex} in {field:?}"))?;
+            out.push(code as char);
+            i += 3;
+        } else {
+            // Safe: we only split at '%', which is ASCII; push the whole
+            // UTF-8 character.
+            let c = field[i..].chars().next().expect("in-bounds index");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    Ok(out)
+}
+
+fn parse_strategy(text: &str) -> Result<PriorityUpdateStrategy, String> {
+    match text {
+        "eager_with_fusion" => Ok(PriorityUpdateStrategy::EagerWithFusion),
+        "eager_no_fusion" => Ok(PriorityUpdateStrategy::EagerNoFusion),
+        "lazy" => Ok(PriorityUpdateStrategy::Lazy),
+        "lazy_constant_sum" => Ok(PriorityUpdateStrategy::LazyConstantSum),
+        other => Err(format!("unknown strategy {other:?}")),
+    }
+}
+
+fn parse_direction(text: &str) -> Result<Direction, String> {
+    match text {
+        "SparsePush" => Ok(Direction::SparsePush),
+        "DensePull" => Ok(Direction::DensePull),
+        other => Err(format!("unknown direction {other:?}")),
+    }
+}
+
+/// Serializes the catalog's persistable state to manifest lines.
+pub fn render(catalog: &Catalog) -> String {
+    let mut out = String::from(MANIFEST_HEADER);
+    out.push('\n');
+    for entry in catalog.list() {
+        let Some(path) = &entry.source_path else {
+            continue; // nothing to reload this entry from
+        };
+        out.push_str(&format!(
+            "graph\t{}\t{}\n",
+            escape(&entry.name),
+            escape(path)
+        ));
+        for plan in entry.plans.plans() {
+            let PlanOrigin::Tuned { trials } = plan.origin else {
+                continue; // heuristic plans reseed for free at load
+            };
+            let s = &plan.schedule;
+            out.push_str(&format!(
+                "plan\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                escape(&entry.name),
+                plan.family.as_str(),
+                s.priority_update.as_str(),
+                s.delta,
+                s.fusion_threshold,
+                s.num_open_buckets,
+                s.direction.as_str(),
+                s.grain(),
+                trials,
+            ));
+        }
+    }
+    out
+}
+
+/// Writes the manifest atomically (temp file + rename) so a crash mid-write
+/// never leaves a truncated manifest behind.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write(catalog: &Catalog, path: &Path) -> std::io::Result<()> {
+    let rendered = render(catalog);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(rendered.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn parse_plan_line(fields: &[&str]) -> Result<(String, QueryPlan), String> {
+    if fields.len() != 9 {
+        return Err(format!("plan line has {} fields, want 9", fields.len()));
+    }
+    let name = unescape(fields[0])?;
+    let family = AlgoFamily::parse(fields[1])?;
+    let strategy = parse_strategy(fields[2])?;
+    let num = |s: &str, what: &str| -> Result<i64, String> {
+        s.parse().map_err(|_| format!("bad {what} {s:?}"))
+    };
+    // Representation knobs must be strictly positive here: the engines
+    // assert on zero buckets/grain and QueryPlan::validate only covers the
+    // family-level rules, so a corrupt or hand-edited line has to fail at
+    // parse time, per line, loudly.
+    let pos = |s: &str, what: &str| -> Result<usize, String> {
+        match num(s, what)? {
+            v if v >= 1 => Ok(v as usize),
+            v => Err(format!("{what} must be >= 1, got {v}")),
+        }
+    };
+    let delta = num(fields[3], "delta")?;
+    let fusion = pos(fields[4], "fusion threshold")?;
+    let buckets = pos(fields[5], "bucket count")?;
+    let direction = parse_direction(fields[6])?;
+    let grain = pos(fields[7], "grain")?;
+    let trials = u32::try_from(num(fields[8], "trial count")?)
+        .map_err(|_| format!("trial count {:?} out of range", fields[8]))?;
+    let schedule = Schedule {
+        priority_update: strategy,
+        delta,
+        fusion_threshold: fusion,
+        num_open_buckets: buckets,
+        direction,
+        parallelization: Parallelization::DynamicVertex { grain },
+    };
+    Ok((
+        name,
+        QueryPlan::new(family, schedule, PlanOrigin::Tuned { trials }),
+    ))
+}
+
+/// Replays `path` into `catalog`: loads recorded graphs from their
+/// snapshots and reinstalls tuned plans. Missing file → empty report (a
+/// fresh `--manifest` starts blank). Every failure is recorded in the
+/// report, none is fatal.
+pub fn restore(catalog: &Catalog, path: &Path) -> RestoreReport {
+    let mut report = RestoreReport::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return report,
+        Err(e) => {
+            report
+                .skipped
+                .push((path.display().to_string(), format!("read failed: {e}")));
+            return report;
+        }
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        report.skipped.push((
+            path.display().to_string(),
+            format!("missing {MANIFEST_HEADER:?} header"),
+        ));
+        return report;
+    }
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "graph" if fields.len() == 3 => {
+                let (name, snap) = match (unescape(fields[1]), unescape(fields[2])) {
+                    (Ok(n), Ok(p)) => (n, p),
+                    (Err(e), _) | (_, Err(e)) => {
+                        report.skipped.push((line.to_string(), e));
+                        continue;
+                    }
+                };
+                if catalog.by_name(&name).is_some() {
+                    report
+                        .skipped
+                        .push((name, "already resident (startup graph?)".to_string()));
+                    continue;
+                }
+                match catalog.load(&name, &snap) {
+                    Ok(_) => report.loaded.push(name),
+                    Err(e) => report.skipped.push((name, e.to_string())),
+                }
+            }
+            "plan" => match parse_plan_line(&fields[1..]) {
+                Ok((name, plan)) => match catalog.by_name(&name) {
+                    Some(entry) => match entry.plans.install(plan.clone()) {
+                        Ok(()) => report.plans.push((name, plan.family.as_str().to_string())),
+                        Err(e) => report.skipped.push((name, e.to_string())),
+                    },
+                    None => report
+                        .skipped
+                        .push((name, "plan for a graph that did not restore".to_string())),
+                },
+                Err(e) => report.skipped.push((line.to_string(), e)),
+            },
+            // Unknown kinds (future versions) and short lines: skip, note.
+            _ => report
+                .skipped
+                .push((line.to_string(), "unrecognized record".to_string())),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_graph::gen::GraphGen;
+    use priograph_graph::{GraphSnapshot, LoadMode};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    #[test]
+    fn escaping_roundtrips_reserved_characters() {
+        for s in [
+            "plain",
+            "has\ttab",
+            "has\nnewline",
+            "has%percent",
+            "mix%\t\r\n%09",
+        ] {
+            let escaped = escape(s);
+            assert!(!escaped.contains('\t') && !escaped.contains('\n'));
+            assert_eq!(unescape(&escaped).unwrap(), s);
+        }
+        assert!(unescape("truncated%2").is_err());
+        assert!(unescape("bad%zz").is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrips_graphs_and_tuned_plans() {
+        let g = GraphGen::road_grid(6, 6).seed(2).build();
+        let snap = temp_path("priograph_manifest_rt.snap");
+        GraphSnapshot::write(&g, &snap).unwrap();
+
+        // Source catalog: one snapshot-backed graph with a tuned plan, one
+        // in-process graph (not persistable).
+        let catalog = Catalog::default();
+        let entry = catalog.load("roads", snap.to_str().unwrap()).unwrap();
+        catalog
+            .insert("ephemeral", GraphGen::path(4).build(), LoadMode::Owned)
+            .unwrap();
+        let tuned = QueryPlan::new(
+            AlgoFamily::Sssp,
+            Schedule::eager_with_fusion(128),
+            PlanOrigin::Tuned { trials: 17 },
+        );
+        entry.plans.install(tuned.clone()).unwrap();
+
+        let manifest = temp_path("priograph_manifest_rt.manifest");
+        write(&catalog, &manifest).unwrap();
+
+        // Fresh catalog restores the snapshot-backed entry and its plan.
+        let restored = Catalog::default();
+        let report = restore(&restored, &manifest);
+        assert_eq!(report.loaded, vec!["roads".to_string()]);
+        assert_eq!(
+            report.plans,
+            vec![("roads".to_string(), "sssp".to_string())]
+        );
+        assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+        assert!(
+            restored.by_name("ephemeral").is_none(),
+            "no path, no restore"
+        );
+        let entry = restored.by_name("roads").unwrap();
+        assert_eq!(entry.plans.plan_for(AlgoFamily::Sssp), tuned);
+        assert_eq!(entry.graph.edge_triples(), g.edge_triples());
+
+        let _ = std::fs::remove_file(&snap);
+        let _ = std::fs::remove_file(&manifest);
+    }
+
+    #[test]
+    fn restore_is_lenient_about_rot() {
+        let manifest = temp_path("priograph_manifest_rot.manifest");
+        std::fs::write(
+            &manifest,
+            format!(
+                "{MANIFEST_HEADER}\n\
+                 graph\tgone\t/nonexistent/file.snap\n\
+                 plan\tgone\tsssp\tlazy\t8\t1000\t128\tSparsePush\t64\t5\n\
+                 plan\tbroken\tnot-a-family\tlazy\t8\t1000\t128\tSparsePush\t64\t5\n\
+                 future-record\twhatever\n"
+            ),
+        )
+        .unwrap();
+        let catalog = Catalog::default();
+        let report = restore(&catalog, &manifest);
+        assert!(report.loaded.is_empty() && report.plans.is_empty());
+        assert_eq!(report.skipped.len(), 4);
+        assert!(catalog.is_empty());
+        let _ = std::fs::remove_file(&manifest);
+    }
+
+    #[test]
+    fn non_positive_representation_knobs_are_rejected_per_line() {
+        // The engines assert on zero buckets/grain; a corrupt manifest must
+        // fail at parse time, not panic (or abort via a negative-to-usize
+        // wrap) on the dispatcher at query time.
+        let manifest = temp_path("priograph_manifest_badknobs.manifest");
+        std::fs::write(
+            &manifest,
+            format!(
+                "{MANIFEST_HEADER}\n\
+                 plan\tg\tsssp\tlazy\t8\t1000\t0\tSparsePush\t64\t5\n\
+                 plan\tg\tsssp\tlazy\t8\t-1\t128\tSparsePush\t64\t5\n\
+                 plan\tg\tsssp\tlazy\t8\t1000\t128\tSparsePush\t-3\t5\n\
+                 plan\tg\tsssp\tlazy\t8\t1000\t128\tSparsePush\t64\t-5\n"
+            ),
+        )
+        .unwrap();
+        let catalog = Catalog::default();
+        let report = restore(&catalog, &manifest);
+        assert_eq!(report.skipped.len(), 4, "{:?}", report.skipped);
+        assert!(report.plans.is_empty());
+        let _ = std::fs::remove_file(&manifest);
+    }
+
+    #[test]
+    fn missing_manifest_is_a_clean_fresh_start() {
+        let catalog = Catalog::default();
+        let report = restore(
+            &catalog,
+            &temp_path("priograph_manifest_never_written.manifest"),
+        );
+        assert_eq!(report, RestoreReport::default());
+    }
+
+    #[test]
+    fn attach_manifest_persists_later_changes() {
+        let g = GraphGen::road_grid(5, 5).seed(3).build();
+        let snap = temp_path("priograph_manifest_attach.snap");
+        GraphSnapshot::write(&g, &snap).unwrap();
+        let manifest = temp_path("priograph_manifest_attach.manifest");
+        let _ = std::fs::remove_file(&manifest);
+
+        let catalog = Catalog::default();
+        let report = catalog.attach_manifest(&manifest);
+        assert_eq!(report, RestoreReport::default());
+        catalog.load("roads", snap.to_str().unwrap()).unwrap();
+        // The load persisted: a second catalog restores it.
+        let rebooted = Catalog::default();
+        let report = rebooted.attach_manifest(&manifest);
+        assert_eq!(report.loaded, vec!["roads".to_string()]);
+
+        // Unload persists too.
+        catalog.unload("roads").unwrap();
+        let rebooted = Catalog::default();
+        assert!(rebooted.attach_manifest(&manifest).loaded.is_empty());
+
+        let _ = std::fs::remove_file(&snap);
+        let _ = std::fs::remove_file(&manifest);
+    }
+
+    #[test]
+    fn malformed_header_is_reported_not_fatal() {
+        let manifest = temp_path("priograph_manifest_badheader.manifest");
+        std::fs::write(&manifest, "some-other-format\n").unwrap();
+        let catalog = Catalog::default();
+        let report = restore(&catalog, &manifest);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].1.contains("header"));
+        let _ = std::fs::remove_file(&manifest);
+    }
+}

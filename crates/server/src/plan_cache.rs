@@ -1,0 +1,158 @@
+//! The per-graph plan cache: the serving half of the planning layer.
+//!
+//! Before this layer existed the server executed whatever `WireSchedule`
+//! each client guessed, per query, with no memory — the paper's headline
+//! result (schedule choice dominates ordered-algorithm performance, §6)
+//! applied to every query and nobody was in charge of it. A [`PlanCache`]
+//! gives each resident graph one installed [`QueryPlan`] per plannable
+//! [`AlgoFamily`]:
+//!
+//! * seeded with paper-informed **heuristics** from the graph's
+//!   [`GraphProfile`] (avg degree, weight range, coordinates — §6.2's
+//!   road-vs-social Δ bands) the moment the graph becomes resident;
+//! * replaced by **tuned** plans when a `TuneGraph` request runs the
+//!   autotuner against the resident graph;
+//! * bypassed per query when the client **pins** an explicit schedule.
+//!
+//! Installation validates: the cache refuses any plan that fails
+//! family-level legality ([`QueryPlan::validate`]), so the planning layer
+//! can never hand the engines a documented-unsupported combination
+//! (property-tested in `crates/autotune/tests/plan_legality.rs`).
+
+use crate::protocol::WirePlan;
+use priograph_core::plan::{AlgoFamily, GraphProfile, QueryPlan};
+use priograph_core::schedule::ScheduleError;
+use std::sync::Mutex;
+
+/// Installed plans for one resident graph, one slot per plannable family.
+///
+/// Lookups clone (schedules are a few words); the mutex is uncontended in
+/// steady state — the dispatcher is the only writer and reads happen once
+/// per query round, not per vertex.
+#[derive(Debug)]
+pub struct PlanCache {
+    slots: Mutex<Vec<QueryPlan>>,
+}
+
+impl PlanCache {
+    /// Seeds a cache for a graph shaped like `profile` with the heuristic
+    /// plan of every plannable family.
+    pub fn seeded(profile: &GraphProfile) -> PlanCache {
+        PlanCache {
+            slots: Mutex::new(
+                AlgoFamily::ALL
+                    .iter()
+                    .map(|&family| QueryPlan::heuristic(family, profile))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The installed plan for `family` (always present: seeding covers
+    /// every family).
+    pub fn plan_for(&self, family: AlgoFamily) -> QueryPlan {
+        self.slots
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|p| p.family == family)
+            .cloned()
+            .expect("seeded cache covers every family")
+    }
+
+    /// Installs `plan` in its family's slot, replacing the previous plan.
+    ///
+    /// # Errors
+    ///
+    /// Refuses plans that fail family-level validation — the cache is the
+    /// last line of defense against a planner synthesizing a
+    /// documented-unsupported combination.
+    pub fn install(&self, plan: QueryPlan) -> Result<(), ScheduleError> {
+        plan.validate()?;
+        let mut slots = self.slots.lock().unwrap();
+        match slots.iter_mut().find(|p| p.family == plan.family) {
+            Some(slot) => *slot = plan,
+            None => slots.push(plan),
+        }
+        Ok(())
+    }
+
+    /// Every installed plan, in [`AlgoFamily::ALL`] order.
+    pub fn plans(&self) -> Vec<QueryPlan> {
+        let slots = self.slots.lock().unwrap();
+        AlgoFamily::ALL
+            .iter()
+            .filter_map(|&family| slots.iter().find(|p| p.family == family).cloned())
+            .collect()
+    }
+
+    /// Wire projection of every installed plan (for `GraphInfo`).
+    pub fn wire_plans(&self) -> Vec<WirePlan> {
+        self.plans().iter().map(WirePlan::of_plan).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priograph_core::plan::PlanOrigin;
+    use priograph_core::schedule::{PriorityUpdateStrategy, Schedule};
+
+    fn social_profile() -> GraphProfile {
+        GraphProfile {
+            vertices: 1 << 12,
+            edges: 1 << 15,
+            avg_degree: 8.0,
+            max_weight: 1000,
+            has_coords: false,
+            symmetric: false,
+        }
+    }
+
+    #[test]
+    fn seeded_cache_covers_every_family_with_legal_plans() {
+        let cache = PlanCache::seeded(&social_profile());
+        let plans = cache.plans();
+        assert_eq!(plans.len(), AlgoFamily::ALL.len());
+        for plan in &plans {
+            assert!(plan.validate().is_ok(), "{plan}");
+            assert_eq!(plan.origin, PlanOrigin::Heuristic);
+        }
+        assert_eq!(
+            cache.plan_for(AlgoFamily::KCore).schedule.priority_update,
+            PriorityUpdateStrategy::LazyConstantSum
+        );
+    }
+
+    #[test]
+    fn install_replaces_and_validates() {
+        let cache = PlanCache::seeded(&social_profile());
+        let tuned = QueryPlan::new(
+            AlgoFamily::Sssp,
+            Schedule::eager_with_fusion(64),
+            PlanOrigin::Tuned { trials: 12 },
+        );
+        cache.install(tuned.clone()).unwrap();
+        assert_eq!(cache.plan_for(AlgoFamily::Sssp), tuned);
+        // Still one slot per family.
+        assert_eq!(cache.plans().len(), AlgoFamily::ALL.len());
+
+        // An illegal plan is refused and the slot keeps the previous plan.
+        let illegal = QueryPlan {
+            family: AlgoFamily::Sssp,
+            schedule: Schedule::lazy_constant_sum(),
+            origin: PlanOrigin::Tuned { trials: 1 },
+        };
+        assert!(cache.install(illegal).is_err());
+        assert_eq!(cache.plan_for(AlgoFamily::Sssp), tuned);
+    }
+
+    #[test]
+    fn wire_projection_matches_installed_plans() {
+        let cache = PlanCache::seeded(&social_profile());
+        let wire = cache.wire_plans();
+        assert_eq!(wire.len(), AlgoFamily::ALL.len());
+        let sssp = cache.plan_for(AlgoFamily::Sssp);
+        assert_eq!(wire[0].delta, sssp.schedule.delta);
+    }
+}

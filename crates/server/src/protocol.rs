@@ -13,24 +13,30 @@
 //! JSON is (no crates.io access, so no serde), and the decoder accepts
 //! exactly the subset the encoder produces.
 //!
-//! Protocol **version 2** (this one) made the server multi-tenant: every
-//! query carries a graph id, the catalog messages (`LoadGraph` /
-//! `UnloadGraph` / `ListGraphs`) manage named resident graphs, errors are
-//! typed ([`ErrorKind`]), and [`Response::Busy`] is the backpressure reply.
-//! A version-1 peer receives a v1-compatible in-band error (see
-//! [`legacy_v1_error_payload`]) telling it to upgrade.
+//! Protocol **version 3** (this one) made schedule selection a server-side
+//! decision: [`Request::TuneGraph`] runs the autotuner against a resident
+//! graph and installs the winning [`WirePlan`], [`GraphInfo`] reports each
+//! graph's installed plans, and [`Response::Busy`] carries a
+//! `retry_after_ms` hint plus the [`BusyScope`] (per-graph quota vs. global
+//! budget) that refused the request. Version 2 introduced multi-tenancy:
+//! graph ids on queries, the catalog messages (`LoadGraph` / `UnloadGraph` /
+//! `ListGraphs`), typed errors ([`ErrorKind`]). Lower-version peers receive
+//! an in-band error *shaped in their own version* (see
+//! [`legacy_error_payload`]) telling them to upgrade, then the connection
+//! closes.
 //!
 //! Frames are capped at [`MAX_FRAME_LEN`]; a peer announcing a larger frame
 //! is rejected before any allocation, so a corrupt or hostile length prefix
 //! cannot OOM the server.
 
-use priograph_core::schedule::Schedule;
+use priograph_core::plan::{AlgoFamily, PlanOrigin, QueryPlan};
+use priograph_core::schedule::{PriorityUpdateStrategy, Schedule};
 use priograph_graph::LoadMode;
 use std::fmt;
 use std::io::{Read, Write};
 
 /// Protocol version carried in every frame. Bump on any wire change.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Hard cap on a frame payload (64 MiB) — larger than any distance vector
 /// the bundled workloads produce, small enough to bound a malicious peer.
@@ -67,13 +73,17 @@ pub enum WireError {
         /// Human-readable detail.
         message: String,
     },
-    /// The server refused the request over its pending-query budget; retry
-    /// after in-flight work drains (see `docs/PROTOCOL.md` §Backpressure).
+    /// The server refused the request over an admission budget; retry after
+    /// `retry_after_ms` (see `docs/PROTOCOL.md` §Backpressure).
     Busy {
-        /// Queries currently pending server-side.
+        /// Which admission budget refused the request.
+        scope: BusyScope,
+        /// Queries currently pending against that budget.
         pending: u64,
-        /// The server's pending-query budget.
+        /// The refusing budget's capacity.
         budget: u64,
+        /// The server's drain estimate: retrying sooner is likely wasted.
+        retry_after_ms: u64,
     },
 }
 
@@ -92,8 +102,17 @@ impl fmt::Display for WireError {
             }
             WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
             WireError::Remote { kind, message } => write!(f, "server error ({kind}): {message}"),
-            WireError::Busy { pending, budget } => {
-                write!(f, "server busy: {pending} pending of a {budget} budget")
+            WireError::Busy {
+                scope,
+                pending,
+                budget,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "server busy ({scope}): {pending} pending of a {budget} budget, \
+                     retry after {retry_after_ms}ms"
+                )
             }
         }
     }
@@ -222,6 +241,55 @@ impl QueryOp {
             other => Err(malformed(format!("unknown query op {other}"))),
         }
     }
+
+    /// The plannable algorithm family behind this op, or `None` for PPSP —
+    /// point queries run on the strict-priority serial engine, which has no
+    /// schedule knobs to plan (it is the Δ → 0 limit of every plan).
+    pub fn family(self) -> Option<AlgoFamily> {
+        match self {
+            QueryOp::Ppsp => None,
+            QueryOp::Sssp => Some(AlgoFamily::Sssp),
+            QueryOp::Wbfs => Some(AlgoFamily::Wbfs),
+            QueryOp::KCore => Some(AlgoFamily::KCore),
+        }
+    }
+
+    /// The op whose plan-cache slot serves `family` queries.
+    pub fn from_family(family: AlgoFamily) -> QueryOp {
+        match family {
+            AlgoFamily::Sssp => QueryOp::Sssp,
+            AlgoFamily::Wbfs => QueryOp::Wbfs,
+            AlgoFamily::KCore => QueryOp::KCore,
+        }
+    }
+
+    /// The lowercase command/wire spelling (`ppsp`, or the family's
+    /// spelling — one table, owned by [`AlgoFamily`]).
+    pub fn as_str(self) -> &'static str {
+        match self.family() {
+            None => "ppsp",
+            Some(family) => family.as_str(),
+        }
+    }
+
+    /// Parses [`QueryOp::as_str`] spellings (plus [`AlgoFamily::parse`]'s
+    /// aliases, e.g. `k-core`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized spelling.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text == "ppsp" {
+            return Ok(QueryOp::Ppsp);
+        }
+        AlgoFamily::parse(text).map(QueryOp::from_family)
+    }
+}
+
+impl fmt::Display for QueryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Bucket strategy requested for a query, mirroring
@@ -280,6 +348,29 @@ impl WireStrategy {
             other => Err(format!("unknown schedule {other:?}")),
         }
     }
+
+    /// The wire spelling of a concrete engine strategy (never
+    /// `ServerDefault`) — how installed plans project onto the wire.
+    pub fn of_strategy(strategy: PriorityUpdateStrategy) -> WireStrategy {
+        match strategy {
+            PriorityUpdateStrategy::Lazy => WireStrategy::Lazy,
+            PriorityUpdateStrategy::EagerNoFusion => WireStrategy::Eager,
+            PriorityUpdateStrategy::EagerWithFusion => WireStrategy::EagerFusion,
+            PriorityUpdateStrategy::LazyConstantSum => WireStrategy::LazyConstantSum,
+        }
+    }
+
+    /// Short listing spelling (`default`, `lazy`, `eager`, `eager+f`,
+    /// `lazy-cs`) for the client's graph table.
+    pub fn short_str(self) -> &'static str {
+        match self {
+            WireStrategy::ServerDefault => "default",
+            WireStrategy::Lazy => "lazy",
+            WireStrategy::Eager => "eager",
+            WireStrategy::EagerFusion => "eager+f",
+            WireStrategy::LazyConstantSum => "lazy-cs",
+        }
+    }
 }
 
 /// Schedule selection carried by a query: a strategy plus Δ (`0` = keep the
@@ -313,6 +404,185 @@ impl WireSchedule {
 /// the server was started with (named `default` unless renamed); ids are
 /// assigned at `LoadGraph` time and never reused within a server's life.
 pub type GraphId = u32;
+
+/// Which admission budget refused a request with [`Response::Busy`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BusyScope {
+    /// The server-wide pending budget (every graph is saturated).
+    Global,
+    /// One graph's admission quota; other graphs are still admitting — a
+    /// client holding work for several graphs should keep submitting the
+    /// rest (per-graph fairness, `docs/ARCHITECTURE.md` §Admission).
+    Graph(GraphId),
+}
+
+impl BusyScope {
+    fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            BusyScope::Global => {
+                out.push(0);
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+            BusyScope::Graph(id) => {
+                out.push(1);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        let id = r.u32()?;
+        match tag {
+            0 => Ok(BusyScope::Global),
+            1 => Ok(BusyScope::Graph(id)),
+            other => Err(malformed(format!("unknown busy scope {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for BusyScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusyScope::Global => f.write_str("global budget"),
+            BusyScope::Graph(id) => write!(f, "graph {id} quota"),
+        }
+    }
+}
+
+/// Provenance of a [`WirePlan`], mirroring
+/// [`priograph_core::plan::PlanOrigin`] on the wire.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WirePlanOrigin {
+    /// Seeded from graph-shape heuristics at load time.
+    Heuristic,
+    /// Installed by a `TuneGraph` run; carries the trial count spent.
+    Tuned {
+        /// Trials the winning search spent.
+        trials: u32,
+    },
+}
+
+impl WirePlanOrigin {
+    /// Short listing spelling (`heur` / `tuned/N`).
+    pub fn short_string(self) -> String {
+        match self {
+            WirePlanOrigin::Heuristic => "heur".to_string(),
+            WirePlanOrigin::Tuned { trials } => format!("tuned/{trials}"),
+        }
+    }
+}
+
+/// One installed per-graph plan as reported by [`GraphInfo`] and
+/// [`Response::Tuned`]: the wire projection of a
+/// [`priograph_core::plan::QueryPlan`] (strategy and Δ; the representation
+/// knobs — fusion threshold, bucket count, grain — stay server-side, same
+/// as they are inexpressible in a [`WireSchedule`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WirePlan {
+    /// The algorithm family the plan serves, as its query op.
+    pub algo: QueryOp,
+    /// Engine strategy queries under this plan run with.
+    pub strategy: WireStrategy,
+    /// Coarsening factor Δ.
+    pub delta: i64,
+    /// Where the plan came from.
+    pub origin: WirePlanOrigin,
+}
+
+/// Encoded size of one [`WirePlan`]: algo + strategy + delta + origin tag +
+/// trials.
+const WIRE_PLAN_LEN: usize = 1 + 1 + 8 + 1 + 4;
+
+impl WirePlan {
+    /// Projects an installed core plan onto the wire.
+    pub fn of_plan(plan: &QueryPlan) -> WirePlan {
+        WirePlan {
+            algo: QueryOp::from_family(plan.family),
+            strategy: WireStrategy::of_strategy(plan.schedule.priority_update),
+            delta: plan.schedule.delta,
+            origin: match plan.origin {
+                PlanOrigin::Tuned { trials } => WirePlanOrigin::Tuned { trials },
+                // Pinned plans never reach a cache/listing; anything else
+                // reads as the seeded default.
+                PlanOrigin::Heuristic | PlanOrigin::Pinned => WirePlanOrigin::Heuristic,
+            },
+        }
+    }
+
+    /// Compact listing form, e.g. `sssp:lazy@4096(tuned/24)`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}:{}@{}({})",
+            self.algo.as_str(),
+            self.strategy.short_str(),
+            self.delta,
+            self.origin.short_string()
+        )
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.algo.to_u8());
+        out.push(self.strategy.to_u8());
+        out.extend_from_slice(&self.delta.to_le_bytes());
+        let (tag, trials) = match self.origin {
+            WirePlanOrigin::Heuristic => (0u8, 0u32),
+            WirePlanOrigin::Tuned { trials } => (1u8, trials),
+        };
+        out.push(tag);
+        out.extend_from_slice(&trials.to_le_bytes());
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        let algo = QueryOp::from_u8(r.u8()?)?;
+        let strategy = WireStrategy::from_u8(r.u8()?)?;
+        let delta = r.i64()?;
+        let tag = r.u8()?;
+        let trials = r.u32()?;
+        let origin = match tag {
+            0 => WirePlanOrigin::Heuristic,
+            1 => WirePlanOrigin::Tuned { trials },
+            other => return Err(malformed(format!("unknown plan origin {other}"))),
+        };
+        Ok(WirePlan {
+            algo,
+            strategy,
+            delta,
+            origin,
+        })
+    }
+}
+
+/// Result of a [`Request::TuneGraph`] run, carried by [`Response::Tuned`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TuneOutcome {
+    /// The graph the plan was installed on.
+    pub graph: GraphId,
+    /// The installed winning plan.
+    pub plan: WirePlan,
+    /// Trials the search executed (= the budget unless the time cap hit).
+    pub trials_run: u32,
+    /// Measured cost of the winning schedule, in microseconds.
+    pub best_cost_micros: u64,
+}
+
+impl TuneOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.graph.to_le_bytes());
+        self.plan.encode(out);
+        out.extend_from_slice(&self.trials_run.to_le_bytes());
+        out.extend_from_slice(&self.best_cost_micros.to_le_bytes());
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        Ok(TuneOutcome {
+            graph: r.u32()?,
+            plan: WirePlan::decode(r)?,
+            trials_run: r.u32()?,
+            best_cost_micros: r.u64()?,
+        })
+    }
+}
 
 /// Encoded size of one [`Query`]: op + graph + source + target + strategy +
 /// delta.
@@ -367,18 +637,16 @@ impl Query {
         }
     }
 
-    /// A k-core query (always runs `lazy_constant_sum`-compatible peeling),
-    /// on graph 0.
+    /// A k-core query on graph 0, unpinned: it runs under the graph's
+    /// installed plan (the heuristic seed is `lazy_constant_sum`, the
+    /// paper's preferred k-core schedule; a tuned plan replaces it).
     pub fn kcore() -> Self {
         Query {
             op: QueryOp::KCore,
             graph: 0,
             source: 0,
             target: 0,
-            schedule: WireSchedule {
-                strategy: WireStrategy::LazyConstantSum,
-                delta: 0,
-            },
+            schedule: WireSchedule::default(),
         }
     }
 
@@ -439,6 +707,21 @@ pub enum Request {
     },
     /// List every resident graph; answered with [`Response::GraphList`].
     ListGraphs,
+    /// Run the autotuner for one algorithm family against a resident graph
+    /// on the server's own pool, install the winning plan in the graph's
+    /// plan cache, and answer with [`Response::Tuned`]. All subsequent
+    /// queries for that (graph, family) execute under the installed plan
+    /// unless the client pins an explicit schedule.
+    TuneGraph {
+        /// The resident graph to tune against.
+        graph: GraphId,
+        /// The algorithm family to tune (`Ppsp` is rejected: point queries
+        /// run on the strict-priority serial engine, which has no plan).
+        algo: QueryOp,
+        /// Trial budget for the search (the paper's §6.2: 30–40 usually
+        /// suffice; CI smoke runs use single digits).
+        budget: u32,
+    },
 }
 
 impl Request {
@@ -470,6 +753,16 @@ impl Request {
                 encode_str(name, &mut out);
             }
             Request::ListGraphs => out.push(6),
+            Request::TuneGraph {
+                graph,
+                algo,
+                budget,
+            } => {
+                out.push(7);
+                out.extend_from_slice(&graph.to_le_bytes());
+                out.push(algo.to_u8());
+                out.extend_from_slice(&budget.to_le_bytes());
+            }
         }
         out
     }
@@ -501,6 +794,11 @@ impl Request {
                 name: r.string(MAX_NAME_LEN, "graph name")?,
             },
             6 => Request::ListGraphs,
+            7 => Request::TuneGraph {
+                graph: r.u32()?,
+                algo: QueryOp::from_u8(r.u8()?)?,
+                budget: r.u32()?,
+            },
             other => return Err(malformed(format!("unknown request tag {other}"))),
         };
         r.finish()?;
@@ -529,8 +827,11 @@ pub struct ServerStats {
     pub errors: u64,
     /// Graphs currently resident in the catalog.
     pub graphs: u64,
-    /// Requests refused with [`Response::Busy`] over the pending budget.
+    /// Requests refused with [`Response::Busy`] over an admission budget
+    /// (global or per-graph).
     pub busy_rejections: u64,
+    /// `TuneGraph` runs completed (each installed a plan).
+    pub tune_runs: u64,
 }
 
 impl ServerStats {
@@ -546,6 +847,7 @@ impl ServerStats {
             self.errors,
             self.graphs,
             self.busy_rejections,
+            self.tune_runs,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -563,6 +865,7 @@ impl ServerStats {
             errors: r.u64()?,
             graphs: r.u64()?,
             busy_rejections: r.u64()?,
+            tune_runs: r.u64()?,
         })
     }
 }
@@ -585,11 +888,14 @@ pub struct GraphInfo {
     pub mode: LoadMode,
     /// Queries answered against this graph so far.
     pub queries: u64,
+    /// Installed plans, one per plannable family (op order) — the schedule
+    /// unpinned queries for this graph execute under.
+    pub plans: Vec<WirePlan>,
 }
 
 /// Minimum encoded size of a [`GraphInfo`]: id + empty name + four u64
-/// counters + the mode byte.
-const GRAPH_INFO_MIN_WIRE_LEN: usize = 4 + 8 + 8 + 8 + 8 + 1 + 8;
+/// counters + the mode byte + an empty plan vector.
+const GRAPH_INFO_MIN_WIRE_LEN: usize = 4 + 8 + 8 + 8 + 8 + 1 + 8 + 8;
 
 impl GraphInfo {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -603,6 +909,10 @@ impl GraphInfo {
             LoadMode::Mapped => 1,
         });
         out.extend_from_slice(&self.queries.to_le_bytes());
+        out.extend_from_slice(&(self.plans.len() as u64).to_le_bytes());
+        for plan in &self.plans {
+            plan.encode(out);
+        }
     }
 
     fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
@@ -618,7 +928,21 @@ impl GraphInfo {
                 other => return Err(malformed(format!("unknown load mode {other}"))),
             },
             queries: r.u64()?,
+            plans: {
+                let count = r.len_prefix(WIRE_PLAN_LEN)?;
+                let mut plans = Vec::with_capacity(count);
+                for _ in 0..count {
+                    plans.push(WirePlan::decode(r)?);
+                }
+                plans
+            },
         })
+    }
+
+    /// The installed plan serving `algo` queries, if the family is
+    /// plannable and reported.
+    pub fn plan_for(&self, algo: QueryOp) -> Option<&WirePlan> {
+        self.plans.iter().find(|p| p.algo == algo)
     }
 }
 
@@ -650,13 +974,19 @@ pub enum Response {
     },
     /// Acknowledgement of [`Request::Shutdown`].
     Bye,
-    /// Backpressure: the request was refused because it would exceed the
-    /// server's pending-query budget. Nothing was executed; retry later.
+    /// Backpressure: the request was refused because it would exceed an
+    /// admission budget (per-graph quota or the global pending budget —
+    /// see [`BusyScope`]). Nothing was executed; retry after the hint.
     Busy {
-        /// Queries pending when the request arrived.
+        /// Which budget refused the request.
+        scope: BusyScope,
+        /// Queries pending against that budget when the request arrived.
         pending: u64,
-        /// The server's budget.
+        /// The refusing budget's capacity.
         budget: u64,
+        /// The server's estimate of when capacity frees (milliseconds);
+        /// clients honoring it avoid retry storms.
+        retry_after_ms: u64,
     },
     /// Answer to [`Request::ListGraphs`].
     GraphList(Vec<GraphInfo>),
@@ -664,6 +994,8 @@ pub enum Response {
     Loaded(GraphInfo),
     /// Acknowledgement of [`Request::UnloadGraph`].
     Unloaded,
+    /// Answer to [`Request::TuneGraph`]: the installed winning plan.
+    Tuned(TuneOutcome),
 }
 
 impl Response {
@@ -726,10 +1058,17 @@ impl Response {
                 encode_str(message, out);
             }
             Response::Bye => out.push(6),
-            Response::Busy { pending, budget } => {
+            Response::Busy {
+                scope,
+                pending,
+                budget,
+                retry_after_ms,
+            } => {
                 out.push(7);
+                scope.encode(out);
                 out.extend_from_slice(&pending.to_le_bytes());
                 out.extend_from_slice(&budget.to_le_bytes());
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
             }
             Response::GraphList(graphs) => {
                 out.push(8);
@@ -743,6 +1082,10 @@ impl Response {
                 info.encode(out);
             }
             Response::Unloaded => out.push(10),
+            Response::Tuned(outcome) => {
+                out.push(11);
+                outcome.encode(out);
+            }
         }
     }
 
@@ -792,8 +1135,10 @@ impl Response {
             }),
             6 => Ok(Response::Bye),
             7 => Ok(Response::Busy {
+                scope: BusyScope::decode(r)?,
                 pending: r.u64()?,
                 budget: r.u64()?,
+                retry_after_ms: r.u64()?,
             }),
             8 => {
                 let count = r.len_prefix(GRAPH_INFO_MIN_WIRE_LEN)?;
@@ -805,21 +1150,41 @@ impl Response {
             }
             9 => Ok(Response::Loaded(GraphInfo::decode(r)?)),
             10 => Ok(Response::Unloaded),
+            11 => Ok(Response::Tuned(TuneOutcome::decode(r)?)),
             other => Err(malformed(format!("unknown response tag {other}"))),
         }
     }
 }
 
-/// Payload (version byte included) of a **version 1** `Error` response.
+/// Payload (version byte included) of an `Error` response **shaped in an
+/// older protocol version**, so the outdated peer can decode and render it.
 ///
-/// When a v1 client talks to this server, a v2-encoded reply would be
-/// rejected by its version check before it could read any message — so the
-/// server answers the session's first mismatched frame with this v1-shaped
-/// error, which a v1 client surfaces verbatim, then closes the connection.
-pub fn legacy_v1_error_payload(message: &str) -> Vec<u8> {
-    let mut out = vec![1u8, 5u8]; // v1 version byte, v1 Error tag
-    encode_str(message, &mut out);
-    out
+/// A lower-version client rejects any current-version reply at its version
+/// check before reading the message — so the server answers the session's
+/// first mismatched frame with an error in *the client's* shape, then
+/// closes the connection:
+///
+/// * version 1: `01 05 <len: u64> <utf-8>` (v1 had untyped errors);
+/// * version 2: `02 05 <kind: u8> <len: u64> <utf-8>` with
+///   `kind = unsupported-version` (v2 introduced [`ErrorKind`]).
+///
+/// Returns `None` for versions this server never spoke (0, or ≥ current —
+/// a *newer* peer gets a current-version in-band error instead).
+pub fn legacy_error_payload(version: u8, message: &str) -> Option<Vec<u8>> {
+    match version {
+        1 => {
+            let mut out = vec![1u8, 5u8]; // v1 version byte, v1 Error tag
+            encode_str(message, &mut out);
+            Some(out)
+        }
+        2 => {
+            // v2's Error body was already kind + message, identical to v3's.
+            let mut out = vec![2u8, 5u8, ErrorKind::UnsupportedVersion.to_u8()];
+            encode_str(message, &mut out);
+            Some(out)
+        }
+        _ => None,
+    }
 }
 
 fn encode_str(s: &str, out: &mut Vec<u8>) {
@@ -1004,6 +1369,20 @@ mod tests {
             resident_bytes: 80_000,
             mode: LoadMode::Mapped,
             queries: 17,
+            plans: vec![
+                WirePlan {
+                    algo: QueryOp::Sssp,
+                    strategy: WireStrategy::Lazy,
+                    delta: 4096,
+                    origin: WirePlanOrigin::Tuned { trials: 24 },
+                },
+                WirePlan {
+                    algo: QueryOp::KCore,
+                    strategy: WireStrategy::LazyConstantSum,
+                    delta: 1,
+                    origin: WirePlanOrigin::Heuristic,
+                },
+            ],
         }
     }
 
@@ -1038,6 +1417,16 @@ mod tests {
         roundtrip_request(Request::UnloadGraph {
             name: String::new(),
         });
+        roundtrip_request(Request::TuneGraph {
+            graph: 5,
+            algo: QueryOp::Sssp,
+            budget: 40,
+        });
+        roundtrip_request(Request::TuneGraph {
+            graph: 0,
+            algo: QueryOp::KCore,
+            budget: 0,
+        });
     }
 
     #[test]
@@ -1063,6 +1452,7 @@ mod tests {
             errors: 1,
             graphs: 2,
             busy_rejections: 5,
+            tune_runs: 1,
         }));
         roundtrip_response(Response::Batch(vec![
             Response::Distance {
@@ -1075,8 +1465,16 @@ mod tests {
         roundtrip_response(Response::error(ErrorKind::Internal, ""));
         roundtrip_response(Response::Bye);
         roundtrip_response(Response::Busy {
+            scope: BusyScope::Global,
             pending: 900,
             budget: 1024,
+            retry_after_ms: 12,
+        });
+        roundtrip_response(Response::Busy {
+            scope: BusyScope::Graph(7),
+            pending: 64,
+            budget: 64,
+            retry_after_ms: 1,
         });
         roundtrip_response(Response::GraphList(vec![]));
         roundtrip_response(Response::GraphList(vec![
@@ -1085,11 +1483,23 @@ mod tests {
                 id: 0,
                 name: "default".to_string(),
                 mode: LoadMode::Owned,
+                plans: Vec::new(),
                 ..sample_info()
             },
         ]));
         roundtrip_response(Response::Loaded(sample_info()));
         roundtrip_response(Response::Unloaded);
+        roundtrip_response(Response::Tuned(TuneOutcome {
+            graph: 3,
+            plan: WirePlan {
+                algo: QueryOp::Sssp,
+                strategy: WireStrategy::EagerFusion,
+                delta: 32,
+                origin: WirePlanOrigin::Tuned { trials: 40 },
+            },
+            trials_run: 40,
+            best_cost_micros: 1234,
+        }));
     }
 
     #[test]
@@ -1133,19 +1543,42 @@ mod tests {
     }
 
     #[test]
-    fn legacy_error_payload_is_v1_shaped() {
-        let payload = legacy_v1_error_payload("upgrade to v2");
+    fn legacy_error_payloads_match_their_version_shapes() {
+        // v1: untyped error — version byte, tag, message.
+        let payload = legacy_error_payload(1, "upgrade to v3").unwrap();
         assert_eq!(payload[0], 1, "v1 version byte");
         assert_eq!(payload[1], 5, "v1 Error tag");
         let len = u64::from_le_bytes(payload[2..10].try_into().unwrap()) as usize;
-        assert_eq!(&payload[10..10 + len], b"upgrade to v2");
+        assert_eq!(&payload[10..10 + len], b"upgrade to v3");
         assert_eq!(payload.len(), 10 + len, "nothing after the message");
-        // And the v2 decoder rejects it as a version mismatch, which is
+
+        // v2: typed error — version byte, tag, kind, message.
+        let payload = legacy_error_payload(2, "upgrade to v3").unwrap();
+        assert_eq!(payload[0], 2, "v2 version byte");
+        assert_eq!(payload[1], 5, "v2 Error tag");
+        assert_eq!(
+            payload[2],
+            ErrorKind::UnsupportedVersion.to_u8(),
+            "v2 errors carry a kind byte"
+        );
+        let len = u64::from_le_bytes(payload[3..11].try_into().unwrap()) as usize;
+        assert_eq!(&payload[11..11 + len], b"upgrade to v3");
+        assert_eq!(payload.len(), 11 + len);
+
+        // The current decoder rejects both as version mismatches, which is
         // exactly what a *new* client pointed at an old server should see.
-        assert!(matches!(
-            Response::decode(&payload).unwrap_err(),
-            WireError::VersionMismatch { got: 1 }
-        ));
+        for got in [1u8, 2] {
+            let payload = legacy_error_payload(got, "x").unwrap();
+            assert!(matches!(
+                Response::decode(&payload).unwrap_err(),
+                WireError::VersionMismatch { got: g } if g == got
+            ));
+        }
+
+        // Versions this server never spoke get no legacy shape.
+        assert!(legacy_error_payload(0, "x").is_none());
+        assert!(legacy_error_payload(PROTOCOL_VERSION, "x").is_none());
+        assert!(legacy_error_payload(200, "x").is_none());
     }
 
     #[test]
@@ -1172,9 +1605,23 @@ mod tests {
         for bytes in [
             Response::Loaded(sample_info()).encode(),
             Response::Busy {
+                scope: BusyScope::Graph(1),
                 pending: 1,
                 budget: 2,
+                retry_after_ms: 3,
             }
+            .encode(),
+            Response::Tuned(TuneOutcome {
+                graph: 1,
+                plan: WirePlan {
+                    algo: QueryOp::Wbfs,
+                    strategy: WireStrategy::Lazy,
+                    delta: 1,
+                    origin: WirePlanOrigin::Heuristic,
+                },
+                trials_run: 6,
+                best_cost_micros: 99,
+            })
             .encode(),
         ] {
             for cut in 1..bytes.len() {
@@ -1319,6 +1766,52 @@ mod tests {
         }
         .resolve(&default);
         assert_eq!(kcore.delta, 1, "constant-sum forbids coarsening");
+    }
+
+    #[test]
+    fn wire_plans_project_core_plans() {
+        use priograph_core::plan::GraphProfile;
+        let profile = GraphProfile {
+            vertices: 100,
+            edges: 400,
+            avg_degree: 4.0,
+            max_weight: 1 << 12,
+            has_coords: true,
+            symmetric: true,
+        };
+        let plan = QueryPlan::heuristic(AlgoFamily::Sssp, &profile);
+        let wire = WirePlan::of_plan(&plan);
+        assert_eq!(wire.algo, QueryOp::Sssp);
+        assert_eq!(wire.strategy, WireStrategy::Lazy);
+        assert_eq!(wire.delta, plan.schedule.delta);
+        assert_eq!(wire.origin, WirePlanOrigin::Heuristic);
+        assert!(wire.summary().starts_with("sssp:lazy@"));
+
+        let tuned = QueryPlan::new(
+            AlgoFamily::KCore,
+            Schedule::lazy_constant_sum(),
+            PlanOrigin::Tuned { trials: 9 },
+        );
+        let wire = WirePlan::of_plan(&tuned);
+        assert_eq!(wire.origin, WirePlanOrigin::Tuned { trials: 9 });
+        assert_eq!(wire.strategy, WireStrategy::LazyConstantSum);
+
+        let info = sample_info();
+        assert_eq!(info.plan_for(QueryOp::Sssp).unwrap().delta, 4096);
+        assert!(info.plan_for(QueryOp::Wbfs).is_none());
+        assert!(info.plan_for(QueryOp::Ppsp).is_none(), "ppsp has no plan");
+    }
+
+    #[test]
+    fn query_op_spellings_and_families() {
+        for op in [QueryOp::Ppsp, QueryOp::Sssp, QueryOp::Wbfs, QueryOp::KCore] {
+            assert_eq!(QueryOp::parse(op.as_str()), Ok(op));
+        }
+        assert!(QueryOp::parse("bogus").is_err());
+        assert_eq!(QueryOp::Ppsp.family(), None);
+        for family in AlgoFamily::ALL {
+            assert_eq!(QueryOp::from_family(family).family(), Some(family));
+        }
     }
 
     #[test]

@@ -1,43 +1,61 @@
 //! The graph server: a catalog of resident [`CsrGraph`]s, a serving
-//! [`Pool`], and a batching dispatcher behind a std-TCP accept loop.
+//! [`Pool`], and a staged dispatcher behind a std-TCP accept loop.
 //!
 //! # Architecture (full guide: `docs/ARCHITECTURE.md`)
 //!
 //! ```text
 //! client conns ──► connection threads ──► job queue ──► dispatcher thread
-//!   (frames)       (decode/admit/reply)    (mpsc)     (owns Pool + engines)
-//!                        │
-//!                        └─► catalog (LoadGraph / UnloadGraph / ListGraphs)
+//!   (frames)       ┌──────────────────┐    (mpsc)    ┌──────────────────┐
+//!                  │ 1. ADMISSION     │              │ 2. PLANNING      │
+//!                  │  resolve graphs, │              │  plan cache →    │
+//!                  │  per-graph quota │              │  schedule per    │
+//!                  │  + global budget │              │  query           │
+//!                  └──────────────────┘              │ 3. EXECUTION     │
+//!                        │                           │  point batches + │
+//!                        └─► catalog (load/unload/   │  full-vector +   │
+//!                            list/manifest)          │  tune runs       │
+//!                                                    └──────────────────┘
 //! ```
 //!
 //! Every connection gets a plain OS thread (no async runtime — see
 //! `vendor/README.md` for why), but **no connection thread ever touches the
 //! pool**: [`Pool::broadcast`] assumes a single orchestrator, so all query
-//! execution funnels through one dispatcher thread that owns it. That
-//! funnel is also where batching happens — the dispatcher drains every
-//! query that arrived while the previous round ran and serves them as one
-//! group, per graph: point queries fan out across the pool's per-worker
-//! [`QueryEngine`](crate::batch::QueryEngine)s (inter-query parallelism,
-//! zero steady-state allocation, one engine set per resident graph),
-//! full-vector queries run one at a time on the parallel bucket engines
-//! (intra-query parallelism).
+//! execution funnels through one dispatcher thread that owns it. The
+//! request path is three explicit stages:
 //!
-//! Admission control is **connection-level backpressure**: each request
-//! must reserve its query count against the server-wide pending budget
-//! ([`ServerConfig::pending_budget`]) before anything is enqueued. A
-//! request that does not fit is answered with [`Response::Busy`] — nothing
-//! executes, nothing queues without bound — and the reservation is released
-//! when the request's replies have been collected.
+//! 1. **Admission** (connection thread): every query's graph is resolved
+//!    and the request reserves against that graph's **pending quota**
+//!    ([`ServerConfig::graph_pending_budget`]) *and* the server-wide budget
+//!    ([`ServerConfig::pending_budget`]). A request that does not fit is
+//!    answered with [`Response::Busy`] carrying the refusing
+//!    [`BusyScope`] and a `retry_after_ms`
+//!    drain estimate — nothing executes, nothing queues without bound, and
+//!    one hot graph can no longer starve the others (its quota fills while
+//!    every other graph keeps admitting).
+//! 2. **Planning** (dispatcher): each admitted query resolves its schedule.
+//!    Clients that pinned an explicit [`WireStrategy`] bypass the planner;
+//!    everything else executes under the graph's installed
+//!    [`QueryPlan`](priograph_core::plan::QueryPlan) — heuristic-seeded at
+//!    load, replaced when [`Request::TuneGraph`] runs the autotuner against
+//!    the resident graph on this same pool.
+//! 3. **Execution** (dispatcher): point queries fan out across the pool's
+//!    per-worker [`QueryEngine`](crate::batch::QueryEngine)s per graph
+//!    (inter-query parallelism, zero steady-state allocation), full-vector
+//!    queries run one at a time on the parallel bucket engines
+//!    (intra-query parallelism), tune requests run last (they own the pool
+//!    for many measured trials).
 
 use crate::batch::{BatchRunner, PointAnswer};
 use crate::catalog::{Catalog, CatalogError, GraphEntry};
 use crate::protocol::{
-    legacy_v1_error_payload, read_frame, write_frame, ErrorKind, GraphId, Query, QueryOp, Request,
-    Response, ServerStats, WireError, WireStrategy, PROTOCOL_VERSION,
+    legacy_error_payload, read_frame, write_frame, BusyScope, ErrorKind, GraphId, Query, QueryOp,
+    Request, Response, ServerStats, TuneOutcome, WireError, WirePlan, WireStrategy,
+    PROTOCOL_VERSION,
 };
 use priograph_algorithms::{kcore, sssp, wbfs, UNREACHABLE};
+use priograph_core::plan::AlgoFamily;
 use priograph_core::schedule::Schedule;
-use priograph_graph::{CsrGraph, LoadMode};
+use priograph_graph::{CsrGraph, LoadMode, MapOptions};
 use priograph_parallel::Pool;
 use std::collections::HashMap;
 use std::io;
@@ -55,16 +73,31 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads in the serving pool.
     pub threads: usize,
-    /// Schedule used when a query asks for the server default.
+    /// Schedule used when a query *pins* a strategy but defers Δ — and the
+    /// base the planner never consults otherwise (unpinned queries get the
+    /// per-graph plan instead).
     pub default_schedule: Schedule,
     /// Maximum queries grouped into one dispatcher round.
     pub max_batch: usize,
-    /// Server-wide bound on queries admitted but not yet answered. A
-    /// request whose query count does not fit is refused with
-    /// [`Response::Busy`] instead of queueing without bound; a single
-    /// request larger than the whole budget can never be admitted (the
-    /// `Busy` reply tells the client to split it).
+    /// Server-wide bound on queries admitted but not yet answered — the
+    /// last-resort cap once every graph's quota is saturated. A request
+    /// whose query count does not fit is refused with [`Response::Busy`]
+    /// (`scope = Global`); a single request larger than the whole budget
+    /// can never be admitted (the `Busy` reply tells the client to split
+    /// it).
     pub pending_budget: usize,
+    /// Per-graph bound on admitted-but-unanswered queries. One hot graph
+    /// fills its own quota and gets `Busy { scope: Graph(id) }` while every
+    /// other resident graph keeps admitting — the fairness half of
+    /// backpressure.
+    pub graph_pending_budget: usize,
+    /// Manifest file for catalog persistence: restored at boot, rewritten
+    /// on every load/unload/plan install. `None` disables persistence.
+    pub manifest: Option<std::path::PathBuf>,
+    /// Open wire-loaded snapshots with `MAP_POPULATE` + sequential advice
+    /// (`--mmap-populate`): pre-faults the file at map time so cold-cache
+    /// first queries do not stall on page-in.
+    pub mmap_populate: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +110,9 @@ impl Default for ServerConfig {
             default_schedule: Schedule::lazy(32),
             max_batch: 256,
             pending_budget: 4096,
+            graph_pending_budget: 1024,
+            manifest: None,
+            mmap_populate: false,
         }
     }
 }
@@ -90,6 +126,7 @@ struct Counters {
     full_queries: AtomicU64,
     errors: AtomicU64,
     busy_rejections: AtomicU64,
+    tune_runs: AtomicU64,
 }
 
 /// State shared by every thread of one server instance.
@@ -99,9 +136,15 @@ struct Shared {
     default_schedule: Schedule,
     threads: usize,
     counters: Counters,
-    /// Queries admitted but not yet answered, bounded by `pending_budget`.
+    /// Queries admitted but not yet answered, bounded by `pending_budget`
+    /// (per-graph counts live on each [`GraphEntry`]).
     pending: AtomicU64,
     pending_budget: u64,
+    graph_budget: u64,
+    max_batch: u64,
+    /// EWMA of dispatcher round wall time (nanoseconds) — the basis of the
+    /// `retry_after_ms` hint in [`Response::Busy`].
+    round_nanos: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -125,54 +168,141 @@ impl Shared {
             errors: self.counters.errors.load(Ordering::Relaxed),
             graphs: self.catalog.len() as u64,
             busy_rejections: self.counters.busy_rejections.load(Ordering::Relaxed),
+            tune_runs: self.counters.tune_runs.load(Ordering::Relaxed),
         }
     }
 
-    /// Reserves `count` pending-query slots, or reports (pending, budget)
-    /// for the `Busy` reply. Release happens via [`PendingGuard`].
-    fn try_reserve(self: &Arc<Self>, count: u64) -> Result<PendingGuard, (u64, u64)> {
-        loop {
-            let current = self.pending.load(Ordering::Acquire);
-            let wanted = current.saturating_add(count);
-            if wanted > self.pending_budget {
-                self.counters
-                    .busy_rejections
-                    .fetch_add(1, Ordering::Relaxed);
-                return Err((current, self.pending_budget));
-            }
-            if self
-                .pending
-                .compare_exchange(current, wanted, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                return Ok(PendingGuard {
-                    shared: Arc::clone(self),
-                    count,
-                });
-            }
+    /// Estimates how long until `pending` queries drain: rounds needed at
+    /// `max_batch` per round times the EWMA round cost, clamped to a sane
+    /// band (at least 1ms so clients cannot busy-spin on the hint, at most
+    /// 2s so a one-off huge round cannot park clients forever).
+    fn retry_hint_ms(&self, pending: u64) -> u64 {
+        let round_ms = self.round_nanos.load(Ordering::Relaxed) / 1_000_000;
+        let rounds = pending / self.max_batch.max(1) + 1;
+        rounds.saturating_mul(round_ms.max(1)).clamp(1, 2_000)
+    }
+
+    /// Folds one measured round duration into the EWMA (α = 1/4).
+    fn observe_round(&self, nanos: u64) {
+        let old = self.round_nanos.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            nanos
+        } else {
+            old - old / 4 + nanos / 4
+        };
+        self.round_nanos.store(new, Ordering::Relaxed);
+    }
+
+    /// Builds the `Busy` refusal for `scope`, counting it.
+    fn busy(&self, scope: BusyScope, pending: u64, budget: u64) -> Response {
+        self.counters
+            .busy_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        Response::Busy {
+            scope,
+            pending,
+            budget,
+            retry_after_ms: self.retry_hint_ms(pending),
         }
     }
 }
 
-/// RAII release of a pending-budget reservation.
-struct PendingGuard {
+/// Bounded reserve: adds `count` to `counter` unless that would exceed
+/// `cap`; reports the current value on refusal.
+fn reserve(counter: &AtomicU64, count: u64, cap: u64) -> Result<(), u64> {
+    loop {
+        let current = counter.load(Ordering::Acquire);
+        let wanted = current.saturating_add(count);
+        if wanted > cap {
+            return Err(current);
+        }
+        if counter
+            .compare_exchange(current, wanted, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return Ok(());
+        }
+    }
+}
+
+/// RAII release of one request's admission reservations: the global count
+/// plus one count per distinct graph.
+struct AdmissionGuard {
     shared: Arc<Shared>,
-    count: u64,
+    global: u64,
+    graphs: Vec<(Arc<GraphEntry>, u64)>,
 }
 
-impl Drop for PendingGuard {
+impl Drop for AdmissionGuard {
     fn drop(&mut self) {
-        self.shared.pending.fetch_sub(self.count, Ordering::AcqRel);
+        self.shared.pending.fetch_sub(self.global, Ordering::AcqRel);
+        for (entry, count) in &self.graphs {
+            entry.pending.fetch_sub(*count, Ordering::AcqRel);
+        }
     }
 }
 
-/// One query in flight from a connection thread to the dispatcher, with its
-/// graph resolved at submission (so an unload mid-flight cannot invalidate
-/// it — the `Arc` keeps the graph alive).
-struct Job {
-    entry: Arc<GraphEntry>,
-    query: Query,
-    reply: mpsc::Sender<Response>,
+/// **Admission stage**: reserves quota for every resolved query of one
+/// request — per-graph first (fairness), then the global budget (backstop).
+///
+/// `entries` is the request's queries with their graphs already resolved
+/// (`None` = unknown graph, answered with an error and never reserved).
+/// On refusal nothing stays reserved and the caller forwards the returned
+/// [`Response::Busy`] verbatim.
+fn try_admit(
+    shared: &Arc<Shared>,
+    entries: &[Option<Arc<GraphEntry>>],
+) -> Result<AdmissionGuard, Response> {
+    // Aggregate per distinct graph (requests are small; linear scan).
+    let mut per_graph: Vec<(Arc<GraphEntry>, u64)> = Vec::new();
+    let mut total = 0u64;
+    for entry in entries.iter().flatten() {
+        total += 1;
+        match per_graph.iter_mut().find(|(e, _)| e.id == entry.id) {
+            Some((_, count)) => *count += 1,
+            None => per_graph.push((Arc::clone(entry), 1)),
+        }
+    }
+    let mut guard = AdmissionGuard {
+        shared: Arc::clone(shared),
+        global: 0,
+        graphs: Vec::with_capacity(per_graph.len()),
+    };
+    for (entry, count) in per_graph {
+        match reserve(&entry.pending, count, shared.graph_budget) {
+            Ok(()) => guard.graphs.push((entry, count)),
+            Err(pending) => {
+                // Dropping the partial guard rolls back earlier graphs.
+                return Err(shared.busy(BusyScope::Graph(entry.id), pending, shared.graph_budget));
+            }
+        }
+    }
+    match reserve(&shared.pending, total, shared.pending_budget) {
+        Ok(()) => guard.global = total,
+        Err(pending) => {
+            return Err(shared.busy(BusyScope::Global, pending, shared.pending_budget));
+        }
+    }
+    Ok(guard)
+}
+
+/// One unit of work in flight from a connection thread to the dispatcher,
+/// with its graph resolved at admission (so an unload mid-flight cannot
+/// invalidate it — the `Arc` keeps the graph alive).
+enum Job {
+    /// An admitted query.
+    Query {
+        entry: Arc<GraphEntry>,
+        query: Query,
+        reply: mpsc::Sender<Response>,
+    },
+    /// An admitted `TuneGraph` run.
+    Tune {
+        entry: Arc<GraphEntry>,
+        family: AlgoFamily,
+        budget: u32,
+        reply: mpsc::Sender<Response>,
+    },
 }
 
 /// Handle to a running server.
@@ -247,7 +377,9 @@ pub fn serve(graph: CsrGraph, config: ServerConfig) -> io::Result<ServerHandle> 
 /// Starts serving `graphs` under catalog ids `0..n` (in order) with the
 /// given names. Each graph's load mode is taken from how it is resident
 /// (a [`SnapshotView`](priograph_graph::SnapshotView)-loaded graph reports
-/// `mmap`).
+/// `mmap`). When [`ServerConfig::manifest`] is set, graphs recorded there
+/// restore *after* the startup graphs (duplicate names keep the startup
+/// copy) and every catalog change rewrites the file.
 ///
 /// # Errors
 ///
@@ -258,7 +390,12 @@ pub fn serve_named(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let catalog = Catalog::new(
+    let map_options = if config.mmap_populate {
+        MapOptions::populate_sequential()
+    } else {
+        MapOptions::default()
+    };
+    let catalog = Catalog::with_options(
         graphs
             .into_iter()
             .map(|(name, graph)| {
@@ -270,7 +407,20 @@ pub fn serve_named(
                 (name, graph, mode)
             })
             .collect(),
+        map_options,
     );
+    if let Some(manifest) = &config.manifest {
+        let report = catalog.attach_manifest(manifest.clone());
+        for name in &report.loaded {
+            eprintln!("manifest: restored graph {name:?}");
+        }
+        for (graph, family) in &report.plans {
+            eprintln!("manifest: reinstalled tuned {family} plan for {graph:?}");
+        }
+        for (what, why) in &report.skipped {
+            eprintln!("manifest: skipped {what:?}: {why}");
+        }
+    }
     let shared = Arc::new(Shared {
         catalog,
         default_schedule: config.default_schedule.clone(),
@@ -278,6 +428,9 @@ pub fn serve_named(
         counters: Counters::default(),
         pending: AtomicU64::new(0),
         pending_budget: config.pending_budget.max(1) as u64,
+        graph_budget: config.graph_pending_budget.max(1) as u64,
+        max_batch: config.max_batch.max(1) as u64,
+        round_nanos: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
     });
 
@@ -360,6 +513,96 @@ impl Slot {
     }
 }
 
+/// Admits and submits one request's queries: resolves every graph
+/// (admission), reserves quotas, enqueues the admitted queries for one
+/// dispatcher round, and collects the replies in request order.
+///
+/// # Errors
+///
+/// An admission refusal returns the whole request's single
+/// [`Response::Busy`] — nothing was executed or queued.
+fn admit_and_run(
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Job>,
+    queries: &[Query],
+) -> Result<Vec<Response>, Response> {
+    let entries: Vec<Option<Arc<GraphEntry>>> = queries
+        .iter()
+        .map(|q| shared.catalog.get(q.graph))
+        .collect();
+    let guard = try_admit(shared, &entries)?;
+    // Submit every query before collecting any reply, so the whole batch
+    // is visible to one dispatcher round.
+    let slots: Vec<Slot> = queries
+        .iter()
+        .zip(&entries)
+        .map(|(&query, entry)| match entry {
+            Some(entry) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let _ = tx.send(Job::Query {
+                    entry: Arc::clone(entry),
+                    query,
+                    reply: reply_tx,
+                });
+                Slot::Pending(reply_rx)
+            }
+            None => {
+                shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                Slot::Ready(Response::error(
+                    ErrorKind::UnknownGraph,
+                    format!("no resident graph with id {}", query.graph),
+                ))
+            }
+        })
+        .collect();
+    let responses = slots.into_iter().map(Slot::collect).collect();
+    drop(guard);
+    Ok(responses)
+}
+
+/// Admits and submits one `TuneGraph` request, blocking until the tuner
+/// finishes (tuning holds one pending slot on its graph, so backpressure
+/// sees it like any other in-flight work).
+fn admit_and_tune(
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Job>,
+    graph: GraphId,
+    algo: QueryOp,
+    budget: u32,
+) -> Response {
+    let Some(family) = algo.family() else {
+        return Response::error(
+            ErrorKind::BadRequest,
+            "point queries run on the strict-priority serial engine and have no \
+             tunable plan; tune sssp, wbfs, or kcore",
+        );
+    };
+    let Some(entry) = shared.catalog.get(graph) else {
+        return Response::error(
+            ErrorKind::UnknownGraph,
+            format!("no resident graph with id {graph}"),
+        );
+    };
+    let entries = [Some(Arc::clone(&entry))];
+    let guard = match try_admit(shared, &entries) {
+        Ok(guard) => guard,
+        Err(busy) => return busy,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let _ = tx.send(Job::Tune {
+        entry,
+        family,
+        budget,
+        reply: reply_tx,
+    });
+    let response = reply_rx
+        .recv()
+        .unwrap_or_else(|_| Response::error(ErrorKind::ShuttingDown, "server is shutting down"));
+    drop(guard);
+    response
+}
+
 /// Serves one client connection; returns on disconnect or shutdown.
 fn handle_connection(
     mut stream: TcpStream,
@@ -381,26 +624,21 @@ fn handle_connection(
                 let _ = TcpStream::connect(addr);
                 return Ok(());
             }
-            Ok(Request::Query(query)) => match shared.try_reserve(1) {
-                Ok(guard) => {
-                    let slot = submit(shared, tx, query);
-                    let response = slot.collect();
-                    drop(guard);
-                    response
+            Ok(Request::Query(query)) => {
+                match admit_and_run(shared, tx, std::slice::from_ref(&query)) {
+                    Ok(mut responses) => responses.pop().expect("one query, one response"),
+                    Err(busy) => busy,
                 }
-                Err((pending, budget)) => Response::Busy { pending, budget },
+            }
+            Ok(Request::Batch(queries)) => match admit_and_run(shared, tx, &queries) {
+                Ok(responses) => Response::Batch(responses),
+                Err(busy) => busy,
             },
-            Ok(Request::Batch(queries)) => match shared.try_reserve(queries.len() as u64) {
-                Ok(guard) => {
-                    // Submit every query before collecting any reply, so the
-                    // whole batch is visible to one dispatcher round.
-                    let slots: Vec<Slot> = queries.iter().map(|&q| submit(shared, tx, q)).collect();
-                    let items = slots.into_iter().map(Slot::collect).collect();
-                    drop(guard);
-                    Response::Batch(items)
-                }
-                Err((pending, budget)) => Response::Busy { pending, budget },
-            },
+            Ok(Request::TuneGraph {
+                graph,
+                algo,
+                budget,
+            }) => admit_and_tune(shared, tx, graph, algo, budget),
             Ok(Request::LoadGraph { name, path }) => load_graph(shared, &name, &path),
             Ok(Request::UnloadGraph { name }) => match shared.catalog.unload(&name) {
                 Ok(_) => Response::Unloaded,
@@ -414,18 +652,25 @@ fn handle_connection(
                     .map(|entry| entry.info())
                     .collect(),
             ),
-            // An old client cannot decode any v2 frame, so the version
-            // mismatch gets a *v1-shaped* in-band error it can render, and
-            // the connection closes (`docs/PROTOCOL.md` §Versioning).
+            // An outdated client cannot decode any current-version frame,
+            // so the mismatch gets an in-band error *shaped in the client's
+            // version*, and the connection closes
+            // (`docs/PROTOCOL.md` §Versioning).
             Err(WireError::VersionMismatch { got }) if got < PROTOCOL_VERSION => {
-                write_frame(
-                    &mut stream,
-                    &legacy_v1_error_payload(&format!(
-                        "protocol version {got} is no longer served; this server \
-                         speaks version {PROTOCOL_VERSION} — upgrade the client"
-                    )),
-                )?;
-                return Ok(());
+                let message = format!(
+                    "protocol version {got} is no longer served; this server \
+                     speaks version {PROTOCOL_VERSION} — upgrade the client"
+                );
+                match legacy_error_payload(got, &message) {
+                    Some(payload) => {
+                        write_frame(&mut stream, &payload)?;
+                        return Ok(());
+                    }
+                    // Version 0 was never spoken: answer in-band, current
+                    // shape, and keep the connection (it is framing noise,
+                    // not a real old client).
+                    None => Response::error(ErrorKind::UnsupportedVersion, message),
+                }
             }
             Err(WireError::VersionMismatch { got }) => Response::error(
                 ErrorKind::UnsupportedVersion,
@@ -470,32 +715,33 @@ fn load_graph(shared: &Shared, name: &str, path: &str) -> Response {
     }
 }
 
-/// Resolves the query's graph and enqueues it, or answers immediately when
-/// the graph is unknown. Every query is counted exactly once.
-fn submit(shared: &Shared, tx: &mpsc::Sender<Job>, query: Query) -> Slot {
-    let Some(entry) = shared.catalog.get(query.graph) else {
-        shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-        return Slot::Ready(Response::error(
-            ErrorKind::UnknownGraph,
-            format!("no resident graph with id {}", query.graph),
-        ));
-    };
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let _ = tx.send(Job {
-        entry,
-        query,
-        reply: reply_tx,
-    });
-    Slot::Pending(reply_rx)
-}
-
 /// Whether a full distance/coreness vector for `n` vertices fits one
 /// frame (with generous envelope slack). Beyond this, full-vector queries
 /// get an in-band error up front instead of a dead connection after the
 /// engine has already done the work.
 fn dist_vec_fits(n: usize) -> bool {
     n.saturating_mul(8).saturating_add(4096) <= crate::protocol::MAX_FRAME_LEN
+}
+
+/// **Planning stage**: resolves the schedule one full-vector query executes
+/// under. A pinned strategy bypasses the planner (resolved against the
+/// server default exactly as before the planning layer existed); everything
+/// else runs the graph's installed plan, with a client-supplied Δ override
+/// honored where the family allows coarsening.
+fn planned_schedule(shared: &Shared, entry: &GraphEntry, query: &Query) -> Schedule {
+    let family = query
+        .op
+        .family()
+        .expect("point queries never reach the planner");
+    if query.schedule.strategy == WireStrategy::ServerDefault {
+        let mut schedule = entry.plans.plan_for(family).schedule;
+        if query.schedule.delta > 0 && family.coarsening_allowed() {
+            schedule.delta = query.schedule.delta;
+        }
+        schedule
+    } else {
+        query.schedule.resolve(&shared.default_schedule)
+    }
 }
 
 /// Per-graph point-query grouping within one dispatcher round.
@@ -505,15 +751,25 @@ struct PointGroup {
     slots: Vec<usize>,
 }
 
-/// The dispatcher: the single owner of the pool and the batching point.
-/// Engine state is **per graph** — each resident graph gets its own
-/// [`BatchRunner`] whose per-worker engines stay sized to that graph, and
-/// runners for evicted graphs are dropped at the end of the round.
+/// A query job within one dispatcher round (planning happens on these;
+/// tune jobs are split out at drain time).
+struct QueryJob {
+    entry: Arc<GraphEntry>,
+    query: Query,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The dispatcher: the single owner of the pool, the planning point, and
+/// the batching point. Engine state is **per graph** — each resident graph
+/// gets its own [`BatchRunner`] whose per-worker engines stay sized to that
+/// graph, and runners for evicted graphs are dropped at the end of the
+/// round.
 fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, max_batch: usize) {
     let pool = Pool::new(threads);
     let mut runners: HashMap<GraphId, BatchRunner> = HashMap::new();
     // Reused round state (cleared, never dropped, between rounds).
-    let mut jobs: Vec<Job> = Vec::new();
+    let mut queries: Vec<QueryJob> = Vec::new();
+    let mut tunes: Vec<Job> = Vec::new();
     let mut groups: HashMap<GraphId, PointGroup> = HashMap::new();
     let mut answers: Vec<PointAnswer> = Vec::new();
     let mut replies: Vec<Option<Response>> = Vec::new();
@@ -534,19 +790,35 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
             Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
-        jobs.clear();
-        jobs.push(first);
-        while jobs.len() < max_batch {
+        queries.clear();
+        tunes.clear();
+        fn enroll(queries: &mut Vec<QueryJob>, tunes: &mut Vec<Job>, job: Job) {
+            match job {
+                Job::Query {
+                    entry,
+                    query,
+                    reply,
+                } => queries.push(QueryJob {
+                    entry,
+                    query,
+                    reply,
+                }),
+                tune @ Job::Tune { .. } => tunes.push(tune),
+            }
+        }
+        enroll(&mut queries, &mut tunes, first);
+        while queries.len() + tunes.len() < max_batch {
             match rx.try_recv() {
-                Ok(job) => jobs.push(job),
+                Ok(job) => enroll(&mut queries, &mut tunes, job),
                 Err(_) => break,
             }
         }
+        let round_started = std::time::Instant::now();
         shared.counters.batch_rounds.fetch_add(1, Ordering::Relaxed);
         shared
             .counters
             .queries
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
 
         // Partition: point queries fan out together per graph, the rest
         // run after.
@@ -555,8 +827,8 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
             group.slots.clear();
         }
         replies.clear();
-        replies.resize_with(jobs.len(), || None);
-        for (i, job) in jobs.iter().enumerate() {
+        replies.resize_with(queries.len(), || None);
+        for (i, job) in queries.iter().enumerate() {
             let q = &job.query;
             let n = job.entry.graph.num_vertices();
             match q.op {
@@ -581,7 +853,7 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
                 continue;
             }
             // Same id ⇒ same entry: ids are never reused within a server.
-            let entry = &jobs[group.slots[0]].entry;
+            let entry = &queries[group.slots[0]].entry;
             debug_assert_eq!(entry.id, *graph_id);
             shared
                 .counters
@@ -600,7 +872,7 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
             }
         }
 
-        for (i, job) in jobs.iter().enumerate() {
+        for (i, job) in queries.iter().enumerate() {
             if replies[i].is_none() {
                 shared.counters.full_queries.fetch_add(1, Ordering::Relaxed);
                 job.entry.queries.fetch_add(1, Ordering::Relaxed);
@@ -608,12 +880,34 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
             }
         }
 
-        for (job, reply) in jobs.drain(..).zip(replies.drain(..)) {
+        for (job, reply) in queries.drain(..).zip(replies.drain(..)) {
             let reply = reply.expect("every job got a reply");
             if matches!(reply, Response::Error { .. }) {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             }
             let _ = job.reply.send(reply);
+        }
+
+        // The EWMA feeds the Busy retry hint, which estimates *query*
+        // drain time — so it is observed before the tune runs: one
+        // multi-second tune folded in would pin the hint at its clamp for
+        // dozens of rounds after the tuner finished.
+        shared.observe_round(round_started.elapsed().as_nanos() as u64);
+
+        // Tune runs execute after the round's queries: each owns the pool
+        // for many measured trials, and admitted queries should not wait
+        // behind them inside the same round.
+        for tune in tunes.drain(..) {
+            let Job::Tune {
+                entry,
+                family,
+                budget,
+                reply,
+            } = tune
+            else {
+                unreachable!("tunes holds only Tune jobs");
+            };
+            let _ = reply.send(run_tune(shared, &pool, &entry, family, budget));
         }
 
         // Engine-state GC: drop per-graph runners (and their grouping
@@ -634,8 +928,9 @@ fn vertex_error(q: &Query, n: usize) -> Response {
     )
 }
 
-/// Runs one full-vector query on the parallel engines.
-fn run_full_query(shared: &Shared, pool: &Pool, job: &Job) -> Response {
+/// **Execution stage** for one full-vector query, under its planned (or
+/// pinned) schedule.
+fn run_full_query(shared: &Shared, pool: &Pool, job: &QueryJob) -> Response {
     let query = &job.query;
     let graph = &job.entry.graph;
     if !dist_vec_fits(graph.num_vertices()) {
@@ -648,7 +943,7 @@ fn run_full_query(shared: &Shared, pool: &Pool, job: &Job) -> Response {
             ),
         );
     }
-    let schedule = query.schedule.resolve(&shared.default_schedule);
+    let schedule = planned_schedule(shared, &job.entry, query);
     match query.op {
         QueryOp::Ppsp => unreachable!("point queries are batched"),
         QueryOp::Sssp => match sssp::delta_stepping_on(pool, graph, query.source, &schedule) {
@@ -660,13 +955,6 @@ fn run_full_query(shared: &Shared, pool: &Pool, job: &Job) -> Response {
             Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
         },
         QueryOp::KCore => {
-            // "Server default" means the k-core-legal schedule, not the
-            // SSSP-tuned one (whose Δ would be rejected by validation).
-            let schedule = if query.schedule.strategy == WireStrategy::ServerDefault {
-                Schedule::lazy_constant_sum()
-            } else {
-                schedule
-            };
             let sym = job.entry.sym_graph();
             match kcore::kcore_on(pool, &sym, &schedule) {
                 Ok(r) => Response::Coreness(r.coreness),
@@ -674,6 +962,50 @@ fn run_full_query(shared: &Shared, pool: &Pool, job: &Job) -> Response {
             }
         }
     }
+}
+
+/// Runs one admitted `TuneGraph` job on the dispatcher's pool: search the
+/// family's schedule space against the resident graph, install the winner
+/// in the graph's plan cache, persist the catalog manifest.
+fn run_tune(
+    shared: &Shared,
+    pool: &Pool,
+    entry: &Arc<GraphEntry>,
+    family: AlgoFamily,
+    budget: u32,
+) -> Response {
+    let trials = budget.clamp(1, 512) as usize;
+    // k-core tunes against the same symmetrized twin its queries run on.
+    let graph = match family {
+        AlgoFamily::KCore => entry.sym_graph(),
+        AlgoFamily::Sssp | AlgoFamily::Wbfs => Arc::clone(&entry.graph),
+    };
+    // Deterministic per (graph, family): re-tuning without a graph change
+    // reproduces the same search.
+    let seed = 0xA0707 ^ ((entry.id as u64) << 8) ^ family as u64;
+    let tuned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        priograph_autotune::tune_for_graph(pool, &graph, family, trials, seed)
+    }));
+    let (plan, result) = match tuned {
+        Ok(done) => done,
+        Err(_) => {
+            return Response::error(
+                ErrorKind::Internal,
+                format!("autotune run for {family} did not produce a legal schedule"),
+            )
+        }
+    };
+    if let Err(e) = entry.plans.install(plan.clone()) {
+        return Response::error(ErrorKind::ScheduleRejected, e.to_string());
+    }
+    shared.catalog.persist();
+    shared.counters.tune_runs.fetch_add(1, Ordering::Relaxed);
+    Response::Tuned(TuneOutcome {
+        graph: entry.id,
+        plan: WirePlan::of_plan(&plan),
+        trials_run: result.trials.len() as u32,
+        best_cost_micros: result.best_cost.as_micros() as u64,
+    })
 }
 
 /// Formats a distance for human-facing client output (`"-"` when the
@@ -715,6 +1047,7 @@ mod tests {
         assert_eq!(stats.queries, 0);
         assert_eq!(stats.graphs, 1);
         assert_eq!(stats.busy_rejections, 0);
+        assert_eq!(stats.tune_runs, 0);
         handle.stop();
     }
 
@@ -781,17 +1114,27 @@ mod tests {
             ServerConfig {
                 threads: 1,
                 pending_budget: 8,
+                graph_pending_budget: 64,
                 ..ServerConfig::default()
             },
         )
         .expect("bind loopback");
         let mut client = Client::connect(handle.addr()).unwrap();
-        // A batch larger than the whole budget can never be admitted.
+        // A batch larger than the whole global budget can never be admitted
+        // (the per-graph quota would have accepted it, so the refusal must
+        // carry the Global scope).
         let big: Vec<Query> = (0..9).map(|i| Query::ppsp(0, i)).collect();
         match client.request(&Request::Batch(big)).unwrap() {
-            Response::Busy { pending, budget } => {
+            Response::Busy {
+                scope,
+                pending,
+                budget,
+                retry_after_ms,
+            } => {
+                assert_eq!(scope, BusyScope::Global);
                 assert_eq!(budget, 8);
                 assert!(pending <= 8);
+                assert!(retry_after_ms >= 1);
             }
             other => panic!("expected Busy, got {other:?}"),
         }
@@ -809,18 +1152,135 @@ mod tests {
     }
 
     #[test]
-    fn v1_clients_get_a_v1_shaped_error_and_a_close() {
+    fn per_graph_quota_refuses_with_graph_scope_while_others_admit() {
+        // Two graphs, tiny per-graph quota, roomy global budget: a request
+        // overflowing one graph's quota is refused with the *graph* scope,
+        // and the other graph's queries are admitted in the same breath —
+        // deterministic (single-request) half of the fairness story; the
+        // concurrent half lives in tests/loopback.rs.
+        let roads = GraphGen::road_grid(8, 8).seed(1).build();
+        let social = GraphGen::rmat(6, 4).seed(2).weights_uniform(1, 50).build();
+        let handle = serve_named(
+            vec![("roads".to_string(), roads), ("social".to_string(), social)],
+            ServerConfig {
+                threads: 1,
+                pending_budget: 4096,
+                graph_pending_budget: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let big: Vec<Query> = (0..5).map(|i| Query::ppsp(0, i)).collect();
+        match client.request(&Request::Batch(big)).unwrap() {
+            Response::Busy { scope, budget, .. } => {
+                assert_eq!(scope, BusyScope::Graph(0));
+                assert_eq!(budget, 4);
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // The other graph is untouched by graph 0's refusal.
+        let ok: Vec<Query> = (0..4).map(|i| Query::ppsp(0, i).on_graph(1)).collect();
+        let responses = client.batch(ok).unwrap();
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r, Response::Distance { .. })));
+        // A mixed batch overflowing graph 0's quota is refused whole (the
+        // client is told which graph to back off from).
+        let mixed: Vec<Query> = (0..5)
+            .map(|i| Query::ppsp(0, i))
+            .chain((0..2).map(|i| Query::ppsp(0, i).on_graph(1)))
+            .collect();
+        assert!(matches!(
+            client.request(&Request::Batch(mixed)).unwrap(),
+            Response::Busy {
+                scope: BusyScope::Graph(0),
+                ..
+            }
+        ));
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.busy_rejections, 2);
+        handle.stop();
+    }
+
+    #[test]
+    fn tune_installs_a_plan_and_lists_it() {
+        let handle = tiny_server(2);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let before = client.list_graphs().unwrap();
+        assert!(before[0]
+            .plans
+            .iter()
+            .all(|p| p.origin == crate::protocol::WirePlanOrigin::Heuristic));
+        let outcome = client.tune_graph(0, QueryOp::Sssp, 4).unwrap();
+        assert_eq!(outcome.graph, 0);
+        assert_eq!(outcome.plan.algo, QueryOp::Sssp);
+        assert!(outcome.trials_run >= 1 && outcome.trials_run <= 4);
+        let after = client.list_graphs().unwrap();
+        let plan = after[0].plan_for(QueryOp::Sssp).unwrap();
+        assert!(matches!(
+            plan.origin,
+            crate::protocol::WirePlanOrigin::Tuned { .. }
+        ));
+        assert_eq!(*plan, outcome.plan);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.tune_runs, 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn tune_rejects_ppsp_and_unknown_graphs() {
         let handle = tiny_server(1);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        match client
+            .request(&Request::TuneGraph {
+                graph: 0,
+                algo: QueryOp::Ppsp,
+                budget: 4,
+            })
+            .unwrap()
+        {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+            other => panic!("expected an error, got {other:?}"),
+        }
+        match client
+            .request(&Request::TuneGraph {
+                graph: 99,
+                algo: QueryOp::Sssp,
+                budget: 4,
+            })
+            .unwrap()
+        {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownGraph),
+            other => panic!("expected an error, got {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn outdated_clients_get_a_reply_shaped_in_their_version() {
+        let handle = tiny_server(1);
+        // v1: untyped error, then close.
         let mut stream = TcpStream::connect(handle.addr()).unwrap();
-        // A v1 Stats request: version byte 1, tag 2.
-        write_frame(&mut stream, &[1u8, 2u8]).unwrap();
+        write_frame(&mut stream, &[1u8, 2u8]).unwrap(); // v1 Stats request
         let payload = read_frame(&mut stream).unwrap().unwrap();
         assert_eq!(payload[0], 1, "reply speaks v1");
         assert_eq!(payload[1], 5, "reply is a v1 Error");
         let msg_len = u64::from_le_bytes(payload[2..10].try_into().unwrap()) as usize;
         let message = std::str::from_utf8(&payload[10..10 + msg_len]).unwrap();
         assert!(message.contains("version"), "{message}");
-        // The server closes the connection after the legacy error.
+        assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
+
+        // v2: typed error with the unsupported-version kind, then close.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(&mut stream, &[2u8, 2u8]).unwrap(); // v2 Stats request
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(payload[0], 2, "reply speaks v2");
+        assert_eq!(payload[1], 5, "reply is a v2 Error");
+        assert_eq!(payload[2], 4, "kind byte is unsupported-version");
+        let msg_len = u64::from_le_bytes(payload[3..11].try_into().unwrap()) as usize;
+        let message = std::str::from_utf8(&payload[11..11 + msg_len]).unwrap();
+        assert!(message.contains("version 2"), "{message}");
         assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
         handle.stop();
     }
@@ -829,8 +1289,8 @@ mod tests {
     fn malformed_frames_get_an_error_and_do_not_kill_the_connection() {
         let handle = tiny_server(1);
         let mut stream = TcpStream::connect(handle.addr()).unwrap();
-        // Not even a version byte the server recognizes as legacy: version
-        // 200 is "newer than us", answered in-band with v2.
+        // Version 200 is "newer than us", answered in-band with the current
+        // version.
         write_frame(&mut stream, &[200u8, 9, 9]).unwrap();
         let payload = read_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(
@@ -840,7 +1300,19 @@ mod tests {
                 ..
             }
         ));
-        // A malformed v2 payload is BadRequest, and the connection lives.
+        // Version 0 was never spoken: in-band unsupported-version, current
+        // shape, connection stays up.
+        write_frame(&mut stream, &[0u8, 2u8]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error {
+                kind: ErrorKind::UnsupportedVersion,
+                ..
+            }
+        ));
+        // A malformed current-version payload is BadRequest, and the
+        // connection lives.
         write_frame(&mut stream, &[PROTOCOL_VERSION, 99]).unwrap();
         let payload = read_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(
@@ -906,17 +1378,24 @@ mod tests {
             ServerConfig {
                 threads: 1,
                 pending_budget: 4,
+                graph_pending_budget: 4,
                 ..ServerConfig::default()
             },
         )
         .expect("bind loopback");
         let mut client = Client::connect(handle.addr()).unwrap();
-        // Many budget-filling batches in sequence: if reservations leaked,
-        // the second one would already be Busy.
+        // Many budget-filling batches in sequence: if reservations leaked
+        // (global or per-graph), the second one would already be Busy.
         for round in 0..5 {
             let batch: Vec<Query> = (0..4).map(|i| Query::ppsp(0, i)).collect();
             let responses = client.batch(batch).unwrap();
             assert_eq!(responses.len(), 4, "round {round}");
+            assert!(
+                responses
+                    .iter()
+                    .all(|r| matches!(r, Response::Distance { .. })),
+                "round {round}: {responses:?}"
+            );
         }
         let stats = client.stats().unwrap();
         assert_eq!(stats.busy_rejections, 0);

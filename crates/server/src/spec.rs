@@ -6,7 +6,7 @@
 //! distances against a locally computed serial reference.
 
 use priograph_graph::gen::GraphGen;
-use priograph_graph::{CsrGraph, SnapshotView};
+use priograph_graph::{CsrGraph, MapOptions, SnapshotView};
 use std::path::Path;
 
 /// Builds a graph from a generator spec:
@@ -80,6 +80,10 @@ pub struct GraphSource {
     pub graph: Option<String>,
     /// Generator spec for [`graph_from_spec`].
     pub gen_spec: Option<String>,
+    /// Open snapshots with `MAP_POPULATE` + sequential advice
+    /// (`--mmap-populate`): a cold-cache readahead knob, never a semantic
+    /// one.
+    pub mmap_populate: bool,
 }
 
 impl GraphSource {
@@ -107,7 +111,12 @@ impl GraphSource {
             // Snapshots open through the view so a PSNAPv2 file is
             // memory-mapped zero-copy (v1 falls back to the copying path);
             // the graph's load mode is visible via CsrGraph::is_mapped.
-            return SnapshotView::open(Path::new(path))
+            let options = if self.mmap_populate {
+                MapOptions::populate_sequential()
+            } else {
+                MapOptions::default()
+            };
+            return SnapshotView::open_with(Path::new(path), options)
                 .map(SnapshotView::into_graph)
                 .map_err(|e| format!("{path}: {e}"));
         }

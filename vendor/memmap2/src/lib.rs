@@ -37,6 +37,81 @@ pub struct Mmap {
     inner: Inner,
 }
 
+/// Readahead advice for a mapping, mirroring upstream `memmap2::Advice`
+/// (the subset the snapshot loader uses). Advice is a hint: every variant
+/// degrades to a successful no-op where `madvise` is unavailable (heap
+/// fallback, non-Unix targets) or unsupported.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// `MADV_NORMAL` — default kernel readahead.
+    Normal,
+    /// `MADV_SEQUENTIAL` — aggressive readahead, pages may be dropped
+    /// sooner after use; right for one-pass validation scans.
+    Sequential,
+    /// `MADV_WILLNEED` — start background read-in now.
+    WillNeed,
+}
+
+/// Options for building a mapping, mirroring upstream `memmap2::MmapOptions`
+/// (the subset the snapshot loader uses).
+///
+/// # Example
+///
+/// ```
+/// use memmap2::MmapOptions;
+/// # let path = std::env::temp_dir().join("memmap2_options_doc.bin");
+/// # std::fs::write(&path, vec![7u8; 64]).unwrap();
+/// let file = std::fs::File::open(&path).unwrap();
+/// let map = MmapOptions::new().populate().map_or_read(&file).unwrap();
+/// assert_eq!(map.len(), 64);
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MmapOptions {
+    populate: bool,
+}
+
+impl MmapOptions {
+    /// Default options: plain private read-only mapping, kernel-default
+    /// readahead.
+    pub fn new() -> MmapOptions {
+        MmapOptions::default()
+    }
+
+    /// Requests `MAP_POPULATE`: the kernel pre-faults the whole file into
+    /// the page cache at map time instead of on first access. Linux-only;
+    /// elsewhere (and on any mmap failure) the flag silently drops — a
+    /// cold-cache perf knob must never turn into a load failure.
+    pub fn populate(mut self) -> MmapOptions {
+        self.populate = true;
+        self
+    }
+
+    /// Maps `file` read-only with these options, falling back to
+    /// [`Mmap::read_aligned`] exactly like [`Mmap::map_or_read`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata/read failures from the fallback path.
+    pub fn map_or_read(self, file: &File) -> io::Result<Mmap> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            let len = file.metadata()?.len();
+            if len > 0 && len <= usize::MAX as u64 {
+                if let Some(map) = sys::map_readonly(file, len as usize, self.populate) {
+                    return Ok(Mmap {
+                        inner: Inner::Mapped {
+                            ptr: map,
+                            len: len as usize,
+                        },
+                    });
+                }
+            }
+        }
+        Mmap::read_aligned(file)
+    }
+}
+
 enum Inner {
     /// A live `mmap(2)` region (64-bit Unix only).
     #[cfg(all(unix, target_pointer_width = "64"))]
@@ -60,23 +135,23 @@ impl Mmap {
     ///
     /// Propagates metadata/read failures from the fallback path.
     pub fn map_or_read(file: &File) -> io::Result<Mmap> {
+        // mmap rejects zero-length mappings; usize::MAX guards the
+        // (theoretical) 32-bit-usize truncation. Both live in map_or_read
+        // on MmapOptions, which this delegates to with default options.
+        MmapOptions::new().map_or_read(file)
+    }
+
+    /// Applies readahead `advice` to the mapping. Always succeeds: on the
+    /// heap fallback, on non-Unix targets, and on any `madvise` failure the
+    /// call is a no-op (advice is a hint, not a contract).
+    pub fn advise(&self, advice: Advice) {
         #[cfg(all(unix, target_pointer_width = "64"))]
-        {
-            let len = file.metadata()?.len();
-            // mmap rejects zero-length mappings; usize::MAX guards the
-            // (theoretical) 32-bit-usize truncation.
-            if len > 0 && len <= usize::MAX as u64 {
-                if let Some(map) = sys::map_readonly(file, len as usize) {
-                    return Ok(Mmap {
-                        inner: Inner::Mapped {
-                            ptr: map,
-                            len: len as usize,
-                        },
-                    });
-                }
-            }
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: ptr/len describe a live mapping owned by self.
+            unsafe { sys::advise(ptr, len, advice) };
         }
-        Self::read_aligned(file)
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        let _ = advice;
     }
 
     /// Reads the whole file into an 8-byte-aligned heap buffer (no `mmap`).
@@ -212,31 +287,66 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 
     const PROT_READ: c_int = 1;
     const MAP_PRIVATE: c_int = 2;
+    /// Linux-only pre-fault flag; other Unixes never pass it.
+    #[cfg(target_os = "linux")]
+    const MAP_POPULATE: c_int = 0x8000;
+    const MADV_NORMAL: c_int = 0;
+    const MADV_SEQUENTIAL: c_int = 2;
+    const MADV_WILLNEED: c_int = 3;
 
     /// Maps `len` bytes of `file` read-only; `None` on any mmap failure
-    /// (the caller falls back to the heap path).
-    pub fn map_readonly(file: &File, len: usize) -> Option<*const u8> {
+    /// (the caller falls back to the heap path). `populate` asks for
+    /// `MAP_POPULATE` where the platform has it; if the populated mapping
+    /// fails the call retries plain before giving up, so the knob can only
+    /// change timing, never outcome.
+    pub fn map_readonly(file: &File, len: usize, populate: bool) -> Option<*const u8> {
+        let mut flags = MAP_PRIVATE;
+        #[cfg(target_os = "linux")]
+        if populate {
+            flags |= MAP_POPULATE;
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = populate;
         // SAFETY: a fresh private read-only mapping of a valid fd; the
         // kernel picks the address. MAP_FAILED is (void*)-1.
-        let ptr = unsafe {
+        let raw = |flags: c_int| unsafe {
             mmap(
                 std::ptr::null_mut(),
                 len,
                 PROT_READ,
-                MAP_PRIVATE,
+                flags,
                 file.as_raw_fd(),
                 0,
             )
         };
+        let mut ptr = raw(flags);
+        if (ptr == usize::MAX as *mut c_void || ptr.is_null()) && flags != MAP_PRIVATE {
+            ptr = raw(MAP_PRIVATE);
+        }
         if ptr == usize::MAX as *mut c_void || ptr.is_null() {
             None
         } else {
             Some(ptr as *const u8)
         }
+    }
+
+    /// Applies `madvise` readahead advice; failures are swallowed (hints).
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must describe a live mapping.
+    pub unsafe fn advise(ptr: *const u8, len: usize, advice: super::Advice) {
+        let advice = match advice {
+            super::Advice::Normal => MADV_NORMAL,
+            super::Advice::Sequential => MADV_SEQUENTIAL,
+            super::Advice::WillNeed => MADV_WILLNEED,
+        };
+        let _ = madvise(ptr as *mut c_void, len, advice);
     }
 
     /// Releases a mapping created by [`map_readonly`].
@@ -270,6 +380,30 @@ mod tests {
         assert!(!map.is_empty());
         #[cfg(all(unix, target_pointer_width = "64"))]
         assert!(map.is_mapped(), "64-bit unix should take the mmap path");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn populate_and_advice_change_nothing_observable() {
+        // The knobs are timing hints: bytes, length, and mode must be
+        // identical with and without them — on every platform.
+        let payload: Vec<u8> = (0..9000u32).map(|i| (i * 7) as u8).collect();
+        let path = temp_file(&payload, "priograph_mmap_populate.bin");
+        let plain = Mmap::map_or_read(&File::open(&path).unwrap()).unwrap();
+        let populated = MmapOptions::new()
+            .populate()
+            .map_or_read(&File::open(&path).unwrap())
+            .unwrap();
+        assert_eq!(&*plain, &*populated);
+        assert_eq!(plain.is_mapped(), populated.is_mapped());
+        for advice in [Advice::Sequential, Advice::WillNeed, Advice::Normal] {
+            populated.advise(advice); // must never fail or change bytes
+        }
+        assert_eq!(&*populated, &payload[..]);
+        // The heap fallback accepts advice as a no-op too.
+        let heap = Mmap::read_aligned(&File::open(&path).unwrap()).unwrap();
+        heap.advise(Advice::Sequential);
+        assert_eq!(&*heap, &payload[..]);
         let _ = std::fs::remove_file(path);
     }
 
