@@ -14,6 +14,7 @@
 //! [`unordered`]; serial references (Dijkstra, serial peeling) in [`serial`];
 //! validators in [`validate`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -26,6 +26,7 @@
 //! assert!(result.best_cost < Duration::from_millis(1));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -12,6 +12,7 @@
 //! so measured differences isolate the strategies rather than unrelated
 //! engineering.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

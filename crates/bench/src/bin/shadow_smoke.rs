@@ -1,0 +1,12 @@
+//! Release-mode smoke check: the default build must carry none of the
+//! `check-shadow` race-detector instrumentation (see docs/ARCHITECTURE.md
+//! "Correctness tooling"). CI's bench-smoke job runs this before trusting
+//! any benchmark numbers.
+
+fn main() {
+    if priograph_parallel::SHADOW_CHECKS_ENABLED {
+        eprintln!("shadow_smoke: FAIL — check-shadow instrumentation is compiled into this build");
+        std::process::exit(1);
+    }
+    println!("shadow_smoke: ok — default build is instrumentation-free");
+}

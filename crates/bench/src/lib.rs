@@ -5,6 +5,7 @@
 //! stand-ins for the paper's datasets (Table 3), scaled to laptop size; the
 //! `--scale` flag grows them when more fidelity is wanted.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;

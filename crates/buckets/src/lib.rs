@@ -39,6 +39,7 @@
 
 // See crates/graph/src/lib.rs: docs on public items are enforced, not
 // suggested, for the crates the serving stack exposes.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 

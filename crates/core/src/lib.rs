@@ -39,6 +39,7 @@
 //! assert_eq!(out.priorities[0], 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -35,6 +35,7 @@
 // Public items in this crate are load-bearing API for every engine above
 // it: missing docs fail the build (ISSUE 4's rustdoc pass), and CI's docs
 // job additionally denies rustdoc warnings (broken intra-doc links).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 

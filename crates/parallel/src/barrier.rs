@@ -66,12 +66,24 @@ impl SpinBarrier {
     /// Returns `true` on exactly one participant per generation (the last
     /// arriver), mirroring [`std::sync::BarrierWaitResult::is_leader`].
     pub fn wait(&self) -> bool {
+        self.wait_with(|| {})
+    }
+
+    /// [`SpinBarrier::wait`], with `on_last` run by the last arriver
+    /// *before* the other participants are released — a window in which no
+    /// participant can be mutating shared state. The shadow checker
+    /// ([`crate::Pool`] under `check-shadow`) drains its claim log here so
+    /// claims from two barrier-delimited phases are never conflated.
+    pub(crate) fn wait_with(&self, on_last: impl FnOnce()) -> bool {
         if self.total == 1 {
+            on_last();
             return true;
         }
         let gen = self.generation.load(Ordering::Acquire);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last arriver: reset the count and release the generation.
+            // Last arriver: run the hook, then reset the count and release
+            // the generation.
+            on_last();
             self.remaining.store(self.total, Ordering::Relaxed);
             self.generation.fetch_add(1, Ordering::Release);
             true

@@ -47,6 +47,7 @@
 //! assert_eq!(sum.into_inner(), 999 * 1000 / 2);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -56,11 +57,19 @@ mod chunk;
 mod pool;
 pub mod reduce;
 pub mod scan;
+#[cfg(feature = "check-shadow")]
+pub mod shadow;
 pub mod shared;
 
 pub use barrier::SpinBarrier;
 pub use chunk::ChunkCursor;
 pub use pool::{global, in_worker, Pool, Worker};
+
+/// True when this build carries the `check-shadow` race-detector
+/// instrumentation (see [`shadow`](crate) docs / `docs/ARCHITECTURE.md`).
+/// Always present so release smoke tests can assert the default build is
+/// instrumentation-free.
+pub const SHADOW_CHECKS_ENABLED: bool = cfg!(feature = "check-shadow");
 
 /// Default grain size for dynamically scheduled loops.
 ///

@@ -2,6 +2,8 @@
 
 use crate::barrier::SpinBarrier;
 use crate::chunk::ChunkCursor;
+#[cfg(feature = "check-shadow")]
+use crate::shadow;
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::fmt;
@@ -47,6 +49,9 @@ struct Shared {
     /// The broadcaster's persisted adaptive spin budget (see
     /// [`AdaptiveSpin`]); workers keep theirs on their own stacks.
     caller_spin: AtomicUsize,
+    /// Shadow-state claim log shared by every region of this pool.
+    #[cfg(feature = "check-shadow")]
+    shadow: Arc<shadow::ShadowLog>,
 }
 
 /// Smallest adaptive spin budget: even a waiter that keeps parking should
@@ -166,6 +171,8 @@ impl Pool {
             shutdown: AtomicBool::new(false),
             barrier: SpinBarrier::new(num_threads),
             caller_spin: AtomicUsize::new(SPIN_INIT),
+            #[cfg(feature = "check-shadow")]
+            shadow: Arc::new(shadow::ShadowLog::new()),
         });
         let mut handles = Vec::with_capacity(num_threads.saturating_sub(1));
         for tid in 1..num_threads {
@@ -218,9 +225,10 @@ impl Pool {
         }
 
         let shared = &*self.shared;
-        // Erase the closure's concrete type and lifetime. SAFETY: we wait for
-        // all workers below before returning, so `f` outlives every use.
+        // Erase the closure's concrete type and lifetime.
         let wide: &(dyn Fn(Worker<'_>) + Sync) = &f;
+        // SAFETY: we wait for all workers below before returning, so `f`
+        // outlives every use of the erased reference.
         let raw: JobRef = unsafe { std::mem::transmute(wide) };
         shared.job.0.set(Some(raw));
         shared.outstanding.store(shared.n - 1, Ordering::Relaxed);
@@ -233,11 +241,15 @@ impl Pool {
 
         IN_REGION.with(|flag| {
             let was = flag.replace(true);
+            #[cfg(feature = "check-shadow")]
+            shadow::enter_region(Arc::clone(&shared.shadow), 0);
             f(Worker {
                 tid: 0,
                 serial: false,
                 shared,
             });
+            #[cfg(feature = "check-shadow")]
+            shadow::exit_region();
             flag.set(was);
         });
 
@@ -255,6 +267,10 @@ impl Pool {
         }
         shared.caller_spin.store(spinner.budget, Ordering::Relaxed);
         shared.job.0.set(None);
+        // Safe point: every participant has returned, so a panic here can
+        // strand no worker. Raises any overlap the shadow checker found.
+        #[cfg(feature = "check-shadow")]
+        shared.shadow.finish_region();
     }
 
     /// Dynamically scheduled parallel loop over `range`, chunked by `grain`.
@@ -360,11 +376,15 @@ fn worker_loop(shared: &Shared, tid: usize) {
         let job: &(dyn Fn(Worker<'_>) + Sync) = unsafe { &*raw };
         IN_REGION.with(|flag| {
             flag.set(true);
+            #[cfg(feature = "check-shadow")]
+            shadow::enter_region(Arc::clone(&shared.shadow), tid);
             job(Worker {
                 tid,
                 serial: false,
                 shared,
             });
+            #[cfg(feature = "check-shadow")]
+            shadow::exit_region();
             flag.set(false);
         });
         if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -410,9 +430,18 @@ impl Worker<'_> {
     /// No-op for serial (single participant) regions. Every participant must
     /// execute the same sequence of `barrier()` calls, as with OpenMP.
     pub fn barrier(&self) {
-        if !self.serial {
-            self.shared.barrier.wait();
+        if self.serial {
+            return;
         }
+        #[cfg(feature = "check-shadow")]
+        // The last arriver drains the shadow claim log before releasing the
+        // barrier: ranges legitimately reused across phases (frontier
+        // resets) must not be compared across the barrier.
+        self.shared
+            .barrier
+            .wait_with(|| self.shared.shadow.drain_check());
+        #[cfg(not(feature = "check-shadow"))]
+        self.shared.barrier.wait();
     }
 
     /// This participant's contiguous `[start, end)` share of `len` items

@@ -1,0 +1,331 @@
+//! Shadow-state race detection for the unsafe parallel core
+//! (`--features check-shadow`).
+//!
+//! The zero-allocation frontier pipeline buys its speed with unsynchronized
+//! writes whose disjointness is enforced *by convention*: prefix-sum ranges
+//! for [`crate::shared::SliceWriter`], `fetch_add`-claimed ranges for
+//! [`crate::shared::DisjointSlice::write_slice`], owner-computes slots for
+//! [`crate::shared::WorkerLocal`]. This module turns a violation of that
+//! convention — a silent overlapping-write data race — into a deterministic
+//! panic naming both workers and both ranges.
+//!
+//! # Design
+//!
+//! Every [`crate::Pool`] owns one [`ShadowLog`]. While a thread participates
+//! in a broadcast region, a thread-local holds `(Arc<ShadowLog>, tid)`;
+//! instrumented write paths append `(tid, byte range)` claims to the log's
+//! lock-free append-only slot array (a `fetch_add` cursor plus per-slot
+//! publish flags). Claims are checked for cross-worker overlap and drained
+//!
+//! * at every region barrier — inside the **last arriver's** critical
+//!   window, before the other participants are released, so a claim can
+//!   never be confused with a claim from the next barrier-delimited phase
+//!   (ranges are legitimately reused across phases, e.g. a frontier reset
+//!   between rounds); and
+//! * at the end of every broadcast, after all workers have finished.
+//!
+//! Violations found at a barrier are *recorded*, not raised: panicking on a
+//! worker thread mid-region would strand the other participants in the
+//! barrier and deadlock the pool. The pending violations are raised as one
+//! panic on the broadcasting thread once the region has fully completed —
+//! a safe point where every participant has returned.
+//!
+//! The log is fixed-capacity; claims past capacity inside one
+//! barrier-delimited window are dropped (counted in
+//! [`ShadowLog::dropped_claims`]) rather than blocking the hot path.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Claims recordable per barrier-delimited window before claims are dropped.
+const LOG_CAPACITY: usize = 1 << 16;
+
+/// What kind of write path recorded a claim (diagnostics only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimKind {
+    /// [`crate::shared::SliceWriter::write_copy`].
+    SliceWriter,
+    /// [`crate::shared::DisjointSlice::write_slice`].
+    DisjointSlice,
+}
+
+impl ClaimKind {
+    fn from_u8(v: u8) -> &'static str {
+        match v {
+            0 => "SliceWriter::write_copy",
+            _ => "DisjointSlice::write_slice",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Slot {
+    /// Set (Release) after the payload fields below are written.
+    ready: AtomicBool,
+    tid: AtomicUsize,
+    /// First byte address of the claimed destination range.
+    addr: AtomicUsize,
+    /// Length of the claim in bytes (never 0).
+    len: AtomicUsize,
+    kind: AtomicU8,
+}
+
+/// The per-pool claim log and violation store. See the module docs.
+pub struct ShadowLog {
+    slots: Box<[Slot]>,
+    /// Next free slot (may run past `slots.len()`; the excess is dropped).
+    cursor: AtomicUsize,
+    /// Claims dropped because a window overflowed `LOG_CAPACITY`.
+    dropped: AtomicUsize,
+    /// Barrier-delimited windows drained so far (diagnostics only).
+    windows: AtomicUsize,
+    /// Violations found at barriers, raised at the next safe point.
+    violations: Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for ShadowLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowLog")
+            .field("claims", &self.cursor.load(Ordering::Relaxed))
+            .field("windows", &self.windows.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for ShadowLog {
+    fn default() -> Self {
+        ShadowLog::new()
+    }
+}
+
+impl ShadowLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ShadowLog {
+            slots: (0..LOG_CAPACITY).map(|_| Slot::default()).collect(),
+            cursor: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
+            windows: AtomicUsize::new(0),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record(&self, tid: usize, addr: usize, len: usize, kind: ClaimKind) {
+        if len == 0 {
+            return;
+        }
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = self.slots.get(idx) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        slot.tid.store(tid, Ordering::Relaxed);
+        slot.addr.store(addr, Ordering::Relaxed);
+        slot.len.store(len, Ordering::Relaxed);
+        slot.kind.store(kind as u8, Ordering::Relaxed);
+        slot.ready.store(true, Ordering::Release);
+    }
+
+    /// Claims dropped so far because a window held more than `LOG_CAPACITY`
+    /// writes — a coverage gap, not a correctness problem.
+    pub fn dropped_claims(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Checks the current window's claims for cross-worker overlap and
+    /// resets the log. Violations are recorded for the next safe point, not
+    /// raised — this runs inside barriers.
+    ///
+    /// Must only be called while no participant can be recording: by the
+    /// last arriver of a barrier (the others are spinning) or by the
+    /// broadcaster after the completion wait.
+    pub fn drain_check(&self) {
+        let claimed = self.cursor.load(Ordering::Relaxed);
+        if claimed == 0 {
+            return;
+        }
+        let upto = claimed.min(self.slots.len());
+        let mut claims: Vec<(usize, usize, usize, u8)> = Vec::with_capacity(upto);
+        for slot in &self.slots[..upto] {
+            if !slot.ready.load(Ordering::Acquire) {
+                continue;
+            }
+            claims.push((
+                slot.addr.load(Ordering::Relaxed),
+                slot.len.load(Ordering::Relaxed),
+                slot.tid.load(Ordering::Relaxed),
+                slot.kind.load(Ordering::Relaxed),
+            ));
+        }
+        let window = self.windows.fetch_add(1, Ordering::Relaxed);
+        claims.sort_unstable();
+        // Sweep the address-sorted claims with an active-interval set: a
+        // claim overlaps exactly the still-active intervals once those
+        // ending before it are retired. Legal (disjoint) workloads keep the
+        // set near-empty, so the sweep is effectively linear. Same-worker
+        // overlap is legal (a worker may rewrite its own range in a phase).
+        let mut active: Vec<(usize, usize, usize, u8)> = Vec::new();
+        let mut reported = 0usize;
+        for &(b_addr, b_len, b_tid, b_kind) in &claims {
+            active.retain(|&(a_addr, a_len, _, _)| a_addr + a_len > b_addr);
+            for &(a_addr, a_len, a_tid, a_kind) in &active {
+                if a_tid != b_tid && reported < 16 {
+                    reported += 1;
+                    self.violations.lock().push(format!(
+                        "overlapping unsynchronized writes in window {window}: \
+                         worker {a_tid} claimed {:#x}..{:#x} via {} while \
+                         worker {b_tid} claimed {:#x}..{:#x} via {}",
+                        a_addr,
+                        a_addr + a_len,
+                        ClaimKind::from_u8(a_kind),
+                        b_addr,
+                        b_addr + b_len,
+                        ClaimKind::from_u8(b_kind),
+                    ));
+                }
+            }
+            active.push((b_addr, b_len, b_tid, b_kind));
+        }
+        for slot in &self.slots[..upto] {
+            slot.ready.store(false, Ordering::Relaxed);
+        }
+        self.cursor.store(0, Ordering::Release);
+    }
+
+    /// Records a violation found by an instrumented access (deferred panic).
+    pub fn report(&self, msg: String) {
+        self.violations.lock().push(msg);
+    }
+
+    /// Drains the final window and panics if any violation was recorded.
+    /// Called by the broadcasting thread after every worker has returned —
+    /// the one place a panic cannot strand a participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics with every recorded violation when the shadow checker found
+    /// overlapping writes.
+    pub fn finish_region(&self) {
+        self.drain_check();
+        let violations = std::mem::take(&mut *self.violations.lock());
+        if !violations.is_empty() {
+            panic!(
+                "shadow checker detected {} violation(s):\n  {}",
+                violations.len(),
+                violations.join("\n  ")
+            );
+        }
+    }
+}
+
+thread_local! {
+    /// The log of the pool region this thread is currently participating
+    /// in, with the thread's region tid. `None` outside regions — shadow
+    /// checks only observe genuinely concurrent phases.
+    static REGION: std::cell::RefCell<Option<(Arc<ShadowLog>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Pool hook: this thread starts participating in a region as `tid`.
+pub(crate) fn enter_region(log: Arc<ShadowLog>, tid: usize) {
+    REGION.with(|r| *r.borrow_mut() = Some((log, tid)));
+}
+
+/// Pool hook: this thread left its region.
+pub(crate) fn exit_region() {
+    REGION.with(|r| *r.borrow_mut() = None);
+}
+
+/// The calling thread's region tid, if it is inside a pool region.
+pub fn current_tid() -> Option<usize> {
+    REGION.with(|r| r.borrow().as_ref().map(|(_, tid)| *tid))
+}
+
+/// Records a claimed destination byte range for the current region, if any.
+#[inline]
+pub fn record_claim(addr: usize, len_bytes: usize, kind: ClaimKind) {
+    REGION.with(|r| {
+        if let Some((log, tid)) = r.borrow().as_ref() {
+            log.record(*tid, addr, len_bytes, kind);
+        }
+    });
+}
+
+/// Reports a protocol violation observed by an instrumented access: deferred
+/// to the region's safe point when inside a region, raised immediately (no
+/// deadlock risk) otherwise.
+pub fn report_violation(msg: String) {
+    let deferred = REGION.with(|r| {
+        if let Some((log, _)) = r.borrow().as_ref() {
+            log.report(msg.clone());
+            true
+        } else {
+            false
+        }
+    });
+    if !deferred {
+        panic!("shadow checker: {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_claims_are_clean() {
+        let log = ShadowLog::new();
+        log.record(0, 0x1000, 64, ClaimKind::SliceWriter);
+        log.record(1, 0x1040, 64, ClaimKind::SliceWriter);
+        log.record(2, 0x0fc0, 64, ClaimKind::DisjointSlice);
+        log.finish_region(); // must not panic
+        assert_eq!(log.dropped_claims(), 0);
+    }
+
+    #[test]
+    fn same_worker_overlap_is_legal() {
+        let log = ShadowLog::new();
+        log.record(3, 0x2000, 128, ClaimKind::SliceWriter);
+        log.record(3, 0x2040, 16, ClaimKind::SliceWriter);
+        log.finish_region();
+    }
+
+    #[test]
+    fn cross_worker_overlap_panics_naming_both() {
+        let log = ShadowLog::new();
+        log.record(0, 0x3000, 64, ClaimKind::SliceWriter);
+        log.record(1, 0x3020, 64, ClaimKind::SliceWriter);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            log.finish_region();
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("worker 0"), "{msg}");
+        assert!(msg.contains("worker 1"), "{msg}");
+        assert!(msg.contains("0x3000"), "{msg}");
+        assert!(msg.contains("0x3020"), "{msg}");
+    }
+
+    #[test]
+    fn barrier_drain_separates_windows() {
+        let log = ShadowLog::new();
+        // The same range claimed by two workers — but in different
+        // barrier-delimited windows, which is the legal reuse pattern
+        // (e.g. a frontier reset between rounds).
+        log.record(0, 0x4000, 256, ClaimKind::DisjointSlice);
+        log.drain_check();
+        log.record(1, 0x4000, 256, ClaimKind::DisjointSlice);
+        log.finish_region();
+    }
+
+    #[test]
+    fn overflow_drops_but_does_not_block() {
+        let log = ShadowLog::new();
+        for i in 0..(LOG_CAPACITY + 10) {
+            log.record(0, 0x10_0000 + i * 8, 8, ClaimKind::SliceWriter);
+        }
+        assert_eq!(log.dropped_claims(), 10);
+        log.finish_region();
+    }
+}

@@ -34,6 +34,8 @@ use crossbeam::utils::CachePadded;
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::marker::PhantomData;
+#[cfg(feature = "check-shadow")]
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A slice whose elements may be written concurrently at *disjoint* indices.
 ///
@@ -158,6 +160,12 @@ impl<T: Copy> DisjointSlice<T> {
             offset + src.len(),
             self.cells.len()
         );
+        #[cfg(feature = "check-shadow")]
+        crate::shadow::record_claim(
+            self.cells.as_ptr() as usize + offset * std::mem::size_of::<T>(),
+            std::mem::size_of_val(src),
+            crate::shadow::ClaimKind::DisjointSlice,
+        );
         // SAFETY: `UnsafeCell<T>` has the same layout as `T`, the bounds were
         // checked above, and the access contract rules out concurrent use of
         // the range.
@@ -187,6 +195,7 @@ impl<T: Copy> DisjointSlice<T> {
             self.cells.len()
         );
         out.reserve(len);
+        // Reads never race other reads; only writes claim shadow ranges.
         // SAFETY: bounds checked; the reserve guarantees spare capacity; the
         // access contract rules out concurrent writers of the source range.
         unsafe {
@@ -282,6 +291,12 @@ impl<'a, T> SliceWriter<'a, T> {
             offset + src.len(),
             self.len
         );
+        #[cfg(feature = "check-shadow")]
+        crate::shadow::record_claim(
+            self.ptr as usize + offset * std::mem::size_of::<T>(),
+            std::mem::size_of_val(src),
+            crate::shadow::ClaimKind::SliceWriter,
+        );
         // SAFETY: bounds checked above; the access contract rules out
         // concurrent use of the range; `T: Copy` means no drop obligations.
         unsafe {
@@ -302,6 +317,11 @@ pub struct WorkerLocal<T> {
     /// Each slot is [`CachePadded`] so per-worker hot buffers never
     /// false-share.
     slots: Box<[CachePadded<UnsafeCell<T>>]>,
+    /// One borrow flag per slot: nonzero while a [`WorkerLocal::with_mut`]
+    /// borrow is live, so the shadow checker can catch a `peek` or second
+    /// `with_mut` racing it.
+    #[cfg(feature = "check-shadow")]
+    borrows: Box<[AtomicU8]>,
 }
 
 // SAFETY: slot access follows the fill/merge/reset protocol documented on
@@ -330,6 +350,8 @@ impl<T: Default> WorkerLocal<T> {
             slots: (0..workers)
                 .map(|_| CachePadded::new(UnsafeCell::new(T::default())))
                 .collect(),
+            #[cfg(feature = "check-shadow")]
+            borrows: (0..workers).map(|_| AtomicU8::new(0)).collect(),
         }
     }
 
@@ -343,6 +365,11 @@ impl<T: Default> WorkerLocal<T> {
         let mut slots: Vec<CachePadded<UnsafeCell<T>>> = std::mem::take(&mut self.slots).into_vec();
         slots.resize_with(workers, || CachePadded::new(UnsafeCell::new(T::default())));
         self.slots = slots.into_boxed_slice();
+        #[cfg(feature = "check-shadow")]
+        {
+            // `&mut self` means no borrow can be live; fresh flags suffice.
+            self.borrows = (0..workers).map(|_| AtomicU8::new(0)).collect();
+        }
     }
 }
 
@@ -371,9 +398,14 @@ impl<T> WorkerLocal<T> {
     #[inline]
     pub fn with_mut<R>(&self, tid: usize, f: impl FnOnce(&mut T) -> R) -> R {
         let cell: &UnsafeCell<T> = &self.slots[tid];
+        #[cfg(feature = "check-shadow")]
+        self.shadow_enter_mut(tid);
         // SAFETY: per the access contract the owning worker has exclusive
         // access to this slot for the duration of the call.
-        f(unsafe { &mut *cell.get() })
+        let out = f(unsafe { &mut *cell.get() });
+        #[cfg(feature = "check-shadow")]
+        self.shadow_exit_mut(tid);
+        out
     }
 
     /// Shared read of slot `tid`.
@@ -390,6 +422,12 @@ impl<T> WorkerLocal<T> {
     #[inline]
     pub fn peek(&self, tid: usize) -> &T {
         let cell: &UnsafeCell<T> = &self.slots[tid];
+        #[cfg(feature = "check-shadow")]
+        if self.borrows[tid].load(Ordering::Acquire) != 0 {
+            crate::shadow::report_violation(format!(
+                "WorkerLocal slot {tid} peeked while a with_mut borrow is live"
+            ));
+        }
         // SAFETY: per the access contract no mutable borrow is live.
         unsafe { &*cell.get() }
     }
@@ -402,6 +440,32 @@ impl<T> WorkerLocal<T> {
     /// Iterates over all slots exclusively (for merge/reset phases).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
         self.slots.iter_mut().map(|slot| slot.get_mut())
+    }
+}
+
+#[cfg(feature = "check-shadow")]
+impl<T> WorkerLocal<T> {
+    fn shadow_enter_mut(&self, tid: usize) {
+        // Inside a pool region the owner-computes protocol demands workers
+        // only touch their own slot; outside (tests, serial merge phases)
+        // any caller may, as long as borrows never overlap.
+        if let Some(cur) = crate::shadow::current_tid() {
+            if cur != tid {
+                crate::shadow::report_violation(format!(
+                    "worker {cur} entered WorkerLocal slot {tid} via with_mut \
+                     (owner-computes protocol violated)"
+                ));
+            }
+        }
+        if self.borrows[tid].swap(1, Ordering::AcqRel) != 0 {
+            crate::shadow::report_violation(format!(
+                "WorkerLocal slot {tid} double-borrowed via with_mut"
+            ));
+        }
+    }
+
+    fn shadow_exit_mut(&self, tid: usize) {
+        self.borrows[tid].store(0, Ordering::Release);
     }
 }
 

@@ -150,6 +150,20 @@ struct Inner {
 }
 
 impl Catalog {
+    /// The catalog lock. A poisoned lock means a peer request panicked
+    /// mid-mutation; serving from a half-updated catalog is worse than
+    /// propagating the panic, so this is the one deliberate panic here.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // lint: allow-panic poisoned catalog lock: a peer request died mid-mutation
+        self.inner.lock().unwrap()
+    }
+
+    /// The manifest-path lock (same poisoning rationale as [`Catalog::locked`]).
+    fn manifest_locked(&self) -> std::sync::MutexGuard<'_, Option<std::path::PathBuf>> {
+        // lint: allow-panic poisoned manifest lock: a peer request died mid-mutation
+        self.manifest.lock().unwrap()
+    }
+
     /// Builds a catalog holding `graphs` under ids `0..n` in order.
     pub fn new(graphs: Vec<(String, CsrGraph, LoadMode)>) -> Catalog {
         Catalog::with_options(graphs, MapOptions::default())
@@ -163,7 +177,7 @@ impl Catalog {
             ..Catalog::default()
         };
         for (name, graph, mode) in graphs {
-            let mut inner = catalog.inner.lock().unwrap();
+            let mut inner = catalog.locked();
             let id = inner.next_id;
             inner.next_id += 1;
             inner
@@ -175,12 +189,12 @@ impl Catalog {
 
     /// Resolves a graph id (the per-query lookup).
     pub fn get(&self, id: GraphId) -> Option<Arc<GraphEntry>> {
-        self.inner.lock().unwrap().by_id.get(&id).cloned()
+        self.locked().by_id.get(&id).cloned()
     }
 
     /// Resolves a graph by name (the operator-facing lookup).
     pub fn by_name(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         inner.by_id.values().find(|e| e.name == name).cloned()
     }
 
@@ -209,7 +223,7 @@ impl Catalog {
         source_path: Option<String>,
     ) -> Result<Arc<GraphEntry>, CatalogError> {
         let entry = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.locked();
             if inner.by_id.values().any(|e| e.name == name) {
                 return Err(CatalogError::NameTaken(name.to_string()));
             }
@@ -249,13 +263,14 @@ impl Catalog {
     /// Unknown names.
     pub fn unload(&self, name: &str) -> Result<Arc<GraphEntry>, CatalogError> {
         let entry = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.locked();
             let id = inner
                 .by_id
                 .values()
                 .find(|e| e.name == name)
                 .map(|e| e.id)
                 .ok_or_else(|| CatalogError::UnknownName(name.to_string()))?;
+            // lint: allow-panic the id was resolved from this same locked map two lines up
             inner.by_id.remove(&id).expect("id just resolved")
         };
         self.persist();
@@ -264,7 +279,7 @@ impl Catalog {
 
     /// Every resident entry, ordered by id (stable listing for operators).
     pub fn list(&self) -> Vec<Arc<GraphEntry>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         let mut entries: Vec<_> = inner.by_id.values().cloned().collect();
         entries.sort_by_key(|e| e.id);
         entries
@@ -272,7 +287,7 @@ impl Catalog {
 
     /// Number of resident graphs.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().by_id.len()
+        self.locked().by_id.len()
     }
 
     /// True when no graph is resident.
@@ -283,7 +298,7 @@ impl Catalog {
     /// True when `id` is resident — the dispatcher's engine-state GC uses
     /// this to drop per-graph engines for evicted graphs.
     pub fn contains(&self, id: GraphId) -> bool {
-        self.inner.lock().unwrap().by_id.contains_key(&id)
+        self.locked().by_id.contains_key(&id)
     }
 
     /// Attaches a manifest file: every later catalog or plan change is
@@ -299,7 +314,7 @@ impl Catalog {
     ) -> crate::manifest::RestoreReport {
         let path = path.into();
         let report = crate::manifest::restore(self, &path);
-        *self.manifest.lock().unwrap() = Some(path);
+        *self.manifest_locked() = Some(path);
         // Write back immediately so the manifest reflects reality (startup
         // graphs with paths, entries whose snapshots vanished).
         self.persist();
@@ -310,7 +325,7 @@ impl Catalog {
     /// reported to stderr, never propagated: persistence must not take the
     /// serving path down.
     pub fn persist(&self) {
-        let manifest = self.manifest.lock().unwrap();
+        let manifest = self.manifest_locked();
         let Some(path) = manifest.as_ref() else {
             return;
         };

@@ -1295,14 +1295,17 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
+        // lint: allow-panic take(4) yields exactly 4 bytes, conversion is infallible
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
+        // lint: allow-panic take(8) yields exactly 8 bytes, conversion is infallible
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     fn i64(&mut self) -> Result<i64, WireError> {
+        // lint: allow-panic take(8) yields exactly 8 bytes, conversion is infallible
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 

@@ -626,6 +626,7 @@ fn handle_connection(
             }
             Ok(Request::Query(query)) => {
                 match admit_and_run(shared, tx, std::slice::from_ref(&query)) {
+                    // lint: allow-panic admit_and_run returns one response per query by construction
                     Ok(mut responses) => responses.pop().expect("one query, one response"),
                     Err(busy) => busy,
                 }
@@ -732,6 +733,7 @@ fn planned_schedule(shared: &Shared, entry: &GraphEntry, query: &Query) -> Sched
     let family = query
         .op
         .family()
+        // lint: allow-panic the dispatcher routes point queries to the batch path, never here
         .expect("point queries never reach the planner");
     if query.schedule.strategy == WireStrategy::ServerDefault {
         let mut schedule = entry.plans.plan_for(family).schedule;
@@ -881,6 +883,7 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
         }
 
         for (job, reply) in queries.drain(..).zip(replies.drain(..)) {
+            // lint: allow-panic the loop above fills every slot before draining
             let reply = reply.expect("every job got a reply");
             if matches!(reply, Response::Error { .. }) {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -905,6 +908,7 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
                 reply,
             } = tune
             else {
+                // lint: allow-panic the admission loop pushes only Job::Tune into tunes
                 unreachable!("tunes holds only Tune jobs");
             };
             let _ = reply.send(run_tune(shared, &pool, &entry, family, budget));
@@ -945,6 +949,7 @@ fn run_full_query(shared: &Shared, pool: &Pool, job: &QueryJob) -> Response {
     }
     let schedule = planned_schedule(shared, &job.entry, query);
     match query.op {
+        // lint: allow-panic run_full_query is only called for full-vector ops
         QueryOp::Ppsp => unreachable!("point queries are batched"),
         QueryOp::Sssp => match sssp::delta_stepping_on(pool, graph, query.source, &schedule) {
             Ok(r) => Response::DistVec(r.dist),

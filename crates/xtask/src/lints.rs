@@ -1,0 +1,776 @@
+//! The lint rules. Every rule is a pure function over source text so the
+//! red cases (a stripped SAFETY comment, a server-path panic, a doc/constant
+//! mismatch) can be exercised directly in unit tests without touching the
+//! working tree.
+
+use crate::scan::{contains_word, scan, Line};
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path of the offending file (or a synthetic label).
+    pub file: String,
+    /// 1-based line number, 0 when the finding is file- or crate-level.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl Finding {
+    fn new(file: &str, line: usize, msg: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+fn is_passive(line: &Line) -> bool {
+    let code = line.code.trim();
+    code.is_empty() || code.starts_with("#[") || code.starts_with("#![")
+}
+
+fn run_has_safety(lines: &[Line], mut idx: usize) -> bool {
+    // Walk the contiguous run of comment/attribute/blank lines immediately
+    // above `idx`, looking for a SAFETY marker. A line that is itself the
+    // unfinished head of the statement (`let x =`, an open call, …) does not
+    // end the run: `unsafe` may sit on a continuation line below the
+    // statement the comment annotates.
+    while idx > 0 {
+        idx -= 1;
+        let line = &lines[idx];
+        let code = line.code.trim_end();
+        let continuation = matches!(code.chars().last(), Some('=' | '(' | ',' | '+' | '|'));
+        if !is_passive(line) && !continuation {
+            return false;
+        }
+        if line.comment.contains("SAFETY:") || line.comment.contains("# Safety") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule 1: every `unsafe` site must carry a `// SAFETY:` comment (same line,
+/// or in the contiguous comment/attribute run immediately above). A
+/// `/// # Safety` doc section on an `unsafe fn`/`unsafe trait` counts.
+/// Consecutive one-line `unsafe impl` items (the idiomatic Send/Sync pair)
+/// may share one comment above the first of the group.
+pub fn check_safety_comments(file: &str, src: &str) -> Vec<Finding> {
+    let lines = scan(src);
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if !contains_word(&line.code, "unsafe") {
+            continue;
+        }
+        if line.comment.contains("SAFETY:") {
+            continue;
+        }
+        // Group consecutive `unsafe impl` one-liners: hoist the check to the
+        // first line of the group.
+        let mut top = i;
+        if line.code.trim_start().starts_with("unsafe impl") {
+            while top > 0 && lines[top - 1].code.trim_start().starts_with("unsafe impl") {
+                top -= 1;
+            }
+        }
+        if lines[top].comment.contains("SAFETY:") || run_has_safety(&lines, top) {
+            continue;
+        }
+        findings.push(Finding::new(
+            file,
+            i + 1,
+            "`unsafe` without a `// SAFETY:` comment (same line or in the \
+             comment block directly above)"
+                .to_string(),
+        ));
+    }
+    findings
+}
+
+/// Counts `unsafe` keyword occurrences in code (not comments/strings).
+pub fn count_unsafe(src: &str) -> usize {
+    scan(src)
+        .iter()
+        .filter(|l| contains_word(&l.code, "unsafe"))
+        .count()
+}
+
+/// Rule 2: crates with zero unsafe must `#![forbid(unsafe_code)]`;
+/// unsafe-bearing crates must `#![deny(unsafe_op_in_unsafe_fn)]`.
+/// `root_src` is the crate-root file; `crate_unsafe` the unsafe-line count
+/// across the whole crate's `src/` tree.
+pub fn check_crate_attrs(
+    krate: &str,
+    root_file: &str,
+    root_src: &str,
+    crate_unsafe: usize,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code: String = scan(root_src)
+        .iter()
+        .map(|l| l.code.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let has_forbid = code.contains("#![forbid(unsafe_code)]");
+    let has_deny = code.contains("#![deny(unsafe_op_in_unsafe_fn)]");
+    if crate_unsafe == 0 {
+        if !has_forbid {
+            findings.push(Finding::new(
+                root_file,
+                0,
+                format!("crate `{krate}` has no unsafe code but does not declare #![forbid(unsafe_code)]"),
+            ));
+        }
+    } else {
+        if !has_deny {
+            findings.push(Finding::new(
+                root_file,
+                0,
+                format!(
+                    "crate `{krate}` has {crate_unsafe} unsafe site(s) but does not declare \
+                     #![deny(unsafe_op_in_unsafe_fn)]"
+                ),
+            ));
+        }
+        if has_forbid {
+            findings.push(Finding::new(
+                root_file,
+                0,
+                format!(
+                    "crate `{krate}` declares #![forbid(unsafe_code)] yet contains unsafe code"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".unwrap_err(",
+    ".expect(",
+    ".expect_err(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+fn allow_panic_ok(comment: &str) -> bool {
+    // `// lint: allow-panic <reason>` — the reason is mandatory.
+    comment.find("lint: allow-panic").is_some_and(|pos| {
+        let rest = &comment[pos + "lint: allow-panic".len()..];
+        rest.chars().filter(|c| c.is_alphanumeric()).count() >= 3
+    })
+}
+
+/// Rule 3: no panicking constructs on the server request path. Allowlist a
+/// site with `// lint: allow-panic <reason>` on the same line or the line
+/// above. `#[cfg(test)]` items are skipped.
+pub fn check_server_panics(file: &str, src: &str) -> Vec<Finding> {
+    let lines = scan(src);
+    let mut findings = Vec::new();
+    let mut skip_depth: Option<usize> = None; // brace depth when a cfg(test) item closes
+    let mut depth = 0usize;
+    let mut pending_cfg_test = false;
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if skip_depth.is_none() {
+            if code.contains("#[cfg(test)]") {
+                pending_cfg_test = true;
+            }
+            if pending_cfg_test && code.contains('{') {
+                // The cfg(test) item's body opens here; skip until the brace
+                // depth returns to its pre-item level.
+                skip_depth = Some(depth);
+                pending_cfg_test = false;
+            } else if skip_depth.is_none() && !pending_cfg_test {
+                for pat in PANIC_PATTERNS {
+                    if code.contains(pat) {
+                        let allowed = allow_panic_ok(&line.comment)
+                            || (i > 0 && allow_panic_ok(&lines[i - 1].comment));
+                        if !allowed {
+                            findings.push(Finding::new(
+                                file,
+                                i + 1,
+                                format!(
+                                    "`{pat}` on the server request path (allowlist with \
+                                     `// lint: allow-panic <reason>` if infallible)"
+                                ),
+                            ));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if skip_depth == Some(depth) {
+                        skip_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Evaluates the integer constant expressions the protocol module uses:
+/// plain literals, `a << b`, and `a + b + …`.
+fn eval_const(expr: &str) -> Option<u64> {
+    let expr = expr.trim();
+    if let Some((a, b)) = expr.split_once("<<") {
+        return Some(eval_const(a)? << eval_const(b)?);
+    }
+    if expr.contains('+') {
+        let mut sum = 0;
+        for part in expr.split('+') {
+            sum += eval_const(part)?;
+        }
+        return Some(sum);
+    }
+    expr.replace('_', "").parse().ok()
+}
+
+fn find_const(code: &str, name: &str) -> Option<u64> {
+    let pos = code.find(&format!("const {name}:"))?;
+    let rest = &code[pos..];
+    let eq = rest.find('=')?;
+    let semi = rest.find(';')?;
+    eval_const(&rest[eq + 1..semi])
+}
+
+/// Extracts `<int> =>` match-arm tags from the body of `fn_name` inside
+/// `impl_name`'s impl block (comment/string-stripped text).
+fn decode_tags(code: &str, impl_name: &str, fn_name: &str) -> Option<Vec<u64>> {
+    let impl_pos = code.find(&format!("impl {impl_name} "))?;
+    let fn_pos = code[impl_pos..].find(&format!("fn {fn_name}("))? + impl_pos;
+    let open = code[fn_pos..].find('{')? + fn_pos;
+    let mut depth = 0usize;
+    let mut end = open;
+    for (off, c) in code[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + off;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &code[open..end];
+    let mut tags = Vec::new();
+    for line in body.lines() {
+        let t = line.trim_start();
+        if let Some(arrow) = t.find("=>") {
+            if let Ok(n) = t[..arrow].trim().parse::<u64>() {
+                tags.push(n);
+            }
+        }
+    }
+    Some(tags)
+}
+
+/// `ErrorKind` variant-to-wire-byte pairs from `to_u8`.
+type KindBytes = Vec<(String, u64)>;
+/// `ErrorKind` variant-to-display-name pairs from the `Display` impl.
+type KindNames = Vec<(String, String)>;
+
+/// Collects `ErrorKind::<Variant> => <int>` (from `to_u8`) and
+/// `ErrorKind::<Variant> => "<name>"` (from the Display impl) pairs.
+fn error_kind_tables(raw: &str) -> (KindBytes, KindNames) {
+    let mut nums = Vec::new();
+    let mut strs = Vec::new();
+    for line in raw.lines() {
+        let t = line.trim();
+        // Guard clauses like `e.kind() == std::io::ErrorKind::Interrupted`
+        // fail the `=> <int or "str">` shape below and are ignored.
+        let Some(rest) = t.strip_prefix("ErrorKind::") else {
+            continue;
+        };
+        let Some((variant, rhs)) = rest.split_once("=>") else {
+            continue;
+        };
+        let variant = variant.trim().to_string();
+        let rhs = rhs.trim().trim_end_matches(',');
+        if let Ok(n) = rhs.parse::<u64>() {
+            nums.push((variant, n));
+        } else if rhs.len() >= 2 && rhs.starts_with('"') && rhs.ends_with('"') {
+            strs.push((variant, rhs[1..rhs.len() - 1].to_string()));
+        }
+    }
+    (nums, strs)
+}
+
+/// Parsed view of the normative tables in `docs/PROTOCOL.md`.
+#[derive(Debug, Default)]
+struct DocSpec {
+    version: Option<u64>,
+    frame_len: Option<u64>,
+    name_len: Option<u64>,
+    path_len: Option<u64>,
+    query_len: Option<u64>,
+    plan_len: Option<u64>,
+    request_tags: Vec<u64>,
+    response_tags: Vec<u64>,
+    errors: Vec<(u64, String)>,
+}
+
+fn mib(expr: &str) -> Option<u64> {
+    // "64 MiB" → bytes.
+    let n: u64 = expr.trim().strip_suffix("MiB")?.trim().parse().ok()?;
+    Some(n * 1024 * 1024)
+}
+
+fn backticked(line: &str) -> Option<&str> {
+    let start = line.find('`')?;
+    let end = line[start + 1..].find('`')? + start + 1;
+    Some(&line[start + 1..end])
+}
+
+fn parse_doc(doc: &str) -> DocSpec {
+    let mut spec = DocSpec::default();
+    let mut section = 0u32;
+    for line in doc.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("## ") {
+            section = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap_or(0);
+        }
+        // `version` is **3** for this document.
+        if t.contains("`version` is **") {
+            if let Some(pos) = t.find("**") {
+                let rest = &t[pos + 2..];
+                if let Some(end) = rest.find("**") {
+                    spec.version = rest[..end].trim().parse().ok();
+                }
+            }
+        }
+        // MAX_FRAME_LEN` = 64 MiB** (`1 << 26`)
+        if t.contains("MAX_FRAME_LEN") {
+            if let Some(open) = t.find("(`") {
+                if let Some(close) = t[open + 2..].find('`') {
+                    spec.frame_len = eval_const(&t[open + 2..open + 2 + close]);
+                }
+            }
+        }
+        // ### 3.1 Query (22 bytes)
+        if t.starts_with("###") && t.contains("Query (") {
+            if let Some(open) = t.find('(') {
+                if let Some(close) = t[open..].find(" bytes)") {
+                    spec.query_len = t[open + 1..open + close].trim().parse().ok();
+                }
+            }
+        }
+        // A `WirePlan` is 15 bytes:
+        if t.contains("`WirePlan` is ") {
+            if let Some(pos) = t.find(" is ") {
+                let rest = &t[pos + 4..];
+                if let Some(end) = rest.find(" bytes") {
+                    spec.plan_len = rest[..end].trim().parse().ok();
+                }
+            }
+        }
+        // §7 limits rows.
+        if t.starts_with('|') && t.contains('≤') {
+            let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+            if cells.len() >= 2 {
+                let val = cells[1].trim_start_matches('≤').trim();
+                match cells[0] {
+                    "frame payload" => {
+                        if spec.frame_len.is_none() {
+                            spec.frame_len = mib(val);
+                        } else if mib(val) != spec.frame_len {
+                            // Force a mismatch finding by poisoning the value.
+                            spec.frame_len = Some(u64::MAX);
+                        }
+                    }
+                    "graph name" => {
+                        spec.name_len = val
+                            .strip_suffix("bytes")
+                            .and_then(|v| v.trim().parse().ok())
+                    }
+                    "snapshot path" => {
+                        spec.path_len = val
+                            .strip_suffix("bytes")
+                            .and_then(|v| v.trim().parse().ok())
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Tag/error tables: `| <int> | `Name` | … |` in §3 / §4 / §5.
+        if t.starts_with('|') && matches!(section, 3..=5) {
+            let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+            if cells.len() >= 2 {
+                if let Ok(tag) = cells[0].parse::<u64>() {
+                    match section {
+                        3 => spec.request_tags.push(tag),
+                        4 => spec.response_tags.push(tag),
+                        5 => {
+                            if let Some(name) = backticked(cells[1]) {
+                                spec.errors.push((tag, name.to_string()));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    spec
+}
+
+/// Rule 4: cross-check `protocol.rs` against the normative tables in
+/// `docs/PROTOCOL.md`. `code_src` is the raw module source; `doc_src` the
+/// raw markdown.
+pub fn check_protocol_sync(code_src: &str, doc_src: &str) -> Vec<Finding> {
+    const CODE: &str = "crates/server/src/protocol.rs";
+    const DOC: &str = "docs/PROTOCOL.md";
+    let mut findings = Vec::new();
+    fn mismatch(findings: &mut Vec<Finding>, what: &str, code_val: String, doc_val: String) {
+        findings.push(Finding::new(
+            "crates/server/src/protocol.rs",
+            0,
+            format!("{what}: code says {code_val}, docs/PROTOCOL.md says {doc_val}"),
+        ));
+    }
+
+    let stripped: String = scan(code_src)
+        .iter()
+        .map(|l| l.code.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let doc = parse_doc(doc_src);
+
+    let consts: &[(&str, Option<u64>)] = &[
+        ("PROTOCOL_VERSION", doc.version),
+        ("MAX_FRAME_LEN", doc.frame_len),
+        ("MAX_NAME_LEN", doc.name_len),
+        ("MAX_PATH_LEN", doc.path_len),
+        ("QUERY_WIRE_LEN", doc.query_len),
+        ("WIRE_PLAN_LEN", doc.plan_len),
+    ];
+    for (name, doc_val) in consts {
+        let code_val = find_const(&stripped, name);
+        match (code_val, doc_val) {
+            (Some(c), Some(d)) if c == *d => {}
+            (Some(c), Some(d)) => mismatch(&mut findings, name, c.to_string(), d.to_string()),
+            (None, _) => findings.push(Finding::new(
+                CODE,
+                0,
+                format!("could not locate const `{name}`"),
+            )),
+            (_, None) => findings.push(Finding::new(
+                DOC,
+                0,
+                format!("could not parse the normative value for `{name}`"),
+            )),
+        }
+    }
+
+    // Request / Response tag sets.
+    for (impl_name, fn_name, doc_tags) in [
+        ("Request", "decode", &doc.request_tags),
+        ("Response", "decode_body", &doc.response_tags),
+    ] {
+        match decode_tags(&stripped, impl_name, fn_name) {
+            Some(mut code_tags) => {
+                let mut doc_tags = doc_tags.clone();
+                code_tags.sort_unstable();
+                doc_tags.sort_unstable();
+                if code_tags != doc_tags {
+                    mismatch(
+                        &mut findings,
+                        &format!("{impl_name} wire tags"),
+                        format!("{code_tags:?}"),
+                        format!("{doc_tags:?}"),
+                    );
+                }
+            }
+            None => findings.push(Finding::new(
+                CODE,
+                0,
+                format!("could not locate `impl {impl_name}`'s `{fn_name}` match arms"),
+            )),
+        }
+    }
+
+    // Error kinds: byte → display-name, via the shared variant identifier.
+    let (nums, strs) = error_kind_tables(code_src);
+    if nums.is_empty() || strs.is_empty() {
+        findings.push(Finding::new(
+            CODE,
+            0,
+            "could not locate the ErrorKind to_u8/Display tables".to_string(),
+        ));
+    } else {
+        let mut code_errors: Vec<(u64, String)> = Vec::new();
+        for (variant, byte) in &nums {
+            match strs.iter().find(|(v, _)| v == variant) {
+                Some((_, name)) => code_errors.push((*byte, name.clone())),
+                None => findings.push(Finding::new(
+                    CODE,
+                    0,
+                    format!("ErrorKind::{variant} has a wire byte but no Display arm"),
+                )),
+            }
+        }
+        let mut doc_errors = doc.errors.clone();
+        code_errors.sort();
+        doc_errors.sort();
+        if code_errors != doc_errors {
+            mismatch(
+                &mut findings,
+                "error-kind table",
+                format!("{code_errors:?}"),
+                format!("{doc_errors:?}"),
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ANNOTATED: &str = "\
+// SAFETY: len is checked above.
+unsafe { ptr.add(1) };
+let y = unsafe { get() }; // SAFETY: same line works too
+";
+
+    #[test]
+    fn safety_green_on_annotated() {
+        assert!(check_safety_comments("t.rs", ANNOTATED).is_empty());
+    }
+
+    #[test]
+    fn safety_red_on_stripped_comment() {
+        // The red case the acceptance criteria demand: remove the SAFETY
+        // comment and the lint must fire.
+        let stripped = ANNOTATED.replace("// SAFETY: len is checked above.\n", "");
+        let findings = check_safety_comments("t.rs", &stripped);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn safety_accepts_doc_section_and_attr_run() {
+        let src = "\
+/// Does things.
+///
+/// # Safety
+///
+/// Caller must uphold X.
+#[inline]
+pub unsafe fn f() {}
+";
+        assert!(check_safety_comments("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_groups_send_sync_pairs() {
+        let src = "\
+// SAFETY: T: Send and access is disjoint per worker.
+unsafe impl<T: Send> Send for W<T> {}
+unsafe impl<T: Send> Sync for W<T> {}
+";
+        assert!(check_safety_comments("t.rs", src).is_empty());
+        let src_red = src.replace(
+            "// SAFETY: T: Send and access is disjoint per worker.\n",
+            "",
+        );
+        assert_eq!(check_safety_comments("t.rs", &src_red).len(), 2);
+    }
+
+    #[test]
+    fn safety_ignores_strings_and_comments() {
+        let src = "let s = \"unsafe\"; // unsafe in a comment is fine\n";
+        assert!(check_safety_comments("t.rs", src).is_empty());
+        assert_eq!(count_unsafe(src), 0);
+    }
+
+    #[test]
+    fn crate_attrs_rules() {
+        // Safe crate without forbid → red.
+        assert_eq!(
+            check_crate_attrs("k", "lib.rs", "#![warn(missing_docs)]", 0).len(),
+            1
+        );
+        // Safe crate with forbid → green.
+        assert!(check_crate_attrs("k", "lib.rs", "#![forbid(unsafe_code)]", 0).is_empty());
+        // Unsafe crate without deny → red; with both forbid and unsafe → red.
+        assert_eq!(check_crate_attrs("k", "lib.rs", "", 3).len(), 1);
+        assert_eq!(
+            check_crate_attrs("k", "lib.rs", "#![forbid(unsafe_code)]", 3).len(),
+            2
+        );
+        // Unsafe crate with deny → green.
+        assert!(check_crate_attrs("k", "lib.rs", "#![deny(unsafe_op_in_unsafe_fn)]", 3).is_empty());
+    }
+
+    #[test]
+    fn server_panic_red_and_allowlist() {
+        let red = "fn handle() { x.unwrap(); }\n";
+        let findings = check_server_panics("server.rs", red);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+
+        let allowed = "\
+// lint: allow-panic index is bounds-checked above
+fn handle() { x.unwrap(); }
+let y = v.pop().unwrap(); // lint: allow-panic vec is non-empty by construction
+";
+        assert!(check_server_panics("server.rs", allowed).is_empty());
+
+        // A bare marker with no reason does not allowlist.
+        let no_reason = "x.unwrap(); // lint: allow-panic\n";
+        assert_eq!(check_server_panics("server.rs", no_reason).len(), 1);
+    }
+
+    #[test]
+    fn server_panic_skips_cfg_test() {
+        let src = "\
+fn ok() -> u8 { 1 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert_eq!(super::ok(), 1); Some(1).unwrap(); panic!(\"boom\"); }
+}
+";
+        assert!(check_server_panics("server.rs", src).is_empty());
+    }
+
+    const MINI_CODE: &str = r#"
+pub const PROTOCOL_VERSION: u8 = 3;
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+pub const MAX_NAME_LEN: usize = 255;
+pub const MAX_PATH_LEN: usize = 4096;
+const QUERY_WIRE_LEN: usize = 1 + 4 + 4 + 4 + 1 + 8;
+const WIRE_PLAN_LEN: usize = 1 + 1 + 8 + 1 + 4;
+impl ErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorKind::Internal => 0,
+            ErrorKind::BadRequest => 1,
+        }
+    }
+}
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Internal => "internal",
+            ErrorKind::BadRequest => "bad-request",
+        })
+    }
+}
+impl Request {
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Request::Query,
+            1 => Request::Batch,
+            other => return Err(malformed(other)),
+        }
+    }
+}
+impl Response {
+    fn decode_body(r: &mut Cursor<'_>, depth: u8) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Response::Distance),
+            1 => Ok(Response::DistVec),
+            other => Err(malformed(other)),
+        }
+    }
+}
+"#;
+
+    const MINI_DOC: &str = "\
+# The wire protocol (version 3)
+## 2. Payload envelope and versioning
+* `version` is **3** for this document.
+* `length` MUST NOT exceed **`MAX_FRAME_LEN` = 64 MiB** (`1 << 26`).
+## 3. Requests
+| tag | request | body |
+|---|---|---|
+| 0 | `Query` | one Query |
+| 1 | `Batch` | vector of Query |
+### 3.1 Query (22 bytes)
+## 4. Responses
+| 0 | `Distance` | stuff |
+| 1 | `DistVec` | stuff |
+A `WirePlan` is 15 bytes:
+## 5. Typed errors
+| 0 | `internal` | unclassified |
+| 1 | `bad-request` | invalid |
+## 7. Limits (summary)
+| frame payload | \u{2264} 64 MiB |
+| graph name | \u{2264} 255 bytes |
+| snapshot path | \u{2264} 4096 bytes |
+";
+
+    #[test]
+    fn protocol_sync_green_on_matching_pair() {
+        let findings = check_protocol_sync(MINI_CODE, MINI_DOC);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn protocol_sync_red_on_version_drift() {
+        let doc = MINI_DOC
+            .replace("is **3**", "is **4**")
+            .replace("(version 3)", "(version 4)");
+        let findings = check_protocol_sync(MINI_CODE, &doc);
+        assert!(
+            findings.iter().any(|f| f.msg.contains("PROTOCOL_VERSION")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn protocol_sync_red_on_frame_cap_drift() {
+        let code = MINI_CODE.replace("1 << 26", "1 << 25");
+        let findings = check_protocol_sync(&code, MINI_DOC);
+        assert!(
+            findings.iter().any(|f| f.msg.contains("MAX_FRAME_LEN")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn protocol_sync_red_on_missing_error_kind() {
+        let doc = MINI_DOC.replace("| 1 | `bad-request` | invalid |\n", "");
+        let findings = check_protocol_sync(MINI_CODE, &doc);
+        assert!(
+            findings.iter().any(|f| f.msg.contains("error-kind table")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn protocol_sync_red_on_new_wire_tag() {
+        let code = MINI_CODE.replace(
+            "1 => Request::Batch,",
+            "1 => Request::Batch,\n            2 => Request::Stats,",
+        );
+        let findings = check_protocol_sync(&code, MINI_DOC);
+        assert!(
+            findings.iter().any(|f| f.msg.contains("Request wire tags")),
+            "{findings:?}"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! A hand-rolled Rust source scanner (no syn, no regex — the workspace is
+//! offline) that splits every line into its *code* text and its *comment*
+//! text, with string/char-literal contents blanked out.
+//!
+//! The lints in [`crate::lints`] operate on this model so that the word
+//! `unsafe` inside a string literal or a comment never counts as an unsafe
+//! site, and a `SAFETY:` marker inside a string never counts as an
+//! annotation. The scanner understands line comments, nested block
+//! comments, plain/raw/byte string literals (including multi-line ones),
+//! char literals, and lifetimes.
+
+/// One physical source line, split into code and comment channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line's code text with string/char contents removed.
+    pub code: String,
+    /// The line's comment text (`//`, `///`, `//!`, and block-comment
+    /// interiors), concatenated in source order.
+    pub comment: String,
+}
+
+enum Mode {
+    Code,
+    /// Inside a (possibly nested) block comment; payload is the depth.
+    Block(usize),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` plus this many `#`s.
+    RawStr(usize),
+}
+
+/// Scans `src` into per-line code/comment channels.
+pub fn scan(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    // True if the char is part of an identifier (used to tell a raw-string
+    // prefix `r"` from an identifier that merely ends in `r`).
+    fn ident(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_ident = i > 0 && ident(chars[i - 1]);
+                if c == '/' && next == Some('/') {
+                    // Line comment: the rest of the line is comment text.
+                    while i < chars.len() && chars[i] != '\n' {
+                        cur.comment.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw/byte string prefix: r" r#" br" b" etc.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw = c == 'r' || (c == 'b' && j > i + 1);
+                    if chars.get(j) == Some(&'"') && (raw || hashes == 0) {
+                        if raw {
+                            cur.code.push('"');
+                            mode = Mode::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            // b"…": plain byte string.
+                            cur.code.push('"');
+                            mode = Mode::Str;
+                            i = j + 1;
+                        }
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime. A char literal is 'x', '\n',
+                    // '\u{…}', or a multi-byte char; a lifetime is '<ident>
+                    // with no closing quote right after one char.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        cur.code.push('\'');
+                        i += 2; // past '\
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        cur.code.push('\'');
+                        i += 1; // past closing '
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        // 'x' single-char literal.
+                        cur.code.push_str("''");
+                        i += 3;
+                    } else {
+                        // Lifetime: keep the quote, let the ident flow.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (handles \" and \\)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1; // string contents are blanked
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// True if `hay` contains `needle` as a whole word (no identifier chars on
+/// either side).
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || {
+            let b = bytes[start - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let after_ok = end == hay.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let lines = scan("let x = 1; // unsafe here\n/* unsafe\nblock */ let y = 2;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe"));
+        assert!(lines[1].comment.contains("unsafe"));
+        assert!(lines[2].code.contains("let y"));
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let lines = scan("let s = \"unsafe { }\"; unsafe {}");
+        assert_eq!(lines[0].code.matches("unsafe").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let lines = scan("let s = r#\"unsafe \"quoted\" \"#; fn f<'a>(x: &'a u8) {}");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let lines = scan("let c = 'x'; let d = '\\n'; unsafe {}");
+        assert!(contains_word(&lines[0].code, "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scan("/* a /* b */ still comment */ code()");
+        assert!(lines[0].code.contains("code()"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("deny(unsafe_op_in_unsafe_fn)", "unsafe"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+    }
+}

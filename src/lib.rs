@@ -38,6 +38,8 @@
 //! assert_eq!(result.dist[0], 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use priograph_algorithms as algorithms;
 pub use priograph_autotune as autotune;
 pub use priograph_baselines as baselines;

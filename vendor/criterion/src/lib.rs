@@ -19,6 +19,7 @@
 //!   `BENCH_<binary>.json` report (schema `priograph-bench-v1`) with each
 //!   benchmark's median into that directory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

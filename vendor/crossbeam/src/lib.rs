@@ -9,6 +9,7 @@
 //! lower-priority work is not starved behind fresh pushes the way the
 //! previous Treiber-stack stand-in starved it).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 /// Utilities (subset of `crossbeam_utils`).
@@ -140,7 +141,7 @@ pub mod queue {
         all: AtomicPtr<Segment<T>>,
     }
 
-    // Safety: segments are heap-allocated and reachable only through this
+    // SAFETY: segments are heap-allocated and reachable only through this
     // struct; value ownership transfers atomically to the single pop that
     // wins the cursor CAS, and segment memory outlives all concurrent
     // readers (freed only in Drop, which requires `&mut self`).
@@ -162,7 +163,7 @@ pub mod queue {
         fn link_allocation(&self, node: *mut Segment<T>) {
             let mut all = self.all.load(Ordering::Relaxed);
             loop {
-                // Safety: `all_next` is only written here, by the unique
+                // SAFETY: `all_next` is only written here, by the unique
                 // thread that won the `next` CAS for `node`, and the list
                 // is only traversed under `&mut self` (Drop).
                 unsafe { (*node).all_next = all };
@@ -183,15 +184,27 @@ pub mod queue {
             let mut value = Some(value);
             loop {
                 let seg_ptr = self.tail.load(Ordering::Acquire);
-                // Safety: segments are never freed while the queue is
+                // SAFETY: segments are never freed while the queue is
                 // shared (see "Memory reclamation").
                 let seg = unsafe { &*seg_ptr };
                 let i = seg.reserved.fetch_add(1, Ordering::Relaxed);
                 if i < SEG_CAP {
-                    // Safety: the fetch_add made this thread the unique
+                    // SAFETY: the fetch_add made this thread the unique
                     // owner of slot `i`; consumers wait for the WRITTEN
                     // flag below before touching it.
                     unsafe { (*seg.data[i].get()).write(value.take().expect("unused value")) };
+                    // Under the shadow checker, commit with a swap so a
+                    // second producer landing on the same slot (broken
+                    // fetch_add claim) trips deterministically.
+                    #[cfg(feature = "check-shadow")]
+                    {
+                        let prev = seg.state[i].swap(SLOT_WRITTEN, Ordering::AcqRel);
+                        assert_eq!(
+                            prev, SLOT_EMPTY,
+                            "shadow checker: SegQueue slot {i} committed twice"
+                        );
+                    }
+                    #[cfg(not(feature = "check-shadow"))]
                     seg.state[i].store(SLOT_WRITTEN, Ordering::Release);
                     return;
                 }
@@ -216,7 +229,7 @@ pub mod queue {
                         }
                         Err(_) => {
                             // Lost the install race; `fresh` was never
-                            // shared. Safety: unique owner, free it.
+                            // shared. SAFETY: unique owner, free it.
                             drop(unsafe { Box::from_raw(fresh) });
                         }
                     }
@@ -238,7 +251,7 @@ pub mod queue {
             let mut spins = 0usize;
             loop {
                 let seg_ptr = self.head.load(Ordering::Acquire);
-                // Safety: segments outlive all concurrent readers.
+                // SAFETY: segments outlive all concurrent readers.
                 let seg = unsafe { &*seg_ptr };
                 let i = seg.popped.load(Ordering::Acquire);
                 if i >= SEG_CAP {
@@ -262,10 +275,21 @@ pub mod queue {
                         .compare_exchange(i, i + 1, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
-                        // Safety: winning the cursor CAS grants exclusive
+                        // SAFETY: winning the cursor CAS grants exclusive
                         // ownership of the committed value; mark it taken
                         // so Drop doesn't double-drop.
                         let value = unsafe { (*seg.data[i].get()).assume_init_read() };
+                        // Swap under the shadow checker: a double-take of
+                        // the slot (broken cursor CAS) trips here.
+                        #[cfg(feature = "check-shadow")]
+                        {
+                            let prev = seg.state[i].swap(SLOT_TAKEN, Ordering::AcqRel);
+                            assert_eq!(
+                                prev, SLOT_WRITTEN,
+                                "shadow checker: SegQueue slot {i} taken twice"
+                            );
+                        }
+                        #[cfg(not(feature = "check-shadow"))]
                         seg.state[i].store(SLOT_TAKEN, Ordering::Release);
                         return Some(value);
                     }
@@ -293,7 +317,7 @@ pub mod queue {
         pub fn is_empty(&self) -> bool {
             let mut seg_ptr = self.head.load(Ordering::Acquire);
             loop {
-                // Safety: segments outlive all concurrent readers.
+                // SAFETY: segments outlive all concurrent readers.
                 let seg = unsafe { &*seg_ptr };
                 let popped = seg.popped.load(Ordering::Acquire);
                 let reserved = seg.reserved.load(Ordering::Acquire).min(SEG_CAP);
@@ -314,7 +338,7 @@ pub mod queue {
             let mut n = 0usize;
             let mut cur = self.head.load(Ordering::Acquire);
             while !cur.is_null() {
-                // Safety: segment memory stays allocated until Drop, so the
+                // SAFETY: segment memory stays allocated until Drop, so the
                 // traversal never dereferences freed memory (counts may be
                 // momentarily inconsistent; callers accept approximation).
                 let seg = unsafe { &*cur };
@@ -339,12 +363,12 @@ pub mod queue {
             // ever allocated, dropping values pops never extracted.
             let mut cur = *self.all.get_mut();
             while !cur.is_null() {
-                // Safety: exclusive access; each segment freed exactly once.
+                // SAFETY: exclusive access; each segment freed exactly once.
                 let mut seg = unsafe { Box::from_raw(cur) };
                 let reserved = (*seg.reserved.get_mut()).min(SEG_CAP);
                 for i in 0..reserved {
                     if *seg.state[i].get_mut() == SLOT_WRITTEN {
-                        // Safety: WRITTEN slots hold initialized,
+                        // SAFETY: WRITTEN slots hold initialized,
                         // never-consumed values.
                         unsafe { seg.data[i].get_mut().assume_init_drop() };
                     }

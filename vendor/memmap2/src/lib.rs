@@ -21,6 +21,7 @@
 //! written once and then immutable, which is the deployment model this shim
 //! assumes (the same caveat applies to upstream `memmap2`).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::fs::File;
@@ -346,7 +347,8 @@ mod sys {
             super::Advice::Sequential => MADV_SEQUENTIAL,
             super::Advice::WillNeed => MADV_WILLNEED,
         };
-        let _ = madvise(ptr as *mut c_void, len, advice);
+        // SAFETY: the caller guarantees `ptr`/`len` describe a live mapping.
+        let _ = unsafe { madvise(ptr as *mut c_void, len, advice) };
     }
 
     /// Releases a mapping created by [`map_readonly`].
@@ -355,7 +357,9 @@ mod sys {
     ///
     /// `ptr`/`len` must describe a live mapping, unmapped exactly once.
     pub unsafe fn unmap(ptr: *const u8, len: usize) {
-        let _ = munmap(ptr as *mut c_void, len);
+        // SAFETY: the caller guarantees `ptr`/`len` describe a live mapping
+        // that is unmapped exactly once.
+        let _ = unsafe { munmap(ptr as *mut c_void, len) };
     }
 }
 

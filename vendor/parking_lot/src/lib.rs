@@ -6,6 +6,7 @@
 //! Poisoning is deliberately ignored (parking_lot has no poisoning): a
 //! panicked critical section in another thread does not cascade here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

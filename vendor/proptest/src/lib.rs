@@ -10,6 +10,7 @@
 //! `cases` uniform samples, so failures reproduce exactly on re-run. A
 //! failing case panics with the sampled arguments in the message.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

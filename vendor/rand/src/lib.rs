@@ -11,6 +11,7 @@
 //! upstream `StdRng`, so seeds produce different (but still deterministic)
 //! graphs than a crates.io build would.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
