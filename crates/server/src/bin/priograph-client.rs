@@ -22,12 +22,17 @@
 //! the target graph and installs the winning plan (visible in `list`'s
 //! plans column).
 //!
-//! Every query path retries **once** when the server answers `Busy`,
-//! sleeping for the reply's `retry_after_ms` hint first.
+//! Every query path retries `Busy` refusals under a jittered exponential
+//! backoff ([`Backoff`], up to 4 attempts), honoring the reply's
+//! `retry_after_ms` hint as the floor of each sleep so a fleet of clients
+//! does not re-converge on the server in lockstep (docs/PROTOCOL.md §6).
+//! `--deadline MS` stamps a per-query deadline budget on every query sent;
+//! queries the server cannot start within the budget come back as typed
+//! `Timeout` errors instead of occupying the dispatcher.
 
 use priograph_algorithms::serial::dijkstra;
 use priograph_algorithms::UNREACHABLE;
-use priograph_serve::client::Client;
+use priograph_serve::client::{Backoff, Client};
 use priograph_serve::protocol::{GraphId, GraphInfo, Query, QueryOp, Response, WireError};
 use priograph_serve::server::fmt_distance;
 use priograph_serve::spec::GraphSource;
@@ -40,6 +45,7 @@ struct Args {
     random: usize,
     seed: u64,
     verify: bool,
+    deadline_ms: u32,
     command: Vec<String>,
 }
 
@@ -51,6 +57,7 @@ fn parse_args() -> Args {
         random: 0,
         seed: 1,
         verify: false,
+        deadline_ms: 0,
         command: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
@@ -76,9 +83,14 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fail("--seed expects an integer"));
             }
             "--verify" => args.verify = true,
+            "--deadline" => {
+                args.deadline_ms = take("--deadline")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--deadline expects milliseconds (0 = none)"));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --connect ADDR  [--graph-name NAME]\n\
+                    "flags: --connect ADDR  [--graph-name NAME]  [--deadline MS]\n\
                      \x20      [--random N --seed S --verify]\n\
                      \x20      [--snapshot PATH | --graph PATH | --gen SPEC]\n\
                      commands: stats | list | ppsp SRC DST | sssp SRC\n\
@@ -98,33 +110,47 @@ fn fail(why: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Runs `op`, and — if the server refused it with `Busy` — honors the
-/// reply's `retry_after_ms` hint and retries exactly once. A second refusal
-/// surfaces to the caller (no retry storms).
-fn retry_once_on_busy<T>(
+/// How many times a query path attempts an operation before surfacing the
+/// server's `Busy` refusal (1 initial try + 3 backed-off retries).
+const RETRY_ATTEMPTS: u32 = 4;
+
+/// Runs `op` under a jittered exponential backoff. `Busy` refusals retry
+/// up to [`RETRY_ATTEMPTS`] times, each sleep taking the reply's
+/// `retry_after_ms` hint as a floor; the jitter keeps concurrent clients
+/// from re-converging in lockstep. Any other outcome — including typed
+/// `Timeout`/`ShuttingDown` errors, which retrying cannot fix — surfaces
+/// immediately.
+fn retry_on_busy<T>(
     client: &mut Client,
     mut op: impl FnMut(&mut Client) -> Result<T, WireError>,
 ) -> Result<T, WireError> {
-    match op(client) {
-        Err(WireError::Busy {
-            scope,
-            pending,
-            budget,
-            retry_after_ms,
-        }) => {
-            eprintln!(
-                "server busy ({scope}): {pending}/{budget} pending; \
-                 retrying once in {retry_after_ms}ms"
-            );
-            std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
-            op(client)
+    let mut backoff = Backoff::new(10, 2_000, u64::from(std::process::id()) | 1);
+    let mut attempt = 0u32;
+    loop {
+        match op(client) {
+            Err(WireError::Busy {
+                scope,
+                pending,
+                budget,
+                retry_after_ms,
+            }) if attempt + 1 < RETRY_ATTEMPTS => {
+                let wait = backoff.delay(attempt, retry_after_ms);
+                eprintln!(
+                    "server busy ({scope}): {pending}/{budget} pending; \
+                     retry {} of {} in {wait:?}",
+                    attempt + 1,
+                    RETRY_ATTEMPTS - 1,
+                );
+                std::thread::sleep(wait);
+                attempt += 1;
+            }
+            other => return other,
         }
-        other => other,
     }
 }
 
 /// [`Client::query`] with the in-band `Busy` reply lifted into
-/// [`WireError::Busy`], so [`retry_once_on_busy`] sees it.
+/// [`WireError::Busy`], so [`retry_on_busy`] sees it.
 fn query_busy_as_error(client: &mut Client, query: Query) -> Result<Response, WireError> {
     match client.query(query)? {
         Response::Busy {
@@ -271,9 +297,12 @@ fn main() {
         if n == 0 {
             fail("target graph is empty");
         }
-        let queries = random_batch(n, info.id, args.random, args.seed);
+        let queries: Vec<Query> = random_batch(n, info.id, args.random, args.seed)
+            .into_iter()
+            .map(|q| q.with_deadline(args.deadline_ms))
+            .collect();
         let started = std::time::Instant::now();
-        let responses = retry_once_on_busy(&mut client, |c| c.batch(queries.clone()))
+        let responses = retry_on_busy(&mut client, |c| c.batch(queries.clone()))
             .unwrap_or_else(|e| fail(&format!("batch: {e}")));
         let elapsed = started.elapsed();
         println!(
@@ -324,7 +353,8 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("stats: {e}")));
             println!(
                 "graph0 |V|={} |E|={} threads={} graphs={}\n\
-                 queries={} rounds={} point={} full={} errors={} busy={} tunes={}",
+                 queries={} rounds={} point={} full={} errors={} busy={} tunes={}\n\
+                 timeouts={} rejected_connections={}",
                 s.num_vertices,
                 s.num_edges,
                 s.threads,
@@ -335,7 +365,9 @@ fn main() {
                 s.full_queries,
                 s.errors,
                 s.busy_rejections,
-                s.tune_runs
+                s.tune_runs,
+                s.timeouts,
+                s.rejected_connections
             );
         }
         ["list"] => {
@@ -372,7 +404,7 @@ fn main() {
                     .unwrap_or_else(|_| fail("tune budget expects a trial count")),
                 None => 40, // the paper's §6.2: 30–40 trials usually suffice
             };
-            let outcome = retry_once_on_busy(&mut client, |c| c.tune_graph(graph_id, algo, budget))
+            let outcome = retry_on_busy(&mut client, |c| c.tune_graph(graph_id, algo, budget))
                 .unwrap_or_else(|e| fail(&format!("tune: {e}")));
             println!(
                 "tuned graph {} for {}: installed {} after {} trials (best {}us)",
@@ -387,8 +419,13 @@ fn main() {
             let graph_id = target_graph_id(&mut client, args.graph_name.as_deref());
             let source = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
             let target = dst.parse().unwrap_or_else(|_| fail("bad target vertex"));
-            match retry_once_on_busy(&mut client, |c| {
-                query_busy_as_error(c, Query::ppsp(source, target).on_graph(graph_id))
+            match retry_on_busy(&mut client, |c| {
+                query_busy_as_error(
+                    c,
+                    Query::ppsp(source, target)
+                        .on_graph(graph_id)
+                        .with_deadline(args.deadline_ms),
+                )
             }) {
                 Ok(Response::Distance {
                     distance,
@@ -406,8 +443,13 @@ fn main() {
         ["sssp", src] => {
             let graph_id = target_graph_id(&mut client, args.graph_name.as_deref());
             let source: u32 = src.parse().unwrap_or_else(|_| fail("bad source vertex"));
-            match retry_once_on_busy(&mut client, |c| {
-                query_busy_as_error(c, Query::sssp(source).on_graph(graph_id))
+            match retry_on_busy(&mut client, |c| {
+                query_busy_as_error(
+                    c,
+                    Query::sssp(source)
+                        .on_graph(graph_id)
+                        .with_deadline(args.deadline_ms),
+                )
             }) {
                 Ok(Response::DistVec(dist)) => {
                     let reached = dist.iter().filter(|&&d| d < UNREACHABLE).count();

@@ -16,14 +16,19 @@
 //! sequential advice) so cold-cache first queries do not stall on page-in.
 //!
 //! Once bound it prints `listening on ADDR` to stdout (scripts wait for
-//! that line) and serves until killed or a client sends the shutdown
-//! request.
+//! that line) and serves until a client sends the shutdown request or the
+//! process receives SIGINT/SIGTERM — both route into the graceful drain
+//! (stop accepting, answer admitted queries, flush the manifest, exit 0;
+//! `docs/PROTOCOL.md` §6.2), so a supervisor's `kill` can no longer leave
+//! a stale manifest behind.
 
 use priograph_core::schedule::Schedule;
 use priograph_graph::GraphSnapshot;
 use priograph_serve::protocol::{WireSchedule, WireStrategy};
 use priograph_serve::server::{serve, ServerConfig};
 use priograph_serve::spec::GraphSource;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 struct Args {
     listen: String,
@@ -169,6 +174,29 @@ fn main() {
         },
     )
     .unwrap_or_else(|e| fail(&format!("binding {}: {e}", args.listen)));
+
+    // SIGINT/SIGTERM route into the graceful drain: the handler only sets
+    // a flag (the one async-signal-safe thing), a watcher thread polls it
+    // and fires the drain trigger, and join() below returns once the
+    // drain completes — so the process exits 0 with the manifest flushed.
+    let term_flag = Arc::new(AtomicBool::new(false));
+    for signal in [signal_hook::consts::SIGINT, signal_hook::consts::SIGTERM] {
+        if let Err(e) = signal_hook::flag::register(signal, Arc::clone(&term_flag)) {
+            eprintln!("priograph-server: signal {signal} handler not installed: {e}");
+        }
+    }
+    let trigger = handle.drain_trigger();
+    let watcher_flag = Arc::clone(&term_flag);
+    let _ = std::thread::Builder::new()
+        .name("priograph-signal".to_string())
+        .spawn(move || loop {
+            if watcher_flag.load(Ordering::Acquire) {
+                eprintln!("priograph-server: signal received, draining");
+                trigger.drain();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
 
     // Scripts block on this exact line to know the port is live.
     println!("listening on {}", handle.addr());

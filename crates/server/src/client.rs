@@ -1,11 +1,49 @@
 //! Blocking TCP client for the `priograph-serve` protocol.
+//!
+//! Two layers:
+//!
+//! - [`Client`]: one connection, one request in flight, bounded
+//!   connect/read/write timeouts ([`ClientConfig`]). Socket failures and
+//!   refusals surface as typed [`WireError`]s; nothing blocks forever.
+//! - [`ResilientClient`]: wraps connect-on-demand around a [`Client`] and
+//!   adds the client half of the failure model (`docs/ARCHITECTURE.md`
+//!   §7): jittered exponential [`Backoff`] honoring server
+//!   `retry_after_ms` hints, and a three-state [`CircuitBreaker`]
+//!   (closed → open on consecutive `Busy`/`Timeout`/IO failures →
+//!   half-open probe) so a retry storm cannot amplify the very overload
+//!   it is retrying against.
 
 use crate::protocol::{
     read_frame, write_frame, ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response,
     ServerStats, TuneOutcome, WireError,
 };
 use std::fmt;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Connection and socket budgets for a [`Client`]. Every default is
+/// finite: a client must never block forever on a dead or stalled server.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect budget in milliseconds (default 10 000).
+    pub connect_timeout_ms: u64,
+    /// Socket read budget in milliseconds (default 30 000) — covers the
+    /// whole response wait, so it must exceed the slowest expected query.
+    pub read_timeout_ms: u64,
+    /// Socket write budget in milliseconds (default 30 000).
+    pub write_timeout_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout_ms: 10_000,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+        }
+    }
+}
 
 /// A connected client. One request is in flight at a time (the protocol is
 /// strictly request/response per connection; open more connections for
@@ -33,6 +71,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 /// ```
 pub struct Client {
     stream: TcpStream,
+    /// The resolved peer address, kept for [`Client::reconnect`].
+    addr: Option<SocketAddr>,
+    config: ClientConfig,
 }
 
 impl fmt::Debug for Client {
@@ -64,15 +105,69 @@ fn unexpected(what: &str, got: Response) -> WireError {
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with default [`ClientConfig`] budgets.
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
+    /// Propagates connection failures (including connect timeout).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeout budgets. Each resolved address is
+    /// tried under the connect budget; the last failure is reported if
+    /// none succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including connect timeout).
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Client> {
+        let connect_budget = Duration::from_millis(config.connect_timeout_ms.max(1));
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, connect_budget) {
+                Ok(stream) => return Client::from_stream(stream, Some(candidate), config),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no socket addresses resolved")
+        }))
+    }
+
+    /// Re-establishes the connection to the same peer (after a socket
+    /// error left this one dead).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the peer address is unknown or the connect fails.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let Some(addr) = self.addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "peer address unknown; cannot reconnect",
+            ));
+        };
+        let connect_budget = Duration::from_millis(self.config.connect_timeout_ms.max(1));
+        let stream = TcpStream::connect_timeout(&addr, connect_budget)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        apply_io_timeouts(&stream, &self.config);
+        self.stream = stream;
+        Ok(())
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        addr: Option<SocketAddr>,
+        config: ClientConfig,
+    ) -> std::io::Result<Client> {
+        let _ = stream.set_nodelay(true);
+        apply_io_timeouts(&stream, &config);
+        Ok(Client {
+            stream,
+            addr,
+            config,
+        })
     }
 
     /// Sends one request and reads its response.
@@ -220,6 +315,423 @@ impl Client {
         match self.request(&Request::Shutdown)? {
             Response::Bye => Ok(()),
             other => Err(unexpected("a shutdown acknowledgement", other)),
+        }
+    }
+}
+
+fn apply_io_timeouts(stream: &TcpStream, config: &ClientConfig) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms.max(1))));
+}
+
+/// Jittered exponential backoff between retries: the delay doubles per
+/// attempt from `base_ms`, never undercuts the server's `retry_after_ms`
+/// hint, is capped at `cap_ms`, and carries deterministic ±25% jitter (a
+/// splitmix64 walk from `seed`) so synchronized clients spread out.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    state: u64,
+}
+
+impl Backoff {
+    /// A backoff schedule from `base_ms` doubling up to `cap_ms`; `seed`
+    /// makes the jitter sequence reproducible.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Backoff {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            state: seed,
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based), honoring the
+    /// server's `retry_after_ms` hint (`0` = no hint).
+    pub fn delay(&mut self, attempt: u32, hint_ms: u64) -> Duration {
+        let exponential = self.base_ms.saturating_mul(1u64 << attempt.min(16));
+        let raw = exponential.max(hint_ms).min(self.cap_ms);
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let permille = 750 + z % 501;
+        Duration::from_millis((raw.saturating_mul(permille) / 1000).max(1))
+    }
+}
+
+/// The three states of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// Requests are refused locally until the cooldown elapses.
+    Open,
+    /// One probe request is allowed through: success closes the breaker,
+    /// failure re-opens it for another cooldown.
+    HalfOpen,
+}
+
+/// A three-state circuit breaker: `threshold` consecutive failures open
+/// it, a `cooldown` later one half-open probe decides whether it closes
+/// again. While open, [`CircuitBreaker::preflight`] refuses locally — the
+/// request is never sent, so a retry storm cannot amplify the overload it
+/// is retrying against (ROADMAP "Next directions" #1).
+///
+/// What counts as a failure is the caller's choice (see
+/// [`breaker_failure`] for the serving policy: admission refusals,
+/// deadline timeouts, shedding, and socket errors count; ordinary typed
+/// errors are the server working fine).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive failures
+    /// and probes again `cooldown` after opening.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+        }
+    }
+
+    /// The current state (the open → half-open transition happens in
+    /// [`CircuitBreaker::preflight`], not here).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate before sending a request: `Ok` means send (closed, or the
+    /// half-open probe), `Err` carries the time until the next probe.
+    ///
+    /// # Errors
+    ///
+    /// Refuses while open within the cooldown window.
+    pub fn preflight(&mut self) -> Result<(), Duration> {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open => {
+                let since = self.opened_at.map_or(self.cooldown, |at| at.elapsed());
+                if since >= self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(self.cooldown - since)
+                }
+            }
+        }
+    }
+
+    /// Records a successful request: closes the breaker and resets the
+    /// failure count.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+        self.opened_at = None;
+    }
+
+    /// Records a failed request: opens the breaker when the consecutive
+    /// count reaches the threshold, and re-opens immediately on a failed
+    /// half-open probe.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= self.threshold {
+            self.state = BreakerState::Open;
+            self.opened_at = Some(Instant::now());
+        }
+    }
+}
+
+/// The serving failure policy for [`CircuitBreaker`] accounting: `Busy`
+/// refusals, deadline `Timeout`s, connection-level `Overloaded` shedding,
+/// drain (`ShuttingDown`) refusals, and socket errors count as failures —
+/// they all mean "the server cannot take this work right now". Ordinary
+/// typed errors (bad vertex, unknown graph, malformed request) do not:
+/// the server handled the request fine; the request was wrong.
+pub fn breaker_failure(outcome: &Result<Response, WireError>) -> bool {
+    let kind_counts = |kind: &ErrorKind| {
+        matches!(
+            kind,
+            ErrorKind::Timeout | ErrorKind::Overloaded | ErrorKind::ShuttingDown
+        )
+    };
+    match outcome {
+        Ok(Response::Busy { .. }) | Err(WireError::Busy { .. }) | Err(WireError::Io(_)) => true,
+        Ok(Response::Error { kind, .. }) | Err(WireError::Remote { kind, .. }) => kind_counts(kind),
+        Ok(_) | Err(_) => false,
+    }
+}
+
+/// The server's retry hint attached to `outcome`, `0` when there is none.
+fn retry_hint(outcome: &Result<Response, WireError>) -> u64 {
+    match outcome {
+        Ok(Response::Busy { retry_after_ms, .. }) | Err(WireError::Busy { retry_after_ms, .. }) => {
+            *retry_after_ms
+        }
+        _ => 0,
+    }
+}
+
+/// Whether a failed `outcome` is worth retrying: refusals that promise
+/// future capacity (`Busy`, `Overloaded`) and socket errors are; a
+/// deadline `Timeout` (the budget is spent) and a drain refusal (the
+/// server is going away) are not.
+fn retriable(outcome: &Result<Response, WireError>) -> bool {
+    let kind_retries = |kind: &ErrorKind| matches!(kind, ErrorKind::Overloaded);
+    match outcome {
+        Ok(Response::Busy { .. }) | Err(WireError::Busy { .. }) | Err(WireError::Io(_)) => true,
+        Ok(Response::Error { kind, .. }) | Err(WireError::Remote { kind, .. }) => {
+            kind_retries(kind)
+        }
+        Ok(_) | Err(_) => false,
+    }
+}
+
+/// A [`Client`] with the full client-side failure model: connects on
+/// demand (and reconnects after socket errors), retries retriable
+/// failures under a jittered [`Backoff`] honoring server hints, and
+/// routes every outcome through a [`CircuitBreaker`] so sustained failure
+/// short-circuits locally with [`WireError::CircuitOpen`] instead of
+/// hammering a struggling server.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    breaker: CircuitBreaker,
+    backoff: Backoff,
+    max_attempts: u32,
+    inner: Option<Client>,
+}
+
+impl ResilientClient {
+    /// A resilient client with the default policy: 4 attempts, backoff
+    /// 10ms doubling to 2s, breaker opening after 5 consecutive failures
+    /// with a 1s cooldown.
+    pub fn new(addr: SocketAddr) -> ResilientClient {
+        ResilientClient::with_policy(
+            addr,
+            ClientConfig::default(),
+            CircuitBreaker::new(5, Duration::from_millis(1_000)),
+            Backoff::new(10, 2_000, u64::from(addr.port()) | 1),
+            4,
+        )
+    }
+
+    /// A resilient client with explicit budgets and policy.
+    pub fn with_policy(
+        addr: SocketAddr,
+        config: ClientConfig,
+        breaker: CircuitBreaker,
+        backoff: Backoff,
+        max_attempts: u32,
+    ) -> ResilientClient {
+        ResilientClient {
+            addr,
+            config,
+            breaker,
+            backoff,
+            max_attempts: max_attempts.max(1),
+            inner: None,
+        }
+    }
+
+    /// The breaker's current state (for monitoring and tests).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Sends one request under the full policy. Always resolves: an
+    /// answer, an in-band typed error, or a typed [`WireError`] — never a
+    /// hang, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::CircuitOpen`] when the breaker refuses locally;
+    /// otherwise the last attempt's failure once retries are exhausted.
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            if let Err(wait) = self.breaker.preflight() {
+                return Err(WireError::CircuitOpen {
+                    retry_after_ms: (wait.as_millis() as u64).max(1),
+                });
+            }
+            let outcome = self.try_once(request);
+            if breaker_failure(&outcome) {
+                self.breaker.record_failure();
+            } else if outcome.is_ok() {
+                self.breaker.record_success();
+            }
+            if matches!(outcome, Err(WireError::Io(_))) {
+                // The socket state is unknown after an IO error; the next
+                // attempt reconnects.
+                self.inner = None;
+            }
+            if !retriable(&outcome) || attempt + 1 >= self.max_attempts {
+                return outcome;
+            }
+            let hint = retry_hint(&outcome);
+            std::thread::sleep(self.backoff.delay(attempt, hint));
+            attempt += 1;
+        }
+    }
+
+    /// Runs one query under the full policy (see
+    /// [`ResilientClient::request`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ResilientClient::request`].
+    pub fn query(&mut self, query: Query) -> Result<Response, WireError> {
+        self.request(&Request::Query(query))
+    }
+
+    fn try_once(&mut self, request: &Request) -> Result<Response, WireError> {
+        if self.inner.is_none() {
+            match Client::connect_with(self.addr, self.config.clone()) {
+                Ok(client) => self.inner = Some(client),
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        match self.inner.as_mut() {
+            Some(client) => client.request(request),
+            None => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "not connected",
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BusyScope;
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_on_a_scripted_sequence() {
+        let mut breaker = CircuitBreaker::new(3, Duration::from_millis(30));
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // A scripted run of refusals a server under overload would emit.
+        let script: [Result<Response, WireError>; 3] = [
+            Ok(Response::Busy {
+                scope: BusyScope::Global,
+                pending: 9,
+                budget: 8,
+                retry_after_ms: 5,
+            }),
+            Ok(Response::Error {
+                kind: ErrorKind::Timeout,
+                message: "deadline expired".to_string(),
+            }),
+            Err(WireError::Io(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "peer reset",
+            ))),
+        ];
+        for (i, outcome) in script.iter().enumerate() {
+            assert!(
+                breaker.preflight().is_ok(),
+                "failure {i} not yet at threshold"
+            );
+            assert!(breaker_failure(outcome), "script entry {i} must count");
+            breaker.record_failure();
+        }
+        // Threshold reached: open, refusing locally with a wait hint.
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let wait = breaker.preflight().expect_err("open breaker refuses");
+        assert!(wait <= Duration::from_millis(30));
+        // Cooldown elapses: exactly one half-open probe is let through.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(breaker.preflight().is_ok());
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // A failed probe re-opens immediately (no threshold count).
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Next probe succeeds: closed, counters reset.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(breaker.preflight().is_ok());
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.preflight().is_ok());
+    }
+
+    #[test]
+    fn ordinary_typed_errors_do_not_trip_the_breaker() {
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::BadVertex,
+            ErrorKind::UnknownGraph,
+            ErrorKind::TooLarge,
+        ] {
+            let outcome: Result<Response, WireError> = Ok(Response::Error {
+                kind,
+                message: String::new(),
+            });
+            assert!(!breaker_failure(&outcome), "{kind:?} must not count");
+        }
+        let ok: Result<Response, WireError> = Ok(Response::DistVec(vec![0]));
+        assert!(!breaker_failure(&ok));
+    }
+
+    #[test]
+    fn backoff_doubles_honors_hints_and_stays_jitter_banded() {
+        let mut backoff = Backoff::new(10, 2_000, 42);
+        for attempt in 0..4u32 {
+            let base = 10u64 << attempt;
+            let d = backoff.delay(attempt, 0).as_millis() as u64;
+            assert!(
+                d >= base * 3 / 4 && d <= base * 5 / 4,
+                "attempt {attempt}: {d}ms outside ±25% of {base}ms"
+            );
+        }
+        // A server hint larger than the exponential term wins.
+        let d = backoff.delay(0, 500).as_millis() as u64;
+        assert!((375..=625).contains(&d), "{d}ms ignores the 500ms hint");
+        // The cap bounds even late attempts (2000 * 1.25 = 2500).
+        let d = backoff.delay(16, 0).as_millis() as u64;
+        assert!(d <= 2_500, "{d}ms exceeds the jittered cap");
+    }
+
+    #[test]
+    fn resilient_client_reports_io_then_short_circuits_with_circuit_open() {
+        // A port nothing listens on: every attempt is a connect failure.
+        let dead = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+            // listener drops here; the port is free again
+        };
+        let mut client = ResilientClient::with_policy(
+            dead,
+            ClientConfig {
+                connect_timeout_ms: 200,
+                ..ClientConfig::default()
+            },
+            CircuitBreaker::new(2, Duration::from_millis(10_000)),
+            Backoff::new(1, 5, 7),
+            2,
+        );
+        // Two attempts, both IO failures: the error is typed, and the
+        // breaker reached its threshold.
+        match client.request(&Request::Stats) {
+            Err(WireError::Io(_)) => {}
+            other => panic!("expected an IO error, got {other:?}"),
+        }
+        assert_eq!(client.breaker_state(), BreakerState::Open);
+        // The next call never touches the network: local typed refusal.
+        match client.request(&Request::Stats) {
+            Err(WireError::CircuitOpen { retry_after_ms }) => assert!(retry_after_ms >= 1),
+            other => panic!("expected CircuitOpen, got {other:?}"),
         }
     }
 }

@@ -1,0 +1,300 @@
+//! Deterministic, seed-driven fault injection for chaos testing, compiled
+//! only under the `fault-inject` feature (never in release serving
+//! builds).
+//!
+//! A process-global [`FaultConfig`] arms the layer; the server then wraps
+//! every accepted connection's stream in a [`FaultyStream`], which
+//! xorshift-schedules torn reads, stalls, delayed/short writes, and
+//! mid-stream disconnects at a configured rate. Snapshot loads can be
+//! truncated the same way ([`maybe_truncate_snapshot`]), driving torn
+//! files through the real open/validate path. Everything is derived from
+//! one seed plus a per-connection counter, so a chaos failure reproduces
+//! from its seed alone (ISSUE 7).
+//!
+//! The injected faults are exactly the shapes a hostile or flaky network
+//! produces — partial reads, stalled sockets, resets, short writes — so a
+//! server surviving a chaos run has demonstrated its handler threads
+//! neither panic nor wedge on them.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What fraction of stream operations misbehave, and how, for one chaos
+/// run.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Master seed; every injected fault derives from it deterministically.
+    pub seed: u64,
+    /// Percent of stream reads/writes that draw a fault (0–100).
+    pub rate_percent: u8,
+    /// Also truncate snapshot files on `LoadGraph` (at the same rate),
+    /// exercising the typed `load-failed` path.
+    pub truncate_snapshot_loads: bool,
+}
+
+/// The armed configuration, if any. A plain std `Mutex` (not parking_lot)
+/// so the layer has no dependencies beyond std.
+static CONFIG: Mutex<Option<FaultConfig>> = Mutex::new(None);
+
+/// Monotone connection counter: each wrapped stream gets its own rng
+/// stream derived from (seed, connection index).
+static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Counter feeding the snapshot-truncation rng and temp-file names.
+static LOAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Arms fault injection process-wide and resets the connection counter,
+/// so a run is reproducible from `config.seed` alone.
+pub fn install(config: FaultConfig) {
+    CONN_SEQ.store(0, Ordering::SeqCst);
+    LOAD_SEQ.store(0, Ordering::SeqCst);
+    *lock_config() = Some(config);
+}
+
+/// Disarms fault injection; already-wrapped streams keep their schedule.
+pub fn clear() {
+    *lock_config() = None;
+}
+
+fn lock_config() -> std::sync::MutexGuard<'static, Option<FaultConfig>> {
+    match CONFIG.lock() {
+        Ok(guard) => guard,
+        // A panicking holder cannot leave the Option invalid; keep going.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer, good enough to decorrelate
+/// sequential counters into fault schedules.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One injected misbehavior on a stream operation.
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    /// Sleep briefly before the real operation (a slow peer).
+    Stall,
+    /// Serve at most one byte (a torn read / short write).
+    Torn,
+    /// Fail the operation as if the peer vanished mid-stream.
+    Disconnect,
+}
+
+/// A stream wrapper that injects faults (stalls, torn reads/writes,
+/// disconnects) on a deterministic
+/// per-connection xorshift schedule. When no [`FaultConfig`] is armed the
+/// wrapper is a transparent pass-through.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    rng: u64,
+    rate_percent: u8,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner`, drawing this connection's schedule from the armed
+    /// seed and the connection counter.
+    pub fn wrap(inner: S) -> FaultyStream<S> {
+        let (rng, rate_percent) = match *lock_config() {
+            Some(config) => {
+                let conn = CONN_SEQ.fetch_add(1, Ordering::SeqCst);
+                let state = splitmix64(config.seed ^ splitmix64(conn)) | 1;
+                (state, config.rate_percent.min(100))
+            }
+            None => (0, 0),
+        };
+        FaultyStream {
+            inner,
+            rng,
+            rate_percent,
+        }
+    }
+
+    /// xorshift64 step; the schedule is this stream's alone.
+    fn next(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Draws whether (and which) fault hits the current operation.
+    fn draw(&mut self) -> Option<Fault> {
+        if self.rate_percent == 0 {
+            return None;
+        }
+        let roll = self.next();
+        if roll % 100 >= u64::from(self.rate_percent) {
+            return None;
+        }
+        Some(match self.next() % 3 {
+            0 => Fault::Stall,
+            1 => Fault::Torn,
+            _ => Fault::Disconnect,
+        })
+    }
+
+    /// A short deterministic stall (5–20ms): long enough to reorder
+    /// thread interleavings, short enough to keep chaos runs fast.
+    fn stall(&mut self) {
+        let ms = 5 + self.next() % 16;
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.draw() {
+            Some(Fault::Stall) => self.stall(),
+            Some(Fault::Torn) if !buf.is_empty() => {
+                return self.inner.read(&mut buf[..1]);
+            }
+            Some(Fault::Disconnect) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "fault-inject: connection reset mid-read",
+                ));
+            }
+            Some(Fault::Torn) | None => {}
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.draw() {
+            Some(Fault::Stall) => self.stall(),
+            Some(Fault::Torn) if !buf.is_empty() => {
+                return self.inner.write(&buf[..1]);
+            }
+            Some(Fault::Disconnect) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "fault-inject: connection reset mid-write",
+                ));
+            }
+            Some(Fault::Torn) | None => {}
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A truncated temp copy of a snapshot, deleted on drop.
+#[derive(Debug)]
+pub struct TruncatedSnapshot {
+    path: String,
+}
+
+impl TruncatedSnapshot {
+    /// The temp copy's path, to feed through the real load path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for TruncatedSnapshot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// When armed with `truncate_snapshot_loads`, sometimes (at the
+/// configured rate) substitutes a truncated temp copy for the snapshot at
+/// `path`, so torn files exercise the real open/validate path and its
+/// typed `load-failed` error. Returns `None` (load the real file) when
+/// disarmed, not drawn, or on any filesystem hiccup.
+pub fn maybe_truncate_snapshot(path: &str) -> Option<TruncatedSnapshot> {
+    let config = (*lock_config())?;
+    if !config.truncate_snapshot_loads {
+        return None;
+    }
+    let draw = LOAD_SEQ.fetch_add(1, Ordering::SeqCst);
+    let roll = splitmix64(config.seed ^ splitmix64(draw ^ 0x10AD));
+    if roll % 100 >= u64::from(config.rate_percent.min(100)) {
+        return None;
+    }
+    let bytes = std::fs::read(Path::new(path)).ok()?;
+    // Keep 0–90% of the file: always torn, never whole.
+    let keep = (bytes.len() as u64).saturating_mul(splitmix64(roll) % 91) / 100;
+    let out = std::env::temp_dir().join(format!(
+        "priograph-fault-{}-{draw}.snap",
+        std::process::id()
+    ));
+    std::fs::write(&out, &bytes[..keep as usize]).ok()?;
+    Some(TruncatedSnapshot {
+        path: out.to_string_lossy().into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test, three phases: the config is process-global state, so
+    /// running these as separate (parallel) tests would race.
+    #[test]
+    fn fault_layer_passes_through_reproduces_and_truncates() {
+        // Phase 1: unarmed streams are transparent.
+        clear();
+        let data = b"hello frame".to_vec();
+        let mut stream = FaultyStream::wrap(io::Cursor::new(data.clone()));
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+
+        // Phase 2: same seed + same connection index ⇒ identical draws.
+        install(FaultConfig {
+            seed: 99,
+            rate_percent: 50,
+            truncate_snapshot_loads: false,
+        });
+        let mut a = FaultyStream::wrap(io::Cursor::new(vec![0u8; 64]));
+        install(FaultConfig {
+            seed: 99,
+            rate_percent: 50,
+            truncate_snapshot_loads: false,
+        });
+        let mut b = FaultyStream::wrap(io::Cursor::new(vec![0u8; 64]));
+        for _ in 0..32 {
+            assert_eq!(
+                format!("{:?}", a.draw()),
+                format!("{:?}", b.draw()),
+                "schedules must reproduce from the seed"
+            );
+        }
+
+        // Phase 3: truncated snapshot copies are strict prefixes and the
+        // temp file cleans up on drop.
+        let src =
+            std::env::temp_dir().join(format!("priograph-fault-src-{}.snap", std::process::id()));
+        std::fs::write(&src, vec![7u8; 4096]).unwrap();
+        install(FaultConfig {
+            seed: 5,
+            rate_percent: 100,
+            truncate_snapshot_loads: true,
+        });
+        let truncated =
+            maybe_truncate_snapshot(src.to_str().unwrap()).expect("rate 100 always draws");
+        let copy = std::fs::read(truncated.path()).unwrap();
+        assert!(copy.len() < 4096, "must be torn, got {} bytes", copy.len());
+        assert!(copy.iter().all(|&b| b == 7), "must be a prefix");
+        let path = truncated.path().to_string();
+        drop(truncated);
+        assert!(!Path::new(&path).exists(), "temp copy cleans up on drop");
+        clear();
+        let _ = std::fs::remove_file(&src);
+    }
+}

@@ -20,9 +20,18 @@
 //! * [`batch`] — per-worker reusable point-query engines: a steady stream
 //!   of PPSP queries is served with zero allocation in the engine hot path,
 //!   extending PR 2's zero-allocation frontier discipline across queries;
-//! * [`client`] — a blocking client;
+//! * [`client`] — a blocking client with the client half of the failure
+//!   model: bounded timeouts, jittered backoff honoring `retry_after_ms`,
+//!   and a circuit breaker ([`client::ResilientClient`]);
 //! * [`spec`] — shared graph-source handling for the `priograph-server`
-//!   and `priograph-client` binaries.
+//!   and `priograph-client` binaries;
+//! * `faults` (feature `fault-inject` only) — a deterministic
+//!   seed-driven fault-injection layer over the server's stream I/O and
+//!   snapshot loads, powering the reproducible chaos suite.
+//!
+//! The failure model end to end — per-query deadlines, overload shedding,
+//! slow-loris defense, graceful drain — is documented in
+//! `docs/ARCHITECTURE.md` §7 and `docs/PROTOCOL.md` §6.
 //!
 //! No async runtime is used: connections are OS threads, and the protocol
 //! is strict request/response (see `vendor/README.md` for the rationale —
@@ -64,6 +73,8 @@
 pub mod batch;
 pub mod catalog;
 pub mod client;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod manifest;
 pub mod plan_cache;
 pub mod protocol;

@@ -13,17 +13,21 @@
 //! JSON is (no crates.io access, so no serde), and the decoder accepts
 //! exactly the subset the encoder produces.
 //!
-//! Protocol **version 3** (this one) made schedule selection a server-side
-//! decision: [`Request::TuneGraph`] runs the autotuner against a resident
-//! graph and installs the winning [`WirePlan`], [`GraphInfo`] reports each
-//! graph's installed plans, and [`Response::Busy`] carries a
-//! `retry_after_ms` hint plus the [`BusyScope`] (per-graph quota vs. global
-//! budget) that refused the request. Version 2 introduced multi-tenancy:
-//! graph ids on queries, the catalog messages (`LoadGraph` / `UnloadGraph` /
-//! `ListGraphs`), typed errors ([`ErrorKind`]). Lower-version peers receive
-//! an in-band error *shaped in their own version* (see
-//! [`legacy_error_payload`]) telling them to upgrade, then the connection
-//! closes.
+//! Protocol **version 4** (this one) gives every query an explicit failure
+//! budget: [`Query`] carries an optional `deadline_ms` (0 = none) measured
+//! from admission, the §5 error table grows typed [`ErrorKind::Timeout`]
+//! and [`ErrorKind::Overloaded`] rows, and `Shutdown` now means *graceful
+//! drain* (stop accepting, finish or time out in-flight work, flush the
+//! manifest). Version 3 made schedule selection a server-side decision:
+//! [`Request::TuneGraph`] runs the autotuner against a resident graph and
+//! installs the winning [`WirePlan`], [`GraphInfo`] reports each graph's
+//! installed plans, and [`Response::Busy`] carries a `retry_after_ms` hint
+//! plus the [`BusyScope`] (per-graph quota vs. global budget) that refused
+//! the request. Version 2 introduced multi-tenancy: graph ids on queries,
+//! the catalog messages (`LoadGraph` / `UnloadGraph` / `ListGraphs`), typed
+//! errors ([`ErrorKind`]). Lower-version peers receive an in-band error
+//! *shaped in their own version* (see [`legacy_error_payload`]) telling
+//! them to upgrade, then the connection closes.
 //!
 //! Frames are capped at [`MAX_FRAME_LEN`]; a peer announcing a larger frame
 //! is rejected before any allocation, so a corrupt or hostile length prefix
@@ -36,7 +40,7 @@ use std::fmt;
 use std::io::{Read, Write};
 
 /// Protocol version carried in every frame. Bump on any wire change.
-pub const PROTOCOL_VERSION: u8 = 3;
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Hard cap on a frame payload (64 MiB) — larger than any distance vector
 /// the bundled workloads produce, small enough to bound a malicious peer.
@@ -85,6 +89,13 @@ pub enum WireError {
         /// The server's drain estimate: retrying sooner is likely wasted.
         retry_after_ms: u64,
     },
+    /// Client-side refusal: the circuit breaker is open after consecutive
+    /// failures, so the request was not sent at all (see
+    /// [`crate::client::CircuitBreaker`]).
+    CircuitOpen {
+        /// Milliseconds until the breaker will allow a half-open probe.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -112,6 +123,12 @@ impl fmt::Display for WireError {
                     f,
                     "server busy ({scope}): {pending} pending of a {budget} budget, \
                      retry after {retry_after_ms}ms"
+                )
+            }
+            WireError::CircuitOpen { retry_after_ms } => {
+                write!(
+                    f,
+                    "circuit breaker open: request not sent, next probe in {retry_after_ms}ms"
                 )
             }
         }
@@ -159,6 +176,11 @@ pub enum ErrorKind {
     ShuttingDown,
     /// A `LoadGraph` snapshot failed to open or validate.
     LoadFailed,
+    /// The query's `deadline_ms` budget expired before execution.
+    Timeout,
+    /// The server shed the connection or request to protect itself
+    /// (connection cap, not an admission-budget `Busy`).
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -173,6 +195,8 @@ impl ErrorKind {
             ErrorKind::TooLarge => 6,
             ErrorKind::ShuttingDown => 7,
             ErrorKind::LoadFailed => 8,
+            ErrorKind::Timeout => 9,
+            ErrorKind::Overloaded => 10,
         }
     }
 
@@ -187,6 +211,8 @@ impl ErrorKind {
             6 => ErrorKind::TooLarge,
             7 => ErrorKind::ShuttingDown,
             8 => ErrorKind::LoadFailed,
+            9 => ErrorKind::Timeout,
+            10 => ErrorKind::Overloaded,
             other => return Err(malformed(format!("unknown error kind {other}"))),
         })
     }
@@ -204,6 +230,8 @@ impl fmt::Display for ErrorKind {
             ErrorKind::TooLarge => "too-large",
             ErrorKind::ShuttingDown => "shutting-down",
             ErrorKind::LoadFailed => "load-failed",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
         })
     }
 }
@@ -585,8 +613,8 @@ impl TuneOutcome {
 }
 
 /// Encoded size of one [`Query`]: op + graph + source + target + strategy +
-/// delta.
-const QUERY_WIRE_LEN: usize = 1 + 4 + 4 + 4 + 1 + 8;
+/// delta + deadline.
+const QUERY_WIRE_LEN: usize = 1 + 4 + 4 + 4 + 1 + 8 + 4;
 
 /// One typed query against a resident graph.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -601,6 +629,10 @@ pub struct Query {
     pub target: u32,
     /// Schedule selection.
     pub schedule: WireSchedule,
+    /// Deadline budget in milliseconds, measured from admission; `0` means
+    /// no deadline. An expired query is dropped before execution and
+    /// answered with [`ErrorKind::Timeout`].
+    pub deadline_ms: u32,
 }
 
 impl Query {
@@ -612,6 +644,7 @@ impl Query {
             source,
             target,
             schedule: WireSchedule::default(),
+            deadline_ms: 0,
         }
     }
 
@@ -623,6 +656,7 @@ impl Query {
             source,
             target: 0,
             schedule: WireSchedule::default(),
+            deadline_ms: 0,
         }
     }
 
@@ -634,6 +668,7 @@ impl Query {
             source,
             target: 0,
             schedule: WireSchedule::default(),
+            deadline_ms: 0,
         }
     }
 
@@ -647,12 +682,20 @@ impl Query {
             source: 0,
             target: 0,
             schedule: WireSchedule::default(),
+            deadline_ms: 0,
         }
     }
 
     /// Retargets the query at another resident graph.
     pub fn on_graph(mut self, graph: GraphId) -> Self {
         self.graph = graph;
+        self
+    }
+
+    /// Gives the query a deadline budget (milliseconds from admission;
+    /// `0` removes any deadline).
+    pub fn with_deadline(mut self, deadline_ms: u32) -> Self {
+        self.deadline_ms = deadline_ms;
         self
     }
 
@@ -663,6 +706,7 @@ impl Query {
         out.extend_from_slice(&self.target.to_le_bytes());
         out.push(self.schedule.strategy.to_u8());
         out.extend_from_slice(&self.schedule.delta.to_le_bytes());
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
     }
 
     fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
@@ -675,6 +719,7 @@ impl Query {
                 strategy: WireStrategy::from_u8(r.u8()?)?,
                 delta: r.i64()?,
             },
+            deadline_ms: r.u32()?,
         })
     }
 }
@@ -832,6 +877,12 @@ pub struct ServerStats {
     pub busy_rejections: u64,
     /// `TuneGraph` runs completed (each installed a plan).
     pub tune_runs: u64,
+    /// Queries dropped before execution because their `deadline_ms`
+    /// budget expired ([`ErrorKind::Timeout`]).
+    pub timeouts: u64,
+    /// Connections refused at accept over the connection cap
+    /// ([`ErrorKind::Overloaded`]).
+    pub rejected_connections: u64,
 }
 
 impl ServerStats {
@@ -848,6 +899,8 @@ impl ServerStats {
             self.graphs,
             self.busy_rejections,
             self.tune_runs,
+            self.timeouts,
+            self.rejected_connections,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -866,6 +919,8 @@ impl ServerStats {
             graphs: r.u64()?,
             busy_rejections: r.u64()?,
             tune_runs: r.u64()?,
+            timeouts: r.u64()?,
+            rejected_connections: r.u64()?,
         })
     }
 }
@@ -1165,8 +1220,9 @@ impl Response {
 /// closes the connection:
 ///
 /// * version 1: `01 05 <len: u64> <utf-8>` (v1 had untyped errors);
-/// * version 2: `02 05 <kind: u8> <len: u64> <utf-8>` with
-///   `kind = unsupported-version` (v2 introduced [`ErrorKind`]).
+/// * versions 2–3: `0V 05 <kind: u8> <len: u64> <utf-8>` with
+///   `kind = unsupported-version` (v2 introduced [`ErrorKind`]; v3 kept
+///   the same Error body).
 ///
 /// Returns `None` for versions this server never spoke (0, or ≥ current —
 /// a *newer* peer gets a current-version in-band error instead).
@@ -1177,9 +1233,10 @@ pub fn legacy_error_payload(version: u8, message: &str) -> Option<Vec<u8>> {
             encode_str(message, &mut out);
             Some(out)
         }
-        2 => {
-            // v2's Error body was already kind + message, identical to v3's.
-            let mut out = vec![2u8, 5u8, ErrorKind::UnsupportedVersion.to_u8()];
+        2 | 3 => {
+            // v2/v3's Error body was already kind + message, identical to
+            // v4's — only the version byte differs.
+            let mut out = vec![version, 5u8, ErrorKind::UnsupportedVersion.to_u8()];
             encode_str(message, &mut out);
             Some(out)
         }
@@ -1259,6 +1316,76 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Outcome of [`read_frame_or_idle`].
+#[derive(Debug)]
+pub enum FrameIn {
+    /// One complete frame payload.
+    Payload(Vec<u8>),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// The socket's read timeout elapsed before the peer sent *any* byte
+    /// of a new frame — the connection is idle, not stuck.
+    Idle,
+}
+
+/// [`read_frame`] for sockets with a read timeout configured: an idle
+/// connection (timeout with no frame started) is reported as
+/// [`FrameIn::Idle`] so the caller can re-check shutdown flags and keep
+/// waiting, while a timeout *inside* a frame — a slow-loris peer trickling
+/// bytes, or stalling mid-payload — is an error that drops the connection.
+///
+/// # Errors
+///
+/// Everything [`read_frame`] rejects, plus timeouts after the first byte
+/// of a frame has arrived.
+pub fn read_frame_or_idle(r: &mut impl Read) -> Result<FrameIn, WireError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameIn::Closed),
+            Ok(0) => {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame length prefix",
+                )))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(FrameIn::Idle)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(WireError::Io(std::io::Error::new(
+                    e.kind(),
+                    "read timeout inside a frame length prefix (slow-loris peer)",
+                )))
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { declared: len });
+    }
+    // A timeout in here (read_exact surfaces it as WouldBlock/TimedOut) is
+    // mid-frame by definition: the length prefix was already consumed.
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(FrameIn::Payload(payload))
 }
 
 /// Bounds-checked little-endian cursor that also enforces the leading
@@ -1405,11 +1532,13 @@ mod tests {
                 strategy: WireStrategy::EagerFusion,
                 delta: 4096,
             },
+            deadline_ms: 0,
         }));
+        roundtrip_request(Request::Query(Query::sssp(4).with_deadline(250)));
         roundtrip_request(Request::Batch(vec![
             Query::ppsp(0, 1),
             Query::sssp(2).on_graph(1),
-            Query::wbfs(3),
+            Query::wbfs(3).with_deadline(u32::MAX),
             Query::kcore().on_graph(u32::MAX),
         ]));
         roundtrip_request(Request::Batch(Vec::new()));
@@ -1456,6 +1585,8 @@ mod tests {
             graphs: 2,
             busy_rejections: 5,
             tune_runs: 1,
+            timeouts: 2,
+            rejected_connections: 3,
         }));
         roundtrip_response(Response::Batch(vec![
             Response::Distance {
@@ -1517,6 +1648,8 @@ mod tests {
             ErrorKind::TooLarge,
             ErrorKind::ShuttingDown,
             ErrorKind::LoadFailed,
+            ErrorKind::Timeout,
+            ErrorKind::Overloaded,
         ] {
             roundtrip_response(Response::error(kind, kind.to_string()));
         }
@@ -1548,29 +1681,31 @@ mod tests {
     #[test]
     fn legacy_error_payloads_match_their_version_shapes() {
         // v1: untyped error — version byte, tag, message.
-        let payload = legacy_error_payload(1, "upgrade to v3").unwrap();
+        let payload = legacy_error_payload(1, "upgrade to v4").unwrap();
         assert_eq!(payload[0], 1, "v1 version byte");
         assert_eq!(payload[1], 5, "v1 Error tag");
         let len = u64::from_le_bytes(payload[2..10].try_into().unwrap()) as usize;
-        assert_eq!(&payload[10..10 + len], b"upgrade to v3");
+        assert_eq!(&payload[10..10 + len], b"upgrade to v4");
         assert_eq!(payload.len(), 10 + len, "nothing after the message");
 
-        // v2: typed error — version byte, tag, kind, message.
-        let payload = legacy_error_payload(2, "upgrade to v3").unwrap();
-        assert_eq!(payload[0], 2, "v2 version byte");
-        assert_eq!(payload[1], 5, "v2 Error tag");
-        assert_eq!(
-            payload[2],
-            ErrorKind::UnsupportedVersion.to_u8(),
-            "v2 errors carry a kind byte"
-        );
-        let len = u64::from_le_bytes(payload[3..11].try_into().unwrap()) as usize;
-        assert_eq!(&payload[11..11 + len], b"upgrade to v3");
-        assert_eq!(payload.len(), 11 + len);
+        // v2 and v3: typed error — version byte, tag, kind, message.
+        for version in [2u8, 3] {
+            let payload = legacy_error_payload(version, "upgrade to v4").unwrap();
+            assert_eq!(payload[0], version, "v{version} version byte");
+            assert_eq!(payload[1], 5, "v{version} Error tag");
+            assert_eq!(
+                payload[2],
+                ErrorKind::UnsupportedVersion.to_u8(),
+                "v{version} errors carry a kind byte"
+            );
+            let len = u64::from_le_bytes(payload[3..11].try_into().unwrap()) as usize;
+            assert_eq!(&payload[11..11 + len], b"upgrade to v4");
+            assert_eq!(payload.len(), 11 + len);
+        }
 
-        // The current decoder rejects both as version mismatches, which is
+        // The current decoder rejects all as version mismatches, which is
         // exactly what a *new* client pointed at an old server should see.
-        for got in [1u8, 2] {
+        for got in [1u8, 2, 3] {
             let payload = legacy_error_payload(got, "x").unwrap();
             assert!(matches!(
                 Response::decode(&payload).unwrap_err(),
@@ -1743,6 +1878,74 @@ mod tests {
                 WireError::Io(_)
             ));
         }
+    }
+
+    /// A scripted reader: replays byte chunks and timeout errors in order,
+    /// standing in for a socket with a read timeout configured.
+    struct ScriptedRead(std::collections::VecDeque<Result<Vec<u8>, std::io::ErrorKind>>);
+
+    impl Read for ScriptedRead {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.pop_front() {
+                None => Ok(0),
+                Some(Ok(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    if n < bytes.len() {
+                        self.0.push_front(Ok(bytes[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+                Some(Err(kind)) => Err(std::io::Error::new(kind, "scripted")),
+            }
+        }
+    }
+
+    #[test]
+    fn idle_timeouts_and_slow_loris_are_told_apart() {
+        use std::io::ErrorKind as IoKind;
+        // Timeout before any byte of a frame: idle, keep waiting.
+        let mut idle = ScriptedRead([Err(IoKind::WouldBlock)].into_iter().collect());
+        assert!(matches!(
+            read_frame_or_idle(&mut idle).unwrap(),
+            FrameIn::Idle
+        ));
+
+        // Timeout after a partial length prefix: a slow-loris peer.
+        let mut loris = ScriptedRead(
+            [Ok(vec![5u8, 0]), Err(IoKind::TimedOut)]
+                .into_iter()
+                .collect(),
+        );
+        assert!(matches!(
+            read_frame_or_idle(&mut loris).unwrap_err(),
+            WireError::Io(_)
+        ));
+
+        // Timeout inside the payload is mid-frame too.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"hello").unwrap();
+        let mut stalled = ScriptedRead(
+            [Ok(frame[..6].to_vec()), Err(IoKind::WouldBlock)]
+                .into_iter()
+                .collect(),
+        );
+        assert!(matches!(
+            read_frame_or_idle(&mut stalled).unwrap_err(),
+            WireError::Io(_)
+        ));
+
+        // A whole frame and a clean close still behave like `read_frame`.
+        let mut whole = ScriptedRead([Ok(frame.clone())].into_iter().collect());
+        match read_frame_or_idle(&mut whole).unwrap() {
+            FrameIn::Payload(p) => assert_eq!(p, b"hello"),
+            other => panic!("expected a payload, got {other:?}"),
+        }
+        let mut closed = ScriptedRead(std::collections::VecDeque::new());
+        assert!(matches!(
+            read_frame_or_idle(&mut closed).unwrap(),
+            FrameIn::Closed
+        ));
     }
 
     #[test]

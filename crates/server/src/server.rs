@@ -48,8 +48,8 @@
 use crate::batch::{BatchRunner, PointAnswer};
 use crate::catalog::{Catalog, CatalogError, GraphEntry};
 use crate::protocol::{
-    legacy_error_payload, read_frame, write_frame, BusyScope, ErrorKind, GraphId, Query, QueryOp,
-    Request, Response, ServerStats, TuneOutcome, WireError, WirePlan, WireStrategy,
+    legacy_error_payload, read_frame_or_idle, write_frame, BusyScope, ErrorKind, FrameIn, GraphId,
+    Query, QueryOp, Request, Response, ServerStats, TuneOutcome, WireError, WirePlan, WireStrategy,
     PROTOCOL_VERSION,
 };
 use priograph_algorithms::{kcore, sssp, wbfs, UNREACHABLE};
@@ -64,6 +64,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// How a [`serve`]d server is configured.
 #[derive(Clone, Debug)]
@@ -98,6 +99,21 @@ pub struct ServerConfig {
     /// (`--mmap-populate`): pre-faults the file at map time so cold-cache
     /// first queries do not stall on page-in.
     pub mmap_populate: bool,
+    /// Hard cap on concurrently served connections. A connection accepted
+    /// over the cap gets one typed `overloaded` error frame and is closed —
+    /// a refusal the client can act on instead of an unbounded
+    /// handler-thread spawn (`docs/PROTOCOL.md` §6.1).
+    pub max_connections: usize,
+    /// Socket read/write timeout per connection, in milliseconds. A read
+    /// timeout on an *idle* connection (no frame started) keeps it open; a
+    /// timeout *inside* a frame — a slow-loris peer trickling bytes, or a
+    /// stalled mid-payload read/write — drops the connection so it cannot
+    /// wedge its handler thread.
+    pub io_timeout_ms: u64,
+    /// How long a graceful drain waits for admitted queries to finish
+    /// before abandoning them with `shutting-down` errors
+    /// (`docs/PROTOCOL.md` §6.2).
+    pub drain_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +129,9 @@ impl Default for ServerConfig {
             graph_pending_budget: 1024,
             manifest: None,
             mmap_populate: false,
+            max_connections: 256,
+            io_timeout_ms: 30_000,
+            drain_timeout_ms: 5_000,
         }
     }
 }
@@ -127,6 +146,8 @@ struct Counters {
     errors: AtomicU64,
     busy_rejections: AtomicU64,
     tune_runs: AtomicU64,
+    timeouts: AtomicU64,
+    rejected_connections: AtomicU64,
 }
 
 /// State shared by every thread of one server instance.
@@ -146,6 +167,18 @@ struct Shared {
     /// `retry_after_ms` hint in [`Response::Busy`].
     round_nanos: AtomicU64,
     shutdown: AtomicBool,
+    /// Graceful-drain flag: accepting stops, new requests get a typed
+    /// `shutting-down` refusal, in-flight queries finish (bounded by
+    /// `drain_timeout_ms`), then `shutdown` is raised and the manifest
+    /// flushed (`docs/PROTOCOL.md` §6.2).
+    draining: AtomicBool,
+    /// Currently served connections, bounded by `max_connections`.
+    connections: AtomicU64,
+    max_connections: u64,
+    io_timeout_ms: u64,
+    drain_timeout_ms: u64,
+    /// splitmix64 walk feeding the ±25% jitter on `retry_after_ms`.
+    retry_jitter: AtomicU64,
 }
 
 impl Shared {
@@ -169,17 +202,23 @@ impl Shared {
             graphs: self.catalog.len() as u64,
             busy_rejections: self.counters.busy_rejections.load(Ordering::Relaxed),
             tune_runs: self.counters.tune_runs.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            rejected_connections: self.counters.rejected_connections.load(Ordering::Relaxed),
         }
     }
 
     /// Estimates how long until `pending` queries drain: rounds needed at
     /// `max_batch` per round times the EWMA round cost, clamped to a sane
     /// band (at least 1ms so clients cannot busy-spin on the hint, at most
-    /// 2s so a one-off huge round cannot park clients forever).
+    /// 2s so a one-off huge round cannot park clients forever), then
+    /// jittered ±25% so the rejected clients of one admission window do
+    /// not all come back in the same instant (final band [1, 2500]ms,
+    /// `docs/PROTOCOL.md` §6).
     fn retry_hint_ms(&self, pending: u64) -> u64 {
         let round_ms = self.round_nanos.load(Ordering::Relaxed) / 1_000_000;
         let rounds = pending / self.max_batch.max(1) + 1;
-        rounds.saturating_mul(round_ms.max(1)).clamp(1, 2_000)
+        let base = rounds.saturating_mul(round_ms.max(1)).clamp(1, 2_000);
+        jitter_retry_ms(base, &self.retry_jitter)
     }
 
     /// Folds one measured round duration into the EWMA (α = 1/4).
@@ -205,6 +244,24 @@ impl Shared {
             retry_after_ms: self.retry_hint_ms(pending),
         }
     }
+}
+
+/// Applies deterministic ±25% jitter to a retry hint. Each call advances a
+/// lock-free splitmix64 walk on `state`, so concurrent refusals draw
+/// distinct factors and synchronized clients spread across the next
+/// admission window instead of thundering-herding it.
+fn jitter_retry_ms(base: u64, state: &AtomicU64) -> u64 {
+    let x = state
+        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Factor in [0.750, 1.250], per-mille resolution; floor at 1ms so the
+    // hint can never tell a client to retry immediately.
+    let permille = 750 + z % 501;
+    (base.saturating_mul(permille) / 1000).max(1)
 }
 
 /// Bounded reserve: adds `count` to `counter` unless that would exceed
@@ -294,6 +351,9 @@ enum Job {
     Query {
         entry: Arc<GraphEntry>,
         query: Query,
+        /// When admission reserved this query's slot — the zero point of
+        /// its `deadline_ms` budget.
+        admitted: Instant,
         reply: mpsc::Sender<Response>,
     },
     /// An admitted `TuneGraph` run.
@@ -308,7 +368,9 @@ enum Job {
 /// Handle to a running server.
 ///
 /// Dropping the handle stops the server; [`ServerHandle::stop`] does so
-/// explicitly, [`ServerHandle::join`] instead blocks until a client sends
+/// explicitly (hard stop: queued work is abandoned with `shutting-down`
+/// errors), [`ServerHandle::drain`] instead runs the graceful path, and
+/// [`ServerHandle::join`] blocks until a client sends
 /// [`Request::Shutdown`].
 #[derive(Debug)]
 pub struct ServerHandle {
@@ -324,14 +386,42 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the server: no new connections are accepted, in-flight
-    /// queries finish, and both service threads are joined.
+    /// Stops the server hard: no new connections are accepted, queued
+    /// work is abandoned (clients get typed `shutting-down` errors), and
+    /// both service threads are joined. For the graceful path use
+    /// [`ServerHandle::drain`].
     pub fn stop(mut self) {
         self.stop_inner();
     }
 
-    /// Blocks until the server shuts down (via [`Request::Shutdown`] or
-    /// [`ServerHandle::stop`] from another handle-owning thread).
+    /// Gracefully drains and blocks until the server has exited: stop
+    /// accepting, answer queries already admitted (bounded by
+    /// [`ServerConfig::drain_timeout_ms`]), flush the manifest
+    /// (`docs/PROTOCOL.md` §6.2).
+    pub fn drain(mut self) {
+        self.drain_trigger().drain();
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+
+    /// A clonable trigger for the graceful-drain path, safe to hand to a
+    /// signal-watcher thread: firing it starts the drain without consuming
+    /// or blocking this handle ([`ServerHandle::join`] then returns once
+    /// the drain completes).
+    pub fn drain_trigger(&self) -> DrainTrigger {
+        DrainTrigger {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Blocks until the server shuts down (via [`Request::Shutdown`], a
+    /// fired [`DrainTrigger`], or [`ServerHandle::stop`] from another
+    /// handle-owning thread).
     pub fn join(mut self) {
         if let Some(listener) = self.listener.take() {
             let _ = listener.join();
@@ -342,6 +432,10 @@ impl ServerHandle {
     }
 
     fn stop_inner(&mut self) {
+        // Raising both flags makes this a hard stop: the drain wait in
+        // drain_then_stop sees `shutdown` already set and skips straight
+        // to the manifest flush.
+        self.shared.draining.store(true, Ordering::Release);
         self.shared.shutdown.store(true, Ordering::Release);
         // Kick the blocking accept() so the listener observes the flag.
         let _ = TcpStream::connect(self.addr);
@@ -351,6 +445,27 @@ impl ServerHandle {
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
+    }
+}
+
+/// Routes an external shutdown signal (SIGINT/SIGTERM in
+/// `priograph-server`, or any supervisor) into the graceful-drain path.
+/// Obtained from [`ServerHandle::drain_trigger`]; clonable and cheap.
+#[derive(Debug, Clone)]
+pub struct DrainTrigger {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl DrainTrigger {
+    /// Begins a graceful drain and returns immediately: accepting stops,
+    /// admitted queries get answered (bounded by
+    /// [`ServerConfig::drain_timeout_ms`]), the manifest is flushed. Join
+    /// the [`ServerHandle`] to wait for completion.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        // Kick the blocking accept() so the listener observes the flag.
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
@@ -432,6 +547,12 @@ pub fn serve_named(
         max_batch: config.max_batch.max(1) as u64,
         round_nanos: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+        max_connections: config.max_connections.max(1) as u64,
+        io_timeout_ms: config.io_timeout_ms.max(1),
+        drain_timeout_ms: config.drain_timeout_ms,
+        retry_jitter: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
     });
 
     let (tx, rx) = mpsc::channel::<Job>();
@@ -447,7 +568,10 @@ pub fn serve_named(
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("priograph-accept".to_string())
-            .spawn(move || accept_loop(&listener, &shared, addr, &tx))?
+            .spawn(move || {
+                accept_loop(&listener, &shared, addr, &tx);
+                drain_then_stop(&shared);
+            })?
     };
 
     Ok(ServerHandle {
@@ -475,24 +599,84 @@ fn accept_loop(
                 // connection flood) — and then the stop() kick-connect fails
                 // too, so the shutdown flag must be checked here, and the
                 // retry must back off instead of busy-spinning.
-                if shared.shutdown.load(Ordering::Acquire) {
+                if shared.shutdown.load(Ordering::Acquire)
+                    || shared.draining.load(Ordering::Acquire)
+                {
                     return;
                 }
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
-        if shared.shutdown.load(Ordering::Acquire) {
+        if shared.shutdown.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
             return;
         }
+        // Connection cap: over it, the peer gets one typed `overloaded`
+        // frame and the socket closes — no handler thread spawns, so a
+        // connection flood cannot exhaust threads or fds held by handlers.
+        if reserve(&shared.connections, 1, shared.max_connections).is_err() {
+            refuse_connection(shared, stream);
+            continue;
+        }
+        let guard = ConnGuard(Arc::clone(shared));
         let shared = Arc::clone(shared);
         let tx = tx.clone();
+        // A failed spawn drops the closure unrun, which drops `guard` and
+        // releases the reservation.
         let _ = std::thread::Builder::new()
             .name("priograph-conn".to_string())
             .spawn(move || {
+                let _guard = guard;
                 let _ = handle_connection(stream, &shared, addr, &tx);
             });
     }
+}
+
+/// RAII release of one accepted connection's slot under the cap.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Typed refusal for a connection over the cap: one `overloaded` error
+/// frame on a short write budget, then the socket drops. The peer gets a
+/// decodable reason (with a jittered retry hint) instead of a silent RST.
+fn refuse_connection(shared: &Shared, mut stream: TcpStream) {
+    shared
+        .counters
+        .rejected_connections
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
+    let hint = jitter_retry_ms(50, &shared.retry_jitter);
+    let refusal = Response::error(
+        ErrorKind::Overloaded,
+        format!(
+            "connection limit of {} reached; retry in {hint}ms",
+            shared.max_connections
+        ),
+    );
+    let _ = write_frame(&mut stream, &refusal.encode());
+}
+
+/// The drain supervisor, run on the listener thread once accepting has
+/// stopped: wait (bounded by `drain_timeout_ms`) for admitted work to be
+/// answered, then stop the dispatcher and flush the manifest so the
+/// catalog and its tuned plans reload on restart. A hard
+/// [`ServerHandle::stop`] arrives here with `shutdown` already raised and
+/// skips the wait.
+fn drain_then_stop(shared: &Shared) {
+    let deadline = Instant::now() + Duration::from_millis(shared.drain_timeout_ms);
+    while !shared.shutdown.load(Ordering::Acquire)
+        && shared.pending.load(Ordering::Acquire) > 0
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    shared.shutdown.store(true, Ordering::Release);
+    shared.catalog.persist();
 }
 
 /// A per-query slot of an in-progress request: either already answered on
@@ -531,6 +715,9 @@ fn admit_and_run(
         .map(|q| shared.catalog.get(q.graph))
         .collect();
     let guard = try_admit(shared, &entries)?;
+    // Deadline budgets start at admission: time queued behind other work
+    // counts against the query, not just its execution.
+    let admitted = Instant::now();
     // Submit every query before collecting any reply, so the whole batch
     // is visible to one dispatcher round.
     let slots: Vec<Slot> = queries
@@ -542,6 +729,7 @@ fn admit_and_run(
                 let _ = tx.send(Job::Query {
                     entry: Arc::clone(entry),
                     query,
+                    admitted,
                     reply: reply_tx,
                 });
                 Slot::Pending(reply_rx)
@@ -603,25 +791,58 @@ fn admit_and_tune(
     response
 }
 
-/// Serves one client connection; returns on disconnect or shutdown.
+/// Serves one client connection; returns on disconnect, drain, or
+/// shutdown. Socket reads and writes run under
+/// [`ServerConfig::io_timeout_ms`]: an idle connection (no frame started)
+/// survives read timeouts, but a peer that stalls *inside* a frame — the
+/// slow-loris shape — is dropped so it cannot wedge this handler thread.
 fn handle_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     shared: &Arc<Shared>,
     addr: SocketAddr,
     tx: &mpsc::Sender<Job>,
 ) -> Result<(), WireError> {
     let _ = stream.set_nodelay(true);
+    let io_timeout = Duration::from_millis(shared.io_timeout_ms);
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    #[cfg(feature = "fault-inject")]
+    let mut stream = crate::faults::FaultyStream::wrap(stream);
+    #[cfg(not(feature = "fault-inject"))]
+    let mut stream = stream;
     loop {
-        let Some(payload) = read_frame(&mut stream)? else {
-            return Ok(()); // clean disconnect between frames
+        let payload = match read_frame_or_idle(&mut stream)? {
+            FrameIn::Payload(payload) => payload,
+            FrameIn::Closed => return Ok(()), // clean disconnect between frames
+            FrameIn::Idle => {
+                // An idle client holds only its connection slot; drop it
+                // once the server is going away, keep it otherwise.
+                if shared.shutdown.load(Ordering::Acquire)
+                    || shared.draining.load(Ordering::Acquire)
+                {
+                    return Ok(());
+                }
+                continue;
+            }
         };
+        if shared.shutdown.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
+            // Draining: already-admitted work finishes, but no new request
+            // gets in — a typed refusal, then the connection closes.
+            let refusal =
+                Response::error(ErrorKind::ShuttingDown, "server is draining; not served");
+            let _ = write_frame(&mut stream, &refusal.encode());
+            return Ok(());
+        }
         let response = match Request::decode(&payload) {
             Ok(Request::Stats) => Response::Stats(shared.stats()),
             Ok(Request::Shutdown) => {
-                write_frame(&mut stream, &Response::Bye.encode())?;
-                shared.shutdown.store(true, Ordering::Release);
-                // Kick the accept loop awake so it observes the flag.
+                // A wire shutdown takes the graceful path: raise the drain
+                // flag (before the Bye, so a client that saw Bye never
+                // gets served again), then kick the accept loop awake to
+                // run it (`docs/PROTOCOL.md` §6.2).
+                shared.draining.store(true, Ordering::Release);
                 let _ = TcpStream::connect(addr);
+                write_frame(&mut stream, &Response::Bye.encode())?;
                 return Ok(());
             }
             Ok(Request::Query(query)) => {
@@ -697,7 +918,7 @@ fn handle_connection(
             .encode();
         }
         write_frame(&mut stream, &encoded)?;
-        if shared.shutdown.load(Ordering::Acquire) {
+        if shared.shutdown.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
             return Ok(()); // stop serving this connection once shutdown began
         }
     }
@@ -707,6 +928,13 @@ fn load_graph(shared: &Shared, name: &str, path: &str) -> Response {
     if name.is_empty() {
         return Response::error(ErrorKind::BadRequest, "graph name must not be empty");
     }
+    // Fault injection may substitute a truncated copy of the snapshot; it
+    // goes through the real open/validate path below, so torn loads
+    // exercise the same typed `LoadFailed` surface clients see.
+    #[cfg(feature = "fault-inject")]
+    let truncated = crate::faults::maybe_truncate_snapshot(path);
+    #[cfg(feature = "fault-inject")]
+    let path = truncated.as_ref().map_or(path, |t| t.path());
     match shared.catalog.load(name, path) {
         Ok(entry) => Response::Loaded(entry.info()),
         Err(e @ CatalogError::NameTaken(_)) => {
@@ -758,7 +986,29 @@ struct PointGroup {
 struct QueryJob {
     entry: Arc<GraphEntry>,
     query: Query,
+    admitted: Instant,
     reply: mpsc::Sender<Response>,
+}
+
+/// Whether `job`'s deadline budget (measured from admission) has expired.
+/// Queries without a deadline (`deadline_ms == 0`) never expire.
+fn deadline_expired(job: &QueryJob, now: Instant) -> bool {
+    let budget = job.query.deadline_ms;
+    budget > 0 && now.duration_since(job.admitted).as_millis() >= u128::from(budget)
+}
+
+/// The typed `Timeout` reply for an expired query, counted in
+/// `stats.timeouts`.
+fn timeout_error(shared: &Shared, job: &QueryJob) -> Response {
+    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    Response::error(
+        ErrorKind::Timeout,
+        format!(
+            "deadline of {}ms expired {}ms after admission; query dropped before execution",
+            job.query.deadline_ms,
+            job.admitted.elapsed().as_millis()
+        ),
+    )
 }
 
 /// The dispatcher: the single owner of the pool, the planning point, and
@@ -799,10 +1049,12 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
                 Job::Query {
                     entry,
                     query,
+                    admitted,
                     reply,
                 } => queries.push(QueryJob {
                     entry,
                     query,
+                    admitted,
                     reply,
                 }),
                 tune @ Job::Tune { .. } => tunes.push(tune),
@@ -830,9 +1082,19 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
         }
         replies.clear();
         replies.resize_with(queries.len(), || None);
+        // Deadline shedding happens at partition time: a query whose
+        // budget expired while queued is dropped *before* any engine work,
+        // and rechecked again right before full-vector execution (earlier
+        // queries in the same round may have consumed its remaining
+        // budget).
+        let partition_time = Instant::now();
         for (i, job) in queries.iter().enumerate() {
             let q = &job.query;
             let n = job.entry.graph.num_vertices();
+            if deadline_expired(job, partition_time) {
+                replies[i] = Some(timeout_error(shared, job));
+                continue;
+            }
             match q.op {
                 QueryOp::Ppsp => {
                     if (q.source as usize) < n && (q.target as usize) < n {
@@ -876,6 +1138,12 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
 
         for (i, job) in queries.iter().enumerate() {
             if replies[i].is_none() {
+                if deadline_expired(job, Instant::now()) {
+                    // Expired waiting behind this round's earlier work:
+                    // dropped without executing (no full_queries count).
+                    replies[i] = Some(timeout_error(shared, job));
+                    continue;
+                }
                 shared.counters.full_queries.fetch_add(1, Ordering::Relaxed);
                 job.entry.queries.fetch_add(1, Ordering::Relaxed);
                 replies[i] = Some(run_full_query(shared, &pool, job));
@@ -1027,6 +1295,7 @@ pub fn fmt_distance(d: i64) -> String {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::protocol::read_frame;
     use priograph_graph::gen::GraphGen;
 
     fn tiny_server(threads: usize) -> ServerHandle {
@@ -1287,6 +1556,18 @@ mod tests {
         let message = std::str::from_utf8(&payload[11..11 + msg_len]).unwrap();
         assert!(message.contains("version 2"), "{message}");
         assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
+
+        // v3: same typed shape as v2, then close.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(&mut stream, &[3u8, 2u8]).unwrap(); // v3 Stats request
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(payload[0], 3, "reply speaks v3");
+        assert_eq!(payload[1], 5, "reply is a v3 Error");
+        assert_eq!(payload[2], 4, "kind byte is unsupported-version");
+        let msg_len = u64::from_le_bytes(payload[3..11].try_into().unwrap()) as usize;
+        let message = std::str::from_utf8(&payload[11..11 + msg_len]).unwrap();
+        assert!(message.contains("version 3"), "{message}");
+        assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
         handle.stop();
     }
 
@@ -1420,5 +1701,225 @@ mod tests {
     fn fmt_distance_marks_unreachable() {
         assert_eq!(fmt_distance(12), "12");
         assert_eq!(fmt_distance(UNREACHABLE), "-");
+    }
+
+    #[test]
+    fn expired_deadlines_drop_queries_before_execution() {
+        // One thread, a grid big enough that each SSSP takes well over 1ms:
+        // by the time the dispatcher works through the leading full-vector
+        // queries, the trailing 1ms-deadline query has long expired and
+        // must be dropped *without executing* (ISSUE 7 acceptance).
+        let graph = GraphGen::road_grid(200, 200).seed(3).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let batch = vec![
+            Query::sssp(0),
+            Query::sssp(1),
+            Query::sssp(2),
+            Query::sssp(3).with_deadline(1),
+        ];
+        let responses = client.batch(batch).unwrap();
+        for resp in &responses[..3] {
+            assert!(matches!(resp, Response::DistVec(_)), "{resp:?}");
+        }
+        match &responses[3] {
+            Response::Error { kind, message } => {
+                assert_eq!(*kind, ErrorKind::Timeout, "{message}");
+            }
+            other => panic!("expected a timeout error, got {other:?}"),
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.full_queries, 3, "the timed-out query never executed");
+        handle.stop();
+    }
+
+    #[test]
+    fn deadlines_generous_enough_do_not_fire() {
+        let handle = tiny_server(1);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let resp = client.query(Query::sssp(0).with_deadline(60_000)).unwrap();
+        assert!(matches!(resp, Response::DistVec(_)), "{resp:?}");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.timeouts, 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn connections_over_the_cap_get_a_typed_refusal() {
+        let graph = GraphGen::road_grid(8, 8).seed(1).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut first = Client::connect(handle.addr()).unwrap();
+        assert!(first.stats().is_ok(), "the first connection is served");
+        // The second connection is over the cap: one overloaded frame,
+        // then the socket closes — no handler thread was spawned for it.
+        let mut second = TcpStream::connect(handle.addr()).unwrap();
+        let payload = read_frame(&mut second).unwrap().unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Overloaded, "{message}");
+                assert!(message.contains("connection limit"), "{message}");
+            }
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        assert!(matches!(read_frame(&mut second), Ok(None) | Err(_)));
+        // The surviving connection keeps serving and saw the refusal.
+        let stats = first.stats().unwrap();
+        assert_eq!(stats.rejected_connections, 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn slow_loris_partial_frames_are_dropped_but_idle_connections_survive() {
+        use std::io::{Read, Write};
+        let graph = GraphGen::road_grid(8, 8).seed(1).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                io_timeout_ms: 120,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        // Idle well past the io timeout: the connection must survive (an
+        // idle read timeout is not an error).
+        let mut client = Client::connect(handle.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(client.stats().is_ok(), "idle connections stay usable");
+        // Half a length prefix, then silence: the slow-loris shape. The
+        // server must close the connection within its io timeout instead
+        // of wedging the handler thread.
+        let mut loris = TcpStream::connect(handle.addr()).unwrap();
+        loris.write_all(&[7u8, 0]).unwrap();
+        loris
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match loris.read(&mut buf) {
+            Ok(0) | Err(_) => {} // closed (or reset) — both are a drop
+            Ok(n) => panic!("server wrote {n} bytes to a slow-loris peer"),
+        }
+        // And the server still serves others afterwards.
+        assert!(client.stats().is_ok());
+        handle.stop();
+    }
+
+    #[test]
+    fn retry_jitter_stays_in_band_and_varies() {
+        let state = AtomicU64::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let v = jitter_retry_ms(1_000, &state);
+            assert!((750..=1_250).contains(&v), "{v} outside ±25% of 1000");
+            seen.insert(v);
+        }
+        assert!(seen.len() > 10, "jitter must actually vary, got {seen:?}");
+        // The busy-path clamp tops out at 2000ms, so jittered hints stay
+        // within the documented [1, 2500] band; zero floors at 1.
+        for _ in 0..64 {
+            assert!(jitter_retry_ms(2_000, &state) <= 2_500);
+        }
+        assert_eq!(jitter_retry_ms(0, &state), 1);
+    }
+
+    #[test]
+    fn graceful_drain_answers_in_flight_work_and_flushes_the_manifest() {
+        let dir = std::env::temp_dir().join(format!("priograph-drain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("manifest.json");
+        let _ = std::fs::remove_file(&manifest);
+        let snap = dir.join("extra.snap");
+        let extra = GraphGen::road_grid(6, 6).seed(5).build();
+        priograph_graph::GraphSnapshot::write(&extra, &snap).unwrap();
+
+        let graph = GraphGen::road_grid(8, 8).seed(1).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                manifest: Some(manifest.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.load_graph("extra", snap.to_str().unwrap()).unwrap();
+        // A batch in flight while the drain fires: every reply must still
+        // arrive (answered, or typed shutting-down if abandoned) — no
+        // hangs, no dead sockets mid-response.
+        let worker = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).ok()?;
+            let batch: Vec<Query> = (0..64).map(|i| Query::ppsp(0, i % 64)).collect();
+            c.batch(batch).ok()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        handle.drain();
+        if let Ok(Some(responses)) = worker.join().map(Ok::<_, ()>).unwrap() {
+            assert_eq!(responses.len(), 64);
+            for resp in &responses {
+                assert!(
+                    matches!(resp, Response::Distance { .. } | Response::Error { .. }),
+                    "{resp:?}"
+                );
+            }
+        }
+        // The manifest was flushed by the drain and restores the
+        // wire-loaded graph on restart.
+        assert!(manifest.exists(), "drain must flush the manifest");
+        let graph = GraphGen::road_grid(8, 8).seed(1).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                manifest: Some(manifest.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let graphs = client.list_graphs().unwrap();
+        assert!(
+            graphs.iter().any(|g| g.name == "extra"),
+            "restart on the drained manifest must restore the graph: {graphs:?}"
+        );
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wire_shutdown_drains_instead_of_dropping_queued_work() {
+        // After a Shutdown request lands, new requests on other
+        // connections get a typed shutting-down refusal (not a dead
+        // socket) until the drain completes.
+        let handle = tiny_server(1);
+        let addr = handle.addr();
+        let mut other = Client::connect(addr).unwrap();
+        assert!(other.stats().is_ok());
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        // The draining server answers the in-band refusal or has already
+        // closed the connection — either way nothing hangs.
+        assert!(
+            other.stats().is_err(),
+            "draining server must not serve new requests"
+        );
+        handle.join();
     }
 }

@@ -1,0 +1,238 @@
+//! Property tests for the wire protocol's decode hardening: **no byte
+//! sequence a peer can send may panic a decoder or trick it into an
+//! outsized allocation** — malformed input must come back as a typed
+//! [`WireError`], never as a crash (docs/ARCHITECTURE.md §7, shed step 1).
+//!
+//! Four adversarial shapes, each over seeded random inputs:
+//!
+//! 1. uniform byte soup through [`Request::decode`], [`Response::decode`],
+//!    and [`read_frame`];
+//! 2. truncation sweeps — *every* proper prefix of a valid encoding must
+//!    be rejected (and so must trailing garbage, which `Cursor::finish`
+//!    exists to catch);
+//! 3. single bit flips of valid encodings — decode may accept a mutant
+//!    that is itself a valid message, but whatever it accepts must
+//!    re-encode and re-decode to the same value (no half-parsed states);
+//! 4. lying length prefixes — element counts and frame lengths far beyond
+//!    the bytes actually present are refused up front, before any
+//!    `Vec::with_capacity` sized from attacker-controlled numbers.
+
+use priograph_serve::protocol::{
+    read_frame, BusyScope, ErrorKind, Query, QueryOp, Request, Response, WireError, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One arbitrary query from sampled integers (all four ops, any graph id,
+/// any deadline budget).
+fn sample_query(sel: u64, graph: u32, a: u32, b: u32, deadline: u32) -> Query {
+    let q = match sel % 4 {
+        0 => Query::ppsp(a, b),
+        1 => Query::sssp(a),
+        2 => Query::wbfs(a),
+        _ => Query::kcore(),
+    };
+    q.on_graph(graph).with_deadline(deadline)
+}
+
+/// One arbitrary request covering every tag, from sampled integers.
+fn sample_request(sel: u64, graph: u32, a: u32, b: u32, extra: u64) -> Request {
+    let deadline = (extra >> 32) as u32;
+    match sel % 8 {
+        0 => Request::Query(sample_query(extra, graph, a, b, deadline)),
+        1 => Request::Batch(
+            (0..extra % 5)
+                .map(|i| sample_query(sel.wrapping_add(i), graph, a, b, deadline))
+                .collect(),
+        ),
+        2 => Request::Stats,
+        3 => Request::Shutdown,
+        4 => Request::LoadGraph {
+            name: format!("graph-{a}"),
+            path: format!("/tmp/snapshots/{b}.snap"),
+        },
+        5 => Request::UnloadGraph {
+            name: format!("graph-{a}"),
+        },
+        6 => Request::ListGraphs,
+        _ => Request::TuneGraph {
+            graph,
+            algo: match extra % 3 {
+                0 => QueryOp::Sssp,
+                1 => QueryOp::Wbfs,
+                _ => QueryOp::KCore,
+            },
+            budget: b,
+        },
+    }
+}
+
+/// One arbitrary response over the payload-bearing variants (the
+/// fixed-shape ones — `Bye`, `Unloaded`, `Stats` — are covered by the
+/// protocol module's roundtrip tests).
+fn sample_response(sel: u64, a: u32, count: u64, flag: bool) -> Response {
+    match sel % 4 {
+        0 => Response::Distance {
+            distance: flag.then_some(i64::from(a)),
+            relaxations: count,
+        },
+        1 => Response::DistVec((0..count % 17).map(|i| i as i64 - 3).collect()),
+        2 => Response::Error {
+            kind: ErrorKind::Timeout,
+            message: format!("deadline of {a}ms expired"),
+        },
+        _ => Response::Busy {
+            scope: if flag {
+                BusyScope::Graph(a)
+            } else {
+                BusyScope::Global
+            },
+            pending: count,
+            budget: count.wrapping_add(1),
+            retry_after_ms: u64::from(a) % 2_500 + 1,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shape 1: uniform byte soup. Decoders must return (Ok or Err), never
+    /// panic, and the frame reader must terminate on arbitrary input.
+    #[test]
+    fn random_byte_soup_never_panics_the_decoders(
+        seed in 0u64..=u64::MAX,
+        len in 0usize..=512,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        // Drain the soup through the frame reader too: every iteration
+        // consumes at least the 4-byte prefix, so this terminates.
+        let mut cursor = &bytes[..];
+        while let Ok(Some(payload)) = read_frame(&mut cursor) {
+            let _ = Request::decode(&payload);
+        }
+    }
+
+    /// Shape 2 (requests): every proper prefix of a valid encoding is an
+    /// error, and so is one byte of trailing garbage.
+    #[test]
+    fn every_proper_prefix_of_a_valid_request_is_rejected(
+        sel in 0u64..=u64::MAX,
+        graph in 0u32..=u32::MAX,
+        a in 0u32..=u32::MAX,
+        b in 0u32..=u32::MAX,
+        extra in 0u64..=u64::MAX,
+    ) {
+        let request = sample_request(sel, graph, a, b, extra);
+        let full = request.encode();
+        prop_assert_eq!(Request::decode(&full).expect("valid encoding"), request);
+        for cut in 0..full.len() {
+            prop_assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                full.len(),
+            );
+        }
+        let mut padded = full;
+        padded.push(0);
+        prop_assert!(Request::decode(&padded).is_err(), "trailing byte accepted");
+    }
+
+    /// Shape 2 (responses): same sweep over the payload-bearing variants.
+    #[test]
+    fn every_proper_prefix_of_a_valid_response_is_rejected(
+        sel in 0u64..=u64::MAX,
+        a in 0u32..=u32::MAX,
+        count in 0u64..=u64::MAX,
+        flag in proptest::bool::ANY,
+    ) {
+        let response = sample_response(sel, a, count, flag);
+        let full = response.encode();
+        prop_assert_eq!(Response::decode(&full).expect("valid encoding"), response);
+        for cut in 0..full.len() {
+            prop_assert!(
+                Response::decode(&full[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                full.len(),
+            );
+        }
+        let mut padded = full;
+        padded.push(0);
+        prop_assert!(Response::decode(&padded).is_err(), "trailing byte accepted");
+    }
+
+    /// Shape 3: a single bit flip never panics, and any mutant the decoder
+    /// accepts is a self-consistent message (re-encodes and re-decodes to
+    /// the same value).
+    #[test]
+    fn single_bit_flips_never_panic_and_accepted_mutants_are_consistent(
+        sel in 0u64..=u64::MAX,
+        graph in 0u32..=u32::MAX,
+        a in 0u32..=u32::MAX,
+        b in 0u32..=u32::MAX,
+        extra in 0u64..=u64::MAX,
+        bit in 0usize..=8192,
+    ) {
+        let mut bytes = sample_request(sel, graph, a, b, extra).encode();
+        let bit = bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(mutant) = Request::decode(&bytes) {
+            let reencoded = mutant.encode();
+            prop_assert_eq!(Request::decode(&reencoded).expect("reencoding"), mutant);
+        }
+    }
+
+    /// Shape 4a: element counts beyond the bytes present are refused
+    /// before any count-sized allocation (`Cursor::len_prefix`).
+    #[test]
+    fn lying_element_counts_are_rejected_up_front(
+        count in (1u64 << 32)..=u64::MAX,
+        vec_tag in 1u8..=2,
+    ) {
+        // A batch request claiming `count` queries with an empty body.
+        let mut request = vec![PROTOCOL_VERSION, 1];
+        request.extend_from_slice(&count.to_le_bytes());
+        prop_assert!(Request::decode(&request).is_err());
+        // A DistVec (1) / Coreness (2) response claiming `count` i64s.
+        let mut response = vec![PROTOCOL_VERSION, vec_tag];
+        response.extend_from_slice(&count.to_le_bytes());
+        prop_assert!(Response::decode(&response).is_err());
+    }
+
+    /// Shape 4b: frame prefixes over [`MAX_FRAME_LEN`] are refused with a
+    /// typed error carrying the declared size, before allocating.
+    #[test]
+    fn frames_over_the_cap_are_refused(
+        over in 1u64..=(u32::MAX as u64 - MAX_FRAME_LEN as u64),
+    ) {
+        let declared = (MAX_FRAME_LEN as u64 + over) as u32;
+        let bytes = declared.to_le_bytes();
+        let err = read_frame(&mut &bytes[..]).expect_err("oversized frame accepted");
+        prop_assert!(
+            matches!(err, WireError::FrameTooLarge { declared: d } if d == declared as usize),
+            "wrong error for a {declared}-byte declaration: {err}",
+        );
+    }
+
+    /// Shape 4c: frames whose body (or length prefix) is cut short surface
+    /// as errors, not hangs or panics — except the empty input, which is a
+    /// clean hangup at a frame boundary (`Ok(None)`).
+    #[test]
+    fn truncated_frames_surface_as_errors(
+        declared in 1u32..=1024,
+        keep in 0usize..=1024,
+    ) {
+        let keep = keep % declared as usize;
+        let mut bytes = declared.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&vec![0xAB; keep]);
+        prop_assert!(read_frame(&mut &bytes[..]).is_err());
+        // Cut inside the length prefix itself.
+        prop_assert!(read_frame(&mut &bytes[..2]).is_err());
+        prop_assert!(matches!(read_frame(&mut &[][..]), Ok(None)));
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `signal-hook` crate (see `vendor/README.md`).
+//!
+//! Implements exactly the surface `priograph-server`'s graceful drain
+//! needs: [`flag::register`], which arranges for an [`AtomicBool`] to be
+//! set when a signal is delivered, plus the [`consts`] signal numbers. A
+//! watcher thread polling the flag then routes into the drain path — the
+//! handler itself does nothing but one atomic store, the only kind of
+//! work that is async-signal-safe.
+//!
+//! The FFI layer declares `signal()` directly (libc is always linked; the
+//! *crate* `libc` is what the offline environment lacks) and is gated to
+//! Unix targets; elsewhere [`flag::register`] is a successful no-op (the
+//! flag simply never fires), matching how upstream degrades on targets
+//! without Unix signals.
+//!
+//! Upstream `signal-hook` supports handler chaining and unregistration;
+//! this shim intentionally does not (the serving binary installs exactly
+//! one flag per signal for its whole lifetime). Call sites need no
+//! changes to swap in the real crate.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Signal numbers, mirroring `signal_hook::consts` (the Linux/BSD values;
+/// these two are identical across the Unix targets this workspace builds
+/// on).
+pub mod consts {
+    /// Interactive interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+    /// Termination request (the default `kill`, and what supervisors
+    /// send for orderly shutdown).
+    pub const SIGTERM: i32 = 15;
+}
+
+/// Signal-to-flag registration, mirroring `signal_hook::flag`.
+pub mod flag {
+    use super::*;
+    use std::io;
+
+    /// Arranges for `flag` to be set to `true` when `signal` is
+    /// delivered. The `Arc` is kept alive for the life of the process
+    /// (registration cannot be undone in this shim).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `signal` is outside the registerable range or the OS
+    /// rejects the handler installation. On non-Unix targets this is a
+    /// successful no-op.
+    pub fn register(signal: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+        imp::register(signal, flag)
+    }
+
+    #[cfg(unix)]
+    mod imp {
+        use super::*;
+        use std::sync::atomic::{AtomicPtr, Ordering};
+
+        /// How many signal slots the table holds; Unix signal numbers of
+        /// interest are all below 32.
+        const MAX_SIGNAL: usize = 32;
+
+        /// One flag pointer per signal number. Written by `register` (leaked
+        /// `Arc`), read by the handler — which may only do async-signal-safe
+        /// work, and an atomic load/store is exactly that.
+        static SLOTS: [AtomicPtr<AtomicBool>; MAX_SIGNAL] = {
+            #[allow(clippy::declare_interior_mutable_const)]
+            const EMPTY: AtomicPtr<AtomicBool> = AtomicPtr::new(std::ptr::null_mut());
+            [EMPTY; MAX_SIGNAL]
+        };
+
+        extern "C" {
+            /// POSIX `signal(2)`: installs `handler` for `signum`, returning
+            /// the previous handler or `SIG_ERR` (represented as `usize::MAX`
+            /// through the `usize` lens used here).
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        /// The installed handler: set the registered flag, nothing else.
+        /// `extern "C"` and async-signal-safe by construction (one relaxed
+        /// atomic load + one store, no allocation, no locks, no syscalls).
+        extern "C" fn handle_signal(signum: i32) {
+            if let Some(slot) = SLOTS.get(signum as usize) {
+                let ptr = slot.load(Ordering::Acquire);
+                if !ptr.is_null() {
+                    // SAFETY: the pointer was produced by Arc::into_raw in
+                    // `register` and intentionally leaked, so it outlives
+                    // the process; AtomicBool is safe to store through from
+                    // any context, including a signal handler.
+                    unsafe { (*ptr).store(true, Ordering::Release) };
+                }
+            }
+        }
+
+        pub(super) fn register(signum: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+            let slot = usize::try_from(signum)
+                .ok()
+                .and_then(|s| SLOTS.get(s))
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("signal {signum} outside the registerable range"),
+                    )
+                })?;
+            // Leak one Arc reference: the handler may fire at any point for
+            // the rest of the process lifetime, so the flag must never drop.
+            let ptr = Arc::into_raw(flag).cast_mut();
+            slot.store(ptr, Ordering::Release);
+            let handler = handle_signal as extern "C" fn(i32) as usize;
+            // SAFETY: installing an `extern "C"` handler that performs only
+            // async-signal-safe work (see `handle_signal`); `signal(2)` is
+            // specified for exactly this use.
+            let previous = unsafe { signal(signum, handler) };
+            if previous == usize::MAX {
+                // SIG_ERR: roll the slot back and reclaim the leaked Arc.
+                slot.store(std::ptr::null_mut(), Ordering::Release);
+                // SAFETY: `ptr` came from Arc::into_raw above and was not
+                // reclaimed elsewhere (the handler only reads through it).
+                drop(unsafe { Arc::from_raw(ptr.cast_const()) });
+                return Err(io::Error::other(format!(
+                    "signal({signum}) rejected the handler"
+                )));
+            }
+            Ok(())
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod imp {
+        use super::*;
+
+        pub(super) fn register(_signal: i32, _flag: Arc<AtomicBool>) -> io::Result<()> {
+            // No Unix signals to hook; the flag simply never fires.
+            Ok(())
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    extern "C" {
+        /// POSIX `raise(3)`: deliver a signal to the calling thread.
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn registered_flag_fires_on_raise() {
+        let flag = Arc::new(AtomicBool::new(false));
+        flag::register(consts::SIGTERM, Arc::clone(&flag)).expect("register SIGTERM");
+        assert!(!flag.load(Ordering::Acquire));
+        // SAFETY: raise() delivers SIGTERM to this thread; the handler
+        // installed above turns it into one atomic store instead of the
+        // default terminate action.
+        let rc = unsafe { raise(consts::SIGTERM) };
+        assert_eq!(rc, 0, "raise(SIGTERM) failed");
+        assert!(
+            flag.load(Ordering::Acquire),
+            "the handler must set the flag"
+        );
+    }
+
+    #[test]
+    fn out_of_range_signals_are_refused() {
+        let flag = Arc::new(AtomicBool::new(false));
+        assert!(flag::register(4096, flag).is_err());
+    }
+}
