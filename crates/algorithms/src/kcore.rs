@@ -7,7 +7,7 @@
 
 use crate::result::Coreness;
 use crate::AlgoError;
-use priograph_core::engine::run_ordered_on;
+use priograph_core::engine::{run_ordered_observed, RoundObserver};
 use priograph_core::prelude::*;
 use priograph_core::udf::DecrementToFloor;
 use priograph_graph::CsrGraph;
@@ -32,6 +32,21 @@ pub fn kcore(graph: &CsrGraph, schedule: &Schedule) -> Coreness {
 /// Fails when the graph is not symmetrized or the schedule is rejected
 /// (coarsening, for instance, is illegal for k-core).
 pub fn kcore_on(pool: &Pool, graph: &CsrGraph, schedule: &Schedule) -> Result<Coreness, AlgoError> {
+    kcore_observed(pool, graph, schedule, None)
+}
+
+/// Computes the coreness of every vertex on `pool`, reporting each engine
+/// round to `observer`.
+///
+/// # Errors
+///
+/// Fails when the graph is not symmetrized or the schedule is rejected.
+pub fn kcore_observed(
+    pool: &Pool,
+    graph: &CsrGraph,
+    schedule: &Schedule,
+    observer: Option<&dyn RoundObserver>,
+) -> Result<Coreness, AlgoError> {
     if !graph.is_symmetric() {
         return Err(AlgoError::RequiresSymmetricGraph);
     }
@@ -42,7 +57,7 @@ pub fn kcore_on(pool: &Pool, graph: &CsrGraph, schedule: &Schedule) -> Result<Co
     let problem = OrderedProblem::lower_first(graph)
         .init_per_vertex(degrees)
         .seed_all_finite();
-    let out = run_ordered_on(pool, &problem, schedule, &DecrementToFloor, None)?;
+    let out = run_ordered_observed(pool, &problem, schedule, &DecrementToFloor, None, observer)?;
     Ok(Coreness {
         coreness: out.priorities,
         stats: out.stats,

@@ -2,7 +2,7 @@
 
 use crate::result::ShortestPaths;
 use crate::AlgoError;
-use priograph_core::engine::run_ordered_on;
+use priograph_core::engine::{run_ordered_observed, RoundObserver};
 use priograph_core::prelude::*;
 use priograph_graph::{CsrGraph, VertexId};
 use priograph_parallel::Pool;
@@ -33,12 +33,28 @@ pub fn delta_stepping_on(
     source: VertexId,
     schedule: &Schedule,
 ) -> Result<ShortestPaths, AlgoError> {
+    delta_stepping_observed(pool, graph, source, schedule, None)
+}
+
+/// Runs Δ-stepping SSSP from `source` on `pool`, reporting each engine
+/// round to `observer` (see `priograph_core::engine::observe`).
+///
+/// # Errors
+///
+/// Fails when `source` is out of range or the schedule is rejected.
+pub fn delta_stepping_observed(
+    pool: &Pool,
+    graph: &CsrGraph,
+    source: VertexId,
+    schedule: &Schedule,
+    observer: Option<&dyn RoundObserver>,
+) -> Result<ShortestPaths, AlgoError> {
     crate::check_vertex(source, graph.num_vertices())?;
     let problem = OrderedProblem::lower_first(graph)
         .allow_coarsening()
         .init_constant(NULL_PRIORITY)
         .seed(source, 0);
-    let out = run_ordered_on(pool, &problem, schedule, &MinPlusWeight, None)?;
+    let out = run_ordered_observed(pool, &problem, schedule, &MinPlusWeight, None, observer)?;
     Ok(ShortestPaths {
         dist: out.priorities,
         stats: out.stats,

@@ -31,8 +31,24 @@ pub fn wbfs_on(
     source: VertexId,
     schedule: &Schedule,
 ) -> Result<ShortestPaths, AlgoError> {
+    wbfs_observed(pool, graph, source, schedule, None)
+}
+
+/// Runs wBFS from `source` on `pool` (Δ forced to 1), reporting each
+/// engine round to `observer`.
+///
+/// # Errors
+///
+/// Fails when `source` is out of range or the schedule is rejected.
+pub fn wbfs_observed(
+    pool: &Pool,
+    graph: &CsrGraph,
+    source: VertexId,
+    schedule: &Schedule,
+    observer: Option<&dyn priograph_core::engine::RoundObserver>,
+) -> Result<ShortestPaths, AlgoError> {
     let schedule = schedule.clone().config_apply_priority_update_delta(1);
-    crate::sssp::delta_stepping_on(pool, graph, source, &schedule)
+    crate::sssp::delta_stepping_observed(pool, graph, source, &schedule, observer)
 }
 
 #[cfg(test)]

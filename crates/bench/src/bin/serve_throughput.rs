@@ -13,6 +13,12 @@
 //! (`snapshot-load-mmap` vs `snapshot-load-copy`) on a larger grid, the
 //! O(mmap)-vs-O(copy) claim in measurable form.
 //!
+//! Since PR 8 every sweep configuration additionally records the
+//! server-side latency distribution from the telemetry histograms
+//! (`StatsV2`): per-query p50/p99 for `phase.total` and `phase.executed`
+//! (records `serve-g*-t*-{total,executed}-{p50,p99}`), so serving-latency
+//! tails are tracked alongside throughput medians.
+//!
 //! ```text
 //! serve_throughput --out BENCH_serve.json [--threads 1,4] [--batches 1,8,64,256]
 //!                  [--graphs 1,2] [--queries 512] [--samples 3] [--side 40]
@@ -214,6 +220,28 @@ fn main() {
                 let name = format!("serve-g{graph_count}-t{threads}-b{batch}");
                 eprintln!("{name:<28} median {t:>12.3?}  ({qps:>10.0} q/s)");
                 report.push_with_threads(&name, t, args.samples, threads);
+            }
+
+            // Server-side latency distribution for this configuration, from
+            // the v5 telemetry histograms: per-query p50/p99 across every
+            // batch size just driven (phase.total = admission → reply
+            // handoff; phase.executed = the engine window alone). These are
+            // the observability PR's acceptance records — a regression here
+            // is a serving-latency regression even if throughput medians
+            // hold.
+            let stats = client.stats_v2().expect("stats-v2");
+            for phase in ["total", "executed"] {
+                let series = stats
+                    .series(&format!("phase.{phase}"))
+                    .expect("phase series present");
+                for (pct, value_us) in [("p50", series.p50_us), ("p99", series.p99_us)] {
+                    report.push_with_threads(
+                        format!("serve-g{graph_count}-t{threads}-{phase}-{pct}"),
+                        Duration::from_micros(value_us),
+                        series.count as usize,
+                        threads,
+                    );
+                }
             }
             handle.stop();
         }

@@ -19,6 +19,7 @@
 //! measures the round reduction (48,407 → 1,069 on RoadUSA).
 
 use crate::engine::ctx::EagerCtx;
+use crate::engine::observe::{RoundInfo, RoundObserver};
 use crate::engine::StopFn;
 use crate::schedule::{PriorityUpdateStrategy, Schedule};
 use crate::stats::ExecStats;
@@ -45,6 +46,7 @@ pub(crate) fn run_eager<U: OrderedUdf>(
     seeds: &[VertexId],
     udf: &U,
     stop: Option<StopFn<'_>>,
+    observer: Option<&dyn RoundObserver>,
 ) -> ExecStats {
     let started = Instant::now();
     let fusion_threshold = match schedule.priority_update {
@@ -68,6 +70,11 @@ pub(crate) fn run_eager<U: OrderedUdf>(
     let fused_rounds = AtomicU64::new(0);
     let relaxations = AtomicU64::new(0);
     let bin_pushes = AtomicU64::new(0);
+    // Per-round relaxation accumulator for the observer: workers flush
+    // their delta here at the top of each loop iteration (before the
+    // propose barrier), and the leader swaps it out when it finalizes the
+    // previous round's report. Untouched when unobserved.
+    let obs_relax = AtomicU64::new(0);
 
     pool.broadcast(|w| {
         let bins = RefCell::new(LocalBins::new());
@@ -76,6 +83,12 @@ pub(crate) fn run_eager<U: OrderedUdf>(
         let mut fuse_scratch: Vec<VertexId> = Vec::new();
         let mut local_relax: u64 = 0;
         let mut local_fused: u64 = 0;
+        // Observer state: how much of `local_relax` has been flushed to
+        // `obs_relax`, and (leader only) the round awaiting its final
+        // relaxation count. A round's report is published at the start of
+        // the *next* leader section, once every worker has flushed.
+        let mut relax_reported: u64 = 0;
+        let mut pending_round: Option<RoundInfo> = None;
 
         // Distribute the seeds into thread-local bins.
         for i in w.static_range(seeds.len()) {
@@ -90,6 +103,14 @@ pub(crate) fn run_eager<U: OrderedUdf>(
         let mut cur_bucket = 0usize;
         let mut last_bucket = NO_BUCKET;
         loop {
+            // --- Flush this worker's relaxation delta for the observer
+            //     (one `is_some` test when unobserved). The barrier below
+            //     orders every flush before the leader's report. ---
+            if observer.is_some() && local_relax != relax_reported {
+                obs_relax.fetch_add(local_relax - relax_reported, Ordering::Relaxed);
+                relax_reported = local_relax;
+            }
+
             // --- Propose the next bucket from this thread's bins. ---
             if let Some(b) = bins.borrow().min_nonempty_from(cur_bucket) {
                 next_bucket.fetch_min(b, Ordering::AcqRel);
@@ -98,6 +119,12 @@ pub(crate) fn run_eager<U: OrderedUdf>(
 
             // --- Leader decides: done, stopped, or proceed. ---
             if w.tid() == 0 {
+                // Finalize the previous round's report: all workers have
+                // flushed their relaxation deltas before the barrier above.
+                if let (Some(obs), Some(mut info)) = (observer, pending_round.take()) {
+                    info.relaxations = obs_relax.swap(0, Ordering::Relaxed);
+                    obs.on_round(&info);
+                }
                 let next = next_bucket.load(Ordering::Acquire);
                 if next == NO_BUCKET {
                     abort.store(true, Ordering::Release);
@@ -132,6 +159,17 @@ pub(crate) fn run_eager<U: OrderedUdf>(
             w.barrier();
             if w.tid() == 0 {
                 cursor.reset(frontier.len());
+                if observer.is_some() {
+                    // Frontier is fully assembled; relaxations arrive when
+                    // workers flush before the next leader section.
+                    pending_round = Some(RoundInfo {
+                        round: rounds.load(Ordering::Relaxed),
+                        bucket: next as i64,
+                        priority: map.priority_of_bucket(next as i64),
+                        frontier: frontier.len(),
+                        relaxations: 0,
+                    });
+                }
                 next_bucket.store(NO_BUCKET, Ordering::Release);
             }
             w.barrier();

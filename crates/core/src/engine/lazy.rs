@@ -24,6 +24,7 @@
 //! allocation anywhere on the frontier pipeline.
 
 use crate::engine::ctx::{DenseCtx, RoundStamps, SparseCtx};
+use crate::engine::observe::{RoundInfo, RoundObserver};
 use crate::engine::StopFn;
 use crate::schedule::{Direction, Parallelization, PriorityUpdateStrategy, Schedule};
 use crate::stats::ExecStats;
@@ -88,6 +89,7 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
     seeds: Vec<VertexId>,
     udf: &U,
     stop: Option<StopFn<'_>>,
+    observer: Option<&dyn RoundObserver>,
 ) -> ExecStats {
     let started = Instant::now();
     let n = graph.num_vertices();
@@ -109,6 +111,7 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
     let mut last_bucket = i64::MIN;
 
     while let Some(bucket) = queue.next_bucket_into(pool, &mut buffers.frontier) {
+        let relax_before = stats.relaxations;
         let cur_priority = map.priority_of_bucket(bucket);
         if let Some(stop) = stop {
             let view = crate::engine::StopView::new(&priorities);
@@ -168,6 +171,18 @@ pub(crate) fn run_lazy<U: OrderedUdf>(
                     );
                 }
             }
+        }
+
+        // Round boundary: counts are final for this frontier. Costs one
+        // `is_some` test when unobserved.
+        if let Some(obs) = observer {
+            obs.on_round(&RoundInfo {
+                round,
+                bucket,
+                priority: cur_priority,
+                frontier: buffers.frontier.len(),
+                relaxations: stats.relaxations - relax_before,
+            });
         }
 
         queue.bulk_update(pool, &buffers.updated);

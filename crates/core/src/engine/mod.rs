@@ -13,6 +13,9 @@
 pub(crate) mod ctx;
 pub mod eager;
 pub mod lazy;
+pub mod observe;
+
+pub use observe::{RoundInfo, RoundObserver};
 
 use crate::problem::{OrderedOutput, OrderedProblem};
 use crate::schedule::{Direction, PriorityUpdateStrategy, Schedule, ScheduleError};
@@ -122,6 +125,24 @@ pub fn run_ordered_on<U: OrderedUdf>(
     udf: &U,
     stop: Option<StopFn<'_>>,
 ) -> Result<OrderedOutput, ScheduleError> {
+    run_ordered_observed(pool, problem, schedule, udf, stop, None)
+}
+
+/// Runs an ordered algorithm on `pool` with an optional stop condition and
+/// an optional per-round profiling observer (see [`observe`]). With
+/// `observer == None` this is exactly [`run_ordered_on`].
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] when the schedule is invalid for the problem.
+pub fn run_ordered_observed<U: OrderedUdf>(
+    pool: &Pool,
+    problem: &OrderedProblem<'_>,
+    schedule: &Schedule,
+    udf: &U,
+    stop: Option<StopFn<'_>>,
+    observer: Option<&dyn RoundObserver>,
+) -> Result<OrderedOutput, ScheduleError> {
     validate(problem, schedule, udf)?;
     let init = problem.initial_priorities();
     let seeds = problem.seed_vertices(&init);
@@ -138,6 +159,7 @@ pub fn run_ordered_on<U: OrderedUdf>(
             &seeds,
             udf,
             stop,
+            observer,
         )
     } else {
         lazy::run_lazy(
@@ -149,6 +171,7 @@ pub fn run_ordered_on<U: OrderedUdf>(
             seeds,
             udf,
             stop,
+            observer,
         )
     };
 
@@ -201,6 +224,70 @@ mod tests {
             validate(&p, &s, &MinPlusWeight).unwrap_err(),
             ScheduleError::DensePullRequiresLazy
         );
+    }
+
+    #[test]
+    fn observer_totals_match_exec_stats_on_both_engines() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct Tally {
+            rounds: AtomicU64,
+            relaxations: AtomicU64,
+            frontier: AtomicU64,
+        }
+        impl RoundObserver for Tally {
+            fn on_round(&self, info: &RoundInfo) {
+                self.rounds.fetch_add(1, Ordering::Relaxed);
+                self.relaxations
+                    .fetch_add(info.relaxations, Ordering::Relaxed);
+                self.frontier
+                    .fetch_add(info.frontier as u64, Ordering::Relaxed);
+                assert!(info.round >= 1, "rounds are 1-based");
+                assert!(info.bucket >= 0);
+            }
+        }
+
+        let g = priograph_graph::gen::GraphGen::road_grid(12, 12)
+            .seed(5)
+            .weights_uniform(1, 16)
+            .build();
+        let pool = priograph_parallel::Pool::new(4);
+        let p = OrderedProblem::lower_first(&g)
+            .allow_coarsening()
+            .init_constant(priograph_buckets::NULL_PRIORITY)
+            .seed(0, 0);
+        for schedule in [
+            Schedule::lazy(4),
+            Schedule::eager(4),
+            Schedule::eager_with_fusion(16),
+        ] {
+            let tally = Tally::default();
+            let out = run_ordered_observed(
+                &pool,
+                &p,
+                &schedule,
+                &crate::udf::MinPlusWeight,
+                None,
+                Some(&tally),
+            )
+            .unwrap();
+            assert_eq!(
+                tally.rounds.load(Ordering::Relaxed),
+                out.stats.rounds,
+                "observer round count mismatch for {schedule:?}"
+            );
+            assert_eq!(
+                tally.relaxations.load(Ordering::Relaxed),
+                out.stats.relaxations,
+                "observer relaxation total mismatch for {schedule:?}"
+            );
+            assert!(tally.frontier.load(Ordering::Relaxed) > 0);
+            // Observed and unobserved runs compute identical results.
+            let plain =
+                run_ordered_on(&pool, &p, &schedule, &crate::udf::MinPlusWeight, None).unwrap();
+            assert_eq!(out.priorities, plain.priorities);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! locally computed serial Dijkstra reference (the CI smoke test's gate).
 //!
 //! ```text
-//! priograph-client --connect 127.0.0.1:7411 stats
+//! priograph-client --connect 127.0.0.1:7411 stats [--watch SECS] [--json]
 //! priograph-client --connect ADDR list
 //! priograph-client --connect ADDR load roads-de /data/de.snap
 //! priograph-client --connect ADDR --graph-name roads-de ppsp 0 99
@@ -33,7 +33,7 @@
 use priograph_algorithms::serial::dijkstra;
 use priograph_algorithms::UNREACHABLE;
 use priograph_serve::client::{Backoff, Client};
-use priograph_serve::protocol::{GraphId, GraphInfo, Query, QueryOp, Response, WireError};
+use priograph_serve::protocol::{GraphId, GraphInfo, Query, QueryOp, Response, StatsV2, WireError};
 use priograph_serve::server::fmt_distance;
 use priograph_serve::spec::GraphSource;
 use std::collections::HashMap;
@@ -46,6 +46,8 @@ struct Args {
     seed: u64,
     verify: bool,
     deadline_ms: u32,
+    watch_secs: u64,
+    json: bool,
     command: Vec<String>,
 }
 
@@ -58,6 +60,8 @@ fn parse_args() -> Args {
         seed: 1,
         verify: false,
         deadline_ms: 0,
+        watch_secs: 0,
+        json: false,
         command: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
@@ -83,6 +87,12 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fail("--seed expects an integer"));
             }
             "--verify" => args.verify = true,
+            "--watch" => {
+                args.watch_secs = take("--watch")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--watch expects seconds"));
+            }
+            "--json" => args.json = true,
             "--deadline" => {
                 args.deadline_ms = take("--deadline")
                     .parse()
@@ -92,8 +102,10 @@ fn parse_args() -> Args {
                 eprintln!(
                     "flags: --connect ADDR  [--graph-name NAME]  [--deadline MS]\n\
                      \x20      [--random N --seed S --verify]\n\
+                     \x20      [--watch SECS] [--json]  (stats only)\n\
                      \x20      [--snapshot PATH | --graph PATH | --gen SPEC]\n\
-                     commands: stats | list | ppsp SRC DST | sssp SRC\n\
+                     commands: stats [--watch SECS] [--json] | list\n\
+                     \x20         ppsp SRC DST | sssp SRC\n\
                      \x20         tune sssp|wbfs|kcore [BUDGET]\n\
                      \x20         load NAME PATH | unload NAME | shutdown"
                 );
@@ -260,6 +272,39 @@ fn check(query: &Query, response: &Response, dist: &[i64]) -> Result<(), String>
     }
 }
 
+/// Renders a `StatsV2` frame as two aligned tables: named counters, then
+/// every latency series with its percentile summary. Series names are
+/// self-describing (`phase.executed`, `graph.0.sssp.total`,
+/// `engine.frontier`), so per-graph rows group together lexically.
+fn print_stats_v2(stats: &StatsV2) {
+    let name_width = stats
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(stats.series.iter().map(|s| s.name.len()))
+        .max()
+        .unwrap_or(8)
+        .max("series".len());
+    println!("{:<name_width$} {:>14}", "counter", "value");
+    for (name, value) in &stats.counters {
+        println!("{name:<name_width$} {value:>14}");
+    }
+    if stats.series.is_empty() {
+        return;
+    }
+    println!();
+    println!(
+        "{:<name_width$} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "series", "count", "p50us", "p90us", "p99us", "p999us", "maxus"
+    );
+    for s in &stats.series {
+        println!(
+            "{:<name_width$} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            s.name, s.count, s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.max_us
+        );
+    }
+}
+
 fn print_graph_table(graphs: &[GraphInfo]) {
     println!(
         "{:>4}  {:<24} {:>12} {:>12} {:>12}  {:<5} {:>10}  plans",
@@ -347,29 +392,23 @@ fn main() {
     }
 
     match args.command.iter().map(String::as_str).collect::<Vec<_>>()[..] {
-        ["stats"] => {
+        ["stats"] => loop {
             let s = client
-                .stats()
+                .stats_v2()
                 .unwrap_or_else(|e| fail(&format!("stats: {e}")));
-            println!(
-                "graph0 |V|={} |E|={} threads={} graphs={}\n\
-                 queries={} rounds={} point={} full={} errors={} busy={} tunes={}\n\
-                 timeouts={} rejected_connections={}",
-                s.num_vertices,
-                s.num_edges,
-                s.threads,
-                s.graphs,
-                s.queries,
-                s.batch_rounds,
-                s.point_queries,
-                s.full_queries,
-                s.errors,
-                s.busy_rejections,
-                s.tune_runs,
-                s.timeouts,
-                s.rejected_connections
-            );
-        }
+            if args.json {
+                println!("{}", s.to_json());
+            } else {
+                print_stats_v2(&s);
+            }
+            if args.watch_secs == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_secs(args.watch_secs));
+            if !args.json {
+                println!("{}", "-".repeat(40));
+            }
+        },
         ["list"] => {
             let graphs = client
                 .list_graphs()

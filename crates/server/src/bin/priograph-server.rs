@@ -8,7 +8,13 @@
 //!                  [--schedule lazy|eager|eager-fusion] [--delta N]
 //!                  [--manifest state.manifest] [--mmap-populate]
 //!                  [--graph-budget N] [--pending-budget N]
+//!                  [--metrics-log SECS]
 //! ```
+//!
+//! `--metrics-log SECS` emits one JSON line to stderr every tick: the full
+//! `StatsV2` snapshot (named counters + latency series) plus the current
+//! slow-query ring — greppable structured telemetry with no scrape
+//! endpoint needed.
 //!
 //! `--manifest` makes residency declarative: wire-loaded graphs and tuned
 //! plans are written to the file on every change and restored at boot.
@@ -41,6 +47,7 @@ struct Args {
     mmap_populate: bool,
     pending_budget: Option<usize>,
     graph_budget: Option<usize>,
+    metrics_log_secs: u64,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +64,7 @@ fn parse_args() -> Args {
         mmap_populate: false,
         pending_budget: None,
         graph_budget: None,
+        metrics_log_secs: 0,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -102,13 +110,19 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| fail("--graph-budget expects a positive integer")),
                 );
             }
+            "--metrics-log" => {
+                args.metrics_log_secs = take("--metrics-log")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--metrics-log expects seconds (0 = off)"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --snapshot PATH | --graph PATH | --gen SPEC (one required)\n\
                      \x20      --listen ADDR  --threads N  --save-snapshot PATH\n\
                      \x20      --schedule lazy|eager|eager-fusion|lazy-constant-sum  --delta N\n\
                      \x20      --manifest PATH  --mmap-populate\n\
-                     \x20      --pending-budget N (global)  --graph-budget N (per graph)"
+                     \x20      --pending-budget N (global)  --graph-budget N (per graph)\n\
+                     \x20      --metrics-log SECS (one StatsV2 JSON line to stderr per tick)"
                 );
                 std::process::exit(0);
             }
@@ -170,6 +184,7 @@ fn main() {
             graph_pending_budget: args.graph_budget.unwrap_or(defaults.graph_pending_budget),
             manifest: args.manifest.as_ref().map(std::path::PathBuf::from),
             mmap_populate: args.mmap_populate,
+            metrics_log_ms: args.metrics_log_secs.saturating_mul(1_000),
             ..defaults
         },
     )

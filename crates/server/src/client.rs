@@ -15,7 +15,7 @@
 
 use crate::protocol::{
     read_frame, write_frame, ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response,
-    ServerStats, TuneOutcome, WireError,
+    ServerStats, StatsV2, TuneOutcome, WireError,
 };
 use std::fmt;
 use std::io;
@@ -218,6 +218,19 @@ impl Client {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected("a stats response", other)),
+        }
+    }
+
+    /// Fetches the self-describing v5 statistics frame: every counter by
+    /// name plus the latency series summaries (`docs/PROTOCOL.md` §4.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a non-`StatsV2` reply.
+    pub fn stats_v2(&mut self) -> Result<StatsV2, WireError> {
+        match self.request(&Request::StatsV2)? {
+            Response::StatsV2(stats) => Ok(stats),
+            other => Err(unexpected("a stats-v2 response", other)),
         }
     }
 

@@ -25,6 +25,10 @@
 //!   and a circuit breaker ([`client::ResilientClient`]);
 //! * [`spec`] — shared graph-source handling for the `priograph-server`
 //!   and `priograph-client` binaries;
+//! * `obs` (internal) — the telemetry surface behind the v5 `StatsV2`
+//!   frame: lock-free phase histograms (global and per-(graph, op)),
+//!   engine round profiling, exactly-once error-kind counters, and the
+//!   slow-query ring (`docs/ARCHITECTURE.md` §8);
 //! * `faults` (feature `fault-inject` only) — a deterministic
 //!   seed-driven fault-injection layer over the server's stream I/O and
 //!   snapshot loads, powering the reproducible chaos suite.
@@ -76,6 +80,7 @@ pub mod client;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
 pub mod manifest;
+mod obs;
 pub mod plan_cache;
 pub mod protocol;
 pub mod server;
@@ -83,7 +88,7 @@ pub mod spec;
 
 pub use client::Client;
 pub use protocol::{
-    BusyScope, ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response, ServerStats,
-    TuneOutcome, WireError, WirePlan, WirePlanOrigin,
+    BusyScope, ErrorKind, GraphId, GraphInfo, Query, QueryOp, Request, Response, SeriesSummary,
+    ServerStats, StatsV2, TuneOutcome, WireError, WirePlan, WirePlanOrigin,
 };
 pub use server::{serve, serve_named, ServerConfig, ServerHandle};

@@ -1,0 +1,484 @@
+//! Server-side telemetry: maps `priograph-telemetry` primitives onto the
+//! named counters and series the `StatsV2` frame reports
+//! (`docs/PROTOCOL.md` §4.3, `docs/ARCHITECTURE.md` §8).
+//!
+//! One [`Telemetry`] lives in the server's `Shared` state. The hot paths
+//! write to it with relaxed atomics only:
+//!
+//! * the **dispatcher** folds each answered query's [`QuerySpan`] into the
+//!   global per-phase histograms and a per-(graph, op) breakdown (the
+//!   per-key map is behind a mutex, but the dispatcher holds a lock-free
+//!   local cache of the `Arc`s — the lock is taken once per new
+//!   (graph, op) pair, never in steady state);
+//! * the **engines** report round boundaries through the
+//!   [`RoundObserver`] impl (three relaxed atomic ops per round);
+//! * **connection threads** count error kinds at the single choke point
+//!   where responses hit the wire, so every [`ErrorKind`] is counted
+//!   exactly once no matter which stage produced it.
+//!
+//! Reading ([`Telemetry::stats_v2`]) allocates and walks snapshots — it is
+//! a reporting path, taken per `StatsV2` request or metrics-log tick.
+
+use crate::protocol::{ErrorKind, GraphId, QueryOp, Response, SeriesSummary, ServerStats, StatsV2};
+use priograph_core::engine::{RoundInfo, RoundObserver};
+use priograph_telemetry::{LatencyHistogram, PhaseHistograms, QuerySpan, SlowRing, Summary};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// How many worst-latency queries the slow ring retains.
+pub(crate) const SLOW_RING_CAPACITY: usize = 8;
+
+/// One retained worst-case query: where it ran, its full phase breakdown,
+/// and the plan it executed under.
+#[derive(Clone, Debug)]
+pub(crate) struct SlowQuery {
+    /// Catalog id of the graph the query ran against.
+    pub graph: GraphId,
+    /// The operation.
+    pub op: QueryOp,
+    /// Phase breakdown (microseconds).
+    pub span: QuerySpan,
+    /// Human-readable plan/schedule the query executed under
+    /// (`"point-serial"` for PPSP batch members).
+    pub plan: String,
+}
+
+/// All server telemetry state: named counters, phase histograms (global
+/// and per-(graph, op)), the engine round profile, and the slow-query
+/// ring. See the module docs for the write paths.
+#[derive(Debug)]
+pub(crate) struct Telemetry {
+    /// Global per-phase latency histograms over every answered query.
+    phases: PhaseHistograms,
+    /// Per-(graph, op) phase histograms. Written through [`SeriesCache`]
+    /// so the dispatcher locks only on first sight of a key. Entries are
+    /// kept for the server's lifetime: catalog ids are never reused, so
+    /// the map is bounded by (graphs ever loaded) × 4 ops.
+    per_key: Mutex<HashMap<(GraphId, QueryOp), Arc<PhaseHistograms>>>,
+    /// Engine rounds observed across all full-vector queries.
+    engine_rounds: AtomicU64,
+    /// Edge relaxations observed across all engine rounds.
+    engine_relaxations: AtomicU64,
+    /// Distribution of engine frontier sizes (entries, not microseconds).
+    frontier: LatencyHistogram,
+    /// Per-[`ErrorKind`] counts, indexed by wire discriminant; bumped at
+    /// the wire choke points (see [`Telemetry::count_response_errors`]).
+    error_kinds: [AtomicU64; ErrorKind::ALL.len()],
+    /// Requests refused with `shutting-down` because they arrived after
+    /// the drain began (previously uncounted — the PR 8 counter audit).
+    drain_rejections: AtomicU64,
+    /// The worst [`SLOW_RING_CAPACITY`] queries by total latency.
+    slow: SlowRing<SlowQuery>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            phases: PhaseHistograms::new(),
+            per_key: Mutex::new(HashMap::new()),
+            engine_rounds: AtomicU64::new(0),
+            engine_relaxations: AtomicU64::new(0),
+            frontier: LatencyHistogram::new(),
+            error_kinds: [const { AtomicU64::new(0) }; ErrorKind::ALL.len()],
+            drain_rejections: AtomicU64::new(0),
+            slow: SlowRing::new(SLOW_RING_CAPACITY),
+        }
+    }
+}
+
+impl Telemetry {
+    /// Folds one answered query's span into the global phase histograms
+    /// and its (graph, op) series. `series` is the cached per-key sink
+    /// obtained from [`SeriesCache::sink`] — all histogram writes are
+    /// relaxed atomics, no locks.
+    pub(crate) fn record_span(&self, series: &PhaseHistograms, span: &QuerySpan) {
+        self.phases.record(span);
+        series.record(span);
+    }
+
+    /// Offers one query to the slow ring (lock-free below the admission
+    /// floor; `make_plan` renders the plan string only if retained).
+    pub(crate) fn offer_slow(
+        &self,
+        graph: GraphId,
+        op: QueryOp,
+        span: QuerySpan,
+        make_plan: impl FnOnce() -> String,
+    ) {
+        self.slow.offer(span.total_us(), || SlowQuery {
+            graph,
+            op,
+            span,
+            plan: make_plan(),
+        });
+    }
+
+    /// The retained worst queries, worst first.
+    pub(crate) fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.snapshot().into_iter().map(|(_, q)| q).collect()
+    }
+
+    /// Counts every in-band error carried by `resp` (recursing into batch
+    /// items) into the per-kind counters. Called exactly once per
+    /// response at the points where frames are written, so each error the
+    /// client sees moves exactly one kind counter.
+    pub(crate) fn count_response_errors(&self, resp: &Response) {
+        match resp {
+            Response::Error { kind, .. } => self.count_error_kind(*kind),
+            Response::Batch(items) => {
+                for item in items {
+                    self.count_response_errors(item);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Counts one error kind directly (for refusals encoded outside the
+    /// normal response path, e.g. legacy-version payloads).
+    pub(crate) fn count_error_kind(&self, kind: ErrorKind) {
+        self.error_kinds[kind.to_u8() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one drain-window refusal (also counted as
+    /// `errors.shutting-down` by the wire choke point).
+    pub(crate) fn count_drain_rejection(&self) {
+        self.drain_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Value of the drain-rejection counter.
+    pub(crate) fn drain_rejections(&self) -> u64 {
+        self.drain_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Count recorded for `kind`.
+    pub(crate) fn error_kind_count(&self, kind: ErrorKind) -> u64 {
+        self.error_kinds[kind.to_u8() as usize].load(Ordering::Relaxed)
+    }
+
+    /// Looks up (or creates) the shared per-(graph, op) histogram set.
+    /// Reporting paths and the dispatcher's cache-miss path only.
+    fn sink_for(&self, key: (GraphId, QueryOp)) -> Arc<PhaseHistograms> {
+        let mut map = self.per_key.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// Assembles the self-describing `StatsV2` frame: the legacy counters
+    /// under their documented names, the new named counters, and every
+    /// latency series, all sorted by name.
+    pub(crate) fn stats_v2(&self, legacy: &ServerStats) -> StatsV2 {
+        let mut counters: Vec<(String, u64)> = vec![
+            ("num_vertices".to_string(), legacy.num_vertices),
+            ("num_edges".to_string(), legacy.num_edges),
+            ("threads".to_string(), legacy.threads),
+            ("queries".to_string(), legacy.queries),
+            ("batch_rounds".to_string(), legacy.batch_rounds),
+            ("point_queries".to_string(), legacy.point_queries),
+            ("full_queries".to_string(), legacy.full_queries),
+            ("errors".to_string(), legacy.errors),
+            ("graphs".to_string(), legacy.graphs),
+            ("busy_rejections".to_string(), legacy.busy_rejections),
+            ("tune_runs".to_string(), legacy.tune_runs),
+            ("timeouts".to_string(), legacy.timeouts),
+            (
+                "rejected_connections".to_string(),
+                legacy.rejected_connections,
+            ),
+            ("drain_rejections".to_string(), self.drain_rejections()),
+            (
+                "engine.rounds".to_string(),
+                self.engine_rounds.load(Ordering::Relaxed),
+            ),
+            (
+                "engine.relaxations".to_string(),
+                self.engine_relaxations.load(Ordering::Relaxed),
+            ),
+        ];
+        for kind in ErrorKind::ALL {
+            counters.push((format!("errors.{kind}"), self.error_kind_count(kind)));
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut series: Vec<SeriesSummary> = Vec::new();
+        let phase_summaries = self.phases.summaries();
+        for (name, summary) in priograph_telemetry::PHASE_NAMES.iter().zip(phase_summaries) {
+            series.push(named_summary(format!("phase.{name}"), summary));
+        }
+        series.push(named_summary(
+            "engine.frontier".to_string(),
+            self.frontier.summary(),
+        ));
+        {
+            let map = self.per_key.lock().unwrap_or_else(PoisonError::into_inner);
+            for ((graph, op), sink) in map.iter() {
+                let op = op_slug(*op);
+                for (name, summary) in priograph_telemetry::PHASE_NAMES
+                    .iter()
+                    .zip(sink.summaries())
+                {
+                    series.push(named_summary(format!("graph.{graph}.{op}.{name}"), summary));
+                }
+            }
+        }
+        series.sort_by(|a, b| a.name.cmp(&b.name));
+        StatsV2 { counters, series }
+    }
+
+    /// One metrics-log line: a timestamped JSON object wrapping the
+    /// `StatsV2` snapshot plus the current slow-query ring.
+    pub(crate) fn metrics_json(&self, legacy: &ServerStats, uptime_ms: u64) -> String {
+        use std::fmt::Write as _;
+        let stats = self.stats_v2(legacy);
+        let mut out = String::with_capacity(1024);
+        let _ = write!(out, "{{\"uptime_ms\":{uptime_ms},\"stats\":");
+        out.push_str(&stats.to_json());
+        out.push_str(",\"slow\":[");
+        for (i, q) in self.slow_queries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"graph\":{},\"op\":\"{}\",\"queued_us\":{},\"planned_us\":{},\
+                 \"executed_us\":{},\"responded_us\":{},\"total_us\":{},\"plan\":\"{}\"}}",
+                q.graph,
+                op_slug(q.op),
+                q.span.queued_us,
+                q.span.planned_us,
+                q.span.executed_us,
+                q.span.responded_us,
+                q.span.total_us(),
+                // Plan strings are schedule renderings (identifier-safe),
+                // but escape quotes defensively.
+                q.plan.replace('"', "'"),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Engine round profile: the [`RoundObserver`] the dispatcher passes into
+/// full-vector query execution. Three relaxed atomic ops per synchronized
+/// round — cheap enough to leave on for every production query.
+impl RoundObserver for Telemetry {
+    fn on_round(&self, info: &RoundInfo) {
+        self.engine_rounds.fetch_add(1, Ordering::Relaxed);
+        self.engine_relaxations
+            .fetch_add(info.relaxations, Ordering::Relaxed);
+        self.frontier.record_value(info.frontier as u64);
+    }
+}
+
+/// Dispatcher-local cache of per-(graph, op) histogram `Arc`s: steady
+/// state is a `HashMap` probe (no lock, no allocation); the shared map's
+/// mutex is taken only the first time a key is seen. Evict with
+/// [`SeriesCache::retain_graphs`] alongside the dispatcher's other
+/// per-graph state.
+#[derive(Debug, Default)]
+pub(crate) struct SeriesCache {
+    cache: HashMap<(GraphId, QueryOp), Arc<PhaseHistograms>>,
+}
+
+impl SeriesCache {
+    /// The histogram sink for `key`, cloning out of the shared map only
+    /// on first sight.
+    pub(crate) fn sink(
+        &mut self,
+        telemetry: &Telemetry,
+        key: (GraphId, QueryOp),
+    ) -> &PhaseHistograms {
+        self.cache
+            .entry(key)
+            .or_insert_with(|| telemetry.sink_for(key))
+    }
+
+    /// Drops cached sinks for graphs no longer resident (the shared map
+    /// keeps the series for reporting; this only trims the cache).
+    pub(crate) fn retain_graphs(&mut self, mut contains: impl FnMut(GraphId) -> bool) {
+        self.cache.retain(|(graph, _), _| contains(*graph));
+    }
+}
+
+/// Wire slug for an op in series names (lowercase, stable).
+pub(crate) fn op_slug(op: QueryOp) -> &'static str {
+    match op {
+        QueryOp::Ppsp => "ppsp",
+        QueryOp::Sssp => "sssp",
+        QueryOp::Wbfs => "wbfs",
+        QueryOp::KCore => "kcore",
+    }
+}
+
+fn named_summary(name: String, s: Summary) -> SeriesSummary {
+    SeriesSummary {
+        name,
+        count: s.count,
+        p50_us: s.p50,
+        p90_us: s.p90,
+        p99_us: s.p99,
+        p999_us: s.p999,
+        max_us: s.max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_fold_into_global_and_per_key_series() {
+        let t = Telemetry::default();
+        let mut cache = SeriesCache::default();
+        for i in 0..20 {
+            let span = QuerySpan {
+                queued_us: 10 + i,
+                planned_us: 1,
+                executed_us: 400,
+                responded_us: 2,
+            };
+            let sink = cache.sink(&t, (3, QueryOp::Sssp));
+            t.record_span(sink, &span);
+        }
+        let stats = t.stats_v2(&ServerStats::default());
+        assert_eq!(stats.series("phase.total").unwrap().count, 20);
+        assert_eq!(stats.series("graph.3.sssp.total").unwrap().count, 20);
+        assert_eq!(stats.series("graph.3.sssp.executed").unwrap().max_us, 400);
+        // A key never queried produces no series.
+        assert!(stats.series("graph.3.kcore.total").is_none());
+    }
+
+    #[test]
+    fn error_kinds_count_through_batches_exactly_once() {
+        let t = Telemetry::default();
+        let resp = Response::Batch(vec![
+            Response::error(ErrorKind::Timeout, "t"),
+            Response::Distance {
+                distance: Some(1),
+                relaxations: 1,
+            },
+            Response::error(ErrorKind::Timeout, "t2"),
+            Response::error(ErrorKind::BadVertex, "v"),
+        ]);
+        t.count_response_errors(&resp);
+        assert_eq!(t.error_kind_count(ErrorKind::Timeout), 2);
+        assert_eq!(t.error_kind_count(ErrorKind::BadVertex), 1);
+        assert_eq!(t.error_kind_count(ErrorKind::Internal), 0);
+        let stats = t.stats_v2(&ServerStats::default());
+        assert_eq!(stats.counter("errors.timeout"), Some(2));
+        assert_eq!(stats.counter("errors.bad-vertex"), Some(1));
+    }
+
+    #[test]
+    fn every_error_kind_moves_exactly_its_own_counter() {
+        let t = Telemetry::default();
+        for kind in ErrorKind::ALL {
+            let before: Vec<u64> = ErrorKind::ALL
+                .iter()
+                .map(|k| t.error_kind_count(*k))
+                .collect();
+            t.count_response_errors(&Response::error(kind, "probe"));
+            for (i, k) in ErrorKind::ALL.iter().enumerate() {
+                let expected = before[i] + u64::from(*k == kind);
+                assert_eq!(
+                    t.error_kind_count(*k),
+                    expected,
+                    "counting {kind} moved the {k} counter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counters_and_series_are_sorted_by_name() {
+        let t = Telemetry::default();
+        let mut cache = SeriesCache::default();
+        for key in [(1, QueryOp::Ppsp), (0, QueryOp::KCore), (0, QueryOp::Sssp)] {
+            let sink = cache.sink(&t, key);
+            t.record_span(sink, &QuerySpan::default());
+        }
+        let stats = t.stats_v2(&ServerStats::default());
+        let counter_names: Vec<&str> = stats.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = counter_names.clone();
+        sorted.sort_unstable();
+        assert_eq!(counter_names, sorted);
+        let series_names: Vec<&str> = stats.series.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = series_names.clone();
+        sorted.sort_unstable();
+        assert_eq!(series_names, sorted);
+        // Every error kind has a named counter even at zero.
+        for kind in ErrorKind::ALL {
+            assert!(stats.counter(&format!("errors.{kind}")).is_some());
+        }
+    }
+
+    #[test]
+    fn slow_ring_keeps_worst_queries_with_plans() {
+        let t = Telemetry::default();
+        for i in 0..50u64 {
+            let span = QuerySpan {
+                executed_us: i * 100,
+                ..QuerySpan::default()
+            };
+            t.offer_slow(0, QueryOp::Ppsp, span, || format!("plan-{i}"));
+        }
+        let slow = t.slow_queries();
+        assert_eq!(slow.len(), SLOW_RING_CAPACITY);
+        assert_eq!(slow[0].span.executed_us, 4_900);
+        assert_eq!(slow[0].plan, "plan-49");
+        // Worst first.
+        assert!(slow
+            .windows(2)
+            .all(|w| w[0].span.total_us() >= w[1].span.total_us()));
+    }
+
+    #[test]
+    fn round_observer_feeds_engine_series() {
+        let t = Telemetry::default();
+        t.on_round(&RoundInfo {
+            round: 1,
+            bucket: 0,
+            priority: 0,
+            frontier: 128,
+            relaxations: 1_000,
+        });
+        t.on_round(&RoundInfo {
+            round: 2,
+            bucket: 1,
+            priority: 4,
+            frontier: 64,
+            relaxations: 500,
+        });
+        let stats = t.stats_v2(&ServerStats::default());
+        assert_eq!(stats.counter("engine.rounds"), Some(2));
+        assert_eq!(stats.counter("engine.relaxations"), Some(1_500));
+        let frontier = stats.series("engine.frontier").unwrap();
+        assert_eq!(frontier.count, 2);
+        assert_eq!(frontier.max_us, 128);
+    }
+
+    #[test]
+    fn metrics_json_is_one_line_with_slow_entries() {
+        let t = Telemetry::default();
+        t.offer_slow(
+            2,
+            QueryOp::Sssp,
+            QuerySpan {
+                queued_us: 5,
+                planned_us: 1,
+                executed_us: 900,
+                responded_us: 4,
+            },
+            || "lazy delta=32".to_string(),
+        );
+        let line = t.metrics_json(&ServerStats::default(), 1234);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"uptime_ms\":1234,\"stats\":{"));
+        assert!(line.contains("\"slow\":[{\"graph\":2,\"op\":\"sssp\""));
+        assert!(line.contains("\"total_us\":910"));
+        assert!(line.contains("\"plan\":\"lazy delta=32\""));
+        assert!(line.ends_with("]}"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+}

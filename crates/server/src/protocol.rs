@@ -13,12 +13,18 @@
 //! JSON is (no crates.io access, so no serde), and the decoder accepts
 //! exactly the subset the encoder produces.
 //!
-//! Protocol **version 4** (this one) gives every query an explicit failure
-//! budget: [`Query`] carries an optional `deadline_ms` (0 = none) measured
-//! from admission, the §5 error table grows typed [`ErrorKind::Timeout`]
-//! and [`ErrorKind::Overloaded`] rows, and `Shutdown` now means *graceful
-//! drain* (stop accepting, finish or time out in-flight work, flush the
-//! manifest). Version 3 made schedule selection a server-side decision:
+//! Protocol **version 5** (this one) adds the self-describing telemetry
+//! surface: [`Request::StatsV2`] answers with [`Response::StatsV2`], a
+//! frame of *named* counters plus per-series latency digests
+//! ([`SeriesSummary`]: count, p50/p90/p99/p999/max in microseconds) — the
+//! extensible replacement for the fixed 13-counter [`ServerStats`] blob,
+//! which is kept byte-exact for old clients. Version 4 gave every query an
+//! explicit failure budget: [`Query`] carries an optional `deadline_ms`
+//! (0 = none) measured from admission, the §5 error table grows typed
+//! [`ErrorKind::Timeout`] and [`ErrorKind::Overloaded`] rows, and
+//! `Shutdown` means *graceful drain* (stop accepting, finish or time out
+//! in-flight work, flush the manifest). Version 3 made schedule selection
+//! a server-side decision:
 //! [`Request::TuneGraph`] runs the autotuner against a resident graph and
 //! installs the winning [`WirePlan`], [`GraphInfo`] reports each graph's
 //! installed plans, and [`Response::Busy`] carries a `retry_after_ms` hint
@@ -40,7 +46,7 @@ use std::fmt;
 use std::io::{Read, Write};
 
 /// Protocol version carried in every frame. Bump on any wire change.
-pub const PROTOCOL_VERSION: u8 = 4;
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Hard cap on a frame payload (64 MiB) — larger than any distance vector
 /// the bundled workloads produce, small enough to bound a malicious peer.
@@ -184,7 +190,24 @@ pub enum ErrorKind {
 }
 
 impl ErrorKind {
-    fn to_u8(self) -> u8 {
+    /// Every kind, in wire-discriminant order — lets audits and the
+    /// `StatsV2` error breakdown walk the full table without a hand-kept
+    /// copy.
+    pub const ALL: [ErrorKind; 11] = [
+        ErrorKind::Internal,
+        ErrorKind::BadRequest,
+        ErrorKind::BadVertex,
+        ErrorKind::UnknownGraph,
+        ErrorKind::UnsupportedVersion,
+        ErrorKind::ScheduleRejected,
+        ErrorKind::TooLarge,
+        ErrorKind::ShuttingDown,
+        ErrorKind::LoadFailed,
+        ErrorKind::Timeout,
+        ErrorKind::Overloaded,
+    ];
+
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             ErrorKind::Internal => 0,
             ErrorKind::BadRequest => 1,
@@ -237,7 +260,7 @@ impl fmt::Display for ErrorKind {
 }
 
 /// The ordered algorithm a [`Query`] runs.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum QueryOp {
     /// Point-to-point shortest path (early-terminating; served by the
     /// per-worker serial engine so whole batches run concurrently).
@@ -767,6 +790,9 @@ pub enum Request {
         /// suffice; CI smoke runs use single digits).
         budget: u32,
     },
+    /// Ask for [`Response::StatsV2`], the self-describing telemetry frame
+    /// (protocol v5).
+    StatsV2,
 }
 
 impl Request {
@@ -808,6 +834,7 @@ impl Request {
                 out.push(algo.to_u8());
                 out.extend_from_slice(&budget.to_le_bytes());
             }
+            Request::StatsV2 => out.push(8),
         }
         out
     }
@@ -844,6 +871,7 @@ impl Request {
                 algo: QueryOp::from_u8(r.u8()?)?,
                 budget: r.u32()?,
             },
+            8 => Request::StatsV2,
             other => return Err(malformed(format!("unknown request tag {other}"))),
         };
         r.finish()?;
@@ -1001,6 +1029,157 @@ impl GraphInfo {
     }
 }
 
+/// One named latency series in a [`StatsV2`] frame: a five-point digest
+/// (all values microseconds) of a server-side histogram.
+///
+/// Series names are dotted paths (see `docs/PROTOCOL.md` §4.3): the global
+/// per-phase series are `phase.<queued|planned|executed|responded|total>`,
+/// per-graph-per-op breakdowns are `graph.<id>.<op>.<phase>`, and engine
+/// profile series use the `engine.` prefix.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeriesSummary {
+    /// Dotted series name (at most [`MAX_NAME_LEN`] bytes).
+    pub name: String,
+    /// Events recorded into the series.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+    /// Exact maximum, microseconds.
+    pub max_us: u64,
+}
+
+/// Minimum encoded size of a [`SeriesSummary`]: an empty name's length
+/// prefix plus six u64 fields.
+const SERIES_SUMMARY_MIN_WIRE_LEN: usize = 8 + 6 * 8;
+
+impl SeriesSummary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_str(&self.name, out);
+        for v in [
+            self.count,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        Ok(SeriesSummary {
+            name: r.string(MAX_NAME_LEN, "series name")?,
+            count: r.u64()?,
+            p50_us: r.u64()?,
+            p90_us: r.u64()?,
+            p99_us: r.u64()?,
+            p999_us: r.u64()?,
+            max_us: r.u64()?,
+        })
+    }
+}
+
+/// Minimum encoded size of a named counter in [`StatsV2`]: an empty
+/// name's length prefix plus the u64 value.
+const NAMED_COUNTER_MIN_WIRE_LEN: usize = 8 + 8;
+
+/// The self-describing telemetry frame answered to [`Request::StatsV2`]
+/// (protocol v5, see `docs/PROTOCOL.md` §4.3).
+///
+/// Unlike the positional [`ServerStats`] blob, every datum carries its
+/// name on the wire: servers can add counters and series without a
+/// protocol bump, and clients render what they receive. Both vectors are
+/// sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsV2 {
+    /// Named monotonic counters (e.g. `queries`, `errors.timeout`,
+    /// `engine.rounds`).
+    pub counters: Vec<(String, u64)>,
+    /// Named latency digests (phases, per-graph breakdowns, engine
+    /// profile).
+    pub series: Vec<SeriesSummary>,
+}
+
+impl StatsV2 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.counters.len() as u64).to_le_bytes());
+        for (name, value) in &self.counters {
+            encode_str(name, out);
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.series.len() as u64).to_le_bytes());
+        for series in &self.series {
+            series.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Self, WireError> {
+        let counter_count = r.len_prefix(NAMED_COUNTER_MIN_WIRE_LEN)?;
+        let mut counters = Vec::with_capacity(counter_count);
+        for _ in 0..counter_count {
+            let name = r.string(MAX_NAME_LEN, "counter name")?;
+            let value = r.u64()?;
+            counters.push((name, value));
+        }
+        let series_count = r.len_prefix(SERIES_SUMMARY_MIN_WIRE_LEN)?;
+        let mut series = Vec::with_capacity(series_count);
+        for _ in 0..series_count {
+            series.push(SeriesSummary::decode(r)?);
+        }
+        Ok(StatsV2 { counters, series })
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The digest of series `name`, if present.
+    pub fn series(&self, name: &str) -> Option<&SeriesSummary> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// One-line JSON rendering (hand-rolled like the bench JSON — no
+    /// serde offline), shared by `--metrics-log` and the client's
+    /// `stats --json`. Names are emitted verbatim: series names are
+    /// server-chosen dotted identifiers, counter names likewise, neither
+    /// ever contains characters needing JSON escapes.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 * (self.counters.len() + self.series.len()) + 32);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push_str("},\"series\":{");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
+                s.name, s.count, s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.max_us
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
 /// A server-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -1051,6 +1230,8 @@ pub enum Response {
     Unloaded,
     /// Answer to [`Request::TuneGraph`]: the installed winning plan.
     Tuned(TuneOutcome),
+    /// Answer to [`Request::StatsV2`]: named counters + latency digests.
+    StatsV2(StatsV2),
 }
 
 impl Response {
@@ -1141,6 +1322,10 @@ impl Response {
                 out.push(11);
                 outcome.encode(out);
             }
+            Response::StatsV2(stats) => {
+                out.push(12);
+                stats.encode(out);
+            }
         }
     }
 
@@ -1206,6 +1391,7 @@ impl Response {
             9 => Ok(Response::Loaded(GraphInfo::decode(r)?)),
             10 => Ok(Response::Unloaded),
             11 => Ok(Response::Tuned(TuneOutcome::decode(r)?)),
+            12 => Ok(Response::StatsV2(StatsV2::decode(r)?)),
             other => Err(malformed(format!("unknown response tag {other}"))),
         }
     }
@@ -1220,9 +1406,9 @@ impl Response {
 /// closes the connection:
 ///
 /// * version 1: `01 05 <len: u64> <utf-8>` (v1 had untyped errors);
-/// * versions 2–3: `0V 05 <kind: u8> <len: u64> <utf-8>` with
-///   `kind = unsupported-version` (v2 introduced [`ErrorKind`]; v3 kept
-///   the same Error body).
+/// * versions 2–4: `0V 05 <kind: u8> <len: u64> <utf-8>` with
+///   `kind = unsupported-version` (v2 introduced [`ErrorKind`]; v3 and v4
+///   kept the same Error body).
 ///
 /// Returns `None` for versions this server never spoke (0, or ≥ current —
 /// a *newer* peer gets a current-version in-band error instead).
@@ -1233,9 +1419,9 @@ pub fn legacy_error_payload(version: u8, message: &str) -> Option<Vec<u8>> {
             encode_str(message, &mut out);
             Some(out)
         }
-        2 | 3 => {
-            // v2/v3's Error body was already kind + message, identical to
-            // v4's — only the version byte differs.
+        2..=4 => {
+            // The Error body has been kind + message since v2, identical
+            // to v5's — only the version byte differs.
             let mut out = vec![version, 5u8, ErrorKind::UnsupportedVersion.to_u8()];
             encode_str(message, &mut out);
             Some(out)
@@ -1559,6 +1745,88 @@ mod tests {
             algo: QueryOp::KCore,
             budget: 0,
         });
+        roundtrip_request(Request::StatsV2);
+    }
+
+    fn sample_stats_v2() -> StatsV2 {
+        StatsV2 {
+            counters: vec![
+                ("engine.rounds".to_string(), 321),
+                ("errors.timeout".to_string(), 2),
+                ("queries".to_string(), 12_345),
+            ],
+            series: vec![
+                SeriesSummary {
+                    name: "graph.0.ppsp.total".to_string(),
+                    count: 11_000,
+                    p50_us: 180,
+                    p90_us: 420,
+                    p99_us: 950,
+                    p999_us: 2_100,
+                    max_us: 9_876,
+                },
+                SeriesSummary {
+                    name: "phase.queued".to_string(),
+                    count: 12_345,
+                    p50_us: 90,
+                    p90_us: 240,
+                    p99_us: 610,
+                    p999_us: 1_500,
+                    max_us: 4_200,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_v2_roundtrips() {
+        roundtrip_response(Response::StatsV2(StatsV2::default()));
+        roundtrip_response(Response::StatsV2(sample_stats_v2()));
+        roundtrip_response(Response::StatsV2(StatsV2 {
+            counters: vec![(String::new(), u64::MAX)],
+            series: vec![SeriesSummary::default()],
+        }));
+    }
+
+    #[test]
+    fn stats_v2_lookups_find_by_name() {
+        let stats = sample_stats_v2();
+        assert_eq!(stats.counter("queries"), Some(12_345));
+        assert_eq!(stats.counter("missing"), None);
+        assert_eq!(stats.series("phase.queued").unwrap().p99_us, 610);
+        assert!(stats.series("phase.missing").is_none());
+    }
+
+    #[test]
+    fn stats_v2_json_is_one_line_and_well_formed() {
+        let json = sample_stats_v2().to_json();
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"queries\":12345"));
+        assert!(json.contains("\"phase.queued\":{\"count\":12345,\"p50_us\":90,"));
+        assert!(json.ends_with("}}"));
+        // Balanced braces (no serde to parse it; structural sanity check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        let empty = StatsV2::default().to_json();
+        assert_eq!(empty, "{\"counters\":{},\"series\":{}}");
+    }
+
+    #[test]
+    fn stats_v2_rejects_oversized_series_names() {
+        let stats = StatsV2 {
+            counters: Vec::new(),
+            series: vec![SeriesSummary {
+                name: "x".repeat(MAX_NAME_LEN + 1),
+                ..SeriesSummary::default()
+            }],
+        };
+        let bytes = Response::StatsV2(stats).encode();
+        assert!(matches!(
+            Response::decode(&bytes).unwrap_err(),
+            WireError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -1681,16 +1949,16 @@ mod tests {
     #[test]
     fn legacy_error_payloads_match_their_version_shapes() {
         // v1: untyped error — version byte, tag, message.
-        let payload = legacy_error_payload(1, "upgrade to v4").unwrap();
+        let payload = legacy_error_payload(1, "upgrade to v5").unwrap();
         assert_eq!(payload[0], 1, "v1 version byte");
         assert_eq!(payload[1], 5, "v1 Error tag");
         let len = u64::from_le_bytes(payload[2..10].try_into().unwrap()) as usize;
-        assert_eq!(&payload[10..10 + len], b"upgrade to v4");
+        assert_eq!(&payload[10..10 + len], b"upgrade to v5");
         assert_eq!(payload.len(), 10 + len, "nothing after the message");
 
-        // v2 and v3: typed error — version byte, tag, kind, message.
-        for version in [2u8, 3] {
-            let payload = legacy_error_payload(version, "upgrade to v4").unwrap();
+        // v2 through v4: typed error — version byte, tag, kind, message.
+        for version in [2u8, 3, 4] {
+            let payload = legacy_error_payload(version, "upgrade to v5").unwrap();
             assert_eq!(payload[0], version, "v{version} version byte");
             assert_eq!(payload[1], 5, "v{version} Error tag");
             assert_eq!(
@@ -1699,13 +1967,13 @@ mod tests {
                 "v{version} errors carry a kind byte"
             );
             let len = u64::from_le_bytes(payload[3..11].try_into().unwrap()) as usize;
-            assert_eq!(&payload[11..11 + len], b"upgrade to v4");
+            assert_eq!(&payload[11..11 + len], b"upgrade to v5");
             assert_eq!(payload.len(), 11 + len);
         }
 
         // The current decoder rejects all as version mismatches, which is
         // exactly what a *new* client pointed at an old server should see.
-        for got in [1u8, 2, 3] {
+        for got in [1u8, 2, 3, 4] {
             let payload = legacy_error_payload(got, "x").unwrap();
             assert!(matches!(
                 Response::decode(&payload).unwrap_err(),

@@ -47,16 +47,19 @@
 
 use crate::batch::{BatchRunner, PointAnswer};
 use crate::catalog::{Catalog, CatalogError, GraphEntry};
+use crate::obs::{SeriesCache, Telemetry};
 use crate::protocol::{
     legacy_error_payload, read_frame_or_idle, write_frame, BusyScope, ErrorKind, FrameIn, GraphId,
-    Query, QueryOp, Request, Response, ServerStats, TuneOutcome, WireError, WirePlan, WireStrategy,
-    PROTOCOL_VERSION,
+    Query, QueryOp, Request, Response, ServerStats, StatsV2, TuneOutcome, WireError, WirePlan,
+    WireStrategy, PROTOCOL_VERSION,
 };
 use priograph_algorithms::{kcore, sssp, wbfs, UNREACHABLE};
+use priograph_core::engine::RoundObserver;
 use priograph_core::plan::AlgoFamily;
 use priograph_core::schedule::Schedule;
 use priograph_graph::{CsrGraph, LoadMode, MapOptions};
 use priograph_parallel::Pool;
+use priograph_telemetry::QuerySpan;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -114,6 +117,10 @@ pub struct ServerConfig {
     /// before abandoning them with `shutting-down` errors
     /// (`docs/PROTOCOL.md` §6.2).
     pub drain_timeout_ms: u64,
+    /// When non-zero, a metrics-log thread writes one JSON line to stderr
+    /// every this-many milliseconds: the full `StatsV2` snapshot plus the
+    /// slow-query ring (`--metrics-log` in `priograph-server`).
+    pub metrics_log_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +139,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             io_timeout_ms: 30_000,
             drain_timeout_ms: 5_000,
+            metrics_log_ms: 0,
         }
     }
 }
@@ -179,6 +187,9 @@ struct Shared {
     drain_timeout_ms: u64,
     /// splitmix64 walk feeding the ±25% jitter on `retry_after_ms`.
     retry_jitter: AtomicU64,
+    /// PR 8 telemetry: phase histograms, engine round profile, error-kind
+    /// counters, slow-query ring — everything behind `StatsV2`.
+    telemetry: Telemetry,
 }
 
 impl Shared {
@@ -205,6 +216,13 @@ impl Shared {
             timeouts: self.counters.timeouts.load(Ordering::Relaxed),
             rejected_connections: self.counters.rejected_connections.load(Ordering::Relaxed),
         }
+    }
+
+    /// The self-describing v5 stats frame: every legacy counter by name,
+    /// the new counters (per-error-kind, drain, engine totals), and the
+    /// phase/engine latency series (`docs/PROTOCOL.md` §4.3).
+    fn stats_v2(&self) -> StatsV2 {
+        self.telemetry.stats_v2(&self.stats())
     }
 
     /// Estimates how long until `pending` queries drain: rounds needed at
@@ -553,7 +571,32 @@ pub fn serve_named(
         io_timeout_ms: config.io_timeout_ms.max(1),
         drain_timeout_ms: config.drain_timeout_ms,
         retry_jitter: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        telemetry: Telemetry::default(),
     });
+    if config.metrics_log_ms > 0 {
+        let shared = Arc::clone(&shared);
+        let interval = Duration::from_millis(config.metrics_log_ms);
+        let started = Instant::now();
+        // Detached: the logger polls the shutdown flag between short
+        // sleeps and exits within ~100ms of the server stopping.
+        let _ = std::thread::Builder::new()
+            .name("priograph-metrics".to_string())
+            .spawn(move || {
+                let mut next = Instant::now() + interval;
+                while !shared.shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(100).min(interval));
+                    if Instant::now() < next {
+                        continue;
+                    }
+                    next = Instant::now() + interval;
+                    let uptime_ms = started.elapsed().as_millis() as u64;
+                    eprintln!(
+                        "{}",
+                        shared.telemetry.metrics_json(&shared.stats(), uptime_ms)
+                    );
+                }
+            });
+    }
 
     let (tx, rx) = mpsc::channel::<Job>();
     let dispatcher = {
@@ -658,6 +701,7 @@ fn refuse_connection(shared: &Shared, mut stream: TcpStream) {
             shared.max_connections
         ),
     );
+    shared.telemetry.count_response_errors(&refusal);
     let _ = write_frame(&mut stream, &refusal.encode());
 }
 
@@ -827,14 +871,20 @@ fn handle_connection(
         };
         if shared.shutdown.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
             // Draining: already-admitted work finishes, but no new request
-            // gets in — a typed refusal, then the connection closes.
+            // gets in — a typed refusal, then the connection closes. Counted
+            // twice on purpose: once as the generic `errors.shutting-down`
+            // kind, once under the dedicated `drain_rejections` counter
+            // (previously these refusals were invisible in stats).
             let refusal =
                 Response::error(ErrorKind::ShuttingDown, "server is draining; not served");
+            shared.telemetry.count_drain_rejection();
+            shared.telemetry.count_response_errors(&refusal);
             let _ = write_frame(&mut stream, &refusal.encode());
             return Ok(());
         }
         let response = match Request::decode(&payload) {
             Ok(Request::Stats) => Response::Stats(shared.stats()),
+            Ok(Request::StatsV2) => Response::StatsV2(shared.stats_v2()),
             Ok(Request::Shutdown) => {
                 // A wire shutdown takes the graceful path: raise the drain
                 // flag (before the Bye, so a client that saw Bye never
@@ -885,6 +935,12 @@ fn handle_connection(
                 );
                 match legacy_error_payload(got, &message) {
                     Some(payload) => {
+                        // This refusal is encoded in the legacy shape, so it
+                        // bypasses the Response choke point below — count
+                        // its kind directly.
+                        shared
+                            .telemetry
+                            .count_error_kind(ErrorKind::UnsupportedVersion);
                         write_frame(&mut stream, &payload)?;
                         return Ok(());
                     }
@@ -901,12 +957,13 @@ fn handle_connection(
             // Framing survives a malformed payload, so report and carry on.
             Err(e) => Response::error(ErrorKind::BadRequest, e.to_string()),
         };
+        let mut response = response;
         let mut encoded = response.encode();
         if encoded.len() > crate::protocol::MAX_FRAME_LEN {
             // Never kill the connection over an oversized answer (a batch
             // of full-vector queries can cross the cap even though each
             // fits): degrade to an in-band error the client can act on.
-            encoded = Response::error(
+            response = Response::error(
                 ErrorKind::TooLarge,
                 format!(
                     "response of {} bytes exceeds the {} byte frame cap; \
@@ -914,9 +971,13 @@ fn handle_connection(
                     encoded.len(),
                     crate::protocol::MAX_FRAME_LEN
                 ),
-            )
-            .encode();
+            );
+            encoded = response.encode();
         }
+        // The one choke point where every served response hits the wire:
+        // per-kind error counters move here (and only here), after the
+        // TooLarge degrade, so counts reflect what the client actually saw.
+        shared.telemetry.count_response_errors(&response);
         write_frame(&mut stream, &encoded)?;
         if shared.shutdown.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
             return Ok(()); // stop serving this connection once shutdown began
@@ -1025,6 +1086,12 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
     let mut groups: HashMap<GraphId, PointGroup> = HashMap::new();
     let mut answers: Vec<PointAnswer> = Vec::new();
     let mut replies: Vec<Option<Response>> = Vec::new();
+    // When each query executed, parallel to `replies` (`None` = never ran:
+    // shed, vertex error, admission failure — its span has no exec phase).
+    let mut exec_windows: Vec<Option<(Instant, Instant)>> = Vec::new();
+    // Dispatcher-local cache of per-(graph, op) histogram Arcs so the
+    // telemetry map's mutex is off the steady-state path.
+    let mut series_cache = SeriesCache::default();
 
     loop {
         // The shutdown check must come before processing, not only on the
@@ -1082,6 +1149,8 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
         }
         replies.clear();
         replies.resize_with(queries.len(), || None);
+        exec_windows.clear();
+        exec_windows.resize(queries.len(), None);
         // Deadline shedding happens at partition time: a query whose
         // budget expired while queued is dropped *before* any engine work,
         // and rechecked again right before full-vector execution (earlier
@@ -1127,8 +1196,13 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
                 .queries
                 .fetch_add(group.pairs.len() as u64, Ordering::Relaxed);
             let runner = runners.entry(*graph_id).or_default();
+            let exec_started = Instant::now();
             runner.run(&pool, &entry.graph, &group.pairs, &mut answers);
+            // The whole group runs as one pool fan-out, so each member
+            // gets the group's window as its execute phase.
+            let window = Some((exec_started, Instant::now()));
             for (slot, answer) in group.slots.iter().zip(&answers) {
+                exec_windows[*slot] = window;
                 replies[*slot] = Some(Response::Distance {
                     distance: answer.distance,
                     relaxations: answer.relaxations,
@@ -1146,17 +1220,55 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
                 }
                 shared.counters.full_queries.fetch_add(1, Ordering::Relaxed);
                 job.entry.queries.fetch_add(1, Ordering::Relaxed);
+                let exec_started = Instant::now();
                 replies[i] = Some(run_full_query(shared, &pool, job));
+                exec_windows[i] = Some((exec_started, Instant::now()));
             }
         }
 
-        for (job, reply) in queries.drain(..).zip(replies.drain(..)) {
+        for ((job, reply), window) in queries
+            .drain(..)
+            .zip(replies.drain(..))
+            .zip(exec_windows.drain(..))
+        {
             // lint: allow-panic the loop above fills every slot before draining
             let reply = reply.expect("every job got a reply");
             if matches!(reply, Response::Error { .. }) {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             }
             let _ = job.reply.send(reply);
+            // Phase span, recorded after the reply is handed off so the
+            // `responded` phase covers the send: queued = admission →
+            // partition, planned = partition → execution start, executed =
+            // the engine window, responded = execution end → handoff. A
+            // query that never executed (shed, bad vertex) collapses its
+            // plan/exec phases into `responded`.
+            let responded = Instant::now();
+            let span = match window {
+                Some((started, finished)) => QuerySpan {
+                    queued_us: micros_between(job.admitted, partition_time),
+                    planned_us: micros_between(partition_time, started),
+                    executed_us: micros_between(started, finished),
+                    responded_us: micros_between(finished, responded),
+                },
+                None => QuerySpan {
+                    queued_us: micros_between(job.admitted, partition_time),
+                    planned_us: 0,
+                    executed_us: 0,
+                    responded_us: micros_between(partition_time, responded),
+                },
+            };
+            let sink = series_cache.sink(&shared.telemetry, (job.entry.id, job.query.op));
+            shared.telemetry.record_span(sink, &span);
+            let (entry, query) = (&job.entry, &job.query);
+            // The plan string renders only if this query displaces a slow-
+            // ring entry — the steady-state cost is one atomic load.
+            shared
+                .telemetry
+                .offer_slow(entry.id, query.op, span, || match query.op {
+                    QueryOp::Ppsp => "point-serial".to_string(),
+                    _ => planned_schedule(shared, entry, query).to_string(),
+                });
         }
 
         // The EWMA feeds the Busy retry hint, which estimates *query*
@@ -1187,7 +1299,14 @@ fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, ma
         // graph releases its engine memory too.
         runners.retain(|id, _| shared.catalog.contains(*id));
         groups.retain(|id, _| shared.catalog.contains(*id));
+        series_cache.retain_graphs(|id| shared.catalog.contains(id));
     }
+}
+
+/// Microseconds from `a` to `b`, zero when the clock reads them reversed
+/// (sub-microsecond phases across threads).
+fn micros_between(a: Instant, b: Instant) -> u64 {
+    b.saturating_duration_since(a).as_micros() as u64
 }
 
 fn vertex_error(q: &Query, n: usize) -> Response {
@@ -1216,20 +1335,29 @@ fn run_full_query(shared: &Shared, pool: &Pool, job: &QueryJob) -> Response {
         );
     }
     let schedule = planned_schedule(shared, &job.entry, query);
+    // The engines report every synchronized round to the telemetry's
+    // RoundObserver impl — three relaxed atomic ops per round, measured
+    // within the noise floor of bench-smoke, so it stays on for every
+    // production query.
+    let observer = Some(&shared.telemetry as &dyn RoundObserver);
     match query.op {
         // lint: allow-panic run_full_query is only called for full-vector ops
         QueryOp::Ppsp => unreachable!("point queries are batched"),
-        QueryOp::Sssp => match sssp::delta_stepping_on(pool, graph, query.source, &schedule) {
-            Ok(r) => Response::DistVec(r.dist),
-            Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
-        },
-        QueryOp::Wbfs => match wbfs::wbfs_on(pool, graph, query.source, &schedule) {
-            Ok(r) => Response::DistVec(r.dist),
-            Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
-        },
+        QueryOp::Sssp => {
+            match sssp::delta_stepping_observed(pool, graph, query.source, &schedule, observer) {
+                Ok(r) => Response::DistVec(r.dist),
+                Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
+            }
+        }
+        QueryOp::Wbfs => {
+            match wbfs::wbfs_observed(pool, graph, query.source, &schedule, observer) {
+                Ok(r) => Response::DistVec(r.dist),
+                Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
+            }
+        }
         QueryOp::KCore => {
             let sym = job.entry.sym_graph();
-            match kcore::kcore_on(pool, &sym, &schedule) {
+            match kcore::kcore_observed(pool, &sym, &schedule, observer) {
                 Ok(r) => Response::Coreness(r.coreness),
                 Err(e) => Response::error(ErrorKind::ScheduleRejected, e.to_string()),
             }
@@ -1921,5 +2049,200 @@ mod tests {
             "draining server must not serve new requests"
         );
         handle.join();
+    }
+
+    #[test]
+    fn stats_v2_reports_phases_per_graph_series_and_engine_profile() {
+        let handle = tiny_server(2);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let mut batch: Vec<Query> = (0..12).map(|i| Query::ppsp(0, (i * 5) % 64)).collect();
+        batch.push(Query::sssp(0));
+        batch.push(Query::sssp(7));
+        let started = Instant::now();
+        let responses = client.batch(batch).unwrap();
+        assert_eq!(responses.len(), 14);
+
+        let stats = client.stats_v2().unwrap();
+        // The wall clock closes only after the stats round trip: the
+        // spans it reports were recorded before the stats snapshot was
+        // taken (count == 14 below), so this window strictly contains
+        // every span even if the dispatcher is descheduled between the
+        // reply handoff and its `responded` timestamp.
+        let client_us = started.elapsed().as_micros() as u64;
+        assert_eq!(stats.counter("queries"), Some(14));
+        let total = stats.series("phase.total").expect("phase.total series");
+        assert_eq!(total.count, 14);
+        // Percentiles are monotone...
+        assert!(total.p50_us <= total.p90_us);
+        assert!(total.p90_us <= total.p99_us);
+        assert!(total.p99_us <= total.p999_us);
+        assert!(total.p999_us <= total.max_us);
+        // ...and every phase folds into the total.
+        for phase in ["queued", "planned", "executed", "responded"] {
+            let s = stats.series(&format!("phase.{phase}")).unwrap();
+            assert_eq!(s.count, 14, "phase.{phase}");
+            assert!(s.max_us <= total.max_us + 1, "phase.{phase} exceeds total");
+        }
+        // Per-(graph, op) breakdown keyed by catalog id.
+        assert_eq!(stats.series("graph.0.ppsp.total").unwrap().count, 12);
+        assert_eq!(stats.series("graph.0.sssp.total").unwrap().count, 2);
+        assert!(stats.series("graph.0.kcore.total").is_none());
+        // Acceptance: no server-side total can exceed the loopback
+        // client's wall clock for batch + stats round trips (every span
+        // is a strict sub-interval of that window), modulo one histogram
+        // bucket of relative error.
+        assert!(
+            total.max_us <= priograph_telemetry::bucket_ceiling(client_us),
+            "server total {}us exceeds client-measured {client_us}us",
+            total.max_us
+        );
+        // The full-vector queries ran on the observed engines.
+        assert!(stats.counter("engine.rounds").unwrap_or(0) > 0);
+        assert!(stats.counter("engine.relaxations").unwrap_or(0) > 0);
+        assert!(stats.series("engine.frontier").unwrap().count > 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn stats_v2_counts_each_error_kind_exactly_once() {
+        let handle = tiny_server(1);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // One bad-vertex refusal (dispatcher) and one unknown-graph
+        // refusal (admission) — different stages, one choke point.
+        let resp = client.query(Query::ppsp(0, 9_999)).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        let resp = client.query(Query::ppsp(0, 1).on_graph(42)).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        let stats = client.stats_v2().unwrap();
+        assert_eq!(stats.counter("errors.bad-vertex"), Some(1));
+        assert_eq!(stats.counter("errors.unknown-graph"), Some(1));
+        assert_eq!(stats.counter("errors"), Some(2), "legacy total agrees");
+        // Every kind is reported by name even while zero, so dashboards
+        // can rely on the series existing.
+        for kind in ErrorKind::ALL {
+            assert!(
+                stats.counter(&format!("errors.{kind}")).is_some(),
+                "missing counter for {kind}"
+            );
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn timeouts_count_once_across_legacy_and_kind_counters() {
+        // Same shape as expired_deadlines_drop_queries_before_execution:
+        // leading SSSPs consume the trailing query's 1ms budget.
+        let graph = GraphGen::road_grid(120, 120).seed(3).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let responses = client
+            .batch(vec![
+                Query::sssp(0),
+                Query::sssp(1),
+                Query::sssp(2).with_deadline(1),
+            ])
+            .unwrap();
+        assert!(
+            matches!(
+                &responses[2],
+                Response::Error {
+                    kind: ErrorKind::Timeout,
+                    ..
+                }
+            ),
+            "{:?}",
+            responses[2]
+        );
+        let stats = client.stats_v2().unwrap();
+        assert_eq!(stats.counter("timeouts"), Some(1));
+        assert_eq!(stats.counter("errors.timeout"), Some(1));
+        assert_eq!(stats.counter("errors"), Some(1), "counted exactly once");
+        // The shed query still gets a span (its exec phases are zero).
+        assert_eq!(stats.series("graph.0.sssp.total").unwrap().count, 3);
+        handle.stop();
+    }
+
+    #[test]
+    fn drain_refusals_move_the_drain_and_shutting_down_counters() {
+        let handle = tiny_server(1);
+        let addr = handle.addr();
+        let mut other = Client::connect(addr).unwrap();
+        assert!(other.stats().is_ok());
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        assert!(other.stats().is_err(), "drain window refuses new work");
+        // The server is gone from the wire; read the counters directly.
+        let shared = Arc::clone(&handle.shared);
+        handle.join();
+        assert_eq!(
+            shared.telemetry.drain_rejections(),
+            1,
+            "the drain-window refusal must be counted (it used to vanish)"
+        );
+        assert!(shared.telemetry.error_kind_count(ErrorKind::ShuttingDown) >= 1);
+    }
+
+    #[test]
+    fn overload_refusals_count_in_kind_and_connection_counters() {
+        let graph = GraphGen::road_grid(8, 8).seed(1).build();
+        let handle = serve(
+            graph,
+            ServerConfig {
+                threads: 1,
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut first = Client::connect(handle.addr()).unwrap();
+        assert!(first.stats().is_ok());
+        let mut second = TcpStream::connect(handle.addr()).unwrap();
+        let payload = read_frame(&mut second).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                ..
+            }
+        ));
+        drop(second);
+        let stats = first.stats_v2().unwrap();
+        assert_eq!(stats.counter("rejected_connections"), Some(1));
+        assert_eq!(stats.counter("errors.overloaded"), Some(1));
+        handle.stop();
+    }
+
+    #[test]
+    fn slow_query_ring_retains_the_worst_queries_with_plans() {
+        let handle = tiny_server(2);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // A full SSSP dominates point queries, so it must occupy the ring.
+        let _ = client
+            .batch(vec![Query::ppsp(0, 63), Query::sssp(0), Query::ppsp(0, 9)])
+            .unwrap();
+        let shared = Arc::clone(&handle.shared);
+        handle.stop();
+        let slow = shared.telemetry.slow_queries();
+        assert!(!slow.is_empty());
+        assert_eq!(slow[0].graph, 0);
+        assert!(
+            slow.iter().any(|q| q.op == QueryOp::Sssp),
+            "the SSSP must be retained: {slow:?}"
+        );
+        for q in &slow {
+            assert!(!q.plan.is_empty());
+            assert!(q.span.total_us() >= slow[slow.len() - 1].span.total_us());
+        }
+        let ppsp = slow.iter().find(|q| q.op == QueryOp::Ppsp);
+        if let Some(q) = ppsp {
+            assert_eq!(q.plan, "point-serial");
+        }
     }
 }

@@ -1,0 +1,94 @@
+//! Cache-padded striped counters.
+//!
+//! A [`Counter`] spreads increments across per-stripe `AtomicU64`s, each
+//! on its own cache line (`CachePadded`), so concurrent writers from
+//! different pool workers never bounce a line between cores — the same
+//! false-sharing discipline as the parallel crate's `WorkerLocal`.
+//! Reads ([`Counter::sum`]) fold the stripes and are approximate while
+//! writers are active, exact once they quiesce.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter striped across cache lines.
+#[derive(Debug)]
+pub struct Counter {
+    stripes: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl Counter {
+    /// A counter with one stripe per expected writer (workers, connection
+    /// threads). `stripes` is clamped to at least 1.
+    pub fn new(stripes: usize) -> Self {
+        Counter {
+            stripes: (0..stripes.max(1))
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Number of stripes (use the writer's worker id modulo this).
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Adds `n` on stripe `stripe` (wrapped into range). Relaxed
+    /// `fetch_add`: no locks, no allocation.
+    pub fn add(&self, stripe: usize, n: u64) {
+        self.stripes[stripe % self.stripes.len()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 on stripe `stripe`.
+    pub fn incr(&self, stripe: usize) {
+        self.add(stripe, 1);
+    }
+
+    /// Folds all stripes into one total.
+    pub fn sum(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn stripes_fold_into_one_total() {
+        let c = Counter::new(4);
+        c.add(0, 5);
+        c.incr(1);
+        c.incr(5); // wraps onto stripe 1
+        c.add(3, 10);
+        assert_eq!(c.sum(), 17);
+        assert_eq!(c.stripes(), 4);
+    }
+
+    #[test]
+    fn zero_stripes_clamps_to_one() {
+        let c = Counter::new(0);
+        c.incr(7);
+        assert_eq!(c.sum(), 1);
+        assert_eq!(c.stripes(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        let c = Arc::new(Counter::new(4));
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), 40_000);
+    }
+}

@@ -1,0 +1,41 @@
+//! Lock-free serving telemetry for priograph.
+//!
+//! This crate holds the primitives the server threads through its hot
+//! path, all built to the same discipline as the parallel core's
+//! `WorkerLocal`/`SliceWriter`: **no allocation and no locks on the
+//! recording path**, relaxed atomics only, fixed footprints, and
+//! snapshot-readable without stopping writers.
+//!
+//! - [`LatencyHistogram`] — a fixed-footprint log-linear (HDR-style)
+//!   histogram: ~3.5 KiB of atomics covering a microsecond to ~35
+//!   minutes at ≤ 6.25% relative error, mergeable bucket-wise.
+//! - [`Counter`] — a cache-padded striped counter for hot multi-writer
+//!   tallies.
+//! - [`QuerySpan`] / [`PhaseHistograms`] — the four per-query phases
+//!   (queued → planned → executed → responded) and the five histograms
+//!   that absorb them.
+//! - [`SlowRing`] — a bounded worst-N ring whose fast path is a single
+//!   relaxed load, for capturing the slowest queries with full context.
+//!
+//! The crate is deliberately free-standing: it knows nothing about the
+//! wire protocol, graphs, or schedules. The server maps these primitives
+//! onto named series (`docs/PROTOCOL.md` §4.3, "StatsV2") and the engine's
+//! `RoundObserver` hook lives in `priograph-core` so the engines don't
+//! depend on this crate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counter;
+mod hist;
+mod ring;
+mod span;
+
+pub use counter::Counter;
+pub use hist::{
+    bucket_bounds, bucket_ceiling, HistogramSnapshot, LatencyHistogram, Summary, BUCKET_COUNT,
+    MAX_VALUE, SUB_BUCKETS,
+};
+pub use ring::SlowRing;
+pub use span::{PhaseHistograms, QuerySpan, PHASE_NAMES};

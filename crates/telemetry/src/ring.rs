@@ -1,0 +1,160 @@
+//! A bounded ring of the worst (slowest) observations.
+//!
+//! [`SlowRing`] keeps the `N` entries with the largest score seen so far.
+//! The hot path pays one relaxed atomic load: `offer` first compares the
+//! score against a cached admission threshold (the current minimum in the
+//! ring once full) and returns without locking — and without even
+//! *constructing* the entry, which is why insertion takes a closure — for
+//! the overwhelming majority of queries that are not in the worst-N.
+//! Only a genuine candidate takes the mutex and allocates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A bounded worst-N ring keyed by a `u64` score (e.g. total latency in
+/// microseconds).
+#[derive(Debug)]
+pub struct SlowRing<T> {
+    capacity: usize,
+    /// Scores below this cannot enter the ring; updated under the lock,
+    /// read lock-free on the fast path. Starts at 0 (everything admitted
+    /// until the ring fills).
+    floor: AtomicU64,
+    entries: Mutex<Vec<(u64, T)>>,
+}
+
+impl<T> SlowRing<T> {
+    /// A ring keeping the worst `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SlowRing {
+            capacity: capacity.max(1),
+            floor: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers a score; if it beats the current worst-N floor, `make` is
+    /// called to build the entry and it displaces the minimum. Fast path
+    /// (score below floor, ring full): one relaxed load, no lock, no call
+    /// to `make`, no allocation.
+    pub fn offer(&self, score: u64, make: impl FnOnce() -> T) {
+        if score < self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if entries.len() < self.capacity {
+            entries.push((score, make()));
+            if entries.len() == self.capacity {
+                self.update_floor(&entries);
+            }
+            return;
+        }
+        // Full: replace the minimum if we beat it. The floor may lag a
+        // concurrent insert, so re-check under the lock.
+        let (min_idx, min_score) = match entries.iter().enumerate().min_by_key(|(_, (s, _))| *s) {
+            Some((i, (s, _))) => (i, *s),
+            None => return, // capacity ≥ 1, so unreachable; stay panic-free
+        };
+        if score <= min_score {
+            return;
+        }
+        entries[min_idx] = (score, make());
+        self.update_floor(&entries);
+    }
+
+    fn update_floor(&self, entries: &[(u64, T)]) {
+        let min = entries.iter().map(|(s, _)| *s).min().unwrap_or(0);
+        self.floor.store(min, Ordering::Relaxed);
+    }
+
+    /// Entries recorded so far, worst first.
+    pub fn snapshot(&self) -> Vec<(u64, T)>
+    where
+        T: Clone,
+    {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = entries.clone();
+        out.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        out
+    }
+
+    /// Empties the ring and resets the admission floor.
+    pub fn clear(&self) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.clear();
+        self.floor.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn keeps_the_worst_n() {
+        let ring = SlowRing::new(3);
+        for score in [5u64, 1, 9, 3, 7, 2, 8] {
+            ring.offer(score, move || score);
+        }
+        let snap = ring.snapshot();
+        let scores: Vec<u64> = snap.iter().map(|(s, _)| *s).collect();
+        assert_eq!(scores, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn fast_path_skips_entry_construction() {
+        let ring = SlowRing::new(2);
+        ring.offer(100, || "a");
+        ring.offer(200, || "b");
+        // Ring is full with floor 100; a score of 5 must not build.
+        let built = AtomicUsize::new(0);
+        ring.offer(5, || {
+            built.fetch_add(1, Ordering::Relaxed);
+            "c"
+        });
+        assert_eq!(built.load(Ordering::Relaxed), 0);
+        assert_eq!(ring.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn ties_do_not_displace() {
+        let ring = SlowRing::new(1);
+        ring.offer(10, || "first");
+        ring.offer(10, || "second");
+        assert_eq!(ring.snapshot(), vec![(10, "first")]);
+        ring.offer(11, || "third");
+        assert_eq!(ring.snapshot(), vec![(11, "third")]);
+    }
+
+    #[test]
+    fn clear_reopens_admission() {
+        let ring = SlowRing::new(1);
+        ring.offer(100, || ());
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        ring.offer(1, || ());
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_offers_keep_global_worst() {
+        let ring = std::sync::Arc::new(SlowRing::new(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        let score = t * 1_000 + i;
+                        ring.offer(score, move || score);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let scores: Vec<u64> = ring.snapshot().iter().map(|(s, _)| *s).collect();
+        assert_eq!(scores, vec![3_999, 3_998, 3_997, 3_996]);
+    }
+}

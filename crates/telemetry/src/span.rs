@@ -1,0 +1,142 @@
+//! Per-query phase spans and the histograms that absorb them.
+//!
+//! A query's life on the server splits into four phases, all measured on
+//! the dispatcher side (client RTT is strictly larger — it adds both
+//! socket legs):
+//!
+//! ```text
+//! admitted ──queued──▶ partition ──planned──▶ exec ──executed──▶ done ──responded──▶ reply sent
+//! └──────────────────────────────── total ─────────────────────────────────────────┘
+//! ```
+//!
+//! A [`QuerySpan`] is the four durations in microseconds — a plain value,
+//! built on the dispatcher from `Instant` deltas. [`PhaseHistograms`] is
+//! the sink: five [`LatencyHistogram`]s (one per phase plus the total),
+//! recorded in one call with no allocation or locking.
+
+use crate::hist::{LatencyHistogram, Summary};
+
+/// The four phase durations of one query, in microseconds.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuerySpan {
+    /// Admission to the start of the batch round that picked the query up.
+    pub queued_us: u64,
+    /// Partitioning/planning: grouping, schedule resolution, shedding.
+    pub planned_us: u64,
+    /// Time inside the engine (for grouped point queries: the group's
+    /// execution window, attributed to each member).
+    pub executed_us: u64,
+    /// Execution end to the reply handed back to the connection thread.
+    pub responded_us: u64,
+}
+
+impl QuerySpan {
+    /// End-to-end dispatcher-side latency.
+    pub fn total_us(&self) -> u64 {
+        self.queued_us
+            .saturating_add(self.planned_us)
+            .saturating_add(self.executed_us)
+            .saturating_add(self.responded_us)
+    }
+}
+
+/// One histogram per phase plus the total — the per-series sink spans are
+/// folded into.
+#[derive(Debug, Default)]
+pub struct PhaseHistograms {
+    /// Queue-wait distribution.
+    pub queued: LatencyHistogram,
+    /// Planning distribution.
+    pub planned: LatencyHistogram,
+    /// Execution distribution.
+    pub executed: LatencyHistogram,
+    /// Reply distribution.
+    pub responded: LatencyHistogram,
+    /// End-to-end distribution.
+    pub total: LatencyHistogram,
+}
+
+/// The four phase names, in span order — the canonical spelling for wire
+/// series and docs.
+pub const PHASE_NAMES: [&str; 5] = ["queued", "planned", "executed", "responded", "total"];
+
+impl PhaseHistograms {
+    /// An empty set of phase histograms.
+    pub fn new() -> Self {
+        PhaseHistograms::default()
+    }
+
+    /// Records one query's span across all five histograms. Five relaxed
+    /// bucket increments — no allocation, no locks.
+    pub fn record(&self, span: &QuerySpan) {
+        self.queued.record_value(span.queued_us);
+        self.planned.record_value(span.planned_us);
+        self.executed.record_value(span.executed_us);
+        self.responded.record_value(span.responded_us);
+        self.total.record_value(span.total_us());
+    }
+
+    /// Queries recorded (every phase sees each query exactly once).
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// Five-point digests in [`PHASE_NAMES`] order.
+    pub fn summaries(&self) -> [Summary; 5] {
+        [
+            self.queued.summary(),
+            self.planned.summary(),
+            self.executed.summary(),
+            self.responded.summary(),
+            self.total.summary(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_the_sum_of_phases() {
+        let span = QuerySpan {
+            queued_us: 10,
+            planned_us: 2,
+            executed_us: 500,
+            responded_us: 3,
+        };
+        assert_eq!(span.total_us(), 515);
+    }
+
+    #[test]
+    fn total_saturates_instead_of_overflowing() {
+        let span = QuerySpan {
+            queued_us: u64::MAX,
+            planned_us: u64::MAX,
+            executed_us: 1,
+            responded_us: 1,
+        };
+        assert_eq!(span.total_us(), u64::MAX);
+    }
+
+    #[test]
+    fn record_feeds_every_phase_once() {
+        let phases = PhaseHistograms::new();
+        for i in 0..10 {
+            phases.record(&QuerySpan {
+                queued_us: i,
+                planned_us: 1,
+                executed_us: 100 + i,
+                responded_us: 1,
+            });
+        }
+        assert_eq!(phases.count(), 10);
+        let [queued, planned, executed, responded, total] = phases.summaries();
+        for s in [&queued, &planned, &executed, &responded, &total] {
+            assert_eq!(s.count, 10);
+        }
+        assert_eq!(planned.max, 1);
+        assert_eq!(executed.max, 109);
+        assert!(total.p50 >= executed.p50);
+    }
+}

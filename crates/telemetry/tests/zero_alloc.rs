@@ -1,0 +1,114 @@
+//! Steady-state zero-allocation proof for the hot-path primitives.
+//!
+//! A counting global allocator wraps the system allocator; after the
+//! instruments are constructed (the only allocations they ever make),
+//! ~100k records across `LatencyHistogram`, `Counter`, and
+//! `PhaseHistograms` must not move the allocation counter at all. This is
+//! the property the serving path relies on: recording telemetry never
+//! takes the allocator lock and never introduces a malloc into the
+//! dispatcher or engine inner loops.
+
+use priograph_telemetry::{Counter, LatencyHistogram, PhaseHistograms, QuerySpan};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counts every allocation (and reallocation) routed through the global
+/// allocator, delegating the actual work to [`System`].
+struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+static ALLOC: CountingAlloc = CountingAlloc {
+    allocs: AtomicU64::new(0),
+};
+
+#[global_allocator]
+static GLOBAL: &CountingAlloc = &ALLOC;
+
+// SAFETY: pure delegation to `System`, which upholds the GlobalAlloc
+// contract; the only addition is a relaxed counter bump, which cannot
+// violate layout or aliasing requirements.
+unsafe impl GlobalAlloc for &CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, to which this delegates.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller guarantees `layout` is valid; forwarded as-is.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: same contract as `System::dealloc`, to which this delegates.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller guarantees `ptr` came from this allocator with
+        // this `layout`; `alloc` forwards to `System`, so this matches.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: same contract as `System::realloc`, to which this delegates.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller guarantees the (ptr, layout, new_size) triple per
+        // the GlobalAlloc contract; forwarded as-is.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+fn allocations() -> u64 {
+    ALLOC.allocs.load(Ordering::Relaxed)
+}
+
+#[test]
+fn recording_steady_state_performs_no_allocations() {
+    // Construction is allowed to allocate (bucket arrays, counter stripes).
+    let hist = LatencyHistogram::new();
+    let counter = Counter::new(4);
+    let phases = PhaseHistograms::new();
+    let span = QuerySpan {
+        queued_us: 12,
+        planned_us: 3,
+        executed_us: 450,
+        responded_us: 7,
+    };
+
+    // Warm up every code path once so lazy init (if any ever appears)
+    // happens before the measured window.
+    hist.record_value(1);
+    hist.record(Duration::from_micros(250));
+    counter.incr(0);
+    counter.add(1, 2);
+    phases.record(&span);
+
+    let before = allocations();
+    for i in 0..100_000u64 {
+        hist.record_value(i % 10_000);
+        counter.add((i % 4) as usize, 1);
+        phases.record(&span);
+    }
+    hist.record(Duration::from_millis(3));
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state recording allocated {} time(s)",
+        after - before
+    );
+    assert_eq!(hist.count(), 100_003);
+    assert_eq!(counter.sum(), 100_003);
+    assert_eq!(phases.count(), 100_001);
+}
+
+#[test]
+fn merge_is_allocation_free() {
+    let a = LatencyHistogram::new();
+    let b = LatencyHistogram::new();
+    for i in 0..1_000 {
+        a.record_value(i);
+        b.record_value(i * 3);
+    }
+    let before = allocations();
+    a.merge(&b);
+    let after = allocations();
+    assert_eq!(after - before, 0, "merge allocated");
+    assert_eq!(a.count(), 2_000);
+}

@@ -7,9 +7,10 @@
 //! 1. every `unsafe` site carries a `// SAFETY:` comment;
 //! 2. crates with zero unsafe declare `#![forbid(unsafe_code)]`, crates
 //!    with unsafe declare `#![deny(unsafe_op_in_unsafe_fn)]`;
-//! 3. no `unwrap`/`expect`/`panic!` on the server request path
-//!    (`crates/server/src/{server,protocol,catalog,client,faults}.rs`),
-//!    allowlist via `// lint: allow-panic <reason>`;
+//! 3. no `unwrap`/`expect`/`panic!` on the serving path
+//!    (`crates/server/src/{server,protocol,catalog,client,faults,obs}.rs`
+//!    and all of `crates/telemetry/src`, which runs inside the dispatcher
+//!    and engine loops), allowlist via `// lint: allow-panic <reason>`;
 //! 4. the wire constants and error-kind tables in
 //!    `crates/server/src/protocol.rs` match the normative tables in
 //!    `docs/PROTOCOL.md`, so spec drift fails the build.
@@ -30,7 +31,13 @@ const SERVER_PANIC_FILES: &[&str] = &[
     "catalog.rs",
     "client.rs",
     "faults.rs",
+    "obs.rs",
 ];
+
+/// Telemetry sources under the same no-panic rule: these run inside the
+/// dispatcher loop and the engines' round boundaries, where a panic
+/// poisons the whole serving path.
+const TELEMETRY_PANIC_FILES: &[&str] = &["lib.rs", "hist.rs", "counter.rs", "span.rs", "ring.rs"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -183,16 +190,21 @@ fn lint_workspace(root: &Path) -> Vec<Finding> {
         }
     }
 
-    for name in SERVER_PANIC_FILES {
-        let path = root.join("crates/server/src").join(name);
-        if let Ok(src) = std::fs::read_to_string(&path) {
-            findings.extend(lints::check_server_panics(&rel(root, &path), &src));
-        } else {
-            findings.push(Finding {
-                file: format!("crates/server/src/{name}"),
-                line: 0,
-                msg: "server request-path file missing (panic lint could not run)".to_string(),
-            });
+    for (dir, names) in [
+        ("crates/server/src", SERVER_PANIC_FILES),
+        ("crates/telemetry/src", TELEMETRY_PANIC_FILES),
+    ] {
+        for name in names {
+            let path = root.join(dir).join(name);
+            if let Ok(src) = std::fs::read_to_string(&path) {
+                findings.extend(lints::check_server_panics(&rel(root, &path), &src));
+            } else {
+                findings.push(Finding {
+                    file: format!("{dir}/{name}"),
+                    line: 0,
+                    msg: "request-path file missing (panic lint could not run)".to_string(),
+                });
+            }
         }
     }
 
