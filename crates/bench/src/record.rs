@@ -29,6 +29,13 @@ pub struct BenchRecord {
     pub samples: u64,
     /// Worker threads the workload ran with.
     pub threads: u64,
+    /// Optional self-describing unit for non-time measurements that ride
+    /// in `median_ns` (e.g. `"ns-per-query"` for an inverted rate,
+    /// `"ppm"` for an error rate, `"us"` for a latency percentile). The
+    /// value must still be oriented smaller-is-better so the comparison
+    /// tooling's regression direction holds. `None` (the wire default)
+    /// means plain nanoseconds.
+    pub unit: Option<String>,
 }
 
 /// A set of records measured at one git revision.
@@ -71,6 +78,21 @@ impl BenchReport {
             median_ns: median.as_nanos().min(u64::MAX as u128) as u64,
             samples: samples as u64,
             threads: threads as u64,
+            unit: None,
+        });
+    }
+
+    /// Appends one raw measurement carrying a self-describing `unit`
+    /// (see [`BenchRecord::unit`]). The value lands in `median_ns`
+    /// unchanged and must be oriented smaller-is-better.
+    pub fn push_value(&mut self, name: impl Into<String>, value: u64, samples: usize, unit: &str) {
+        let threads = self.threads;
+        self.records.push(BenchRecord {
+            name: name.into(),
+            median_ns: value,
+            samples: samples as u64,
+            threads,
+            unit: Some(unit.to_string()),
         });
     }
 
@@ -85,12 +107,16 @@ impl BenchReport {
         for (i, r) in self.records.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"name\": {}, \"median_ns\": {}, \"samples\": {}, \"threads\": {}}}",
+                "    {{\"name\": {}, \"median_ns\": {}, \"samples\": {}, \"threads\": {}",
                 quote(&r.name),
                 r.median_ns,
                 r.samples,
                 r.threads
             );
+            if let Some(unit) = &r.unit {
+                let _ = write!(s, ", \"unit\": {}", quote(unit));
+            }
+            s.push('}');
             s.push_str(if i + 1 == self.records.len() {
                 "\n"
             } else {
@@ -121,6 +147,7 @@ impl BenchReport {
                 median_ns: r.get_u64("median_ns")?,
                 samples: r.get_u64("samples")?,
                 threads: r.get_u64("threads")?,
+                unit: r.get_str_opt("unit")?.map(str::to_string),
             });
         }
         Ok(BenchReport {
@@ -341,6 +368,16 @@ mod json {
             }
         }
 
+        /// As [`Obj::get_str`], but an absent key is `Ok(None)` rather
+        /// than an error (for optional fields added after v1 shipped).
+        pub fn get_str_opt(&self, key: &str) -> Result<Option<&str>, String> {
+            match self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                None => Ok(None),
+                Some(Value::Str(s)) => Ok(Some(s)),
+                Some(other) => Err(format!("key {key:?}: expected string, found {other:?}")),
+            }
+        }
+
         pub fn get_u64(&self, key: &str) -> Result<u64, String> {
             match self.get(key)? {
                 Value::Num(n) => Ok(*n),
@@ -490,6 +527,7 @@ mod tests {
         };
         report.push("GE-sssp-lazy", Duration::from_micros(1500), 5);
         report.push_with_threads("LJ-\"quoted\"", Duration::from_nanos(42), 3, 2);
+        report.push_value("knee-mixed-ns-per-query", 125_000, 6, "ns-per-query");
         report
     }
 
@@ -498,6 +536,12 @@ mod tests {
         let report = sample_report();
         let parsed = BenchReport::parse(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
+        assert_eq!(
+            parsed.records[2].unit.as_deref(),
+            Some("ns-per-query"),
+            "the optional unit must survive the roundtrip"
+        );
+        assert_eq!(parsed.records[0].unit, None);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The stepped-rate knee finder: max sustainable q/s before p99 crosses
+//! the budget, per workload mix, emitted as gateable bench records.
+//!
+//! For each `--mixes` entry the binary serves a fresh loopback server
+//! from the `--graphs` specs (first graph hot), walks the ascending
+//! `--rates` ladder with `priograph_load::find_knee`, and records:
+//!
+//! * `knee-<mix>-ns-per-query` — `1e9 / knee_qps`, smaller is better (a
+//!   halved knee doubles the record, tripping the ratio gate);
+//! * `knee-<mix>-p99-us` — the open-loop p99 at the knee rung.
+//!
+//! The committed `BENCH_PR9_LOAD.json` is produced by this binary with
+//! default flags; CI regenerates it at the pinned seeds and gates with
+//! `scripts/bench_compare --fail-ratio 10.0` (cross-machine slack — the
+//! gate catches collapses, not jitter).
+//!
+//! ```text
+//! load_knee [--out BENCH_PR9_LOAD.json] [--mixes point-heavy,scan-heavy]
+//!           [--rates 50,100,200,400,800] [--ops 400] [--budget-p99-ms 50]
+//!           [--workers 2] [--seed 42] [--graphs grid:40,grid:30]
+//!           [--threads 2] [--hot-weight 4] [--min-completion 0.95]
+//! ```
+
+use priograph_bench::record::BenchReport;
+use priograph_load::knee::{find_knee, KneeConfig};
+use priograph_load::run::RunConfig;
+use priograph_load::workload::{MixSpec, Tenant};
+use priograph_serve::server::{serve_named, ServerConfig};
+use priograph_serve::spec::graph_from_spec;
+
+struct Args {
+    out: std::path::PathBuf,
+    mixes: Vec<String>,
+    rates: Vec<f64>,
+    ops: usize,
+    budget_p99_ms: u64,
+    workers: usize,
+    seed: u64,
+    graphs: Vec<String>,
+    threads: usize,
+    hot_weight: u32,
+    min_completion: f64,
+}
+
+fn parse_rates(text: &str) -> Vec<f64> {
+    text.split(',')
+        .map(|part| {
+            part.trim().parse::<f64>().ok().unwrap_or_else(|| {
+                eprintln!("--rates expects a comma-separated list of numbers");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            out: std::path::PathBuf::from("BENCH_PR9_LOAD.json"),
+            mixes: vec!["point-heavy".to_string(), "scan-heavy".to_string()],
+            rates: vec![50.0, 100.0, 200.0, 400.0, 800.0],
+            ops: 400,
+            budget_p99_ms: 50,
+            workers: 2,
+            seed: 42,
+            graphs: vec!["grid:40".to_string(), "grid:30".to_string()],
+            threads: 2,
+            hot_weight: 4,
+            min_completion: 0.95,
+        };
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            let mut take = |what: &str| -> String {
+                argv.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match flag.as_str() {
+                "--out" => args.out = take("--out").into(),
+                "--mixes" => args.mixes = take("--mixes").split(',').map(str::to_string).collect(),
+                "--rates" => args.rates = parse_rates(&take("--rates")),
+                "--ops" => args.ops = take("--ops").parse().expect("--ops"),
+                "--budget-p99-ms" => {
+                    args.budget_p99_ms = take("--budget-p99-ms").parse().expect("--budget-p99-ms");
+                }
+                "--workers" => args.workers = take("--workers").parse().expect("--workers"),
+                "--seed" => args.seed = take("--seed").parse().expect("--seed"),
+                "--graphs" => {
+                    args.graphs = take("--graphs").split(',').map(str::to_string).collect();
+                }
+                "--threads" => args.threads = take("--threads").parse().expect("--threads"),
+                "--hot-weight" => {
+                    args.hot_weight = take("--hot-weight").parse().expect("--hot-weight");
+                }
+                "--min-completion" => {
+                    args.min_completion =
+                        take("--min-completion").parse().expect("--min-completion");
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --out PATH  --mixes LIST  --rates LIST  --ops N\n\
+                         \x20      --budget-p99-ms N  --workers N  --seed N  --graphs SPEC,SPEC\n\
+                         \x20      --threads N  --hot-weight N  --min-completion F"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut bench = BenchReport::new(args.workers);
+
+    for mix_name in &args.mixes {
+        let mix = MixSpec::parse(mix_name).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        // A fresh server per mix: rungs within a ladder share it (drained
+        // between rungs), but mixes never see each other's warm state.
+        let mut named = Vec::new();
+        let mut tenants = Vec::new();
+        for (i, spec) in args.graphs.iter().enumerate() {
+            let graph = graph_from_spec(spec).unwrap_or_else(|e| {
+                eprintln!("bad --graphs entry {spec:?}: {e}");
+                std::process::exit(2);
+            });
+            tenants.push(Tenant {
+                graph: i as u32,
+                weight: if i == 0 { args.hot_weight.max(1) } else { 1 },
+                vertices: graph.num_vertices() as u32,
+            });
+            named.push((format!("g{i}"), graph));
+        }
+        let handle = serve_named(
+            named,
+            ServerConfig {
+                threads: args.threads.max(1),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback server");
+
+        let mut base = RunConfig::new(handle.addr());
+        base.mix = mix;
+        base.tenants = tenants;
+        base.workers = args.workers.max(1);
+        base.seed = args.seed;
+        let knee_config = KneeConfig {
+            budget_p99_us: args.budget_p99_ms.saturating_mul(1_000),
+            rates: args.rates.clone(),
+            ops_per_step: args.ops,
+            min_completion: args.min_completion,
+        };
+        let result = find_knee(&base, &knee_config).unwrap_or_else(|e| {
+            eprintln!("knee ladder failed for {mix_name}: {e}");
+            std::process::exit(1);
+        });
+        handle.stop();
+
+        for step in &result.steps {
+            eprintln!(
+                "{mix_name:<12} {:>7.0} q/s  p99 {:>8}us  completed {}/{}  {}",
+                step.rate_qps,
+                step.p99_us,
+                step.completed,
+                step.scheduled,
+                if step.sustainable { "ok" } else { "KNEE" }
+            );
+        }
+        eprintln!(
+            "{mix_name:<12} knee = {:.0} q/s ({} ns/query)",
+            result.knee_qps, result.ns_per_query
+        );
+
+        // p99 at the knee rung (the last sustainable step); the first
+        // rung's p99 if nothing sustained, so the record is never zero.
+        let knee_p99 = result
+            .steps
+            .iter()
+            .rev()
+            .find(|s| s.sustainable)
+            .or(result.steps.first())
+            .map_or(1, |s| s.p99_us.max(1));
+        let samples = args.ops * args.rates.len();
+        bench.push_value(
+            format!("knee-{mix_name}-ns-per-query"),
+            result.ns_per_query,
+            samples,
+            "ns-per-query",
+        );
+        bench.push_value(format!("knee-{mix_name}-p99-us"), knee_p99, samples, "us");
+    }
+
+    bench.write(&args.out).expect("writing bench report");
+    eprintln!(
+        "wrote {} ({} records, rev {})",
+        args.out.display(),
+        bench.records.len(),
+        bench.git_rev
+    );
+}

@@ -1,0 +1,246 @@
+//! One open-loop load run against a priograph server.
+//!
+//! By default the binary self-hosts: it generates the `--graphs` specs,
+//! serves them on a loopback port (first graph hot at `--hot-weight`),
+//! runs the configured open-loop workload, prints the human-readable
+//! summary, and optionally writes `priograph-bench-v1` records. Point it
+//! at an existing server with `--connect` (tenants are then discovered
+//! via `ListGraphs`).
+//!
+//! `--check-stats` turns the run into a correctness check: a `StatsV2`
+//! frame is fetched before and after, and the harness tallies must
+//! reconcile **exactly** against the server's counters (completed queries
+//! vs `phase.total` spans, per-attempt Busy vs `busy_rejections`,
+//! per-kind in-band errors). Requires a quiet server. Exit code 1 on any
+//! mismatch.
+//!
+//! ```text
+//! priograph-load [--connect ADDR | --graphs grid:40,grid:30 --threads 2]
+//!                [--mix point-heavy|scan-heavy] [--arrivals poisson|fixed]
+//!                [--rate 200] [--ops 1000] [--workers 2] [--seed 42]
+//!                [--deadline-ms 0] [--tune-per-thousand 0] [--hot-weight 4]
+//!                [--check-stats] [--out PATH] [--prefix NAME]
+//! ```
+
+use priograph_bench::record::BenchReport;
+use priograph_load::report::{push_run_records, reconcile_settled, render};
+use priograph_load::run::{run, RunConfig};
+use priograph_load::schedule::ArrivalKind;
+use priograph_load::workload::{MixSpec, Tenant};
+use priograph_serve::client::Client;
+use priograph_serve::server::{serve_named, ServerConfig, ServerHandle};
+use priograph_serve::spec::graph_from_spec;
+
+struct Args {
+    connect: Option<std::net::SocketAddr>,
+    graphs: Vec<String>,
+    threads: usize,
+    mix: String,
+    arrivals: ArrivalKind,
+    rate: f64,
+    ops: usize,
+    workers: usize,
+    seed: u64,
+    deadline_ms: u32,
+    tune_per_thousand: u32,
+    hot_weight: u32,
+    check_stats: bool,
+    out: Option<std::path::PathBuf>,
+    prefix: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            connect: None,
+            graphs: vec!["grid:40".to_string(), "grid:30".to_string()],
+            threads: 2,
+            mix: "point-heavy".to_string(),
+            arrivals: ArrivalKind::Poisson,
+            rate: 200.0,
+            ops: 1_000,
+            workers: 2,
+            seed: 42,
+            deadline_ms: 0,
+            tune_per_thousand: 0,
+            hot_weight: 4,
+            check_stats: false,
+            out: None,
+            prefix: None,
+        };
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            let mut take = |what: &str| -> String {
+                argv.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match flag.as_str() {
+                "--connect" => {
+                    args.connect = Some(take("--connect").parse().expect("--connect ADDR"));
+                }
+                "--graphs" => {
+                    args.graphs = take("--graphs").split(',').map(str::to_string).collect();
+                }
+                "--threads" => args.threads = take("--threads").parse().expect("--threads"),
+                "--mix" => args.mix = take("--mix"),
+                "--arrivals" => {
+                    args.arrivals = ArrivalKind::parse(&take("--arrivals")).expect("--arrivals");
+                }
+                "--rate" => args.rate = take("--rate").parse().expect("--rate"),
+                "--ops" => args.ops = take("--ops").parse().expect("--ops"),
+                "--workers" => args.workers = take("--workers").parse().expect("--workers"),
+                "--seed" => args.seed = take("--seed").parse().expect("--seed"),
+                "--deadline-ms" => {
+                    args.deadline_ms = take("--deadline-ms").parse().expect("--deadline-ms");
+                }
+                "--tune-per-thousand" => {
+                    args.tune_per_thousand = take("--tune-per-thousand")
+                        .parse()
+                        .expect("--tune-per-thousand");
+                }
+                "--hot-weight" => {
+                    args.hot_weight = take("--hot-weight").parse().expect("--hot-weight");
+                }
+                "--check-stats" => args.check_stats = true,
+                "--out" => args.out = Some(take("--out").into()),
+                "--prefix" => args.prefix = Some(take("--prefix")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --connect ADDR | --graphs SPEC,SPEC --threads N\n\
+                         \x20      --mix NAME  --arrivals poisson|fixed  --rate QPS  --ops N\n\
+                         \x20      --workers N  --seed N  --deadline-ms N  --tune-per-thousand N\n\
+                         \x20      --hot-weight N  --check-stats  --out PATH  --prefix NAME"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+/// Generates and serves the `--graphs` specs on loopback; the returned
+/// tenants mirror the catalog (first graph hot).
+fn self_host(args: &Args) -> (ServerHandle, Vec<Tenant>) {
+    let mut named = Vec::new();
+    let mut tenants = Vec::new();
+    for (i, spec) in args.graphs.iter().enumerate() {
+        let graph = graph_from_spec(spec).unwrap_or_else(|e| {
+            eprintln!("bad --graphs entry {spec:?}: {e}");
+            std::process::exit(2);
+        });
+        tenants.push(Tenant {
+            graph: i as u32,
+            weight: if i == 0 { args.hot_weight.max(1) } else { 1 },
+            vertices: graph.num_vertices() as u32,
+        });
+        named.push((format!("g{i}"), graph));
+    }
+    let handle = serve_named(
+        named,
+        ServerConfig {
+            threads: args.threads.max(1),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    (handle, tenants)
+}
+
+/// Discovers tenants from a live server's catalog (first listed hot).
+fn discover_tenants(addr: std::net::SocketAddr, hot_weight: u32) -> Vec<Tenant> {
+    let mut client = Client::connect(addr).expect("connect for ListGraphs");
+    let infos = client.list_graphs().expect("ListGraphs");
+    assert!(!infos.is_empty(), "server has no resident graphs");
+    infos
+        .iter()
+        .enumerate()
+        .map(|(i, info)| Tenant {
+            graph: info.id,
+            weight: if i == 0 { hot_weight.max(1) } else { 1 },
+            vertices: u32::try_from(info.vertices).unwrap_or(u32::MAX),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let (handle, addr, tenants) = match args.connect {
+        Some(addr) => (None, addr, discover_tenants(addr, args.hot_weight)),
+        None => {
+            let (handle, tenants) = self_host(&args);
+            let addr = handle.addr();
+            (Some(handle), addr, tenants)
+        }
+    };
+
+    let mix = MixSpec::parse(&args.mix)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+        .with_tune_storm(args.tune_per_thousand);
+    let mut config = RunConfig::new(addr);
+    config.mix = mix;
+    config.tenants = tenants;
+    config.arrivals = args.arrivals;
+    config.rate_qps = args.rate;
+    config.ops = args.ops;
+    config.workers = args.workers.max(1);
+    config.seed = args.seed;
+    config.deadline_ms = args.deadline_ms;
+
+    let before = args.check_stats.then(|| {
+        let mut client = Client::connect(addr).expect("connect for StatsV2");
+        client.stats_v2().expect("StatsV2 before run")
+    });
+
+    let report = run(&config).unwrap_or_else(|e| {
+        eprintln!("load run failed: {e}");
+        std::process::exit(1);
+    });
+    eprint!("{}", render(&report));
+
+    let mut failed = false;
+    if let Some(before) = before {
+        let mut client = Client::connect(addr).expect("connect for StatsV2");
+        let fetch = || {
+            client
+                .stats_v2()
+                .map_err(|e| format!("StatsV2 after run: {e:?}"))
+        };
+        match reconcile_settled(&report, &before, fetch, 2_000) {
+            Ok(()) => eprintln!(
+                "stats reconciliation OK: {} completed == phase.total delta, \
+                 {} busy attempts == busy_rejections delta",
+                report.completed, report.busy_attempts
+            ),
+            Err(e) => {
+                eprintln!("stats reconciliation FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(out) = &args.out {
+        let mut bench = BenchReport::new(config.workers);
+        let prefix = args
+            .prefix
+            .clone()
+            .unwrap_or_else(|| format!("load-{}", report.mix));
+        push_run_records(&mut bench, &prefix, &report);
+        bench.write(out).expect("writing bench report");
+        eprintln!("wrote {} ({} records)", out.display(), bench.records.len());
+    }
+
+    if let Some(handle) = handle {
+        handle.stop();
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

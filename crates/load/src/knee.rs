@@ -1,0 +1,160 @@
+//! The stepped-rate knee finder: the highest offered rate the server
+//! sustains before the open-loop p99 crosses a budget.
+//!
+//! A single-rate latency number answers "how does the server feel at X
+//! q/s" but not the capacity question the SLO actually asks: *up to what
+//! rate does the server keep its promise?* The knee finder walks an
+//! ascending rate ladder, runs the same seeded workload at each rung, and
+//! stops at the first rung that is **unsustainable** — p99 over budget,
+//! or too few queries completing (the server is refusing or failing its
+//! way to a flattering latency distribution; a rung must not pass by
+//! shedding). The knee is the last sustainable rung. It is published
+//! smaller-is-better as nanoseconds per query (`1e9 / knee_qps`) so the
+//! existing ratio-based bench gate can watch it: a halved knee doubles
+//! the record.
+
+use crate::run::{run, RunConfig, RunReport};
+
+/// Ladder parameters.
+#[derive(Debug, Clone)]
+pub struct KneeConfig {
+    /// The SLO: open-loop p99 budget in µs.
+    pub budget_p99_us: u64,
+    /// Offered rates to try, ascending, q/s.
+    pub rates: Vec<f64>,
+    /// Scheduled operations per rung.
+    pub ops_per_step: usize,
+    /// Minimum fraction of scheduled queries that must complete for a
+    /// rung to count as sustained (guards against passing-by-shedding).
+    pub min_completion: f64,
+}
+
+impl Default for KneeConfig {
+    fn default() -> KneeConfig {
+        KneeConfig {
+            budget_p99_us: 50_000,
+            rates: vec![50.0, 100.0, 200.0, 400.0, 800.0, 1_600.0],
+            ops_per_step: 500,
+            min_completion: 0.95,
+        }
+    }
+}
+
+/// One rung's verdict (the full [`RunReport`] is kept for inspection).
+#[derive(Debug, Clone)]
+pub struct KneeStep {
+    /// Offered rate at this rung, q/s.
+    pub rate_qps: f64,
+    /// Open-loop p99 observed, µs.
+    pub p99_us: u64,
+    /// Queries completed / scheduled at this rung.
+    pub completed: u64,
+    /// Queries scheduled at this rung (tunes excluded).
+    pub scheduled: u64,
+    /// Whether the rung met the SLO.
+    pub sustainable: bool,
+    /// The underlying run.
+    pub report: RunReport,
+}
+
+/// Sentinel `ns_per_query` when no rung was sustainable: 1e12 ns/query
+/// (one query per ~17 minutes), large enough that any real knee gates as
+/// a huge improvement against it rather than dividing by zero.
+pub const NO_KNEE_NS_PER_QUERY: u64 = 1_000_000_000_000;
+
+/// The ladder's outcome.
+#[derive(Debug, Clone)]
+pub struct KneeResult {
+    /// Every rung executed, in ladder order (the ladder stops early at
+    /// the first unsustainable rung — it is already past the knee).
+    pub steps: Vec<KneeStep>,
+    /// The highest sustainable offered rate, q/s (0.0 if none was).
+    pub knee_qps: f64,
+    /// `1e9 / knee_qps`, the smaller-is-better encoding the bench gate
+    /// consumes; [`NO_KNEE_NS_PER_QUERY`] when nothing sustained.
+    pub ns_per_query: u64,
+}
+
+/// Walks the rate ladder against the server in `base` (whose `rate_qps`
+/// and `ops` are overridden per rung; each rung reseeds deterministically
+/// from `base.seed` so rungs do not replay identical streams).
+///
+/// # Errors
+///
+/// Rejects empty/unsorted ladders and propagates any rung's run failure
+/// (including ring overflow or an illegal breaker walk).
+pub fn find_knee(base: &RunConfig, knee: &KneeConfig) -> Result<KneeResult, String> {
+    if knee.rates.is_empty() {
+        return Err("knee ladder needs at least one rate".to_string());
+    }
+    if knee.rates.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("knee ladder rates must be strictly ascending".to_string());
+    }
+    if !(0.0..=1.0).contains(&knee.min_completion) {
+        return Err("min_completion must be within [0, 1]".to_string());
+    }
+    let mut steps: Vec<KneeStep> = Vec::new();
+    let mut knee_qps = 0.0f64;
+    for (i, &rate) in knee.rates.iter().enumerate() {
+        let mut config = base.clone();
+        config.rate_qps = rate;
+        config.ops = knee.ops_per_step;
+        // Distinct seed per rung: same ladder reproduces, rungs differ.
+        config.seed = base.seed.wrapping_add((i as u64 + 1).wrapping_mul(7919));
+        let report = run(&config)?;
+        let scheduled = report.scheduled.saturating_sub(report.tunes);
+        let floor = (scheduled as f64 * knee.min_completion).ceil() as u64;
+        let sustainable =
+            report.ok > 0 && report.latency.p99 <= knee.budget_p99_us && report.completed >= floor;
+        steps.push(KneeStep {
+            rate_qps: rate,
+            p99_us: report.latency.p99,
+            completed: report.completed,
+            scheduled,
+            sustainable,
+            report,
+        });
+        if !sustainable {
+            break;
+        }
+        knee_qps = rate;
+        // Let in-flight work drain so the next rung starts clean.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let ns_per_query = if knee_qps > 0.0 {
+        ((1e9 / knee_qps) as u64).max(1)
+    } else {
+        NO_KNEE_NS_PER_QUERY
+    };
+    Ok(KneeResult {
+        steps,
+        knee_qps,
+        ns_per_query,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunConfig;
+
+    #[test]
+    fn degenerate_ladders_are_rejected() {
+        let base = RunConfig::new("127.0.0.1:1".parse().unwrap());
+        let empty = KneeConfig {
+            rates: vec![],
+            ..KneeConfig::default()
+        };
+        assert!(find_knee(&base, &empty).is_err());
+        let unsorted = KneeConfig {
+            rates: vec![100.0, 50.0],
+            ..KneeConfig::default()
+        };
+        assert!(find_knee(&base, &unsorted).is_err());
+        let bad_floor = KneeConfig {
+            min_completion: 1.5,
+            ..KneeConfig::default()
+        };
+        assert!(find_knee(&base, &bad_floor).is_err());
+    }
+}

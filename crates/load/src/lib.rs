@@ -1,0 +1,54 @@
+//! `priograph-load` — an open-loop latency harness with SLO gating.
+//!
+//! Every number the bench crate publishes (`serve_throughput`,
+//! `plan_quality`) is a **closed-loop** median: the client waits for each
+//! answer before issuing the next request, so the measured rate and the
+//! offered rate are the same thing and queueing never builds. Serving
+//! "millions of users" (the ROADMAP north star) is the opposite regime —
+//! arrivals do not wait for departures — and the paper's ordered-algorithm
+//! speedups only matter there if they survive queueing at realistic rates.
+//! This crate is the instrument for that claim:
+//!
+//! * [`schedule`] — deterministic **open-loop arrival schedules** (Poisson
+//!   and fixed-rate), seeded through the vendored `rand` shim so a run is
+//!   reproducible bit-for-bit;
+//! * [`workload`] — mixed PPSP/SSSP/wBFS/k-core query streams over
+//!   weighted (hot/cold) tenants, with optional tune storms;
+//! * [`mod@run`] — rate-controlled workers driving
+//!   [`priograph_serve::client::ResilientClient`] against a live server,
+//!   measuring every query **from its scheduled arrival time** (so queue
+//!   delay is charged — no coordinated omission) into
+//!   [`priograph_telemetry::LatencyHistogram`]s, with one
+//!   [`priograph_telemetry::EventRing`] record per attempt, completion,
+//!   breaker transition, and local refusal;
+//! * [`trace`] — the event packing, plus the breaker **state-walk
+//!   validator** that proves no transition was lost and computes total
+//!   breaker-open time from the drained log;
+//! * [`report`] — `priograph-bench-v1` emission (percentiles, error/Busy
+//!   rates, breaker-open time) and the **exactly-once reconciliation**
+//!   against server `StatsV2` (`phase.total` span counts,
+//!   `busy_rejections`, per-kind error counters);
+//! * [`knee`] — the stepped-rate **knee finder**: the highest offered rate
+//!   the server sustains before client-observed p99 crosses a budget.
+//!
+//! Binaries: `priograph-load` (one configuration, human-readable + JSON)
+//! and `load_knee` (the rate ladder, emitting the gated
+//! `BENCH_PR9_LOAD.json`). `docs/ARCHITECTURE.md` §9 covers the
+//! methodology.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod knee;
+pub mod report;
+pub mod run;
+pub mod schedule;
+pub mod trace;
+pub mod workload;
+
+pub use knee::{find_knee, KneeConfig, KneeResult, KneeStep};
+pub use run::{run, RunConfig, RunReport, DISPATCHED_ERROR_KINDS};
+pub use schedule::{arrival_times_us, ArrivalKind, ArrivalSchedule};
+pub use trace::{validate_breaker_walk, BreakerWalk, TraceEvent};
+pub use workload::{LoadOp, MixSpec, Tenant, WorkloadGen};

@@ -1,0 +1,335 @@
+//! Bench-record emission, human-readable rendering, and the exactly-once
+//! reconciliation against server `StatsV2`.
+//!
+//! The harness publishes through the same `priograph-bench-v1` JSON the
+//! rest of the repo gates on (`scripts/bench_compare`), so knee and
+//! percentile regressions ride the existing CI machinery. Values that are
+//! not durations carry a `unit` tag; everything is oriented
+//! smaller-is-better (rates as parts-per-million, the knee as
+//! nanoseconds-per-query).
+//!
+//! [`reconcile`] is the harness's proof of honest accounting: the
+//! client-side tallies must match the server's own counters *exactly* —
+//! completed queries against the `phase.total` span count, per-attempt
+//! `Busy` refusals against `busy_rejections`, and per-kind in-band errors
+//! against the `errors.<kind>` counters. Any drift means an event was
+//! lost or double-counted on one side, which is a bug, not noise.
+
+use priograph_bench::record::BenchReport;
+use priograph_serve::protocol::{ErrorKind, StatsV2};
+
+use crate::run::RunReport;
+
+fn ppm(count: u64, of: u64) -> u64 {
+    count.saturating_mul(1_000_000).checked_div(of).unwrap_or(0)
+}
+
+/// Pushes one run's gateable records under `prefix`: percentiles (µs,
+/// clamped to ≥ 1 so a ratio gate never divides by zero), error/Busy/
+/// timeout/refusal rates (ppm of scheduled queries), and total
+/// breaker-open time (µs).
+pub fn push_run_records(report: &mut BenchReport, prefix: &str, run: &RunReport) {
+    let samples = usize::try_from(run.scheduled).unwrap_or(usize::MAX);
+    let queries = run.scheduled.saturating_sub(run.tunes);
+    report.push_value(
+        format!("{prefix}-p50-us"),
+        run.latency.p50.max(1),
+        samples,
+        "us",
+    );
+    report.push_value(
+        format!("{prefix}-p99-us"),
+        run.latency.p99.max(1),
+        samples,
+        "us",
+    );
+    report.push_value(
+        format!("{prefix}-p999-us"),
+        run.latency.p999.max(1),
+        samples,
+        "us",
+    );
+    report.push_value(
+        format!("{prefix}-max-us"),
+        run.latency.max.max(1),
+        samples,
+        "us",
+    );
+    let in_band: u64 = run.errors.iter().map(|(_, n)| n).sum();
+    let err = in_band + run.io_errors + run.wire_errors;
+    let timeouts = run
+        .errors
+        .iter()
+        .find(|(name, _)| name == &ErrorKind::Timeout.to_string())
+        .map_or(0, |(_, n)| *n);
+    report.push_value(
+        format!("{prefix}-err-ppm"),
+        ppm(err, queries),
+        samples,
+        "ppm",
+    );
+    report.push_value(
+        format!("{prefix}-busy-ppm"),
+        ppm(run.busy_gave_up, queries),
+        samples,
+        "ppm",
+    );
+    report.push_value(
+        format!("{prefix}-timeout-ppm"),
+        ppm(timeouts, queries),
+        samples,
+        "ppm",
+    );
+    report.push_value(
+        format!("{prefix}-refused-ppm"),
+        ppm(run.refused, queries),
+        samples,
+        "ppm",
+    );
+    report.push_value(
+        format!("{prefix}-breaker-open-us"),
+        run.breaker.open_time_us,
+        samples,
+        "us",
+    );
+}
+
+fn series_count(stats: &StatsV2, name: &str) -> u64 {
+    stats.series(name).map_or(0, |s| s.count)
+}
+
+fn counter(stats: &StatsV2, name: &str) -> u64 {
+    stats.counter(name).unwrap_or(0)
+}
+
+/// Checks the harness tallies against the server's own accounting, as
+/// deltas between a `StatsV2` frame fetched before the run and one
+/// fetched after (so runs can share a server). Requires a quiet server —
+/// no other clients between the two fetches.
+///
+/// # Errors
+///
+/// Lists every mismatched quantity; an exactly-once violation on either
+/// side of the wire.
+pub fn reconcile(run: &RunReport, before: &StatsV2, after: &StatsV2) -> Result<(), String> {
+    let mut mismatches: Vec<String> = Vec::new();
+    let span_delta =
+        series_count(after, "phase.total").saturating_sub(series_count(before, "phase.total"));
+    if span_delta != run.completed {
+        mismatches.push(format!(
+            "completed queries: harness {} vs server phase.total {span_delta}",
+            run.completed
+        ));
+    }
+    let busy_delta =
+        counter(after, "busy_rejections").saturating_sub(counter(before, "busy_rejections"));
+    if busy_delta != run.busy_attempts {
+        mismatches.push(format!(
+            "busy refusals: harness {} attempts vs server busy_rejections {busy_delta}",
+            run.busy_attempts
+        ));
+    }
+    for kind in ErrorKind::ALL {
+        let name = format!("errors.{kind}");
+        let delta = counter(after, &name).saturating_sub(counter(before, &name));
+        let harness = run
+            .attempt_errors
+            .iter()
+            .find(|(k, _)| k == &kind.to_string())
+            .map_or(0, |(_, n)| *n);
+        if delta != harness {
+            mismatches.push(format!(
+                "{name}: harness saw {harness} attempts vs server {delta}"
+            ));
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(mismatches.join("; "))
+    }
+}
+
+/// [`reconcile`] with a settle window: the server records a query's
+/// phase span *after* handing the reply off to the connection thread, so
+/// the harness can observe its final response (and fetch stats) a beat
+/// before the dispatcher records the last span. The counters are
+/// monotone, so polling converges on a quiet server; only a mismatch
+/// that survives the whole budget is a real exactly-once violation.
+///
+/// # Errors
+///
+/// The last mismatch once `budget_ms` is exhausted, or a fetch failure.
+pub fn reconcile_settled<F>(
+    run: &RunReport,
+    before: &StatsV2,
+    mut fetch_after: F,
+    budget_ms: u64,
+) -> Result<(), String>
+where
+    F: FnMut() -> Result<StatsV2, String>,
+{
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(budget_ms);
+    loop {
+        let after = fetch_after()?;
+        match reconcile(run, before, &after) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// A human-readable multi-line summary of one run.
+pub fn render(run: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "mix={} arrivals={} offered={:.1}q/s seed={} workers={}\n",
+        run.mix, run.arrivals, run.rate_qps, run.seed, run.workers
+    ));
+    out.push_str(&format!(
+        "scheduled={} completed={} ok={} tunes={}/{} achieved={:.1}q/s over {:.2}s\n",
+        run.scheduled,
+        run.completed,
+        run.ok,
+        run.tunes_ok,
+        run.tunes,
+        run.achieved_qps,
+        run.duration_us as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "latency(open-loop) p50={}us p99={}us p999={}us max={}us\n",
+        run.latency.p50, run.latency.p99, run.latency.p999, run.latency.max
+    ));
+    out.push_str(&format!(
+        "service(from-send) p50={}us p99={}us max={}us\n",
+        run.service.p50, run.service.p99, run.service.max
+    ));
+    out.push_str(&format!(
+        "attempts={} busy_attempts={} local_refusals={} busy_gave_up={} refused={} io={} wire={}\n",
+        run.attempts,
+        run.busy_attempts,
+        run.local_refusals,
+        run.busy_gave_up,
+        run.refused,
+        run.io_errors,
+        run.wire_errors
+    ));
+    if !run.errors.is_empty() {
+        let kinds: Vec<String> = run.errors.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        out.push_str(&format!("errors {}\n", kinds.join(" ")));
+    }
+    out.push_str(&format!(
+        "breaker transitions={} opens={} open_time={}us\n",
+        run.breaker.transitions, run.breaker.opens, run.breaker.open_time_us
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::BreakerWalk;
+    use priograph_telemetry::Summary;
+
+    fn sample_run() -> RunReport {
+        RunReport {
+            mix: "point-heavy".to_string(),
+            arrivals: "poisson".to_string(),
+            rate_qps: 200.0,
+            seed: 42,
+            workers: 2,
+            scheduled: 1_000,
+            completed: 990,
+            ok: 985,
+            tunes: 10,
+            tunes_ok: 10,
+            errors: vec![("timeout".to_string(), 5)],
+            attempt_errors: vec![("timeout".to_string(), 5)],
+            busy_gave_up: 3,
+            refused: 2,
+            io_errors: 0,
+            wire_errors: 0,
+            attempts: 1_010,
+            busy_attempts: 20,
+            local_refusals: 2,
+            latency: Summary {
+                count: 985,
+                p50: 800,
+                p90: 2_000,
+                p99: 4_000,
+                p999: 9_000,
+                max: 12_000,
+            },
+            service: Summary {
+                count: 985,
+                p50: 700,
+                p90: 1_500,
+                p99: 3_000,
+                p999: 8_000,
+                max: 11_000,
+            },
+            breaker: BreakerWalk {
+                transitions: 3,
+                opens: 1,
+                open_time_us: 1_500,
+            },
+            duration_us: 5_000_000,
+            achieved_qps: 198.0,
+            raw_latency_us: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn records_cover_percentiles_rates_and_breaker_time() {
+        let mut report = BenchReport::new(2);
+        push_run_records(&mut report, "load-point-heavy", &sample_run());
+        let json = report.to_json();
+        let parsed = BenchReport::parse(&json).unwrap();
+        let names: Vec<&str> = parsed.records.iter().map(|r| r.name.as_str()).collect();
+        for suffix in [
+            "p50-us",
+            "p99-us",
+            "p999-us",
+            "max-us",
+            "err-ppm",
+            "busy-ppm",
+            "timeout-ppm",
+            "refused-ppm",
+            "breaker-open-us",
+        ] {
+            assert!(
+                names.contains(&format!("load-point-heavy-{suffix}").as_str()),
+                "missing {suffix} in {names:?}"
+            );
+        }
+        let get = |name: &str| {
+            parsed
+                .records
+                .iter()
+                .find(|r| r.name.ends_with(name))
+                .unwrap()
+                .median_ns
+        };
+        assert_eq!(get("p99-us"), 4_000);
+        // 5 timeouts in 990 scheduled queries (1000 minus 10 tunes).
+        assert_eq!(get("timeout-ppm"), 5 * 1_000_000 / 990);
+        assert_eq!(get("breaker-open-us"), 1_500);
+        assert!(parsed
+            .records
+            .iter()
+            .all(|r| r.unit.as_deref() == Some("us") || r.unit.as_deref() == Some("ppm")));
+    }
+
+    #[test]
+    fn render_mentions_the_load_bearing_numbers() {
+        let text = render(&sample_run());
+        assert!(text.contains("p99=4000us"));
+        assert!(text.contains("completed=990"));
+        assert!(text.contains("open_time=1500us"));
+    }
+}

@@ -1,0 +1,575 @@
+//! The open-loop run engine: paced workers, resilient clients, and the
+//! post-run accounting.
+//!
+//! One run is: a global arrival timeline (from [`crate::schedule`]), dealt
+//! round-robin to `workers` threads, each thread drawing its operations
+//! from its own seeded [`WorkloadGen`] and driving one
+//! [`ResilientClient`] connection. Every latency is measured **from the
+//! scheduled arrival time**, not from the send: when the server falls
+//! behind, the queue delay the next user would feel is charged to the
+//! measurement instead of silently absorbed (the coordinated-omission
+//! trap closed-loop harnesses fall into). Every attempt, breaker
+//! transition, local refusal, and completion is packed into a shared
+//! [`EventRing`]; the run fails if the ring dropped anything, and the
+//! drained log must pass [`crate::trace::validate_breaker_walk`] before a
+//! report is produced.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use priograph_serve::client::{
+    AttemptClass, Backoff, CircuitBreaker, ClientConfig, ClientEvent, ResilientClient,
+};
+use priograph_serve::protocol::{ErrorKind, Request, Response, WireError};
+use priograph_telemetry::{EventRing, LatencyHistogram, Summary};
+
+use crate::schedule::{arrival_times_us, ArrivalKind};
+use crate::trace::{
+    decode_all, pack_attempt, pack_breaker, pack_done, pack_refusal, validate_breaker_walk,
+    BreakerWalk, Outcome, TraceEvent,
+};
+use crate::workload::{LoadOp, MixSpec, Tenant, WorkloadGen};
+
+/// Error kinds whose queries were actually dispatched to an engine slot,
+/// so the server recorded a `phase.total` span for them. `Ok` responses
+/// plus finals of these kinds together equal the server-side span-count
+/// delta — the exactly-once reconciliation in [`crate::report`]. The
+/// other kinds (admission `Busy`, drain refusals, unknown graphs, decode
+/// failures) are refused before dispatch and get no span.
+pub const DISPATCHED_ERROR_KINDS: [ErrorKind; 5] = [
+    ErrorKind::Internal,
+    ErrorKind::BadVertex,
+    ErrorKind::ScheduleRejected,
+    ErrorKind::TooLarge,
+    ErrorKind::Timeout,
+];
+
+/// Everything one run needs. Build with [`RunConfig::new`] and override
+/// fields directly.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Server address to drive.
+    pub addr: std::net::SocketAddr,
+    /// Operation mix (and tune-storm intensity).
+    pub mix: MixSpec,
+    /// Weighted tenants (hot/cold graphs).
+    pub tenants: Vec<Tenant>,
+    /// Arrival process shape.
+    pub arrivals: ArrivalKind,
+    /// Offered rate, queries per second across all workers.
+    pub rate_qps: f64,
+    /// Total scheduled operations.
+    pub ops: usize,
+    /// Worker threads (one client connection each).
+    pub workers: usize,
+    /// Master seed; the arrival timeline, every worker's op stream, and
+    /// every backoff jitter walk derive from it deterministically.
+    pub seed: u64,
+    /// Deadline stamped on every query, ms (0 = none).
+    pub deadline_ms: u32,
+    /// Retry budget per operation.
+    pub max_attempts: u32,
+    /// Breaker: consecutive failures before opening.
+    pub breaker_threshold: u32,
+    /// Breaker: cooldown before the half-open probe, ms.
+    pub breaker_cooldown_ms: u64,
+    /// Client socket read/write budget, ms (connect uses the same).
+    pub timeout_ms: u64,
+    /// Retry backoff base, ms (doubles per attempt, jittered).
+    pub backoff_base_ms: u64,
+    /// Retry backoff cap, ms.
+    pub backoff_cap_ms: u64,
+    /// Keep the raw per-success latency samples in the report (for exact
+    /// percentile cross-checks in tests).
+    pub keep_raw: bool,
+}
+
+impl RunConfig {
+    /// A config with harness-appropriate defaults: point-heavy mix, one
+    /// tenant placeholder (override!), Poisson arrivals at 100 q/s, 2
+    /// workers, fast retries, 1s socket budgets.
+    pub fn new(addr: std::net::SocketAddr) -> RunConfig {
+        RunConfig {
+            addr,
+            mix: MixSpec::point_heavy(),
+            tenants: vec![Tenant {
+                graph: 0,
+                weight: 1,
+                vertices: 1,
+            }],
+            arrivals: ArrivalKind::Poisson,
+            rate_qps: 100.0,
+            ops: 1_000,
+            workers: 2,
+            seed: 42,
+            deadline_ms: 0,
+            max_attempts: 3,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 100,
+            timeout_ms: 2_000,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 50,
+            keep_raw: false,
+        }
+    }
+}
+
+/// The per-worker schedule: each entry is (scheduled arrival µs from run
+/// start, the operation). Pure function of the config — two calls with
+/// the same config produce identical plans, which is the determinism the
+/// property tests pin down.
+///
+/// # Errors
+///
+/// Rejects empty runs, zero workers, bad rates, and degenerate workloads.
+pub fn plan(config: &RunConfig) -> Result<Vec<Vec<(u64, LoadOp)>>, String> {
+    if config.ops == 0 {
+        return Err("run needs at least one scheduled op".to_string());
+    }
+    if config.workers == 0 {
+        return Err("run needs at least one worker".to_string());
+    }
+    let times = arrival_times_us(config.arrivals, config.rate_qps, config.seed, config.ops);
+    if times.is_empty() {
+        return Err(format!("bad arrival rate {}", config.rate_qps));
+    }
+    let mut plans: Vec<Vec<(u64, LoadOp)>> = vec![Vec::new(); config.workers];
+    let mut gens: Vec<WorkloadGen> = (0..config.workers)
+        .map(|w| {
+            WorkloadGen::new(
+                config.mix.clone(),
+                config.tenants.clone(),
+                config.deadline_ms,
+                config
+                    .seed
+                    .wrapping_add((w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    for (i, &at) in times.iter().enumerate() {
+        let w = i % config.workers;
+        plans[w].push((at, gens[w].next_op()));
+    }
+    Ok(plans)
+}
+
+/// Per-worker final-outcome tallies, summed into the report after join.
+#[derive(Debug, Default, Clone)]
+struct Tally {
+    scheduled: u64,
+    ok: u64,
+    err_by_kind: [u64; ErrorKind::ALL.len()],
+    busy_gave_up: u64,
+    refused: u64,
+    io_final: u64,
+    wire_final: u64,
+    tunes: u64,
+    tunes_ok: u64,
+    raw_latency_us: Vec<u64>,
+}
+
+/// What one run measured; [`crate::report`] turns this into bench
+/// records, prose, and the StatsV2 reconciliation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Mix name.
+    pub mix: String,
+    /// Arrival process name.
+    pub arrivals: String,
+    /// Offered rate, q/s.
+    pub rate_qps: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Operations scheduled (queries + tunes).
+    pub scheduled: u64,
+    /// Queries the server dispatched and answered (`Ok` + finals of
+    /// [`DISPATCHED_ERROR_KINDS`]) — must equal the server's
+    /// `phase.total` span-count delta.
+    pub completed: u64,
+    /// Successful query responses.
+    pub ok: u64,
+    /// Tune operations attempted / succeeded.
+    pub tunes: u64,
+    /// Tune operations that installed a plan.
+    pub tunes_ok: u64,
+    /// Final outcomes per error kind, nonzero entries only, sorted.
+    pub errors: Vec<(String, u64)>,
+    /// Per-attempt in-band errors per kind (what the server counts),
+    /// nonzero entries only, sorted.
+    pub attempt_errors: Vec<(String, u64)>,
+    /// Operations that exhausted retries on admission `Busy`.
+    pub busy_gave_up: u64,
+    /// Operations refused locally by an open breaker.
+    pub refused: u64,
+    /// Operations that ended on a socket error.
+    pub io_errors: u64,
+    /// Operations that ended on a framing/version error.
+    pub wire_errors: u64,
+    /// Total wire attempts.
+    pub attempts: u64,
+    /// Attempts answered `Busy` — must equal the server's
+    /// `busy_rejections` delta.
+    pub busy_attempts: u64,
+    /// Local breaker refusal events.
+    pub local_refusals: u64,
+    /// Client-observed latency of successful queries, measured from the
+    /// scheduled arrival (queue delay charged).
+    pub latency: Summary,
+    /// Same successes measured from first send (service view).
+    pub service: Summary,
+    /// Validated breaker accounting from the event log.
+    pub breaker: BreakerWalk,
+    /// Wall-clock run duration, µs.
+    pub duration_us: u64,
+    /// Completed queries per wall-clock second.
+    pub achieved_qps: f64,
+    /// Raw success latencies (µs), only when `keep_raw` was set.
+    pub raw_latency_us: Vec<u64>,
+}
+
+fn classify(result: &Result<Response, WireError>) -> Outcome {
+    match result {
+        Ok(Response::Busy { .. }) | Err(WireError::Busy { .. }) => Outcome::Busy,
+        Ok(Response::Error { kind, .. }) | Err(WireError::Remote { kind, .. }) => {
+            Outcome::Err(*kind)
+        }
+        Ok(_) => Outcome::Ok,
+        Err(WireError::CircuitOpen { .. }) => Outcome::Refused,
+        Err(WireError::Io(_)) => Outcome::Io,
+        Err(_) => Outcome::Wire,
+    }
+}
+
+fn kind_index(kind: ErrorKind) -> usize {
+    ErrorKind::ALL.iter().position(|k| *k == kind).unwrap_or(0)
+}
+
+fn micros_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Busy-waits only the last ~millisecond; longer gaps sleep (minus a
+/// safety margin so an early wake never sends ahead of schedule).
+fn pace_until(start: Instant, sched_at_us: u64) {
+    loop {
+        let now = micros_since(start);
+        if now >= sched_at_us {
+            return;
+        }
+        let gap = sched_at_us - now;
+        if gap > 1_500 {
+            std::thread::sleep(Duration::from_micros(gap - 1_000));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn worker_client(config: &RunConfig, worker: usize) -> ResilientClient {
+    ResilientClient::with_policy(
+        config.addr,
+        ClientConfig {
+            connect_timeout_ms: config.timeout_ms,
+            read_timeout_ms: config.timeout_ms,
+            write_timeout_ms: config.timeout_ms,
+        },
+        CircuitBreaker::new(
+            config.breaker_threshold,
+            Duration::from_millis(config.breaker_cooldown_ms),
+        ),
+        Backoff::new(
+            config.backoff_base_ms,
+            config.backoff_cap_ms,
+            config.seed.wrapping_add(worker as u64) | 1,
+        ),
+        config.max_attempts,
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn worker_loop(
+    config: &RunConfig,
+    worker: usize,
+    ops: Vec<(u64, LoadOp)>,
+    start: Instant,
+    ring: &Arc<EventRing>,
+    latency: &LatencyHistogram,
+    service: &LatencyHistogram,
+) -> Tally {
+    let mut tally = Tally {
+        scheduled: ops.len() as u64,
+        ..Tally::default()
+    };
+    let mut client = worker_client(config, worker);
+    let wid = worker as u16;
+    let per_req_attempts = Arc::new(AtomicU32::new(0));
+    {
+        let ring = Arc::clone(ring);
+        let per_req_attempts = Arc::clone(&per_req_attempts);
+        client.set_event_sink(move |event| match event {
+            ClientEvent::Attempt { class, failure, .. } => {
+                per_req_attempts.fetch_add(1, Ordering::Relaxed);
+                let (a, b) = pack_attempt(wid, &class, failure);
+                ring.record(a, b);
+            }
+            ClientEvent::Breaker { from, to } => {
+                let (a, b) = pack_breaker(wid, from, to);
+                ring.record(a, b);
+            }
+            ClientEvent::LocalRefusal { retry_after_ms } => {
+                let (a, b) = pack_refusal(wid, retry_after_ms);
+                ring.record(a, b);
+            }
+        });
+    }
+    for (sched_at, op) in ops {
+        pace_until(start, sched_at);
+        per_req_attempts.store(0, Ordering::Relaxed);
+        let sent_at = micros_since(start);
+        let (result, is_tune) = match op {
+            LoadOp::Query(q) => (client.query(q), false),
+            LoadOp::Tune {
+                graph,
+                algo,
+                budget,
+            } => (
+                client.request(&Request::TuneGraph {
+                    graph,
+                    algo,
+                    budget,
+                }),
+                true,
+            ),
+        };
+        let done_at = micros_since(start);
+        let outcome = classify(&result);
+        let attempts = per_req_attempts.load(Ordering::Relaxed).min(65_535) as u16;
+        // Open-loop latency: from the scheduled arrival, so time spent
+        // waiting behind a slow server (send happened late) is charged.
+        let open_loop_us = done_at.saturating_sub(sched_at);
+        let service_us = done_at.saturating_sub(sent_at);
+        let (a, b) = pack_done(
+            wid,
+            outcome,
+            client.breaker_state(),
+            attempts,
+            open_loop_us,
+            service_us,
+        );
+        ring.record(a, b);
+        if is_tune {
+            tally.tunes += 1;
+            if outcome == Outcome::Ok {
+                tally.tunes_ok += 1;
+            }
+            continue;
+        }
+        match outcome {
+            Outcome::Ok => {
+                tally.ok += 1;
+                latency.record_value(open_loop_us);
+                service.record_value(service_us);
+                if config.keep_raw {
+                    tally.raw_latency_us.push(open_loop_us);
+                }
+            }
+            Outcome::Err(kind) => tally.err_by_kind[kind_index(kind)] += 1,
+            Outcome::Busy => tally.busy_gave_up += 1,
+            Outcome::Refused => tally.refused += 1,
+            Outcome::Io => tally.io_final += 1,
+            Outcome::Wire => tally.wire_final += 1,
+        }
+    }
+    tally
+}
+
+fn nonzero_sorted(counts: &[u64; ErrorKind::ALL.len()]) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = ErrorKind::ALL
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| counts[i] > 0)
+        .map(|(i, kind)| (kind.to_string(), counts[i]))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Executes one open-loop run and validates its event log.
+///
+/// # Errors
+///
+/// Configuration problems, a ring overflow (the capacity formula was
+/// violated), an undecodable event, or an illegal breaker walk.
+pub fn run(config: &RunConfig) -> Result<RunReport, String> {
+    let plans = plan(config)?;
+    // Worst case per operation: every attempt can emit a preflight
+    // transition, the attempt itself, and a post-attempt transition; plus
+    // one completion and one local refusal.
+    let capacity = config
+        .ops
+        .saturating_mul(3 * config.max_attempts as usize + 2)
+        + 64;
+    let ring = Arc::new(EventRing::new(capacity));
+    let latency = Arc::new(LatencyHistogram::new());
+    let service = Arc::new(LatencyHistogram::new());
+    let start = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(w, ops)| {
+                let ring = Arc::clone(&ring);
+                let latency = Arc::clone(&latency);
+                let service = Arc::clone(&service);
+                scope.spawn(move || worker_loop(config, w, ops, start, &ring, &latency, &service))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let duration_us = micros_since(start);
+    let end_us = ring.now_us();
+    if ring.dropped() > 0 {
+        return Err(format!(
+            "event ring dropped {} records (capacity {capacity}) — accounting is incomplete",
+            ring.dropped()
+        ));
+    }
+    let raw = ring.snapshot();
+    let events = decode_all(&raw)?;
+    let breaker = validate_breaker_walk(&events, end_us, config.breaker_threshold)?;
+
+    let mut attempts = 0u64;
+    let mut busy_attempts = 0u64;
+    let mut local_refusals = 0u64;
+    let mut attempt_err_by_kind = [0u64; ErrorKind::ALL.len()];
+    for event in &events {
+        match event {
+            TraceEvent::Attempt { class, .. } => {
+                attempts += 1;
+                match class {
+                    AttemptClass::Busy => busy_attempts += 1,
+                    AttemptClass::Error(kind) => attempt_err_by_kind[kind_index(*kind)] += 1,
+                    _ => {}
+                }
+            }
+            TraceEvent::Refusal { .. } => local_refusals += 1,
+            _ => {}
+        }
+    }
+
+    let mut totals = Tally::default();
+    for t in tallies {
+        totals.scheduled += t.scheduled;
+        totals.ok += t.ok;
+        for (i, n) in t.err_by_kind.iter().enumerate() {
+            totals.err_by_kind[i] += n;
+        }
+        totals.busy_gave_up += t.busy_gave_up;
+        totals.refused += t.refused;
+        totals.io_final += t.io_final;
+        totals.wire_final += t.wire_final;
+        totals.tunes += t.tunes;
+        totals.tunes_ok += t.tunes_ok;
+        totals.raw_latency_us.extend(t.raw_latency_us);
+    }
+    let dispatched_errors: u64 = DISPATCHED_ERROR_KINDS
+        .iter()
+        .map(|&k| totals.err_by_kind[kind_index(k)])
+        .sum();
+    let completed = totals.ok + dispatched_errors;
+    let achieved_qps = if duration_us > 0 {
+        completed as f64 * 1e6 / duration_us as f64
+    } else {
+        0.0
+    };
+    Ok(RunReport {
+        mix: config.mix.name.clone(),
+        arrivals: config.arrivals.name().to_string(),
+        rate_qps: config.rate_qps,
+        seed: config.seed,
+        workers: config.workers,
+        scheduled: totals.scheduled,
+        completed,
+        ok: totals.ok,
+        tunes: totals.tunes,
+        tunes_ok: totals.tunes_ok,
+        errors: nonzero_sorted(&totals.err_by_kind),
+        attempt_errors: nonzero_sorted(&attempt_err_by_kind),
+        busy_gave_up: totals.busy_gave_up,
+        refused: totals.refused,
+        io_errors: totals.io_final,
+        wire_errors: totals.wire_final,
+        attempts,
+        busy_attempts,
+        local_refusals,
+        latency: latency.summary(),
+        service: service.summary(),
+        breaker,
+        duration_us,
+        achieved_qps,
+        raw_latency_us: totals.raw_latency_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> RunConfig {
+        let mut c = RunConfig::new("127.0.0.1:1".parse().unwrap());
+        c.tenants = vec![
+            Tenant {
+                graph: 0,
+                weight: 4,
+                vertices: 100,
+            },
+            Tenant {
+                graph: 1,
+                weight: 1,
+                vertices: 64,
+            },
+        ];
+        c.ops = 300;
+        c.workers = 3;
+        c
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_cover_every_op() {
+        let c = config();
+        let a = plan(&c).unwrap();
+        let b = plan(&c).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 300);
+        // Round-robin deal: worker sizes differ by at most one.
+        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // Arrival times are monotone within each worker.
+        for ops in &a {
+            assert!(ops.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+        let mut c2 = config();
+        c2.seed += 1;
+        assert_ne!(plan(&c2).unwrap(), a);
+    }
+
+    #[test]
+    fn degenerate_run_configs_are_rejected() {
+        let mut c = config();
+        c.ops = 0;
+        assert!(plan(&c).is_err());
+        let mut c = config();
+        c.workers = 0;
+        assert!(plan(&c).is_err());
+        let mut c = config();
+        c.rate_qps = 0.0;
+        assert!(plan(&c).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic open-loop arrival schedules.
+//!
+//! An open-loop load generator decides *when* each query arrives before it
+//! knows how long any query takes — arrivals never wait for departures.
+//! The schedule here is the whole source of that timing: a seeded stream
+//! of inter-arrival gaps, either fixed (`1/rate` exactly) or Poisson
+//! (exponential gaps with mean `1/rate`, the classic model of independent
+//! users). Both are driven by the vendored `rand` shim's xoshiro256++
+//! stream, so the full arrival timeline is a pure function of
+//! `(kind, rate, seed, count)` — reproducible across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The arrival process shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Exponential inter-arrival gaps with mean `1/rate` — independent
+    /// arrivals, bursty at every timescale. The realistic default.
+    Poisson,
+    /// Constant `1/rate` gaps — a metronome. Useful to separate queueing
+    /// caused by burstiness from queueing caused by plain overload.
+    Fixed,
+}
+
+impl ArrivalKind {
+    /// Parses `"poisson"` or `"fixed"`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the unrecognized name.
+    pub fn parse(text: &str) -> Result<ArrivalKind, String> {
+        match text {
+            "poisson" => Ok(ArrivalKind::Poisson),
+            "fixed" => Ok(ArrivalKind::Fixed),
+            other => Err(format!(
+                "unknown arrival kind {other:?} (want poisson or fixed)"
+            )),
+        }
+    }
+
+    /// The canonical name (`parse`'s inverse).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Fixed => "fixed",
+        }
+    }
+}
+
+/// A seeded generator of absolute arrival times (microseconds from run
+/// start), monotone nondecreasing. Accumulation is in `f64` so a long
+/// schedule does not drift from integer truncation of every gap.
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    kind: ArrivalKind,
+    mean_gap_us: f64,
+    next_at_us: f64,
+    rng: StdRng,
+}
+
+impl ArrivalSchedule {
+    /// A schedule offering `rate_qps` queries per second.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive rates.
+    pub fn new(kind: ArrivalKind, rate_qps: f64, seed: u64) -> Result<ArrivalSchedule, String> {
+        if !rate_qps.is_finite() || rate_qps <= 0.0 {
+            return Err(format!("arrival rate must be positive, got {rate_qps}"));
+        }
+        Ok(ArrivalSchedule {
+            kind,
+            mean_gap_us: 1_000_000.0 / rate_qps,
+            next_at_us: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The next absolute arrival time in microseconds from run start.
+    /// The first call returns the first gap (the schedule does not start
+    /// with an arrival at t = 0).
+    pub fn next_arrival_us(&mut self) -> u64 {
+        let gap = match self.kind {
+            ArrivalKind::Fixed => self.mean_gap_us,
+            ArrivalKind::Poisson => {
+                // Inverse-CDF exponential sampling: -ln(1 - u) has mean 1
+                // for u uniform in [0, 1); 1 - u is in (0, 1], so the log
+                // is finite and the gap nonnegative.
+                let u = self.rng.unit_f64();
+                -(1.0 - u).ln() * self.mean_gap_us
+            }
+        };
+        self.next_at_us += gap;
+        // Saturate rather than wrap on absurd schedules; 2^53 µs is ~285
+        // years, far beyond any run.
+        if self.next_at_us >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            self.next_at_us as u64
+        }
+    }
+}
+
+/// The full arrival timeline for `count` queries: `count` absolute
+/// microsecond offsets, monotone nondecreasing, fully determined by the
+/// arguments.
+pub fn arrival_times_us(kind: ArrivalKind, rate_qps: f64, seed: u64, count: usize) -> Vec<u64> {
+    match ArrivalSchedule::new(kind, rate_qps, seed) {
+        Ok(mut schedule) => (0..count).map(|_| schedule.next_arrival_us()).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_a_metronome() {
+        let times = arrival_times_us(ArrivalKind::Fixed, 1_000.0, 9, 10);
+        let expected: Vec<u64> = (1..=10).map(|i| i * 1_000).collect();
+        assert_eq!(times, expected);
+    }
+
+    #[test]
+    fn same_seed_same_timeline_different_seed_differs() {
+        let a = arrival_times_us(ArrivalKind::Poisson, 500.0, 42, 256);
+        let b = arrival_times_us(ArrivalKind::Poisson, 500.0, 42, 256);
+        let c = arrival_times_us(ArrivalKind::Poisson, 500.0, 43, 256);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_is_monotone_and_near_the_offered_rate() {
+        let rate = 2_000.0;
+        let n = 4_000;
+        let times = arrival_times_us(ArrivalKind::Poisson, rate, 7, n);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Mean of n exponential gaps concentrates: the last arrival is
+        // n/rate seconds in expectation, with ~1/sqrt(n) relative sd.
+        let expected_us = n as f64 / rate * 1e6;
+        let got = *times.last().unwrap() as f64;
+        assert!(
+            (got - expected_us).abs() < 0.1 * expected_us,
+            "poisson timeline ends at {got}us, expected ~{expected_us}us"
+        );
+    }
+
+    #[test]
+    fn bad_rates_are_rejected() {
+        assert!(ArrivalSchedule::new(ArrivalKind::Fixed, 0.0, 1).is_err());
+        assert!(ArrivalSchedule::new(ArrivalKind::Fixed, -5.0, 1).is_err());
+        assert!(ArrivalSchedule::new(ArrivalKind::Poisson, f64::NAN, 1).is_err());
+        assert!(arrival_times_us(ArrivalKind::Fixed, 0.0, 1, 5).is_empty());
+    }
+}

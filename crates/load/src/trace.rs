@@ -1,0 +1,643 @@
+//! Event packing for the harness ring, and the breaker state-walk
+//! validator.
+//!
+//! Workers record one [`priograph_telemetry::RingEvent`] per attempt,
+//! completion, breaker transition, and local refusal. The two payload
+//! words carry a tagged packed encoding (documented on each `pack_*`
+//! function); [`decode_all`] turns a drained snapshot back into typed
+//! [`TraceEvent`]s, and [`validate_breaker_walk`] replays each worker's
+//! events through the legal [`BreakerState`] transition graph — proving no
+//! transition was lost or fabricated — while computing the total time each
+//! breaker spent refusing (open), which the report publishes.
+
+use priograph_serve::client::{AttemptClass, BreakerState};
+use priograph_serve::protocol::ErrorKind;
+use priograph_telemetry::RingEvent;
+
+/// Tag byte for a completed operation (one per scheduled query that got a
+/// final answer or gave up).
+pub const TAG_DONE: u8 = 1;
+/// Tag byte for one wire attempt inside a request.
+pub const TAG_ATTEMPT: u8 = 2;
+/// Tag byte for a breaker state transition.
+pub const TAG_BREAKER: u8 = 3;
+/// Tag byte for a local (breaker-open) refusal.
+pub const TAG_REFUSAL: u8 = 4;
+
+const KIND_NONE: u8 = 0xFF;
+
+/// How a scheduled operation ended, from the worker's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A typed success response.
+    Ok,
+    /// An in-band typed error (the server answered, with this kind).
+    Err(ErrorKind),
+    /// Gave up on a Busy admission refusal after exhausting retries.
+    Busy,
+    /// Refused locally by the open circuit breaker — never sent.
+    Refused,
+    /// Gave up on a socket error.
+    Io,
+    /// Gave up on a protocol-level error (malformed frame, version).
+    Wire,
+}
+
+impl Outcome {
+    fn code(self) -> (u8, u8) {
+        match self {
+            Outcome::Ok => (0, KIND_NONE),
+            Outcome::Err(kind) => (1, kind_to_byte(kind)),
+            Outcome::Busy => (2, KIND_NONE),
+            Outcome::Refused => (3, KIND_NONE),
+            Outcome::Io => (4, KIND_NONE),
+            Outcome::Wire => (5, KIND_NONE),
+        }
+    }
+
+    fn from_code(code: u8, kind: u8) -> Option<Outcome> {
+        match code {
+            0 => Some(Outcome::Ok),
+            1 => Some(Outcome::Err(byte_to_kind(kind)?)),
+            2 => Some(Outcome::Busy),
+            3 => Some(Outcome::Refused),
+            4 => Some(Outcome::Io),
+            5 => Some(Outcome::Wire),
+            _ => None,
+        }
+    }
+}
+
+fn kind_to_byte(kind: ErrorKind) -> u8 {
+    // The wire discriminant is crate-private; the public ALL table is in
+    // discriminant order, so the index is a stable encoding.
+    ErrorKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .map_or(KIND_NONE, |i| i as u8)
+}
+
+fn byte_to_kind(byte: u8) -> Option<ErrorKind> {
+    ErrorKind::ALL.get(usize::from(byte)).copied()
+}
+
+fn state_code(state: BreakerState) -> u8 {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
+}
+
+fn code_state(code: u8) -> Option<BreakerState> {
+    match code {
+        0 => Some(BreakerState::Closed),
+        1 => Some(BreakerState::Open),
+        2 => Some(BreakerState::HalfOpen),
+        _ => None,
+    }
+}
+
+/// Builds the shared `a` word: `byte7` tag, `bytes5..6` worker,
+/// `byte4`/`byte3`/`byte2` free fields, `bytes0..1` a 16-bit field.
+fn pack_a(tag: u8, worker: u16, f0: u8, f1: u8, f2: u8, f3: u16) -> u64 {
+    (u64::from(tag) << 56)
+        | (u64::from(worker) << 40)
+        | (u64::from(f0) << 32)
+        | (u64::from(f1) << 24)
+        | (u64::from(f2) << 16)
+        | u64::from(f3)
+}
+
+/// Packs a completion: outcome, error kind, breaker state at completion,
+/// and attempts used into `a`; `b` is `latency_us` (from the scheduled
+/// arrival) in the low 32 bits and `service_us` (from first send) in the
+/// high 32, both saturated.
+pub fn pack_done(
+    worker: u16,
+    outcome: Outcome,
+    breaker: BreakerState,
+    attempts: u16,
+    latency_us: u64,
+    service_us: u64,
+) -> (u64, u64) {
+    let (code, kind) = outcome.code();
+    let a = pack_a(TAG_DONE, worker, code, kind, state_code(breaker), attempts);
+    let lat = latency_us.min(u64::from(u32::MAX));
+    let svc = service_us.min(u64::from(u32::MAX));
+    (a, (svc << 32) | lat)
+}
+
+/// Packs one wire attempt: the [`AttemptClass`] and whether the breaker
+/// policy counted it as a failure.
+pub fn pack_attempt(worker: u16, class: &AttemptClass, failure: bool) -> (u64, u64) {
+    let (code, kind) = match class {
+        AttemptClass::Success => (0u8, KIND_NONE),
+        AttemptClass::Error(kind) => (1, kind_to_byte(*kind)),
+        AttemptClass::Busy => (2, KIND_NONE),
+        AttemptClass::Io => (4, KIND_NONE),
+        AttemptClass::Wire => (5, KIND_NONE),
+    };
+    (
+        pack_a(TAG_ATTEMPT, worker, code, kind, u8::from(failure), 0),
+        0,
+    )
+}
+
+/// Packs a breaker transition edge.
+pub fn pack_breaker(worker: u16, from: BreakerState, to: BreakerState) -> (u64, u64) {
+    (
+        pack_a(TAG_BREAKER, worker, state_code(from), state_code(to), 0, 0),
+        0,
+    )
+}
+
+/// Packs a local refusal; `b` carries the `retry_after_ms` hint.
+pub fn pack_refusal(worker: u16, retry_after_ms: u64) -> (u64, u64) {
+    (pack_a(TAG_REFUSAL, worker, 0, 0, 0, 0), retry_after_ms)
+}
+
+/// One decoded harness event (see the `pack_*` functions for packing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A scheduled operation finished (successfully or not).
+    Done {
+        /// Worker that drove the operation.
+        worker: u16,
+        /// Completion time, µs from ring origin.
+        at_us: u64,
+        /// Final disposition.
+        outcome: Outcome,
+        /// Breaker state observed at completion.
+        breaker: BreakerState,
+        /// Wire attempts spent (0 for a pure local refusal).
+        attempts: u16,
+        /// Latency from the *scheduled* arrival (queue delay charged).
+        latency_us: u32,
+        /// Latency from the first send (service view, no queue delay).
+        service_us: u32,
+    },
+    /// One wire attempt inside a request.
+    Attempt {
+        /// Worker that made the attempt.
+        worker: u16,
+        /// Attempt time, µs from ring origin.
+        at_us: u64,
+        /// What the attempt resolved to.
+        class: AttemptClass,
+        /// Whether the breaker policy counted this attempt as a failure.
+        failure: bool,
+    },
+    /// The worker's breaker changed state.
+    Breaker {
+        /// Worker whose breaker moved.
+        worker: u16,
+        /// Transition time, µs from ring origin.
+        at_us: u64,
+        /// State before.
+        from: BreakerState,
+        /// State after.
+        to: BreakerState,
+    },
+    /// The open breaker refused an operation locally.
+    Refusal {
+        /// Worker that refused.
+        worker: u16,
+        /// Refusal time, µs from ring origin.
+        at_us: u64,
+        /// Backoff hint returned to the caller.
+        retry_after_ms: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The worker that recorded the event.
+    pub fn worker(&self) -> u16 {
+        match *self {
+            TraceEvent::Done { worker, .. }
+            | TraceEvent::Attempt { worker, .. }
+            | TraceEvent::Breaker { worker, .. }
+            | TraceEvent::Refusal { worker, .. } => worker,
+        }
+    }
+
+    /// The event timestamp, µs from ring origin.
+    pub fn at_us(&self) -> u64 {
+        match *self {
+            TraceEvent::Done { at_us, .. }
+            | TraceEvent::Attempt { at_us, .. }
+            | TraceEvent::Breaker { at_us, .. }
+            | TraceEvent::Refusal { at_us, .. } => at_us,
+        }
+    }
+}
+
+/// Decodes one ring record.
+///
+/// # Errors
+///
+/// Describes an unknown tag or a field that decodes to no known value —
+/// either means the ring was corrupted or the packing changed shape.
+pub fn decode(event: RingEvent) -> Result<TraceEvent, String> {
+    let tag = (event.a >> 56) as u8;
+    let worker = (event.a >> 40) as u16;
+    let f0 = (event.a >> 32) as u8;
+    let f1 = (event.a >> 24) as u8;
+    let f2 = (event.a >> 16) as u8;
+    let f3 = event.a as u16;
+    match tag {
+        TAG_DONE => Ok(TraceEvent::Done {
+            worker,
+            at_us: event.at_us,
+            outcome: Outcome::from_code(f0, f1)
+                .ok_or_else(|| format!("bad outcome code {f0}/{f1}"))?,
+            breaker: code_state(f2).ok_or_else(|| format!("bad breaker code {f2}"))?,
+            attempts: f3,
+            latency_us: event.b as u32,
+            service_us: (event.b >> 32) as u32,
+        }),
+        TAG_ATTEMPT => Ok(TraceEvent::Attempt {
+            worker,
+            at_us: event.at_us,
+            class: match f0 {
+                0 => AttemptClass::Success,
+                1 => AttemptClass::Error(
+                    byte_to_kind(f1).ok_or_else(|| format!("bad error kind byte {f1}"))?,
+                ),
+                2 => AttemptClass::Busy,
+                4 => AttemptClass::Io,
+                5 => AttemptClass::Wire,
+                other => return Err(format!("bad attempt class code {other}")),
+            },
+            failure: f2 != 0,
+        }),
+        TAG_BREAKER => Ok(TraceEvent::Breaker {
+            worker,
+            at_us: event.at_us,
+            from: code_state(f0).ok_or_else(|| format!("bad breaker code {f0}"))?,
+            to: code_state(f1).ok_or_else(|| format!("bad breaker code {f1}"))?,
+        }),
+        TAG_REFUSAL => Ok(TraceEvent::Refusal {
+            worker,
+            at_us: event.at_us,
+            retry_after_ms: event.b,
+        }),
+        other => Err(format!("unknown event tag {other}")),
+    }
+}
+
+/// Decodes a full ring snapshot, failing on the first malformed record.
+///
+/// # Errors
+///
+/// Propagates the first [`decode`] failure with its record index.
+pub fn decode_all(events: &[RingEvent]) -> Result<Vec<TraceEvent>, String> {
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| decode(*e).map_err(|e| format!("record {i}: {e}")))
+        .collect()
+}
+
+/// Aggregate result of a validated breaker state walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerWalk {
+    /// Total breaker transitions across all workers.
+    pub transitions: u64,
+    /// Times any breaker entered `Open`.
+    pub opens: u64,
+    /// Total µs any breaker spent in `Open` (refusing); overlapping
+    /// workers sum, intervals still open at `end_us` are closed there.
+    pub open_time_us: u64,
+}
+
+struct WorkerWalk {
+    state: BreakerState,
+    streak: u32,
+    last_attempt_failed: Option<bool>,
+    open_since: Option<u64>,
+    last_at_us: u64,
+}
+
+impl Default for WorkerWalk {
+    fn default() -> WorkerWalk {
+        WorkerWalk {
+            state: BreakerState::Closed,
+            streak: 0,
+            last_attempt_failed: None,
+            open_since: None,
+            last_at_us: 0,
+        }
+    }
+}
+
+/// Replays `events` through each worker's breaker state machine and
+/// proves the walk is legal: every transition edge exists in the
+/// three-state graph, every `from` matches the tracked state,
+/// `Closed -> Open` only after at least `threshold` consecutive failure
+/// attempts, a `HalfOpen` resolution matches its probe's outcome, local
+/// refusals only happen while open, and per-worker timestamps never go
+/// backwards. Returns the aggregate transition/open-time accounting.
+///
+/// # Errors
+///
+/// Describes the first illegal step — which means the client dropped or
+/// fabricated a transition, exactly what the harness exists to catch.
+pub fn validate_breaker_walk(
+    events: &[TraceEvent],
+    end_us: u64,
+    threshold: u32,
+) -> Result<BreakerWalk, String> {
+    let mut workers: Vec<WorkerWalk> = Vec::new();
+    let mut walk = BreakerWalk::default();
+    for (i, event) in events.iter().enumerate() {
+        let w = usize::from(event.worker());
+        if workers.len() <= w {
+            workers.resize_with(w + 1, WorkerWalk::default);
+        }
+        let ww = &mut workers[w];
+        let at = event.at_us();
+        if at < ww.last_at_us {
+            return Err(format!(
+                "event {i}: worker {w} time went backwards ({} -> {at}µs)",
+                ww.last_at_us
+            ));
+        }
+        ww.last_at_us = at;
+        match *event {
+            TraceEvent::Attempt { failure, .. } => {
+                if ww.state == BreakerState::Open {
+                    return Err(format!(
+                        "event {i}: worker {w} attempted while the breaker was open"
+                    ));
+                }
+                if failure {
+                    ww.streak += 1;
+                } else {
+                    ww.streak = 0;
+                }
+                ww.last_attempt_failed = Some(failure);
+            }
+            TraceEvent::Breaker { from, to, .. } => {
+                if from != ww.state {
+                    return Err(format!(
+                        "event {i}: worker {w} transition from {from:?} but tracked state is {:?}",
+                        ww.state
+                    ));
+                }
+                match (from, to) {
+                    (BreakerState::Closed, BreakerState::Open) => {
+                        if ww.streak < threshold {
+                            return Err(format!(
+                                "event {i}: worker {w} opened after {} consecutive failures, \
+                                 threshold is {threshold}",
+                                ww.streak
+                            ));
+                        }
+                    }
+                    (BreakerState::Open, BreakerState::HalfOpen) => {}
+                    (BreakerState::HalfOpen, BreakerState::Open) => {
+                        if ww.last_attempt_failed != Some(true) {
+                            return Err(format!(
+                                "event {i}: worker {w} half-open probe reopened without a \
+                                 failed attempt"
+                            ));
+                        }
+                    }
+                    (BreakerState::HalfOpen, BreakerState::Closed) => {
+                        if ww.last_attempt_failed != Some(false) {
+                            return Err(format!(
+                                "event {i}: worker {w} half-open probe closed without a \
+                                 successful attempt"
+                            ));
+                        }
+                    }
+                    (from, to) => {
+                        return Err(format!(
+                            "event {i}: worker {w} illegal edge {from:?} -> {to:?}"
+                        ));
+                    }
+                }
+                walk.transitions += 1;
+                ww.streak = 0;
+                if to == BreakerState::Open {
+                    walk.opens += 1;
+                    ww.open_since = Some(at);
+                } else if let Some(since) = ww.open_since.take() {
+                    walk.open_time_us += at.saturating_sub(since);
+                }
+                ww.state = to;
+            }
+            TraceEvent::Refusal { .. } => {
+                if ww.state != BreakerState::Open {
+                    return Err(format!(
+                        "event {i}: worker {w} refused locally while {:?}",
+                        ww.state
+                    ));
+                }
+            }
+            TraceEvent::Done { .. } => {}
+        }
+    }
+    for ww in &workers {
+        if let Some(since) = ww.open_since {
+            walk.open_time_us += end_us.saturating_sub(since);
+        }
+    }
+    Ok(walk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_decode_round_trips_every_shape() {
+        let shapes = [
+            pack_done(
+                3,
+                Outcome::Err(ErrorKind::Timeout),
+                BreakerState::Closed,
+                2,
+                1_234,
+                987,
+            ),
+            pack_done(0, Outcome::Ok, BreakerState::HalfOpen, 1, 5, 5),
+            pack_attempt(65_535, &AttemptClass::Busy, true),
+            pack_attempt(1, &AttemptClass::Error(ErrorKind::BadVertex), false),
+            pack_breaker(7, BreakerState::Closed, BreakerState::Open),
+            pack_refusal(2, 450),
+        ];
+        let records: Vec<RingEvent> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| RingEvent {
+                at_us: i as u64,
+                a,
+                b,
+            })
+            .collect();
+        let decoded = decode_all(&records).unwrap();
+        assert_eq!(
+            decoded[0],
+            TraceEvent::Done {
+                worker: 3,
+                at_us: 0,
+                outcome: Outcome::Err(ErrorKind::Timeout),
+                breaker: BreakerState::Closed,
+                attempts: 2,
+                latency_us: 1_234,
+                service_us: 987,
+            }
+        );
+        assert_eq!(
+            decoded[2],
+            TraceEvent::Attempt {
+                worker: 65_535,
+                at_us: 2,
+                class: AttemptClass::Busy,
+                failure: true,
+            }
+        );
+        assert_eq!(
+            decoded[3],
+            TraceEvent::Attempt {
+                worker: 1,
+                at_us: 3,
+                class: AttemptClass::Error(ErrorKind::BadVertex),
+                failure: false,
+            }
+        );
+        assert_eq!(
+            decoded[4],
+            TraceEvent::Breaker {
+                worker: 7,
+                at_us: 4,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            }
+        );
+        assert_eq!(
+            decoded[5],
+            TraceEvent::Refusal {
+                worker: 2,
+                at_us: 5,
+                retry_after_ms: 450,
+            }
+        );
+    }
+
+    #[test]
+    fn every_error_kind_survives_the_byte_encoding() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(byte_to_kind(kind_to_byte(kind)), Some(kind));
+        }
+        assert_eq!(byte_to_kind(KIND_NONE), None);
+    }
+
+    fn attempt(worker: u16, at_us: u64, failure: bool) -> TraceEvent {
+        TraceEvent::Attempt {
+            worker,
+            at_us,
+            class: if failure {
+                AttemptClass::Io
+            } else {
+                AttemptClass::Success
+            },
+            failure,
+        }
+    }
+
+    fn edge(worker: u16, at_us: u64, from: BreakerState, to: BreakerState) -> TraceEvent {
+        TraceEvent::Breaker {
+            worker,
+            at_us,
+            from,
+            to,
+        }
+    }
+
+    #[test]
+    fn legal_walk_accounts_open_time() {
+        use BreakerState::{Closed, HalfOpen, Open};
+        let events = [
+            attempt(0, 10, true),
+            attempt(0, 20, true),
+            edge(0, 20, Closed, Open),
+            TraceEvent::Refusal {
+                worker: 0,
+                at_us: 25,
+                retry_after_ms: 5,
+            },
+            edge(0, 50, Open, HalfOpen),
+            attempt(0, 60, true),
+            edge(0, 60, HalfOpen, Open),
+            edge(0, 100, Open, HalfOpen),
+            attempt(0, 110, false),
+            edge(0, 110, HalfOpen, Closed),
+        ];
+        let walk = validate_breaker_walk(&events, 1_000, 2).unwrap();
+        assert_eq!(walk.transitions, 5);
+        assert_eq!(walk.opens, 2);
+        // Open 20..50 and 60..100 — 70µs total.
+        assert_eq!(walk.open_time_us, 70);
+    }
+
+    #[test]
+    fn open_interval_still_open_at_end_is_closed_there() {
+        use BreakerState::{Closed, Open};
+        let events = [
+            attempt(1, 5, true),
+            edge(1, 5, Closed, Open),
+            attempt(0, 30, true),
+            edge(0, 30, Closed, Open),
+        ];
+        let walk = validate_breaker_walk(&events, 100, 1).unwrap();
+        assert_eq!(walk.opens, 2);
+        // Worker 1 open 5..100, worker 0 open 30..100.
+        assert_eq!(walk.open_time_us, 95 + 70);
+    }
+
+    #[test]
+    fn illegal_walks_are_rejected() {
+        use BreakerState::{Closed, HalfOpen, Open};
+        // Opening without enough consecutive failures.
+        let early = [attempt(0, 1, true), edge(0, 2, Closed, Open)];
+        assert!(validate_breaker_walk(&early, 10, 2).is_err());
+        // A success resets the streak.
+        let reset = [
+            attempt(0, 1, true),
+            attempt(0, 2, false),
+            attempt(0, 3, true),
+            edge(0, 4, Closed, Open),
+        ];
+        assert!(validate_breaker_walk(&reset, 10, 2).is_err());
+        // `from` must match the tracked state.
+        let mismatched = [edge(0, 1, Open, HalfOpen)];
+        assert!(validate_breaker_walk(&mismatched, 10, 1).is_err());
+        // Skipping the half-open hop entirely is a lost transition.
+        let skipped = [
+            attempt(0, 1, true),
+            edge(0, 1, Closed, Open),
+            edge(0, 2, Open, HalfOpen),
+            edge(0, 3, HalfOpen, Closed),
+        ];
+        assert!(validate_breaker_walk(&skipped, 10, 1).is_err());
+        // Refusing while closed means the refusal event lied.
+        let refused = [TraceEvent::Refusal {
+            worker: 0,
+            at_us: 1,
+            retry_after_ms: 1,
+        }];
+        assert!(validate_breaker_walk(&refused, 10, 1).is_err());
+        // Probing half-open closed requires the probe to have succeeded.
+        let bad_probe = [
+            attempt(0, 1, true),
+            edge(0, 1, Closed, Open),
+            edge(0, 2, Open, HalfOpen),
+            attempt(0, 3, true),
+            edge(0, 3, HalfOpen, Closed),
+        ];
+        assert!(validate_breaker_walk(&bad_probe, 10, 1).is_err());
+    }
+}

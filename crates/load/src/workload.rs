@@ -1,0 +1,328 @@
+//! Mixed query streams over weighted tenants.
+//!
+//! A serving workload has shape beyond its arrival rate: the *operation
+//! mix* (cheap early-terminating PPSP vs. full-vector SSSP/wBFS/k-core
+//! scans) and the *tenant skew* (one hot graph absorbing most traffic
+//! while cold tenants tick along — exactly the case the per-graph
+//! admission quotas exist for). [`WorkloadGen`] draws a deterministic
+//! stream of [`LoadOp`]s from both distributions, seeded independently of
+//! the arrival schedule so timing and content can be varied separately.
+
+use priograph_serve::protocol::{GraphId, Query, QueryOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One resident graph as the workload sees it: its catalog id, its
+/// selection weight (hot tenants get large weights), and its vertex count
+/// (endpoint draws stay in range so no `BadVertex` noise pollutes the
+/// error accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tenant {
+    /// Catalog id queries address the graph by.
+    pub graph: GraphId,
+    /// Relative selection weight (0 is allowed; the tenant is then idle).
+    pub weight: u32,
+    /// Vertex count; endpoints are drawn uniformly from `0..vertices`.
+    pub vertices: u32,
+}
+
+/// Relative operation weights plus the tune-storm intensity. The four
+/// query weights need not sum to anything in particular; they are
+/// normalized at draw time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Mix name, used in report record names (e.g. `point-heavy`).
+    pub name: String,
+    /// Weight of point-to-point shortest path queries.
+    pub ppsp: u32,
+    /// Weight of full SSSP queries.
+    pub sssp: u32,
+    /// Weight of weighted-BFS queries.
+    pub wbfs: u32,
+    /// Weight of k-core queries.
+    pub kcore: u32,
+    /// Per-mille of scheduled slots that issue a `TuneGraph` instead of a
+    /// query (a "tune storm" when large). Tunes are heavyweight: each owns
+    /// the server pool for many trials.
+    pub tune_per_thousand: u32,
+}
+
+impl MixSpec {
+    /// The serving-path mix: dominated by cheap point queries, a thin
+    /// tail of scans. Models an interactive routing workload.
+    pub fn point_heavy() -> MixSpec {
+        MixSpec {
+            name: "point-heavy".to_string(),
+            ppsp: 80,
+            sssp: 10,
+            wbfs: 8,
+            kcore: 2,
+            tune_per_thousand: 0,
+        }
+    }
+
+    /// The analytics-path mix: full-vector scans dominate, point queries
+    /// are the minority. Models batch consumers sharing the server.
+    pub fn scan_heavy() -> MixSpec {
+        MixSpec {
+            name: "scan-heavy".to_string(),
+            ppsp: 30,
+            sssp: 40,
+            wbfs: 20,
+            kcore: 10,
+            tune_per_thousand: 0,
+        }
+    }
+
+    /// Looks up a named preset.
+    ///
+    /// # Errors
+    ///
+    /// Describes the unrecognized name.
+    pub fn parse(name: &str) -> Result<MixSpec, String> {
+        match name {
+            "point-heavy" => Ok(MixSpec::point_heavy()),
+            "scan-heavy" => Ok(MixSpec::scan_heavy()),
+            other => Err(format!(
+                "unknown mix {other:?} (want point-heavy or scan-heavy)"
+            )),
+        }
+    }
+
+    /// Returns the mix with a tune storm mixed in at `per_thousand`‰ of
+    /// scheduled slots (clamped to 1000).
+    pub fn with_tune_storm(mut self, per_thousand: u32) -> MixSpec {
+        self.tune_per_thousand = per_thousand.min(1_000);
+        self
+    }
+
+    fn total_query_weight(&self) -> u64 {
+        u64::from(self.ppsp) + u64::from(self.sssp) + u64::from(self.wbfs) + u64::from(self.kcore)
+    }
+}
+
+/// One scheduled operation: a query, or a tune run during a storm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOp {
+    /// A typed query, tenant and endpoints already drawn.
+    Query(Query),
+    /// A `TuneGraph` request (the autotuner owns the pool while it runs).
+    Tune {
+        /// Target graph.
+        graph: GraphId,
+        /// Algorithm family to retune.
+        algo: QueryOp,
+        /// Trial budget per schedule candidate.
+        budget: u32,
+    },
+}
+
+/// A deterministic stream of [`LoadOp`]s: weighted tenant pick, weighted
+/// op pick, uniform in-range endpoints, optional tune slots. The stream
+/// is a pure function of the constructor arguments.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    mix: MixSpec,
+    tenants: Vec<Tenant>,
+    tenant_weight: u64,
+    query_weight: u64,
+    deadline_ms: u32,
+    rng: StdRng,
+}
+
+impl WorkloadGen {
+    /// A stream over `tenants` drawing from `mix`, stamping every query
+    /// with `deadline_ms` (0 = no deadline).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty tenant sets, all-zero weights, and tenants without
+    /// vertices.
+    pub fn new(
+        mix: MixSpec,
+        tenants: Vec<Tenant>,
+        deadline_ms: u32,
+        seed: u64,
+    ) -> Result<WorkloadGen, String> {
+        if tenants.is_empty() {
+            return Err("workload needs at least one tenant".to_string());
+        }
+        if tenants.iter().any(|t| t.vertices == 0 && t.weight > 0) {
+            return Err("a weighted tenant has zero vertices".to_string());
+        }
+        let tenant_weight: u64 = tenants.iter().map(|t| u64::from(t.weight)).sum();
+        if tenant_weight == 0 {
+            return Err("tenant weights sum to zero".to_string());
+        }
+        let query_weight = mix.total_query_weight();
+        if query_weight == 0 {
+            return Err("query mix weights sum to zero".to_string());
+        }
+        Ok(WorkloadGen {
+            mix,
+            tenants,
+            tenant_weight,
+            query_weight,
+            deadline_ms,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    fn pick_tenant(&mut self) -> Tenant {
+        let mut ticket = self.rng.gen_range(0..self.tenant_weight);
+        for t in &self.tenants {
+            let w = u64::from(t.weight);
+            if ticket < w {
+                return *t;
+            }
+            ticket -= w;
+        }
+        // Unreachable: the ticket is below the weight sum. Fall back to
+        // the last tenant rather than panicking in a harness.
+        *self.tenants.last().unwrap_or(&Tenant {
+            graph: 0,
+            weight: 1,
+            vertices: 1,
+        })
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> LoadOp {
+        if self.mix.tune_per_thousand > 0
+            && self.rng.gen_range(0u32..1_000) < self.mix.tune_per_thousand
+        {
+            let tenant = self.pick_tenant();
+            return LoadOp::Tune {
+                graph: tenant.graph,
+                algo: QueryOp::Sssp,
+                budget: 1,
+            };
+        }
+        let tenant = self.pick_tenant();
+        let mut ticket = self.rng.gen_range(0..self.query_weight);
+        let n = tenant.vertices;
+        let endpoint = |rng: &mut StdRng| rng.gen_range(0..n);
+        let query = if ticket < u64::from(self.mix.ppsp) {
+            let s = endpoint(&mut self.rng);
+            let t = endpoint(&mut self.rng);
+            Query::ppsp(s, t)
+        } else {
+            ticket -= u64::from(self.mix.ppsp);
+            if ticket < u64::from(self.mix.sssp) {
+                Query::sssp(endpoint(&mut self.rng))
+            } else {
+                ticket -= u64::from(self.mix.sssp);
+                if ticket < u64::from(self.mix.wbfs) {
+                    Query::wbfs(endpoint(&mut self.rng))
+                } else {
+                    Query::kcore()
+                }
+            }
+        };
+        let query = query.on_graph(tenant.graph);
+        let query = if self.deadline_ms > 0 {
+            query.with_deadline(self.deadline_ms)
+        } else {
+            query
+        };
+        LoadOp::Query(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<Tenant> {
+        vec![
+            Tenant {
+                graph: 0,
+                weight: 4,
+                vertices: 100,
+            },
+            Tenant {
+                graph: 1,
+                weight: 1,
+                vertices: 50,
+            },
+        ]
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = WorkloadGen::new(MixSpec::point_heavy(), tenants(), 0, 11).unwrap();
+        let mut b = WorkloadGen::new(MixSpec::point_heavy(), tenants(), 0, 11).unwrap();
+        let mut c = WorkloadGen::new(MixSpec::point_heavy(), tenants(), 0, 12).unwrap();
+        let sa: Vec<LoadOp> = (0..200).map(|_| a.next_op()).collect();
+        let sb: Vec<LoadOp> = (0..200).map(|_| b.next_op()).collect();
+        let sc: Vec<LoadOp> = (0..200).map(|_| c.next_op()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn hot_tenant_dominates_and_endpoints_stay_in_range() {
+        let mut gen = WorkloadGen::new(MixSpec::point_heavy(), tenants(), 0, 3).unwrap();
+        let mut hot = 0usize;
+        for _ in 0..2_000 {
+            match gen.next_op() {
+                LoadOp::Query(q) => {
+                    let n = if q.graph == 0 { 100 } else { 50 };
+                    assert!(q.source < n || q.op == QueryOp::KCore);
+                    if q.graph == 0 {
+                        hot += 1;
+                    }
+                }
+                LoadOp::Tune { .. } => panic!("no storm configured"),
+            }
+        }
+        // Weight 4:1 — the hot tenant should take roughly 80%.
+        assert!(
+            (1_400..=1_800).contains(&hot),
+            "hot tenant took {hot}/2000 picks"
+        );
+    }
+
+    #[test]
+    fn tune_storm_emits_tunes_at_roughly_the_configured_rate() {
+        let mix = MixSpec::scan_heavy().with_tune_storm(100); // 10%
+        let mut gen = WorkloadGen::new(mix, tenants(), 0, 5).unwrap();
+        let tunes = (0..2_000)
+            .filter(|_| matches!(gen.next_op(), LoadOp::Tune { .. }))
+            .count();
+        assert!(
+            (120..=280).contains(&tunes),
+            "expected ~200 tunes in 2000 ops, got {tunes}"
+        );
+    }
+
+    #[test]
+    fn deadlines_are_stamped_when_configured() {
+        let mut gen = WorkloadGen::new(MixSpec::point_heavy(), tenants(), 250, 9).unwrap();
+        for _ in 0..50 {
+            if let LoadOp::Query(q) = gen.next_op() {
+                assert_eq!(q.deadline_ms, 250);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(WorkloadGen::new(MixSpec::point_heavy(), vec![], 0, 1).is_err());
+        let zero_mix = MixSpec {
+            name: "zero".to_string(),
+            ppsp: 0,
+            sssp: 0,
+            wbfs: 0,
+            kcore: 0,
+            tune_per_thousand: 0,
+        };
+        assert!(WorkloadGen::new(zero_mix, tenants(), 0, 1).is_err());
+        let unweighted = vec![Tenant {
+            graph: 0,
+            weight: 0,
+            vertices: 10,
+        }];
+        assert!(WorkloadGen::new(MixSpec::point_heavy(), unweighted, 0, 1).is_err());
+    }
+}

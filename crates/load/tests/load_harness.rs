@@ -1,0 +1,286 @@
+//! The harness's own acceptance suite: determinism properties of the
+//! open-loop schedule and run plan, the histogram-vs-exact percentile
+//! bound, live-server runs with exactly-once `StatsV2` reconciliation,
+//! and the breaker state-walk against a server that goes away.
+
+use priograph_graph::gen::GraphGen;
+use priograph_load::report::{push_run_records, reconcile_settled};
+use priograph_load::run::{plan, run, RunConfig};
+use priograph_load::schedule::{arrival_times_us, ArrivalKind};
+use priograph_load::workload::{MixSpec, Tenant};
+use priograph_serve::client::Client;
+use priograph_serve::server::{serve_named, ServerConfig, ServerHandle};
+use priograph_telemetry::{bucket_ceiling, LatencyHistogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The arrival timeline is a pure function of (kind, rate, seed): the
+    /// same seed replays bit-for-bit, a different seed diverges (for
+    /// Poisson), and the timeline is always monotone nondecreasing.
+    #[test]
+    fn arrival_timelines_are_deterministic(seed in 0u64..1_000_000, rate_x10 in 10u64..50_000) {
+        let rate = rate_x10 as f64 / 10.0;
+        for kind in [ArrivalKind::Poisson, ArrivalKind::Fixed] {
+            let a = arrival_times_us(kind, rate, seed, 64);
+            let b = arrival_times_us(kind, rate, seed, 64);
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let c = arrival_times_us(ArrivalKind::Poisson, rate, seed, 64);
+        let d = arrival_times_us(ArrivalKind::Poisson, rate, seed.wrapping_add(1), 64);
+        prop_assert!(c != d, "different seeds must diverge");
+    }
+
+    /// The full per-worker run plan (arrival time + drawn operation) is
+    /// deterministic per seed, covers exactly `ops` operations, and deals
+    /// them evenly across workers.
+    #[test]
+    fn run_plans_are_deterministic(seed in 0u64..1_000_000, workers in 1usize..5, ops in 1usize..200) {
+        let mut config = RunConfig::new("127.0.0.1:1".parse().unwrap());
+        config.tenants = vec![
+            Tenant { graph: 0, weight: 3, vertices: 90 },
+            Tenant { graph: 1, weight: 1, vertices: 40 },
+        ];
+        config.seed = seed;
+        config.workers = workers;
+        config.ops = ops;
+        let a = plan(&config).unwrap();
+        let b = plan(&config).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), workers);
+        prop_assert_eq!(a.iter().map(Vec::len).sum::<usize>(), ops);
+        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    /// The histogram the harness reports percentiles from quantizes each
+    /// value into a log-linear bucket: its p99 must sit between the exact
+    /// nearest-rank p99 of the raw samples and that value's bucket
+    /// ceiling (≤ 1/16 relative error), never outside.
+    #[test]
+    fn histogram_p99_is_within_one_bucket_of_exact(seed in 0u64..1_000_000, n in 1usize..400) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = LatencyHistogram::new();
+        let mut raw: Vec<u64> = (0..n)
+            .map(|_| {
+                // Span several octaves, like real latencies do.
+                let magnitude = rng.gen_range(0u32..20);
+                rng.gen_range(0u64..=(1u64 << magnitude))
+            })
+            .collect();
+        for &v in &raw {
+            hist.record_value(v);
+        }
+        raw.sort_unstable();
+        let rank = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
+        let exact = raw[rank - 1];
+        let reported = hist.summary().p99;
+        prop_assert!(
+            exact <= reported && reported <= bucket_ceiling(exact),
+            "exact {} reported {} ceiling {}", exact, reported, bucket_ceiling(exact)
+        );
+    }
+}
+
+fn grid_server(threads: usize) -> (ServerHandle, Vec<Tenant>) {
+    let hot = GraphGen::road_grid(30, 30).seed(1).build();
+    let cold = GraphGen::road_grid(20, 20).seed(2).build();
+    let tenants = vec![
+        Tenant {
+            graph: 0,
+            weight: 4,
+            vertices: hot.num_vertices() as u32,
+        },
+        Tenant {
+            graph: 1,
+            weight: 1,
+            vertices: cold.num_vertices() as u32,
+        },
+    ];
+    let handle = serve_named(
+        vec![("hot".to_string(), hot), ("cold".to_string(), cold)],
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    (handle, tenants)
+}
+
+/// A live run: every scheduled query completes, the report's p99 is
+/// within one bucket of the exact percentile over the raw samples it
+/// kept, and the client-side tallies reconcile exactly with the server's
+/// `StatsV2` counters.
+#[test]
+fn live_run_reconciles_and_reports_exact_percentiles() {
+    let (handle, tenants) = grid_server(2);
+    let addr = handle.addr();
+    let mut config = RunConfig::new(addr);
+    config.tenants = tenants;
+    config.rate_qps = 400.0;
+    config.ops = 200;
+    config.workers = 2;
+    config.keep_raw = true;
+
+    let mut stats_client = Client::connect(addr).expect("connect");
+    let before = stats_client.stats_v2().expect("stats before");
+    let report = run(&config).expect("run");
+
+    assert_eq!(report.scheduled, 200);
+    assert_eq!(report.ok, 200, "healthy server answers everything");
+    assert_eq!(report.completed, 200);
+    assert_eq!(report.attempts, 200, "no retries needed");
+    assert_eq!(report.latency.count, 200);
+    assert_eq!(report.raw_latency_us.len(), 200);
+
+    // Histogram p99 vs the exact nearest-rank percentile of the same
+    // samples: within one bucket ceiling.
+    let mut raw = report.raw_latency_us.clone();
+    raw.sort_unstable();
+    let rank = ((0.99 * raw.len() as f64).ceil() as usize).clamp(1, raw.len());
+    let exact = raw[rank - 1];
+    assert!(
+        exact <= report.latency.p99 && report.latency.p99 <= bucket_ceiling(exact),
+        "exact {exact} reported {} ceiling {}",
+        report.latency.p99,
+        bucket_ceiling(exact)
+    );
+    // Percentiles are monotone.
+    assert!(report.latency.p50 <= report.latency.p99);
+    assert!(report.latency.p99 <= report.latency.p999);
+    assert!(report.latency.p999 <= report.latency.max);
+
+    reconcile_settled(
+        &report,
+        &before,
+        || {
+            stats_client
+                .stats_v2()
+                .map_err(|e| format!("stats after: {e:?}"))
+        },
+        2_000,
+    )
+    .expect("exactly-once reconciliation");
+    handle.stop();
+}
+
+/// Tune storms ride the same stream: tunes are excluded from the latency
+/// histogram and from `completed`, and the run still reconciles (tunes
+/// get no phase span server-side either).
+#[test]
+fn tune_storm_runs_reconcile_with_tunes_excluded() {
+    let (handle, tenants) = grid_server(2);
+    let addr = handle.addr();
+    let mut config = RunConfig::new(addr);
+    config.mix = MixSpec::scan_heavy().with_tune_storm(60);
+    config.tenants = tenants;
+    config.rate_qps = 300.0;
+    config.ops = 120;
+    config.workers = 2;
+
+    let mut stats_client = Client::connect(addr).expect("connect");
+    let before = stats_client.stats_v2().expect("stats before");
+    let report = run(&config).expect("run");
+
+    assert!(report.tunes > 0, "storm at 6% of 120 ops should fire");
+    assert_eq!(report.tunes_ok, report.tunes);
+    assert_eq!(report.completed, report.ok, "no errors expected");
+    assert_eq!(u64::from(u32::try_from(report.scheduled).unwrap()), 120);
+    assert_eq!(report.ok + report.tunes, 120);
+    assert_eq!(
+        report.latency.count, report.ok,
+        "tunes must not pollute the latency histogram"
+    );
+    reconcile_settled(
+        &report,
+        &before,
+        || {
+            stats_client
+                .stats_v2()
+                .map_err(|e| format!("stats after: {e:?}"))
+        },
+        2_000,
+    )
+    .expect("reconciliation with tunes in the stream");
+    handle.stop();
+}
+
+/// When the server disappears mid-workload, the breaker must open after
+/// exactly `threshold` consecutive IO failures and the run's event log
+/// must still validate — the walk proves no transition was lost, and the
+/// reported open time covers the refusal window.
+#[test]
+fn breaker_walk_survives_a_server_going_away() {
+    // Phase 1: a healthy run, then stop the server but keep its address.
+    let (handle, tenants) = grid_server(1);
+    let addr = handle.addr();
+    let mut config = RunConfig::new(addr);
+    config.tenants = tenants;
+    config.rate_qps = 500.0;
+    config.ops = 40;
+    config.workers = 1;
+    let healthy = run(&config).expect("healthy run");
+    assert_eq!(healthy.ok, 40);
+    assert_eq!(healthy.breaker.opens, 0);
+    handle.stop();
+
+    // Phase 2: same address, dead server. One worker, breaker threshold
+    // 2, long cooldown: the first request eats IO failures until the
+    // breaker opens, everything after is refused locally. The run itself
+    // validates the state walk (it errors on any lost transition).
+    config.rate_qps = 2_000.0;
+    config.ops = 30;
+    config.breaker_threshold = 2;
+    config.breaker_cooldown_ms = 60_000;
+    config.max_attempts = 2;
+    config.timeout_ms = 200;
+    config.backoff_base_ms = 1;
+    config.backoff_cap_ms = 2;
+    let dead = run(&config).expect("dead-server run still validates");
+
+    assert_eq!(dead.ok, 0);
+    assert!(dead.io_errors > 0, "the first ops fail on the socket");
+    assert!(dead.refused > 0, "later ops are refused locally");
+    assert_eq!(dead.breaker.opens, 1, "one open, cooldown never elapses");
+    assert_eq!(dead.breaker.transitions, 1);
+    assert!(
+        dead.breaker.open_time_us > 0,
+        "the open interval is charged to the end of the run"
+    );
+    assert_eq!(dead.local_refusals, dead.refused);
+    // Every IO attempt was observed: 2 attempts per failing op.
+    assert_eq!(dead.attempts, dead.io_errors * 2);
+    assert_eq!(dead.io_errors + dead.refused, 30);
+}
+
+/// The bench records derived from a run carry units and survive a JSON
+/// round-trip through the gate's parser.
+#[test]
+fn run_records_round_trip_through_bench_json() {
+    let (handle, tenants) = grid_server(1);
+    let addr = handle.addr();
+    let mut config = RunConfig::new(addr);
+    config.tenants = tenants;
+    config.rate_qps = 600.0;
+    config.ops = 60;
+    config.workers = 1;
+    let report = run(&config).expect("run");
+    handle.stop();
+
+    let mut bench = priograph_bench::record::BenchReport::new(1);
+    push_run_records(&mut bench, "smoke", &report);
+    let parsed = priograph_bench::record::BenchReport::parse(&bench.to_json()).expect("parse");
+    assert_eq!(parsed.records.len(), 9);
+    assert!(parsed.records.iter().all(|r| r.unit.is_some()));
+    let p99 = parsed
+        .records
+        .iter()
+        .find(|r| r.name == "smoke-p99-us")
+        .expect("p99 record");
+    assert_eq!(p99.median_ns, report.latency.p99.max(1));
+}

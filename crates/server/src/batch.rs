@@ -174,6 +174,23 @@ impl BatchRunner {
         });
     }
 
+    /// Deterministically warms every per-worker engine by running the whole
+    /// query set through each of them serially. [`BatchRunner::run`]'s
+    /// dynamic cursor makes a parallel warm-up nondeterministic — a worker
+    /// may claim few (or only cheap) queries, leaving its buffers below
+    /// their steady-state size, so capacities captured after it could still
+    /// grow in a later round. After this, every engine's buffers are at the
+    /// maximum any subset of `queries` can demand, in any claiming order.
+    #[doc(hidden)]
+    pub fn warm_engines(&mut self, workers: usize, graph: &CsrGraph, queries: &[(u32, u32)]) {
+        self.engines.ensure(workers);
+        for engine in self.engines.iter_mut() {
+            for &(source, target) in queries {
+                let _ = engine.point_query(graph, source, target);
+            }
+        }
+    }
+
     /// Capacities of every per-worker engine, for buffer-stability tests.
     #[doc(hidden)]
     pub fn engine_capacities(&mut self) -> Vec<(usize, usize, usize)> {
@@ -265,9 +282,14 @@ mod tests {
     #[test]
     fn steady_state_batches_reuse_buffers() {
         // The serving-layer analogue of the bucket queue's
-        // steady_state_rounds_reuse_buffers: after a warm-up batch, repeated
-        // identical batches must not grow any engine buffer and must keep
-        // filling the same caller-owned answer storage.
+        // steady_state_rounds_reuse_buffers: after a deterministic warm-up,
+        // repeated identical batches must not grow any engine buffer and
+        // must keep filling the same caller-owned answer storage. The
+        // warm-up runs every query through every engine serially — a
+        // parallel warm-up is not enough, because the dynamic cursor can
+        // hand a worker so few queries that its buffers are still below
+        // steady-state when capacities are captured (the release-mode flake
+        // noted in PR 8).
         let g = GraphGen::road_grid(20, 20).seed(3).build();
         let n = g.num_vertices() as u32;
         let pool = Pool::new(4);
@@ -277,7 +299,7 @@ mod tests {
         let mut runner = BatchRunner::new();
         let mut answers = Vec::new();
 
-        runner.run(&pool, &g, &queries, &mut answers);
+        runner.warm_engines(pool.num_threads(), &g, &queries);
         runner.run(&pool, &g, &queries, &mut answers);
         let warm = runner.engine_capacities();
         let answers_ptr = answers.as_ptr();

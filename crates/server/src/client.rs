@@ -510,13 +510,81 @@ fn retriable(outcome: &Result<Response, WireError>) -> bool {
     }
 }
 
+/// The outcome class of one wire attempt, as seen by a [`ClientEvent`]
+/// sink. This is a lossy projection of `Result<Response, WireError>` —
+/// just enough for accounting (the load harness tallies per-class rates
+/// and reconciles them against server counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptClass {
+    /// A successful (non-error) response.
+    Success,
+    /// A typed error of the carried kind, in-band or wire-level.
+    Error(ErrorKind),
+    /// An admission refusal (`Busy`), in-band or wire-level.
+    Busy,
+    /// A socket error: connect failure, read/write timeout, peer close.
+    Io,
+    /// A framing or versioning failure (malformed frame, version
+    /// mismatch, oversized frame).
+    Wire,
+}
+
+impl AttemptClass {
+    /// Classifies one attempt outcome (the same shape
+    /// [`Client::request`] returns).
+    pub fn of(outcome: &Result<Response, WireError>) -> AttemptClass {
+        match outcome {
+            Ok(Response::Busy { .. }) | Err(WireError::Busy { .. }) => AttemptClass::Busy,
+            Ok(Response::Error { kind, .. }) | Err(WireError::Remote { kind, .. }) => {
+                AttemptClass::Error(*kind)
+            }
+            Ok(_) => AttemptClass::Success,
+            Err(WireError::Io(_)) => AttemptClass::Io,
+            Err(_) => AttemptClass::Wire,
+        }
+    }
+}
+
+/// One observable step inside [`ResilientClient::request`], delivered to
+/// the sink installed with [`ResilientClient::set_event_sink`]. Events
+/// are emitted in causal order: the attempt outcome first, then any
+/// breaker transition it caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// One wire attempt resolved. `attempt` is 0-based within the
+    /// request; `failure` is the [`breaker_failure`] verdict the breaker
+    /// was fed for this outcome.
+    Attempt {
+        /// 0-based attempt index within the current request.
+        attempt: u32,
+        /// What the attempt resolved to.
+        class: AttemptClass,
+        /// Whether the breaker counted this outcome as a failure.
+        failure: bool,
+    },
+    /// The circuit breaker moved between states.
+    Breaker {
+        /// State before the transition.
+        from: BreakerState,
+        /// State after the transition.
+        to: BreakerState,
+    },
+    /// The open breaker refused the request locally — nothing was sent.
+    LocalRefusal {
+        /// Milliseconds until the next half-open probe is allowed.
+        retry_after_ms: u64,
+    },
+}
+
+/// The sink type [`ResilientClient::set_event_sink`] installs.
+type EventSink = Box<dyn FnMut(ClientEvent) + Send>;
+
 /// A [`Client`] with the full client-side failure model: connects on
 /// demand (and reconnects after socket errors), retries retriable
 /// failures under a jittered [`Backoff`] honoring server hints, and
 /// routes every outcome through a [`CircuitBreaker`] so sustained failure
 /// short-circuits locally with [`WireError::CircuitOpen`] instead of
 /// hammering a struggling server.
-#[derive(Debug)]
 pub struct ResilientClient {
     addr: SocketAddr,
     config: ClientConfig,
@@ -524,6 +592,19 @@ pub struct ResilientClient {
     backoff: Backoff,
     max_attempts: u32,
     inner: Option<Client>,
+    sink: Option<EventSink>,
+}
+
+impl fmt::Debug for ResilientClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("addr", &self.addr)
+            .field("breaker", &self.breaker)
+            .field("max_attempts", &self.max_attempts)
+            .field("connected", &self.inner.is_some())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl ResilientClient {
@@ -555,12 +636,33 @@ impl ResilientClient {
             backoff,
             max_attempts: max_attempts.max(1),
             inner: None,
+            sink: None,
         }
     }
 
     /// The breaker's current state (for monitoring and tests).
     pub fn breaker_state(&self) -> BreakerState {
         self.breaker.state()
+    }
+
+    /// Installs an event sink observing every attempt outcome, breaker
+    /// transition, and local refusal (replacing any previous sink). The
+    /// sink is observation-only: it cannot alter retry or breaker
+    /// decisions, and it runs inline on the requesting thread — keep it
+    /// cheap (the load harness records into a lock-free ring).
+    pub fn set_event_sink(&mut self, sink: impl FnMut(ClientEvent) + Send + 'static) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// Removes any installed event sink.
+    pub fn clear_event_sink(&mut self) {
+        self.sink = None;
+    }
+
+    fn emit(&mut self, event: ClientEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink(event);
+        }
     }
 
     /// Sends one request under the full policy. Always resolves: an
@@ -574,16 +676,41 @@ impl ResilientClient {
     pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
         let mut attempt = 0u32;
         loop {
-            if let Err(wait) = self.breaker.preflight() {
-                return Err(WireError::CircuitOpen {
-                    retry_after_ms: (wait.as_millis() as u64).max(1),
+            let pre = self.breaker.state();
+            let gate = self.breaker.preflight();
+            let post = self.breaker.state();
+            if pre != post {
+                // Open → HalfOpen: the cooldown elapsed and this request
+                // is the probe.
+                self.emit(ClientEvent::Breaker {
+                    from: pre,
+                    to: post,
                 });
             }
+            if let Err(wait) = gate {
+                let retry_after_ms = (wait.as_millis() as u64).max(1);
+                self.emit(ClientEvent::LocalRefusal { retry_after_ms });
+                return Err(WireError::CircuitOpen { retry_after_ms });
+            }
             let outcome = self.try_once(request);
-            if breaker_failure(&outcome) {
+            let failure = breaker_failure(&outcome);
+            self.emit(ClientEvent::Attempt {
+                attempt,
+                class: AttemptClass::of(&outcome),
+                failure,
+            });
+            let pre = self.breaker.state();
+            if failure {
                 self.breaker.record_failure();
             } else if outcome.is_ok() {
                 self.breaker.record_success();
+            }
+            let post = self.breaker.state();
+            if pre != post {
+                self.emit(ClientEvent::Breaker {
+                    from: pre,
+                    to: post,
+                });
             }
             if matches!(outcome, Err(WireError::Io(_))) {
                 // The socket state is unknown after an IO error; the next
@@ -746,5 +873,75 @@ mod tests {
             Err(WireError::CircuitOpen { retry_after_ms }) => assert!(retry_after_ms >= 1),
             other => panic!("expected CircuitOpen, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn event_sink_sees_attempts_transitions_and_refusals_in_causal_order() {
+        use std::sync::{Arc, Mutex};
+
+        let dead = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let mut client = ResilientClient::with_policy(
+            dead,
+            ClientConfig {
+                connect_timeout_ms: 200,
+                ..ClientConfig::default()
+            },
+            CircuitBreaker::new(2, Duration::from_millis(10_000)),
+            Backoff::new(1, 5, 7),
+            2,
+        );
+        let events: Arc<Mutex<Vec<ClientEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_events = Arc::clone(&events);
+        client.set_event_sink(move |e| sink_events.lock().unwrap().push(e));
+
+        assert!(matches!(
+            client.request(&Request::Stats),
+            Err(WireError::Io(_))
+        ));
+        assert!(matches!(
+            client.request(&Request::Stats),
+            Err(WireError::CircuitOpen { .. })
+        ));
+
+        let log = events.lock().unwrap().clone();
+        assert_eq!(
+            log,
+            vec![
+                ClientEvent::Attempt {
+                    attempt: 0,
+                    class: AttemptClass::Io,
+                    failure: true,
+                },
+                ClientEvent::Attempt {
+                    attempt: 1,
+                    class: AttemptClass::Io,
+                    failure: true,
+                },
+                ClientEvent::Breaker {
+                    from: BreakerState::Closed,
+                    to: BreakerState::Open,
+                },
+                ClientEvent::LocalRefusal {
+                    retry_after_ms: log
+                        .iter()
+                        .find_map(|e| match e {
+                            ClientEvent::LocalRefusal { retry_after_ms } => Some(*retry_after_ms),
+                            _ => None,
+                        })
+                        .unwrap_or(0),
+                },
+            ]
+        );
+
+        // Removing the sink stops delivery without changing behavior.
+        client.clear_event_sink();
+        assert!(matches!(
+            client.request(&Request::Stats),
+            Err(WireError::CircuitOpen { .. })
+        ));
+        assert_eq!(events.lock().unwrap().len(), log.len());
     }
 }

@@ -1,0 +1,272 @@
+//! A bounded wall-clock event ring: fixed-capacity, lock-free recording of
+//! timestamped events for post-run forensics.
+//!
+//! The load harness (`priograph-load`) needs one record per query — when it
+//! was *scheduled* to arrive, when it was sent, how it resolved, what the
+//! circuit breaker was doing — without perturbing the run it is measuring.
+//! [`EventRing`] provides that: recording is one `fetch_add` on a cursor
+//! plus three relaxed stores and one release store (the commit flag); no
+//! locks, no allocation, any number of concurrent writers.
+//!
+//! Unlike [`crate::SlowRing`] (which keeps the worst N by displacement),
+//! this ring is **append-only and honest about loss**: once the fixed
+//! capacity is spent, further events are dropped and *counted* — the
+//! earliest events are never silently overwritten, because consumers
+//! (breaker-walk reconciliation, exactly-once error accounting) need a
+//! complete prefix, not a recent window. Size the ring for the worst case
+//! and assert [`EventRing::dropped`] is zero.
+//!
+//! Timestamps are microseconds since the ring's construction, stamped from
+//! one shared monotonic origin — every writer's events are directly
+//! comparable, which is what makes breaker *open-time* computable from the
+//! drained log.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One drained event: a wall-clock stamp plus two opaque payload words.
+/// The ring does not interpret `a`/`b`; callers define their own packing
+/// (the load harness keeps an event tag and indices in `a`, measured
+/// durations in `b`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RingEvent {
+    /// Microseconds since [`EventRing::new`], from the ring's own clock.
+    pub at_us: u64,
+    /// First payload word (caller-defined).
+    pub a: u64,
+    /// Second payload word (caller-defined).
+    pub b: u64,
+}
+
+/// One slot: a commit flag (0 = empty, 1 = published) guarding the three
+/// payload words. The writer stores the payload relaxed, then publishes
+/// with a release store; readers acquire the flag before trusting the
+/// payload.
+#[derive(Debug)]
+struct Slot {
+    committed: AtomicU64,
+    at_us: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A fixed-capacity, multi-writer, wall-clock event log (see module docs).
+///
+/// Thread model: any number of concurrent [`EventRing::record`] callers;
+/// [`EventRing::snapshot`] may run concurrently (it skips slots whose
+/// commit flag is not yet visible) but is exact once writers quiesce.
+#[derive(Debug)]
+pub struct EventRing {
+    origin: Instant,
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// An empty ring with room for `capacity` events (the slot array is
+    /// the only allocation the ring ever performs). A zero capacity is
+    /// rounded up to one slot.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(Slot {
+                committed: AtomicU64::new(0),
+                at_us: AtomicU64::new(0),
+                a: AtomicU64::new(0),
+                b: AtomicU64::new(0),
+            });
+        }
+        EventRing {
+            origin: Instant::now(),
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds since the ring's construction on its own clock — use
+    /// this to stamp measurements that must be comparable with recorded
+    /// events.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one event stamped `now_us()`. Returns `false` (and counts
+    /// the drop) when the ring is full.
+    pub fn record(&self, a: u64, b: u64) -> bool {
+        self.record_at(self.now_us(), a, b)
+    }
+
+    /// Records one event with an explicit stamp (a caller that already
+    /// read [`EventRing::now_us`] for its measurement avoids a second
+    /// clock read). Returns `false` when the ring is full.
+    pub fn record_at(&self, at_us: u64, a: u64, b: u64) -> bool {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = self.slots.get(idx as usize) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        slot.at_us.store(at_us, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.committed.store(1, Ordering::Release);
+        true
+    }
+
+    /// Events recorded (committed or in flight), capped at capacity.
+    pub fn len(&self) -> usize {
+        (self.cursor.load(Ordering::Relaxed) as usize).min(self.slots.len())
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events refused because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The committed events in record order. Taken concurrently with
+    /// writers it skips not-yet-published slots; after writers quiesce it
+    /// is the complete log.
+    pub fn snapshot(&self) -> Vec<RingEvent> {
+        let len = self.len();
+        let mut out = Vec::with_capacity(len);
+        for slot in self.slots.iter().take(len) {
+            if slot.committed.load(Ordering::Acquire) == 1 {
+                out.push(RingEvent {
+                    at_us: slot.at_us.load(Ordering::Relaxed),
+                    a: slot.a.load(Ordering::Relaxed),
+                    b: slot.b.load(Ordering::Relaxed),
+                });
+            }
+        }
+        out
+    }
+
+    /// Empties the ring for reuse (cursor, commit flags, and the drop
+    /// counter). The caller must have quiesced all writers first — a
+    /// record racing a reset may land anywhere or be lost. The clock
+    /// origin is preserved so stamps stay comparable across resets.
+    pub fn reset(&self) {
+        let len = self.len();
+        for slot in self.slots.iter().take(len) {
+            slot.committed.store(0, Ordering::Relaxed);
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+        self.cursor.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_are_drained_in_order_with_stamps() {
+        let ring = EventRing::new(8);
+        assert!(ring.is_empty());
+        for i in 0..5u64 {
+            assert!(ring.record_at(i * 10, i, i * 100));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(
+                *e,
+                RingEvent {
+                    at_us: i * 10,
+                    a: i,
+                    b: i * 100
+                }
+            );
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_never_overwrites() {
+        let ring = EventRing::new(3);
+        for i in 0..10u64 {
+            ring.record_at(i, i, 0);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let events = ring.snapshot();
+        // The earliest events survive; later ones were refused.
+        assert_eq!(
+            events.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn reset_reuses_the_ring_and_keeps_the_clock() {
+        let ring = EventRing::new(2);
+        ring.record(1, 1);
+        ring.record(2, 2);
+        ring.record(3, 3); // dropped
+        assert_eq!(ring.dropped(), 1);
+        let before = ring.now_us();
+        ring.reset();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        assert!(ring.snapshot().is_empty());
+        ring.record(4, 4);
+        assert_eq!(ring.snapshot().len(), 1);
+        assert_eq!(ring.snapshot()[0].a, 4);
+        // Origin preserved: stamps after the reset continue the same axis.
+        assert!(ring.now_us() >= before);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_below_capacity() {
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 5_000;
+        let ring = Arc::new(EventRing::new((WRITERS * PER_WRITER) as usize));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        assert!(ring.record(w, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), (WRITERS * PER_WRITER) as usize);
+        assert_eq!(ring.dropped(), 0);
+        // Every writer's full sequence is present exactly once.
+        for w in 0..WRITERS {
+            let mut seen: Vec<u64> = events.iter().filter(|e| e.a == w).map(|e| e.b).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..PER_WRITER).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up_and_wall_clock_advances() {
+        let ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.record(1, 2));
+        assert!(!ring.record(3, 4));
+        let t0 = ring.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(ring.now_us() >= t0 + 1_000);
+    }
+}

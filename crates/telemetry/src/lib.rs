@@ -16,6 +16,9 @@
 //!   that absorb them.
 //! - [`SlowRing`] — a bounded worst-N ring whose fast path is a single
 //!   relaxed load, for capturing the slowest queries with full context.
+//! - [`EventRing`] — a bounded append-only wall-clock event log that
+//!   drops (and counts) on overflow instead of overwriting, for
+//!   harnesses that need a complete, time-ordered record of a run.
 //!
 //! The crate is deliberately free-standing: it knows nothing about the
 //! wire protocol, graphs, or schedules. The server maps these primitives
@@ -28,11 +31,13 @@
 #![warn(missing_debug_implementations)]
 
 mod counter;
+mod events;
 mod hist;
 mod ring;
 mod span;
 
 pub use counter::Counter;
+pub use events::{EventRing, RingEvent};
 pub use hist::{
     bucket_bounds, bucket_ceiling, HistogramSnapshot, LatencyHistogram, Summary, BUCKET_COUNT,
     MAX_VALUE, SUB_BUCKETS,

@@ -37,7 +37,14 @@ const SERVER_PANIC_FILES: &[&str] = &[
 /// Telemetry sources under the same no-panic rule: these run inside the
 /// dispatcher loop and the engines' round boundaries, where a panic
 /// poisons the whole serving path.
-const TELEMETRY_PANIC_FILES: &[&str] = &["lib.rs", "hist.rs", "counter.rs", "span.rs", "ring.rs"];
+const TELEMETRY_PANIC_FILES: &[&str] = &[
+    "lib.rs",
+    "hist.rs",
+    "counter.rs",
+    "span.rs",
+    "ring.rs",
+    "events.rs",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
