@@ -291,6 +291,103 @@ mod tests {
     }
 
     #[test]
+    fn engines_on_executor_backed_pool_reconcile_and_match_own_pool() {
+        // The work-stealing executor's gang regions must be a drop-in
+        // replacement for the dedicated pool: identical priorities AND exact
+        // observer/ExecStats reconciliation across lazy/eager/fusion, even
+        // with interactive packets streaming through the same workers.
+        use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Tally {
+            rounds: AtomicU64,
+            relaxations: AtomicU64,
+        }
+        impl RoundObserver for Tally {
+            fn on_round(&self, info: &RoundInfo) {
+                self.rounds.fetch_add(1, Ordering::Relaxed);
+                self.relaxations
+                    .fetch_add(info.relaxations, Ordering::Relaxed);
+            }
+        }
+
+        let g = priograph_graph::gen::GraphGen::road_grid(12, 12)
+            .seed(5)
+            .weights_uniform(1, 16)
+            .build();
+        let own = priograph_parallel::Pool::new(4);
+        let exec = Arc::new(priograph_parallel::Executor::new(4));
+        let pool = priograph_parallel::Pool::attach(&exec);
+        let p = OrderedProblem::lower_first(&g)
+            .allow_coarsening()
+            .init_constant(priograph_buckets::NULL_PRIORITY)
+            .seed(0, 0);
+
+        // A concurrent interactive trickle exercises barrier stealing.
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicUsize::new(0));
+        let feeder = {
+            let exec = Arc::clone(&exec);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let mut sent = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let served = Arc::clone(&served);
+                    exec.submit(priograph_parallel::Lane::Interactive, move |_| {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    });
+                    sent += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                sent
+            })
+        };
+
+        for schedule in [
+            Schedule::lazy(4),
+            Schedule::eager(4),
+            Schedule::eager_with_fusion(16),
+        ] {
+            let tally = Tally::default();
+            let out = run_ordered_observed(
+                &pool,
+                &p,
+                &schedule,
+                &crate::udf::MinPlusWeight,
+                None,
+                Some(&tally),
+            )
+            .unwrap();
+            assert_eq!(
+                tally.rounds.load(Ordering::Relaxed),
+                out.stats.rounds,
+                "executor-backed observer round count mismatch for {schedule:?}"
+            );
+            assert_eq!(
+                tally.relaxations.load(Ordering::Relaxed),
+                out.stats.relaxations,
+                "executor-backed observer relaxation mismatch for {schedule:?}"
+            );
+            let reference =
+                run_ordered_on(&own, &p, &schedule, &crate::udf::MinPlusWeight, None).unwrap();
+            assert_eq!(
+                out.priorities, reference.priorities,
+                "executor-backed result diverged for {schedule:?}"
+            );
+        }
+        stop.store(true, Ordering::Release);
+        let sent = feeder.join().unwrap();
+        exec.wait_idle();
+        assert_eq!(served.load(Ordering::Relaxed), sent);
+        assert!(
+            exec.stats().gangs > 0,
+            "engines must have used gang regions"
+        );
+    }
+
+    #[test]
     fn validate_rejects_bad_parameters() {
         let g = GraphGen::path(4).build();
         let p = OrderedProblem::lower_first(&g);

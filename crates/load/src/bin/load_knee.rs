@@ -9,21 +9,27 @@
 //!   halved knee doubles the record, tripping the ratio gate);
 //! * `knee-<mix>-p99-us` — the open-loop p99 at the knee rung.
 //!
-//! The committed `BENCH_PR9_LOAD.json` is produced by this binary with
-//! default flags; CI regenerates it at the pinned seeds and gates with
+//! Each mix's p99 budget and completion floor come from the committed
+//! per-mix SLO file (`slo.toml`, see `priograph_load::slo`) when present;
+//! `--budget-p99-ms` / `--min-completion` override it for experiments, and
+//! the built-in defaults apply when neither exists. The committed
+//! `BENCH_PR9_LOAD.json` is produced by this binary with default flags;
+//! CI regenerates it at the pinned seeds and gates with
 //! `scripts/bench_compare --fail-ratio 10.0` (cross-machine slack — the
 //! gate catches collapses, not jitter).
 //!
 //! ```text
 //! load_knee [--out BENCH_PR9_LOAD.json] [--mixes point-heavy,scan-heavy]
-//!           [--rates 50,100,200,400,800] [--ops 400] [--budget-p99-ms 50]
-//!           [--workers 2] [--seed 42] [--graphs grid:40,grid:30]
-//!           [--threads 2] [--hot-weight 4] [--min-completion 0.95]
+//!           [--rates 50,...,6400] [--ops 400] [--slo slo.toml]
+//!           [--budget-p99-ms 50] [--workers 2] [--seed 42]
+//!           [--graphs grid:40,grid:30] [--threads 2] [--hot-weight 4]
+//!           [--min-completion 0.95]
 //! ```
 
 use priograph_bench::record::BenchReport;
 use priograph_load::knee::{find_knee, KneeConfig};
 use priograph_load::run::RunConfig;
+use priograph_load::slo::{SloFile, DEFAULT_SLO_PATH};
 use priograph_load::workload::{MixSpec, Tenant};
 use priograph_serve::server::{serve_named, ServerConfig};
 use priograph_serve::spec::graph_from_spec;
@@ -33,13 +39,14 @@ struct Args {
     mixes: Vec<String>,
     rates: Vec<f64>,
     ops: usize,
-    budget_p99_ms: u64,
+    budget_p99_ms: Option<u64>,
     workers: usize,
     seed: u64,
     graphs: Vec<String>,
     threads: usize,
     hot_weight: u32,
-    min_completion: f64,
+    min_completion: Option<f64>,
+    slo: Option<std::path::PathBuf>,
 }
 
 fn parse_rates(text: &str) -> Vec<f64> {
@@ -58,15 +65,19 @@ impl Args {
         let mut args = Args {
             out: std::path::PathBuf::from("BENCH_PR9_LOAD.json"),
             mixes: vec!["point-heavy".to_string(), "scan-heavy".to_string()],
-            rates: vec![50.0, 100.0, 200.0, 400.0, 800.0],
+            // Raised ladder (ISSUE 10): with the work-stealing core the
+            // knee is no longer pinned to the dispatcher's round rate, so
+            // the old 800 q/s top rung censored the measurement.
+            rates: vec![50.0, 100.0, 200.0, 400.0, 800.0, 1_600.0, 3_200.0, 6_400.0],
             ops: 400,
-            budget_p99_ms: 50,
+            budget_p99_ms: None,
             workers: 2,
             seed: 42,
             graphs: vec!["grid:40".to_string(), "grid:30".to_string()],
             threads: 2,
             hot_weight: 4,
-            min_completion: 0.95,
+            min_completion: None,
+            slo: None,
         };
         let mut argv = std::env::args().skip(1);
         while let Some(flag) = argv.next() {
@@ -80,8 +91,10 @@ impl Args {
                 "--rates" => args.rates = parse_rates(&take("--rates")),
                 "--ops" => args.ops = take("--ops").parse().expect("--ops"),
                 "--budget-p99-ms" => {
-                    args.budget_p99_ms = take("--budget-p99-ms").parse().expect("--budget-p99-ms");
+                    args.budget_p99_ms =
+                        Some(take("--budget-p99-ms").parse().expect("--budget-p99-ms"));
                 }
+                "--slo" => args.slo = Some(take("--slo").into()),
                 "--workers" => args.workers = take("--workers").parse().expect("--workers"),
                 "--seed" => args.seed = take("--seed").parse().expect("--seed"),
                 "--graphs" => {
@@ -93,13 +106,14 @@ impl Args {
                 }
                 "--min-completion" => {
                     args.min_completion =
-                        take("--min-completion").parse().expect("--min-completion");
+                        Some(take("--min-completion").parse().expect("--min-completion"));
                 }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --out PATH  --mixes LIST  --rates LIST  --ops N\n\
-                         \x20      --budget-p99-ms N  --workers N  --seed N  --graphs SPEC,SPEC\n\
-                         \x20      --threads N  --hot-weight N  --min-completion F"
+                         \x20      --slo PATH  --budget-p99-ms N  --workers N  --seed N\n\
+                         \x20      --graphs SPEC,SPEC  --threads N  --hot-weight N\n\
+                         \x20      --min-completion F"
                     );
                     std::process::exit(0);
                 }
@@ -113,8 +127,25 @@ impl Args {
     }
 }
 
+/// Loads the SLO file: the `--slo` path must parse; the default path is
+/// optional (absent ⇒ built-in defaults) but must parse when present.
+fn load_slo(explicit: Option<&std::path::Path>) -> SloFile {
+    let (path, required) = match explicit {
+        Some(p) => (p.to_path_buf(), true),
+        None => (std::path::PathBuf::from(DEFAULT_SLO_PATH), false),
+    };
+    if !required && !path.exists() {
+        return SloFile::default();
+    }
+    SloFile::load(&path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args = Args::parse();
+    let slo = load_slo(args.slo.as_deref());
     let mut bench = BenchReport::new(args.workers);
 
     for mix_name in &args.mixes {
@@ -152,11 +183,22 @@ fn main() {
         base.tenants = tenants;
         base.workers = args.workers.max(1);
         base.seed = args.seed;
+        // Precedence per mix: CLI flag > slo.toml entry > built-in default.
+        let mix_slo = slo.mix(mix_name);
+        let budget_p99_us = args
+            .budget_p99_ms
+            .map(|ms| ms.saturating_mul(1_000))
+            .or(mix_slo.map(|m| m.p99_budget_us))
+            .unwrap_or(50_000);
+        let min_completion = args
+            .min_completion
+            .or(mix_slo.map(|m| m.min_completion))
+            .unwrap_or(0.95);
         let knee_config = KneeConfig {
-            budget_p99_us: args.budget_p99_ms.saturating_mul(1_000),
+            budget_p99_us,
             rates: args.rates.clone(),
             ops_per_step: args.ops,
-            min_completion: args.min_completion,
+            min_completion,
         };
         let result = find_knee(&base, &knee_config).unwrap_or_else(|e| {
             eprintln!("knee ladder failed for {mix_name}: {e}");

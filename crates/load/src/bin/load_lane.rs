@@ -1,0 +1,324 @@
+//! The lane-fairness proof: point-heavy p99 with and without a concurrent
+//! `TuneGraph` storm, gated against the committed SLO.
+//!
+//! This is the acceptance instrument for the work-stealing execution core
+//! (ISSUE 10). Under the old single-dispatcher architecture a tune run
+//! owned the pool for many measured trials while admitted point queries
+//! queued behind it — the exact scenario this binary makes a number:
+//!
+//! 1. **Baseline**: a fresh loopback server, one seeded open-loop
+//!    point-heavy run, record the open-loop p99.
+//! 2. **Storm**: an identical fresh server and the *same seeded run*, but
+//!    with `--storm-conns` extra connections issuing back-to-back
+//!    `TuneGraph` requests against the hot graph for the whole run.
+//! 3. **Gate**: `storm p99 / baseline p99` must stay within the committed
+//!    `[lane.point-heavy]` SLO (`slo.toml`: `storm_p99_ratio_max`, with
+//!    `storm_p99_floor_us` as an absolute grace floor so timer noise on a
+//!    millisecond baseline cannot fail the ratio). Violation exits 1.
+//!
+//! Emitted records (`BENCH_PR10_SCHED.json`, gateable by `bench_compare`):
+//!
+//! * `lane-<mix>-baseline-p99-us` — storm-free open-loop p99;
+//! * `lane-<mix>-storm-p99-us` — the same run's p99 under the storm;
+//! * `lane-<mix>-storm-ratio-x1000` — the degradation ratio × 1000,
+//!   machine-speed-independent, smaller is better.
+//!
+//! ```text
+//! load_lane [--out BENCH_PR10_SCHED.json] [--mix point-heavy] [--rate 300]
+//!           [--ops 400] [--workers 2] [--seed 42] [--graphs grid:40,grid:30]
+//!           [--threads 2] [--hot-weight 4] [--storm-conns 2]
+//!           [--tune-budget 2] [--slo slo.toml] [--no-gate]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use priograph_bench::record::BenchReport;
+use priograph_load::run::{run, RunConfig, RunReport};
+use priograph_load::slo::{LaneSlo, SloFile, DEFAULT_SLO_PATH};
+use priograph_load::workload::{MixSpec, Tenant};
+use priograph_serve::client::Client;
+use priograph_serve::protocol::QueryOp;
+use priograph_serve::server::{serve_named, ServerConfig, ServerHandle};
+use priograph_serve::spec::graph_from_spec;
+
+struct Args {
+    out: std::path::PathBuf,
+    mix: String,
+    rate: f64,
+    ops: usize,
+    workers: usize,
+    seed: u64,
+    graphs: Vec<String>,
+    threads: usize,
+    hot_weight: u32,
+    storm_conns: usize,
+    tune_budget: u32,
+    slo: Option<std::path::PathBuf>,
+    gate: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            out: std::path::PathBuf::from("BENCH_PR10_SCHED.json"),
+            mix: "point-heavy".to_string(),
+            rate: 300.0,
+            ops: 400,
+            workers: 2,
+            seed: 42,
+            graphs: vec!["grid:40".to_string(), "grid:30".to_string()],
+            threads: 2,
+            hot_weight: 4,
+            storm_conns: 2,
+            tune_budget: 2,
+            slo: None,
+            gate: true,
+        };
+        let mut argv = std::env::args().skip(1);
+        while let Some(flag) = argv.next() {
+            let mut take = |what: &str| -> String {
+                argv.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match flag.as_str() {
+                "--out" => args.out = take("--out").into(),
+                "--mix" => args.mix = take("--mix"),
+                "--rate" => args.rate = take("--rate").parse().expect("--rate"),
+                "--ops" => args.ops = take("--ops").parse().expect("--ops"),
+                "--workers" => args.workers = take("--workers").parse().expect("--workers"),
+                "--seed" => args.seed = take("--seed").parse().expect("--seed"),
+                "--graphs" => {
+                    args.graphs = take("--graphs").split(',').map(str::to_string).collect();
+                }
+                "--threads" => args.threads = take("--threads").parse().expect("--threads"),
+                "--hot-weight" => {
+                    args.hot_weight = take("--hot-weight").parse().expect("--hot-weight");
+                }
+                "--storm-conns" => {
+                    args.storm_conns = take("--storm-conns").parse().expect("--storm-conns");
+                }
+                "--tune-budget" => {
+                    args.tune_budget = take("--tune-budget").parse().expect("--tune-budget");
+                }
+                "--slo" => args.slo = Some(take("--slo").into()),
+                "--no-gate" => args.gate = false,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --out PATH  --mix NAME  --rate QPS  --ops N  --workers N\n\
+                         \x20      --seed N  --graphs SPEC,SPEC  --threads N  --hot-weight N\n\
+                         \x20      --storm-conns N  --tune-budget N  --slo PATH  --no-gate"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn fresh_server(args: &Args) -> (ServerHandle, Vec<Tenant>) {
+    let mut named = Vec::new();
+    let mut tenants = Vec::new();
+    for (i, spec) in args.graphs.iter().enumerate() {
+        let graph = graph_from_spec(spec).unwrap_or_else(|e| {
+            eprintln!("bad --graphs entry {spec:?}: {e}");
+            std::process::exit(2);
+        });
+        tenants.push(Tenant {
+            graph: i as u32,
+            weight: if i == 0 { args.hot_weight.max(1) } else { 1 },
+            vertices: graph.num_vertices() as u32,
+        });
+        named.push((format!("g{i}"), graph));
+    }
+    let handle = serve_named(
+        named,
+        ServerConfig {
+            threads: args.threads.max(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bind loopback server: {e}");
+        std::process::exit(1);
+    });
+    (handle, tenants)
+}
+
+fn measured_run(
+    args: &Args,
+    mix: MixSpec,
+    addr: std::net::SocketAddr,
+    tenants: Vec<Tenant>,
+) -> RunReport {
+    let mut config = RunConfig::new(addr);
+    config.mix = mix;
+    config.tenants = tenants;
+    config.rate_qps = args.rate;
+    config.ops = args.ops;
+    config.workers = args.workers.max(1);
+    config.seed = args.seed;
+    run(&config).unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// One storm connection: back-to-back `TuneGraph` requests against the hot
+/// graph until told to stop. Errors (e.g. Busy under quota pressure) are
+/// tolerated — the storm's only job is to keep background tune packets in
+/// flight; `tunes_done` counts the ones that landed.
+fn storm_loop(addr: std::net::SocketAddr, budget: u32, stop: &AtomicBool, tunes_done: &AtomicU64) {
+    while !stop.load(Ordering::Acquire) {
+        let Ok(mut client) = Client::connect(addr) else {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            continue;
+        };
+        while !stop.load(Ordering::Acquire) {
+            match client.tune_graph(0, QueryOp::Sssp, budget) {
+                Ok(_) => {
+                    tunes_done.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => break, // reconnect (or exit on the stop flag)
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let slo_file = match &args.slo {
+        Some(path) => SloFile::load(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => {
+            let default = std::path::Path::new(DEFAULT_SLO_PATH);
+            if default.exists() {
+                SloFile::load(default).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            } else {
+                SloFile::default()
+            }
+        }
+    };
+    let lane_slo = slo_file.lane(&args.mix).unwrap_or(LaneSlo {
+        storm_p99_ratio_max: 2.0,
+        storm_p99_floor_us: 20_000,
+    });
+    let mix = MixSpec::parse(&args.mix).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    // Phase 1: the storm-free baseline on a fresh server.
+    let (handle, tenants) = fresh_server(&args);
+    let baseline = measured_run(&args, mix.clone(), handle.addr(), tenants);
+    handle.stop();
+    eprintln!(
+        "baseline  p99 {:>8}us  ok {}/{}  ({:.0} q/s achieved)",
+        baseline.latency.p99, baseline.ok, baseline.scheduled, baseline.achieved_qps
+    );
+
+    // Phase 2: the identical seeded run on an identical fresh server,
+    // under a continuous TuneGraph storm on the hot graph.
+    let (handle, tenants) = fresh_server(&args);
+    let addr = handle.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let tunes_done = Arc::new(AtomicU64::new(0));
+    let storm: Vec<_> = (0..args.storm_conns)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let tunes_done = Arc::clone(&tunes_done);
+            let budget = args.tune_budget;
+            std::thread::spawn(move || storm_loop(addr, budget, &stop, &tunes_done))
+        })
+        .collect();
+    let stormed = measured_run(&args, mix, addr, tenants);
+    stop.store(true, Ordering::Release);
+    handle.stop(); // unblocks any storm conn mid-tune
+    for h in storm {
+        let _ = h.join();
+    }
+    let tunes = tunes_done.load(Ordering::Relaxed);
+    eprintln!(
+        "stormed   p99 {:>8}us  ok {}/{}  ({} concurrent tunes completed)",
+        stormed.latency.p99, stormed.ok, stormed.scheduled, tunes
+    );
+    eprintln!(
+        "          service p99 {}us  attempts {} (busy {})  vs baseline service p99 {}us  attempts {} (busy {})",
+        stormed.service.p99,
+        stormed.attempts,
+        stormed.busy_attempts,
+        baseline.service.p99,
+        baseline.attempts,
+        baseline.busy_attempts,
+    );
+    if !stormed.attempt_errors.is_empty() || stormed.io_errors + stormed.wire_errors > 0 {
+        eprintln!(
+            "          storm-phase attempt errors: {:?} (io {}, wire {})",
+            stormed.attempt_errors, stormed.io_errors, stormed.wire_errors
+        );
+    }
+    if tunes == 0 && args.gate {
+        eprintln!(
+            "no concurrent tune completed — the storm never materialized; not a valid measurement"
+        );
+        std::process::exit(1);
+    }
+
+    let base_p99 = baseline.latency.p99.max(1);
+    let storm_p99 = stormed.latency.p99.max(1);
+    let ratio = storm_p99 as f64 / base_p99 as f64;
+    eprintln!(
+        "degradation ratio {ratio:.2}x (SLO max {:.2}x, grace floor {}us)",
+        lane_slo.storm_p99_ratio_max, lane_slo.storm_p99_floor_us
+    );
+
+    let mut bench = BenchReport::new(args.workers);
+    let samples = args.ops;
+    let mix_name = &args.mix;
+    bench.push_value(
+        format!("lane-{mix_name}-baseline-p99-us"),
+        base_p99,
+        samples,
+        "us",
+    );
+    bench.push_value(
+        format!("lane-{mix_name}-storm-p99-us"),
+        storm_p99,
+        samples,
+        "us",
+    );
+    bench.push_value(
+        format!("lane-{mix_name}-storm-ratio-x1000"),
+        ((ratio * 1_000.0) as u64).max(1),
+        samples,
+        "ratio-x1000",
+    );
+    bench.write(&args.out).expect("writing bench report");
+    eprintln!(
+        "wrote {} ({} records, rev {})",
+        args.out.display(),
+        bench.records.len(),
+        bench.git_rev
+    );
+
+    let within_ratio = ratio <= lane_slo.storm_p99_ratio_max;
+    let within_floor = storm_p99 <= lane_slo.storm_p99_floor_us;
+    if args.gate && !within_ratio && !within_floor {
+        eprintln!(
+            "GATE FAILED: storm p99 {storm_p99}us exceeds {:.2}x baseline ({base_p99}us) \
+             and the {}us grace floor — interactive queries are not overtaking tunes",
+            lane_slo.storm_p99_ratio_max, lane_slo.storm_p99_floor_us
+        );
+        std::process::exit(1);
+    }
+}

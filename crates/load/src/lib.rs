@@ -29,11 +29,16 @@
 //!   against server `StatsV2` (`phase.total` span counts,
 //!   `busy_rejections`, per-kind error counters);
 //! * [`knee`] — the stepped-rate **knee finder**: the highest offered rate
-//!   the server sustains before client-observed p99 crosses a budget.
+//!   the server sustains before client-observed p99 crosses a budget;
+//! * [`slo`] — the committed per-mix SLO file (`slo.toml`): p99 budgets,
+//!   completion floors, and the tune-storm degradation bound, read by the
+//!   binaries (and CI) instead of ad-hoc CLI flags.
 //!
-//! Binaries: `priograph-load` (one configuration, human-readable + JSON)
-//! and `load_knee` (the rate ladder, emitting the gated
-//! `BENCH_PR9_LOAD.json`). `docs/ARCHITECTURE.md` §9 covers the
+//! Binaries: `priograph-load` (one configuration, human-readable + JSON),
+//! `load_knee` (the rate ladder, emitting the gated `BENCH_PR9_LOAD.json`),
+//! and `load_lane` (the lane-fairness proof: point-heavy p99 with and
+//! without a concurrent `TuneGraph` storm, emitting the gated
+//! `BENCH_PR10_SCHED.json`). `docs/ARCHITECTURE.md` §9–§10 cover the
 //! methodology.
 
 #![forbid(unsafe_code)]
@@ -44,11 +49,13 @@ pub mod knee;
 pub mod report;
 pub mod run;
 pub mod schedule;
+pub mod slo;
 pub mod trace;
 pub mod workload;
 
 pub use knee::{find_knee, KneeConfig, KneeResult, KneeStep};
 pub use run::{run, RunConfig, RunReport, DISPATCHED_ERROR_KINDS};
 pub use schedule::{arrival_times_us, ArrivalKind, ArrivalSchedule};
+pub use slo::{LaneSlo, MixSlo, SloFile};
 pub use trace::{validate_breaker_walk, BreakerWalk, TraceEvent};
 pub use workload::{LoadOp, MixSpec, Tenant, WorkloadGen};

@@ -1,0 +1,304 @@
+//! The committed per-mix SLO file (`slo.toml` at the repo root).
+//!
+//! PR 9 left the SLO budgets as CLI flags, which meant the promise being
+//! gated lived in whatever command line CI happened to run. This module
+//! makes the promise a **committed artifact**: one TOML file declaring,
+//! per workload mix, the p99 budget and the completion floor the knee
+//! ladder enforces, plus the lane-fairness degradation bound the tune-storm
+//! harness (`load_lane`) gates on. `load_knee` and `load_lane` read it by
+//! default; explicit CLI flags still override for experiments.
+//!
+//! The parser is a dependency-free subset of TOML — exactly what the SLO
+//! file needs and nothing more:
+//!
+//! * `[section]` headers (dotted names allowed, e.g. `[mix.point-heavy]`);
+//! * `key = value` pairs with **numeric** values (integers or floats);
+//! * `#` comments and blank lines.
+//!
+//! Strings, arrays, inline tables, and multi-line values are rejected
+//! loudly — the file stays simple enough that the shim cannot silently
+//! mis-read it. Every `mix.*` and `lane.*` section is validated at parse
+//! time, so CI fails on a malformed committed file before any server is
+//! even started.
+
+use std::collections::BTreeMap;
+
+/// The SLO a workload mix must keep: the knee ladder's budget and floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixSlo {
+    /// Open-loop p99 budget, µs (from `p99_budget_ms`).
+    pub p99_budget_us: u64,
+    /// Minimum completed/scheduled fraction for a rung to sustain.
+    pub min_completion: f64,
+}
+
+/// The lane-fairness SLO for one mix: how much a concurrent tune storm is
+/// allowed to move the mix's p99.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneSlo {
+    /// Max allowed `storm p99 / baseline p99` ratio.
+    pub storm_p99_ratio_max: f64,
+    /// Absolute grace floor, µs: a storm p99 at or under this never fails
+    /// the ratio gate (guards the gate against timer noise when the
+    /// baseline is a handful of milliseconds).
+    pub storm_p99_floor_us: u64,
+}
+
+/// A parsed SLO file: validated `mix.*` / `lane.*` sections (unknown
+/// sections are kept but unused, so the file can grow fields before the
+/// code that reads them lands).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloFile {
+    sections: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+/// The conventional location: `slo.toml` in the current directory (CI and
+/// the committed bench records both run from the repo root).
+pub const DEFAULT_SLO_PATH: &str = "slo.toml";
+
+fn parse_number(raw: &str) -> Option<f64> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    // Underscore separators are TOML-legal for numbers (50_000).
+    let cleaned: String = raw.chars().filter(|c| *c != '_').collect();
+    cleaned.parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+impl SloFile {
+    /// Parses and validates SLO text.
+    ///
+    /// # Errors
+    ///
+    /// Any line that is not a section header, a `key = number` pair, a
+    /// comment, or blank; duplicate keys; or a `mix.*`/`lane.*` section
+    /// failing its field validation.
+    pub fn parse(text: &str) -> Result<SloFile, String> {
+        let mut sections: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = match raw_line.find('#') {
+                Some(pos) => &raw_line[..pos],
+                None => raw_line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("slo.toml:{line_no}: unterminated section header"))?
+                    .trim();
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_'))
+                {
+                    return Err(format!("slo.toml:{line_no}: bad section name {name:?}"));
+                }
+                if sections.contains_key(name) {
+                    return Err(format!("slo.toml:{line_no}: duplicate section [{name}]"));
+                }
+                sections.insert(name.to_string(), BTreeMap::new());
+                current = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "slo.toml:{line_no}: expected `key = number`, got {line:?}"
+                ));
+            };
+            let key = key.trim();
+            let Some(section) = &current else {
+                return Err(format!(
+                    "slo.toml:{line_no}: key {key:?} before any [section]"
+                ));
+            };
+            let Some(number) = parse_number(value) else {
+                return Err(format!(
+                    "slo.toml:{line_no}: value for {key:?} must be a plain number \
+                     (strings/arrays are not supported), got {:?}",
+                    value.trim()
+                ));
+            };
+            // lint: allow-panic `current` guarantees the section exists
+            let table = sections.get_mut(section).expect("section inserted above");
+            if table.insert(key.to_string(), number).is_some() {
+                return Err(format!(
+                    "slo.toml:{line_no}: duplicate key {key:?} in [{section}]"
+                ));
+            }
+        }
+        let file = SloFile { sections };
+        file.validate()?;
+        Ok(file)
+    }
+
+    /// Reads and parses `path`.
+    ///
+    /// # Errors
+    ///
+    /// IO failure or any [`SloFile::parse`] error.
+    pub fn load(path: &std::path::Path) -> Result<SloFile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        SloFile::parse(&text)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, table) in &self.sections {
+            if let Some(mix) = name.strip_prefix("mix.") {
+                let budget = require(table, name, "p99_budget_ms")?;
+                if budget <= 0.0 {
+                    return Err(format!("[{name}]: p99_budget_ms must be positive"));
+                }
+                let completion = require(table, name, "min_completion")?;
+                if !(0.0..=1.0).contains(&completion) {
+                    return Err(format!("[{name}]: min_completion must be within [0, 1]"));
+                }
+                if mix.is_empty() {
+                    return Err(format!("[{name}]: empty mix name"));
+                }
+            } else if let Some(mix) = name.strip_prefix("lane.") {
+                let ratio = require(table, name, "storm_p99_ratio_max")?;
+                if ratio < 1.0 {
+                    return Err(format!("[{name}]: storm_p99_ratio_max must be >= 1"));
+                }
+                let floor = require(table, name, "storm_p99_floor_us")?;
+                if floor < 0.0 {
+                    return Err(format!("[{name}]: storm_p99_floor_us must be >= 0"));
+                }
+                if mix.is_empty() {
+                    return Err(format!("[{name}]: empty mix name"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The SLO for `mix`, if the file declares one.
+    pub fn mix(&self, mix: &str) -> Option<MixSlo> {
+        let table = self.sections.get(&format!("mix.{mix}"))?;
+        Some(MixSlo {
+            // Validation guaranteed presence and range; saturate on cast.
+            p99_budget_us: (table.get("p99_budget_ms").copied()? * 1_000.0) as u64,
+            min_completion: table.get("min_completion").copied()?,
+        })
+    }
+
+    /// The lane-fairness SLO for `mix`, if the file declares one.
+    pub fn lane(&self, mix: &str) -> Option<LaneSlo> {
+        let table = self.sections.get(&format!("lane.{mix}"))?;
+        Some(LaneSlo {
+            storm_p99_ratio_max: table.get("storm_p99_ratio_max").copied()?,
+            storm_p99_floor_us: table.get("storm_p99_floor_us").copied()? as u64,
+        })
+    }
+
+    /// Names of every mix with a `[mix.*]` section, sorted.
+    pub fn mix_names(&self) -> Vec<String> {
+        self.sections
+            .keys()
+            .filter_map(|k| k.strip_prefix("mix."))
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+fn require(table: &BTreeMap<String, f64>, section: &str, key: &str) -> Result<f64, String> {
+    table
+        .get(key)
+        .copied()
+        .ok_or_else(|| format!("[{section}]: missing required key {key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# serving SLOs
+[mix.point-heavy]
+p99_budget_ms = 50
+min_completion = 0.95
+
+[mix.scan-heavy]
+p99_budget_ms = 75  # scans are slower
+min_completion = 0.90
+
+[lane.point-heavy]
+storm_p99_ratio_max = 2.0
+storm_p99_floor_us = 20_000
+";
+
+    #[test]
+    fn parses_mix_and_lane_sections() {
+        let slo = SloFile::parse(GOOD).unwrap();
+        let point = slo.mix("point-heavy").unwrap();
+        assert_eq!(point.p99_budget_us, 50_000);
+        assert!((point.min_completion - 0.95).abs() < 1e-9);
+        let scan = slo.mix("scan-heavy").unwrap();
+        assert_eq!(scan.p99_budget_us, 75_000);
+        let lane = slo.lane("point-heavy").unwrap();
+        assert!((lane.storm_p99_ratio_max - 2.0).abs() < 1e-9);
+        assert_eq!(lane.storm_p99_floor_us, 20_000);
+        assert!(slo.mix("unknown").is_none());
+        assert!(slo.lane("scan-heavy").is_none());
+        assert_eq!(slo.mix_names(), vec!["point-heavy", "scan-heavy"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = SloFile::parse("[mix.a\n").unwrap_err();
+        assert!(err.contains("slo.toml:1"), "{err}");
+        let err = SloFile::parse("p99 = 5\n").unwrap_err();
+        assert!(err.contains("before any [section]"), "{err}");
+        let err = SloFile::parse("[mix.a]\nnot a pair\n").unwrap_err();
+        assert!(err.contains("slo.toml:2"), "{err}");
+        let err = SloFile::parse("[mix.a]\np99_budget_ms = \"fast\"\n").unwrap_err();
+        assert!(err.contains("plain number"), "{err}");
+        let err = SloFile::parse("[mix.a]\nx = 1\nx = 2\n").unwrap_err();
+        assert!(err.contains("duplicate key"), "{err}");
+        let err = SloFile::parse("[mix.a]\nx = 1\n[mix.a]\n").unwrap_err();
+        assert!(err.contains("duplicate section"), "{err}");
+    }
+
+    #[test]
+    fn validates_required_fields_and_ranges() {
+        let err = SloFile::parse("[mix.a]\np99_budget_ms = 50\n").unwrap_err();
+        assert!(err.contains("min_completion"), "{err}");
+        let err = SloFile::parse("[mix.a]\np99_budget_ms = 0\nmin_completion = 0.9\n").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err =
+            SloFile::parse("[mix.a]\np99_budget_ms = 50\nmin_completion = 1.5\n").unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+        let err = SloFile::parse("[lane.a]\nstorm_p99_ratio_max = 0.5\nstorm_p99_floor_us = 0\n")
+            .unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        // Unknown sections carry no schema and pass through.
+        assert!(SloFile::parse("[future.things]\nwhatever = 1\n").is_ok());
+    }
+
+    #[test]
+    fn committed_repo_file_is_valid_and_covers_the_preset_mixes() {
+        // The file load_knee/load_lane read by default, two levels up from
+        // this crate (CARGO_MANIFEST_DIR = crates/load).
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(DEFAULT_SLO_PATH);
+        let slo = SloFile::load(&path).unwrap_or_else(|e| panic!("committed slo.toml: {e}"));
+        for mix in ["point-heavy", "scan-heavy"] {
+            let m = slo
+                .mix(mix)
+                .unwrap_or_else(|| panic!("slo.toml must cover the {mix} preset"));
+            assert!(m.p99_budget_us > 0);
+        }
+        assert!(
+            slo.lane("point-heavy").is_some(),
+            "slo.toml must declare the lane-fairness bound the tune-storm gate enforces"
+        );
+    }
+}

@@ -54,16 +54,22 @@
 pub mod atomics;
 mod barrier;
 mod chunk;
+pub mod futex;
 mod pool;
 pub mod reduce;
 pub mod scan;
+pub mod sched;
 #[cfg(feature = "check-shadow")]
 pub mod shadow;
 pub mod shared;
 
 pub use barrier::SpinBarrier;
 pub use chunk::ChunkCursor;
+pub use futex::WaitSeq;
 pub use pool::{global, in_worker, Pool, Worker};
+pub use sched::{
+    ChainDriver, ExecCtx, Executor, ExecutorStats, Lane, Round, RoundChain, WorkPacket,
+};
 
 /// True when this build carries the `check-shadow` race-detector
 /// instrumentation (see [`shadow`](crate) docs / `docs/ARCHITECTURE.md`).

@@ -1,10 +1,22 @@
 //! The persistent worker pool and its broadcast ("parallel region") protocol.
+//!
+//! A [`Pool`] comes in two flavors behind one API:
+//!
+//! * **Own** ([`Pool::new`]) — the classic OpenMP-style pool: it owns
+//!   `num_threads - 1` OS threads that exist only to run broadcast regions.
+//! * **Executor-backed** ([`Pool::attach`]) — no threads of its own; every
+//!   broadcast becomes a *gang region* on a [`crate::sched::Executor`], whose
+//!   workers also serve work-stealing packet lanes. See [`crate::sched`].
+//!
+//! Both flavors park their slow paths on futex-backed [`WaitSeq`] event
+//! counts (condvar fallback off Linux) behind the [`AdaptiveSpin`] budget.
 
 use crate::barrier::SpinBarrier;
 use crate::chunk::ChunkCursor;
+use crate::futex::WaitSeq;
+use crate::sched::{ExecShared, Executor};
 #[cfg(feature = "check-shadow")]
 use crate::shadow;
-use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -37,12 +49,10 @@ struct Shared {
     job: JobSlot,
     /// Workers still running the current job.
     outstanding: AtomicUsize,
-    /// Sleep/wake machinery for idle workers.
-    work_lock: Mutex<()>,
-    work_cv: Condvar,
-    /// Sleep/wake machinery for the broadcaster waiting on completion.
-    done_lock: Mutex<()>,
-    done_cv: Condvar,
+    /// Parking for idle workers awaiting the next epoch.
+    work: WaitSeq,
+    /// Parking for the broadcaster awaiting completion.
+    done: WaitSeq,
     shutdown: AtomicBool,
     /// Reusable barrier spanning all `n` participants of a region.
     barrier: SpinBarrier,
@@ -65,18 +75,18 @@ const SPIN_INIT: usize = 1 << 12;
 /// Adaptive spin-before-park controller (ROADMAP "thread-pool scaling").
 ///
 /// At high round rates (road graphs, small Δ) dispatch wake-up latency
-/// dominates, so parking on the condvar is the expensive path; during long
+/// dominates, so parking on the futex is the expensive path; during long
 /// serial gaps, spinning is the expensive path. Each waiter tracks its own
 /// budget: a wait that resolves *while spinning* doubles it (rounds are
 /// coming fast — stay hot), a wait that exhausts it and parks halves it
 /// (rounds are sparse — stop burning the core), clamped to
 /// `[SPIN_MIN, SPIN_MAX]`.
-struct AdaptiveSpin {
+pub(crate) struct AdaptiveSpin {
     budget: usize,
 }
 
 impl AdaptiveSpin {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         AdaptiveSpin { budget: SPIN_INIT }
     }
 
@@ -90,7 +100,7 @@ impl AdaptiveSpin {
     /// budget; returns whether the condition was met while spinning (if
     /// not, the caller should park).
     #[inline]
-    fn spin(&mut self, done: impl Fn() -> bool) -> bool {
+    pub(crate) fn spin(&mut self, done: impl Fn() -> bool) -> bool {
         for _ in 0..self.budget {
             if done() {
                 self.budget = (self.budget * 2).min(SPIN_MAX);
@@ -118,11 +128,25 @@ pub fn in_worker() -> bool {
     IN_REGION.with(|f| f.get())
 }
 
+/// Runs `f` with the [`in_worker`] flag raised, restoring it afterwards.
+/// Region entry points (pool broadcasts, executor gang members) use this so
+/// nested parallelism inside `f` degrades to serial execution.
+pub(crate) fn with_in_region<R>(f: impl FnOnce() -> R) -> R {
+    IN_REGION.with(|flag| {
+        let was = flag.replace(true);
+        let result = f();
+        flag.set(was);
+        result
+    })
+}
+
 /// A persistent OpenMP-style thread pool.
 ///
 /// The pool owns `num_threads - 1` OS threads; the thread that calls
 /// [`Pool::broadcast`] participates as thread id 0, so a `Pool::new(1)` pool
-/// spawns nothing and runs everything inline.
+/// spawns nothing and runs everything inline. A pool created with
+/// [`Pool::attach`] owns no threads at all — its regions are gang-scheduled
+/// onto an executor's workers.
 ///
 /// # Example
 ///
@@ -139,14 +163,30 @@ pub fn in_worker() -> bool {
 /// assert_eq!(count.into_inner(), 1 + 2);
 /// ```
 pub struct Pool {
-    shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    inner: PoolInner,
+}
+
+enum PoolInner {
+    /// Classic pool: dedicated worker threads, epoch-published broadcasts.
+    Own {
+        shared: Arc<Shared>,
+        handles: Vec<JoinHandle<()>>,
+    },
+    /// Executor-backed: broadcasts run as gang regions on the executor.
+    Exec(Arc<ExecShared>),
 }
 
 impl fmt::Debug for Pool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Pool")
-            .field("num_threads", &self.shared.n)
+            .field("num_threads", &self.num_threads())
+            .field(
+                "backend",
+                &match self.inner {
+                    PoolInner::Own { .. } => "own",
+                    PoolInner::Exec(_) => "executor",
+                },
+            )
             .finish()
     }
 }
@@ -164,10 +204,8 @@ impl Pool {
             epoch: AtomicUsize::new(0),
             job: JobSlot(Cell::new(None)),
             outstanding: AtomicUsize::new(0),
-            work_lock: Mutex::new(()),
-            work_cv: Condvar::new(),
-            done_lock: Mutex::new(()),
-            done_cv: Condvar::new(),
+            work: WaitSeq::new(),
+            done: WaitSeq::new(),
             shutdown: AtomicBool::new(false),
             barrier: SpinBarrier::new(num_threads),
             caller_spin: AtomicUsize::new(SPIN_INIT),
@@ -183,7 +221,9 @@ impl Pool {
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }
-        Pool { shared, handles }
+        Pool {
+            inner: PoolInner::Own { shared, handles },
+        }
     }
 
     /// Creates a pool sized to the machine's available parallelism.
@@ -194,9 +234,23 @@ impl Pool {
         Pool::new(n)
     }
 
+    /// Creates a pool whose regions are gang-scheduled onto `exec`'s workers
+    /// instead of dedicated threads. Every region spans all
+    /// [`Executor::num_workers`] workers; while members wait at a region
+    /// [`Worker::barrier`], they steal interactive packets, so point queries
+    /// keep flowing through engine rounds. Cheap — attach per call site.
+    pub fn attach(exec: &Executor) -> Self {
+        Pool {
+            inner: PoolInner::Exec(Arc::clone(exec.shared())),
+        }
+    }
+
     /// Number of participants in every region (including the caller).
     pub fn num_threads(&self) -> usize {
-        self.shared.n
+        match &self.inner {
+            PoolInner::Own { shared, .. } => shared.n,
+            PoolInner::Exec(exec) => exec.num_workers(),
+        }
     }
 
     /// Runs `f` once on every participant, like an OpenMP `parallel` region.
@@ -211,20 +265,19 @@ impl Pool {
     where
         F: Fn(Worker<'_>) + Sync,
     {
-        if self.shared.n == 1 || in_worker() {
-            IN_REGION.with(|flag| {
-                let was = flag.replace(true);
-                f(Worker {
-                    tid: 0,
-                    serial: true,
-                    shared: &self.shared,
-                });
-                flag.set(was);
-            });
+        let shared = match &self.inner {
+            PoolInner::Exec(exec) => {
+                exec.broadcast_gang(&f);
+                return;
+            }
+            PoolInner::Own { shared, .. } => shared,
+        };
+        if shared.n == 1 || in_worker() {
+            with_in_region(|| f(Worker::serial()));
             return;
         }
 
-        let shared = &*self.shared;
+        let shared = &**shared;
         // Erase the closure's concrete type and lifetime.
         let wide: &(dyn Fn(Worker<'_>) + Sync) = &f;
         // SAFETY: we wait for all workers below before returning, so `f`
@@ -232,37 +285,35 @@ impl Pool {
         let raw: JobRef = unsafe { std::mem::transmute(wide) };
         shared.job.0.set(Some(raw));
         shared.outstanding.store(shared.n - 1, Ordering::Relaxed);
-        {
-            // Publish under the lock so sleeping workers cannot miss the wake.
-            let _guard = shared.work_lock.lock();
-            shared.epoch.fetch_add(1, Ordering::Release);
-        }
-        shared.work_cv.notify_all();
+        shared.epoch.fetch_add(1, Ordering::Release);
+        // The notify bumps the wait sequence, so a worker that re-checked
+        // the epoch before this line parks on a stale token and returns
+        // immediately — the eventcount closes the missed-wake window the
+        // old mutex-held epoch bump used to close.
+        shared.work.notify_all();
 
-        IN_REGION.with(|flag| {
-            let was = flag.replace(true);
+        with_in_region(|| {
             #[cfg(feature = "check-shadow")]
             shadow::enter_region(Arc::clone(&shared.shadow), 0);
             f(Worker {
                 tid: 0,
-                serial: false,
-                shared,
+                mode: WorkerMode::Own(shared),
             });
             #[cfg(feature = "check-shadow")]
             shadow::exit_region();
-            flag.set(was);
         });
 
-        // Wait for the workers: adaptive spin, then sleep. The budget
+        // Wait for the workers: adaptive spin, then park. The budget
         // persists across broadcasts (in `caller_spin`) so a road-graph
         // round storm keeps the caller hot while sparse dispatch parks.
         let mut spinner = AdaptiveSpin::with_budget(shared.caller_spin.load(Ordering::Relaxed));
         if !spinner.spin(|| shared.outstanding.load(Ordering::Acquire) == 0) {
             while shared.outstanding.load(Ordering::Acquire) != 0 {
-                let mut guard = shared.done_lock.lock();
-                if shared.outstanding.load(Ordering::Acquire) != 0 {
-                    shared.done_cv.wait(&mut guard);
+                let token = shared.done.prepare();
+                if shared.outstanding.load(Ordering::Acquire) == 0 {
+                    break;
                 }
+                shared.done.wait(token);
             }
         }
         shared.caller_spin.store(spinner.budget, Ordering::Relaxed);
@@ -284,7 +335,7 @@ impl Pool {
     {
         let len = range.end.saturating_sub(range.start);
         let grain = grain.max(1);
-        if self.shared.n == 1 || in_worker() || len <= grain {
+        if self.num_threads() == 1 || in_worker() || len <= grain {
             for i in range {
                 f(i);
             }
@@ -308,14 +359,14 @@ impl Pool {
         F: Fn(usize) + Sync,
     {
         let len = range.end.saturating_sub(range.start);
-        if self.shared.n == 1 || in_worker() || len <= 1 {
+        if self.num_threads() == 1 || in_worker() || len <= 1 {
             for i in range {
                 f(i);
             }
             return;
         }
         let base = range.start;
-        let n = self.shared.n;
+        let n = self.num_threads();
         self.broadcast(|w| {
             let (start, end) = split_evenly(len, n, w.tid());
             for i in start..end {
@@ -327,14 +378,15 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        {
-            let _guard = self.shared.work_lock.lock();
-            self.shared.epoch.fetch_add(1, Ordering::Release);
-        }
-        self.shared.work_cv.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        // Executor-backed pools borrow the executor's workers; only an
+        // owning pool has threads to stop.
+        if let PoolInner::Own { shared, handles } = &mut self.inner {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.epoch.fetch_add(1, Ordering::Release);
+            shared.work.notify_all();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -354,14 +406,15 @@ fn worker_loop(shared: &Shared, tid: usize) {
     let mut seen_epoch = 0usize;
     let mut spinner = AdaptiveSpin::new();
     loop {
-        // Wait for a new epoch: adaptive spin, then sleep. Each worker's
-        // budget adapts independently to the dispatch rate it observes.
+        // Wait for a new epoch: adaptive spin, then park on the futex. Each
+        // worker's budget adapts independently to its observed dispatch rate.
         if !spinner.spin(|| shared.epoch.load(Ordering::Acquire) != seen_epoch) {
             while shared.epoch.load(Ordering::Acquire) == seen_epoch {
-                let mut guard = shared.work_lock.lock();
-                if shared.epoch.load(Ordering::Acquire) == seen_epoch {
-                    shared.work_cv.wait(&mut guard);
+                let token = shared.work.prepare();
+                if shared.epoch.load(Ordering::Acquire) != seen_epoch {
+                    break;
                 }
+                shared.work.wait(token);
             }
         }
         seen_epoch = shared.epoch.load(Ordering::Acquire);
@@ -374,31 +427,36 @@ fn worker_loop(shared: &Shared, tid: usize) {
         // SAFETY: the broadcaster keeps the closure alive until `outstanding`
         // reaches zero, which only happens after this call returns.
         let job: &(dyn Fn(Worker<'_>) + Sync) = unsafe { &*raw };
-        IN_REGION.with(|flag| {
-            flag.set(true);
+        with_in_region(|| {
             #[cfg(feature = "check-shadow")]
             shadow::enter_region(Arc::clone(&shared.shadow), tid);
             job(Worker {
                 tid,
-                serial: false,
-                shared,
+                mode: WorkerMode::Own(shared),
             });
             #[cfg(feature = "check-shadow")]
             shadow::exit_region();
-            flag.set(false);
         });
         if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = shared.done_lock.lock();
-            shared.done_cv.notify_one();
+            shared.done.notify_all();
         }
     }
+}
+
+/// Which synchronization backend a [`Worker`] handle belongs to.
+enum WorkerMode<'a> {
+    /// Single-participant region (serial fallback): barriers are no-ops.
+    Serial,
+    /// Region on an owning pool's dedicated threads.
+    Own(&'a Shared),
+    /// Gang region on an executor (barrier waiters steal packets).
+    Gang(&'a ExecShared),
 }
 
 /// Handle given to each participant of a [`Pool::broadcast`] region.
 pub struct Worker<'a> {
     tid: usize,
-    serial: bool,
-    shared: &'a Shared,
+    mode: WorkerMode<'a>,
 }
 
 impl fmt::Debug for Worker<'_> {
@@ -410,7 +468,23 @@ impl fmt::Debug for Worker<'_> {
     }
 }
 
-impl Worker<'_> {
+impl<'a> Worker<'a> {
+    /// A single-participant worker for serially degraded regions.
+    pub(crate) fn serial() -> Worker<'static> {
+        Worker {
+            tid: 0,
+            mode: WorkerMode::Serial,
+        }
+    }
+
+    /// A gang-region member on an executor.
+    pub(crate) fn gang(tid: usize, exec: &'a ExecShared) -> Worker<'a> {
+        Worker {
+            tid,
+            mode: WorkerMode::Gang(exec),
+        }
+    }
+
     /// This participant's id in `0..num_threads`.
     pub fn tid(&self) -> usize {
         self.tid
@@ -418,30 +492,32 @@ impl Worker<'_> {
 
     /// Number of participants in this region.
     pub fn num_threads(&self) -> usize {
-        if self.serial {
-            1
-        } else {
-            self.shared.n
+        match self.mode {
+            WorkerMode::Serial => 1,
+            WorkerMode::Own(shared) => shared.n,
+            WorkerMode::Gang(exec) => exec.num_workers(),
         }
     }
 
     /// Region-wide barrier: blocks until every participant has arrived.
     ///
     /// No-op for serial (single participant) regions. Every participant must
-    /// execute the same sequence of `barrier()` calls, as with OpenMP.
+    /// execute the same sequence of `barrier()` calls, as with OpenMP. In
+    /// gang regions, waiters serve interactive packets instead of spinning.
     pub fn barrier(&self) {
-        if self.serial {
-            return;
+        match self.mode {
+            WorkerMode::Serial => {}
+            WorkerMode::Own(shared) => {
+                #[cfg(feature = "check-shadow")]
+                // The last arriver drains the shadow claim log before
+                // releasing the barrier: ranges legitimately reused across
+                // phases (frontier resets) must not be compared across it.
+                shared.barrier.wait_with(|| shared.shadow.drain_check());
+                #[cfg(not(feature = "check-shadow"))]
+                shared.barrier.wait();
+            }
+            WorkerMode::Gang(exec) => exec.gang_barrier(),
         }
-        #[cfg(feature = "check-shadow")]
-        // The last arriver drains the shadow claim log before releasing the
-        // barrier: ranges legitimately reused across phases (frontier
-        // resets) must not be compared across the barrier.
-        self.shared
-            .barrier
-            .wait_with(|| self.shared.shadow.drain_check());
-        #[cfg(not(feature = "check-shadow"))]
-        self.shared.barrier.wait();
     }
 
     /// This participant's contiguous `[start, end)` share of `len` items
@@ -642,5 +718,36 @@ mod tests {
             total.fetch_add(r.len(), Ordering::Relaxed);
         });
         assert_eq!(total.into_inner(), 103);
+    }
+
+    #[test]
+    fn attached_pool_runs_loops_on_executor_workers() {
+        let exec = crate::sched::Executor::new(3);
+        let pool = Pool::attach(&exec);
+        assert_eq!(pool.num_threads(), 3);
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..500, 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let total = AtomicUsize::new(0);
+        pool.parallel_for_static(0..103, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 103);
+    }
+
+    #[test]
+    fn attached_pool_nested_broadcast_degrades_to_serial() {
+        let exec = crate::sched::Executor::new(2);
+        let pool = Pool::attach(&exec);
+        let inner_runs = AtomicUsize::new(0);
+        pool.broadcast(|_w| {
+            pool.broadcast(|iw| {
+                assert_eq!(iw.num_threads(), 1);
+                inner_runs.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_runs.into_inner(), 2);
     }
 }

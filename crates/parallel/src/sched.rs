@@ -1,0 +1,1699 @@
+//! The work-stealing execution core with priority lanes.
+//!
+//! This replaces "one dispatcher thread owns the [`Pool`](crate::Pool) per round-batch"
+//! with mmtk-style work buckets (SNIPPETS #1): a fixed set of executor
+//! workers, each with per-lane [`WorkPacket`] deques, a shared injector
+//! queue per lane, and group park/notify on a futex [`WaitSeq`]. Three
+//! lanes impose priority: everything in [`Lane::Interactive`] (point
+//! queries) is drained — own deque, injector, then steals — before a
+//! worker touches [`Lane::Background`] (full-vector engine rounds), and
+//! both query lanes drain before [`Lane::Maintenance`] (tuner trials), so
+//! an autotuning storm can no longer monopolize the machine while
+//! interactive work queues, and a scan never sits in FIFO order behind a
+//! multi-millisecond tuner monolith.
+//!
+//! # Gang regions: running the bucket engines barrier-free
+//!
+//! The ordered engines are written against [`Pool::broadcast`](crate::Pool::broadcast) — one closure
+//! instance per participant, synchronized by [`Worker::barrier`]. An
+//! executor-backed pool (see [`Pool::attach`](crate::Pool::attach)) maps each broadcast onto a
+//! **gang region**: the publishing thread claims tid 0 and runs the closure
+//! in place, while every executor worker picks up the remaining tids from a
+//! claim counter the next time it polls. A gang inherits the *lane* of the
+//! packet that published it and ranks just above its own lane's packets
+//! (the publisher already holds an in-flight packet hostage) but below
+//! every higher lane's packets — a worker drains points and scans before
+//! lending itself to a tuner's region, so a tune storm's back-to-back
+//! regions cannot conscript the whole crew. Threads waiting on a region
+//! (publish contention, member barriers, the publisher's completion wait)
+//! cooperatively run packets that outrank it; such stolen packets execute
+//! their own broadcasts serially inline, so the steal can never nest an
+//! unbounded publish chain. Nobody ever sits in an epoch barrier:
+//!
+//! * members that reach a region barrier first *steal interactive packets*
+//!   while they wait, so a point query never stalls behind an engine round's
+//!   load imbalance;
+//! * the **last member out** of a region (`remaining == 0`) wakes the
+//!   publisher directly over a futex — there is no round-level join barrier,
+//!   and a worker that finishes early is already back in the lane loop;
+//! * under `check-shadow`, the last arriver of each region barrier drains
+//!   the claim log exactly as the classic pool does (claims from stolen
+//!   packets are excluded by suspending the thread's shadow region around
+//!   the steal), so the race detector survives the refactor.
+//!
+//! # Round chains: bucket open-conditions
+//!
+//! [`RoundChain`] generalizes the per-round protocol to the server's
+//! round-batches: a [`ChainDriver`] emits one [`Round`] of packets at a
+//! time, and the next round's bucket *opens* when the previous round's
+//! packet count drains to zero — the last-out worker runs the driver and
+//! submits the new packets itself, exactly like mmtk's last parked worker
+//! opening the next bucket. No thread blocks between rounds.
+
+use crate::futex::WaitSeq;
+use crate::pool::{in_worker, with_in_region, AdaptiveSpin, Worker};
+#[cfg(feature = "check-shadow")]
+use crate::shadow;
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Priority lanes, drained in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Latency-sensitive work (point queries): always drained first.
+    Interactive = 0,
+    /// Throughput work (full-vector engine runs): runs when no interactive
+    /// packet is visible.
+    Background = 1,
+    /// Deferrable work (tuner trials, re-planning): runs only when both
+    /// query lanes are drained. A tuner trial is a multi-millisecond
+    /// monolith — giving it its own lane keeps a queued scan from ever
+    /// sitting behind one in FIFO order.
+    Maintenance = 2,
+}
+
+const LANES: usize = 3;
+
+impl Lane {
+    fn from_index(lane: usize) -> Lane {
+        match lane {
+            0 => Lane::Interactive,
+            1 => Lane::Background,
+            _ => Lane::Maintenance,
+        }
+    }
+}
+
+/// Context handed to every executing packet.
+pub struct ExecCtx<'a> {
+    worker: usize,
+    shared: &'a ExecShared,
+}
+
+impl ExecCtx<'_> {
+    /// The executor worker slot running this packet, in
+    /// `0..`[`Executor::num_workers`]. Stable across a packet's lifetime —
+    /// use it to index per-worker state (engines, caches).
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Submits a follow-up packet to this worker's own deque (stealable by
+    /// the other workers).
+    pub fn submit_local(&self, lane: Lane, f: impl FnOnce(&ExecCtx<'_>) + Send + 'static) {
+        self.shared.push_local(self.worker, lane, Box::new(f));
+    }
+}
+
+impl fmt::Debug for ExecCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("worker", &self.worker)
+            .finish()
+    }
+}
+
+/// A unit of schedulable work: a boxed closure plus the lane it rides.
+pub struct WorkPacket {
+    run: Box<dyn FnOnce(&ExecCtx<'_>) + Send>,
+}
+
+impl WorkPacket {
+    /// Wraps a closure as a packet.
+    pub fn new(f: impl FnOnce(&ExecCtx<'_>) + Send + 'static) -> WorkPacket {
+        WorkPacket { run: Box::new(f) }
+    }
+}
+
+impl fmt::Debug for WorkPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WorkPacket")
+    }
+}
+
+/// Snapshot of executor activity counters (monotone since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Packets executed to completion (including panicked ones).
+    pub executed: u64,
+    /// Packets taken from another worker's deque.
+    pub steals: u64,
+    /// Gang regions (executor-backed `Pool::broadcast` calls) completed.
+    pub gangs: u64,
+    /// Packets whose closure panicked (caught; the worker survives).
+    pub panicked: u64,
+}
+
+/// Erased pointer to a gang region's closure; lives on the publisher's
+/// stack for the duration of the region (see [`ExecShared::broadcast_gang`]).
+type GangJobRef = *const (dyn Fn(Worker<'_>) + Sync);
+
+/// The published gang closure. Written only by a publisher that owns the
+/// gang slot, while `claims` is saturated (no worker can be reading it).
+struct GangJob(Cell<Option<GangJobRef>>);
+
+// SAFETY: the cell is written exclusively by the thread that won the
+// `active` flag, strictly before it releases tids via the `claims` store;
+// workers read it only after an Acquire claim that happens-after that
+// Release store, and the publisher does not clear it until `remaining`
+// reaches zero (every reader is done).
+unsafe impl Send for GangJob {}
+unsafe impl Sync for GangJob {}
+
+/// State of the (single, serialized) gang region of an executor.
+struct GangState {
+    /// True from publish to completion; doubles as the publishers' lock.
+    active: AtomicBool,
+    /// The region's lane (as `Lane as usize`), inherited from the packet
+    /// the publisher was executing (Interactive for external publishers).
+    /// A scheduling hint for pollers: a Background gang must not conscript
+    /// a worker while interactive packets are queued.
+    lane: AtomicUsize,
+    job: GangJob,
+    /// Next tid to hand out; saturated (== size) when fully claimed.
+    claims: AtomicUsize,
+    /// Members (including the publisher) still inside the closure.
+    remaining: AtomicUsize,
+    /// Set when a member's closure panicked; poisons the region's barriers.
+    panicked: AtomicBool,
+    /// Sense-reversing region barrier (generation counter + arrival count).
+    barrier_arrived: AtomicUsize,
+    barrier_gen: AtomicUsize,
+    /// Publisher's completion parking (last member out notifies).
+    done: WaitSeq,
+    /// Publishers waiting to win `active`, per lane. Admission fairness: a
+    /// would-be publisher defers to any pending intent of a *higher* lane,
+    /// so a region storm (a tuner broadcasting back-to-back trial regions)
+    /// hands the flag over at the next region boundary instead of racing
+    /// the waiter's CAS — a race the storm wins nearly always, since it
+    /// re-publishes within nanoseconds of clearing while owning the cache
+    /// line, and the waiter spends most of its time inside the storm's own
+    /// member closures (observed: a scan losing ~80 consecutive handoffs,
+    /// a multi-second stall).
+    intent: [AtomicUsize; LANES],
+}
+
+/// One worker's lane deques, stealable by every other worker.
+struct WorkerSlot {
+    queues: [Mutex<VecDeque<WorkPacket>>; LANES],
+}
+
+pub(crate) struct ExecShared {
+    n: usize,
+    injectors: [SegQueue<WorkPacket>; LANES],
+    locals: Vec<WorkerSlot>,
+    /// Queued-but-not-started packets per lane (park predicate).
+    queued: [AtomicUsize; LANES],
+    /// Submitted minus completed packets (quiesce predicate).
+    live: AtomicUsize,
+    idle: WaitSeq,
+    parked: AtomicUsize,
+    quiesced: WaitSeq,
+    shutdown: AtomicBool,
+    gang: GangState,
+    executed: AtomicUsize,
+    steals: AtomicUsize,
+    gangs: AtomicUsize,
+    panicked: AtomicUsize,
+    /// Shadow-state claim log shared by every gang region of this executor.
+    #[cfg(feature = "check-shadow")]
+    pub(crate) shadow: Arc<shadow::ShadowLog>,
+}
+
+thread_local! {
+    /// `(ExecShared address, worker slot)` while the thread is an executor
+    /// worker — lets gang barriers steal for the right executor.
+    static EXEC_SLOT: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+
+    /// The lane of the packet this thread is currently executing (`None`
+    /// outside a packet). A gang region published from inside a packet
+    /// inherits this lane, so workers can rank the gang against queued
+    /// interactive work.
+    static CURRENT_LANE: Cell<Option<Lane>> = const { Cell::new(None) };
+
+    /// True while this thread runs a *cooperatively stolen* packet (one
+    /// picked up from a gang wait or a publish-contention loop). Broadcasts
+    /// from such a packet run serially inline: publishing from a steal
+    /// would either nest an unbounded stack of in-flight packets (each
+    /// waiting on the work stolen on top of it — LIFO starvation) or, in a
+    /// publisher-owned wait loop, deadlock on the very `active` flag the
+    /// stack below must clear.
+    static INLINE_STEAL: Cell<bool> = const { Cell::new(false) };
+
+    /// The lane of a gang publish this thread is waiting to win (set for
+    /// the duration of [`ExecShared::broadcast_gang`]'s admission loop).
+    /// While set, cooperative steals are capped to lanes that *strictly
+    /// outrank* it: the thread may still join the active region (the
+    /// region needs every worker, so that is a liveness obligation), but
+    /// stealing a same-or-lower-lane packet would run someone else's work
+    /// ahead of the in-flight packet this very stack is trying to finish.
+    /// Without the cap, a scan contending with a tune storm kept inline-
+    /// stealing *other* queued scans — multi-millisecond serial runs whose
+    /// every completion found the storm's next region already published —
+    /// a LIFO starvation observed as rare multi-second scan stalls.
+    static PENDING_PUBLISH: Cell<Option<Lane>> = const { Cell::new(None) };
+}
+
+impl ExecShared {
+    /// This thread's worker slot, if it belongs to this executor.
+    fn my_slot(&self) -> Option<usize> {
+        let me = self as *const ExecShared as usize;
+        EXEC_SLOT.with(|s| match s.get() {
+            Some((addr, slot)) if addr == me => Some(slot),
+            _ => None,
+        })
+    }
+
+    fn push_injector(&self, lane: Lane, packet: WorkPacket) {
+        self.live.fetch_add(1, Ordering::AcqRel);
+        self.queued[lane as usize].fetch_add(1, Ordering::SeqCst);
+        self.injectors[lane as usize].push(packet);
+        self.wake();
+    }
+
+    fn push_local(&self, worker: usize, lane: Lane, run: Box<dyn FnOnce(&ExecCtx<'_>) + Send>) {
+        self.live.fetch_add(1, Ordering::AcqRel);
+        self.queued[lane as usize].fetch_add(1, Ordering::SeqCst);
+        self.locals[worker].queues[lane as usize]
+            .lock()
+            .push_back(WorkPacket { run });
+        self.wake();
+    }
+
+    /// Wakes parked workers after a push. The conditional is a Dekker with
+    /// the park sequence in [`worker_main`]: the submitter bumps `queued`
+    /// (SeqCst) then reads `parked` (SeqCst); a parking worker bumps
+    /// `parked` (SeqCst) then re-checks `queued` (SeqCst). In the SeqCst
+    /// total order one side always sees the other — either we notify, or
+    /// the worker sees the packet and declines to sleep. Both orderings are
+    /// load-bearing; weakening either reintroduces a lost-wakeup window.
+    fn wake(&self) {
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Pops one packet following the lane discipline: own deque, injector,
+    /// then steals — interactive fully drained before background is touched.
+    fn find_packet(&self, slot: usize, max_lane: Lane) -> Option<(Lane, WorkPacket)> {
+        for lane in 0..=(max_lane as usize) {
+            let tag = Lane::from_index(lane);
+            if self.queued[lane].load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            if let Some(p) = self.locals[slot].queues[lane].lock().pop_front() {
+                self.queued[lane].fetch_sub(1, Ordering::AcqRel);
+                return Some((tag, p));
+            }
+            if let Some(p) = self.injectors[lane].pop() {
+                self.queued[lane].fetch_sub(1, Ordering::AcqRel);
+                return Some((tag, p));
+            }
+            for step in 1..self.n {
+                let victim = (slot + step) % self.n;
+                if let Some(p) = self.locals[victim].queues[lane].lock().pop_front() {
+                    self.queued[lane].fetch_sub(1, Ordering::AcqRel);
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some((tag, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs one packet to completion, absorbing panics (a panicking packet
+    /// must not take the worker down with it). The packet's lane is published
+    /// in [`CURRENT_LANE`] for its duration, so gang regions it broadcasts
+    /// inherit the right priority.
+    fn run_packet(&self, slot: usize, lane: Lane, packet: WorkPacket) {
+        let prev = CURRENT_LANE.with(|l| l.replace(Some(lane)));
+        let ctx = ExecCtx {
+            worker: slot,
+            shared: self,
+        };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (packet.run)(&ctx))).is_err() {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        CURRENT_LANE.with(|l| l.set(prev));
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.quiesced.notify_all();
+        }
+    }
+
+    /// Steals and runs one packet at or above `max_lane` priority. Returns
+    /// false if nothing was visible. Used from gang barrier waits (with the
+    /// shadow region suspended so the stolen packet's claims are not
+    /// attributed to the gang's current window).
+    fn run_one(&self, slot: usize, max_lane: Lane) -> bool {
+        // A pending publish caps the steal to lanes that strictly outrank
+        // it (see [`PENDING_PUBLISH`]); an Interactive publisher steals
+        // nothing — no lane outranks it.
+        let max_lane = match PENDING_PUBLISH.with(|p| p.get()) {
+            Some(Lane::Interactive) => return false,
+            Some(pending) => Lane::from_index((pending as usize - 1).min(max_lane as usize)),
+            None => max_lane,
+        };
+        let Some((lane, packet)) = self.find_packet(slot, max_lane) else {
+            return false;
+        };
+        // The stolen packet completes inline: any broadcast it makes runs
+        // serially (see the [`INLINE_STEAL`] docs), so this frame cannot
+        // grow a nested publish under itself.
+        let inline_prev = INLINE_STEAL.with(|f| f.replace(true));
+        #[cfg(feature = "check-shadow")]
+        {
+            let saved = shadow::suspend_region();
+            self.run_packet(slot, lane, packet);
+            shadow::resume_region(saved);
+        }
+        #[cfg(not(feature = "check-shadow"))]
+        self.run_packet(slot, lane, packet);
+        INLINE_STEAL.with(|f| f.set(inline_prev));
+        true
+    }
+
+    /// True when the gang slot is active with unclaimed or unfinished tids
+    /// this worker could/should be helping with.
+    fn gang_visible(&self) -> bool {
+        self.gang.active.load(Ordering::SeqCst)
+    }
+
+    /// True while a publisher of a lane that strictly outranks `lane` is
+    /// waiting to win the gang flag (see [`GangState::intent`]).
+    fn higher_publish_pending(&self, lane: Lane) -> bool {
+        self.gang.intent[..lane as usize]
+            .iter()
+            .any(|i| i.load(Ordering::SeqCst) > 0)
+    }
+
+    /// The lane of the currently visible gang region, if one is published.
+    /// Best-effort: the lane store races the `active` flag by design (it is
+    /// a join-ordering hint, not a correctness input), so a poller may see
+    /// one stale value across a publish boundary — the next poll corrects.
+    fn gang_lane(&self) -> Option<Lane> {
+        if !self.gang_visible() {
+            return None;
+        }
+        Some(Lane::from_index(self.gang.lane.load(Ordering::Relaxed)))
+    }
+
+    /// The highest packet lane a thread may serve while cooperatively
+    /// waiting on (or contending with) a gang of `gang_lane`: everything
+    /// that strictly outranks the gang. Members of a background region
+    /// steal point queries; members of a maintenance region also clear
+    /// scans — the tuner's round can afford the stall, the scan cannot.
+    fn steal_ceiling(gang_lane: Lane) -> Lane {
+        match gang_lane {
+            Lane::Interactive | Lane::Background => Lane::Interactive,
+            Lane::Maintenance => Lane::Background,
+        }
+    }
+
+    /// Claims and runs one gang tid if a region is published and has spare
+    /// tids. Returns true if this thread ran a member.
+    fn try_join_gang(&self) -> bool {
+        if !self.gang_visible() {
+            return false;
+        }
+        let gang = &self.gang;
+        let claim = gang
+            .claims
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                (c < self.n).then_some(c + 1)
+            });
+        let Ok(tid) = claim else { return false };
+        // SAFETY: the successful Acquire claim happens-after the publisher's
+        // Release store of `claims`, which happens-after the job write; the
+        // publisher keeps the closure alive until `remaining` (decremented
+        // below, after the call returns or unwinds) reaches zero.
+        let job: &(dyn Fn(Worker<'_>) + Sync) = unsafe {
+            &*self
+                .gang
+                .job
+                .0
+                .get()
+                .expect("claimed tid without a published job")
+        };
+        let caught = with_in_region(|| {
+            #[cfg(feature = "check-shadow")]
+            shadow::enter_region(Arc::clone(&self.shadow), tid);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job(Worker::gang(tid, self));
+            }));
+            #[cfg(feature = "check-shadow")]
+            shadow::exit_region();
+            result
+        });
+        if caught.is_err() {
+            gang.panicked.store(true, Ordering::SeqCst);
+        }
+        if gang.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            gang.done.notify_all();
+        }
+        true
+    }
+
+    /// The region barrier for gang members: cooperative (waiters steal
+    /// interactive packets) and shadow-draining (the last arriver checks the
+    /// claim log while everyone else is provably quiescent).
+    pub(crate) fn gang_barrier(&self) {
+        let gang = &self.gang;
+        if gang.panicked.load(Ordering::SeqCst) {
+            panic!("gang region poisoned: another member panicked");
+        }
+        let gen = gang.barrier_gen.load(Ordering::Acquire);
+        if gang.barrier_arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            #[cfg(feature = "check-shadow")]
+            self.shadow.drain_check();
+            gang.barrier_arrived.store(0, Ordering::Relaxed);
+            gang.barrier_gen.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let slot = self.my_slot();
+        let ceiling = Self::steal_ceiling(Lane::from_index(gang.lane.load(Ordering::Relaxed)));
+        let mut spinner = AdaptiveSpin::new();
+        while gang.barrier_gen.load(Ordering::Acquire) == gen {
+            if gang.panicked.load(Ordering::SeqCst) {
+                // Leave without waiting: the count is stale now, but the
+                // region is doomed and the next publish resets the barrier.
+                panic!("gang region poisoned: another member panicked");
+            }
+            if let Some(slot) = slot {
+                if self.run_one(slot, ceiling) {
+                    continue;
+                }
+            }
+            if !spinner.spin(|| {
+                gang.barrier_gen.load(Ordering::Acquire) != gen
+                    || gang.panicked.load(Ordering::SeqCst)
+            }) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Executor-backed [`crate::Pool::broadcast`]: publishes a gang region
+    /// and runs tid 0 in place. See the module docs for the protocol.
+    pub(crate) fn broadcast_gang(&self, f: &(dyn Fn(Worker<'_>) + Sync)) {
+        if self.n == 1
+            || in_worker()
+            || INLINE_STEAL.with(|s| s.get())
+            || self.shutdown.load(Ordering::SeqCst)
+        {
+            with_in_region(|| f(Worker::serial()));
+            return;
+        }
+        let lane = CURRENT_LANE.with(|l| l.get()).unwrap_or(Lane::Interactive);
+        // Serialize publishers cooperatively: a loser that is itself an
+        // executor worker helps the active region (or drains interactive
+        // packets) instead of blocking — a blocked worker could be the very
+        // tid the active region is waiting for. Lane discipline holds here
+        // too: queued interactive packets are served before this worker
+        // lends itself to somebody else's background region. The pending
+        // lane caps what the helps may steal (see [`PENDING_PUBLISH`]),
+        // and the per-lane intent registration makes lower-lane publishers
+        // defer to this one (see [`GangState::intent`]).
+        let pending_prev = PENDING_PUBLISH.with(|p| p.replace(Some(lane)));
+        self.gang.intent[lane as usize].fetch_add(1, Ordering::SeqCst);
+        let mut spinner = AdaptiveSpin::new();
+        while self.higher_publish_pending(lane)
+            || self
+                .gang
+                .active
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+        {
+            if let Some(slot) = self.my_slot() {
+                let helped = match self.gang_lane() {
+                    Some(Lane::Interactive) | None => {
+                        self.try_join_gang() || self.run_one(slot, Lane::Interactive)
+                    }
+                    Some(active) => {
+                        self.run_one(slot, Self::steal_ceiling(active)) || self.try_join_gang()
+                    }
+                };
+                if !helped {
+                    std::hint::spin_loop();
+                }
+            } else if !spinner.spin(|| !self.gang.active.load(Ordering::SeqCst)) {
+                std::thread::yield_now();
+            }
+        }
+        PENDING_PUBLISH.with(|p| p.set(pending_prev));
+        self.gang.intent[lane as usize].fetch_sub(1, Ordering::SeqCst);
+        // Re-check under ownership: a shutdown racing the publish must not
+        // strand us waiting for workers that already exited (the workers'
+        // exit path re-checks `active` after seeing `shutdown`, and both
+        // sides are SeqCst, so one of the two always observes the other).
+        if self.shutdown.load(Ordering::SeqCst) {
+            self.gang.active.store(false, Ordering::SeqCst);
+            with_in_region(|| f(Worker::serial()));
+            return;
+        }
+        let gang = &self.gang;
+        gang.lane.store(lane as usize, Ordering::Relaxed);
+        gang.panicked.store(false, Ordering::Relaxed);
+        gang.barrier_arrived.store(0, Ordering::Relaxed);
+        let wide: &(dyn Fn(Worker<'_>) + Sync) = f;
+        // SAFETY: erasing the lifetime is sound because this function does
+        // not return until `remaining == 0`, i.e. until every claimed tid
+        // has returned from the closure.
+        let raw: GangJobRef = unsafe { std::mem::transmute(wide) };
+        gang.job.0.set(Some(raw));
+        gang.remaining.store(self.n, Ordering::Release);
+        // Handing out tids (Release) is the publication point for `job`.
+        gang.claims.store(1, Ordering::Release);
+        self.idle.notify_all();
+
+        let caught = with_in_region(|| {
+            #[cfg(feature = "check-shadow")]
+            shadow::enter_region(Arc::clone(&self.shadow), 0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f(Worker::gang(0, self));
+            }));
+            #[cfg(feature = "check-shadow")]
+            shadow::exit_region();
+            result
+        });
+        if caught.is_err() {
+            gang.panicked.store(true, Ordering::SeqCst);
+        }
+        if gang.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+            // Wait for the other members; a worker-publisher keeps serving
+            // higher-priority packets meanwhile (inline, so a stolen scan's
+            // own broadcast runs serially rather than nesting a publish on
+            // the `active` flag this stack still owns), everyone else parks
+            // after the spin budget (the last member out notifies the
+            // futex).
+            let slot = self.my_slot();
+            let ceiling = Self::steal_ceiling(lane);
+            let mut spinner = AdaptiveSpin::new();
+            loop {
+                if gang.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                if let Some(slot) = slot {
+                    if self.run_one(slot, ceiling) {
+                        continue;
+                    }
+                }
+                if spinner.spin(|| gang.remaining.load(Ordering::Acquire) == 0) {
+                    break;
+                }
+                let token = gang.done.prepare();
+                if gang.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                gang.done.wait(token);
+            }
+        }
+        gang.job.0.set(None);
+        gang.active.store(false, Ordering::SeqCst);
+        self.gangs.fetch_add(1, Ordering::Relaxed);
+        // Safe point: every member has returned. Raise shadow violations
+        // and member panics here, on the publishing thread.
+        #[cfg(feature = "check-shadow")]
+        self.shadow.finish_region();
+        if gang.panicked.load(Ordering::SeqCst) && caught.is_ok() {
+            panic!("a gang member panicked during an executor-backed parallel region");
+        }
+        if let Err(payload) = caught {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    pub(crate) fn num_workers(&self) -> usize {
+        self.n
+    }
+}
+
+fn worker_main(shared: Arc<ExecShared>, slot: usize) {
+    EXEC_SLOT.with(|s| s.set(Some((&*shared as *const ExecShared as usize, slot))));
+    let mut spinner = AdaptiveSpin::new();
+    loop {
+        // Priority order: a gang region ranks just *above* the packets of
+        // its own lane (its publisher already holds an in-flight packet
+        // hostage — finish it before starting new same-lane work) but
+        // *below* every higher lane's packets. Joining a tuner's region
+        // ahead of queued point queries or scans is precisely the
+        // dispatcher priority inversion this executor exists to kill:
+        // under a tune storm the regions arrive back-to-back and a worker
+        // that ranks gangs first never looks at the lanes again. A
+        // deprioritized region is never stranded — its publisher keeps
+        // serving higher-lane packets cooperatively while it waits.
+        if shared.gang_lane() == Some(Lane::Interactive) && shared.try_join_gang() {
+            continue;
+        }
+        if let Some((lane, packet)) = shared.find_packet(slot, Lane::Interactive) {
+            shared.run_packet(slot, lane, packet);
+            continue;
+        }
+        if shared.gang_lane() == Some(Lane::Background) && shared.try_join_gang() {
+            continue;
+        }
+        if let Some((lane, packet)) = shared.find_packet(slot, Lane::Background) {
+            shared.run_packet(slot, lane, packet);
+            continue;
+        }
+        if shared.try_join_gang() {
+            continue;
+        }
+        if let Some((lane, packet)) = shared.find_packet(slot, Lane::Maintenance) {
+            shared.run_packet(slot, lane, packet);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Never abandon an active gang: it may be waiting for this
+            // worker's tid (see the publish-side shutdown re-check).
+            if shared.gang_visible() {
+                continue;
+            }
+            return;
+        }
+        // The `queued` loads are SeqCst for the park-side Dekker below (the
+        // gang and shutdown wake paths bump the eventcount unconditionally,
+        // so prepare/re-check alone covers them).
+        let has_work = || {
+            shared.queued.iter().any(|q| q.load(Ordering::SeqCst) != 0)
+                || shared.gang_visible()
+                || shared.shutdown.load(Ordering::SeqCst)
+        };
+        if spinner.spin(has_work) {
+            continue;
+        }
+        // Park protocol: advertise `parked` *before* the final re-check so
+        // it pairs with [`ExecShared::wake`]'s conditional notify (a Dekker
+        // on `queued`/`parked` — both sides SeqCst). With the increment
+        // after the re-check, a submitter could push, read `parked == 0`,
+        // skip the bump, and this worker would sleep on a token prepared
+        // before the push — a lost wakeup that strands the packet until the
+        // next submission (observed as rare ~2s client-timeout wedges under
+        // CPU contention).
+        let token = shared.idle.prepare();
+        shared.parked.fetch_add(1, Ordering::SeqCst);
+        if has_work() {
+            shared.parked.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        shared.idle.wait(token);
+        shared.parked.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The executor: a fixed crew of workers serving both lanes, gang regions
+/// for engine rounds, and [`RoundChain`]s. Create one per server (or test),
+/// attach pools onto it via [`Pool::attach`](crate::Pool::attach), and call
+/// [`Executor::shutdown`] (or drop it) when done.
+pub struct Executor {
+    shared: Arc<ExecShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.shared.n)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Spawns `workers` executor threads (minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is 0.
+    pub fn new(workers: usize) -> Executor {
+        assert!(workers > 0, "executor requires at least one worker");
+        let shared = Arc::new(ExecShared {
+            n: workers,
+            injectors: [SegQueue::new(), SegQueue::new(), SegQueue::new()],
+            locals: (0..workers)
+                .map(|_| WorkerSlot {
+                    queues: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+                })
+                .collect(),
+            queued: std::array::from_fn(|_| AtomicUsize::new(0)),
+            live: AtomicUsize::new(0),
+            idle: WaitSeq::new(),
+            parked: AtomicUsize::new(0),
+            quiesced: WaitSeq::new(),
+            shutdown: AtomicBool::new(false),
+            gang: GangState {
+                active: AtomicBool::new(false),
+                lane: AtomicUsize::new(Lane::Interactive as usize),
+                job: GangJob(Cell::new(None)),
+                // Saturated: nothing to claim until the first publish.
+                claims: AtomicUsize::new(workers),
+                remaining: AtomicUsize::new(0),
+                panicked: AtomicBool::new(false),
+                barrier_arrived: AtomicUsize::new(0),
+                barrier_gen: AtomicUsize::new(0),
+                done: WaitSeq::new(),
+                intent: std::array::from_fn(|_| AtomicUsize::new(0)),
+            },
+            executed: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            gangs: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            #[cfg(feature = "check-shadow")]
+            shadow: Arc::new(shadow::ShadowLog::new()),
+        });
+        let handles = (0..workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("priograph-exec-{slot}"))
+                    .spawn(move || worker_main(shared, slot))
+                    .expect("failed to spawn executor worker")
+            })
+            .collect();
+        Executor {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads (also the gang size of attached pools).
+    pub fn num_workers(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Submits a packet to a lane's shared injector.
+    pub fn submit(&self, lane: Lane, f: impl FnOnce(&ExecCtx<'_>) + Send + 'static) {
+        self.shared.push_injector(lane, WorkPacket::new(f));
+    }
+
+    /// Submits a packet to a specific worker's deque (stealable; use for
+    /// locality, e.g. keeping a graph's queries on warm engines).
+    pub fn submit_to(
+        &self,
+        worker: usize,
+        lane: Lane,
+        f: impl FnOnce(&ExecCtx<'_>) + Send + 'static,
+    ) {
+        self.shared
+            .push_local(worker % self.shared.n, lane, Box::new(f));
+    }
+
+    /// Packets submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.live.load(Ordering::Acquire)
+    }
+
+    /// Blocks until every submitted packet has finished. Packets submitted
+    /// concurrently with the wait may or may not be covered.
+    pub fn wait_idle(&self) {
+        while self.shared.live.load(Ordering::Acquire) != 0 {
+            let token = self.shared.quiesced.prepare();
+            if self.shared.live.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            self.shared.quiesced.wait(token);
+        }
+    }
+
+    /// Activity counters since construction.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            executed: self.shared.executed.load(Ordering::Relaxed) as u64,
+            steals: self.shared.steals.load(Ordering::Relaxed) as u64,
+            gangs: self.shared.gangs.load(Ordering::Relaxed) as u64,
+            panicked: self.shared.panicked.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// Stops the workers. Queued packets that have not started are dropped
+    /// (their closures run destructors only); an active gang region is
+    /// finished first. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.idle.notify_all();
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+        // Drop undispatched packets so captured reply channels disconnect.
+        for lane in 0..LANES {
+            while let Some(p) = self.shared.injectors[lane].pop() {
+                drop(p);
+                self.shared.queued[lane].fetch_sub(1, Ordering::AcqRel);
+                if self.shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.shared.quiesced.notify_all();
+                }
+            }
+            for slot in &self.shared.locals {
+                let mut q = slot.queues[lane].lock();
+                while let Some(p) = q.pop_front() {
+                    drop(p);
+                    self.shared.queued[lane].fetch_sub(1, Ordering::AcqRel);
+                    if self.shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.shared.quiesced.notify_all();
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<ExecShared> {
+        &self.shared
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One round of a [`RoundChain`]: a lane and the packets that fill it.
+pub struct Round {
+    /// The lane every packet of this round rides.
+    pub lane: Lane,
+    /// The round's packets. An empty round is skipped (the driver is asked
+    /// again immediately).
+    pub packets: Vec<WorkPacket>,
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Round")
+            .field("lane", &self.lane)
+            .field("packets", &self.packets.len())
+            .finish()
+    }
+}
+
+/// Emits a chain's rounds one bucket at a time. `round` is 0-based and
+/// increments once per (possibly empty) emitted round; returning `None`
+/// finishes the chain.
+pub trait ChainDriver: Send + 'static {
+    /// Called with no packets of any earlier round in flight — the previous
+    /// bucket has fully drained. Runs on the last-out worker (or on the
+    /// starting thread for round 0), so keep it cheap.
+    fn next_round(&mut self, round: usize) -> Option<Round>;
+}
+
+struct ChainInner {
+    exec: Arc<ExecShared>,
+    driver: Mutex<Option<Box<dyn ChainDriver>>>,
+    /// Packets of the currently open round still in flight. Only touched
+    /// between the open (store) and the last-out decrement, so rounds never
+    /// overlap.
+    outstanding: AtomicUsize,
+    rounds_opened: AtomicUsize,
+    finished: AtomicBool,
+    done: WaitSeq,
+}
+
+/// A sequence of packet rounds with bucket open-conditions: round `r + 1`
+/// opens when round `r`'s packet count drains to zero, and the last-out
+/// worker opens it (mmtk-style). See the module docs.
+pub struct RoundChain {
+    inner: Arc<ChainInner>,
+}
+
+impl fmt::Debug for RoundChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoundChain")
+            .field(
+                "rounds_opened",
+                &self.inner.rounds_opened.load(Ordering::Relaxed),
+            )
+            .field("finished", &self.inner.finished.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RoundChain {
+    /// Starts a chain on `exec`, opening round 0 from the calling thread.
+    pub fn start(exec: &Executor, driver: impl ChainDriver) -> RoundChain {
+        let inner = Arc::new(ChainInner {
+            exec: Arc::clone(exec.shared()),
+            driver: Mutex::new(Some(Box::new(driver))),
+            outstanding: AtomicUsize::new(0),
+            rounds_opened: AtomicUsize::new(0),
+            finished: AtomicBool::new(false),
+            done: WaitSeq::new(),
+        });
+        Self::open_next(&inner);
+        RoundChain { inner }
+    }
+
+    /// Opens buckets until one has packets (or the driver finishes). Runs on
+    /// the starting thread first, then on each round's last-out worker.
+    fn open_next(inner: &Arc<ChainInner>) {
+        loop {
+            let round_idx = inner.rounds_opened.fetch_add(1, Ordering::Relaxed);
+            let next = {
+                let mut guard = inner.driver.lock();
+                match guard.as_mut() {
+                    Some(driver) => driver.next_round(round_idx),
+                    None => None,
+                }
+            };
+            let Some(round) = next else {
+                *inner.driver.lock() = None;
+                inner.finished.store(true, Ordering::Release);
+                inner.done.notify_all();
+                return;
+            };
+            if round.packets.is_empty() {
+                continue;
+            }
+            // Count first, then submit: an early finisher must not see the
+            // counter below its own decrement's worth.
+            inner
+                .outstanding
+                .store(round.packets.len(), Ordering::Release);
+            for packet in round.packets {
+                let chained = Arc::clone(inner);
+                inner.exec.push_injector(
+                    round.lane,
+                    WorkPacket::new(move |ctx| {
+                        (packet.run)(ctx);
+                        if chained.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // Last-out worker opens the next bucket.
+                            RoundChain::open_next(&chained);
+                        }
+                    }),
+                );
+            }
+            return;
+        }
+    }
+
+    /// True once the driver returned `None` and every packet has finished.
+    pub fn is_finished(&self) -> bool {
+        self.inner.finished.load(Ordering::Acquire)
+    }
+
+    /// Parks until the chain finishes.
+    pub fn wait(&self) {
+        while !self.is_finished() {
+            let token = self.inner.done.prepare();
+            if self.is_finished() {
+                break;
+            }
+            self.inner.done.wait(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn packets_execute_exactly_once() {
+        let exec = Executor::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..200 {
+            let count = Arc::clone(&count);
+            let lane = if i % 3 == 0 {
+                Lane::Background
+            } else {
+                Lane::Interactive
+            };
+            exec.submit(lane, move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        exec.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 200);
+        assert_eq!(exec.stats().executed, 200);
+        assert_eq!(exec.pending(), 0);
+    }
+
+    #[test]
+    fn interactive_lane_overtakes_background_backlog() {
+        // One worker, a queued background backlog, then one interactive
+        // packet: the interactive packet must run before every queued
+        // background packet (only the already-running one may precede it).
+        let exec = Executor::new(1);
+        let order = Arc::new(AtomicUsize::new(0));
+        let interactive_pos = Arc::new(AtomicUsize::new(usize::MAX));
+        let gate = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let order = Arc::clone(&order);
+            let gate = Arc::clone(&gate);
+            exec.submit(Lane::Background, move |_| {
+                // Hold the first packet until the interactive one is queued,
+                // so "already running" is deterministic.
+                while gate.load(Ordering::Acquire) == 0 {
+                    std::hint::spin_loop();
+                }
+                order.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let pos = Arc::clone(&interactive_pos);
+        let order2 = Arc::clone(&order);
+        exec.submit(Lane::Interactive, move |_| {
+            pos.store(order2.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        });
+        gate.store(1, Ordering::Release);
+        exec.wait_idle();
+        let pos = interactive_pos.load(Ordering::Relaxed);
+        assert!(
+            pos <= 1,
+            "interactive packet ran at position {pos} behind the background backlog"
+        );
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_deque() {
+        let exec = Executor::new(4);
+        let seen = Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+        for _ in 0..64 {
+            let seen = Arc::clone(&seen);
+            // Everything lands on worker 0's deque; the others must steal.
+            exec.submit_to(0, Lane::Interactive, move |ctx| {
+                seen.lock().insert(ctx.worker());
+                std::thread::sleep(Duration::from_micros(300));
+            });
+        }
+        exec.wait_idle();
+        let seen = seen.lock();
+        assert!(
+            seen.len() > 1,
+            "expected steals to spread work, only workers {seen:?} ran"
+        );
+        assert!(exec.stats().steals > 0);
+    }
+
+    #[test]
+    fn panicking_packet_does_not_kill_the_worker() {
+        let exec = Executor::new(2);
+        exec.submit(Lane::Interactive, |_| panic!("oops"));
+        exec.wait_idle();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        exec.submit(Lane::Interactive, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        exec.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        assert_eq!(exec.stats().panicked, 1);
+    }
+
+    #[test]
+    fn submit_local_lands_and_runs() {
+        let exec = Executor::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        exec.submit(Lane::Interactive, move |ctx| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                ctx.submit_local(Lane::Background, move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        exec.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn round_chain_rounds_never_overlap_and_last_out_opens_next() {
+        // Each round's packets record the open round index; a packet seeing
+        // a different index means a bucket opened before its predecessor
+        // drained.
+        const ROUNDS: usize = 8;
+        const PER_ROUND: usize = 12;
+        struct Driver {
+            current: Arc<AtomicUsize>,
+            violations: Arc<AtomicUsize>,
+            started: Arc<AtomicUsize>,
+        }
+        impl ChainDriver for Driver {
+            fn next_round(&mut self, round: usize) -> Option<Round> {
+                if round >= ROUNDS {
+                    return None;
+                }
+                self.current.store(round, Ordering::SeqCst);
+                let packets = (0..PER_ROUND)
+                    .map(|_| {
+                        let current = Arc::clone(&self.current);
+                        let violations = Arc::clone(&self.violations);
+                        let started = Arc::clone(&self.started);
+                        WorkPacket::new(move |_| {
+                            started.fetch_add(1, Ordering::SeqCst);
+                            if current.load(Ordering::SeqCst) != round {
+                                violations.fetch_add(1, Ordering::SeqCst);
+                            }
+                            std::thread::sleep(Duration::from_micros(100));
+                        })
+                    })
+                    .collect();
+                Some(Round {
+                    lane: Lane::Interactive,
+                    packets,
+                })
+            }
+        }
+        let exec = Executor::new(4);
+        let current = Arc::new(AtomicUsize::new(0));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let started = Arc::new(AtomicUsize::new(0));
+        let chain = RoundChain::start(
+            &exec,
+            Driver {
+                current: Arc::clone(&current),
+                violations: Arc::clone(&violations),
+                started: Arc::clone(&started),
+            },
+        );
+        chain.wait();
+        assert!(chain.is_finished());
+        assert_eq!(started.load(Ordering::SeqCst), ROUNDS * PER_ROUND);
+        assert_eq!(
+            violations.load(Ordering::SeqCst),
+            0,
+            "a round's packets ran while another round was open"
+        );
+    }
+
+    #[test]
+    fn round_chain_skips_empty_rounds_and_finishes_empty_chains() {
+        struct Sparse {
+            hits: Arc<AtomicUsize>,
+        }
+        impl ChainDriver for Sparse {
+            fn next_round(&mut self, round: usize) -> Option<Round> {
+                match round {
+                    0 | 1 | 3 => Some(Round {
+                        lane: Lane::Background,
+                        packets: Vec::new(),
+                    }),
+                    2 | 4 => {
+                        let hits = Arc::clone(&self.hits);
+                        Some(Round {
+                            lane: Lane::Background,
+                            packets: vec![WorkPacket::new(move |_| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            })],
+                        })
+                    }
+                    _ => None,
+                }
+            }
+        }
+        let exec = Executor::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let chain = RoundChain::start(
+            &exec,
+            Sparse {
+                hits: Arc::clone(&hits),
+            },
+        );
+        chain.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+
+        struct Empty;
+        impl ChainDriver for Empty {
+            fn next_round(&mut self, _round: usize) -> Option<Round> {
+                None
+            }
+        }
+        let chain = RoundChain::start(&exec, Empty);
+        chain.wait();
+        assert!(chain.is_finished());
+    }
+
+    #[test]
+    fn round_chain_runs_level_synchronous_bfs() {
+        // A BFS where each level is one bucket: depths must match a serial
+        // BFS exactly, which fails if buckets overlap or packets are lost.
+        let n = 256usize;
+        // Ring + chords graph, adjacency as a flat Vec<Vec<usize>>.
+        let adj: Arc<Vec<Vec<usize>>> = Arc::new(
+            (0..n)
+                .map(|v| vec![(v + 1) % n, (v + n - 1) % n, (v * 7 + 3) % n])
+                .collect(),
+        );
+        let serial = {
+            let mut depth = vec![usize::MAX; n];
+            let mut frontier = vec![0usize];
+            depth[0] = 0;
+            let mut d = 0;
+            while !frontier.is_empty() {
+                d += 1;
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    for &w in &adj[v] {
+                        if depth[w] == usize::MAX {
+                            depth[w] = d;
+                            next.push(w);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            depth
+        };
+
+        struct Bfs {
+            adj: Arc<Vec<Vec<usize>>>,
+            depth: Arc<Vec<AtomicUsize>>,
+            frontier: Arc<Mutex<Vec<usize>>>,
+        }
+        impl ChainDriver for Bfs {
+            fn next_round(&mut self, round: usize) -> Option<Round> {
+                let frontier = std::mem::take(&mut *self.frontier.lock());
+                if frontier.is_empty() {
+                    return None;
+                }
+                // One packet per frontier chunk; discovered vertices CAS
+                // their depth and append to the next frontier.
+                let packets = frontier
+                    .chunks(8)
+                    .map(|chunk| {
+                        let chunk = chunk.to_vec();
+                        let adj = Arc::clone(&self.adj);
+                        let depth = Arc::clone(&self.depth);
+                        let next = Arc::clone(&self.frontier);
+                        WorkPacket::new(move |_| {
+                            let mut found = Vec::new();
+                            for &v in &chunk {
+                                for &w in &adj[v] {
+                                    if depth[w]
+                                        .compare_exchange(
+                                            usize::MAX,
+                                            round + 1,
+                                            Ordering::AcqRel,
+                                            Ordering::Acquire,
+                                        )
+                                        .is_ok()
+                                    {
+                                        found.push(w);
+                                    }
+                                }
+                            }
+                            if !found.is_empty() {
+                                next.lock().extend(found);
+                            }
+                        })
+                    })
+                    .collect();
+                Some(Round {
+                    lane: Lane::Background,
+                    packets,
+                })
+            }
+        }
+
+        let exec = Executor::new(4);
+        let depth: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..n).map(|_| AtomicUsize::new(usize::MAX)).collect());
+        depth[0].store(0, Ordering::Relaxed);
+        let chain = RoundChain::start(
+            &exec,
+            Bfs {
+                adj,
+                depth: Arc::clone(&depth),
+                frontier: Arc::new(Mutex::new(vec![0])),
+            },
+        );
+        chain.wait();
+        let got: Vec<usize> = depth.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn gang_broadcast_runs_every_tid_once_with_barriers() {
+        use crate::Pool;
+        let exec = Executor::new(4);
+        let pool = Pool::attach(&exec);
+        assert_eq!(pool.num_threads(), 4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let phase1 = AtomicUsize::new(0);
+        let phase2_saw = AtomicUsize::new(usize::MAX);
+        pool.broadcast(|w| {
+            hits[w.tid()].fetch_add(1, Ordering::Relaxed);
+            phase1.fetch_add(1, Ordering::SeqCst);
+            w.barrier();
+            phase2_saw.fetch_min(phase1.load(Ordering::SeqCst), Ordering::SeqCst);
+            w.barrier();
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(phase2_saw.load(Ordering::Relaxed), 4);
+        assert_eq!(exec.stats().gangs, 1);
+    }
+
+    #[test]
+    fn gang_regions_interleave_with_interactive_packets() {
+        // A broadcast with many barriers runs while interactive packets
+        // stream in: all packets complete even though the gang holds every
+        // worker, because barrier waiters steal the interactive lane.
+        use crate::Pool;
+        let exec = Arc::new(Executor::new(3));
+        let pool = Pool::attach(&exec);
+        let served = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let feeder = {
+            let exec = Arc::clone(&exec);
+            let served = Arc::clone(&served);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut sent = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let served = Arc::clone(&served);
+                    exec.submit(Lane::Interactive, move |_| {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    });
+                    sent += 1;
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                sent
+            })
+        };
+        let rounds = AtomicU64::new(0);
+        for _ in 0..20 {
+            pool.broadcast(|w| {
+                for _ in 0..10 {
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                    w.barrier();
+                }
+            });
+        }
+        stop.store(true, Ordering::Release);
+        let sent = feeder.join().unwrap();
+        exec.wait_idle();
+        assert_eq!(served.load(Ordering::Relaxed), sent);
+        assert_eq!(rounds.load(Ordering::Relaxed), 20 * 10 * 3);
+    }
+
+    #[test]
+    fn concurrent_publishers_serialize_without_deadlock() {
+        // Several background packets each publish gang regions; publishers
+        // that lose the race must help instead of blocking (a blocked
+        // worker could be a tid the active gang needs).
+        use crate::Pool;
+        let exec = Arc::new(Executor::new(4));
+        let total = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let exec2 = Arc::clone(&exec);
+            let total = Arc::clone(&total);
+            exec.submit(Lane::Background, move |_| {
+                let pool = Pool::attach(&exec2);
+                pool.broadcast(|w| {
+                    total.fetch_add(w.tid() + 1, Ordering::Relaxed);
+                    w.barrier();
+                });
+            });
+        }
+        exec.wait_idle();
+        // Each broadcast sums 1+2+..+n over its participants; serial
+        // degradation (nested regions) would sum only 1.
+        assert_eq!(total.load(Ordering::Relaxed), 8 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn background_publisher_overtakes_a_maintenance_region_storm() {
+        // A Maintenance packet publishes back-to-back gang regions (a tune
+        // storm). A Background publisher arriving mid-storm must get the
+        // gang flag at the next region boundary: the storm re-publishes
+        // within nanoseconds of clearing `active` while owning the cache
+        // line, so without the publish-intent deferral the waiter loses
+        // dozens of consecutive CAS handoffs. The bound here is the
+        // at-most-one in-flight region plus the races around reading the
+        // counter — far below the unfair regime.
+        use crate::Pool;
+        let exec = Arc::new(Executor::new(2));
+        let storm_regions = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let exec2 = Arc::clone(&exec);
+            let storm_regions = Arc::clone(&storm_regions);
+            let stop = Arc::clone(&stop);
+            exec.submit(Lane::Maintenance, move |_| {
+                let pool = Pool::attach(&exec2);
+                while !stop.load(Ordering::Acquire) {
+                    pool.broadcast(|w| {
+                        let _ = w.tid();
+                    });
+                    storm_regions.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        // Let the storm establish its cadence before contending.
+        while storm_regions.load(Ordering::SeqCst) < 10 {
+            std::thread::yield_now();
+        }
+        let gap = Arc::new(AtomicUsize::new(usize::MAX));
+        {
+            let exec2 = Arc::clone(&exec);
+            let storm_regions = Arc::clone(&storm_regions);
+            let gap = Arc::clone(&gap);
+            exec.submit(Lane::Background, move |_| {
+                let pool = Pool::attach(&exec2);
+                let mark = storm_regions.load(Ordering::SeqCst);
+                pool.broadcast(|w| {
+                    let _ = w.tid();
+                });
+                let after = storm_regions.load(Ordering::SeqCst);
+                gap.store(after - mark, Ordering::SeqCst);
+            });
+        }
+        while gap.load(Ordering::SeqCst) == usize::MAX {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        exec.wait_idle();
+        let gap = gap.load(Ordering::SeqCst);
+        assert!(
+            gap <= 3,
+            "background publisher waited out {gap} maintenance regions; \
+             lane intents are not deferring the storm at region boundaries"
+        );
+    }
+
+    #[test]
+    fn external_threads_broadcast_concurrently_with_packet_load() {
+        use crate::Pool;
+        let exec = Arc::new(Executor::new(2));
+        let sum = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let exec = Arc::clone(&exec);
+                let sum = Arc::clone(&sum);
+                scope.spawn(move || {
+                    let pool = Pool::attach(&exec);
+                    for _ in 0..50 {
+                        pool.broadcast(|w| {
+                            sum.fetch_add(w.tid() + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        exec.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 3 * 50 * (1 + 2));
+    }
+
+    #[test]
+    fn gang_member_panic_poisons_the_region_but_not_the_executor() {
+        use crate::Pool;
+        let exec = Executor::new(2);
+        let pool = Pool::attach(&exec);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|w| {
+                if w.tid() == 1 {
+                    panic!("member bug");
+                }
+                // tid 0 waits at a barrier the panicked member never
+                // reaches; poisoning must release it.
+                w.barrier();
+            });
+        }));
+        assert!(err.is_err(), "publisher must observe the member panic");
+        // The executor survives and still runs work.
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        exec.submit(Lane::Interactive, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        exec.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|w| {
+                w.barrier();
+            });
+        }));
+        assert!(ok.is_ok(), "the next gang region must start clean");
+    }
+
+    #[test]
+    fn shutdown_with_queued_work_does_not_hang() {
+        let exec = Executor::new(2);
+        let gate = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let gate = Arc::clone(&gate);
+            exec.submit(Lane::Background, move |_| {
+                while gate.load(Ordering::Acquire) == 0 {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            });
+        }
+        gate.store(1, Ordering::Release);
+        exec.shutdown();
+        assert_eq!(
+            exec.pending(),
+            0,
+            "queued packets must be drained or dropped"
+        );
+    }
+
+    /// Gang regions must preserve the check-shadow drain protocol: barriers
+    /// separate claim windows (legal reuse across them) and cross-worker
+    /// overlap within a window is raised at the region's safe point.
+    #[cfg(feature = "check-shadow")]
+    mod shadow_gang {
+        use super::super::*;
+        use crate::shadow::{record_claim, ClaimKind};
+        use crate::Pool;
+
+        #[test]
+        fn barrier_separates_claim_windows_in_gang_regions() {
+            let exec = Executor::new(2);
+            let pool = Pool::attach(&exec);
+            // The same range claimed by different tids is legal when a
+            // barrier (window drain) separates the claims.
+            pool.broadcast(|w| {
+                if w.tid() == 0 {
+                    record_claim(0x9000, 64, ClaimKind::SliceWriter);
+                }
+                w.barrier();
+                if w.tid() == 1 {
+                    record_claim(0x9000, 64, ClaimKind::SliceWriter);
+                }
+            });
+        }
+
+        #[test]
+        fn cross_worker_overlap_in_a_gang_window_panics() {
+            let exec = Executor::new(2);
+            let pool = Pool::attach(&exec);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.broadcast(|w| {
+                    // Both tids claim overlapping ranges in one window.
+                    record_claim(0xA000 + w.tid() * 0x20, 64, ClaimKind::DisjointSlice);
+                });
+            }));
+            assert!(err.is_err(), "overlap must be raised at the safe point");
+            // The executor itself survives the poisoned region.
+            pool.broadcast(|w| {
+                record_claim(0xB000 + w.tid() * 0x100, 64, ClaimKind::DisjointSlice);
+                w.barrier();
+            });
+        }
+    }
+
+    #[test]
+    fn chaos_mixed_lanes_chains_and_gangs() {
+        // A deterministic storm: external submitters, chains, and gang
+        // broadcasts all at once. Success is exact conservation of work.
+        use crate::Pool;
+        let exec = Arc::new(Executor::new(4));
+        let packet_hits = Arc::new(AtomicUsize::new(0));
+        let gang_hits = Arc::new(AtomicUsize::new(0));
+        let chain_hits = Arc::new(AtomicUsize::new(0));
+
+        struct Storm {
+            remaining: usize,
+            hits: Arc<AtomicUsize>,
+        }
+        impl ChainDriver for Storm {
+            fn next_round(&mut self, _round: usize) -> Option<Round> {
+                if self.remaining == 0 {
+                    return None;
+                }
+                self.remaining -= 1;
+                let packets = (0..5)
+                    .map(|_| {
+                        let hits = Arc::clone(&self.hits);
+                        WorkPacket::new(move |_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                Some(Round {
+                    lane: Lane::Background,
+                    packets,
+                })
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let exec = Arc::clone(&exec);
+                let packet_hits = Arc::clone(&packet_hits);
+                let gang_hits = Arc::clone(&gang_hits);
+                scope.spawn(move || {
+                    // Simple LCG so each thread's schedule differs but the
+                    // totals are fixed.
+                    let mut state = 0x9E3779B9u64.wrapping_mul(t as u64 + 1);
+                    let pool = Pool::attach(&exec);
+                    for _ in 0..60 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        match state >> 62 {
+                            0 => {
+                                let h = Arc::clone(&packet_hits);
+                                exec.submit(Lane::Interactive, move |_| {
+                                    h.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                            1 => {
+                                let h = Arc::clone(&packet_hits);
+                                exec.submit(Lane::Background, move |_| {
+                                    h.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                            _ => {
+                                let h = Arc::clone(&gang_hits);
+                                pool.broadcast(|w| {
+                                    h.fetch_add(1, Ordering::Relaxed);
+                                    w.barrier();
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+            let chains: Vec<RoundChain> = (0..4)
+                .map(|_| {
+                    RoundChain::start(
+                        &exec,
+                        Storm {
+                            remaining: 6,
+                            hits: Arc::clone(&chain_hits),
+                        },
+                    )
+                })
+                .collect();
+            for chain in &chains {
+                chain.wait();
+            }
+        });
+        exec.wait_idle();
+        assert_eq!(chain_hits.load(Ordering::Relaxed), 4 * 6 * 5);
+        // Every gang broadcast contributed exactly num_workers (or 1 when
+        // degraded); conservation: gang_hits is a multiple of nothing fixed,
+        // but packets are exact.
+        let stats = exec.stats();
+        assert_eq!(stats.panicked, 0);
+        assert!(gang_hits.load(Ordering::Relaxed) > 0);
+        assert!(packet_hits.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -237,6 +237,19 @@ pub(crate) fn exit_region() {
     REGION.with(|r| *r.borrow_mut() = None);
 }
 
+/// Scheduler hook: temporarily detaches this thread from its region (e.g.
+/// while a gang-barrier waiter runs a stolen interactive packet, whose
+/// claims must not be attributed to the gang's current window). Pair with
+/// [`resume_region`].
+pub(crate) fn suspend_region() -> Option<(Arc<ShadowLog>, usize)> {
+    REGION.with(|r| r.borrow_mut().take())
+}
+
+/// Scheduler hook: reattaches the region saved by [`suspend_region`].
+pub(crate) fn resume_region(saved: Option<(Arc<ShadowLog>, usize)>) {
+    REGION.with(|r| *r.borrow_mut() = saved);
+}
+
 /// The calling thread's region tid, if it is inside a pool region.
 pub fn current_tid() -> Option<usize> {
     REGION.with(|r| r.borrow().as_ref().map(|(_, tid)| *tid))

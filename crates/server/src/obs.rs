@@ -5,10 +5,10 @@
 //! One [`Telemetry`] lives in the server's `Shared` state. The hot paths
 //! write to it with relaxed atomics only:
 //!
-//! * the **dispatcher** folds each answered query's [`QuerySpan`] into the
-//!   global per-phase histograms and a per-(graph, op) breakdown (the
-//!   per-key map is behind a mutex, but the dispatcher holds a lock-free
-//!   local cache of the `Arc`s — the lock is taken once per new
+//! * the **executor workers** fold each answered query's [`QuerySpan`]
+//!   into the global per-phase histograms and a per-(graph, op) breakdown
+//!   (the per-key map is behind a mutex, but each worker slot holds a
+//!   lock-free local cache of the `Arc`s — the lock is taken once per new
 //!   (graph, op) pair, never in steady state);
 //! * the **engines** report round boundaries through the
 //!   [`RoundObserver`] impl (three relaxed atomic ops per round);
@@ -21,6 +21,7 @@
 
 use crate::protocol::{ErrorKind, GraphId, QueryOp, Response, SeriesSummary, ServerStats, StatsV2};
 use priograph_core::engine::{RoundInfo, RoundObserver};
+use priograph_parallel::ExecutorStats;
 use priograph_telemetry::{LatencyHistogram, PhaseHistograms, QuerySpan, SlowRing, Summary};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -165,9 +166,10 @@ impl Telemetry {
     }
 
     /// Assembles the self-describing `StatsV2` frame: the legacy counters
-    /// under their documented names, the new named counters, and every
-    /// latency series, all sorted by name.
-    pub(crate) fn stats_v2(&self, legacy: &ServerStats) -> StatsV2 {
+    /// under their documented names, the new named counters (including the
+    /// execution core's `sched.*` totals), and every latency series, all
+    /// sorted by name.
+    pub(crate) fn stats_v2(&self, legacy: &ServerStats, exec: ExecutorStats) -> StatsV2 {
         let mut counters: Vec<(String, u64)> = vec![
             ("num_vertices".to_string(), legacy.num_vertices),
             ("num_edges".to_string(), legacy.num_edges),
@@ -194,6 +196,10 @@ impl Telemetry {
                 "engine.relaxations".to_string(),
                 self.engine_relaxations.load(Ordering::Relaxed),
             ),
+            ("sched.executed".to_string(), exec.executed),
+            ("sched.steals".to_string(), exec.steals),
+            ("sched.gangs".to_string(), exec.gangs),
+            ("sched.panicked".to_string(), exec.panicked),
         ];
         for kind in ErrorKind::ALL {
             counters.push((format!("errors.{kind}"), self.error_kind_count(kind)));
@@ -227,9 +233,14 @@ impl Telemetry {
 
     /// One metrics-log line: a timestamped JSON object wrapping the
     /// `StatsV2` snapshot plus the current slow-query ring.
-    pub(crate) fn metrics_json(&self, legacy: &ServerStats, uptime_ms: u64) -> String {
+    pub(crate) fn metrics_json(
+        &self,
+        legacy: &ServerStats,
+        exec: ExecutorStats,
+        uptime_ms: u64,
+    ) -> String {
         use std::fmt::Write as _;
-        let stats = self.stats_v2(legacy);
+        let stats = self.stats_v2(legacy, exec);
         let mut out = String::with_capacity(1024);
         let _ = write!(out, "{{\"uptime_ms\":{uptime_ms},\"stats\":");
         out.push_str(&stats.to_json());
@@ -341,7 +352,7 @@ mod tests {
             let sink = cache.sink(&t, (3, QueryOp::Sssp));
             t.record_span(sink, &span);
         }
-        let stats = t.stats_v2(&ServerStats::default());
+        let stats = t.stats_v2(&ServerStats::default(), ExecutorStats::default());
         assert_eq!(stats.series("phase.total").unwrap().count, 20);
         assert_eq!(stats.series("graph.3.sssp.total").unwrap().count, 20);
         assert_eq!(stats.series("graph.3.sssp.executed").unwrap().max_us, 400);
@@ -365,7 +376,7 @@ mod tests {
         assert_eq!(t.error_kind_count(ErrorKind::Timeout), 2);
         assert_eq!(t.error_kind_count(ErrorKind::BadVertex), 1);
         assert_eq!(t.error_kind_count(ErrorKind::Internal), 0);
-        let stats = t.stats_v2(&ServerStats::default());
+        let stats = t.stats_v2(&ServerStats::default(), ExecutorStats::default());
         assert_eq!(stats.counter("errors.timeout"), Some(2));
         assert_eq!(stats.counter("errors.bad-vertex"), Some(1));
     }
@@ -398,7 +409,7 @@ mod tests {
             let sink = cache.sink(&t, key);
             t.record_span(sink, &QuerySpan::default());
         }
-        let stats = t.stats_v2(&ServerStats::default());
+        let stats = t.stats_v2(&ServerStats::default(), ExecutorStats::default());
         let counter_names: Vec<&str> = stats.counters.iter().map(|(n, _)| n.as_str()).collect();
         let mut sorted = counter_names.clone();
         sorted.sort_unstable();
@@ -450,7 +461,7 @@ mod tests {
             frontier: 64,
             relaxations: 500,
         });
-        let stats = t.stats_v2(&ServerStats::default());
+        let stats = t.stats_v2(&ServerStats::default(), ExecutorStats::default());
         assert_eq!(stats.counter("engine.rounds"), Some(2));
         assert_eq!(stats.counter("engine.relaxations"), Some(1_500));
         let frontier = stats.series("engine.frontier").unwrap();
@@ -472,7 +483,7 @@ mod tests {
             },
             || "lazy delta=32".to_string(),
         );
-        let line = t.metrics_json(&ServerStats::default(), 1234);
+        let line = t.metrics_json(&ServerStats::default(), ExecutorStats::default(), 1234);
         assert!(!line.contains('\n'));
         assert!(line.starts_with("{\"uptime_ms\":1234,\"stats\":{"));
         assert!(line.contains("\"slow\":[{\"graph\":2,\"op\":\"sssp\""));

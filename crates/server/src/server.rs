@@ -1,27 +1,26 @@
-//! The graph server: a catalog of resident [`CsrGraph`]s, a serving
-//! [`Pool`], and a staged dispatcher behind a std-TCP accept loop.
+//! The graph server: a catalog of resident [`CsrGraph`]s and a
+//! work-stealing [`Executor`] with priority lanes behind a std-TCP accept
+//! loop.
 //!
-//! # Architecture (full guide: `docs/ARCHITECTURE.md`)
+//! # Architecture (full guide: `docs/ARCHITECTURE.md` §10)
 //!
 //! ```text
-//! client conns ──► connection threads ──► job queue ──► dispatcher thread
-//!   (frames)       ┌──────────────────┐    (mpsc)    ┌──────────────────┐
-//!                  │ 1. ADMISSION     │              │ 2. PLANNING      │
-//!                  │  resolve graphs, │              │  plan cache →    │
-//!                  │  per-graph quota │              │  schedule per    │
-//!                  │  + global budget │              │  query           │
-//!                  └──────────────────┘              │ 3. EXECUTION     │
-//!                        │                           │  point batches + │
-//!                        └─► catalog (load/unload/   │  full-vector +   │
-//!                            list/manifest)          │  tune runs       │
-//!                                                    └──────────────────┘
+//! client conns ──► connection threads ──► executor (work-stealing core)
+//!   (frames)       ┌──────────────────┐   ┌───────────────────────────┐
+//!                  │ 1. ADMISSION     │   │ Interactive lane:         │
+//!                  │  resolve graphs, │   │   point-query packets     │
+//!                  │  per-graph quota │   │ Background lane:          │
+//!                  │  + global budget │   │   full-vector gangs,      │
+//!                  └──────────────────┘   │   tune runs               │
+//!                        │                └───────────────────────────┘
+//!                        └─► catalog (load/unload/list/manifest)
 //! ```
 //!
 //! Every connection gets a plain OS thread (no async runtime — see
-//! `vendor/README.md` for why), but **no connection thread ever touches the
-//! pool**: [`Pool::broadcast`] assumes a single orchestrator, so all query
-//! execution funnels through one dispatcher thread that owns it. The
-//! request path is three explicit stages:
+//! `vendor/README.md` for why). There is **no dispatcher thread and no
+//! round barrier**: after admission, a connection thread submits its
+//! queries straight to the shared [`Executor`] as typed work packets and
+//! blocks on their replies. The request path:
 //!
 //! 1. **Admission** (connection thread): every query's graph is resolved
 //!    and the request reserves against that graph's **pending quota**
@@ -32,20 +31,25 @@
 //!    drain estimate — nothing executes, nothing queues without bound, and
 //!    one hot graph can no longer starve the others (its quota fills while
 //!    every other graph keeps admitting).
-//! 2. **Planning** (dispatcher): each admitted query resolves its schedule.
-//!    Clients that pinned an explicit [`WireStrategy`] bypass the planner;
-//!    everything else executes under the graph's installed
+//! 2. **Submission** (connection thread): the request becomes a
+//!    [`RoundChain`] — one **Interactive** round of point-query packets,
+//!    then one **Background** round of full-vector packets, opened by the
+//!    last-out worker once the points drain (the bucket open-condition
+//!    that replaced the old per-round dispatcher barrier). Tune requests
+//!    ride the Background lane directly.
+//! 3. **Execution** (executor workers): point packets run on per-worker
+//!    per-graph [`QueryEngine`]s (inter-query
+//!    parallelism, zero steady-state allocation) and *overtake* Background
+//!    work — gang members steal Interactive packets at every engine
+//!    barrier, so point latency stays bounded while a full-vector query or
+//!    a tune storm owns the workers. Planning happens inside the packet:
+//!    a pinned [`WireStrategy`] bypasses the planner; everything else
+//!    executes under the graph's installed
 //!    [`QueryPlan`](priograph_core::plan::QueryPlan) — heuristic-seeded at
-//!    load, replaced when [`Request::TuneGraph`] runs the autotuner against
-//!    the resident graph on this same pool.
-//! 3. **Execution** (dispatcher): point queries fan out across the pool's
-//!    per-worker [`QueryEngine`](crate::batch::QueryEngine)s per graph
-//!    (inter-query parallelism, zero steady-state allocation), full-vector
-//!    queries run one at a time on the parallel bucket engines
-//!    (intra-query parallelism), tune requests run last (they own the pool
-//!    for many measured trials).
+//!    load, replaced when [`Request::TuneGraph`] runs the autotuner on the
+//!    same executor.
 
-use crate::batch::{BatchRunner, PointAnswer};
+use crate::batch::QueryEngine;
 use crate::catalog::{Catalog, CatalogError, GraphEntry};
 use crate::obs::{SeriesCache, Telemetry};
 use crate::protocol::{
@@ -58,14 +62,17 @@ use priograph_core::engine::RoundObserver;
 use priograph_core::plan::AlgoFamily;
 use priograph_core::schedule::Schedule;
 use priograph_graph::{CsrGraph, LoadMode, MapOptions};
-use priograph_parallel::Pool;
+use priograph_parallel::shared::WorkerLocal;
+use priograph_parallel::{
+    ChainDriver, ExecCtx, Executor, Lane, Pool, Round, RoundChain, WorkPacket,
+};
 use priograph_telemetry::QuerySpan;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
+use std::sync::{mpsc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -144,7 +151,8 @@ impl Default for ServerConfig {
     }
 }
 
-/// Counters shared between connections, the dispatcher, and stats replies.
+/// Counters shared between connections, the executor packets, and stats
+/// replies.
 #[derive(Debug, Default)]
 struct Counters {
     queries: AtomicU64,
@@ -171,8 +179,8 @@ struct Shared {
     pending_budget: u64,
     graph_budget: u64,
     max_batch: u64,
-    /// EWMA of dispatcher round wall time (nanoseconds) — the basis of the
-    /// `retry_after_ms` hint in [`Response::Busy`].
+    /// EWMA of request execution wall time (nanoseconds) — the basis of
+    /// the `retry_after_ms` hint in [`Response::Busy`].
     round_nanos: AtomicU64,
     shutdown: AtomicBool,
     /// Graceful-drain flag: accepting stops, new requests get a typed
@@ -190,6 +198,20 @@ struct Shared {
     /// PR 8 telemetry: phase histograms, engine round profile, error-kind
     /// counters, slow-query ring — everything behind `StatsV2`.
     telemetry: Telemetry,
+    /// The work-stealing execution core (`docs/ARCHITECTURE.md` §10):
+    /// point queries ride the Interactive lane, full-vector queries and
+    /// tune runs the Background lane.
+    exec: Executor,
+    /// A [`Pool`] attached to `exec`: every engine broadcast publishes a
+    /// gang region across the executor's workers, whose barrier waits
+    /// steal Interactive packets.
+    pool: Pool,
+    /// Per-graph per-worker point-query engines, indexed by executor
+    /// worker slot (created on first point query, dropped on unload).
+    engines: Mutex<HashMap<GraphId, Arc<WorkerLocal<QueryEngine>>>>,
+    /// Per-worker telemetry series caches (slot-indexed so the steady
+    /// state path locks an uncontended mutex).
+    series: Vec<Mutex<SeriesCache>>,
 }
 
 impl Shared {
@@ -219,10 +241,38 @@ impl Shared {
     }
 
     /// The self-describing v5 stats frame: every legacy counter by name,
-    /// the new counters (per-error-kind, drain, engine totals), and the
-    /// phase/engine latency series (`docs/PROTOCOL.md` §4.3).
+    /// the new counters (per-error-kind, drain, engine totals, scheduler
+    /// activity), and the phase/engine latency series
+    /// (`docs/PROTOCOL.md` §4.3).
     fn stats_v2(&self) -> StatsV2 {
-        self.telemetry.stats_v2(&self.stats())
+        self.telemetry.stats_v2(&self.stats(), self.exec.stats())
+    }
+
+    /// The per-worker point engines for `graph`, sized to the executor
+    /// (created on first use; [`Shared::gc_graph_state`] drops them when
+    /// the graph unloads). One brief map lock per request, never per query.
+    fn point_engines(&self, graph: GraphId) -> Arc<WorkerLocal<QueryEngine>> {
+        let mut map = self.engines.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            map.entry(graph)
+                .or_insert_with(|| Arc::new(WorkerLocal::new(self.exec.num_workers()))),
+        )
+    }
+
+    /// Engine-state GC, run after an unload: drops per-graph point
+    /// engines and trims the per-worker series caches, so unloading a
+    /// graph releases its engine memory too.
+    fn gc_graph_state(&self) {
+        self.engines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|id, _| self.catalog.contains(*id));
+        for cache in &self.series {
+            cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .retain_graphs(|id| self.catalog.contains(id));
+        }
     }
 
     /// Estimates how long until `pending` queries drain: rounds needed at
@@ -361,28 +411,6 @@ fn try_admit(
     Ok(guard)
 }
 
-/// One unit of work in flight from a connection thread to the dispatcher,
-/// with its graph resolved at admission (so an unload mid-flight cannot
-/// invalidate it — the `Arc` keeps the graph alive).
-enum Job {
-    /// An admitted query.
-    Query {
-        entry: Arc<GraphEntry>,
-        query: Query,
-        /// When admission reserved this query's slot — the zero point of
-        /// its `deadline_ms` budget.
-        admitted: Instant,
-        reply: mpsc::Sender<Response>,
-    },
-    /// An admitted `TuneGraph` run.
-    Tune {
-        entry: Arc<GraphEntry>,
-        family: AlgoFamily,
-        budget: u32,
-        reply: mpsc::Sender<Response>,
-    },
-}
-
 /// Handle to a running server.
 ///
 /// Dropping the handle stops the server; [`ServerHandle::stop`] does so
@@ -395,7 +423,6 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     listener: Option<JoinHandle<()>>,
-    dispatcher: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -421,9 +448,6 @@ impl ServerHandle {
         if let Some(listener) = self.listener.take() {
             let _ = listener.join();
         }
-        if let Some(dispatcher) = self.dispatcher.take() {
-            let _ = dispatcher.join();
-        }
     }
 
     /// A clonable trigger for the graceful-drain path, safe to hand to a
@@ -444,24 +468,18 @@ impl ServerHandle {
         if let Some(listener) = self.listener.take() {
             let _ = listener.join();
         }
-        if let Some(dispatcher) = self.dispatcher.take() {
-            let _ = dispatcher.join();
-        }
     }
 
     fn stop_inner(&mut self) {
         // Raising both flags makes this a hard stop: the drain wait in
         // drain_then_stop sees `shutdown` already set and skips straight
-        // to the manifest flush.
+        // to the executor stop + manifest flush.
         self.shared.draining.store(true, Ordering::Release);
         self.shared.shutdown.store(true, Ordering::Release);
         // Kick the blocking accept() so the listener observes the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(listener) = self.listener.take() {
             let _ = listener.join();
-        }
-        if let Some(dispatcher) = self.dispatcher.take() {
-            let _ = dispatcher.join();
         }
     }
 }
@@ -489,7 +507,7 @@ impl DrainTrigger {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.listener.is_some() || self.dispatcher.is_some() {
+        if self.listener.is_some() {
             self.stop_inner();
         }
     }
@@ -554,6 +572,15 @@ pub fn serve_named(
             eprintln!("manifest: skipped {what:?}: {why}");
         }
     }
+    // The execution core: one work-stealing executor per server. Point
+    // queries ride its Interactive lane; full-vector queries and tunes
+    // publish gang regions through the attached pool on the Background
+    // lane (`docs/ARCHITECTURE.md` §10).
+    let exec = Executor::new(config.threads.max(1));
+    let pool = Pool::attach(&exec);
+    let series = (0..exec.num_workers())
+        .map(|_| Mutex::new(SeriesCache::default()))
+        .collect();
     let shared = Arc::new(Shared {
         catalog,
         default_schedule: config.default_schedule.clone(),
@@ -572,6 +599,10 @@ pub fn serve_named(
         drain_timeout_ms: config.drain_timeout_ms,
         retry_jitter: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
         telemetry: Telemetry::default(),
+        exec,
+        pool,
+        engines: Mutex::new(HashMap::new()),
+        series,
     });
     if config.metrics_log_ms > 0 {
         let shared = Arc::clone(&shared);
@@ -592,27 +623,22 @@ pub fn serve_named(
                     let uptime_ms = started.elapsed().as_millis() as u64;
                     eprintln!(
                         "{}",
-                        shared.telemetry.metrics_json(&shared.stats(), uptime_ms)
+                        shared.telemetry.metrics_json(
+                            &shared.stats(),
+                            shared.exec.stats(),
+                            uptime_ms
+                        )
                     );
                 }
             });
     }
 
-    let (tx, rx) = mpsc::channel::<Job>();
-    let dispatcher = {
-        let shared = Arc::clone(&shared);
-        let threads = shared.threads;
-        let max_batch = config.max_batch.max(1);
-        std::thread::Builder::new()
-            .name("priograph-dispatch".to_string())
-            .spawn(move || dispatcher_loop(&shared, &rx, threads, max_batch))?
-    };
     let listener_thread = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("priograph-accept".to_string())
             .spawn(move || {
-                accept_loop(&listener, &shared, addr, &tx);
+                accept_loop(&listener, &shared, addr);
                 drain_then_stop(&shared);
             })?
     };
@@ -621,19 +647,10 @@ pub fn serve_named(
         addr,
         shared,
         listener: Some(listener_thread),
-        dispatcher: Some(dispatcher),
     })
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    addr: SocketAddr,
-    tx: &mpsc::Sender<Job>,
-) {
-    // The master job sender lives exactly as long as the accept loop; when
-    // it drops (plus every connection's clone), the dispatcher drains and
-    // exits.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, addr: SocketAddr) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -663,14 +680,13 @@ fn accept_loop(
         }
         let guard = ConnGuard(Arc::clone(shared));
         let shared = Arc::clone(shared);
-        let tx = tx.clone();
         // A failed spawn drops the closure unrun, which drops `guard` and
         // releases the reservation.
         let _ = std::thread::Builder::new()
             .name("priograph-conn".to_string())
             .spawn(move || {
                 let _guard = guard;
-                let _ = handle_connection(stream, &shared, addr, &tx);
+                let _ = handle_connection(stream, &shared, addr);
             });
     }
 }
@@ -707,7 +723,7 @@ fn refuse_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// The drain supervisor, run on the listener thread once accepting has
 /// stopped: wait (bounded by `drain_timeout_ms`) for admitted work to be
-/// answered, then stop the dispatcher and flush the manifest so the
+/// answered, then stop the executor and flush the manifest so the
 /// catalog and its tuned plans reload on restart. A hard
 /// [`ServerHandle::stop`] arrives here with `shutdown` already raised and
 /// skips the wait.
@@ -720,40 +736,72 @@ fn drain_then_stop(shared: &Shared) {
         std::thread::sleep(Duration::from_millis(2));
     }
     shared.shutdown.store(true, Ordering::Release);
+    // Stop the executor: in-flight packets finish, queued-but-unstarted
+    // packets drop (their reply channels disconnect into typed
+    // `shutting-down` errors on the connection side — see Slot::collect).
+    shared.exec.shutdown();
     shared.catalog.persist();
 }
 
 /// A per-query slot of an in-progress request: either already answered on
-/// the connection thread (admission failures) or pending at the dispatcher.
+/// the connection thread (admission failures) or pending at the executor.
 enum Slot {
     Ready(Response),
     Pending(mpsc::Receiver<Response>),
 }
 
 impl Slot {
-    fn collect(self) -> Response {
+    /// Waits for the slot's reply. Once the server-wide shutdown flag is
+    /// up, the executor is (re-)drained — idempotent — so a packet that
+    /// was still queued when the workers stopped resolves to a typed
+    /// `shutting-down` error instead of wedging this connection thread.
+    fn collect(self, shared: &Shared) -> Response {
+        let shutting_down = || Response::error(ErrorKind::ShuttingDown, "server is shutting down");
         match self {
             Slot::Ready(resp) => resp,
-            Slot::Pending(rx) => rx.recv().unwrap_or_else(|_| {
-                Response::error(ErrorKind::ShuttingDown, "server is shutting down")
-            }),
+            Slot::Pending(rx) => loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // After shutdown() returns, every packet either ran
+                    // (reply buffered in the channel) or was dropped.
+                    shared.exec.shutdown();
+                    return rx.try_recv().unwrap_or_else(|_| shutting_down());
+                }
+                match rx.recv_timeout(Duration::from_millis(25)) {
+                    Ok(resp) => return resp,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return shutting_down(),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                }
+            },
         }
     }
 }
 
+/// [`ChainDriver`] of one admitted request: round 0 is the Interactive
+/// point-query phase, round 1 the Background full-vector phase. The second
+/// round is opened by the last-out worker once every point packet has
+/// drained — the per-request bucket open-condition that replaced the old
+/// dispatcher's global round barrier. Empty phases are skipped at build
+/// time, so a points-only or fulls-only request is a one-round chain.
+struct RequestDriver {
+    phases: std::vec::IntoIter<Round>,
+}
+
+impl ChainDriver for RequestDriver {
+    fn next_round(&mut self, _round: usize) -> Option<Round> {
+        self.phases.next()
+    }
+}
+
 /// Admits and submits one request's queries: resolves every graph
-/// (admission), reserves quotas, enqueues the admitted queries for one
-/// dispatcher round, and collects the replies in request order.
+/// (admission), reserves quotas, submits the admitted queries to the
+/// executor as one [`RoundChain`] (points Interactive, fulls Background),
+/// and collects the replies in request order.
 ///
 /// # Errors
 ///
 /// An admission refusal returns the whole request's single
 /// [`Response::Busy`] — nothing was executed or queued.
-fn admit_and_run(
-    shared: &Arc<Shared>,
-    tx: &mpsc::Sender<Job>,
-    queries: &[Query],
-) -> Result<Vec<Response>, Response> {
+fn admit_and_run(shared: &Arc<Shared>, queries: &[Query]) -> Result<Vec<Response>, Response> {
     let entries: Vec<Option<Arc<GraphEntry>>> = queries
         .iter()
         .map(|q| shared.catalog.get(q.graph))
@@ -762,20 +810,29 @@ fn admit_and_run(
     // Deadline budgets start at admission: time queued behind other work
     // counts against the query, not just its execution.
     let admitted = Instant::now();
-    // Submit every query before collecting any reply, so the whole batch
-    // is visible to one dispatcher round.
+    let mut interactive: Vec<WorkPacket> = Vec::new();
+    let mut background: Vec<WorkPacket> = Vec::new();
     let slots: Vec<Slot> = queries
         .iter()
         .zip(&entries)
         .map(|(&query, entry)| match entry {
             Some(entry) => {
+                shared.counters.queries.fetch_add(1, Ordering::Relaxed);
                 let (reply_tx, reply_rx) = mpsc::channel();
-                let _ = tx.send(Job::Query {
+                let job = QueryJob {
                     entry: Arc::clone(entry),
                     query,
                     admitted,
                     reply: reply_tx,
+                };
+                let shared = Arc::clone(shared);
+                let packet = WorkPacket::new(move |ctx: &ExecCtx<'_>| {
+                    run_query_packet(&shared, ctx.worker(), job);
                 });
+                match query.op {
+                    QueryOp::Ppsp => interactive.push(packet),
+                    _ => background.push(packet),
+                }
                 Slot::Pending(reply_rx)
             }
             None => {
@@ -788,21 +845,43 @@ fn admit_and_run(
             }
         })
         .collect();
-    let responses = slots.into_iter().map(Slot::collect).collect();
+    let phases: Vec<Round> = [
+        (Lane::Interactive, interactive),
+        (Lane::Background, background),
+    ]
+    .into_iter()
+    .filter(|(_, packets)| !packets.is_empty())
+    .map(|(lane, packets)| Round { lane, packets })
+    .collect();
+    shared
+        .counters
+        .batch_rounds
+        .fetch_add(phases.len() as u64, Ordering::Relaxed);
+    let submitted = Instant::now();
+    let chain = (!phases.is_empty()).then(|| {
+        RoundChain::start(
+            &shared.exec,
+            RequestDriver {
+                phases: phases.into_iter(),
+            },
+        )
+    });
+    let responses: Vec<Response> = slots.into_iter().map(|slot| slot.collect(shared)).collect();
+    if chain.is_some() {
+        // Feed the Busy retry hint's EWMA with this request's wall time
+        // (tunes are deliberately excluded — one multi-second tune folded
+        // in would pin the hint at its clamp long after the tuner exits).
+        shared.observe_round(submitted.elapsed().as_nanos() as u64);
+    }
     drop(guard);
     Ok(responses)
 }
 
-/// Admits and submits one `TuneGraph` request, blocking until the tuner
-/// finishes (tuning holds one pending slot on its graph, so backpressure
-/// sees it like any other in-flight work).
-fn admit_and_tune(
-    shared: &Arc<Shared>,
-    tx: &mpsc::Sender<Job>,
-    graph: GraphId,
-    algo: QueryOp,
-    budget: u32,
-) -> Response {
+/// Admits and submits one `TuneGraph` request as a Maintenance packet,
+/// blocking until the tuner finishes (tuning holds one pending slot on its
+/// graph, so backpressure sees it like any other in-flight work; point
+/// queries and scans keep overtaking it on the higher lanes throughout).
+fn admit_and_tune(shared: &Arc<Shared>, graph: GraphId, algo: QueryOp, budget: u32) -> Response {
     let Some(family) = algo.family() else {
         return Response::error(
             ErrorKind::BadRequest,
@@ -822,15 +901,14 @@ fn admit_and_tune(
         Err(busy) => return busy,
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    let _ = tx.send(Job::Tune {
-        entry,
-        family,
-        budget,
-        reply: reply_tx,
-    });
-    let response = reply_rx
-        .recv()
-        .unwrap_or_else(|_| Response::error(ErrorKind::ShuttingDown, "server is shutting down"));
+    let packet_shared = Arc::clone(shared);
+    shared
+        .exec
+        .submit(Lane::Maintenance, move |_ctx: &ExecCtx<'_>| {
+            let response = run_tune(&packet_shared, &packet_shared.pool, &entry, family, budget);
+            let _ = reply_tx.send(response);
+        });
+    let response = Slot::Pending(reply_rx).collect(shared);
     drop(guard);
     response
 }
@@ -844,7 +922,6 @@ fn handle_connection(
     stream: TcpStream,
     shared: &Arc<Shared>,
     addr: SocketAddr,
-    tx: &mpsc::Sender<Job>,
 ) -> Result<(), WireError> {
     let _ = stream.set_nodelay(true);
     let io_timeout = Duration::from_millis(shared.io_timeout_ms);
@@ -896,13 +973,13 @@ fn handle_connection(
                 return Ok(());
             }
             Ok(Request::Query(query)) => {
-                match admit_and_run(shared, tx, std::slice::from_ref(&query)) {
+                match admit_and_run(shared, std::slice::from_ref(&query)) {
                     // lint: allow-panic admit_and_run returns one response per query by construction
                     Ok(mut responses) => responses.pop().expect("one query, one response"),
                     Err(busy) => busy,
                 }
             }
-            Ok(Request::Batch(queries)) => match admit_and_run(shared, tx, &queries) {
+            Ok(Request::Batch(queries)) => match admit_and_run(shared, &queries) {
                 Ok(responses) => Response::Batch(responses),
                 Err(busy) => busy,
             },
@@ -910,10 +987,15 @@ fn handle_connection(
                 graph,
                 algo,
                 budget,
-            }) => admit_and_tune(shared, tx, graph, algo, budget),
+            }) => admit_and_tune(shared, graph, algo, budget),
             Ok(Request::LoadGraph { name, path }) => load_graph(shared, &name, &path),
             Ok(Request::UnloadGraph { name }) => match shared.catalog.unload(&name) {
-                Ok(_) => Response::Unloaded,
+                Ok(_) => {
+                    // Release the unloaded graph's engine state (its point
+                    // engines and cached series sinks) right away.
+                    shared.gc_graph_state();
+                    Response::Unloaded
+                }
                 Err(e) => Response::error(ErrorKind::UnknownGraph, e.to_string()),
             },
             Ok(Request::ListGraphs) => Response::GraphList(
@@ -1035,15 +1117,10 @@ fn planned_schedule(shared: &Shared, entry: &GraphEntry, query: &Query) -> Sched
     }
 }
 
-/// Per-graph point-query grouping within one dispatcher round.
-#[derive(Default)]
-struct PointGroup {
-    pairs: Vec<(u32, u32)>,
-    slots: Vec<usize>,
-}
-
-/// A query job within one dispatcher round (planning happens on these;
-/// tune jobs are split out at drain time).
+/// One admitted query riding the executor as a packet, with its graph
+/// resolved at admission (so an unload mid-flight cannot invalidate it —
+/// the `Arc` keeps the graph alive) and the admission instant anchoring
+/// its deadline budget.
 struct QueryJob {
     entry: Arc<GraphEntry>,
     query: Query,
@@ -1072,235 +1149,117 @@ fn timeout_error(shared: &Shared, job: &QueryJob) -> Response {
     )
 }
 
-/// The dispatcher: the single owner of the pool, the planning point, and
-/// the batching point. Engine state is **per graph** — each resident graph
-/// gets its own [`BatchRunner`] whose per-worker engines stay sized to that
-/// graph, and runners for evicted graphs are dropped at the end of the
-/// round.
-fn dispatcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>, threads: usize, max_batch: usize) {
-    let pool = Pool::new(threads);
-    let mut runners: HashMap<GraphId, BatchRunner> = HashMap::new();
-    // Reused round state (cleared, never dropped, between rounds).
-    let mut queries: Vec<QueryJob> = Vec::new();
-    let mut tunes: Vec<Job> = Vec::new();
-    let mut groups: HashMap<GraphId, PointGroup> = HashMap::new();
-    let mut answers: Vec<PointAnswer> = Vec::new();
-    let mut replies: Vec<Option<Response>> = Vec::new();
-    // When each query executed, parallel to `replies` (`None` = never ran:
-    // shed, vertex error, admission failure — its span has no exec phase).
-    let mut exec_windows: Vec<Option<(Instant, Instant)>> = Vec::new();
-    // Dispatcher-local cache of per-(graph, op) histogram Arcs so the
-    // telemetry map's mutex is off the steady-state path.
-    let mut series_cache = SeriesCache::default();
-
-    loop {
-        // The shutdown check must come before processing, not only on the
-        // idle timeout: a client streaming queries with sub-timeout gaps
-        // would otherwise keep the dispatcher in the Ok(job) branch forever
-        // and wedge ServerHandle::stop(). Dropped jobs resolve to a
-        // shutting-down error reply on the connection side.
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        // Poll-with-timeout instead of a bare recv: connections may outlive
-        // a [`ServerHandle::stop`], and the dispatcher must still exit.
-        let first = match rx.recv_timeout(std::time::Duration::from_millis(25)) {
-            Ok(job) => job,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
-        };
-        queries.clear();
-        tunes.clear();
-        fn enroll(queries: &mut Vec<QueryJob>, tunes: &mut Vec<Job>, job: Job) {
-            match job {
-                Job::Query {
-                    entry,
-                    query,
-                    admitted,
-                    reply,
-                } => queries.push(QueryJob {
-                    entry,
-                    query,
-                    admitted,
-                    reply,
-                }),
-                tune @ Job::Tune { .. } => tunes.push(tune),
-            }
-        }
-        enroll(&mut queries, &mut tunes, first);
-        while queries.len() + tunes.len() < max_batch {
-            match rx.try_recv() {
-                Ok(job) => enroll(&mut queries, &mut tunes, job),
-                Err(_) => break,
-            }
-        }
-        let round_started = std::time::Instant::now();
-        shared.counters.batch_rounds.fetch_add(1, Ordering::Relaxed);
-        shared
-            .counters
-            .queries
-            .fetch_add(queries.len() as u64, Ordering::Relaxed);
-
-        // Partition: point queries fan out together per graph, the rest
-        // run after.
-        for group in groups.values_mut() {
-            group.pairs.clear();
-            group.slots.clear();
-        }
-        replies.clear();
-        replies.resize_with(queries.len(), || None);
-        exec_windows.clear();
-        exec_windows.resize(queries.len(), None);
-        // Deadline shedding happens at partition time: a query whose
-        // budget expired while queued is dropped *before* any engine work,
-        // and rechecked again right before full-vector execution (earlier
-        // queries in the same round may have consumed its remaining
-        // budget).
-        let partition_time = Instant::now();
-        for (i, job) in queries.iter().enumerate() {
-            let q = &job.query;
-            let n = job.entry.graph.num_vertices();
-            if deadline_expired(job, partition_time) {
-                replies[i] = Some(timeout_error(shared, job));
-                continue;
-            }
-            match q.op {
-                QueryOp::Ppsp => {
-                    if (q.source as usize) < n && (q.target as usize) < n {
-                        let group = groups.entry(job.entry.id).or_default();
-                        group.slots.push(i);
-                        group.pairs.push((q.source, q.target));
-                    } else {
-                        replies[i] = Some(vertex_error(q, n));
+/// **Execution stage**: runs one admitted query as an executor packet on
+/// worker `slot` — deadline shed, vertex validation, engine execution,
+/// telemetry, then the reply handoff.
+///
+/// Point queries run on the graph's per-worker [`QueryEngine`] for this
+/// slot (exclusive by construction: a worker runs one packet at a time,
+/// and gang-barrier steals run with the shadow region suspended on
+/// disjoint engine state). Full-vector queries publish gang regions
+/// through the server's attached pool, with the telemetry round observer
+/// threaded through every engine round.
+///
+/// The phase span is recorded **before** the reply is handed off: a client
+/// that has collected every reply of its batch observes complete phase
+/// series in a subsequent `StatsV2`, and every span is a strict
+/// sub-interval of the client's wall clock.
+fn run_query_packet(shared: &Arc<Shared>, slot: usize, job: QueryJob) {
+    let started = Instant::now();
+    let q = &job.query;
+    let n = job.entry.graph.num_vertices();
+    let mut window: Option<(Instant, Instant)> = None;
+    let response = if deadline_expired(&job, started) {
+        // Expired while queued (behind earlier packets or an engine run):
+        // dropped without executing — no engine counters move.
+        timeout_error(shared, &job)
+    } else {
+        match q.op {
+            QueryOp::Ppsp => {
+                if (q.source as usize) < n && (q.target as usize) < n {
+                    shared
+                        .counters
+                        .point_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                    job.entry.queries.fetch_add(1, Ordering::Relaxed);
+                    let engines = shared.point_engines(job.entry.id);
+                    let exec_started = Instant::now();
+                    let answer = engines.with_mut(slot, |engine| {
+                        engine.point_query(&job.entry.graph, q.source, q.target)
+                    });
+                    window = Some((exec_started, Instant::now()));
+                    Response::Distance {
+                        distance: answer.distance,
+                        relaxations: answer.relaxations,
                     }
+                } else {
+                    vertex_error(q, n)
                 }
-                QueryOp::Sssp | QueryOp::Wbfs if (q.source as usize) >= n => {
-                    replies[i] = Some(vertex_error(q, n));
-                }
-                _ => {}
             }
-        }
-
-        for (graph_id, group) in &groups {
-            if group.pairs.is_empty() {
-                continue;
-            }
-            // Same id ⇒ same entry: ids are never reused within a server.
-            let entry = &queries[group.slots[0]].entry;
-            debug_assert_eq!(entry.id, *graph_id);
-            shared
-                .counters
-                .point_queries
-                .fetch_add(group.pairs.len() as u64, Ordering::Relaxed);
-            entry
-                .queries
-                .fetch_add(group.pairs.len() as u64, Ordering::Relaxed);
-            let runner = runners.entry(*graph_id).or_default();
-            let exec_started = Instant::now();
-            runner.run(&pool, &entry.graph, &group.pairs, &mut answers);
-            // The whole group runs as one pool fan-out, so each member
-            // gets the group's window as its execute phase.
-            let window = Some((exec_started, Instant::now()));
-            for (slot, answer) in group.slots.iter().zip(&answers) {
-                exec_windows[*slot] = window;
-                replies[*slot] = Some(Response::Distance {
-                    distance: answer.distance,
-                    relaxations: answer.relaxations,
-                });
-            }
-        }
-
-        for (i, job) in queries.iter().enumerate() {
-            if replies[i].is_none() {
-                if deadline_expired(job, Instant::now()) {
-                    // Expired waiting behind this round's earlier work:
-                    // dropped without executing (no full_queries count).
-                    replies[i] = Some(timeout_error(shared, job));
-                    continue;
-                }
+            QueryOp::Sssp | QueryOp::Wbfs if (q.source as usize) >= n => vertex_error(q, n),
+            _ => {
                 shared.counters.full_queries.fetch_add(1, Ordering::Relaxed);
                 job.entry.queries.fetch_add(1, Ordering::Relaxed);
                 let exec_started = Instant::now();
-                replies[i] = Some(run_full_query(shared, &pool, job));
-                exec_windows[i] = Some((exec_started, Instant::now()));
-            }
-        }
-
-        for ((job, reply), window) in queries
-            .drain(..)
-            .zip(replies.drain(..))
-            .zip(exec_windows.drain(..))
-        {
-            // lint: allow-panic the loop above fills every slot before draining
-            let reply = reply.expect("every job got a reply");
-            if matches!(reply, Response::Error { .. }) {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            let _ = job.reply.send(reply);
-            // Phase span, recorded after the reply is handed off so the
-            // `responded` phase covers the send: queued = admission →
-            // partition, planned = partition → execution start, executed =
-            // the engine window, responded = execution end → handoff. A
-            // query that never executed (shed, bad vertex) collapses its
-            // plan/exec phases into `responded`.
-            let responded = Instant::now();
-            let span = match window {
-                Some((started, finished)) => QuerySpan {
-                    queued_us: micros_between(job.admitted, partition_time),
-                    planned_us: micros_between(partition_time, started),
-                    executed_us: micros_between(started, finished),
-                    responded_us: micros_between(finished, responded),
-                },
-                None => QuerySpan {
-                    queued_us: micros_between(job.admitted, partition_time),
-                    planned_us: 0,
-                    executed_us: 0,
-                    responded_us: micros_between(partition_time, responded),
-                },
-            };
-            let sink = series_cache.sink(&shared.telemetry, (job.entry.id, job.query.op));
-            shared.telemetry.record_span(sink, &span);
-            let (entry, query) = (&job.entry, &job.query);
-            // The plan string renders only if this query displaces a slow-
-            // ring entry — the steady-state cost is one atomic load.
-            shared
-                .telemetry
-                .offer_slow(entry.id, query.op, span, || match query.op {
-                    QueryOp::Ppsp => "point-serial".to_string(),
-                    _ => planned_schedule(shared, entry, query).to_string(),
+                // A panicking engine (a poisoned gang region) must not eat
+                // the reply: degrade to a typed internal error.
+                let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_full_query(shared, &shared.pool, &job)
+                }))
+                .unwrap_or_else(|_| {
+                    Response::error(
+                        ErrorKind::Internal,
+                        format!("{} execution panicked; see server logs", q.op),
+                    )
                 });
+                window = Some((exec_started, Instant::now()));
+                resp
+            }
         }
-
-        // The EWMA feeds the Busy retry hint, which estimates *query*
-        // drain time — so it is observed before the tune runs: one
-        // multi-second tune folded in would pin the hint at its clamp for
-        // dozens of rounds after the tuner finished.
-        shared.observe_round(round_started.elapsed().as_nanos() as u64);
-
-        // Tune runs execute after the round's queries: each owns the pool
-        // for many measured trials, and admitted queries should not wait
-        // behind them inside the same round.
-        for tune in tunes.drain(..) {
-            let Job::Tune {
-                entry,
-                family,
-                budget,
-                reply,
-            } = tune
-            else {
-                // lint: allow-panic the admission loop pushes only Job::Tune into tunes
-                unreachable!("tunes holds only Tune jobs");
-            };
-            let _ = reply.send(run_tune(shared, &pool, &entry, family, budget));
-        }
-
-        // Engine-state GC: drop per-graph runners (and their grouping
-        // buffers) once their graph leaves the catalog, so unloading a
-        // graph releases its engine memory too.
-        runners.retain(|id, _| shared.catalog.contains(*id));
-        groups.retain(|id, _| shared.catalog.contains(*id));
-        series_cache.retain_graphs(|id| shared.catalog.contains(id));
+    };
+    if matches!(response, Response::Error { .. }) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
     }
+    // Phase span: queued = admission → packet start, planned = packet
+    // start → execution start (validation + plan resolution), executed =
+    // the engine window, responded = execution end → reply handoff. A
+    // query that never executed (shed, bad vertex) collapses its
+    // plan/exec phases into `responded`.
+    let responded = Instant::now();
+    let span = match window {
+        Some((exec_started, finished)) => QuerySpan {
+            queued_us: micros_between(job.admitted, started),
+            planned_us: micros_between(started, exec_started),
+            executed_us: micros_between(exec_started, finished),
+            responded_us: micros_between(finished, responded),
+        },
+        None => QuerySpan {
+            queued_us: micros_between(job.admitted, started),
+            planned_us: 0,
+            executed_us: 0,
+            responded_us: micros_between(started, responded),
+        },
+    };
+    {
+        // The slot-indexed cache mutex is uncontended in steady state (a
+        // worker runs one packet at a time); the shared telemetry map's
+        // lock is taken only on first sight of a (graph, op) key.
+        let mut cache = shared.series[slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let sink = cache.sink(&shared.telemetry, (job.entry.id, q.op));
+        shared.telemetry.record_span(sink, &span);
+    }
+    let (entry, query) = (&job.entry, &job.query);
+    // The plan string renders only if this query displaces a slow-ring
+    // entry — the steady-state cost is one atomic load.
+    shared
+        .telemetry
+        .offer_slow(entry.id, query.op, span, || match query.op {
+            QueryOp::Ppsp => "point-serial".to_string(),
+            _ => planned_schedule(shared, entry, query).to_string(),
+        });
+    let _ = job.reply.send(response);
 }
 
 /// Microseconds from `a` to `b`, zero when the clock reads them reversed
@@ -2175,6 +2134,13 @@ mod tests {
         let addr = handle.addr();
         let mut other = Client::connect(addr).unwrap();
         assert!(other.stats().is_ok());
+        // Let `other`'s handler park back in its read loop. A handler also
+        // re-checks the drain flag right after writing a response and closes
+        // the socket if it is up — without this pause, the shutdown below
+        // can land in that window and `other` gets a hard close (no in-band
+        // refusal, nothing counted) instead of the refusal this test is
+        // about.
+        std::thread::sleep(Duration::from_millis(200));
         let mut client = Client::connect(addr).unwrap();
         client.shutdown().unwrap();
         assert!(other.stats().is_err(), "drain window refuses new work");
